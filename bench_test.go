@@ -1,0 +1,285 @@
+package cisim
+
+// The benchmark harness: one benchmark per table and figure of the
+// paper's evaluation, regenerating the corresponding rows at reduced
+// (quick) scale so `go test -bench=. -benchmem` sweeps the whole
+// reproduction. Full-scale outputs come from `go run ./cmd/cisim run all`
+// and are recorded in EXPERIMENTS.md.
+//
+// Additional micro-benchmarks cover the simulator substrates (trace
+// generation, the idealized scheduler, the detailed machine) and the
+// ablation axes DESIGN.md calls out (window size, segment size,
+// completion model).
+
+import (
+	"fmt"
+	"testing"
+
+	"cisim/internal/cache"
+	"cisim/internal/exp"
+	"cisim/internal/ideal"
+	"cisim/internal/ooo"
+	"cisim/internal/trace"
+	"cisim/internal/workloads"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := exp.Get(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := e.Run(exp.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Tables) == 0 {
+			b.Fatal("no output")
+		}
+	}
+}
+
+// One benchmark per paper artifact.
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkFig3(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkFig5(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14") }
+func BenchmarkFig17(b *testing.B)  { benchExperiment(b, "fig17") }
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkTraceGeneration measures annotated trace production (emulation
+// + prediction + wrong-path expansion), reported per dynamic instruction.
+func BenchmarkTraceGeneration(b *testing.B) {
+	w, _ := workloads.Get("xgo")
+	p := w.Program(1000)
+	b.ReportAllocs()
+	var n int
+	for i := 0; i < b.N; i++ {
+		tr, err := trace.Generate(p, trace.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(tr.Entries)
+	}
+	b.ReportMetric(float64(n), "instrs/op")
+}
+
+// BenchmarkIdealScheduler measures the Section 2 window scheduler.
+func BenchmarkIdealScheduler(b *testing.B) {
+	w, _ := workloads.Get("xgo")
+	tr, err := trace.Generate(w.Program(1000), trace.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ideal.Run(tr, ideal.Config{Model: ideal.WRFD, WindowSize: 256}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tr.Entries)), "instrs/op")
+}
+
+// BenchmarkDetailedMachine measures the execution-driven simulator across
+// machines (the per-simulated-instruction cost of BASE vs CI).
+func BenchmarkDetailedMachine(b *testing.B) {
+	w, _ := workloads.Get("xgo")
+	p := w.Program(1000)
+	for _, mach := range []ooo.Machine{ooo.Base, ooo.CI} {
+		b.Run(mach.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ooo.Run(p, ooo.Config{Machine: mach, WindowSize: 256}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- ablation benchmarks (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationWindow sweeps the window size on the CI machine.
+func BenchmarkAblationWindow(b *testing.B) {
+	w, _ := workloads.Get("xgo")
+	p := w.Program(800)
+	for _, win := range []int{64, 128, 256, 512} {
+		b.Run(fmt.Sprintf("win%d", win), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := ooo.Run(p, ooo.Config{Machine: ooo.CI, WindowSize: win})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.Stats.IPC(), "IPC")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSegment sweeps ROB segment granularity (§A.4).
+func BenchmarkAblationSegment(b *testing.B) {
+	w, _ := workloads.Get("xgcc")
+	p := w.Program(800)
+	for _, seg := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("seg%d", seg), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := ooo.Run(p, ooo.Config{Machine: ooo.CI, WindowSize: 256, SegmentSize: seg})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.Stats.IPC(), "IPC")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCompletion sweeps the branch completion models (§A.2).
+func BenchmarkAblationCompletion(b *testing.B) {
+	w, _ := workloads.Get("xcompress")
+	p := w.Program(800)
+	for _, cm := range []ooo.Completion{ooo.NonSpec, ooo.SpecD, ooo.SpecC, ooo.Spec} {
+		b.Run(cm.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := ooo.Run(p, ooo.Config{Machine: ooo.CI, WindowSize: 256, Completion: cm})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.Stats.IPC(), "IPC")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPredictor compares gshare against the history-free
+// bimodal predictor on the CI machine (§A.3's framing).
+func BenchmarkAblationPredictor(b *testing.B) {
+	w, _ := workloads.Get("xgo")
+	p := w.Program(800)
+	for _, bim := range []bool{false, true} {
+		name := "gshare"
+		if bim {
+			name = "bimodal"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := ooo.Run(p, ooo.Config{Machine: ooo.CI, WindowSize: 256, BimodalPredictor: bim})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.Stats.IPC(), "IPC")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationReconv compares reconvergence sources on the CI
+// machine: exact post-dominators, the §A.5.2 instruction-type heuristics,
+// and the §A.5.1 associative search.
+func BenchmarkAblationReconv(b *testing.B) {
+	w, _ := workloads.Get("xgcc")
+	p := w.Program(800)
+	cases := []struct {
+		name string
+		rc   ooo.Reconv
+	}{
+		{"postdom", ooo.Reconv{PostDom: true}},
+		{"heuristics", ooo.Reconv{Return: true, Loop: true, Ltb: true}},
+		{"assoc", ooo.Reconv{Assoc: true}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := ooo.Run(p, ooo.Config{Machine: ooo.CI, WindowSize: 256, Reconv: c.rc})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.Stats.IPC(), "IPC")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFetchTaken ablates the ideal-fetch assumption of §4.1:
+// unlimited taken transfers per cycle (the paper's configuration) versus a
+// front end that follows one or two.
+func BenchmarkAblationFetchTaken(b *testing.B) {
+	w, _ := workloads.Get("xgo")
+	p := w.Program(800)
+	for _, lim := range []int{0, 2, 1} {
+		name := "ideal"
+		if lim > 0 {
+			name = fmt.Sprintf("taken%d", lim)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := ooo.Run(p, ooo.Config{Machine: ooo.CI, WindowSize: 256, FetchTakenLimit: lim})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.Stats.IPC(), "IPC")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDisambiguation ablates speculative memory
+// disambiguation (Table 4's subject): loads issuing past unresolved
+// stores with violation recovery, versus conservatively waiting for every
+// older store to complete.
+func BenchmarkAblationDisambiguation(b *testing.B) {
+	w, _ := workloads.Get("xcompress")
+	p := w.Program(800)
+	for _, cons := range []bool{false, true} {
+		name := "speculative"
+		if cons {
+			name = "conservative"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := ooo.Run(p, ooo.Config{Machine: ooo.CI, WindowSize: 256, ConservativeLoads: cons})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.Stats.IPC(), "IPC")
+				b.ReportMetric(float64(r.Stats.MemViolations), "violations")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationICache ablates the paper's ideal instruction supply
+// with the §4.1 cache geometry applied to fetch.
+func BenchmarkAblationICache(b *testing.B) {
+	w, _ := workloads.Get("xgcc")
+	p := w.Program(800)
+	for _, ic := range []bool{false, true} {
+		name := "ideal"
+		cfg := ooo.Config{Machine: ooo.CI, WindowSize: 256}
+		if ic {
+			name = "icache"
+			cfg.ICache = cache.DefaultDetailed()
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := ooo.Run(p, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.Stats.IPC(), "IPC")
+			}
+		})
+	}
+}

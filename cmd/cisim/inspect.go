@@ -1,0 +1,258 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"cisim/internal/asm"
+	"cisim/internal/cfg"
+	"cisim/internal/isa"
+	"cisim/internal/prog"
+	"cisim/internal/trace"
+	"cisim/internal/workloads"
+)
+
+// loadProgram resolves the positional argument of the inspection commands:
+// a workload name, or an assembly source file when -file is set.
+func loadProgram(file bool, arg string, iters int) (*prog.Program, error) {
+	if file {
+		src, err := os.ReadFile(arg)
+		if err != nil {
+			return nil, err
+		}
+		return asm.Assemble(string(src))
+	}
+	w, ok := workloads.Get(arg)
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %q (try 'cisim list', or -file for a source file)", arg)
+	}
+	return w.Program(iters), nil
+}
+
+// labelsByAddr inverts the symbol table so listings can print labels.
+func labelsByAddr(p *prog.Program) map[uint64]string {
+	m := make(map[uint64]string, len(p.Symbols))
+	for name, addr := range p.Symbols {
+		// Prefer the lexically smallest name when two labels share an
+		// address, so output is deterministic.
+		if old, ok := m[addr]; !ok || name < old {
+			m[addr] = name
+		}
+	}
+	return m
+}
+
+func cmdDisasm(args []string) error {
+	fs := flag.NewFlagSet("disasm", flag.ExitOnError)
+	file := fs.Bool("file", false, "treat the argument as an assembly source file")
+	source := fs.Bool("source", false, "emit re-assemblable assembly source instead of a listing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("disasm needs a workload name (or -file path)")
+	}
+	p, err := loadProgram(*file, fs.Arg(0), 0)
+	if err != nil {
+		return err
+	}
+	if *source {
+		fmt.Print(asm.Format(p))
+		return nil
+	}
+	labels := labelsByAddr(p)
+	for i, in := range p.Code {
+		pc := p.CodeBase + 4*uint64(i)
+		if l, ok := labels[pc]; ok {
+			fmt.Printf("%s:\n", l)
+		}
+		word, err := isa.Encode(in)
+		if err != nil {
+			return fmt.Errorf("encode at %#x: %w", pc, err)
+		}
+		line := in.String()
+		if in.IsControl() && !in.IsIndirect() && in.Op != isa.RET {
+			if l, ok := labels[in.BranchTarget(pc)]; ok {
+				line += "   <" + l + ">"
+			}
+		}
+		fmt.Printf("  %#08x  %08x  %s\n", pc, word, line)
+	}
+	fmt.Printf("%d instructions, entry %#x\n", len(p.Code), p.Entry)
+	return nil
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	file := fs.Bool("file", false, "treat the argument as an assembly source file")
+	dynamic := fs.Bool("dynamic", false, "also trace the program and report per-site misprediction and wrong-path statistics")
+	iters := fs.Int("iters", 0, "workload iterations for -dynamic (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("analyze needs a workload name (or -file path)")
+	}
+	p, err := loadProgram(*file, fs.Arg(0), *iters)
+	if err != nil {
+		return err
+	}
+	g := cfg.Build(p)
+	labels := labelsByAddr(p)
+	name := func(pc uint64) string {
+		if l, ok := labels[pc]; ok {
+			return fmt.Sprintf("%#x <%s>", pc, l)
+		}
+		return fmt.Sprintf("%#x", pc)
+	}
+
+	fmt.Printf("%d instructions, %d basic blocks\n\n", len(p.Code), len(g.Order))
+	fmt.Println("conditional branches (paper §4.1: reconvergent point = immediate post-dominator):")
+	var branches []uint64
+	for _, start := range g.Order {
+		b := g.Blocks[start]
+		for pc := b.Start; pc < b.End; pc += 4 {
+			if in, ok := p.InstAt(pc); ok && in.IsCondBranch() {
+				branches = append(branches, pc)
+			}
+		}
+	}
+	sort.Slice(branches, func(i, j int) bool { return branches[i] < branches[j] })
+	noReconv := 0
+	for _, pc := range branches {
+		in, _ := p.InstAt(pc)
+		dir := "fwd"
+		if cfg.IsBackwardBranch(in) {
+			dir = "back"
+		}
+		rpc, ok := g.ReconvergentPC(pc)
+		if !ok {
+			noReconv++
+			fmt.Printf("  %-28s %-4s  no reconvergent point (post-dominated only by exit)\n", name(pc), dir)
+			continue
+		}
+		// Static distance in instruction slots; a rough stand-in for the
+		// paper's "control dependent region size" discussion.
+		dist := int64(rpc-pc) / 4
+		fmt.Printf("  %-28s %-4s  reconverges at %-24s (%+d slots)\n", name(pc), dir, name(rpc), dist)
+	}
+	fmt.Printf("\n%d conditional branch sites, %d without a reconvergent point\n",
+		len(branches), noReconv)
+	if !*dynamic {
+		return nil
+	}
+	return analyzeDynamic(p, name)
+}
+
+// analyzeDynamic traces the program and reports, per mispredicting branch
+// site, how the *dynamic* control dependent region behaves: how often the
+// wrong path actually reaches the static reconvergent point, and how long
+// it runs before doing so. The paper's §A.5 argument — dynamic
+// reconvergent points can be much closer than immediate post-dominators —
+// is directly visible in the gap between the static slot distance and the
+// wrong-path lengths here.
+func analyzeDynamic(p *prog.Program, name func(uint64) string) error {
+	tr, err := trace.Generate(p, trace.Options{})
+	if err != nil {
+		return err
+	}
+	type site struct {
+		misp, reconverged int
+		wrongLen          int
+	}
+	sites := map[uint64]*site{}
+	for i := range tr.Entries {
+		e := &tr.Entries[i]
+		if !e.Mispredicted || !e.Inst.IsCondBranch() {
+			continue
+		}
+		s := sites[e.PC]
+		if s == nil {
+			s = &site{}
+			sites[e.PC] = s
+		}
+		s.misp++
+		if w := e.Wrong; w != nil {
+			s.wrongLen += w.Len
+			if w.Reconverged {
+				s.reconverged++
+			}
+		}
+	}
+	var pcs []uint64
+	for pc := range sites {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return sites[pcs[i]].misp > sites[pcs[j]].misp })
+	fmt.Printf("\ndynamic behaviour over %d traced instructions (%.2f%% misprediction rate):\n",
+		len(tr.Entries), 100*tr.Stats.MispRate())
+	fmt.Printf("  %-28s %10s %12s %18s\n", "branch site", "mispredicts", "reconverge", "avg wrong-path len")
+	for _, pc := range pcs {
+		s := sites[pc]
+		fmt.Printf("  %-28s %10d %11.0f%% %18.1f\n",
+			name(pc), s.misp,
+			100*float64(s.reconverged)/float64(s.misp),
+			float64(s.wrongLen)/float64(s.misp))
+	}
+	return nil
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	file := fs.Bool("file", false, "treat the argument as an assembly source file")
+	n := fs.Int("n", 40, "entries to print (0 = all)")
+	misp := fs.Bool("misp", false, "print only mispredicted branches")
+	iters := fs.Int("iters", 0, "workload iterations (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("trace needs a workload name (or -file path)")
+	}
+	p, err := loadProgram(*file, fs.Arg(0), *iters)
+	if err != nil {
+		return err
+	}
+	tr, err := trace.Generate(p, trace.Options{})
+	if err != nil {
+		return err
+	}
+	printed := 0
+	for i := range tr.Entries {
+		e := &tr.Entries[i]
+		if *misp && !e.Mispredicted {
+			continue
+		}
+		if *n > 0 && printed >= *n {
+			fmt.Printf("  ... (%d more entries)\n", len(tr.Entries)-i)
+			break
+		}
+		printed++
+		mark := " "
+		if e.Mispredicted {
+			mark = "!"
+		} else if e.Predicted {
+			mark = "p"
+		}
+		fmt.Printf("%7d %s %#08x  %-28s", i, mark, e.PC, e.Inst.String())
+		if e.Inst.IsMem() {
+			fmt.Printf("  ea=%#x", e.EA)
+		}
+		if e.Mispredicted {
+			fmt.Printf("  mispredicted -> %#x", e.PredTarget)
+			if w := e.Wrong; w != nil {
+				if w.Reconverged {
+					fmt.Printf(" (wrong path %d instrs, reconverges at %#x)", w.Len, w.ReconvPC)
+				} else {
+					fmt.Printf(" (wrong path %d instrs, no reconvergence)", w.Len)
+				}
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%d entries total, misprediction rate %.2f%% (halted=%v)\n",
+		len(tr.Entries), 100*tr.Stats.MispRate(), tr.Halted)
+	return nil
+}

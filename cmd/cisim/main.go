@@ -1,0 +1,353 @@
+// Command cisim reproduces the evaluation of "A Study of Control
+// Independence in Superscalar Processors" (Rotenberg, Jacobson, Smith;
+// HPCA 1999).
+//
+// Usage:
+//
+//	cisim list                     list experiments and workloads
+//	cisim run all [-quick]         run every experiment
+//	cisim run <id> [-quick]        run one experiment (e.g. fig5, table2)
+//	cisim sim [flags] <workload>   one detailed simulation with stats
+//	cisim ideal [flags] <workload> one idealized-model simulation
+//	cisim disasm <workload>        disassemble a program
+//	cisim analyze <workload>       CFG and reconvergent-point report
+//	cisim trace [flags] <workload> dump the annotated dynamic trace
+//	cisim pipe [flags] <workload>  per-instruction pipeline timeline
+//	cisim compare <old> <new>      diff two 'run -json' result files
+//
+// Experiment ids follow the paper's tables and figures: table1, fig3,
+// fig5, fig6, table2, table3, table4, fig8, fig9, fig10, fig12, fig13,
+// fig14, fig17.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"cisim/internal/cache"
+	"cisim/internal/exp"
+	"cisim/internal/ideal"
+	"cisim/internal/ooo"
+	"cisim/internal/stats"
+	"cisim/internal/trace"
+	"cisim/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "sim":
+		err = cmdSim(os.Args[2:])
+	case "ideal":
+		err = cmdIdeal(os.Args[2:])
+	case "disasm":
+		err = cmdDisasm(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "pipe":
+		err = cmdPipe(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cisim:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  cisim list                      list experiments and workloads
+  cisim run all [-quick]          run every experiment
+  cisim run <id> [-quick]         run one experiment (fig5, table2, ...)
+  cisim sim [flags] <workload>    one detailed simulation
+  cisim ideal [flags] <workload>  one idealized-model simulation
+  cisim disasm <workload>         disassemble a workload (-file for a source file)
+  cisim analyze <workload>        CFG + reconvergent-point report
+  cisim trace [flags] <workload>  dump the annotated dynamic trace
+  cisim pipe [flags] <workload>   per-instruction pipeline timeline
+  cisim compare <old> <new>       diff two 'run -json' result files`)
+}
+
+func cmdList() error {
+	fmt.Println("experiments:")
+	for _, e := range exp.All() {
+		fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		fmt.Printf("           paper: %s\n", e.Paper)
+	}
+	fmt.Println("\nworkloads:")
+	for _, w := range workloads.All() {
+		fmt.Printf("  %-10s stands in for %-8s  %s\n", w.Name, w.Paper, w.Description)
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "smaller runs (noisier, much faster)")
+	plotFlag := fs.Bool("plot", false, "render figure experiments as ASCII charts too")
+	jsonFlag := fs.Bool("json", false, "emit machine-readable JSON (for 'cisim compare') instead of text")
+	workers := fs.Int("j", 1, "experiments to run concurrently (they are independent; output stays in paper order)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("run needs an experiment id or 'all'")
+	}
+	opt := exp.Options{Quick: *quick}
+	ids := []string{fs.Arg(0)}
+	if fs.Arg(0) == "all" {
+		ids = exp.IDs()
+	}
+	exps := make([]*exp.Experiment, len(ids))
+	for i, id := range ids {
+		e, ok := exp.Get(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try 'cisim list')", id)
+		}
+		exps[i] = e
+	}
+
+	type outcome struct {
+		r       *exp.Result
+		err     error
+		elapsed time.Duration
+	}
+	outcomes := make([]outcome, len(exps))
+	if *workers < 1 {
+		*workers = 1
+	}
+	sem := make(chan struct{}, *workers)
+	var wg sync.WaitGroup
+	for i, e := range exps {
+		wg.Add(1)
+		go func(i int, e *exp.Experiment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			r, err := e.Run(opt)
+			outcomes[i] = outcome{r: r, err: err, elapsed: time.Since(start)}
+		}(i, e)
+	}
+	wg.Wait()
+
+	var jsonResults []exp.JSONResult
+	for i, e := range exps {
+		o := outcomes[i]
+		if o.err != nil {
+			return fmt.Errorf("%s: %w", e.ID, o.err)
+		}
+		if *jsonFlag {
+			jsonResults = append(jsonResults, exp.ToJSON(e, o.r))
+			continue
+		}
+		fmt.Printf("%s\npaper: %s\n\n%s", e.Title, e.Paper, o.r)
+		if *plotFlag {
+			for _, p := range o.r.Plots {
+				fmt.Println(p.Render())
+			}
+		}
+		fmt.Printf("(%s)\n\n", o.elapsed.Round(time.Millisecond))
+	}
+	if *jsonFlag {
+		return exp.WriteJSON(os.Stdout, jsonResults)
+	}
+	return nil
+}
+
+// cmdCompare diffs two result sets written by `cisim run -json`,
+// reporting every numeric cell that moved by more than the tolerance —
+// the simulator's own regression harness.
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	tol := fs.Float64("tol", 1.0, "relative tolerance in percent")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("compare needs two result files (from 'cisim run -json all > results.json')")
+	}
+	load := func(path string) ([]exp.JSONResult, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return exp.ReadJSON(f)
+	}
+	prev, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cur, err := load(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	diffs := exp.Compare(prev, cur, *tol)
+	if len(diffs) == 0 {
+		fmt.Printf("no differences beyond %.1f%%\n", *tol)
+		return nil
+	}
+	for _, d := range diffs {
+		fmt.Println(d)
+	}
+	return fmt.Errorf("%d cells differ beyond %.1f%%", len(diffs), *tol)
+}
+
+func cmdSim(args []string) error {
+	fs := flag.NewFlagSet("sim", flag.ExitOnError)
+	machine := fs.String("machine", "CI", "BASE, CI, or CI-I")
+	window := fs.Int("window", 256, "reorder buffer entries")
+	segment := fs.Int("segment", 1, "ROB segment size (1, 4, 16)")
+	iters := fs.Int("iters", 0, "workload iterations (0 = default)")
+	completion := fs.String("completion", "spec-C", "non-spec, spec-D, spec-C, spec")
+	reconv := fs.String("reconv", "postdom", "postdom, return, loop, ltb, assoc, or combinations like return/loop/ltb")
+	confDelay := fs.Bool("confidence-delay", false, "hold high-confidence branches with speculative operands (§A.2.2)")
+	fetchTaken := fs.Int("fetch-taken", 0, "taken control transfers followed per fetch cycle (0 = ideal, the paper's §4.1 front end)")
+	consLoads := fs.Bool("conservative-loads", false, "disable speculative memory disambiguation (loads wait for all older stores)")
+	icache := fs.Bool("icache", false, "model a 64KB instruction cache (the paper assumes ideal instruction supply)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("sim needs a workload name")
+	}
+	w, ok := workloads.Get(fs.Arg(0))
+	if !ok {
+		return fmt.Errorf("unknown workload %q (try 'cisim list')", fs.Arg(0))
+	}
+	cfg := ooo.Config{WindowSize: *window, SegmentSize: *segment, ConfidenceDelay: *confDelay,
+		FetchTakenLimit: *fetchTaken, ConservativeLoads: *consLoads}
+	if *icache {
+		cfg.ICache = cache.DefaultDetailed()
+	}
+	for _, part := range strings.Split(*reconv, "/") {
+		switch part {
+		case "postdom":
+			cfg.Reconv.PostDom = true
+		case "return":
+			cfg.Reconv.Return = true
+		case "loop":
+			cfg.Reconv.Loop = true
+		case "ltb":
+			cfg.Reconv.Ltb = true
+		case "assoc":
+			cfg.Reconv.Assoc = true
+		case "":
+		default:
+			return fmt.Errorf("unknown reconvergence source %q", part)
+		}
+	}
+	switch *machine {
+	case "BASE":
+		cfg.Machine = ooo.Base
+	case "CI":
+		cfg.Machine = ooo.CI
+	case "CI-I":
+		cfg.Machine = ooo.CIInstant
+	default:
+		return fmt.Errorf("unknown machine %q", *machine)
+	}
+	switch *completion {
+	case "non-spec":
+		cfg.Completion = ooo.NonSpec
+	case "spec-D":
+		cfg.Completion = ooo.SpecD
+	case "spec-C":
+		cfg.Completion = ooo.SpecC
+	case "spec":
+		cfg.Completion = ooo.Spec
+	default:
+		return fmt.Errorf("unknown completion model %q", *completion)
+	}
+
+	start := time.Now()
+	r, err := ooo.Run(w.Program(*iters), cfg)
+	if err != nil {
+		return err
+	}
+	s := &r.Stats
+	t := stats.NewTable(fmt.Sprintf("%s on %s (window %d, segment %d, %s)",
+		cfg.Machine, w.Name, *window, *segment, *completion), "metric", "value")
+	t.AddRow("retired instructions", int(s.Retired))
+	t.AddRow("cycles", int(s.Cycles))
+	t.AddRow("IPC", s.IPC())
+	t.AddRow("conditional branches", int(s.CondBranches))
+	t.AddRow("recoveries serviced", int(s.Recoveries))
+	t.AddRow("  reconverged", int(s.Reconverged))
+	t.AddRow("  complete squashes", int(s.FullSquashes))
+	t.AddRow("  false mispredictions", int(s.FalseMisp))
+	t.AddRow("avg removed CD / restart", stats.Ratio(s.RemovedCD, s.Reconverged))
+	t.AddRow("avg inserted CD / restart", stats.Ratio(s.InsertedCD, s.Reconverged))
+	t.AddRow("avg CI instructions / restart", stats.Ratio(s.CIInstructions, s.Reconverged))
+	t.AddRow("issues per retired instruction", s.IssuesPerRetired())
+	t.AddRow("memory-order violations", int(s.MemViolations))
+	t.AddRow("register rename repairs", int(s.RegViolations))
+	t.AddRow("fetch saved (Table 3)", stats.Percent(100*stats.Ratio(s.FetchSaved, s.Retired)))
+	t.AddRow("work saved (Table 3)", stats.Percent(100*stats.Ratio(s.WorkSaved, s.Retired)))
+	t.AddRow("data cache miss rate", stats.Percent(100*stats.Ratio(s.CacheMisses, s.CacheAccesses)))
+	t.AddRow("avg window occupancy", s.AvgOccupancy())
+	if s.ICacheAccesses > 0 {
+		t.AddRow("instruction cache miss rate", stats.Percent(100*stats.Ratio(s.ICacheMisses, s.ICacheAccesses)))
+	}
+	fmt.Printf("%s\n(%s)\n", t, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func cmdIdeal(args []string) error {
+	fs := flag.NewFlagSet("ideal", flag.ExitOnError)
+	model := fs.String("model", "WR-FD", "oracle, base, nWR-nFD, nWR-FD, WR-nFD, WR-FD")
+	window := fs.Int("window", 256, "instruction window size")
+	iters := fs.Int("iters", 0, "workload iterations (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("ideal needs a workload name")
+	}
+	w, ok := workloads.Get(fs.Arg(0))
+	if !ok {
+		return fmt.Errorf("unknown workload %q", fs.Arg(0))
+	}
+	var m ideal.Model
+	found := false
+	for _, cand := range ideal.Models() {
+		if cand.String() == *model {
+			m, found = cand, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown model %q", *model)
+	}
+	tr, err := trace.Generate(w.Program(*iters), trace.Options{})
+	if err != nil {
+		return err
+	}
+	r, err := ideal.Run(tr, ideal.Config{Model: m, WindowSize: *window})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s: window=%d retired=%d cycles=%d IPC=%.2f (mispredict rate %.2f%%)\n",
+		m, w.Name, *window, r.Retired, r.Cycles, r.IPC, 100*tr.Stats.MispRate())
+	return nil
+}

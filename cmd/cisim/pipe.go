@@ -1,0 +1,80 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cisim/internal/ooo"
+)
+
+func cmdPipe(args []string) error {
+	fs := flag.NewFlagSet("pipe", flag.ExitOnError)
+	file := fs.Bool("file", false, "treat the argument as an assembly source file")
+	machine := fs.String("machine", "CI", "BASE, CI, or CI-I")
+	window := fs.Int("window", 64, "reorder buffer entries")
+	iters := fs.Int("iters", 0, "workload iterations (0 = default)")
+	start := fs.Int("start", 0, "first retired instruction to show")
+	n := fs.Int("n", 48, "instructions to show")
+	width := fs.Int("width", 96, "timeline width in cycles/columns")
+	kanata := fs.String("kanata", "", "write a Kanata log (for the Konata visualizer) to this file instead of printing a timeline")
+	squashed := fs.Bool("squashed", false, "also record squashed wrong-path instructions (rows marked Q/squashed; Kanata flushes)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("pipe needs a workload name (or -file path)")
+	}
+	p, err := loadProgram(*file, fs.Arg(0), *iters)
+	if err != nil {
+		return err
+	}
+	cfg := ooo.Config{
+		WindowSize:     *window,
+		RecordPipeline: true,
+		RecordSquashed: *squashed,
+		PipelineLimit:  *start + *n,
+	}
+	switch *machine {
+	case "BASE":
+		cfg.Machine = ooo.Base
+	case "CI":
+		cfg.Machine = ooo.CI
+	case "CI-I":
+		cfg.Machine = ooo.CIInstant
+	default:
+		return fmt.Errorf("unknown machine %q", *machine)
+	}
+	r, err := ooo.Run(p, cfg)
+	if err != nil {
+		return err
+	}
+	recs := r.Pipeline
+	if *start >= len(recs) {
+		return fmt.Errorf("start %d beyond %d recorded instructions", *start, len(recs))
+	}
+	recs = recs[*start:]
+	if len(recs) > *n {
+		recs = recs[:*n]
+	}
+	if *kanata != "" {
+		f, err := os.Create(*kanata)
+		if err != nil {
+			return err
+		}
+		if err := ooo.WriteKanata(f, recs); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d instructions to %s (Kanata 0004)\n", len(recs), *kanata)
+		return nil
+	}
+	fmt.Printf("%v on %s, window %d — F fetch, I (last) issue, C complete, R retire;\n"+
+		"xN = issued N times, s = survived a recovery, r = survived then reissued\n\n",
+		cfg.Machine, fs.Arg(0), *window)
+	fmt.Print(ooo.RenderPipeline(recs, *width))
+	return nil
+}

@@ -1,0 +1,47 @@
+// Modelsweep reproduces a slice of the paper's Figure 3: the six
+// idealized machine models (oracle, nWR-nFD, nWR-FD, WR-nFD, WR-FD, base)
+// swept over instruction window sizes, showing how wasted wrong-path
+// resources (WR) and false data dependences (FD) erode the potential of
+// control independence.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cisim"
+)
+
+func main() {
+	w := cisim.MustWorkload("xcompress") // the paper's FD-dominated outlier
+	tr, err := cisim.GenerateTrace(w.Program(3000), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s: %d instructions, %.1f%% misprediction rate\n\n",
+		w.Name, len(tr.Entries), 100*tr.Stats.MispRate())
+
+	models := []cisim.IdealModel{
+		cisim.ModelOracle, cisim.ModelNWRnFD, cisim.ModelNWRFD,
+		cisim.ModelWRnFD, cisim.ModelWRFD, cisim.ModelBase,
+	}
+	fmt.Printf("%-8s", "window")
+	for _, m := range models {
+		fmt.Printf("  %8s", m)
+	}
+	fmt.Println()
+	for _, win := range []int{32, 64, 128, 256, 512} {
+		fmt.Printf("%-8d", win)
+		for _, m := range models {
+			r, err := cisim.RunIdeal(tr, cisim.IdealConfig{Model: m, WindowSize: win})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %8.2f", r.IPC)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nFor compress, false data dependences (nWR-FD vs nWR-nFD) cost more")
+	fmt.Println("than wasted wrong-path resources (WR-nFD vs nWR-nFD) — the paper's")
+	fmt.Println("signature compress anomaly.")
+}

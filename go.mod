@@ -1,0 +1,3 @@
+module cisim
+
+go 1.22

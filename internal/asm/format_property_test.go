@@ -1,0 +1,77 @@
+package asm_test
+
+// Round-trip property over real program generators. This lives in an
+// external test package so it can import the workload and random-program
+// generators without an import cycle (they depend on asm).
+
+import (
+	"testing"
+
+	"cisim/internal/asm"
+	"cisim/internal/emu"
+	"cisim/internal/progen"
+	"cisim/internal/workloads"
+)
+
+func TestFormatRoundTripWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		p := w.Program(50)
+		q, err := asm.Assemble(asm.Format(p))
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		// Architectural equivalence: both images run to the same state.
+		a, b := emu.New(p), emu.New(q)
+		na, erra := a.Run(3_000_000)
+		nb, errb := b.Run(3_000_000)
+		if erra != nil || errb != nil {
+			t.Fatalf("%s: run errors %v / %v", w.Name, erra, errb)
+		}
+		if na != nb {
+			t.Fatalf("%s: instruction counts differ %d vs %d", w.Name, na, nb)
+		}
+		res := p.MustSymbol("result")
+		if a.Mem.Read64(res) != b.Mem.Read64(res) {
+			t.Fatalf("%s: checksums differ after round trip", w.Name)
+		}
+		// Structural equivalence of the code image.
+		if len(p.Code) != len(q.Code) {
+			t.Fatalf("%s: code length %d -> %d", w.Name, len(p.Code), len(q.Code))
+		}
+		for i := range p.Code {
+			if p.Code[i] != q.Code[i] {
+				t.Fatalf("%s: instruction %d: %v -> %v", w.Name, i, p.Code[i], q.Code[i])
+			}
+		}
+	}
+}
+
+func TestFormatRoundTripRandomPrograms(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		p := progen.Generate(seed, progen.Config{})
+		q, err := asm.Assemble(asm.Format(p))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i := range p.Code {
+			if p.Code[i] != q.Code[i] {
+				t.Fatalf("seed %d: instruction %d: %v -> %v", seed, i, p.Code[i], q.Code[i])
+			}
+		}
+		a, b := emu.New(p), emu.New(q)
+		if _, err := a.Run(3_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Run(3_000_000); err != nil {
+			t.Fatal(err)
+		}
+		res := p.MustSymbol("result")
+		if a.Mem.Read64(res) != b.Mem.Read64(res) {
+			t.Fatalf("seed %d: checksums differ after round trip", seed)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+// Package bpred implements the branch prediction hardware of the paper's
+// machine models (§2.2, §4.1, Appendix A):
+//
+//   - a gshare conditional-branch predictor with 2-bit counters,
+//   - a correlated target buffer for indirect calls and jumps,
+//   - a return address stack with checkpointing (used as the paper's
+//     "perfect" RAS: unbounded and precisely restored on recovery),
+//   - a branch-confidence estimator with resetting counters (after
+//     Jacobsen/Rotenberg/Smith), and
+//   - TFR ("True/False misprediction Register") tables used in §A.2.2 to
+//     identify false mispredictions.
+//
+// Global branch history is owned by the caller and passed to each lookup,
+// because the simulators must manage speculative histories, checkpoint
+// them across mispredictions, and (for the §A.3.1 experiment) substitute
+// an oracle history.
+package bpred
+
+// History is a global branch history shift register. Histories are
+// maintained by the fetch engine: pushed speculatively at prediction time
+// and repaired on mispredictions.
+type History uint32
+
+// HistoryBits is the number of history bits used to index the tables.
+const HistoryBits = 16
+
+// Push shifts an outcome into the history register.
+func (h History) Push(taken bool) History {
+	h <<= 1
+	if taken {
+		h |= 1
+	}
+	return h & (1<<HistoryBits - 1)
+}
+
+// GShare is a two-level adaptive predictor indexing a table of 2-bit
+// saturating counters with PC XOR global history (McFarling).
+type GShare struct {
+	bits uint
+	ctr  []uint8
+}
+
+// NewGShare returns a gshare predictor with 2^bits counters, initialized
+// weakly not-taken.
+func NewGShare(bits uint) *GShare {
+	return &GShare{bits: bits, ctr: make([]uint8, 1<<bits)}
+}
+
+func (g *GShare) index(pc uint64, h History) uint64 {
+	return (pc>>2 ^ uint64(h)) & (1<<g.bits - 1)
+}
+
+// Predict returns the predicted direction for the branch at pc under
+// global history h.
+func (g *GShare) Predict(pc uint64, h History) bool {
+	return g.ctr[g.index(pc, h)] >= 2
+}
+
+// Update trains the counter for (pc, h) toward the actual outcome.
+func (g *GShare) Update(pc uint64, h History, taken bool) {
+	i := g.index(pc, h)
+	c := g.ctr[i]
+	if taken {
+		if c < 3 {
+			g.ctr[i] = c + 1
+		}
+	} else {
+		if c > 0 {
+			g.ctr[i] = c - 1
+		}
+	}
+}
+
+// TargetBuffer is a correlated target buffer for indirect calls and jumps
+// (Chang/Hao/Patt): a direct-mapped table of targets indexed by PC XOR
+// global history, with a partial tag to filter aliases.
+type TargetBuffer struct {
+	bits    uint
+	targets []uint64
+	tags    []uint32
+}
+
+// NewTargetBuffer returns a buffer with 2^bits entries.
+func NewTargetBuffer(bits uint) *TargetBuffer {
+	return &TargetBuffer{
+		bits:    bits,
+		targets: make([]uint64, 1<<bits),
+		tags:    make([]uint32, 1<<bits),
+	}
+}
+
+func (t *TargetBuffer) index(pc uint64, h History) (uint64, uint32) {
+	i := (pc>>2 ^ uint64(h)) & (1<<t.bits - 1)
+	return i, uint32(pc>>2) | 1<<31 // bit 31 marks a valid entry
+}
+
+// Predict returns the predicted target, or ok=false on a miss.
+func (t *TargetBuffer) Predict(pc uint64, h History) (uint64, bool) {
+	i, tag := t.index(pc, h)
+	if t.tags[i] != tag {
+		return 0, false
+	}
+	return t.targets[i], true
+}
+
+// Update installs the actual target for (pc, h).
+func (t *TargetBuffer) Update(pc uint64, h History, target uint64) {
+	i, tag := t.index(pc, h)
+	t.tags[i] = tag
+	t.targets[i] = target
+}
+
+// RAS is a return address stack. With no depth limit and Snapshot/Restore
+// around every recovery it behaves as the paper's perfect RAS: returns on
+// the correct path always predict correctly.
+type RAS struct {
+	stack []uint64
+}
+
+// NewRAS returns an empty return address stack.
+func NewRAS() *RAS { return &RAS{} }
+
+// Push records a return address at a call.
+func (r *RAS) Push(addr uint64) { r.stack = append(r.stack, addr) }
+
+// Pop predicts (and consumes) the target of a return. It returns 0, false
+// on underflow (a return with no matching call in view).
+func (r *RAS) Pop() (uint64, bool) {
+	if len(r.stack) == 0 {
+		return 0, false
+	}
+	a := r.stack[len(r.stack)-1]
+	r.stack = r.stack[:len(r.stack)-1]
+	return a, true
+}
+
+// Depth returns the current stack depth.
+func (r *RAS) Depth() int { return len(r.stack) }
+
+// Snapshot captures the stack contents for later Restore.
+func (r *RAS) Snapshot() []uint64 {
+	s := make([]uint64, len(r.stack))
+	copy(s, r.stack)
+	return s
+}
+
+// Restore rewinds the stack to a snapshot.
+func (r *RAS) Restore(s []uint64) {
+	r.stack = r.stack[:0]
+	r.stack = append(r.stack, s...)
+}
+
+// Confidence is a branch-confidence estimator: a table of resetting
+// counters indexed like gshare. A counter increments on a correct
+// prediction and resets on a misprediction; predictions are "confident"
+// when the counter has saturated past a threshold.
+type Confidence struct {
+	bits      uint
+	ctr       []uint8
+	max       uint8
+	threshold uint8
+}
+
+// NewConfidence returns an estimator with 2^bits resetting counters
+// saturating at max; predictions are confident at or above threshold.
+func NewConfidence(bits uint, max, threshold uint8) *Confidence {
+	return &Confidence{bits: bits, ctr: make([]uint8, 1<<bits), max: max, threshold: threshold}
+}
+
+func (c *Confidence) index(pc uint64, h History) uint64 {
+	return (pc>>2 ^ uint64(h)) & (1<<c.bits - 1)
+}
+
+// Confident reports whether the prediction for (pc, h) is high-confidence.
+func (c *Confidence) Confident(pc uint64, h History) bool {
+	return c.ctr[c.index(pc, h)] >= c.threshold
+}
+
+// Update trains the resetting counter with the prediction outcome.
+func (c *Confidence) Update(pc uint64, h History, correct bool) {
+	i := c.index(pc, h)
+	if !correct {
+		c.ctr[i] = 0
+	} else if c.ctr[i] < c.max {
+		c.ctr[i]++
+	}
+}
+
+// TFR is the true/false misprediction history table of §A.2.2: per entry a
+// 16-bit shift register recording, for mispredictions only, whether each
+// was a false misprediction ('1') or a true one ('0'). The table may be
+// indexed by PC alone (dynamic(pc)) or by PC XOR global history
+// (dynamic(xor)), selected per lookup.
+type TFR struct {
+	bits uint
+	reg  []uint16
+}
+
+// NewTFR returns a table of 2^bits TFR registers.
+func NewTFR(bits uint) *TFR {
+	return &TFR{bits: bits, reg: make([]uint16, 1<<bits)}
+}
+
+// Index computes the table index; pass h = 0 for PC-only indexing.
+func (t *TFR) Index(pc uint64, h History) uint64 {
+	return (pc>>2 ^ uint64(h)) & (1<<t.bits - 1)
+}
+
+// Pattern returns the current TFR contents for an index.
+func (t *TFR) Pattern(idx uint64) uint16 { return t.reg[idx] }
+
+// Record shifts a misprediction kind into the register at idx.
+func (t *TFR) Record(idx uint64, falseMisp bool) {
+	r := t.reg[idx] << 1
+	if falseMisp {
+		r |= 1
+	}
+	t.reg[idx] = r
+}
+
+// Bimodal is a simple per-PC table of 2-bit saturating counters, the
+// history-free predictor the paper contrasts with gshare when discussing
+// corrupted global history (§A.3: without re-predict sequences, gshare
+// "may actually worsen with respect to a simpler, local-history branch
+// predictor").
+type Bimodal struct {
+	bits uint
+	ctr  []uint8
+}
+
+// NewBimodal returns a bimodal predictor with 2^bits counters.
+func NewBimodal(bits uint) *Bimodal {
+	return &Bimodal{bits: bits, ctr: make([]uint8, 1<<bits)}
+}
+
+func (b *Bimodal) index(pc uint64) uint64 { return (pc >> 2) & (1<<b.bits - 1) }
+
+// Predict returns the predicted direction for the branch at pc.
+func (b *Bimodal) Predict(pc uint64) bool { return b.ctr[b.index(pc)] >= 2 }
+
+// Update trains the counter toward the actual outcome.
+func (b *Bimodal) Update(pc uint64, taken bool) {
+	i := b.index(pc)
+	c := b.ctr[i]
+	if taken {
+		if c < 3 {
+			b.ctr[i] = c + 1
+		}
+	} else if c > 0 {
+		b.ctr[i] = c - 1
+	}
+}

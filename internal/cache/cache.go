@@ -1,0 +1,116 @@
+// Package cache implements the data-cache timing model of the detailed
+// study (§4.1): a 64KB, 4-way set-associative cache with 2-cycle hits and
+// a 14-cycle miss latency to a perfect L2, plus the idealized study's
+// perfect cache (every access one cycle, §2.2).
+//
+// The model is timing-only: data values live in the simulators' memory
+// images, the cache tracks presence of lines for latency purposes.
+package cache
+
+// Config describes a cache.
+type Config struct {
+	Size     int // total bytes
+	Assoc    int // ways per set
+	LineSize int // bytes per line
+	HitLat   int // cycles for a hit
+	MissLat  int // cycles for a miss (total, to the perfect L2)
+	Perfect  bool
+}
+
+// DefaultDetailed is the detailed study's data cache (§4.1).
+func DefaultDetailed() Config {
+	return Config{Size: 64 << 10, Assoc: 4, LineSize: 64, HitLat: 2, MissLat: 14}
+}
+
+// Perfect is the idealized study's 1-cycle data cache (§2.2).
+func Perfect() Config { return Config{Perfect: true, HitLat: 1} }
+
+type way struct {
+	tag   uint64
+	valid bool
+	lru   uint64
+}
+
+// Cache is a set-associative timing cache with LRU replacement.
+type Cache struct {
+	cfg      Config
+	sets     [][]way
+	setShift uint
+	setMask  uint64
+	tick     uint64
+
+	Accesses uint64
+	Misses   uint64
+}
+
+// New builds a cache from a configuration. Size, Assoc and LineSize must
+// be powers of two for a non-perfect cache.
+func New(cfg Config) *Cache {
+	c := &Cache{cfg: cfg}
+	if cfg.Perfect {
+		return c
+	}
+	nSets := cfg.Size / (cfg.Assoc * cfg.LineSize)
+	if nSets <= 0 || nSets&(nSets-1) != 0 {
+		panic("cache: set count must be a positive power of two")
+	}
+	c.sets = make([][]way, nSets)
+	for i := range c.sets {
+		c.sets[i] = make([]way, cfg.Assoc)
+	}
+	c.setShift = log2(uint64(cfg.LineSize))
+	c.setMask = uint64(nSets - 1)
+	return c
+}
+
+func log2(v uint64) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Access simulates a load or store to addr and returns its latency in
+// cycles. Stores allocate (write-allocate policy) but their latency is
+// typically hidden by the store buffer; the caller decides what to do with
+// the returned value.
+func (c *Cache) Access(addr uint64) int {
+	c.Accesses++
+	if c.cfg.Perfect {
+		return c.cfg.HitLat
+	}
+	c.tick++
+	set := (addr >> c.setShift) & c.setMask
+	tag := addr >> c.setShift >> log2(uint64(len(c.sets)))
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lru = c.tick
+			return c.cfg.HitLat
+		}
+	}
+	c.Misses++
+	// Fill into the LRU way.
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lru < ways[victim].lru {
+			victim = i
+		}
+	}
+	ways[victim] = way{tag: tag, valid: true, lru: c.tick}
+	return c.cfg.MissLat
+}
+
+// MissRate returns the fraction of accesses that missed.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}

@@ -1,0 +1,114 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: an access immediately repeated always hits — the line was
+// just filled or touched, and nothing else was referenced in between.
+func TestQuickRepeatAccessHits(t *testing.T) {
+	f := func(addrs []uint64) bool {
+		c := New(DefaultDetailed())
+		for _, a := range addrs {
+			c.Access(a)
+			if c.Access(a) != DefaultDetailed().HitLat {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: latency is always exactly HitLat or MissLat, counters add up,
+// and the same trace replayed into a fresh cache gives identical timing.
+func TestQuickLatencyAndDeterminism(t *testing.T) {
+	f := func(addrs []uint64) bool {
+		cfg := DefaultDetailed()
+		a, b := New(cfg), New(cfg)
+		var hits, misses uint64
+		for _, addr := range addrs {
+			la := a.Access(addr)
+			if la != cfg.HitLat && la != cfg.MissLat {
+				return false
+			}
+			if la == cfg.HitLat {
+				hits++
+			} else {
+				misses++
+			}
+			if b.Access(addr) != la {
+				return false
+			}
+		}
+		return a.Accesses == hits+misses && a.Misses == misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: accesses within one line never evict each other — any
+// sequence confined to a single line misses at most once.
+func TestQuickSingleLineMissesOnce(t *testing.T) {
+	f := func(base uint64, offs []uint8) bool {
+		cfg := DefaultDetailed()
+		c := New(cfg)
+		line := base &^ uint64(cfg.LineSize-1)
+		for _, o := range offs {
+			c.Access(line + uint64(int(o)%cfg.LineSize))
+		}
+		return c.Misses <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a perfect cache never misses and always answers in HitLat.
+func TestQuickPerfectNeverMisses(t *testing.T) {
+	f := func(addrs []uint64) bool {
+		c := New(Perfect())
+		for _, a := range addrs {
+			if c.Access(a) != 1 {
+				return false
+			}
+		}
+		return c.Misses == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LRU with associativity A retains the A most recently used
+// distinct lines of a set — touching A distinct lines then re-touching
+// them all in any order yields all hits.
+func TestQuickLRURetainsWorkingSet(t *testing.T) {
+	cfg := DefaultDetailed()
+	nSets := cfg.Size / (cfg.Assoc * cfg.LineSize)
+	f := func(set uint16, perm []int) bool {
+		c := New(cfg)
+		s := uint64(set) % uint64(nSets)
+		line := func(i int) uint64 {
+			return (uint64(i)*uint64(nSets) + s) * uint64(cfg.LineSize)
+		}
+		for i := 0; i < cfg.Assoc; i++ {
+			c.Access(line(i))
+		}
+		// Re-touch in a permutation-ish order derived from the input.
+		for _, p := range perm {
+			i := ((p % cfg.Assoc) + cfg.Assoc) % cfg.Assoc
+			if c.Access(line(i)) != cfg.HitLat {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,111 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPerfectCache(t *testing.T) {
+	c := New(Perfect())
+	for i := 0; i < 100; i++ {
+		if lat := c.Access(uint64(i * 4096)); lat != 1 {
+			t.Fatalf("perfect cache latency = %d, want 1", lat)
+		}
+	}
+	if c.Misses != 0 {
+		t.Errorf("perfect cache recorded %d misses", c.Misses)
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := New(DefaultDetailed())
+	if lat := c.Access(0x1000); lat != 14 {
+		t.Errorf("cold access latency = %d, want 14", lat)
+	}
+	if lat := c.Access(0x1000); lat != 2 {
+		t.Errorf("warm access latency = %d, want 2", lat)
+	}
+	// Same line, different offset: still a hit.
+	if lat := c.Access(0x1038); lat != 2 {
+		t.Errorf("same-line access latency = %d, want 2", lat)
+	}
+	// Different line: miss.
+	if lat := c.Access(0x1040); lat != 14 {
+		t.Errorf("next-line access latency = %d, want 14", lat)
+	}
+	if c.Accesses != 4 || c.Misses != 2 {
+		t.Errorf("accesses=%d misses=%d, want 4/2", c.Accesses, c.Misses)
+	}
+	if r := c.MissRate(); r != 0.5 {
+		t.Errorf("miss rate = %f", r)
+	}
+}
+
+func TestAssociativityAndLRU(t *testing.T) {
+	// A small 4-way cache: 4 sets of 4 ways, 64B lines -> 1KB.
+	c := New(Config{Size: 1 << 10, Assoc: 4, LineSize: 64, HitLat: 2, MissLat: 14})
+	// Five lines mapping to the same set (stride = 4 sets * 64B).
+	stride := uint64(4 * 64)
+	for i := uint64(0); i < 4; i++ {
+		c.Access(i * stride)
+	}
+	// All four resident.
+	for i := uint64(0); i < 4; i++ {
+		if lat := c.Access(i * stride); lat != 2 {
+			t.Fatalf("way %d evicted prematurely", i)
+		}
+	}
+	// A fifth line evicts the LRU (line 0, refreshed order is 0,1,2,3).
+	c.Access(4 * stride)
+	if lat := c.Access(0); lat != 14 {
+		t.Error("LRU line should have been evicted")
+	}
+	// That probe itself refilled line 0, evicting line 1 (the new LRU);
+	// line 2 must still be resident.
+	if lat := c.Access(2 * stride); lat != 2 {
+		t.Error("MRU-side line should have survived")
+	}
+	if lat := c.Access(1 * stride); lat != 14 {
+		t.Error("line 1 should have been evicted by the refill")
+	}
+}
+
+func TestWorkingSetFits(t *testing.T) {
+	c := New(DefaultDetailed())
+	// 32KB working set inside a 64KB cache: after one pass, all hits.
+	for a := uint64(0); a < 32<<10; a += 64 {
+		c.Access(a)
+	}
+	misses := c.Misses
+	for a := uint64(0); a < 32<<10; a += 64 {
+		if lat := c.Access(a); lat != 2 {
+			t.Fatalf("resident line missed at %#x", a)
+		}
+	}
+	if c.Misses != misses {
+		t.Errorf("second pass added misses: %d -> %d", misses, c.Misses)
+	}
+}
+
+func TestRandomAccessesStayBounded(t *testing.T) {
+	c := New(DefaultDetailed())
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		lat := c.Access(r.Uint64() % (1 << 22))
+		if lat != 2 && lat != 14 {
+			t.Fatalf("latency = %d, want 2 or 14", lat)
+		}
+	}
+	if c.MissRate() <= 0 || c.MissRate() > 1 {
+		t.Errorf("miss rate out of range: %f", c.MissRate())
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two set count should panic")
+		}
+	}()
+	New(Config{Size: 3000, Assoc: 4, LineSize: 64})
+}

@@ -1,0 +1,330 @@
+// Package cfg builds control-flow graphs from program images and computes
+// immediate post-dominators, the static analysis the paper assumes is
+// supplied by software ("detecting the reconvergent point is done via
+// software analysis of post-dominator information", §4.1).
+//
+// The per-branch reconvergent point — the first control independent
+// instruction after a branch — is the first instruction of the branch
+// block's immediate post-dominator (§3.2.1).
+//
+// Calls (direct and indirect) are modeled as fall-through edges: control
+// returns to the instruction after the call, so for post-dominance within
+// the caller the callee is transparent. Returns and HALT edge to a virtual
+// exit node. Indirect jumps use the statically annotated target lists from
+// the program; an unannotated indirect jump conservatively edges to exit,
+// which disables reconvergence across it.
+package cfg
+
+import (
+	"sort"
+
+	"cisim/internal/isa"
+	"cisim/internal/prog"
+)
+
+// Block is a basic block: a maximal straight-line instruction sequence.
+type Block struct {
+	Start uint64 // address of first instruction
+	End   uint64 // address one past the last instruction
+	Succs []uint64
+	// ToExit marks an edge to the virtual exit node (halt, return, or
+	// unannotated indirect jump).
+	ToExit bool
+}
+
+// LastPC returns the address of the block's final instruction.
+func (b *Block) LastPC() uint64 { return b.End - 4 }
+
+// Graph is a whole-program CFG plus post-dominator information.
+type Graph struct {
+	Prog   *prog.Program
+	Blocks map[uint64]*Block // keyed by start address
+	Order  []uint64          // block starts in ascending address order
+
+	// ipdom maps a block start to its immediate post-dominator's start.
+	// Blocks whose only post-dominator is the virtual exit are absent.
+	ipdom map[uint64]uint64
+}
+
+// Build constructs the CFG and computes post-dominators.
+func Build(p *prog.Program) *Graph {
+	g := &Graph{Prog: p, Blocks: make(map[uint64]*Block)}
+	g.findBlocks()
+	g.computePostDominators()
+	return g
+}
+
+// leaders marks basic-block boundaries.
+func (g *Graph) findBlocks() {
+	p := g.Prog
+	leader := map[uint64]bool{p.CodeBase: true, p.Entry: true}
+	for i, in := range p.Code {
+		pc := p.CodeBase + uint64(4*i)
+		switch isa.ClassOf(in.Op) {
+		case isa.ClassCondBr:
+			leader[in.BranchTarget(pc)] = true
+			leader[pc+4] = true
+		case isa.ClassJump:
+			leader[in.Target] = true
+			leader[pc+4] = true
+		case isa.ClassCall, isa.ClassIndCall:
+			// Calls fall through (the callee is transparent); the call
+			// target is still a leader so the callee forms its own blocks.
+			if in.Op == isa.JAL {
+				leader[in.Target] = true
+			}
+			for _, t := range p.IndirectTargets[pc] {
+				leader[t] = true
+			}
+		case isa.ClassIndJump, isa.ClassReturn, isa.ClassHalt:
+			leader[pc+4] = true
+			for _, t := range p.IndirectTargets[pc] {
+				leader[t] = true
+			}
+		}
+	}
+
+	starts := make([]uint64, 0, len(leader))
+	for a := range leader {
+		if p.InCode(a) {
+			starts = append(starts, a)
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	g.Order = starts
+
+	for i, start := range starts {
+		end := p.CodeEnd()
+		if i+1 < len(starts) {
+			end = starts[i+1]
+		}
+		b := &Block{Start: start, End: end}
+		g.Blocks[start] = b
+		last, _ := p.InstAt(b.LastPC())
+		switch isa.ClassOf(last.Op) {
+		case isa.ClassCondBr:
+			b.Succs = append(b.Succs, last.BranchTarget(b.LastPC()))
+			if fall := b.End; p.InCode(fall) {
+				b.Succs = append(b.Succs, fall)
+			} else {
+				b.ToExit = true
+			}
+		case isa.ClassJump:
+			b.Succs = append(b.Succs, last.Target)
+		case isa.ClassIndJump:
+			tgts := p.IndirectTargets[b.LastPC()]
+			if len(tgts) == 0 {
+				b.ToExit = true
+			}
+			b.Succs = append(b.Succs, tgts...)
+		case isa.ClassReturn, isa.ClassHalt:
+			b.ToExit = true
+		default:
+			// Straight-line code, or a call treated as fall-through.
+			if fall := b.End; p.InCode(fall) {
+				b.Succs = append(b.Succs, fall)
+			} else {
+				b.ToExit = true
+			}
+		}
+		// Deduplicate successors (e.g. branch whose target is the
+		// fall-through address).
+		b.Succs = dedup(b.Succs)
+	}
+}
+
+func dedup(xs []uint64) []uint64 {
+	seen := make(map[uint64]bool, len(xs))
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// computePostDominators runs the iterative dominance algorithm of
+// Cooper/Harvey/Kennedy on the reverse CFG with a virtual exit node.
+func (g *Graph) computePostDominators() {
+	n := len(g.Order)
+	exit := n // virtual exit node index
+	idx := make(map[uint64]int, n)
+	for i, a := range g.Order {
+		idx[a] = i
+	}
+
+	// CFG predecessors, which are the reverse CFG's successors.
+	preds := make([][]int, n)
+	var exitPreds []int
+	for i, a := range g.Order {
+		b := g.Blocks[a]
+		if b.ToExit {
+			exitPreds = append(exitPreds, i)
+		}
+		for _, s := range b.Succs {
+			if j, ok := idx[s]; ok {
+				preds[j] = append(preds[j], i)
+			}
+		}
+	}
+	// succsPlusExit(i): the reverse CFG's predecessors of node i, i.e.
+	// the block's CFG successors, plus exit when the block edges to it.
+	succsPlusExit := func(i int) []int {
+		b := g.Blocks[g.Order[i]]
+		out := make([]int, 0, len(b.Succs)+1)
+		if b.ToExit {
+			out = append(out, exit)
+		}
+		for _, s := range b.Succs {
+			if j, ok := idx[s]; ok {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+
+	// Reverse post-order of the reverse CFG, rooted at exit. Nodes that
+	// cannot reach exit are never visited and get no post-dominator.
+	visited := make([]bool, n+1)
+	var post []int
+	var dfs func(node int)
+	dfs = func(node int) {
+		visited[node] = true
+		var out []int
+		if node == exit {
+			out = exitPreds
+		} else {
+			out = preds[node]
+		}
+		for _, p := range out {
+			if !visited[p] {
+				dfs(p)
+			}
+		}
+		post = append(post, node)
+	}
+	dfs(exit)
+
+	const undef = -1
+	pos := make([]int, n+1) // position in reverse post-order
+	for i := range pos {
+		pos[i] = undef
+	}
+	rpo := make([]int, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		pos[post[i]] = len(rpo)
+		rpo = append(rpo, post[i])
+	}
+
+	ipdom := make([]int, n+1)
+	for i := range ipdom {
+		ipdom[i] = undef
+	}
+	ipdom[exit] = exit
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for pos[a] > pos[b] {
+				a = ipdom[a]
+			}
+			for pos[b] > pos[a] {
+				b = ipdom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, node := range rpo {
+			if node == exit {
+				continue
+			}
+			newIP := undef
+			for _, s := range succsPlusExit(node) {
+				if ipdom[s] == undef {
+					continue
+				}
+				if newIP == undef {
+					newIP = s
+				} else {
+					newIP = intersect(newIP, s)
+				}
+			}
+			if newIP != undef && newIP != ipdom[node] {
+				ipdom[node] = newIP
+				changed = true
+			}
+		}
+	}
+
+	g.ipdom = make(map[uint64]uint64)
+	for i, a := range g.Order {
+		if ipdom[i] != undef && ipdom[i] != exit {
+			g.ipdom[a] = g.Order[ipdom[i]]
+		}
+	}
+}
+
+// BlockOf returns the block containing pc.
+func (g *Graph) BlockOf(pc uint64) *Block {
+	// Binary search over sorted block starts.
+	i := sort.Search(len(g.Order), func(i int) bool { return g.Order[i] > pc })
+	if i == 0 {
+		return nil
+	}
+	b := g.Blocks[g.Order[i-1]]
+	if pc >= b.Start && pc < b.End {
+		return b
+	}
+	return nil
+}
+
+// IPdom returns the start address of the immediate post-dominator of the
+// block starting at blockStart, if it has one other than the virtual exit.
+func (g *Graph) IPdom(blockStart uint64) (uint64, bool) {
+	a, ok := g.ipdom[blockStart]
+	return a, ok
+}
+
+// ReconvergentPC returns the reconvergent point for a control instruction
+// at branchPC: the first instruction of the immediate post-dominator of the
+// branch's block. The second result is false when the branch has no
+// reconvergent point (its paths only rejoin at program exit).
+func (g *Graph) ReconvergentPC(branchPC uint64) (uint64, bool) {
+	b := g.BlockOf(branchPC)
+	if b == nil || branchPC != b.LastPC() {
+		// Mid-block instructions cannot diverge; treat the next
+		// instruction as the trivially reconvergent point.
+		if b != nil {
+			return branchPC + 4, true
+		}
+		return 0, false
+	}
+	return g.IPdom(b.Start)
+}
+
+// PostDominates reports whether the block starting at a post-dominates the
+// block starting at b (walking the ipdom chain). A block post-dominates
+// itself.
+func (g *Graph) PostDominates(a, b uint64) bool {
+	for cur := b; ; {
+		if cur == a {
+			return true
+		}
+		next, ok := g.ipdom[cur]
+		if !ok {
+			return false
+		}
+		cur = next
+	}
+}
+
+// IsBackwardBranch reports whether the conditional branch jumps to a lower
+// address (a loop-closing branch, used by the ltb/loop heuristics of
+// §A.5.2). The decoder can tell by examining the branch offset.
+func IsBackwardBranch(in isa.Inst) bool {
+	return in.IsCondBranch() && in.Imm < 0
+}

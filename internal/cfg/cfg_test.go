@@ -1,0 +1,446 @@
+package cfg
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cisim/internal/asm"
+	"cisim/internal/isa"
+	"cisim/internal/prog"
+)
+
+// figure1 is the CFG of Figure 1 in the paper: a diamond. Block 1 ends with
+// a conditional branch to block 3 (else side); block 2 is the fall-through;
+// both rejoin at block 4, the immediate post-dominator.
+const figure1 = `
+	main:                  ; block 1
+		li   r4, 1
+		li   r5, 2
+		beq  r1, r0, block3
+	block2:
+		addi r5, r0, 20    ; r5 <=
+		addi r6, r5, 0
+		jmp  block4
+	block3:
+		addi r4, r0, 30    ; r4 <=
+	block4:
+		add  r7, r4, r5    ; uses r4 and r5
+		halt
+`
+
+func TestFigure1Diamond(t *testing.T) {
+	p := asm.MustAssemble(figure1)
+	g := Build(p)
+
+	branchPC := p.MustSymbol("block2") - 4 // the beq
+	rec, ok := g.ReconvergentPC(branchPC)
+	if !ok {
+		t.Fatal("diamond branch should have a reconvergent point")
+	}
+	if want := p.MustSymbol("block4"); rec != want {
+		t.Errorf("reconvergent point = %#x, want block4 %#x", rec, want)
+	}
+}
+
+func TestLoopReconvergence(t *testing.T) {
+	p := asm.MustAssemble(`
+		main:
+			li r1, 10
+		loop:
+			addi r1, r1, -1
+			bne r1, r0, loop
+		after:
+			halt
+	`)
+	g := Build(p)
+	branchPC := p.MustSymbol("after") - 4
+	rec, ok := g.ReconvergentPC(branchPC)
+	if !ok {
+		t.Fatal("loop branch should reconverge")
+	}
+	// The loop-terminating branch's post-dominator is the loop exit.
+	if want := p.MustSymbol("after"); rec != want {
+		t.Errorf("reconvergent point = %#x, want after %#x", rec, want)
+	}
+}
+
+func TestNestedDiamonds(t *testing.T) {
+	p := asm.MustAssemble(`
+		main:
+			beq r1, r0, outerElse
+		outerThen:
+			beq r2, r0, innerElse
+		innerThen:
+			nop
+			jmp innerJoin
+		innerElse:
+			nop
+		innerJoin:
+			nop
+			jmp outerJoin
+		outerElse:
+			nop
+		outerJoin:
+			halt
+	`)
+	g := Build(p)
+	outerBr := p.MustSymbol("main")
+	innerBr := p.MustSymbol("outerThen")
+	if rec, ok := g.ReconvergentPC(outerBr); !ok || rec != p.MustSymbol("outerJoin") {
+		t.Errorf("outer reconvergent = %#x, %v; want outerJoin", rec, ok)
+	}
+	if rec, ok := g.ReconvergentPC(innerBr); !ok || rec != p.MustSymbol("innerJoin") {
+		t.Errorf("inner reconvergent = %#x, %v; want innerJoin", rec, ok)
+	}
+}
+
+func TestCallTransparent(t *testing.T) {
+	// A branch whose two arms each call a function still reconverges
+	// after the join; calls are fall-through edges.
+	p := asm.MustAssemble(`
+		main:
+			beq r1, r0, else
+		then:
+			call fa
+			jmp join
+		else:
+			call fb
+		join:
+			halt
+		fa:
+			ret
+		fb:
+			ret
+	`)
+	g := Build(p)
+	if rec, ok := g.ReconvergentPC(p.MustSymbol("main")); !ok || rec != p.MustSymbol("join") {
+		t.Errorf("reconvergent = %#x, %v; want join", rec, ok)
+	}
+	// A mid-block call site: reconvergent point is the next instruction.
+	callPC := p.MustSymbol("then")
+	if rec, ok := g.ReconvergentPC(callPC); !ok || rec != callPC+4 {
+		t.Errorf("call reconvergent = %#x, %v; want pc+4", rec, ok)
+	}
+}
+
+func TestIndirectJumpWithTargets(t *testing.T) {
+	p := asm.MustAssemble(`
+		main:
+			jr r5 [case0, case1]
+		case0:
+			nop
+			jmp join
+		case1:
+			nop
+		join:
+			halt
+	`)
+	g := Build(p)
+	if rec, ok := g.ReconvergentPC(p.MustSymbol("main")); !ok || rec != p.MustSymbol("join") {
+		t.Errorf("annotated jr reconvergent = %#x, %v; want join", rec, ok)
+	}
+}
+
+func TestUnannotatedIndirectJump(t *testing.T) {
+	p := asm.MustAssemble(`
+		main:
+			beq r1, r0, a
+		b1:
+			jr r5
+		a:
+			halt
+	`)
+	g := Build(p)
+	// The branch's paths only rejoin at exit (jr target unknown).
+	if rec, ok := g.ReconvergentPC(p.MustSymbol("main")); ok {
+		t.Errorf("branch over unannotated jr should not reconverge, got %#x", rec)
+	}
+}
+
+func TestReturnHasNoReconvergence(t *testing.T) {
+	p := asm.MustAssemble(`
+		main:
+			call fn
+			halt
+		fn:
+			ret
+	`)
+	g := Build(p)
+	if _, ok := g.ReconvergentPC(p.MustSymbol("fn")); ok {
+		t.Error("a return should have no static reconvergent point")
+	}
+}
+
+func TestBlockOf(t *testing.T) {
+	p := asm.MustAssemble(figure1)
+	g := Build(p)
+	b := g.BlockOf(p.MustSymbol("block2"))
+	if b == nil || b.Start != p.MustSymbol("block2") {
+		t.Fatalf("BlockOf(block2) = %+v", b)
+	}
+	if g.BlockOf(0xdead0) != nil {
+		t.Error("BlockOf outside code should be nil")
+	}
+	// Address in the middle of a block resolves to that block.
+	mid := g.BlockOf(p.MustSymbol("block2") + 4)
+	if mid == nil || mid.Start != p.MustSymbol("block2") {
+		t.Errorf("mid-block lookup = %+v", mid)
+	}
+}
+
+func TestPostDominates(t *testing.T) {
+	p := asm.MustAssemble(figure1)
+	g := Build(p)
+	b2 := g.BlockOf(p.MustSymbol("block2")).Start
+	b4 := p.MustSymbol("block4")
+	if !g.PostDominates(b4, b2) {
+		t.Error("block4 should post-dominate block2")
+	}
+	if !g.PostDominates(b4, b4) {
+		t.Error("a block post-dominates itself")
+	}
+	if g.PostDominates(b2, b4) {
+		t.Error("block2 must not post-dominate block4")
+	}
+}
+
+func TestIsBackwardBranch(t *testing.T) {
+	if !IsBackwardBranch(isa.Inst{Op: isa.BNE, Imm: -2}) {
+		t.Error("negative offset is a backward branch")
+	}
+	if IsBackwardBranch(isa.Inst{Op: isa.BNE, Imm: 2}) {
+		t.Error("positive offset is not backward")
+	}
+	if IsBackwardBranch(isa.Inst{Op: isa.ADD, Imm: -2}) {
+		t.Error("non-branch is never a backward branch")
+	}
+}
+
+// --- randomized cross-check against a brute-force post-dominator oracle ---
+
+// randomProgram builds a program of n blocks with random control flow, each
+// block ending in a conditional branch, a jump, or halt. Block 0 is entry;
+// a halt block is always present so post-dominators exist.
+func randomProgram(r *rand.Rand, n int) *prog.Program {
+	var b strings.Builder
+	fmt.Fprintf(&b, "main:\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "blk%d:\n\tnop\n", i)
+		switch r.Intn(3) {
+		case 0:
+			fmt.Fprintf(&b, "\tjmp blk%d\n", r.Intn(n))
+		case 1:
+			// Conditional branch + fall-through (or halt at the end).
+			fmt.Fprintf(&b, "\tbne r1, r0, blk%d\n", r.Intn(n))
+			if i == n-1 {
+				fmt.Fprintf(&b, "\thalt\n")
+			}
+		case 2:
+			fmt.Fprintf(&b, "\thalt\n")
+		}
+	}
+	fmt.Fprintf(&b, "final:\n\thalt\n")
+	return asm.MustAssemble(b.String())
+}
+
+// canReachExit computes, by reverse traversal from the virtual exit, which
+// blocks have some path to program exit. Post-dominance is only defined
+// for those.
+func canReachExit(g *Graph) map[uint64]bool {
+	preds := make(map[uint64][]uint64)
+	var work []uint64
+	for _, a := range g.Order {
+		b := g.Blocks[a]
+		if b.ToExit {
+			work = append(work, a)
+		}
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], a)
+		}
+	}
+	can := make(map[uint64]bool)
+	for len(work) > 0 {
+		a := work[len(work)-1]
+		work = work[:len(work)-1]
+		if can[a] {
+			continue
+		}
+		can[a] = true
+		work = append(work, preds[a]...)
+	}
+	return can
+}
+
+// brutePostDominators computes post-dominator sets by fixpoint iteration:
+// pdom(b) = {b} ∪ (∩ over exit-reaching successors, where exit's set is
+// {exit}). Blocks that cannot reach exit are omitted.
+func brutePostDominators(g *Graph) map[uint64]map[uint64]bool {
+	const exitKey = ^uint64(0)
+	can := canReachExit(g)
+	full := make(map[uint64]bool, len(g.Order)+1)
+	for _, a := range g.Order {
+		if can[a] {
+			full[a] = true
+		}
+	}
+	full[exitKey] = true
+
+	pdom := make(map[uint64]map[uint64]bool)
+	for _, a := range g.Order {
+		if !can[a] {
+			continue
+		}
+		cp := make(map[uint64]bool, len(full))
+		for k := range full {
+			cp[k] = true
+		}
+		pdom[a] = cp
+	}
+
+	inter := func(dst, src map[uint64]bool) {
+		for k := range dst {
+			if !src[k] {
+				delete(dst, k)
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, a := range g.Order {
+			if !can[a] {
+				continue
+			}
+			blk := g.Blocks[a]
+			nw := make(map[uint64]bool, len(full))
+			first := true
+			if blk.ToExit {
+				nw[exitKey] = true
+				first = false
+			}
+			for _, s := range blk.Succs {
+				if !can[s] {
+					continue
+				}
+				if first {
+					for k := range pdom[s] {
+						nw[k] = true
+					}
+					first = false
+				} else {
+					inter(nw, pdom[s])
+				}
+			}
+			nw[a] = true
+			if len(nw) != len(pdom[a]) {
+				pdom[a] = nw
+				changed = true
+				continue
+			}
+			for k := range nw {
+				if !pdom[a][k] {
+					pdom[a] = nw
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return pdom
+}
+
+func TestPostDominatorsAgainstBruteForce(t *testing.T) {
+	const exitKey = ^uint64(0)
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		p := randomProgram(r, 3+r.Intn(10))
+		g := Build(p)
+		pdom := brutePostDominators(g)
+		for _, a := range g.Order {
+			set, reachable := pdom[a]
+			if !reachable {
+				// Cannot reach exit: package should report no ipdom.
+				if ip, ok := g.IPdom(a); ok {
+					t.Errorf("trial %d: block %#x cannot reach exit but has ipdom %#x", trial, a, ip)
+				}
+				continue
+			}
+			// Expected ipdom: the strict post-dominator with the largest
+			// pdom set (the nearest one).
+			var want uint64
+			found := false
+			bestSize := -1
+			for s := range set {
+				if s == a || s == exitKey {
+					continue
+				}
+				if !pdom[s][exitKey] {
+					continue
+				}
+				if len(pdom[s]) > bestSize {
+					bestSize = len(pdom[s])
+					want = s
+					found = true
+				}
+			}
+			got, ok := g.IPdom(a)
+			if !found {
+				if ok {
+					t.Errorf("trial %d: block %#x should have exit as ipdom, got %#x", trial, a, got)
+				}
+				continue
+			}
+			if !ok || got != want {
+				t.Errorf("trial %d: ipdom(%#x) = %#x (ok=%v), want %#x", trial, a, got, ok, want)
+			}
+		}
+	}
+}
+
+// TestReconvergentPCPostDominates: the defining property, checked on
+// random graphs — every reconvergent point the package reports must
+// post-dominate its branch, lie strictly after it in program order for
+// forward branches, and be a block leader.
+func TestReconvergentPCPostDominates(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		p := randomProgram(r, 30+r.Intn(40))
+		g := Build(p)
+		for _, start := range g.Order {
+			b := g.Blocks[start]
+			for pc := b.Start; pc < b.End; pc += 4 {
+				in, ok := p.InstAt(pc)
+				if !ok || !in.IsCondBranch() {
+					continue
+				}
+				rpc, ok := g.ReconvergentPC(pc)
+				if !ok {
+					continue
+				}
+				if rpc == pc {
+					t.Fatalf("trial %d: branch %#x reconverges at itself", trial, pc)
+				}
+				rb := g.BlockOf(rpc)
+				if rb == nil {
+					t.Fatalf("trial %d: reconvergent point %#x outside any block", trial, rpc)
+				}
+				if pc != b.LastPC() {
+					// Mid-block: the trivial next-instruction answer.
+					if rpc != pc+4 {
+						t.Fatalf("trial %d: mid-block branch %#x reconverges at %#x, want %#x",
+							trial, pc, rpc, pc+4)
+					}
+					continue
+				}
+				if rb.Start != rpc {
+					t.Fatalf("trial %d: reconvergent point %#x is not a block leader", trial, rpc)
+				}
+				if !g.PostDominates(rb.Start, b.Start) {
+					t.Fatalf("trial %d: reconvergent point %#x does not post-dominate branch block %#x",
+						trial, rpc, b.Start)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package emu implements the functional (architectural) emulator for the
+// simulator ISA. It executes programs instruction by instruction, producing
+// the dynamic instruction stream that drives the trace-based idealized
+// study, serves as the golden reference for the detailed execution-driven
+// simulator, and — via State.Fork — executes mispredicted paths on an
+// isolated copy of architectural state.
+package emu
+
+import (
+	"errors"
+	"fmt"
+
+	"cisim/internal/isa"
+	"cisim/internal/mem"
+	"cisim/internal/prog"
+)
+
+// ErrLimit is returned by Run when the instruction budget is exhausted
+// before the program halts.
+var ErrLimit = errors.New("emu: instruction limit reached")
+
+// Fault describes an execution error (bad PC, invalid instruction).
+type Fault struct {
+	PC  uint64
+	Why string
+}
+
+func (f *Fault) Error() string { return fmt.Sprintf("emu: fault at %#x: %s", f.PC, f.Why) }
+
+// Step records the architectural effect of one executed instruction. The
+// trace generator and the simulators consume these records.
+type Step struct {
+	PC     uint64
+	Inst   isa.Inst
+	NextPC uint64
+	Taken  bool   // conditional branches: direction
+	EA     uint64 // loads/stores: effective address
+	Value  uint64 // loads: loaded value; stores: stored value; ALU: result
+	Halt   bool
+}
+
+// State is a complete architectural machine state.
+type State struct {
+	Prog   *prog.Program
+	PC     uint64
+	Regs   [isa.NumRegs]uint64
+	Mem    *mem.Memory
+	Halted bool
+
+	// InstCount counts instructions executed through this State
+	// (inherited counts are kept by Fork so wrong-path lengths can be
+	// measured relative to the fork point).
+	InstCount uint64
+}
+
+// New loads a program: the data image is written to a fresh memory, the PC
+// set to the entry point, and the stack pointer initialized.
+func New(p *prog.Program) *State {
+	s := &State{Prog: p, PC: p.Entry, Mem: mem.New()}
+	for _, seg := range p.Data {
+		s.Mem.WriteBytes(seg.Addr, seg.Bytes)
+	}
+	s.Regs[isa.RSP] = prog.StackTop
+	return s
+}
+
+// Fork returns an isolated copy of the state: registers are copied and
+// memory is forked copy-on-write. Used to execute wrong paths.
+func (s *State) Fork() *State {
+	c := *s
+	c.Mem = s.Mem.Fork()
+	return &c
+}
+
+// Reg reads an architectural register, honouring the hardwired zero.
+func (s *State) Reg(r isa.Reg) uint64 {
+	if r == isa.RZero {
+		return 0
+	}
+	return s.Regs[r]
+}
+
+// SetReg writes an architectural register; writes to R0 are discarded.
+func (s *State) SetReg(r isa.Reg, v uint64) {
+	if r != isa.RZero {
+		s.Regs[r] = v
+	}
+}
+
+// Step executes one instruction and returns its architectural effects.
+// Stepping a halted state returns a Halt step without advancing.
+func (s *State) Step() (Step, error) {
+	if s.Halted {
+		return Step{PC: s.PC, Halt: true}, nil
+	}
+	in, ok := s.Prog.InstAt(s.PC)
+	if !ok {
+		return Step{}, &Fault{s.PC, "pc outside code image"}
+	}
+	st := Step{PC: s.PC, Inst: in, NextPC: s.PC + 4}
+
+	switch isa.ClassOf(in.Op) {
+	case isa.ClassALU, isa.ClassMul, isa.ClassDiv:
+		v := EvalALU(in, s.Reg(in.Rs1), s.Reg(in.Rs2))
+		s.SetReg(in.Rd, v)
+		st.Value = v
+	case isa.ClassLoad:
+		ea := EffAddr(in, s.Reg(in.Rs1))
+		var v uint64
+		if in.Op == isa.LB {
+			v = uint64(s.Mem.Read8(ea))
+		} else {
+			v = s.Mem.Read64(ea)
+		}
+		s.SetReg(in.Rd, v)
+		st.EA, st.Value = ea, v
+	case isa.ClassStore:
+		ea := EffAddr(in, s.Reg(in.Rs1))
+		v := s.Reg(in.Rs2)
+		if in.Op == isa.SB {
+			s.Mem.Write8(ea, byte(v))
+		} else {
+			s.Mem.Write64(ea, v)
+		}
+		st.EA, st.Value = ea, v
+	case isa.ClassCondBr:
+		taken := EvalBranch(in, s.Reg(in.Rs1), s.Reg(in.Rs2))
+		st.Taken = taken
+		if taken {
+			st.NextPC = in.BranchTarget(s.PC)
+		}
+	case isa.ClassJump:
+		st.NextPC = in.Target
+	case isa.ClassCall:
+		s.SetReg(isa.RLink, s.PC+4)
+		st.NextPC = in.Target
+		st.Value = s.PC + 4
+	case isa.ClassIndJump:
+		st.NextPC = s.Reg(in.Rs1)
+	case isa.ClassIndCall:
+		target := s.Reg(in.Rs1)
+		s.SetReg(in.Rd, s.PC+4)
+		st.NextPC = target
+		st.Value = s.PC + 4
+	case isa.ClassReturn:
+		st.NextPC = s.Reg(isa.RLink)
+	case isa.ClassHalt:
+		s.Halted = true
+		st.Halt = true
+		st.NextPC = s.PC
+		s.InstCount++
+		return st, nil
+	}
+
+	s.PC = st.NextPC
+	s.InstCount++
+	return st, nil
+}
+
+// Run executes until the program halts or max instructions have executed.
+// It returns the number of instructions executed, and ErrLimit if the
+// budget ran out first.
+func (s *State) Run(max uint64) (uint64, error) {
+	start := s.InstCount
+	for !s.Halted {
+		if s.InstCount-start >= max {
+			return s.InstCount - start, ErrLimit
+		}
+		if _, err := s.Step(); err != nil {
+			return s.InstCount - start, err
+		}
+	}
+	return s.InstCount - start, nil
+}

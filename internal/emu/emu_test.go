@@ -1,0 +1,440 @@
+package emu
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cisim/internal/asm"
+	"cisim/internal/isa"
+)
+
+func run(t *testing.T, src string, max uint64) *State {
+	t.Helper()
+	s := New(asm.MustAssemble(src))
+	if _, err := s.Run(max); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return s
+}
+
+func TestCountingLoop(t *testing.T) {
+	s := run(t, `
+		main:
+			li r1, 10
+			li r2, 0
+		loop:
+			addi r2, r2, 1
+			addi r1, r1, -1
+			bne r1, r0, loop
+			halt
+	`, 1000)
+	if s.Reg(2) != 10 {
+		t.Errorf("r2 = %d, want 10", s.Reg(2))
+	}
+	// 2 setup + 10*3 loop + 1 halt
+	if s.InstCount != 33 {
+		t.Errorf("instruction count = %d, want 33", s.InstCount)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	s := run(t, `
+		main:
+			li r1, 7
+			li r2, -3
+			add r3, r1, r2     ; 4
+			sub r4, r1, r2     ; 10
+			mul r5, r1, r2     ; -21
+			div r6, r1, r2     ; -2
+			rem r7, r1, r2     ; 1
+			and r8, r1, r2     ; 5
+			or  r9, r1, r2     ; -3
+			xor r10, r1, r2    ; -8
+			slt r11, r2, r1    ; 1
+			sltu r12, r2, r1   ; 0 (as unsigned, -3 is huge)
+			sll r13, r1, r1    ; 7<<7 = 896
+			srl r14, r2, r1    ; huge
+			sra r15, r2, r1    ; -1
+			halt
+	`, 100)
+	neg := func(x int64) uint64 { return uint64(x) }
+	want := map[isa.Reg]uint64{
+		3: 4, 4: 10, 5: neg(-21), 6: neg(-2), 7: 1,
+		8: 5, 9: neg(-1), 10: neg(-6), 11: 1, 12: 0,
+		13: 896, 14: neg(-3) >> 7, 15: neg(-1),
+	}
+	for r, v := range want {
+		if got := s.Reg(r); got != v {
+			t.Errorf("r%d = %d, want %d", r, int64(got), int64(v))
+		}
+	}
+}
+
+func TestDivisionEdgeCases(t *testing.T) {
+	if divSigned(5, 0) != 0 {
+		t.Error("div by zero should be 0")
+	}
+	if remSigned(5, 0) != 5 {
+		t.Error("rem by zero should be dividend")
+	}
+	minInt := uint64(1) << 63
+	negOne := ^uint64(0)
+	if divSigned(minInt, negOne) != minInt {
+		t.Error("overflowing div should return MinInt64")
+	}
+	if remSigned(minInt, negOne) != 0 {
+		t.Error("overflowing rem should return 0")
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	s := run(t, `
+		.data
+		buf: .word 0x1122334455667788
+		.text
+		main:
+			la r1, buf
+			ld r2, 0(r1)
+			lb r3, 0(r1)       ; low byte, zero-extended
+			lb r4, 7(r1)
+			li r5, -1
+			st r5, 8(r1)
+			ld r6, 8(r1)
+			sb r5, 16(r1)
+			lb r7, 16(r1)
+			ld r8, 16(r1)      ; only one byte was written
+			halt
+	`, 100)
+	if s.Reg(2) != 0x1122334455667788 {
+		t.Errorf("ld = %#x", s.Reg(2))
+	}
+	if s.Reg(3) != 0x88 {
+		t.Errorf("lb low = %#x, want 0x88 (zero-extended)", s.Reg(3))
+	}
+	if s.Reg(4) != 0x11 {
+		t.Errorf("lb high = %#x", s.Reg(4))
+	}
+	if s.Reg(6) != ^uint64(0) {
+		t.Errorf("st/ld round trip = %#x", s.Reg(6))
+	}
+	if s.Reg(7) != 0xff {
+		t.Errorf("sb/lb = %#x", s.Reg(7))
+	}
+	if s.Reg(8) != 0xff {
+		t.Errorf("sb wrote more than one byte: %#x", s.Reg(8))
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	s := run(t, `
+		main:
+			li r1, 5
+			call double
+			call double
+			halt
+		double:
+			add r1, r1, r1
+			ret
+	`, 100)
+	if s.Reg(1) != 20 {
+		t.Errorf("r1 = %d, want 20", s.Reg(1))
+	}
+}
+
+func TestIndirectCallAndJump(t *testing.T) {
+	s := run(t, `
+		.data
+		table: .addr case0, case1
+		.text
+		main:
+			la r1, fn
+			jalr ra, r1         ; indirect call
+			; select case1 via jump table
+			la r2, table
+			ld r3, 8(r2)
+			jr r3 [case0, case1]
+		case0:
+			li r4, 100
+			halt
+		case1:
+			li r4, 200
+			halt
+		fn:
+			li r5, 42
+			ret
+	`, 100)
+	if s.Reg(5) != 42 {
+		t.Errorf("indirect call result r5 = %d", s.Reg(5))
+	}
+	if s.Reg(4) != 200 {
+		t.Errorf("jump table selected r4 = %d, want 200", s.Reg(4))
+	}
+}
+
+func TestNestedCalls(t *testing.T) {
+	// Callee saves the link register on the stack.
+	s := run(t, `
+		main:
+			li r1, 0
+			call outer
+			halt
+		outer:
+			addi sp, sp, -8
+			st ra, 0(sp)
+			addi r1, r1, 1
+			call inner
+			ld ra, 0(sp)
+			addi sp, sp, 8
+			ret
+		inner:
+			addi r1, r1, 10
+			ret
+	`, 100)
+	if s.Reg(1) != 11 {
+		t.Errorf("r1 = %d, want 11", s.Reg(1))
+	}
+}
+
+func TestR0Hardwired(t *testing.T) {
+	s := run(t, `
+		main:
+			addi r0, r0, 99
+			add r1, r0, r0
+			halt
+	`, 10)
+	if s.Reg(0) != 0 || s.Reg(1) != 0 {
+		t.Errorf("r0 = %d, r1 = %d; r0 must stay 0", s.Reg(0), s.Reg(1))
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	s := New(asm.MustAssemble(`
+		main:
+			jmp main
+	`))
+	n, err := s.Run(100)
+	if err != ErrLimit {
+		t.Fatalf("err = %v, want ErrLimit", err)
+	}
+	if n != 100 {
+		t.Errorf("executed %d, want 100", n)
+	}
+}
+
+func TestFaultOnBadPC(t *testing.T) {
+	s := run(t, "main:\n halt", 10)
+	s.Halted = false
+	s.PC = 0xdead0
+	if _, err := s.Step(); err == nil {
+		t.Error("stepping bad PC should fault")
+	}
+	s.PC = 0x1001 // misaligned
+	if _, err := s.Step(); err == nil {
+		t.Error("stepping misaligned PC should fault")
+	}
+}
+
+func TestStepRecords(t *testing.T) {
+	s := New(asm.MustAssemble(`
+		main:
+			li r1, 1
+			beq r1, r0, main   ; not taken
+			bne r1, r0, skip   ; taken
+			nop
+		skip:
+			halt
+	`))
+	st, _ := s.Step() // li
+	if st.Value != 1 {
+		t.Errorf("li value = %d", st.Value)
+	}
+	st, _ = s.Step() // beq, not taken
+	if st.Taken || st.NextPC != st.PC+4 {
+		t.Errorf("beq step = %+v", st)
+	}
+	st, _ = s.Step() // bne, taken
+	if !st.Taken || st.NextPC != st.PC+8 {
+		t.Errorf("bne step = %+v", st)
+	}
+	st, _ = s.Step() // halt
+	if !st.Halt {
+		t.Errorf("halt step = %+v", st)
+	}
+	// Stepping a halted machine is a no-op halt record.
+	st, _ = s.Step()
+	if !st.Halt {
+		t.Error("stepping halted machine should report halt")
+	}
+}
+
+func TestForkIsolation(t *testing.T) {
+	s := New(asm.MustAssemble(`
+		main:
+			li r1, 1
+			st r1, 0x100(r0)
+			li r1, 2
+			st r1, 0x100(r0)
+			halt
+	`))
+	s.Step()
+	s.Step() // stored 1
+	f := s.Fork()
+	// Parent continues and overwrites memory.
+	s.Step()
+	s.Step()
+	if f.Mem.Read64(0x100) != 1 {
+		t.Errorf("fork sees parent's later store: %d", f.Mem.Read64(0x100))
+	}
+	if f.Reg(1) != 1 {
+		t.Errorf("fork register = %d, want 1", f.Reg(1))
+	}
+	// Fork can execute independently.
+	f.Step()
+	f.Step()
+	if s.Mem.Read64(0x100) != 2 || f.Mem.Read64(0x100) != 2 {
+		t.Errorf("divergent memories: parent %d fork %d",
+			s.Mem.Read64(0x100), f.Mem.Read64(0x100))
+	}
+}
+
+// Property: EvalALU of the commutative ops is commutative.
+func TestCommutativeOps(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	ops := []isa.Op{isa.ADD, isa.AND, isa.OR, isa.XOR, isa.MUL}
+	f := func() bool {
+		a, b := r.Uint64(), r.Uint64()
+		op := ops[r.Intn(len(ops))]
+		in := isa.Inst{Op: op}
+		return EvalALU(in, a, b) == EvalALU(in, b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: branch conditions partition correctly (BEQ xor BNE, BLT xor BGE).
+func TestBranchDuality(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	f := func() bool {
+		a, b := r.Uint64(), r.Uint64()
+		if r.Intn(4) == 0 {
+			b = a // force equality sometimes
+		}
+		eq := EvalBranch(isa.Inst{Op: isa.BEQ}, a, b)
+		ne := EvalBranch(isa.Inst{Op: isa.BNE}, a, b)
+		lt := EvalBranch(isa.Inst{Op: isa.BLT}, a, b)
+		ge := EvalBranch(isa.Inst{Op: isa.BGE}, a, b)
+		ltu := EvalBranch(isa.Inst{Op: isa.BLTU}, a, b)
+		geu := EvalBranch(isa.Inst{Op: isa.BGEU}, a, b)
+		return eq != ne && lt != ge && ltu != geu && (a != b || eq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DIV/REM satisfy a*q + r == a where defined.
+func TestDivRemIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	f := func() bool {
+		a, b := r.Uint64(), r.Uint64()
+		if r.Intn(8) == 0 {
+			b = 0
+		}
+		q := divSigned(a, b)
+		rem := remSigned(a, b)
+		if b == 0 {
+			return q == 0 && rem == a
+		}
+		if int64(a) == -1<<63 && int64(b) == -1 {
+			return q == a && rem == 0
+		}
+		return int64(b)*int64(q)+int64(rem) == int64(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("EvalALU(BEQ)", func() { EvalALU(isa.Inst{Op: isa.BEQ}, 0, 0) })
+	mustPanic("EvalBranch(ADD)", func() { EvalBranch(isa.Inst{Op: isa.ADD}, 0, 0) })
+}
+
+func TestEvalALUAllOps(t *testing.T) {
+	// Exercise every ALU opcode against independently computed results.
+	a, b := uint64(0xF0F0F0F0F0F0F0F0), uint64(0x0FF00FF00FF00FF3)
+	cases := map[isa.Op]uint64{
+		isa.ADD:  a + b,
+		isa.SUB:  a - b,
+		isa.AND:  a & b,
+		isa.OR:   a | b,
+		isa.XOR:  a ^ b,
+		isa.SLL:  a << (b & 63),
+		isa.SRL:  a >> (b & 63),
+		isa.SRA:  uint64(int64(a) >> (b & 63)),
+		isa.MUL:  a * b,
+		isa.SLT:  1, // a negative, b positive
+		isa.SLTU: 0, // a > b unsigned
+	}
+	for op, want := range cases {
+		if got := EvalALU(isa.Inst{Op: op}, a, b); got != want {
+			t.Errorf("%v = %#x, want %#x", op, got, want)
+		}
+	}
+	neg5 := ^uint64(4) // two's-complement -5
+	immCases := map[isa.Op]uint64{
+		isa.ADDI: a + neg5,
+		isa.ANDI: a & neg5,
+		isa.ORI:  a | neg5,
+		isa.XORI: a ^ neg5,
+		isa.SLTI: 1, // int64(a) is very negative, so a < -5
+	}
+	for op, want := range immCases {
+		if got := EvalALU(isa.Inst{Op: op, Imm: -5}, a, 0); got != want {
+			t.Errorf("%v imm = %#x, want %#x", op, got, want)
+		}
+	}
+	shiftCases := map[isa.Op]uint64{
+		isa.SLLI: a << 5,
+		isa.SRLI: a >> 5,
+		isa.SRAI: uint64(int64(a) >> 5),
+	}
+	for op, want := range shiftCases {
+		if got := EvalALU(isa.Inst{Op: op, Imm: 5}, a, 0); got != want {
+			t.Errorf("%v shift = %#x, want %#x", op, got, want)
+		}
+	}
+	wantLUI := ^uint64(3<<16 - 1) // -3 << 16 in two's complement
+	if got := EvalALU(isa.Inst{Op: isa.LUI, Imm: -3}, 0, 0); got != wantLUI {
+		t.Errorf("LUI = %#x, want %#x", got, wantLUI)
+	}
+	if got := EvalALU(isa.Inst{Op: isa.NOP}, a, b); got != 0 {
+		t.Errorf("NOP = %#x", got)
+	}
+}
+
+func TestFaultError(t *testing.T) {
+	f := &Fault{PC: 0x123, Why: "testing"}
+	if !strings.Contains(f.Error(), "0x123") || !strings.Contains(f.Error(), "testing") {
+		t.Errorf("fault message: %s", f.Error())
+	}
+}
+
+func TestRunPropagatesFault(t *testing.T) {
+	s := New(asm.MustAssemble("main:\n jmp main\n"))
+	s.PC = 0xbad00
+	if _, err := s.Run(10); err == nil {
+		t.Error("Run over bad PC should fault")
+	}
+}

@@ -1,0 +1,126 @@
+package emu
+
+import "cisim/internal/isa"
+
+// This file holds the pure instruction semantics, shared between the
+// architectural emulator and the execution-driven timing simulator so both
+// always compute identical values (the golden-stream correctness check in
+// the ooo package depends on this).
+
+// EvalALU computes the result of a non-memory, non-control instruction
+// given its (already read) source operand values. For immediates, b is
+// ignored and the instruction's Imm field is used. The PC is needed only by
+// link-writing instructions, which are handled by the caller.
+func EvalALU(in isa.Inst, a, b uint64) uint64 {
+	imm := uint64(int64(in.Imm)) // sign-extended
+	switch in.Op {
+	case isa.ADD:
+		return a + b
+	case isa.SUB:
+		return a - b
+	case isa.AND:
+		return a & b
+	case isa.OR:
+		return a | b
+	case isa.XOR:
+		return a ^ b
+	case isa.SLL:
+		return a << (b & 63)
+	case isa.SRL:
+		return a >> (b & 63)
+	case isa.SRA:
+		return uint64(int64(a) >> (b & 63))
+	case isa.SLT:
+		if int64(a) < int64(b) {
+			return 1
+		}
+		return 0
+	case isa.SLTU:
+		if a < b {
+			return 1
+		}
+		return 0
+	case isa.MUL:
+		return a * b
+	case isa.DIV:
+		return divSigned(a, b)
+	case isa.REM:
+		return remSigned(a, b)
+	case isa.ADDI:
+		return a + imm
+	case isa.ANDI:
+		return a & imm
+	case isa.ORI:
+		return a | imm
+	case isa.XORI:
+		return a ^ imm
+	case isa.SLLI:
+		return a << (imm & 63)
+	case isa.SRLI:
+		return a >> (imm & 63)
+	case isa.SRAI:
+		return uint64(int64(a) >> (imm & 63))
+	case isa.SLTI:
+		if int64(a) < int64(imm) {
+			return 1
+		}
+		return 0
+	case isa.LUI:
+		return uint64(int64(in.Imm)) << 16
+	case isa.NOP:
+		return 0
+	}
+	panic("emu: EvalALU on non-ALU instruction " + in.Op.String())
+}
+
+// divSigned implements DIV semantics: division by zero yields 0, and the
+// one overflowing case (MinInt64 / -1) yields MinInt64, matching typical
+// RISC behaviour and avoiding traps.
+func divSigned(a, b uint64) uint64 {
+	if b == 0 {
+		return 0
+	}
+	x, y := int64(a), int64(b)
+	if x == -1<<63 && y == -1 {
+		return a
+	}
+	return uint64(x / y)
+}
+
+// remSigned implements REM semantics: remainder by zero yields the
+// dividend; the overflowing case yields 0.
+func remSigned(a, b uint64) uint64 {
+	if b == 0 {
+		return a
+	}
+	x, y := int64(a), int64(b)
+	if x == -1<<63 && y == -1 {
+		return 0
+	}
+	return uint64(x % y)
+}
+
+// EvalBranch decides a conditional branch given its operand values.
+func EvalBranch(in isa.Inst, a, b uint64) bool {
+	switch in.Op {
+	case isa.BEQ:
+		return a == b
+	case isa.BNE:
+		return a != b
+	case isa.BLT:
+		return int64(a) < int64(b)
+	case isa.BGE:
+		return int64(a) >= int64(b)
+	case isa.BLTU:
+		return a < b
+	case isa.BGEU:
+		return a >= b
+	}
+	panic("emu: EvalBranch on non-branch instruction " + in.Op.String())
+}
+
+// EffAddr computes the effective address of a load or store from its base
+// register value.
+func EffAddr(in isa.Inst, base uint64) uint64 {
+	return base + uint64(int64(in.Imm))
+}

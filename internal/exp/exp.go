@@ -1,0 +1,175 @@
+// Package exp is the experiment harness: one generator per table and
+// figure of the paper's evaluation. Each experiment runs the five
+// workloads through the appropriate simulator configuration and renders
+// the same rows or series the paper reports, so EXPERIMENTS.md can record
+// paper-versus-measured shape comparisons.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cisim/internal/plot"
+	"cisim/internal/prog"
+	"cisim/internal/stats"
+	"cisim/internal/trace"
+	"cisim/internal/workloads"
+)
+
+// Options controls experiment scale.
+type Options struct {
+	// Quick shrinks workload lengths (and some sweeps) for tests and
+	// benchmarks; results keep their shape but are noisier.
+	Quick bool
+}
+
+// iters returns the workload iteration count for the current scale.
+func (o Options) iters(w *workloads.Workload) int {
+	if o.Quick {
+		n := w.DefaultIters / 10
+		if n < 50 {
+			n = 50
+		}
+		return n
+	}
+	return w.DefaultIters
+}
+
+// maxTraceInstrs bounds trace generation.
+func (o Options) maxTraceInstrs() uint64 {
+	if o.Quick {
+		return 80_000
+	}
+	return 600_000
+}
+
+// Result is an experiment's rendered output.
+type Result struct {
+	ID     string
+	Tables []*stats.Table
+	// Plots carries figure-style curves (per-workload IPC series) for
+	// experiments that are line charts in the paper; the CLI renders
+	// them with -plot.
+	Plots []Plot
+}
+
+// Plot is one renderable chart: a line chart (Series) for the
+// IPC-versus-window figures, or a grouped bar chart (Groups) for the
+// percent-improvement figures.
+type Plot struct {
+	Title  string
+	Series []plot.Series
+	Groups []plot.BarGroup
+	Unit   string // bar value suffix, e.g. "%"
+}
+
+// Render draws the chart as ASCII.
+func (p *Plot) Render() string {
+	if len(p.Groups) > 0 {
+		return plot.Bars(p.Title, p.Groups, 48, p.Unit)
+	}
+	return plot.Lines(p.Title, p.Series, 64, 16)
+}
+
+// barsFromTable derives a grouped bar chart from a rendered table: one
+// group per row (labelled by the labelCols cells), one bar per valueCol.
+func barsFromTable(t *stats.Table, title string, labelCols, valueCols []int, unit string) Plot {
+	p := Plot{Title: title, Unit: unit}
+	for _, row := range t.Rows {
+		var labels []string
+		for _, c := range labelCols {
+			if c < len(row) {
+				labels = append(labels, row[c])
+			}
+		}
+		g := plot.BarGroup{Label: strings.Join(labels, " ")}
+		for _, c := range valueCols {
+			if c >= len(row) || c >= len(t.Columns) {
+				continue
+			}
+			v, ok := parseNumeric(row[c])
+			if !ok {
+				continue
+			}
+			g.Bars = append(g.Bars, plot.Bar{Name: t.Columns[c], Value: v})
+		}
+		if len(g.Bars) > 0 {
+			p.Groups = append(p.Groups, g)
+		}
+	}
+	return p
+}
+
+func (r *Result) String() string {
+	s := ""
+	for _, t := range r.Tables {
+		s += t.String() + "\n"
+	}
+	return s
+}
+
+// Experiment is a reproducible paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper describes what the paper's version showed, for side-by-side
+	// reading.
+	Paper string
+	Run   func(Options) (*Result, error)
+}
+
+var registry []*Experiment
+
+func register(e *Experiment) { registry = append(registry, e) }
+
+// All returns every experiment in paper order.
+func All() []*Experiment {
+	out := make([]*Experiment, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool { return order(out[i].ID) < order(out[j].ID) })
+	return out
+}
+
+func order(id string) int {
+	for i, k := range []string{"table1", "fig3", "fig5", "fig6", "table2", "table3", "table4",
+		"fig8", "fig9", "fig10", "fig12", "fig13", "fig14", "fig17"} {
+		if k == id {
+			return i
+		}
+	}
+	return 99
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (*Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// IDs lists all experiment ids in paper order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for _, e := range All() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// traceFor generates (and memoizes per call site) the annotated trace for
+// a workload at the chosen scale.
+func traceFor(w *workloads.Workload, o Options) (*trace.Trace, error) {
+	p := w.Program(o.iters(w))
+	return trace.Generate(p, trace.Options{MaxInstrs: o.maxTraceInstrs()})
+}
+
+// programFor assembles a workload at the chosen scale.
+func programFor(w *workloads.Workload, o Options) *prog.Program {
+	return w.Program(o.iters(w))
+}
+
+func fmtF(v float64) string { return fmt.Sprintf("%.2f", v) }

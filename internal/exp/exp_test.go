@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "fig3", "fig5", "fig6", "table2", "table3", "table4",
+		"fig8", "fig9", "fig10", "fig12", "fig13", "fig14", "fig17"}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("have %d experiments %v, want %d", len(ids), ids, len(want))
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Errorf("experiment %d = %s, want %s (paper order)", i, ids[i], id)
+		}
+	}
+	for _, id := range want {
+		e, ok := Get(id)
+		if !ok {
+			t.Errorf("Get(%s) failed", id)
+			continue
+		}
+		if e.Title == "" || e.Paper == "" {
+			t.Errorf("%s missing title or paper note", id)
+		}
+	}
+	if _, ok := Get("nope"); ok {
+		t.Error("Get(nope) should fail")
+	}
+}
+
+// TestAllExperimentsQuick runs every experiment at quick scale: the
+// integration test that exercises every simulator configuration the
+// benchmark harness uses.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiments still take tens of seconds")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			r, err := e.Run(Options{Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(r.Tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			out := r.String()
+			if !strings.Contains(out, "xgcc") || !strings.Contains(out, "xvortex") {
+				t.Errorf("%s output missing workloads:\n%s", e.ID, out)
+			}
+			for _, tbl := range r.Tables {
+				if len(tbl.Rows) == 0 {
+					t.Errorf("%s has an empty table %q", e.ID, tbl.Title)
+				}
+			}
+			if v, ok := validators[e.ID]; ok {
+				v(t, r)
+			} else {
+				t.Errorf("%s has no semantic validator (add one to validate_test.go)", e.ID)
+			}
+			t.Logf("\n%s", out)
+		})
+	}
+}

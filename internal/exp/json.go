@@ -1,0 +1,187 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cisim/internal/stats"
+)
+
+// JSONResult is the machine-readable form of one experiment's output,
+// written by `cisim run -json` and consumed by `cisim compare`. Cells
+// keep the rendered strings of the text tables, so the two forms always
+// agree; Compare parses numbers (including "%"-suffixed cells) back out.
+type JSONResult struct {
+	ID     string         `json:"id"`
+	Title  string         `json:"title"`
+	Tables []*stats.Table `json:"tables"`
+}
+
+// ToJSON converts an experiment's result for serialization.
+func ToJSON(e *Experiment, r *Result) JSONResult {
+	return JSONResult{ID: e.ID, Title: e.Title, Tables: r.Tables}
+}
+
+// WriteJSON writes results as indented JSON.
+func WriteJSON(w io.Writer, rs []JSONResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rs)
+}
+
+// ReadJSON reads results written by WriteJSON.
+func ReadJSON(r io.Reader) ([]JSONResult, error) {
+	var rs []JSONResult
+	if err := json.NewDecoder(r).Decode(&rs); err != nil {
+		return nil, fmt.Errorf("exp: parsing results JSON: %w", err)
+	}
+	return rs, nil
+}
+
+// Diff is one numeric cell that moved between two result sets.
+type Diff struct {
+	Exp, Table, Row, Col string
+	Old, New             float64
+	// Pct is the relative change in percent; ±Inf when Old is zero.
+	Pct float64
+}
+
+func (d Diff) String() string {
+	return fmt.Sprintf("%s: %s [%s, %s]: %g -> %g (%+.1f%%)",
+		d.Exp, d.Table, d.Row, d.Col, d.Old, d.New, d.Pct)
+}
+
+// parseNumeric extracts a float from a rendered cell ("5.72", "20.8%",
+// "266140"). The second return is false for non-numeric cells (names).
+func parseNumeric(cell string) (float64, bool) {
+	s := strings.TrimSuffix(strings.TrimSpace(cell), "%")
+	if s == "" {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// rowKey identifies a row by its non-numeric cells (benchmark names,
+// model names) plus any leading integer-valued parameter columns whose
+// headers suggest configuration (window, segment) — enough to keep fig3's
+// benchmark×window rows distinct.
+func rowKey(cols, row []string) string {
+	var parts []string
+	for i, cell := range row {
+		if _, num := parseNumeric(cell); !num {
+			parts = append(parts, cell)
+			continue
+		}
+		if i < len(cols) {
+			h := strings.ToLower(cols[i])
+			if strings.Contains(h, "window") || strings.Contains(h, "segment") || strings.Contains(h, "iter") {
+				parts = append(parts, cols[i]+"="+cell)
+			}
+		}
+	}
+	if len(parts) == 0 {
+		return strings.Join(row, "|")
+	}
+	return strings.Join(parts, " ")
+}
+
+// Compare reports every numeric cell whose relative change between two
+// result sets exceeds tolPct percent. Experiments, tables, or rows
+// present on only one side are reported as a single whole-entity diff
+// with NaN-free sentinel values (Old or New = 0 and Pct = ±Inf is avoided
+// by skipping; structural differences surface through the Col field
+// "(missing)").
+func Compare(prev, cur []JSONResult, tolPct float64) []Diff {
+	oldByID := map[string]JSONResult{}
+	for _, r := range prev {
+		oldByID[r.ID] = r
+	}
+	var diffs []Diff
+	for _, nr := range cur {
+		or, ok := oldByID[nr.ID]
+		if !ok {
+			diffs = append(diffs, Diff{Exp: nr.ID, Col: "(missing)", Table: "experiment only in new set"})
+			continue
+		}
+		delete(oldByID, nr.ID)
+		diffs = append(diffs, compareTables(nr.ID, or.Tables, nr.Tables, tolPct)...)
+	}
+	var leftover []string
+	for id := range oldByID {
+		leftover = append(leftover, id)
+	}
+	sort.Strings(leftover)
+	for _, id := range leftover {
+		diffs = append(diffs, Diff{Exp: id, Col: "(missing)", Table: "experiment only in old set"})
+	}
+	return diffs
+}
+
+func compareTables(exp string, prev, cur []*stats.Table, tolPct float64) []Diff {
+	oldByTitle := map[string]*stats.Table{}
+	for _, t := range prev {
+		oldByTitle[t.Title] = t
+	}
+	var diffs []Diff
+	for _, nt := range cur {
+		ot, ok := oldByTitle[nt.Title]
+		if !ok {
+			diffs = append(diffs, Diff{Exp: exp, Table: nt.Title, Col: "(missing)", Row: "table only in new set"})
+			continue
+		}
+		oldRows := map[string][]string{}
+		for _, row := range ot.Rows {
+			oldRows[rowKey(ot.Columns, row)] = row
+		}
+		for _, row := range nt.Rows {
+			key := rowKey(nt.Columns, row)
+			orow, ok := oldRows[key]
+			if !ok {
+				diffs = append(diffs, Diff{Exp: exp, Table: nt.Title, Row: key, Col: "(missing)"})
+				continue
+			}
+			for i, cell := range row {
+				if i >= len(orow) || i >= len(nt.Columns) {
+					break
+				}
+				nv, nok := parseNumeric(cell)
+				ov, ook := parseNumeric(orow[i])
+				if !nok || !ook {
+					continue
+				}
+				var pct float64
+				switch {
+				case ov == nv:
+					continue
+				case ov == 0:
+					pct = 100 // conventional: change from zero is reported as 100%
+				default:
+					pct = 100 * (nv - ov) / ov
+				}
+				if abs(pct) <= tolPct {
+					continue
+				}
+				diffs = append(diffs, Diff{
+					Exp: exp, Table: nt.Title, Row: key, Col: nt.Columns[i],
+					Old: ov, New: nv, Pct: pct,
+				})
+			}
+		}
+	}
+	return diffs
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

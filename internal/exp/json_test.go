@@ -1,0 +1,207 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cisim/internal/stats"
+)
+
+func mkResult(id string, ipc float64) JSONResult {
+	t := stats.NewTable("Figure X: test", "benchmark", "window", "IPC", "gain")
+	t.AddRow("xgcc", 128, ipc, stats.Percent(20.8))
+	t.AddRow("xgcc", 256, ipc+1, stats.Percent(25.0))
+	t.AddRow("xgo", 128, 3.5, stats.Percent(60.0))
+	return JSONResult{ID: id, Title: "test experiment", Tables: []*stats.Table{t}}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	in := []JSONResult{mkResult("figX", 5.0)}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].ID != "figX" || len(out[0].Tables) != 1 {
+		t.Fatalf("round trip mangled results: %+v", out)
+	}
+	if got := out[0].Tables[0].Rows[0][2]; got != "5.00" {
+		t.Errorf("cell = %q, want rendered 5.00", got)
+	}
+}
+
+func TestReadJSONBadInput(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed JSON should error")
+	}
+}
+
+func TestCompareIdentical(t *testing.T) {
+	a := []JSONResult{mkResult("figX", 5.0)}
+	b := []JSONResult{mkResult("figX", 5.0)}
+	if diffs := Compare(a, b, 1.0); len(diffs) != 0 {
+		t.Errorf("identical sets should not differ: %v", diffs)
+	}
+}
+
+func TestCompareDetectsShift(t *testing.T) {
+	a := []JSONResult{mkResult("figX", 5.0)}
+	b := []JSONResult{mkResult("figX", 5.5)} // +10% on two cells
+	diffs := Compare(a, b, 1.0)
+	if len(diffs) != 2 {
+		t.Fatalf("want 2 diffs (IPC cells at windows 128/256), got %v", diffs)
+	}
+	d := diffs[0]
+	if d.Exp != "figX" || d.Col != "IPC" || d.Old != 5.0 || d.New != 5.5 {
+		t.Errorf("diff fields wrong: %+v", d)
+	}
+	if d.Pct < 9.9 || d.Pct > 10.1 {
+		t.Errorf("pct = %.2f, want ~10", d.Pct)
+	}
+	if !strings.Contains(d.String(), "xgcc window=128") {
+		t.Errorf("row key should carry benchmark and window: %q", d.String())
+	}
+}
+
+func TestCompareTolerance(t *testing.T) {
+	a := []JSONResult{mkResult("figX", 5.0)}
+	b := []JSONResult{mkResult("figX", 5.02)} // +0.4%
+	if diffs := Compare(a, b, 1.0); len(diffs) != 0 {
+		t.Errorf("sub-tolerance shifts should pass: %v", diffs)
+	}
+	if diffs := Compare(a, b, 0.1); len(diffs) == 0 {
+		t.Error("tightening the tolerance should surface the shift")
+	}
+}
+
+func TestComparePercentCells(t *testing.T) {
+	a := []JSONResult{mkResult("figX", 5.0)}
+	b := []JSONResult{mkResult("figX", 5.0)}
+	b[0].Tables[0].Rows[2][3] = "70.0%" // xgo gain 60 -> 70
+	diffs := Compare(a, b, 1.0)
+	if len(diffs) != 1 || diffs[0].Col != "gain" || diffs[0].Old != 60 || diffs[0].New != 70 {
+		t.Errorf("percent-cell diff wrong: %v", diffs)
+	}
+}
+
+func TestCompareStructuralDifferences(t *testing.T) {
+	a := []JSONResult{mkResult("figX", 5.0), mkResult("figY", 2.0)}
+	b := []JSONResult{mkResult("figX", 5.0), mkResult("figZ", 2.0)}
+	b[1].ID = "figZ"
+	diffs := Compare(a, b, 1.0)
+	var sawOldOnly, sawNewOnly bool
+	for _, d := range diffs {
+		if d.Exp == "figY" && strings.Contains(d.Table, "only in old") {
+			sawOldOnly = true
+		}
+		if d.Exp == "figZ" && strings.Contains(d.Table, "only in new") {
+			sawNewOnly = true
+		}
+	}
+	if !sawOldOnly || !sawNewOnly {
+		t.Errorf("missing structural diffs: %v", diffs)
+	}
+
+	// A row present on one side only.
+	c := []JSONResult{mkResult("figX", 5.0)}
+	c[0].Tables[0].AddRow("xvortex", 128, 9.9, stats.Percent(5))
+	diffs = Compare(a[:1], c, 1.0)
+	found := false
+	for _, d := range diffs {
+		if d.Col == "(missing)" && strings.Contains(d.Row, "xvortex") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("new row should surface as missing-diff: %v", diffs)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	a := []JSONResult{mkResult("figX", 5.0)}
+	b := []JSONResult{mkResult("figX", 5.0)}
+	a[0].Tables[0].Rows[2][2] = "0"
+	diffs := Compare(a, b, 1.0)
+	if len(diffs) != 1 || diffs[0].Pct != 100 {
+		t.Errorf("change from zero should report as 100%%: %v", diffs)
+	}
+}
+
+func TestParseNumeric(t *testing.T) {
+	cases := []struct {
+		in   string
+		v    float64
+		okay bool
+	}{
+		{"5.72", 5.72, true},
+		{"20.8%", 20.8, true},
+		{"-0.6%", -0.6, true},
+		{"266140", 266140, true},
+		{"xgcc", 0, false},
+		{"", 0, false},
+		{"spec-C", 0, false},
+	}
+	for _, c := range cases {
+		v, ok := parseNumeric(c.in)
+		if ok != c.okay || (ok && v != c.v) {
+			t.Errorf("parseNumeric(%q) = %v,%v, want %v,%v", c.in, v, ok, c.v, c.okay)
+		}
+	}
+}
+
+func TestToJSONFromRealExperiment(t *testing.T) {
+	e, ok := Get("table1")
+	if !ok {
+		t.Fatal("table1 missing")
+	}
+	r, err := e.Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := ToJSON(e, r)
+	if j.ID != "table1" || j.Title == "" || len(j.Tables) == 0 {
+		t.Errorf("ToJSON dropped fields: %+v", j)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []JSONResult{j}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := Compare([]JSONResult{j}, back, 0.0001); len(diffs) != 0 {
+		t.Errorf("self-comparison after round trip: %v", diffs)
+	}
+}
+
+func TestBarsFromTable(t *testing.T) {
+	tbl := stats.NewTable("x", "benchmark", "window", "CI vs BASE", "CI-I vs BASE")
+	tbl.AddRow("xgcc", 128, stats.Percent(20.8), stats.Percent(42.9))
+	tbl.AddRow("xgo", 128, stats.Percent(64.9), stats.Percent(104.6))
+	p := barsFromTable(tbl, "title", []int{0, 1}, []int{2, 3}, "%")
+	if len(p.Groups) != 2 {
+		t.Fatalf("want 2 groups, got %d", len(p.Groups))
+	}
+	if p.Groups[0].Label != "xgcc 128" {
+		t.Errorf("group label %q", p.Groups[0].Label)
+	}
+	if len(p.Groups[0].Bars) != 2 || p.Groups[0].Bars[0].Name != "CI vs BASE" ||
+		p.Groups[0].Bars[0].Value != 20.8 {
+		t.Errorf("bars wrong: %+v", p.Groups[0].Bars)
+	}
+	out := p.Render()
+	if !strings.Contains(out, "104.6%") || !strings.Contains(out, "xgo 128") {
+		t.Errorf("bar render missing content:\n%s", out)
+	}
+	// Non-numeric value columns are skipped, not rendered as zero bars.
+	tbl2 := stats.NewTable("y", "a", "b")
+	tbl2.AddRow("name", "notanumber")
+	if q := barsFromTable(tbl2, "t", []int{0}, []int{1}, ""); len(q.Groups) != 0 {
+		t.Errorf("non-numeric rows should produce no groups: %+v", q.Groups)
+	}
+}

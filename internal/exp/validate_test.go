@@ -1,0 +1,203 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"cisim/internal/stats"
+)
+
+// Semantic validators: per-experiment shape checks applied to the quick-
+// scale outputs by TestAllExperimentsQuick. Quick runs are noisy, so the
+// checks assert the paper's *orderings* with generous slack, not
+// magnitudes — a harness regression (swapped columns, inverted baseline,
+// dropped workload) trips them; run-to-run noise must not.
+
+// cell returns the numeric value of table t at (row, col), failing the
+// test if it does not parse.
+func cell(t *testing.T, tbl *stats.Table, row, col int) float64 {
+	t.Helper()
+	if row >= len(tbl.Rows) || col >= len(tbl.Rows[row]) {
+		t.Fatalf("%s: no cell (%d,%d)", tbl.Title, row, col)
+	}
+	v, ok := parseNumeric(tbl.Rows[row][col])
+	if !ok {
+		t.Fatalf("%s: cell (%d,%d) = %q not numeric", tbl.Title, row, col, tbl.Rows[row][col])
+	}
+	return v
+}
+
+// colIndex finds a column by (case-insensitive) substring.
+func colIndex(t *testing.T, tbl *stats.Table, name string) int {
+	t.Helper()
+	for i, c := range tbl.Columns {
+		if strings.Contains(strings.ToLower(c), strings.ToLower(name)) {
+			return i
+		}
+	}
+	t.Fatalf("%s: no column matching %q in %v", tbl.Title, name, tbl.Columns)
+	return -1
+}
+
+var validators = map[string]func(*testing.T, *Result){
+	"table1": func(t *testing.T, r *Result) {
+		tbl := r.Tables[0]
+		if len(tbl.Rows) != 5 {
+			t.Fatalf("want 5 workloads, got %d", len(tbl.Rows))
+		}
+		mi := colIndex(t, tbl, "mispredict")
+		for i := range tbl.Rows {
+			rate := cell(t, tbl, i, mi)
+			if rate <= 0 || rate > 30 {
+				t.Errorf("row %d misprediction rate %.1f%% out of plausible band", i, rate)
+			}
+		}
+		// xvortex must be the most predictable (last row, Table 1 order).
+		if v := cell(t, tbl, 4, mi); v > cell(t, tbl, 0, mi) {
+			t.Errorf("xvortex rate %.1f%% should be below xgcc's", v)
+		}
+	},
+	"fig3": func(t *testing.T, r *Result) {
+		tbl := r.Tables[0]
+		oi, bi := colIndex(t, tbl, "oracle"), colIndex(t, tbl, "base")
+		for i := range tbl.Rows {
+			if cell(t, tbl, i, oi) < cell(t, tbl, i, bi)*0.98 {
+				t.Errorf("row %d: oracle below base", i)
+			}
+		}
+	},
+	"fig5": func(t *testing.T, r *Result) {
+		tbl := r.Tables[0]
+		bi, ci := colIndex(t, tbl, "BASE"), colIndex(t, tbl, "CI")
+		for i := range tbl.Rows {
+			base, cim := cell(t, tbl, i, bi), cell(t, tbl, i, ci)
+			if base <= 0 || cim <= 0 {
+				t.Errorf("row %d: non-positive IPC", i)
+			}
+			if cim < base*0.85 {
+				t.Errorf("row %d: CI (%.2f) far below BASE (%.2f)", i, cim, base)
+			}
+		}
+	},
+	"fig6": func(t *testing.T, r *Result) {
+		tbl := r.Tables[0]
+		ci := colIndex(t, tbl, "CI vs BASE")
+		// CI must clearly help the mispredictable workloads (xgo rows).
+		helped := false
+		for i := range tbl.Rows {
+			if tbl.Rows[i][0] == "xgo" && cell(t, tbl, i, ci) > 10 {
+				helped = true
+			}
+		}
+		if !helped {
+			t.Error("CI improvement on xgo should exceed 10% even at quick scale")
+		}
+	},
+	"table2": func(t *testing.T, r *Result) {
+		tbl := r.Tables[0]
+		ri := colIndex(t, tbl, "reconverge")
+		si := colIndex(t, tbl, "restart cycles")
+		for i := range tbl.Rows {
+			if v := cell(t, tbl, i, ri); v < 0 || v > 100 {
+				t.Errorf("row %d: reconvergence %.1f%% outside [0,100]", i, v)
+			}
+			if v := cell(t, tbl, i, si); v < 0 || v > 8 {
+				t.Errorf("row %d: restart duration %.2f cycles implausible", i, v)
+			}
+		}
+	},
+	"table3": func(t *testing.T, r *Result) {
+		tbl := r.Tables[0]
+		fi, wi := colIndex(t, tbl, "fetch saved"), colIndex(t, tbl, "work saved")
+		for i := range tbl.Rows {
+			if cell(t, tbl, i, wi) > cell(t, tbl, i, fi)+0.05 {
+				t.Errorf("row %d: work saved exceeds fetch saved", i)
+			}
+		}
+	},
+	"table4": func(t *testing.T, r *Result) {
+		tbl := r.Tables[0]
+		ni, ci := colIndex(t, tbl, "noCI total"), colIndex(t, tbl, "CI total")
+		for i := range tbl.Rows {
+			no, with := cell(t, tbl, i, ni), cell(t, tbl, i, ci)
+			if no < 1 || with < 1 {
+				t.Errorf("row %d: issues per retired below 1 (%.3f / %.3f)", i, no, with)
+			}
+			if with < no*0.97 {
+				t.Errorf("row %d: CI reissues (%.3f) below noCI (%.3f)", i, with, no)
+			}
+		}
+	},
+	"fig8": func(t *testing.T, r *Result) {
+		tbl := r.Tables[0]
+		si, oi := colIndex(t, tbl, "simple IPC"), colIndex(t, tbl, "optimal IPC")
+		for i := range tbl.Rows {
+			s, o := cell(t, tbl, i, si), cell(t, tbl, i, oi)
+			if s < o*0.85 || s > o*1.10 {
+				t.Errorf("row %d: simple (%.2f) should track optimal (%.2f)", i, s, o)
+			}
+		}
+	},
+	"fig9": func(t *testing.T, r *Result) {
+		tbl := r.Tables[0] // 9a: IPC under completion models
+		ni, si := colIndex(t, tbl, "non-spec"), colIndex(t, tbl, "spec-C")
+		for i := range tbl.Rows {
+			if cell(t, tbl, i, si) < cell(t, tbl, i, ni)*0.9 {
+				t.Errorf("row %d: spec-C far below non-spec", i)
+			}
+		}
+		if len(r.Tables) < 3 {
+			t.Fatalf("fig9 should emit 9a/9b/9c, got %d tables", len(r.Tables))
+		}
+	},
+	"fig10": func(t *testing.T, r *Result) {
+		tbl := r.Tables[0]
+		for i := range tbl.Rows {
+			for j := 3; j < len(tbl.Rows[i]); j++ {
+				if v, ok := parseNumeric(tbl.Rows[i][j]); ok && (v < 0 || v > 100) {
+					t.Errorf("row %d col %d: fraction %.1f%% outside [0,100]", i, j, v)
+				}
+			}
+		}
+	},
+	"fig12": func(t *testing.T, r *Result) {
+		tbl := r.Tables[0]
+		di := colIndex(t, tbl, "difference")
+		for i := range tbl.Rows {
+			if v := cell(t, tbl, i, di); v < -25 || v > 25 {
+				t.Errorf("row %d: oracle history moved IPC by %.1f%%, paper says ±5%%", i, v)
+			}
+		}
+	},
+	"fig13": func(t *testing.T, r *Result) {
+		tbl := r.Tables[0]
+		ci, oi := colIndex(t, tbl, "CI vs base"), colIndex(t, tbl, "CI-OR vs base")
+		for i := range tbl.Rows {
+			if cell(t, tbl, i, oi) < cell(t, tbl, i, ci)-10 {
+				t.Errorf("row %d: oracle re-prediction clearly below CI", i)
+			}
+		}
+	},
+	"fig14": func(t *testing.T, r *Result) {
+		tbl := r.Tables[0]
+		s1, s16 := colIndex(t, tbl, "seg-1 vs base"), colIndex(t, tbl, "seg-16 vs base")
+		for i := range tbl.Rows {
+			if cell(t, tbl, i, s16) > cell(t, tbl, i, s1)+8 {
+				t.Errorf("row %d: coarse segments should not beat fine ones", i)
+			}
+		}
+	},
+	"fig17": func(t *testing.T, r *Result) {
+		tbl := r.Tables[0]
+		pi := colIndex(t, tbl, "postdom")
+		any := false
+		for i := range tbl.Rows {
+			if cell(t, tbl, i, pi) > 5 {
+				any = true
+			}
+		}
+		if !any {
+			t.Error("full CI column should show a clear improvement somewhere")
+		}
+	},
+}

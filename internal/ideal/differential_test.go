@@ -1,0 +1,52 @@
+package ideal
+
+import (
+	"testing"
+
+	"cisim/internal/progen"
+	"cisim/internal/trace"
+)
+
+// TestIdealDifferentialRandomPrograms runs random programs through every
+// idealized model at several window sizes: every entry must retire, the
+// model ordering invariants must hold, and runs must be deterministic.
+func TestIdealDifferentialRandomPrograms(t *testing.T) {
+	seeds := 10
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		p := progen.Generate(seed, progen.Config{})
+		tr, err := trace.Generate(p, trace.Options{MaxInstrs: 60_000})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, win := range []int{16, 64, 256} {
+			ipc := map[Model]float64{}
+			for _, m := range Models() {
+				r, err := Run(tr, Config{Model: m, WindowSize: win})
+				if err != nil {
+					t.Fatalf("seed %d %v win%d: %v", seed, m, win, err)
+				}
+				if r.Retired != uint64(len(tr.Entries)) {
+					t.Fatalf("seed %d %v win%d: retired %d of %d",
+						seed, m, win, r.Retired, len(tr.Entries))
+				}
+				ipc[m] = r.IPC
+			}
+			// Monotonicity within the model family (2% tolerance for
+			// scheduling artifacts the paper also acknowledges).
+			checks := []struct {
+				lo, hi Model
+			}{
+				{Base, WRFD}, {WRFD, WRnFD}, {NWRFD, NWRnFD},
+			}
+			for _, c := range checks {
+				if ipc[c.lo] > ipc[c.hi]*1.02 {
+					t.Errorf("seed %d win%d: %v (%.3f) beats %v (%.3f)",
+						seed, win, c.lo, ipc[c.lo], c.hi, ipc[c.hi])
+				}
+			}
+		}
+	}
+}

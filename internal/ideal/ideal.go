@@ -1,0 +1,816 @@
+// Package ideal implements the idealized machine models of Section 2: six
+// trace-driven window schedulers that bracket the performance potential of
+// control independence.
+//
+// The six models share one engine, parameterized by three choices:
+//
+//	oracle    perfect branch prediction (mispredictions ignored)
+//	base      complete squash after every misprediction
+//	nWR-nFD   CI exploited; wrong path consumes nothing; no false deps
+//	nWR-FD    CI exploited; wrong path consumes nothing; false deps felt
+//	WR-nFD    CI exploited; wrong path consumes fetch/window/issue; no FD
+//	WR-FD     CI exploited; wrong path consumes resources and false deps
+//
+// Hardware constraints follow §2.2: machine width 16 (fetch, issue,
+// retire), ideal fetch past any number of branches, a 5-stage pipeline,
+// symmetric functional units, unlimited renaming, oracle memory
+// disambiguation, and a perfect (1-cycle) data cache. The window size is
+// the experiment's parameter.
+//
+// The engine is a cycle-driven scheduler over the annotated trace. Fetch
+// follows per-misprediction "streams": the junk wrong path (charged in WR
+// models), a deferred stream holding the correct control-dependent entries
+// that activates when the branch resolves, and the control-independent
+// continuation at the reconvergent point. Issue is oldest-first among
+// ready instructions; *-FD models floor the final issue of falsely
+// dependent control-independent instructions at resolution + 1 (the
+// paper's single-cycle repair assumption). Multiple in-flight
+// mispredictions behave as optimal preemption (§A.1.2), which is what the
+// ideal study models.
+package ideal
+
+import (
+	"fmt"
+	"sort"
+
+	"cisim/internal/isa"
+	"cisim/internal/trace"
+)
+
+// Model selects one of the six Section 2 machine models.
+type Model int
+
+const (
+	Oracle Model = iota
+	Base
+	NWRnFD
+	NWRFD
+	WRnFD
+	WRFD
+)
+
+var modelNames = map[Model]string{
+	Oracle: "oracle", Base: "base",
+	NWRnFD: "nWR-nFD", NWRFD: "nWR-FD", WRnFD: "WR-nFD", WRFD: "WR-FD",
+}
+
+func (m Model) String() string { return modelNames[m] }
+
+// Models lists all six in the paper's presentation order (Figure 3).
+func Models() []Model { return []Model{Oracle, NWRnFD, NWRFD, WRnFD, WRFD, Base} }
+
+// knobs are the engine's parameterization of a model.
+type knobs struct {
+	usePred bool // honour mispredictions at all (false = oracle)
+	ci      bool // exploit control independence (false = complete squash)
+	wr      bool // wrong path consumes fetch/window/issue resources
+	fd      bool // false data dependences delay control independent issue
+}
+
+func (m Model) knobs() knobs {
+	switch m {
+	case Oracle:
+		return knobs{}
+	case Base:
+		return knobs{usePred: true, wr: true}
+	case NWRnFD:
+		return knobs{usePred: true, ci: true}
+	case NWRFD:
+		return knobs{usePred: true, ci: true, fd: true}
+	case WRnFD:
+		return knobs{usePred: true, ci: true, wr: true}
+	case WRFD:
+		return knobs{usePred: true, ci: true, wr: true, fd: true}
+	}
+	panic("ideal: unknown model")
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	Model      Model
+	WindowSize int
+	Width      int // fetch/issue/retire width; 0 means 16 (§2.2)
+	// MaxCycles guards against scheduler bugs; 0 derives a generous
+	// bound from the trace length.
+	MaxCycles int64
+	// RecordTimes captures per-entry issue and retire cycles in the
+	// Result, for tests and detailed analysis.
+	RecordTimes bool
+}
+
+// Result reports a run's outcome.
+type Result struct {
+	Model   Model
+	Window  int
+	Retired uint64
+	Cycles  int64
+	IPC     float64
+
+	// Squashed counts wrong-path (junk) slots that occupied the window.
+	Squashed uint64
+	// Evicted counts control independent instructions squashed
+	// youngest-first to make room for restart sequences (§3.2.2).
+	Evicted uint64
+
+	// IssueCycle and RetireCycle are per-entry times, recorded when
+	// Config.RecordTimes is set.
+	IssueCycle  []int64
+	RetireCycle []int64
+
+	// FloorsAttached counts false-dependence floors attached to control
+	// independent instructions; FloorsBound counts issue attempts
+	// actually delayed by an unresolved or just-resolved floor.
+	FloorsAttached uint64
+	FloorsBound    uint64
+}
+
+const never = int64(-1)
+
+type slotKind uint8
+
+const (
+	kindReal slotKind = iota
+	kindJunk
+)
+
+// key orders window slots in logical program order. Real entry i is
+// (i, 0); the junk wrong path of a mispredicted branch i occupies
+// (i, 1..Len), which sorts after the branch and before entry i+1.
+type key struct {
+	idx int32
+	sub int32
+}
+
+func (a key) less(b key) bool {
+	if a.idx != b.idx {
+		return a.idx < b.idx
+	}
+	return a.sub < b.sub
+}
+
+type mispRec struct {
+	branch   int32 // trace entry index of the mispredicted branch
+	reconv   int32 // first CI entry index; -1 when none usable
+	wp       *trace.WrongPath
+	resolved bool
+	resolveC int64 // branch completion cycle (D in Figure 2)
+}
+
+type slot struct {
+	key    key
+	kind   slotKind
+	stream int // owning stream id (for eviction)
+	// streamEnd is the owning stream's end at fetch time, so an eviction
+	// can revive a refetch stream with exactly the right coverage.
+	streamEnd int32
+
+	fetchC int64
+	issueC int64
+	doneC  int64
+
+	// floors lists mispredictions whose resolution must precede this
+	// slot's final issue: the false-data-dependence repair of the *-FD
+	// models.
+	floors []*mispRec
+	// misp is set on mispredicted branch slots.
+	misp *mispRec
+}
+
+type stream struct {
+	id   int
+	next int32 // next trace entry to fetch
+	end  int32 // one past the last entry this stream covers
+	dead bool
+	// activateAt delays fetching real entries: deferred (correct
+	// control-dependent) streams and stalled nWR streams hold never
+	// until their misprediction resolves.
+	activateAt int64
+	deferredOf *mispRec
+	// Junk wrong-path state: while junkFor is set and junkLeft != 0 the
+	// stream emits junk slots (junkLeft < 0 = unbounded).
+	junkFor  *mispRec
+	junkSub  int32
+	junkLeft int32
+}
+
+type engine struct {
+	cfg     Config
+	k       knobs
+	tr      *trace.Trace
+	width   int
+	winSize int
+
+	window  []*slot // sorted by key; window[head:] is live
+	head    int
+	streams []*stream
+	nextSID int
+
+	// doneCycle[i] is entry i's completion cycle (never if not executed
+	// or squashed). Retired entries keep their completion cycle.
+	doneCycle []int64
+
+	// mispOf remembers the recovery record of each mispredicted branch
+	// entry, so a refetch after eviction can tell whether the branch has
+	// already resolved (in which case the outcome is known and the
+	// control-dependent region is covered by surviving streams).
+	mispOf map[int32]*mispRec
+
+	// liveReal tracks which trace entries currently occupy window slots,
+	// letting overlapping fetch streams (created by eviction refetches)
+	// skip entries that are already present instead of duplicating them.
+	liveReal map[int32]bool
+
+	// squashAt holds pending recovery actions: at the recorded cycle the
+	// misprediction's junk is squashed and wrong-path fetch stops, so
+	// correct-path fetch resumes exactly one cycle after detection, the
+	// same timing as deferred-stream activation.
+	squashAt []pendingSquash
+
+	retireNext int32
+	cycle      int64
+
+	res Result
+}
+
+// Run simulates the trace under the configured model.
+func Run(tr *trace.Trace, cfg Config) (Result, error) {
+	if cfg.Width == 0 {
+		cfg.Width = 16
+	}
+	if cfg.WindowSize <= 0 {
+		return Result{}, fmt.Errorf("ideal: window size must be positive")
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = int64(len(tr.Entries))*8 + 10_000
+	}
+	e := &engine{
+		cfg:       cfg,
+		k:         cfg.Model.knobs(),
+		tr:        tr,
+		width:     cfg.Width,
+		winSize:   cfg.WindowSize,
+		doneCycle: make([]int64, len(tr.Entries)),
+		mispOf:    make(map[int32]*mispRec),
+		liveReal:  make(map[int32]bool),
+	}
+	for i := range e.doneCycle {
+		e.doneCycle[i] = never
+	}
+	e.addStream(0, int32(len(tr.Entries)), 0)
+	if cfg.RecordTimes {
+		e.res.IssueCycle = make([]int64, len(tr.Entries))
+		e.res.RetireCycle = make([]int64, len(tr.Entries))
+	}
+
+	n := int32(len(tr.Entries))
+	for e.retireNext < n {
+		e.cycle++
+		if e.cycle > cfg.MaxCycles {
+			return Result{}, fmt.Errorf("ideal: %v window=%d exceeded cycle bound at retire %d/%d\n%s",
+				cfg.Model, cfg.WindowSize, e.retireNext, n, e.stuckReport())
+		}
+		e.applySquashes()
+		e.retire()
+		e.issue()
+		e.fetch()
+	}
+	e.res.Model = cfg.Model
+	e.res.Window = cfg.WindowSize
+	e.res.Retired = uint64(n)
+	e.res.Cycles = e.cycle
+	if e.cycle > 0 {
+		e.res.IPC = float64(n) / float64(e.cycle)
+	}
+	return e.res, nil
+}
+
+func (e *engine) addStream(next, end int32, activateAt int64) *stream {
+	s := &stream{id: e.nextSID, next: next, end: end, activateAt: activateAt}
+	e.nextSID++
+	e.streams = append(e.streams, s)
+	return s
+}
+
+func (e *engine) liveCount() int { return len(e.window) - e.head }
+
+// --- retire stage ---
+
+func (e *engine) retire() {
+	for n := 0; n < e.width; n++ {
+		if e.head >= len(e.window) {
+			return
+		}
+		s := e.window[e.head]
+		if s.kind != kindReal || s.key.idx != e.retireNext || s.key.sub != 0 {
+			return
+		}
+		if s.doneC == never || s.doneC >= e.cycle {
+			return
+		}
+		if e.res.RetireCycle != nil {
+			e.res.RetireCycle[s.key.idx] = e.cycle
+			e.res.IssueCycle[s.key.idx] = s.issueC
+		}
+		delete(e.liveReal, s.key.idx)
+		e.retireNext++
+		e.head++
+	}
+}
+
+// --- issue stage ---
+
+func (e *engine) issue() {
+	issued := 0
+	for i := e.head; i < len(e.window) && issued < e.width; i++ {
+		s := e.window[i]
+		if s.issueC != never {
+			continue
+		}
+		if !e.ready(s) {
+			continue
+		}
+		s.issueC = e.cycle
+		s.doneC = e.cycle + int64(e.latency(s))
+		if s.kind == kindReal {
+			e.doneCycle[s.key.idx] = s.doneC
+		}
+		if s.misp != nil && !s.misp.resolved {
+			e.resolve(s.misp, s.doneC)
+		}
+		issued++
+	}
+}
+
+func (e *engine) latency(s *slot) int {
+	if s.kind == kindJunk {
+		return 1
+	}
+	en := &e.tr.Entries[s.key.idx]
+	lat := isa.Latency(en.Inst.Op)
+	if isa.ClassOf(en.Inst.Op) == isa.ClassLoad {
+		lat++ // perfect data cache: 1-cycle access after address generation
+	}
+	return lat
+}
+
+// ready reports whether a slot can issue this cycle.
+func (e *engine) ready(s *slot) bool {
+	// Dispatch takes the cycle after fetch; issue the cycle after that.
+	if e.cycle < s.fetchC+2 {
+		return false
+	}
+	if s.kind == kindJunk {
+		return true
+	}
+	// False-dependence floors: every covering misprediction must have
+	// resolved, and repair completes the cycle after resolution.
+	for _, m := range s.floors {
+		if !m.resolved || e.cycle < m.resolveC+1 {
+			e.res.FloorsBound++
+			return false
+		}
+	}
+	en := &e.tr.Entries[s.key.idx]
+	for _, p := range en.DepReg {
+		if !e.producerDone(p) {
+			return false
+		}
+	}
+	if en.DepMem != trace.NoDep && !e.producerDone(en.DepMem) {
+		return false
+	}
+	return true
+}
+
+func (e *engine) producerDone(p int32) bool {
+	if p == trace.NoDep {
+		return true
+	}
+	d := e.doneCycle[p]
+	return d != never && d <= e.cycle
+}
+
+// resolve handles misprediction resolution. The misprediction is detected
+// when the branch completes (cycle at); recovery — squashing the junk
+// wrong path, redirecting fetch to the correct path, activating the
+// deferred control-dependent stream — takes effect at cycle at+1, so every
+// recovery flavour (junk-chasing, stalled nWR stream, deferred stream)
+// resumes correct-path fetch with identical timing.
+func (e *engine) resolve(m *mispRec, at int64) {
+	m.resolved = true
+	m.resolveC = at
+	e.squashAt = append(e.squashAt, pendingSquash{at: at + 1, m: m})
+	for _, st := range e.streams {
+		if st.dead {
+			continue
+		}
+		if st.deferredOf == m && st.activateAt == never {
+			st.activateAt = at + 1
+		}
+	}
+}
+
+type pendingSquash struct {
+	at int64
+	m  *mispRec
+}
+
+// applySquashes performs recovery actions that have come due: the junk
+// wrong path of each resolved misprediction is squashed and its stream
+// stops fetching junk, so correct-path fetch resumes this cycle.
+func (e *engine) applySquashes() {
+	out := e.squashAt[:0]
+	for _, ps := range e.squashAt {
+		if ps.at > e.cycle {
+			out = append(out, ps)
+			continue
+		}
+		e.squashJunk(ps.m)
+		for _, st := range e.streams {
+			if !st.dead && st.junkFor == ps.m {
+				st.junkFor = nil
+				st.junkLeft = 0
+			}
+		}
+	}
+	e.squashAt = out
+}
+
+// squashJunk removes all junk slots belonging to a misprediction.
+func (e *engine) squashJunk(m *mispRec) {
+	out := e.window[:e.head]
+	for _, s := range e.window[e.head:] {
+		if s.kind == kindJunk && s.key.idx == m.branch {
+			e.res.Squashed++
+			continue
+		}
+		out = append(out, s)
+	}
+	e.window = out
+}
+
+// --- fetch stage ---
+
+func (e *engine) fetch() {
+	e.pruneStreams()
+	for budget := e.width; budget > 0; {
+		st := e.earliestStream()
+		if st == nil {
+			return
+		}
+		// Overlapping streams (left behind by eviction refetches) skip
+		// entries that are already in the window or already retired.
+		if k, ok := e.streamKey(st); ok && k.sub == 0 &&
+			(k.idx < e.retireNext || e.liveReal[k.idx]) {
+			st.next++
+			continue
+		}
+		if e.liveCount() >= e.winSize {
+			if !e.evictFor(st) {
+				return
+			}
+		}
+		e.fetchOne(st)
+		budget--
+	}
+}
+
+func (e *engine) pruneStreams() {
+	if len(e.streams) < 32 {
+		return
+	}
+	out := e.streams[:0]
+	for _, st := range e.streams {
+		if !st.dead {
+			out = append(out, st)
+		}
+	}
+	e.streams = out
+	// Also compact the retired window prefix while we are here.
+	if e.head > 4096 {
+		e.window = append(e.window[:0], e.window[e.head:]...)
+		e.head = 0
+	}
+}
+
+// earliestStream returns the fetchable stream with the logically earliest
+// next position.
+func (e *engine) earliestStream() *stream {
+	var best *stream
+	var bestKey key
+	for _, st := range e.streams {
+		if st.dead {
+			continue
+		}
+		k, ok := e.streamKey(st)
+		if !ok {
+			continue
+		}
+		// Real-entry fetch may be gated by activation; junk is not.
+		if k.sub == 0 && (st.activateAt == never || st.activateAt > e.cycle) {
+			continue
+		}
+		if best == nil || k.less(bestKey) {
+			best, bestKey = st, k
+		}
+	}
+	return best
+}
+
+// streamKey returns the key the stream would fetch next, retiring the
+// stream when it is exhausted.
+func (e *engine) streamKey(st *stream) (key, bool) {
+	if st.junkFor != nil && st.junkLeft != 0 {
+		return key{st.junkFor.branch, st.junkSub + 1}, true
+	}
+	if st.next >= st.end {
+		st.dead = true
+		return key{}, false
+	}
+	return key{st.next, 0}, true
+}
+
+// evictFor makes room by squashing the youngest window slot, provided the
+// requesting stream's next key is logically older (§3.2.2: squash control
+// independent instructions youngest first). Returns false when eviction
+// would not help.
+func (e *engine) evictFor(st *stream) bool {
+	want, ok := e.streamKey(st)
+	if !ok || e.head >= len(e.window) {
+		return false
+	}
+	young := e.window[len(e.window)-1]
+	if !want.less(young.key) {
+		return false
+	}
+	e.window = e.window[:len(e.window)-1]
+	owner := e.streamByID(young.stream)
+	if young.kind == kindJunk {
+		// Return the junk quota to its stream.
+		if owner != nil && owner.junkFor != nil {
+			owner.junkSub--
+			if owner.junkLeft >= 0 {
+				owner.junkLeft++
+			}
+		}
+		return true
+	}
+	e.res.Evicted++
+	idx := young.key.idx
+	e.doneCycle[idx] = never
+	delete(e.liveReal, idx)
+	if young.misp != nil && !young.misp.resolved {
+		// An evicted, still-unresolved mispredicted branch takes its
+		// recovery machinery with it; refetching it rebuilds everything.
+		// (A resolved branch keeps its machinery: its deferred stream
+		// and eviction-refetch streams still legitimately cover the
+		// control-dependent region.)
+		for _, s2 := range e.streams {
+			if s2.deferredOf == young.misp {
+				s2.dead = true
+			}
+			if s2.junkFor == young.misp {
+				s2.junkFor = nil
+				s2.junkLeft = 0
+			}
+		}
+	}
+	if owner != nil && !owner.dead {
+		if owner.next > idx {
+			owner.next = idx
+		}
+	} else {
+		// Revive a stream covering the evicted slot, clamped against
+		// both its original stream's coverage and any live stream that
+		// already covers a later suffix.
+		end := young.streamEnd
+		for _, st2 := range e.streams {
+			if !st2.dead && st2.next > idx && st2.next < end {
+				end = st2.next
+			}
+		}
+		e.addStream(idx, end, e.cycle)
+	}
+	return true
+}
+
+func (e *engine) streamByID(id int) *stream {
+	for _, st := range e.streams {
+		if st.id == id {
+			return st
+		}
+	}
+	return nil
+}
+
+// fetchOne fetches the stream's next slot into the window.
+func (e *engine) fetchOne(st *stream) {
+	if st.junkFor != nil && st.junkLeft != 0 {
+		st.junkSub++
+		if st.junkLeft > 0 {
+			st.junkLeft--
+		}
+		s := &slot{
+			key:    key{st.junkFor.branch, st.junkSub},
+			kind:   kindJunk,
+			stream: st.id, streamEnd: st.end,
+			fetchC: e.cycle, issueC: never, doneC: never,
+		}
+		e.insert(s)
+		return
+	}
+	idx := st.next
+	st.next++
+	s := &slot{
+		key:    key{idx, 0},
+		kind:   kindReal,
+		stream: st.id, streamEnd: st.end,
+		fetchC: e.cycle, issueC: never, doneC: never,
+	}
+	en := &e.tr.Entries[idx]
+
+	// Attach false-dependence floors from every unresolved misprediction
+	// this entry is control independent of.
+	if e.k.fd {
+		e.attachFloors(s, en)
+	}
+	// Misprediction handling at fetch: redirect this stream.
+	if e.k.usePred && en.Mispredicted {
+		if m := e.mispOf[idx]; m != nil && m.resolved {
+			// Refetch after resolution: the outcome is already known,
+			// and the control-dependent region is covered by the
+			// surviving deferred/refetch streams — skip past it.
+			s.misp = m
+			if m.reconv > idx && st.next < m.reconv {
+				st.next = m.reconv
+			}
+		} else {
+			e.onMispredict(st, s, idx, en)
+		}
+	}
+	e.insert(s)
+}
+
+// onMispredict rewires the fetching stream according to the model.
+func (e *engine) onMispredict(st *stream, s *slot, idx int32, en *trace.Entry) {
+	m := &mispRec{branch: idx, reconv: -1, wp: en.Wrong}
+	s.misp = m
+	e.mispOf[idx] = m
+
+	reconv := int32(-1)
+	if e.k.ci && en.Wrong != nil && en.Wrong.ReconvEntry >= 0 {
+		reconv = en.Wrong.ReconvEntry
+		if reconv > st.end {
+			// The reconvergent point lies beyond this stream's region:
+			// the entries past st.end are already in the window as
+			// control independent instructions of an outer
+			// misprediction. Treat the stream boundary as the
+			// reconvergent point (optimal-preemption idealization).
+			reconv = st.end
+		}
+	}
+
+	if reconv > idx {
+		m.reconv = reconv
+		// Deferred correct control-dependent stream [idx+1, reconv),
+		// activated at resolution.
+		if reconv > idx+1 {
+			d := e.addStream(idx+1, reconv, never)
+			d.deferredOf = m
+		}
+		// This stream continues at the reconvergent point, behind the
+		// junk wrong path when the model charges its resources.
+		st.next = reconv
+		st.dead = st.next >= st.end
+		if e.k.wr && en.Wrong != nil && en.Wrong.Len > 0 {
+			st.junkFor = m
+			st.junkSub = 0
+			st.junkLeft = int32(en.Wrong.Len)
+			st.dead = false
+		}
+		return
+	}
+
+	// No usable reconvergence: complete-squash recovery for this branch.
+	st.next = idx + 1
+	if e.k.wr {
+		// The front end chases the wrong path until resolution:
+		// unbounded junk, squashed at resolution. The junk itself keeps
+		// real fetch from advancing.
+		st.junkFor = m
+		st.junkSub = 0
+		st.junkLeft = -1
+	} else {
+		// nWR: oracle knowledge skips the wrong path entirely; fetch
+		// simply idles until resolution.
+		st.activateAt = never
+		st.deferredOf = m
+	}
+}
+
+// attachFloors records which unresolved mispredictions create false data
+// dependences for this control independent entry.
+func (e *engine) attachFloors(s *slot, en *trace.Entry) {
+	idx := s.key.idx
+	for _, other := range e.window[e.head:] {
+		m := other.misp
+		if m == nil || m.resolved || m.reconv < 0 || idx < m.reconv {
+			continue
+		}
+		if e.falseDep(m, en) {
+			s.floors = append(s.floors, m)
+			e.res.FloorsAttached++
+		}
+	}
+}
+
+// falseDep reports whether entry en (control independent of m) reads a
+// value the wrong path of m overwrote without an intervening control
+// independent producer.
+func (e *engine) falseDep(m *mispRec, en *trace.Entry) bool {
+	wp := m.wp
+	if wp == nil {
+		return false
+	}
+	if wp.RegWrites != 0 {
+		for si, r := range en.Inst.SrcRegs() {
+			if si >= 2 || r == isa.RZero {
+				continue
+			}
+			if wp.RegWrites&(1<<r) == 0 {
+				continue
+			}
+			// A producer at or after the reconvergent point shields the
+			// consumer: its window mapping is already correct.
+			if en.DepReg[si] == trace.NoDep || en.DepReg[si] < m.reconv {
+				return true
+			}
+		}
+	}
+	if len(wp.Stores) > 0 && isa.ClassOf(en.Inst.Op) == isa.ClassLoad {
+		if en.DepMem == trace.NoDep || en.DepMem < m.reconv {
+			ld := trace.AddrRange{Addr: en.EA, Size: en.MemSize()}
+			for _, sr := range wp.Stores {
+				if ld.Overlaps(sr) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// insert places a slot into the window, keeping key order. A duplicate
+// live slot or the refetch of a retired entry indicates a stream
+// bookkeeping bug, so both are hard failures.
+func (e *engine) insert(s *slot) {
+	if s.kind == kindReal && s.key.idx < e.retireNext {
+		panic(fmt.Sprintf("ideal: refetch of retired entry %d (retireNext %d)", s.key.idx, e.retireNext))
+	}
+	live := e.window[e.head:]
+	i := sort.Search(len(live), func(i int) bool { return !live[i].key.less(s.key) })
+	if i < len(live) && live[i].key == s.key {
+		old := live[i]
+		panic(fmt.Sprintf("ideal: duplicate window slot (%d,%d): old stream=%d end=%d fetchC=%d, new stream=%d end=%d cycle=%d\n%s",
+			s.key.idx, s.key.sub, old.stream, old.streamEnd, old.fetchC, s.stream, s.streamEnd, e.cycle, e.stuckReport()))
+	}
+	i += e.head
+	e.window = append(e.window, nil)
+	copy(e.window[i+1:], e.window[i:])
+	e.window[i] = s
+	if s.kind == kindReal {
+		e.liveReal[s.key.idx] = true
+	}
+}
+
+// stuckReport describes engine state for cycle-bound failures (debugging).
+func (e *engine) stuckReport() string {
+	s := fmt.Sprintf("cycle=%d live=%d head=%d\n", e.cycle, e.liveCount(), e.head)
+	if e.head < len(e.window) {
+		h := e.window[e.head]
+		s += fmt.Sprintf("window head: key=(%d,%d) kind=%d fetchC=%d issueC=%d doneC=%d floors=%d\n",
+			h.key.idx, h.key.sub, h.kind, h.fetchC, h.issueC, h.doneC, len(h.floors))
+		for _, f := range h.floors {
+			s += fmt.Sprintf("  floor: branch=%d resolved=%v resolveC=%d\n", f.branch, f.resolved, f.resolveC)
+		}
+		if h.kind == kindReal {
+			en := &e.tr.Entries[h.key.idx]
+			s += fmt.Sprintf("  entry: %v deps=%v mem=%d: done=%v %v\n", en.Inst, en.DepReg, en.DepMem,
+				e.producerDone(en.DepReg[0]), e.producerDone(en.DepReg[1]))
+		}
+	}
+	for _, st := range e.streams {
+		if st.dead {
+			continue
+		}
+		s += fmt.Sprintf("stream %d: next=%d end=%d activateAt=%d junkLeft=%d", st.id, st.next, st.end, st.activateAt, st.junkLeft)
+		if st.deferredOf != nil {
+			s += fmt.Sprintf(" deferredOf=%d(resolved=%v)", st.deferredOf.branch, st.deferredOf.resolved)
+		}
+		if st.junkFor != nil {
+			s += fmt.Sprintf(" junkFor=%d(resolved=%v)", st.junkFor.branch, st.junkFor.resolved)
+		}
+		s += "\n"
+	}
+	return s
+}

@@ -1,0 +1,244 @@
+package ideal
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cisim/internal/asm"
+	"cisim/internal/trace"
+	"cisim/internal/workloads"
+)
+
+func mkTrace(t *testing.T, src string) *trace.Trace {
+	t.Helper()
+	tr, err := trace.Generate(asm.MustAssemble(src), trace.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func run(t *testing.T, tr *trace.Trace, m Model, win int) Result {
+	t.Helper()
+	r, err := Run(tr, Config{Model: m, WindowSize: win})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// straightLine builds a branch-free program of n independent instructions.
+func straightLine(n int) string {
+	var b strings.Builder
+	b.WriteString("main:\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "\taddi r%d, r0, %d\n", 1+i%16, i)
+	}
+	b.WriteString("\thalt\n")
+	return b.String()
+}
+
+func TestOracleIndependentKernelReachesWidth(t *testing.T) {
+	tr := mkTrace(t, straightLine(3200))
+	r := run(t, tr, Oracle, 256)
+	if r.IPC < 14.0 {
+		t.Errorf("independent kernel IPC = %.2f, want near 16", r.IPC)
+	}
+	if r.Retired != uint64(len(tr.Entries)) {
+		t.Errorf("retired %d of %d", r.Retired, len(tr.Entries))
+	}
+}
+
+func TestSerialChainIPCNearOne(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("main:\n")
+	for i := 0; i < 2000; i++ {
+		b.WriteString("\taddi r1, r1, 1\n")
+	}
+	b.WriteString("\thalt\n")
+	tr := mkTrace(t, b.String())
+	r := run(t, tr, Oracle, 256)
+	if r.IPC > 1.1 {
+		t.Errorf("serial chain IPC = %.2f, want about 1", r.IPC)
+	}
+}
+
+func TestNoBranchesAllModelsIdentical(t *testing.T) {
+	tr := mkTrace(t, straightLine(1000))
+	var first Result
+	for i, m := range Models() {
+		r := run(t, tr, m, 128)
+		if i == 0 {
+			first = r
+		} else if r.Cycles != first.Cycles {
+			t.Errorf("%v cycles = %d, want %d (no mispredictions: all models equal)",
+				m, r.Cycles, first.Cycles)
+		}
+	}
+}
+
+// diamond builds a program with hard-to-predict diamonds followed by a lot
+// of control independent work, the structure of Figure 1.
+const diamondSrc = `
+main:
+	li r20, 7919
+	li r21, 1103515245
+	li r1, 800
+loop:
+	mul  r20, r20, r21
+	addi r20, r20, 12345
+	srli r22, r20, 16
+	andi r22, r22, 1
+	beq  r22, r0, else     ; essentially random: mispredicts often
+then:
+	addi r2, r2, 1
+	jmp  join
+else:
+	addi r3, r3, 1
+join:
+	; control independent work, data independent of the diamond
+	add  r4, r4, r1
+	xor  r5, r5, r1
+	add  r6, r6, r1
+	xor  r7, r7, r1
+	add  r8, r8, r1
+	xor  r9, r9, r1
+	addi r1, r1, -1
+	bne  r1, r0, loop
+	halt
+`
+
+func TestModelOrdering(t *testing.T) {
+	tr := mkTrace(t, diamondSrc)
+	if tr.Stats.CondMisp < 100 {
+		t.Fatalf("diamond workload mispredicts only %d times; test needs pressure", tr.Stats.CondMisp)
+	}
+	const win = 128
+	res := map[Model]Result{}
+	for _, m := range Models() {
+		res[m] = run(t, tr, m, win)
+	}
+	t.Logf("oracle=%.2f nWR-nFD=%.2f nWR-FD=%.2f WR-nFD=%.2f WR-FD=%.2f base=%.2f",
+		res[Oracle].IPC, res[NWRnFD].IPC, res[NWRFD].IPC,
+		res[WRnFD].IPC, res[WRFD].IPC, res[Base].IPC)
+
+	// The fundamental ordering of Section 2 (Figure 3). nWR-nFD may
+	// slightly exceed oracle (§2.4 notes this), hence the tolerance.
+	if res[NWRnFD].IPC > res[Oracle].IPC*1.10 {
+		t.Errorf("nWR-nFD (%.2f) unreasonably above oracle (%.2f)", res[NWRnFD].IPC, res[Oracle].IPC)
+	}
+	type pair struct {
+		lo, hi Model
+	}
+	for _, p := range []pair{
+		{NWRFD, NWRnFD}, // false deps only hurt
+		{WRnFD, NWRnFD}, // wasted resources only hurt
+		{WRFD, WRnFD},   // adding FD to WR hurts
+		{WRFD, NWRFD},   // adding WR to FD hurts
+		{Base, WRFD},    // complete squash is the floor
+	} {
+		if res[p.lo].IPC > res[p.hi].IPC*1.02 {
+			t.Errorf("%v (%.2f) should not beat %v (%.2f)",
+				p.lo, res[p.lo].IPC, p.hi, res[p.hi].IPC)
+		}
+	}
+	// Control independence must actually pay off on this workload.
+	if res[WRFD].IPC < res[Base].IPC*1.05 {
+		t.Errorf("WR-FD (%.2f) should clearly beat base (%.2f) on diamond+CI work",
+			res[WRFD].IPC, res[Base].IPC)
+	}
+}
+
+func TestWindowScaling(t *testing.T) {
+	tr := mkTrace(t, diamondSrc)
+	small := run(t, tr, Oracle, 32)
+	large := run(t, tr, Oracle, 256)
+	if large.IPC < small.IPC {
+		t.Errorf("oracle IPC shrank with window: %0.2f -> %0.2f", small.IPC, large.IPC)
+	}
+	// Base saturates: beyond saturation the gain is small (§2.4).
+	b256 := run(t, tr, Base, 256)
+	b512 := run(t, tr, Base, 512)
+	if b512.IPC > b256.IPC*1.25 {
+		t.Errorf("base keeps scaling 256->512 (%.2f -> %.2f); expected saturation",
+			b256.IPC, b512.IPC)
+	}
+}
+
+func TestAllModelsOnAllWorkloads(t *testing.T) {
+	// Smoke coverage: every model completes every workload and retires
+	// every instruction, with sane IPC.
+	for _, w := range workloads.All() {
+		tr, err := trace.Generate(w.Program(60), trace.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		for _, m := range Models() {
+			r, err := Run(tr, Config{Model: m, WindowSize: 64})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", w.Name, m, err)
+			}
+			if r.Retired != uint64(len(tr.Entries)) {
+				t.Errorf("%s/%v retired %d of %d", w.Name, m, r.Retired, len(tr.Entries))
+			}
+			if r.IPC <= 0 || r.IPC > 16.01 {
+				t.Errorf("%s/%v IPC out of range: %f", w.Name, m, r.IPC)
+			}
+		}
+	}
+}
+
+func TestBaseWastesWrongPathSlots(t *testing.T) {
+	tr := mkTrace(t, diamondSrc)
+	b := run(t, tr, Base, 128)
+	if b.Squashed == 0 {
+		t.Error("base squashed no wrong-path slots despite mispredictions")
+	}
+	nwr := run(t, tr, NWRnFD, 128)
+	if nwr.Squashed != 0 {
+		t.Errorf("nWR model charged %d wrong-path slots; should charge none", nwr.Squashed)
+	}
+	wr := run(t, tr, WRFD, 128)
+	if wr.Squashed == 0 {
+		t.Error("WR model charged no wrong-path slots")
+	}
+}
+
+func TestTinyWindowStillCompletes(t *testing.T) {
+	tr := mkTrace(t, diamondSrc)
+	for _, m := range Models() {
+		r, err := Run(tr, Config{Model: m, WindowSize: 4})
+		if err != nil {
+			t.Fatalf("%v window=4: %v", m, err)
+		}
+		if r.Retired != uint64(len(tr.Entries)) {
+			t.Errorf("%v window=4 retired %d of %d", m, r.Retired, len(tr.Entries))
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tr := mkTrace(t, straightLine(10))
+	if _, err := Run(tr, Config{Model: Oracle}); err == nil {
+		t.Error("zero window should be rejected")
+	}
+	r, err := Run(tr, Config{Model: Oracle, WindowSize: 16, Width: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IPC > 4.01 {
+		t.Errorf("width 4 produced IPC %f", r.IPC)
+	}
+}
+
+func TestModelStrings(t *testing.T) {
+	for _, m := range Models() {
+		if m.String() == "" {
+			t.Errorf("model %d has no name", m)
+		}
+	}
+	if len(Models()) != 6 {
+		t.Errorf("expected 6 models")
+	}
+}

@@ -1,0 +1,145 @@
+package isa
+
+import "fmt"
+
+// Binary instruction formats (32 bits):
+//
+//	R-type  op(6) rd(5) rs1(5) rs2(5) zero(11)     ALU reg-reg, JR, JALR, RET
+//	I-type  op(6) rd(5) rs1(5) imm16               ALU reg-imm, LD, LB
+//	S-type  op(6) rs2(5) rs1(5) imm16              ST, SB
+//	B-type  op(6) rs1(5) rs2(5) off16              conditional branches
+//	J-type  op(6) word-target(26)                  JMP, JAL
+//
+// The J-type target field is a word (4-byte) address, so direct jumps reach
+// the first 256 MiB of the address space, ample for our programs.
+
+// EncodeErr describes an instruction that cannot be encoded.
+type EncodeErr struct {
+	Inst Inst
+	Why  string
+}
+
+func (e *EncodeErr) Error() string {
+	return fmt.Sprintf("isa: cannot encode %v: %s", e.Inst, e.Why)
+}
+
+// Encode packs an instruction into its 32-bit binary form.
+func Encode(in Inst) (uint32, error) {
+	if !in.Op.Valid() {
+		return 0, &EncodeErr{in, "invalid opcode"}
+	}
+	op := uint32(in.Op) << 26
+	switch ClassOf(in.Op) {
+	case ClassJump, ClassCall:
+		if in.Target%4 != 0 {
+			return 0, &EncodeErr{in, "misaligned target"}
+		}
+		w := in.Target / 4
+		if w >= 1<<26 {
+			return 0, &EncodeErr{in, "target out of range"}
+		}
+		return op | uint32(w), nil
+	case ClassCondBr:
+		if in.Imm < -(1<<15) || in.Imm >= 1<<15 {
+			return 0, &EncodeErr{in, "branch offset out of range"}
+		}
+		return op | uint32(in.Rs1)<<21 | uint32(in.Rs2)<<16 | uint32(uint16(in.Imm)), nil
+	case ClassStore:
+		if in.Imm < -(1<<15) || in.Imm >= 1<<15 {
+			return 0, &EncodeErr{in, "immediate out of range"}
+		}
+		return op | uint32(in.Rs2)<<21 | uint32(in.Rs1)<<16 | uint32(uint16(in.Imm)), nil
+	case ClassLoad:
+		if in.Imm < -(1<<15) || in.Imm >= 1<<15 {
+			return 0, &EncodeErr{in, "immediate out of range"}
+		}
+		return op | uint32(in.Rd)<<21 | uint32(in.Rs1)<<16 | uint32(uint16(in.Imm)), nil
+	default:
+		switch in.Op {
+		case ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI, LUI:
+			if in.Imm < -(1<<15) || in.Imm >= 1<<15 {
+				return 0, &EncodeErr{in, "immediate out of range"}
+			}
+			return op | uint32(in.Rd)<<21 | uint32(in.Rs1)<<16 | uint32(uint16(in.Imm)), nil
+		default: // R-type
+			return op | uint32(in.Rd)<<21 | uint32(in.Rs1)<<16 | uint32(in.Rs2)<<11, nil
+		}
+	}
+}
+
+// DecodeErr describes an undecodable instruction word.
+type DecodeErr struct {
+	Word uint32
+	Why  string
+}
+
+func (e *DecodeErr) Error() string {
+	return fmt.Sprintf("isa: cannot decode %#08x: %s", e.Word, e.Why)
+}
+
+// Decode unpacks a 32-bit instruction word. Decode(Encode(in)) returns a
+// normalized copy of in: fields that the opcode does not use come back as
+// zero.
+func Decode(w uint32) (Inst, error) {
+	op := Op(w >> 26)
+	if !op.Valid() {
+		return Inst{}, &DecodeErr{w, "invalid opcode"}
+	}
+	in := Inst{Op: op}
+	switch ClassOf(op) {
+	case ClassJump, ClassCall:
+		in.Target = uint64(w&(1<<26-1)) * 4
+	case ClassCondBr:
+		in.Rs1 = Reg(w >> 21 & 31)
+		in.Rs2 = Reg(w >> 16 & 31)
+		in.Imm = int32(int16(uint16(w)))
+	case ClassStore:
+		in.Rs2 = Reg(w >> 21 & 31)
+		in.Rs1 = Reg(w >> 16 & 31)
+		in.Imm = int32(int16(uint16(w)))
+	case ClassLoad:
+		in.Rd = Reg(w >> 21 & 31)
+		in.Rs1 = Reg(w >> 16 & 31)
+		in.Imm = int32(int16(uint16(w)))
+	default:
+		switch op {
+		case ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI, LUI:
+			in.Rd = Reg(w >> 21 & 31)
+			in.Rs1 = Reg(w >> 16 & 31)
+			in.Imm = int32(int16(uint16(w)))
+			if op == LUI {
+				in.Rs1 = 0
+			}
+		case NOP, HALT:
+			// no fields
+		case RET:
+			// no fields
+		default: // R-type
+			in.Rd = Reg(w >> 21 & 31)
+			in.Rs1 = Reg(w >> 16 & 31)
+			in.Rs2 = Reg(w >> 11 & 31)
+			if op == JR {
+				in.Rd, in.Rs2 = 0, 0
+			}
+			if op == JALR {
+				in.Rs2 = 0
+			}
+		}
+	}
+	return in, nil
+}
+
+// Normalize returns in with fields the opcode does not use cleared, i.e.
+// the canonical form Decode produces. It is useful when comparing
+// instructions built by hand against decoded ones.
+func Normalize(in Inst) Inst {
+	w, err := Encode(in)
+	if err != nil {
+		return in
+	}
+	out, err := Decode(w)
+	if err != nil {
+		return in
+	}
+	return out
+}

@@ -1,0 +1,315 @@
+// Package isa defines the instruction set architecture used throughout the
+// simulator suite: a small 64-bit RISC with 32 integer registers, a 32-bit
+// fixed-width instruction encoding, conditional branches, direct and
+// indirect jumps and calls, and byte/word memory access.
+//
+// The ISA stands in for the SimpleScalar PISA binaries used by the paper.
+// It is deliberately minimal but complete enough to express the control
+// structures the study depends on: data-dependent conditional branches,
+// loops, call/return pairs, and jump tables (indirect jumps).
+package isa
+
+import "fmt"
+
+// Reg identifies one of the 32 architectural integer registers. R0 is
+// hardwired to zero: writes to it are discarded and reads always return 0.
+type Reg uint8
+
+// Register conventions used by the assembler and the synthetic workloads.
+const (
+	RZero Reg = 0  // always zero
+	RSP   Reg = 30 // stack pointer
+	RLink Reg = 31 // link register written by JAL/JALR
+)
+
+// NumRegs is the number of architectural integer registers.
+const NumRegs = 32
+
+func (r Reg) String() string { return fmt.Sprintf("r%d", uint8(r)) }
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+// Opcode values. The numeric values are part of the binary encoding and
+// must not be reordered.
+const (
+	NOP Op = iota
+
+	// Register-register ALU operations: rd = rs1 op rs2.
+	ADD
+	SUB
+	AND
+	OR
+	XOR
+	SLL
+	SRL
+	SRA
+	SLT  // rd = (rs1 < rs2) signed ? 1 : 0
+	SLTU // rd = (rs1 < rs2) unsigned ? 1 : 0
+	MUL
+	DIV // signed; division by zero yields 0 (no traps in this ISA)
+	REM // signed; remainder by zero yields rs1
+
+	// Register-immediate ALU operations: rd = rs1 op simm16.
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	SLTI
+	LUI // rd = simm16 << 16
+
+	// Memory operations. Effective address = rs1 + simm16.
+	LD // rd = mem64[ea]
+	LB // rd = zero-extended mem8[ea]
+	ST // mem64[ea] = rs2
+	SB // mem8[ea] = low byte of rs2
+
+	// Conditional branches: if rs1 cmp rs2 then pc += simm16*4 (offset is
+	// relative to the branch's own PC).
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLTU
+	BGEU
+
+	// Unconditional control flow.
+	JMP  // direct jump: pc = target
+	JAL  // direct call: r31 = pc+4; pc = target
+	JR   // indirect jump: pc = rs1 (jump tables, computed goto)
+	JALR // indirect call: rd = pc+4; pc = rs1
+	RET  // subroutine return: pc = r31
+
+	HALT // stop the program
+
+	numOps // sentinel; keep last
+)
+
+var opNames = [...]string{
+	NOP: "nop", ADD: "add", SUB: "sub", AND: "and", OR: "or", XOR: "xor",
+	SLL: "sll", SRL: "srl", SRA: "sra", SLT: "slt", SLTU: "sltu",
+	MUL: "mul", DIV: "div", REM: "rem",
+	ADDI: "addi", ANDI: "andi", ORI: "ori", XORI: "xori",
+	SLLI: "slli", SRLI: "srli", SRAI: "srai", SLTI: "slti", LUI: "lui",
+	LD: "ld", LB: "lb", ST: "st", SB: "sb",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", BLTU: "bltu", BGEU: "bgeu",
+	JMP: "jmp", JAL: "jal", JR: "jr", JALR: "jalr", RET: "ret",
+	HALT: "halt",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < numOps }
+
+// Class partitions opcodes by the pipeline resources they use and by how
+// the fetch unit must treat them.
+type Class uint8
+
+const (
+	ClassALU     Class = iota // single-cycle integer op
+	ClassMul                  // pipelined multiply
+	ClassDiv                  // unpipelined divide
+	ClassLoad                 // memory read (address generation + access)
+	ClassStore                // memory write
+	ClassCondBr               // conditional branch
+	ClassJump                 // direct unconditional jump
+	ClassCall                 // direct call (writes link register)
+	ClassIndJump              // indirect jump (target from register)
+	ClassIndCall              // indirect call
+	ClassReturn               // subroutine return
+	ClassHalt                 // program termination
+)
+
+var classNames = [...]string{
+	ClassALU: "alu", ClassMul: "mul", ClassDiv: "div",
+	ClassLoad: "load", ClassStore: "store", ClassCondBr: "condbr",
+	ClassJump: "jump", ClassCall: "call", ClassIndJump: "indjump",
+	ClassIndCall: "indcall", ClassReturn: "return", ClassHalt: "halt",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// ClassOf returns the class of an opcode.
+func ClassOf(op Op) Class {
+	switch op {
+	case MUL:
+		return ClassMul
+	case DIV, REM:
+		return ClassDiv
+	case LD, LB:
+		return ClassLoad
+	case ST, SB:
+		return ClassStore
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		return ClassCondBr
+	case JMP:
+		return ClassJump
+	case JAL:
+		return ClassCall
+	case JR:
+		return ClassIndJump
+	case JALR:
+		return ClassIndCall
+	case RET:
+		return ClassReturn
+	case HALT:
+		return ClassHalt
+	default:
+		return ClassALU
+	}
+}
+
+// Latency returns the execution-stage latency in cycles for an opcode,
+// excluding any data-cache access time for loads (address generation takes
+// this latency; the cache model adds access time on top, per §2.2/§4.1 of
+// the paper).
+func Latency(op Op) int {
+	switch ClassOf(op) {
+	case ClassMul:
+		return 3
+	case ClassDiv:
+		return 12
+	default:
+		return 1
+	}
+}
+
+// Inst is a decoded instruction. It is the unit the assembler produces and
+// every simulator consumes.
+type Inst struct {
+	Op     Op
+	Rd     Reg    // destination register (ALU, loads, JALR)
+	Rs1    Reg    // first source (ALU, loads/stores base, branches, JR/JALR)
+	Rs2    Reg    // second source (ALU, store data, branches)
+	Imm    int32  // sign-extended 16-bit immediate / branch word offset
+	Target uint64 // absolute byte address for JMP/JAL (26-bit word field)
+}
+
+// IsControl reports whether the instruction can redirect the PC.
+func (in Inst) IsControl() bool {
+	switch ClassOf(in.Op) {
+	case ClassCondBr, ClassJump, ClassCall, ClassIndJump, ClassIndCall, ClassReturn:
+		return true
+	}
+	return false
+}
+
+// IsCondBranch reports whether the instruction is a conditional branch.
+func (in Inst) IsCondBranch() bool { return ClassOf(in.Op) == ClassCondBr }
+
+// IsIndirect reports whether the instruction's target comes from a register
+// (indirect jump, indirect call, or return).
+func (in Inst) IsIndirect() bool {
+	switch ClassOf(in.Op) {
+	case ClassIndJump, ClassIndCall, ClassReturn:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether the instruction accesses data memory.
+func (in Inst) IsMem() bool {
+	c := ClassOf(in.Op)
+	return c == ClassLoad || c == ClassStore
+}
+
+// WritesReg returns the destination register and whether the instruction
+// writes one. Writes to R0 are reported as no write.
+func (in Inst) WritesReg() (Reg, bool) {
+	var rd Reg
+	switch ClassOf(in.Op) {
+	case ClassALU, ClassMul, ClassDiv, ClassLoad:
+		rd = in.Rd
+	case ClassCall:
+		rd = RLink
+	case ClassIndCall:
+		rd = in.Rd
+	default:
+		return 0, false
+	}
+	if rd == RZero {
+		return 0, false
+	}
+	return rd, true
+}
+
+// SrcRegs returns the source registers the instruction reads. Reads of R0
+// are included (they are always ready and read as zero).
+func (in Inst) SrcRegs() []Reg {
+	switch in.Op {
+	case NOP, HALT, JMP, JAL, LUI:
+		return nil
+	case ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI, LD, LB:
+		return []Reg{in.Rs1}
+	case ST, SB:
+		return []Reg{in.Rs1, in.Rs2}
+	case JR, JALR:
+		return []Reg{in.Rs1}
+	case RET:
+		return []Reg{RLink}
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		return []Reg{in.Rs1, in.Rs2}
+	default: // register-register ALU
+		return []Reg{in.Rs1, in.Rs2}
+	}
+}
+
+// BranchTarget returns the taken-path target of a conditional branch or the
+// target of a direct jump/call, given the instruction's own PC. It must not
+// be called for indirect control flow.
+func (in Inst) BranchTarget(pc uint64) uint64 {
+	switch ClassOf(in.Op) {
+	case ClassCondBr:
+		return uint64(int64(pc) + int64(in.Imm)*4)
+	case ClassJump, ClassCall:
+		return in.Target
+	}
+	panic("isa: BranchTarget on non-direct-control instruction " + in.Op.String())
+}
+
+func (in Inst) String() string {
+	switch ClassOf(in.Op) {
+	case ClassALU, ClassMul, ClassDiv:
+		switch in.Op {
+		case NOP:
+			return "nop"
+		case LUI:
+			return fmt.Sprintf("lui %s, %d", in.Rd, in.Imm)
+		case ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI:
+			return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+		default:
+			return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs1, in.Rs2)
+		}
+	case ClassLoad:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case ClassStore:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rs2, in.Imm, in.Rs1)
+	case ClassCondBr:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rs1, in.Rs2, in.Imm)
+	case ClassJump, ClassCall:
+		return fmt.Sprintf("%s 0x%x", in.Op, in.Target)
+	case ClassIndJump:
+		return fmt.Sprintf("jr %s", in.Rs1)
+	case ClassIndCall:
+		return fmt.Sprintf("jalr %s, %s", in.Rd, in.Rs1)
+	case ClassReturn:
+		return "ret"
+	case ClassHalt:
+		return "halt"
+	}
+	return fmt.Sprintf("%s ?", in.Op)
+}

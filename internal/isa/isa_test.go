@@ -1,0 +1,335 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpStrings(t *testing.T) {
+	for op := NOP; op < numOps; op++ {
+		if op.String() == "" {
+			t.Errorf("op %d has empty name", op)
+		}
+		if !op.Valid() {
+			t.Errorf("op %d should be valid", op)
+		}
+	}
+	if Op(numOps).Valid() {
+		t.Error("sentinel opcode reported valid")
+	}
+	if Op(200).String() == "" {
+		t.Error("unknown opcode produced empty string")
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := map[Op]Class{
+		ADD: ClassALU, ADDI: ClassALU, LUI: ClassALU,
+		MUL: ClassMul, DIV: ClassDiv, REM: ClassDiv,
+		LD: ClassLoad, LB: ClassLoad, ST: ClassStore, SB: ClassStore,
+		BEQ: ClassCondBr, BGEU: ClassCondBr,
+		JMP: ClassJump, JAL: ClassCall, JR: ClassIndJump,
+		JALR: ClassIndCall, RET: ClassReturn, HALT: ClassHalt,
+	}
+	for op, want := range cases {
+		if got := ClassOf(op); got != want {
+			t.Errorf("ClassOf(%v) = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestLatency(t *testing.T) {
+	if Latency(ADD) != 1 {
+		t.Errorf("ADD latency = %d, want 1", Latency(ADD))
+	}
+	if Latency(MUL) != 3 {
+		t.Errorf("MUL latency = %d, want 3", Latency(MUL))
+	}
+	if Latency(DIV) != 12 {
+		t.Errorf("DIV latency = %d, want 12", Latency(DIV))
+	}
+	if Latency(LD) != 1 { // address generation only
+		t.Errorf("LD latency = %d, want 1", Latency(LD))
+	}
+}
+
+func TestWritesReg(t *testing.T) {
+	if rd, ok := (Inst{Op: ADD, Rd: 5}).WritesReg(); !ok || rd != 5 {
+		t.Errorf("ADD r5: got (%v,%v)", rd, ok)
+	}
+	if _, ok := (Inst{Op: ADD, Rd: RZero}).WritesReg(); ok {
+		t.Error("write to r0 should report no write")
+	}
+	if rd, ok := (Inst{Op: JAL}).WritesReg(); !ok || rd != RLink {
+		t.Errorf("JAL: got (%v,%v), want (r31,true)", rd, ok)
+	}
+	if rd, ok := (Inst{Op: JALR, Rd: 7}).WritesReg(); !ok || rd != 7 {
+		t.Errorf("JALR r7: got (%v,%v)", rd, ok)
+	}
+	if _, ok := (Inst{Op: ST}).WritesReg(); ok {
+		t.Error("ST should not write a register")
+	}
+	if _, ok := (Inst{Op: BEQ}).WritesReg(); ok {
+		t.Error("BEQ should not write a register")
+	}
+}
+
+func TestSrcRegs(t *testing.T) {
+	got := (Inst{Op: ST, Rs1: 2, Rs2: 3}).SrcRegs()
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("ST sources = %v", got)
+	}
+	if s := (Inst{Op: RET}).SrcRegs(); len(s) != 1 || s[0] != RLink {
+		t.Errorf("RET sources = %v", s)
+	}
+	if s := (Inst{Op: JMP}).SrcRegs(); len(s) != 0 {
+		t.Errorf("JMP sources = %v", s)
+	}
+	if s := (Inst{Op: LUI, Rd: 1}).SrcRegs(); len(s) != 0 {
+		t.Errorf("LUI sources = %v", s)
+	}
+}
+
+func TestBranchTarget(t *testing.T) {
+	b := Inst{Op: BEQ, Imm: -3}
+	if got := b.BranchTarget(100); got != 88 {
+		t.Errorf("backward branch target = %d, want 88", got)
+	}
+	j := Inst{Op: JAL, Target: 0x2000}
+	if got := j.BranchTarget(0); got != 0x2000 {
+		t.Errorf("jal target = %#x", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("BranchTarget on ADD should panic")
+		}
+	}()
+	(Inst{Op: ADD}).BranchTarget(0)
+}
+
+func TestEncodeDecodeRoundTripExamples(t *testing.T) {
+	cases := []Inst{
+		{Op: NOP},
+		{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: ADDI, Rd: 1, Rs1: 2, Imm: -32768},
+		{Op: ADDI, Rd: 1, Rs1: 2, Imm: 32767},
+		{Op: LUI, Rd: 9, Imm: 1234},
+		{Op: LD, Rd: 4, Rs1: 30, Imm: -8},
+		{Op: ST, Rs1: 30, Rs2: 4, Imm: 16},
+		{Op: SB, Rs1: 1, Rs2: 2, Imm: 0},
+		{Op: BEQ, Rs1: 5, Rs2: 6, Imm: -100},
+		{Op: BGEU, Rs1: 5, Rs2: 6, Imm: 100},
+		{Op: JMP, Target: 0x1000},
+		{Op: JAL, Target: 4 * ((1 << 26) - 1)},
+		{Op: JR, Rs1: 12},
+		{Op: JALR, Rd: 31, Rs1: 12},
+		{Op: RET},
+		{Op: HALT},
+	}
+	for _, in := range cases {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", in, err)
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%v)): %v", in, err)
+		}
+		if out != in {
+			t.Errorf("round trip %v -> %v", in, out)
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	cases := []Inst{
+		{Op: numOps},
+		{Op: JMP, Target: 3},            // misaligned
+		{Op: JMP, Target: 4 << 26},      // out of range
+		{Op: BEQ, Imm: 1 << 15},         // offset too large
+		{Op: ADDI, Imm: -(1 << 15) - 1}, // immediate too small
+		{Op: LD, Imm: 1 << 15},
+		{Op: ST, Imm: 1 << 15},
+	}
+	for _, in := range cases {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%v) should fail", in)
+		} else if err.Error() == "" {
+			t.Errorf("Encode(%v) error has empty message", in)
+		}
+	}
+}
+
+func TestDecodeInvalidOpcode(t *testing.T) {
+	if _, err := Decode(uint32(numOps) << 26); err == nil {
+		t.Error("decoding invalid opcode should fail")
+	} else if err.Error() == "" {
+		t.Error("decode error has empty message")
+	}
+}
+
+// randInst generates a random valid instruction.
+func randInst(r *rand.Rand) Inst {
+	op := Op(r.Intn(int(numOps)))
+	in := Inst{Op: op}
+	reg := func() Reg { return Reg(r.Intn(NumRegs)) }
+	imm := func() int32 { return int32(int16(r.Uint32())) }
+	switch ClassOf(op) {
+	case ClassJump, ClassCall:
+		in.Target = uint64(r.Intn(1<<26)) * 4
+	case ClassCondBr:
+		in.Rs1, in.Rs2, in.Imm = reg(), reg(), imm()
+	case ClassStore:
+		in.Rs1, in.Rs2, in.Imm = reg(), reg(), imm()
+	case ClassLoad:
+		in.Rd, in.Rs1, in.Imm = reg(), reg(), imm()
+	case ClassIndJump:
+		in.Rs1 = reg()
+	case ClassIndCall:
+		in.Rd, in.Rs1 = reg(), reg()
+	case ClassReturn, ClassHalt:
+		// no fields
+	default:
+		switch op {
+		case ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI:
+			in.Rd, in.Rs1, in.Imm = reg(), reg(), imm()
+		case LUI:
+			in.Rd, in.Imm = reg(), imm()
+		case NOP:
+		default:
+			in.Rd, in.Rs1, in.Rs2 = reg(), reg(), reg()
+		}
+	}
+	return in
+}
+
+// Property: Encode/Decode round-trips every valid instruction.
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		in := randInst(r)
+		w, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		out, err := Decode(w)
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decoding any 32-bit word either fails or yields an instruction
+// that re-encodes to an equivalent (normalized) instruction.
+func TestDecodeEncodeStability(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	f := func() bool {
+		w := r.Uint32()
+		in, err := Decode(w)
+		if err != nil {
+			return true
+		}
+		w2, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		in2, err := Decode(w2)
+		return err == nil && in2 == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Normalize is idempotent.
+func TestNormalizeIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	f := func() bool {
+		in := randInst(r)
+		n := Normalize(in)
+		return Normalize(n) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstString(t *testing.T) {
+	// Smoke test: every opcode renders without panicking and non-empty.
+	r := rand.New(rand.NewSource(4))
+	for op := NOP; op < numOps; op++ {
+		in := randInst(r)
+		in.Op = op
+		if s := in.String(); s == "" {
+			t.Errorf("%v renders empty", op)
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	for c := ClassALU; c <= ClassHalt; c++ {
+		if c.String() == "" {
+			t.Errorf("class %d renders empty", c)
+		}
+	}
+	if Class(99).String() == "" {
+		t.Error("unknown class renders empty")
+	}
+}
+
+func TestInstructionPredicates(t *testing.T) {
+	cases := []struct {
+		in                         Inst
+		ctl, cond, indirect, isMem bool
+	}{
+		{Inst{Op: ADD}, false, false, false, false},
+		{Inst{Op: BEQ}, true, true, false, false},
+		{Inst{Op: JMP}, true, false, false, false},
+		{Inst{Op: JAL}, true, false, false, false},
+		{Inst{Op: JR}, true, false, true, false},
+		{Inst{Op: JALR}, true, false, true, false},
+		{Inst{Op: RET}, true, false, true, false},
+		{Inst{Op: LD}, false, false, false, true},
+		{Inst{Op: SB}, false, false, false, true},
+		{Inst{Op: HALT}, false, false, false, false},
+	}
+	for _, c := range cases {
+		if got := c.in.IsControl(); got != c.ctl {
+			t.Errorf("%v IsControl = %v", c.in.Op, got)
+		}
+		if got := c.in.IsCondBranch(); got != c.cond {
+			t.Errorf("%v IsCondBranch = %v", c.in.Op, got)
+		}
+		if got := c.in.IsIndirect(); got != c.indirect {
+			t.Errorf("%v IsIndirect = %v", c.in.Op, got)
+		}
+		if got := c.in.IsMem(); got != c.isMem {
+			t.Errorf("%v IsMem = %v", c.in.Op, got)
+		}
+	}
+}
+
+func TestSrcRegsAllClasses(t *testing.T) {
+	if n := len((Inst{Op: ADD, Rs1: 1, Rs2: 2}).SrcRegs()); n != 2 {
+		t.Errorf("ADD sources = %d", n)
+	}
+	if n := len((Inst{Op: MUL, Rs1: 1, Rs2: 2}).SrcRegs()); n != 2 {
+		t.Errorf("MUL sources = %d", n)
+	}
+	if n := len((Inst{Op: HALT}).SrcRegs()); n != 0 {
+		t.Errorf("HALT sources = %d", n)
+	}
+	if n := len((Inst{Op: BEQ, Rs1: 1, Rs2: 2}).SrcRegs()); n != 2 {
+		t.Errorf("BEQ sources = %d", n)
+	}
+}
+
+func TestNormalizeUnencodable(t *testing.T) {
+	// Normalize of an unencodable instruction returns it unchanged.
+	in := Inst{Op: JMP, Target: 3} // misaligned
+	if got := Normalize(in); got != in {
+		t.Errorf("Normalize(%v) = %v", in, got)
+	}
+}

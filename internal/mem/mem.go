@@ -1,0 +1,138 @@
+// Package mem implements the sparse byte-addressable memory used by the
+// functional emulator and the timing simulators.
+//
+// Memory supports cheap copy-on-write forking, which the simulators use to
+// execute down mispredicted paths: forking at a branch yields an isolated
+// view that wrong-path stores mutate without disturbing the parent.
+package mem
+
+const (
+	pageShift = 12
+	// PageSize is the granularity of copy-on-write sharing.
+	PageSize = 1 << pageShift
+	pageMask = PageSize - 1
+)
+
+type page [PageSize]byte
+
+// Memory is a sparse, byte-addressable 64-bit address space. The zero value
+// is not usable; call New.
+type Memory struct {
+	pages map[uint64]*page
+	// owned marks pages this Memory may mutate in place. Pages absent
+	// from owned are shared with a fork ancestor or descendant and must
+	// be copied before the first write.
+	owned map[uint64]bool
+}
+
+// New returns an empty memory. Reads of untouched addresses return zero.
+func New() *Memory {
+	return &Memory{
+		pages: make(map[uint64]*page),
+		owned: make(map[uint64]bool),
+	}
+}
+
+// Fork returns a copy-on-write snapshot. Subsequent writes through either
+// the parent or the child are invisible to the other.
+func (m *Memory) Fork() *Memory {
+	child := &Memory{
+		pages: make(map[uint64]*page, len(m.pages)),
+		owned: make(map[uint64]bool),
+	}
+	for k, v := range m.pages {
+		child.pages[k] = v
+	}
+	// Every page is now shared; neither side may write in place.
+	for k := range m.owned {
+		delete(m.owned, k)
+	}
+	return child
+}
+
+func (m *Memory) writablePage(pn uint64) *page {
+	p := m.pages[pn]
+	switch {
+	case p == nil:
+		p = new(page)
+		m.pages[pn] = p
+		m.owned[pn] = true
+	case !m.owned[pn]:
+		cp := *p
+		p = &cp
+		m.pages[pn] = p
+		m.owned[pn] = true
+	}
+	return p
+}
+
+// Read8 returns the byte at addr.
+func (m *Memory) Read8(addr uint64) byte {
+	p := m.pages[addr>>pageShift]
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// Write8 stores one byte at addr.
+func (m *Memory) Write8(addr uint64, v byte) {
+	m.writablePage(addr >> pageShift)[addr&pageMask] = v
+}
+
+// Read64 returns the little-endian 64-bit word at addr. The access may
+// straddle a page boundary.
+func (m *Memory) Read64(addr uint64) uint64 {
+	pn := addr >> pageShift
+	off := addr & pageMask
+	if off <= PageSize-8 {
+		p := m.pages[pn]
+		if p == nil {
+			return 0
+		}
+		b := p[off : off+8]
+		return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+			uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(m.Read8(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write64 stores a little-endian 64-bit word at addr. The access may
+// straddle a page boundary.
+func (m *Memory) Write64(addr uint64, v uint64) {
+	pn := addr >> pageShift
+	off := addr & pageMask
+	if off <= PageSize-8 {
+		p := m.writablePage(pn)
+		b := p[off : off+8]
+		b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		b[4], b[5], b[6], b[7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+		return
+	}
+	for i := 0; i < 8; i++ {
+		m.Write8(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// WriteBytes copies b into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, b []byte) {
+	for i, v := range b {
+		m.Write8(addr+uint64(i), v)
+	}
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh slice.
+func (m *Memory) ReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = m.Read8(addr + uint64(i))
+	}
+	return out
+}
+
+// PageCount returns the number of populated pages (for tests and stats).
+func (m *Memory) PageCount() int { return len(m.pages) }

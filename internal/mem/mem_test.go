@@ -1,0 +1,159 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroFill(t *testing.T) {
+	m := New()
+	if v := m.Read64(0x1234); v != 0 {
+		t.Errorf("untouched memory reads %d, want 0", v)
+	}
+	if v := m.Read8(1 << 40); v != 0 {
+		t.Errorf("untouched high memory reads %d, want 0", v)
+	}
+}
+
+func TestReadWrite64(t *testing.T) {
+	m := New()
+	m.Write64(0x100, 0xdeadbeefcafe0123)
+	if v := m.Read64(0x100); v != 0xdeadbeefcafe0123 {
+		t.Errorf("Read64 = %#x", v)
+	}
+	// Little-endian byte order.
+	if b := m.Read8(0x100); b != 0x23 {
+		t.Errorf("low byte = %#x, want 0x23", b)
+	}
+	if b := m.Read8(0x107); b != 0xde {
+		t.Errorf("high byte = %#x, want 0xde", b)
+	}
+}
+
+func TestCrossPage64(t *testing.T) {
+	m := New()
+	addr := uint64(PageSize - 3) // straddles the first page boundary
+	m.Write64(addr, 0x1122334455667788)
+	if v := m.Read64(addr); v != 0x1122334455667788 {
+		t.Errorf("cross-page Read64 = %#x", v)
+	}
+	if m.PageCount() != 2 {
+		t.Errorf("PageCount = %d, want 2", m.PageCount())
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	m := New()
+	in := []byte{1, 2, 3, 4, 5}
+	m.WriteBytes(0x2000, in)
+	out := m.ReadBytes(0x2000, 5)
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("ReadBytes = %v, want %v", out, in)
+		}
+	}
+}
+
+func TestForkIsolation(t *testing.T) {
+	m := New()
+	m.Write64(0x100, 111)
+	child := m.Fork()
+
+	// Child sees parent data.
+	if v := child.Read64(0x100); v != 111 {
+		t.Fatalf("child reads %d, want 111", v)
+	}
+	// Child writes do not leak to parent.
+	child.Write64(0x100, 222)
+	if v := m.Read64(0x100); v != 111 {
+		t.Errorf("parent sees child write: %d", v)
+	}
+	// Parent writes after fork do not leak to child.
+	m.Write64(0x108, 333)
+	if v := child.Read64(0x108); v != 0 {
+		t.Errorf("child sees parent write: %d", v)
+	}
+	// Writes on the same page on both sides stay independent.
+	m.Write8(0x180, 7)
+	child.Write8(0x180, 9)
+	if m.Read8(0x180) != 7 || child.Read8(0x180) != 9 {
+		t.Errorf("same-page divergence broken: parent %d child %d",
+			m.Read8(0x180), child.Read8(0x180))
+	}
+}
+
+func TestForkChain(t *testing.T) {
+	m := New()
+	m.Write64(0, 1)
+	a := m.Fork()
+	a.Write64(0, 2)
+	b := a.Fork()
+	b.Write64(0, 3)
+	if m.Read64(0) != 1 || a.Read64(0) != 2 || b.Read64(0) != 3 {
+		t.Errorf("fork chain values: %d %d %d, want 1 2 3",
+			m.Read64(0), a.Read64(0), b.Read64(0))
+	}
+}
+
+// Property: a fork behaves exactly like a deep copy under random operations.
+func TestForkEquivalentToCopy(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func() bool {
+		m := New()
+		// Populate with random writes across a few pages.
+		// Distinct, non-overlapping 8-byte slots spread over a few pages.
+		addrs := make([]uint64, 20)
+		for i := range addrs {
+			addrs[i] = uint64(r.Intn(4))*PageSize + uint64(i)*8
+			m.Write64(addrs[i], r.Uint64())
+		}
+		// Reference: record all values, then fork and mutate both sides.
+		child := m.Fork()
+		wantParent := make(map[uint64]uint64)
+		wantChild := make(map[uint64]uint64)
+		for _, a := range addrs {
+			wantParent[a] = m.Read64(a)
+			wantChild[a] = child.Read64(a)
+		}
+		for i := 0; i < 30; i++ {
+			a := addrs[r.Intn(len(addrs))]
+			v := r.Uint64()
+			if r.Intn(2) == 0 {
+				m.Write64(a, v)
+				wantParent[a] = v
+			} else {
+				child.Write64(a, v)
+				wantChild[a] = v
+			}
+		}
+		for _, a := range addrs {
+			if m.Read64(a) != wantParent[a] || child.Read64(a) != wantChild[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Read64 composed of Read8 matches Write64 at arbitrary alignment.
+func TestUnalignedConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	f := func() bool {
+		m := New()
+		addr := uint64(r.Intn(3 * PageSize))
+		v := r.Uint64()
+		m.Write64(addr, v)
+		var got uint64
+		for i := 0; i < 8; i++ {
+			got |= uint64(m.Read8(addr+uint64(i))) << (8 * i)
+		}
+		return got == v && m.Read64(addr) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

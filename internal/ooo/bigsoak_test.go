@@ -1,0 +1,32 @@
+package ooo
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"cisim/internal/progen"
+)
+
+// TestBigSoak is an extended randomized soak, enabled by CISIM_SOAK=N.
+func TestBigSoak(t *testing.T) {
+	n, _ := strconv.Atoi(os.Getenv("CISIM_SOAK"))
+	if n == 0 {
+		t.Skip("set CISIM_SOAK=N to run the extended soak")
+	}
+	for seed := int64(1000); seed < int64(1000+n); seed++ {
+		p := progen.Generate(seed, progen.Config{Blocks: 16 + int(seed%16)})
+		for _, c := range []Config{
+			{Machine: Base, WindowSize: 32 + int(seed%97), Check: true},
+			{Machine: CI, WindowSize: 32 + int(seed%211), Completion: Completion(seed % 4), Check: true},
+			{Machine: CI, WindowSize: 64, SegmentSize: []int{1, 4, 16}[seed%3],
+				Reconv:  []Reconv{{PostDom: true}, {Assoc: true}, {Return: true, Loop: true, Ltb: true}}[seed%3],
+				Preempt: Preempt(seed % 2), Repredict: Repredict(seed % 3), Check: true},
+			{Machine: CIInstant, WindowSize: 256, BimodalPredictor: seed%2 == 0, Check: true},
+		} {
+			if _, err := Run(p, c); err != nil {
+				t.Fatalf("seed %d %+v: %v", seed, c, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,1065 @@
+package ooo
+
+import (
+	"errors"
+	"fmt"
+
+	"cisim/internal/bpred"
+	"cisim/internal/cache"
+	"cisim/internal/cfg"
+	"cisim/internal/emu"
+	"cisim/internal/isa"
+	"cisim/internal/mem"
+	"cisim/internal/prog"
+)
+
+// MispEvent records one serviced recovery, for the §A.2.2 true/false
+// misprediction analysis (Figure 10).
+type MispEvent struct {
+	PC    uint64
+	Hist  bpred.History
+	False bool // recovery caused by speculative operands
+}
+
+// Result is a completed simulation.
+type Result struct {
+	Stats      Stats
+	MispEvents []MispEvent  // populated when Config.RecordMisps is set
+	Pipeline   []PipeRecord // populated when Config.RecordPipeline is set
+}
+
+type machine struct {
+	cfg    Config
+	p      *prog.Program
+	graph  *cfg.Graph
+	golden []golden
+
+	// Predictors and front-end state.
+	gsh       *bpred.GShare
+	bim       *bpred.Bimodal
+	ctb       *bpred.TargetBuffer
+	conf      *bpred.Confidence
+	ras       *bpred.RAS
+	fetchHist bpred.History
+	fetchPC   uint64
+	fetchOn   bool // false once HALT (or garbage) is fetched, until recovery
+	goldCur   int  // golden index fetch believes it is at; -1 on a wrong path
+
+	fetchBuf []*dyn // fetched this cycle, dispatched next
+
+	win      *window
+	tailRmap map[isa.Reg]*dyn
+
+	// Instruction-cache state (Config.ICache). fetchStallUntil blocks
+	// sequential fetch while a line fill is outstanding.
+	icache          *cache.Cache
+	fetchStallUntil int64
+
+	events map[int64][]*dyn
+
+	// Committed architectural state. regCommitC records the cycle each
+	// register was last committed, for redispatch staleness detection.
+	regs       [isa.NumRegs]uint64
+	regCommitC [isa.NumRegs]int64
+	mem        *mem.Memory
+	dcache     *cache.Cache
+	retireCur  int
+	retireHist bpred.History
+
+	// Recovery machinery (recovery.go).
+	pendingRecs []pendingRec
+	active      *restartSeq
+	suspended   []*restartSeq
+	redisp      *redispSeq
+
+	// Reconvergence-heuristic candidate tables (§A.5.2): program counters
+	// recorded by the decoder as likely reconvergent points.
+	retTargets  map[uint64]bool
+	loopTargets map[uint64]bool
+
+	mispEvents []MispEvent
+	pipeRecs   []PipeRecord
+
+	seq   uint64
+	cycle int64
+	stats Stats
+	done  bool
+}
+
+func (m *machine) debugf(format string, args ...interface{}) {
+	if m.cfg.Debug != nil {
+		m.cfg.Debug("[c%d] "+format, append([]interface{}{m.cycle}, args...)...)
+	}
+}
+
+// ErrDeadlock reports a hung simulation (an engine bug, surfaced rather
+// than spun on).
+var ErrDeadlock = errors.New("ooo: cycle limit exceeded")
+
+// Run simulates the program to completion under the configuration.
+func Run(p *prog.Program, c Config) (*Result, error) {
+	c.defaults()
+	g, err := goldenStream(p, c.MaxInstrs)
+	if err != nil {
+		return nil, err
+	}
+	m := &machine{
+		cfg:         c,
+		p:           p,
+		graph:       cfg.Build(p),
+		golden:      g,
+		gsh:         bpred.NewGShare(c.GShareBits),
+		bim:         bpred.NewBimodal(c.GShareBits),
+		ctb:         bpred.NewTargetBuffer(c.TargetBits),
+		conf:        bpred.NewConfidence(c.GShareBits, 15, 8),
+		ras:         bpred.NewRAS(),
+		fetchPC:     p.Entry,
+		fetchOn:     true,
+		win:         newWindow(c.WindowSize, c.SegmentSize),
+		tailRmap:    make(map[isa.Reg]*dyn),
+		events:      make(map[int64][]*dyn),
+		mem:         mem.New(),
+		dcache:      cache.New(c.Cache),
+		retTargets:  make(map[uint64]bool),
+		loopTargets: make(map[uint64]bool),
+	}
+	if c.ICache != (cache.Config{}) {
+		m.icache = cache.New(c.ICache)
+	}
+	for _, seg := range p.Data {
+		m.mem.WriteBytes(seg.Addr, seg.Bytes)
+	}
+	m.regs[isa.RSP] = prog.StackTop
+
+	maxCycles := c.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = int64(len(g))*12 + 100_000
+	}
+	for !m.done {
+		m.cycle++
+		if m.cycle > maxCycles {
+			return nil, fmt.Errorf("%w at cycle %d, retired %d/%d: %s",
+				ErrDeadlock, m.cycle, m.retireCur, len(m.golden), m.stuckReport())
+		}
+		m.retireStage()
+		if m.done {
+			break
+		}
+		m.goldSync()
+		m.completeStage()
+		m.recoveryStage()
+		m.issueStage()
+		m.dispatchStage()
+		m.fetchStage()
+		m.stats.OccupancySum += uint64(m.win.count)
+		if c.Check {
+			if err := m.win.check(); err != nil {
+				return nil, err
+			}
+			if err := m.checkRenames(); err != nil {
+				return nil, err
+			}
+			if err := m.checkContinuity(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	m.stats.Cycles = m.cycle
+	m.stats.CacheAccesses = m.dcache.Accesses
+	m.stats.CacheMisses = m.dcache.Misses
+	if m.icache != nil {
+		m.stats.ICacheAccesses = m.icache.Accesses
+		m.stats.ICacheMisses = m.icache.Misses
+	}
+	return &Result{Stats: m.stats, MispEvents: m.mispEvents, Pipeline: m.pipeRecs}, nil
+}
+
+// --- fetch stage ---
+
+// fetchStage fills the fetch buffer along the predicted path. It is idle
+// while the sequencer services a restart or redispatch sequence (§4.2:
+// those tie up the sequencer).
+func (m *machine) fetchStage() {
+	if m.active != nil || m.redisp != nil {
+		return
+	}
+	if len(m.fetchBuf) > 0 {
+		return // previous group not yet dispatched (window was full)
+	}
+	if m.cycle < m.fetchStallUntil {
+		return // outstanding instruction-cache fill
+	}
+	taken := 0
+	for i := 0; i < m.cfg.Width; i++ {
+		if !m.fetchOn {
+			return
+		}
+		in, ok := m.p.InstAt(m.fetchPC)
+		if !ok {
+			// Garbage target on a wrong path: fetch stalls until a
+			// recovery redirects it.
+			m.fetchOn = false
+			return
+		}
+		if m.icache != nil {
+			lat := m.icache.Access(m.fetchPC)
+			if lat > m.cfg.ICache.HitLat {
+				// Line fill: this instruction arrives after the miss
+				// latency; the group ends here.
+				m.fetchStallUntil = m.cycle + int64(lat-m.cfg.ICache.HitLat)
+				return
+			}
+		}
+		d := m.newDyn(m.fetchPC, in)
+		m.predict(d)
+		m.fetchBuf = append(m.fetchBuf, d)
+		m.fetchPC = d.assumedTarget
+		if in.Op == isa.HALT {
+			m.fetchOn = false
+		}
+		if m.cfg.FetchTakenLimit > 0 && d.assumedTarget != d.pc+4 {
+			if taken++; taken >= m.cfg.FetchTakenLimit {
+				return
+			}
+		}
+	}
+}
+
+func (m *machine) newDyn(pc uint64, in isa.Inst) *dyn {
+	m.seq++
+	d := &dyn{
+		seq: m.seq, pc: pc, inst: in, gold: -1,
+		fetchC: m.cycle, doneC: -1,
+	}
+	if m.goldCur >= 0 && m.goldCur < len(m.golden) && m.golden[m.goldCur].pc == pc {
+		d.gold = m.goldCur
+	}
+	srcs := in.SrcRegs()
+	d.nsrc = len(srcs)
+	for i, r := range srcs {
+		d.srcReg[i] = r
+	}
+	if rd, ok := in.WritesReg(); ok {
+		d.dest, d.hasRd = rd, true
+	}
+	switch isa.ClassOf(in.Op) {
+	case isa.ClassLoad:
+		d.isLoad = true
+		d.esize = 8
+		if in.Op == isa.LB {
+			d.esize = 1
+		}
+	case isa.ClassStore:
+		d.isStore = true
+		d.esize = 8
+		if in.Op == isa.SB {
+			d.esize = 1
+		}
+	}
+	return d
+}
+
+// predict sets the dyn's assumed next PC, consulting the predictors for
+// control instructions, and advances the fetch-side golden cursor.
+func (m *machine) predict(d *dyn) {
+	in := d.inst
+	d.histBefore = m.fetchHist
+	next := d.pc + 4
+	switch isa.ClassOf(in.Op) {
+	case isa.ClassCondBr:
+		d.isCtl, d.isCond = true, true
+		hist := m.fetchHist
+		if m.cfg.OracleGlobalHistory && d.gold >= 0 {
+			hist = m.golden[d.gold].hist
+		}
+		d.predTaken = m.predictDir(d.pc, hist)
+		d.assumedTaken = d.predTaken
+		if d.predTaken {
+			next = in.BranchTarget(d.pc)
+		}
+		m.fetchHist = m.fetchHist.Push(d.predTaken)
+		d.rasSnap = m.ras.Snapshot()
+		if m.cfg.Reconv.Loop && cfg.IsBackwardBranch(in) {
+			// The loop heuristic records the predicted target of a
+			// backward branch as a candidate reconvergent point (§A.5.2).
+			m.loopTargets[next] = true
+		}
+	case isa.ClassJump:
+		next = in.Target
+	case isa.ClassCall:
+		m.ras.Push(d.pc + 4)
+		next = in.Target
+	case isa.ClassIndJump, isa.ClassIndCall:
+		d.isCtl = true
+		if t, ok := m.ctb.Predict(d.pc, m.fetchHist); ok {
+			next = t
+		}
+		if isa.ClassOf(in.Op) == isa.ClassIndCall {
+			m.ras.Push(d.pc + 4)
+		}
+		d.rasSnap = m.ras.Snapshot()
+	case isa.ClassReturn:
+		d.isCtl = true
+		d.rasSnap = m.ras.Snapshot()
+		if t, ok := m.ras.Pop(); ok {
+			next = t
+		}
+		if m.cfg.Reconv.Return {
+			m.retTargets[next] = true
+		}
+	}
+	d.assumedTarget = next
+	// Advance the golden cursor along the predicted path: it stays valid
+	// only while the prediction matches the architectural path.
+	if d.gold >= 0 && m.goldCur == d.gold {
+		if next == m.golden[d.gold].nextPC {
+			m.goldCur = d.gold + 1
+		} else {
+			m.goldCur = -1
+		}
+	}
+}
+
+// --- dispatch stage ---
+
+func (m *machine) dispatchStage() {
+	if len(m.fetchBuf) == 0 {
+		return
+	}
+	n := 0
+	for _, d := range m.fetchBuf {
+		if !m.win.appendTail(d) {
+			break // window full: stall
+		}
+		m.renameAtTail(d)
+		n++
+	}
+	m.fetchBuf = m.fetchBuf[n:]
+	if len(m.fetchBuf) > 0 {
+		// Keep remaining instructions for next cycle; compact the slice.
+		rest := make([]*dyn, len(m.fetchBuf))
+		copy(rest, m.fetchBuf)
+		m.fetchBuf = rest
+	} else {
+		m.fetchBuf = nil
+	}
+}
+
+func (m *machine) renameAtTail(d *dyn) {
+	for i := 0; i < d.nsrc; i++ {
+		if d.srcReg[i] == isa.RZero {
+			d.src[i] = nil
+			continue
+		}
+		d.src[i] = m.tailRmap[d.srcReg[i]]
+	}
+	if d.hasRd {
+		m.tailRmap[d.dest] = d
+	}
+}
+
+// rebuildTailRmap reconstructs the tail rename map by walking the window
+// backward, used after squashes that invalidate the incremental map.
+func (m *machine) rebuildTailRmap() {
+	m.tailRmap = make(map[isa.Reg]*dyn)
+	found := 0
+	for d := m.win.tailLive(); d != nil && found < isa.NumRegs; d = m.win.prevLive(d, false) {
+		if d.hasRd {
+			if _, ok := m.tailRmap[d.dest]; !ok {
+				m.tailRmap[d.dest] = d
+				found++
+			}
+		}
+	}
+}
+
+// rmapAt computes the rename map as seen just after dyn at (inclusive).
+func (m *machine) rmapAt(at *dyn) map[isa.Reg]*dyn {
+	rm := make(map[isa.Reg]*dyn)
+	found := 0
+	for d := at; d != nil && found < isa.NumRegs; d = m.win.prevLive(d, false) {
+		if d.hasRd {
+			if _, ok := rm[d.dest]; !ok {
+				rm[d.dest] = d
+				found++
+			}
+		}
+	}
+	return rm
+}
+
+// --- issue stage ---
+
+func (m *machine) issueStage() {
+	issued := 0
+	m.win.forEach(func(d *dyn) bool {
+		if issued >= m.cfg.Width {
+			return false
+		}
+		if d.st != stWaiting || m.cycle < d.fetchC+2 || !d.ready() {
+			return true
+		}
+		if d.isLoad && m.cfg.ConservativeLoads && m.olderStorePending(d) {
+			return true
+		}
+		m.issue(d)
+		issued++
+		return true
+	})
+}
+
+// olderStorePending reports whether any older live store has not yet
+// completed, for the ConservativeLoads issue gate.
+func (m *machine) olderStorePending(d *dyn) bool {
+	for p := m.win.prevLive(d, false); p != nil; p = m.win.prevLive(p, false) {
+		if p.isStore && (p.st != stDone || p.stale) {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *machine) issue(d *dyn) {
+	if m.cfg.Debug != nil {
+		m.debugf("issue %v src0=%v src1=%v", d, d.src[0], d.src[1])
+	}
+	d.st = stExecuting
+	d.lastIssueC = m.cycle
+	d.stale = false
+	d.issues++
+	if d.saved != savedNo && d.issues > 1 {
+		d.reissuedAfter = true
+	}
+	// Read source values now.
+	var sv [2]uint64
+	for i := 0; i < d.nsrc; i++ {
+		sv[i] = m.readSrc(d, i)
+	}
+	lat := isa.Latency(d.inst.Op)
+	if d.isLoad || d.isStore {
+		d.ea = emu.EffAddr(d.inst, sv[0])
+		d.eaValid = true
+	}
+	if d.isLoad {
+		lat += m.dcache.Access(d.ea)
+	}
+	at := m.cycle + int64(lat)
+	m.events[at] = append(m.events[at], d)
+}
+
+// predictDir consults the configured direction predictor.
+func (m *machine) predictDir(pc uint64, h bpred.History) bool {
+	if m.cfg.BimodalPredictor {
+		return m.bim.Predict(pc)
+	}
+	return m.gsh.Predict(pc, h)
+}
+
+// readSrc returns the current value of source i.
+func (m *machine) readSrc(d *dyn, i int) uint64 {
+	if d.srcReg[i] == isa.RZero {
+		return 0
+	}
+	if p := d.src[i]; p != nil {
+		return p.val
+	}
+	return m.regs[d.srcReg[i]]
+}
+
+// --- complete stage ---
+
+func (m *machine) completeStage() {
+	evs := m.events[m.cycle]
+	if evs == nil {
+		return
+	}
+	delete(m.events, m.cycle)
+	for _, d := range evs {
+		if d.squashed || d.st != stExecuting {
+			continue
+		}
+		if d.stale {
+			// An input changed while executing: discard and reissue.
+			d.st = stWaiting
+			d.stale = false
+			continue
+		}
+		m.complete(d)
+	}
+}
+
+func (m *machine) complete(d *dyn) {
+	var sv [2]uint64
+	for i := 0; i < d.nsrc; i++ {
+		sv[i] = m.readSrc(d, i)
+	}
+	old, had := d.val, d.hasVal
+	switch isa.ClassOf(d.inst.Op) {
+	case isa.ClassALU, isa.ClassMul, isa.ClassDiv:
+		d.val = emu.EvalALU(d.inst, sv[0], sv[1])
+	case isa.ClassLoad:
+		d.val = m.loadValue(d)
+	case isa.ClassStore:
+		d.val = sv[1] // store data
+	case isa.ClassCondBr:
+		d.compTaken = emu.EvalBranch(d.inst, sv[0], sv[1])
+		if d.compTaken {
+			d.compTarget = d.inst.BranchTarget(d.pc)
+		} else {
+			d.compTarget = d.pc + 4
+		}
+	case isa.ClassCall:
+		d.val = d.pc + 4
+	case isa.ClassIndCall:
+		d.val = d.pc + 4
+		d.compTarget = sv[0]
+	case isa.ClassIndJump:
+		d.compTarget = sv[0]
+	case isa.ClassReturn:
+		d.compTarget = sv[0] // reads the link register
+	}
+	d.st = stDone
+	d.hasVal = true
+	d.doneC = m.cycle
+	if m.cfg.Debug != nil {
+		m.debugf("complete %v val=%#x", d, d.val)
+	}
+
+	if d.hasRd && (!had || old != d.val) {
+		m.wakeConsumers(d)
+	}
+	if d.isStore {
+		m.storeCompleted(d)
+	}
+	if d.isCtl && d.ctlDone {
+		// A branch that re-executes after completing control may
+		// overturn its previous outcome (§A.2 false mispredictions).
+		// The HFM oracle holds architecturally wrong outcomes here too.
+		if !(m.cfg.HideFalseMispredictions && d.gold >= 0 && m.falseOutcome(d)) {
+			m.checkResolved(d)
+		}
+	}
+}
+
+// loadValue reads a load's value byte by byte: each byte comes from the
+// youngest older completed store covering it, or from committed memory.
+// fwdFrom records the youngest contributing store, used to re-read when
+// that store's value changes.
+func (m *machine) loadValue(d *dyn) uint64 {
+	d.fwdFrom = nil
+	n := uint(d.esize)
+	var have uint // bitmask of resolved bytes
+	full := uint(1)<<n - 1
+	var val uint64
+	for s := m.win.prevLive(d, false); s != nil && have != full; s = m.win.prevLive(s, false) {
+		if !s.isStore || !s.eaValid || s.st != stDone {
+			continue
+		}
+		for i := uint(0); i < n; i++ {
+			if have&(1<<i) != 0 {
+				continue
+			}
+			a := d.ea + uint64(i)
+			if a >= s.ea && a < s.ea+uint64(s.esize) {
+				val |= uint64(byte(s.val>>(8*(a-s.ea)))) << (8 * i)
+				have |= 1 << i
+				if d.fwdFrom == nil {
+					d.fwdFrom = s
+				}
+			}
+		}
+	}
+	for i := uint(0); i < n; i++ {
+		if have&(1<<i) == 0 {
+			val |= uint64(m.mem.Read8(d.ea+uint64(i))) << (8 * i)
+		}
+	}
+	return val
+}
+
+func overlaps(a uint64, an uint8, b uint64, bn uint8) bool {
+	return a < b+uint64(bn) && b < a+uint64(an)
+}
+
+func covers(a uint64, an uint8, b uint64, bn uint8) bool {
+	return a <= b && b+uint64(bn) <= a+uint64(an)
+}
+
+// wakeConsumers reissues instructions whose source is d (selective
+// reissue, §3.2.4: issue buffers reissue autonomously on a new value).
+func (m *machine) wakeConsumers(d *dyn) {
+	m.win.forEachAfter(d, func(c *dyn) bool {
+		if c.src[0] != d && c.src[1] != d {
+			return true
+		}
+		m.forceReissue(c)
+		return true
+	})
+}
+
+// forceReissue sends a dyn back for (re)issue.
+func (m *machine) forceReissue(c *dyn) {
+	switch c.st {
+	case stDone:
+		c.st = stWaiting
+	case stExecuting:
+		c.stale = true
+	}
+}
+
+// storeCompleted runs memory-order violation detection: younger loads that
+// issued with a conflicting value reissue with a one-cycle penalty (§4.1).
+func (m *machine) storeCompleted(s *dyn) {
+	m.win.forEachAfter(s, func(c *dyn) bool {
+		if c.isStore && c.eaValid && c.st == stDone && covers(c.ea, c.esize, s.ea, s.esize) {
+			// A younger store completely shadows this one; loads beyond
+			// it cannot depend on s.
+			return false
+		}
+		if !c.isLoad || c.st == stWaiting || !c.eaValid {
+			return true
+		}
+		if c.fwdFrom == s {
+			// Re-read: the store's value or address may have changed.
+			if c.st == stDone {
+				nv := m.loadValue(c)
+				if nv != c.val || c.fwdFrom != s {
+					m.reissueLoad(c)
+				}
+			} else {
+				c.stale = true
+			}
+			return true
+		}
+		if overlaps(s.ea, s.esize, c.ea, c.esize) {
+			// The load issued before this older store resolved: a
+			// memory-order violation.
+			m.reissueLoad(c)
+		}
+		return true
+	})
+}
+
+func (m *machine) reissueLoad(c *dyn) {
+	if c.st == stDone {
+		c.st = stWaiting
+	} else {
+		c.stale = true
+	}
+	m.stats.MemViolations++
+}
+
+// --- resolution of control instructions ---
+
+// recoveryStage gates branch completion per the configured completion
+// model, detects mispredictions, and services recoveries (recovery.go).
+func (m *machine) recoveryStage() {
+	needStable := m.cfg.Completion == SpecC || m.cfg.Completion == NonSpec ||
+		m.cfg.ConfidenceDelay
+	if needStable {
+		m.computeStability()
+	}
+	oldestUnresolved := true
+	m.win.forEach(func(d *dyn) bool {
+		if !d.isCtl || d.ctlDone {
+			if d.isCtl && !d.ctlDone {
+				oldestUnresolved = false
+			}
+			return true
+		}
+		if d.st != stDone {
+			oldestUnresolved = false
+			return true
+		}
+		ok := true
+		switch m.cfg.Completion {
+		case Spec:
+		case SpecC:
+			ok = d.stableFlag
+		case SpecD:
+			ok = oldestUnresolved
+		case NonSpec:
+			ok = oldestUnresolved && d.stableFlag
+		}
+		if ok && m.cfg.ConfidenceDelay && d.isCond && !d.stableFlag &&
+			m.conf.Confident(d.pc, d.histBefore) {
+			// §A.2.2 hedge: a high-confidence prediction is held while
+			// its operands are speculative, hoping any apparent
+			// misprediction is a false one.
+			ok = false
+		}
+		if ok && m.cfg.HideFalseMispredictions && d.gold >= 0 {
+			if m.falseOutcome(d) {
+				ok = false // hold the branch until operands repair
+			}
+		}
+		if ok {
+			d.ctlDone = true
+			d.ctlDoneC = m.cycle
+			if d.isCond {
+				m.stats.CondBranches++
+			}
+			m.checkResolved(d)
+		} else {
+			oldestUnresolved = false
+		}
+		return true
+	})
+	m.serviceRecoveries()
+}
+
+// falseOutcome reports whether the branch's computed outcome disagrees
+// with its architecturally correct one (possible only with speculative
+// operands).
+func (m *machine) falseOutcome(d *dyn) bool {
+	g := &m.golden[d.gold]
+	if d.isCond {
+		return d.compTaken != g.taken
+	}
+	return d.compTarget != g.nextPC
+}
+
+// checkResolved compares a completed branch's outcome against the
+// direction fetch assumed and queues a recovery on mismatch.
+func (m *machine) checkResolved(d *dyn) {
+	mismatch := false
+	if d.isCond {
+		mismatch = d.compTaken != d.assumedTaken
+	} else {
+		mismatch = d.compTarget != d.assumedTarget
+	}
+	if !mismatch {
+		return
+	}
+	m.debugf("pending %v comp=%v assumed=%v", d, d.compTaken, d.assumedTaken)
+	for i, p := range m.pendingRecs {
+		if p.d == d {
+			// Refresh the desired outcome.
+			m.pendingRecs[i] = pendingRec{d: d, taken: d.compTaken, target: d.compTarget}
+			return
+		}
+	}
+	m.pendingRecs = append(m.pendingRecs, pendingRec{d: d, taken: d.compTaken, target: d.compTarget})
+}
+
+// computeStability runs the forward data-stability pass used by the
+// spec-C and non-spec completion models: a value is stable when it was
+// computed from stable inputs and no older memory operation can still
+// change it. The result lives in each dyn's stableFlag.
+func (m *machine) computeStability() {
+	allOlderMemStable := true
+	m.win.forEach(func(d *dyn) bool {
+		s := d.st == stDone && !d.stale
+		if s {
+			for i := 0; i < d.nsrc; i++ {
+				// A retired producer is committed state (stable). A
+				// squashed producer means the mapping awaits redispatch
+				// repair: inherently speculative data.
+				p := d.src[i]
+				if p == nil || p.retired {
+					continue
+				}
+				if p.squashed || !p.stableFlag {
+					s = false
+					break
+				}
+			}
+		}
+		if s && d.isLoad && !allOlderMemStable {
+			s = false
+		}
+		d.stableFlag = s
+		if d.isStore && !s {
+			allOlderMemStable = false
+		}
+		return true
+	})
+}
+
+// --- retire stage ---
+
+func (m *machine) retireStage() {
+	for n := 0; n < m.cfg.Width; n++ {
+		d := m.win.headLive()
+		if d == nil {
+			return
+		}
+		// Retirement may not run past an unfilled restart gap, nor past
+		// control independent instructions whose redispatch (rename
+		// repair) has not reached them yet. Gates anchor on the (always
+		// live) reconvergent points: positions of retired instructions
+		// go stale across renumbering.
+		if m.active != nil && (m.active.search || d.pos >= m.active.reconv.pos) {
+			return
+		}
+		for _, s := range m.suspended {
+			if d.pos >= s.reconv.pos {
+				return
+			}
+		}
+		if m.redisp != nil && m.redisp.cur != nil && d.pos >= m.redisp.cur.pos {
+			return
+		}
+		blocked := false
+		for _, pr := range m.pendingRecs {
+			if !pr.d.squashed && !pr.d.retired && d.pos >= pr.d.pos {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			return
+		}
+		if d.st != stDone || d.stale || d.doneC >= m.cycle {
+			return
+		}
+		if d.isCtl {
+			if !d.ctlDone {
+				return
+			}
+			mismatch := (d.isCond && d.compTaken != d.assumedTaken) ||
+				(!d.isCond && d.compTarget != d.assumedTarget)
+			if mismatch {
+				// A recovery must service this; if none is queued or in
+				// progress (a missed hand-off), queue one now.
+				if len(m.pendingRecs) == 0 && m.active == nil && m.redisp == nil {
+					m.checkResolved(d)
+				}
+				return
+			}
+		}
+		if m.cfg.Debug != nil && m.retireCur < len(m.golden) && d.pc != m.golden[m.retireCur].pc {
+			m.debugf("about to mis-retire %v pos=%d: active=%v suspended=%d redisp=%v pending=%d",
+				d, d.pos, m.active != nil, len(m.suspended), m.redisp != nil, len(m.pendingRecs))
+			if m.active != nil {
+				m.debugf("  active branch=%v pos=%d lastIns=%v pos=%d", m.active.branch, m.active.branch.pos, m.active.lastIns, m.active.lastIns.pos)
+			}
+			for _, s := range m.suspended {
+				m.debugf("  susp branch=%v lastIns=%v pos=%d", s.branch, s.lastIns, s.lastIns.pos)
+			}
+		}
+		m.commit(d)
+		if m.done {
+			return
+		}
+	}
+}
+
+func (m *machine) commit(d *dyn) {
+	// Golden check: the retired stream must be the architectural stream.
+	if m.retireCur >= len(m.golden) {
+		panic(fmt.Sprintf("ooo: retired past golden stream at %v", d))
+	}
+	g := &m.golden[m.retireCur]
+	if d.pc != g.pc {
+		panic(fmt.Sprintf("ooo: retired %v but golden has pc=%#x %v (index %d, cycle %d)",
+			d, g.pc, g.inst, m.retireCur, m.cycle))
+	}
+	if d.hasRd && d.val != g.val {
+		panic(fmt.Sprintf("ooo: retired %v with value %#x, golden %#x (index %d)",
+			d, d.val, g.val, m.retireCur))
+	}
+	if (d.isLoad || d.isStore) && d.ea != g.ea {
+		panic(fmt.Sprintf("ooo: retired %v with ea %#x, golden %#x", d, d.ea, g.ea))
+	}
+	if d.isStore && d.val != g.val {
+		panic(fmt.Sprintf("ooo: retired store %v with data %#x, golden %#x (index %d)",
+			d, d.val, g.val, m.retireCur))
+	}
+	if d.isCond && d.compTaken != g.taken {
+		panic(fmt.Sprintf("ooo: retired branch %v taken=%v, golden %v (index %d, cycle %d)",
+			d, d.compTaken, g.taken, m.retireCur, m.cycle))
+	}
+	if d.isCtl && !d.isCond && d.compTarget != g.nextPC {
+		panic(fmt.Sprintf("ooo: retired %v target=%#x, golden %#x (index %d)",
+			d, d.compTarget, g.nextPC, m.retireCur))
+	}
+
+	if m.cfg.Debug != nil {
+		m.debugf("commit %v val=%#x gold=%d", d, d.val, m.retireCur)
+	}
+	if d.hasRd {
+		m.regs[d.dest] = d.val
+		m.regCommitC[d.dest] = m.cycle
+	}
+	if d.isStore {
+		if d.inst.Op == isa.SB {
+			m.mem.Write8(d.ea, byte(d.val))
+		} else {
+			m.mem.Write64(d.ea, d.val)
+		}
+	}
+	if d.isCond {
+		m.gsh.Update(d.pc, m.retireHist, d.compTaken)
+		m.bim.Update(d.pc, d.compTaken)
+		m.conf.Update(d.pc, m.retireHist, d.predTaken == d.compTaken)
+		m.retireHist = m.retireHist.Push(d.compTaken)
+	} else if d.isCtl && isa.ClassOf(d.inst.Op) != isa.ClassReturn {
+		m.ctb.Update(d.pc, m.retireHist, d.compTarget)
+	}
+
+	// Table 3 accounting.
+	if d.saved != savedNo {
+		m.stats.FetchSaved++
+		switch {
+		case d.saved == savedFetched:
+			m.stats.OnlyFetched++
+		case d.reissuedAfter:
+			m.stats.WorkDiscarded++
+		default:
+			m.stats.WorkSaved++
+		}
+	}
+	m.stats.Issues += uint64(d.issues)
+	m.stats.Retired++
+	if m.cfg.RecordPipeline {
+		m.recordPipe(d)
+	}
+	m.retireCur++
+	// Drop the dyn from the tail rename map if it is still the latest.
+	if d.hasRd && m.tailRmap[d.dest] == d {
+		delete(m.tailRmap, d.dest)
+	}
+	m.win.retire(d)
+
+	if d.inst.Op == isa.HALT || m.retireCur >= len(m.golden) {
+		m.done = true
+	}
+}
+
+// goldSync propagates golden-stream indexes through the window prefix
+// that provably lies on the architectural path: starting at the retire
+// point, instructions match golden entries as long as each one's PC and
+// assumed successor agree with the golden stream. This is the "mapping of
+// good instructions in the processor to counterparts in the fully
+// accurate window" of §A.3.1, which the oracle features (HFM, CI-OR,
+// oracle history) consult; like the paper's, it is best-effort.
+func (m *machine) goldSync() {
+	g := m.retireCur
+	limit := 256
+	for d := m.win.headLive(); d != nil && g < len(m.golden) && limit > 0; d = m.win.nextLive(d, false) {
+		limit--
+		gd := &m.golden[g]
+		if d.pc != gd.pc {
+			return
+		}
+		if d.gold < 0 {
+			d.gold = g
+		} else if d.gold != g {
+			return
+		}
+		// Continue only while the window's assumed path follows the
+		// golden path.
+		if d.assumedTarget != gd.nextPC {
+			return
+		}
+		g++
+	}
+}
+
+// stuckReport summarizes machine state for deadlock diagnostics.
+func (m *machine) stuckReport() string {
+	h := m.win.headLive()
+	s := fmt.Sprintf("win=%d/%d segs=%d/%d fetchOn=%v buf=%d pending=%d active=%v walk=%v",
+		m.win.count, m.cfg.WindowSize, m.win.liveSegs, m.win.maxSegs,
+		m.fetchOn, len(m.fetchBuf), len(m.pendingRecs), m.active != nil, m.redisp != nil)
+	if h != nil {
+		s += fmt.Sprintf("\nhead: %v st=%d stale=%v ctlDone=%v assumed=%v comp=%v ready=%v",
+			h, h.st, h.stale, h.ctlDone, h.assumedTaken, h.compTaken, h.ready())
+		for i := 0; i < h.nsrc; i++ {
+			if p := h.src[i]; p != nil {
+				s += fmt.Sprintf("\n  src%d: %v st=%d squashed=%v retired=%v inWindow=%v",
+					i, p, p.st, p.squashed, p.retired, m.inWindow(p))
+			}
+		}
+	}
+	segs := 0
+	empty, partial, sealed := 0, 0, 0
+	for seg := m.win.head; seg != nil; seg = seg.next {
+		segs++
+		if seg.used == 0 {
+			empty++
+		} else if !seg.full() {
+			partial++
+		}
+		if seg.sealed {
+			sealed++
+		}
+	}
+	s += fmt.Sprintf("\nsegments: walked=%d empty=%d partial=%d sealed=%d", segs, empty, partial, sealed)
+	return s
+}
+
+// checkRenames verifies that, outside of in-progress recovery sequences,
+// every live instruction's source pointers name the youngest older live
+// producer — the invariant restart insertion and redispatch walks must
+// restore. Regions awaiting redispatch are exempt (their repair is the
+// walk's job).
+func (m *machine) checkRenames() error {
+	if m.active != nil || m.redisp != nil || len(m.pendingRecs) > 0 || len(m.suspended) > 0 {
+		return nil // repair in progress
+	}
+	rmap := make(map[isa.Reg]*dyn)
+	var err error
+	m.win.forEach(func(d *dyn) bool {
+		for i := 0; i < d.nsrc; i++ {
+			if d.srcReg[i] == isa.RZero {
+				continue
+			}
+			want := rmap[d.srcReg[i]]
+			got := d.src[i]
+			// A source may point at a retired producer (its value is
+			// committed and identical) as long as no younger live
+			// producer precedes the consumer.
+			okPtr := got == want || (want == nil && got != nil && got.retired)
+			if !okPtr {
+				ctx := ""
+				for p := m.win.prevLive(d, false); p != nil && len(ctx) < 400; p = m.win.prevLive(p, false) {
+					ctx = fmt.Sprintf("  %v sq=%v\n", p, p.squashed) + ctx
+				}
+				err = fmt.Errorf("ooo: cycle %d: %v src%d(%v) points to %v, want %v\nwindow before:\n%s",
+					m.cycle, d, i, d.srcReg[i], got, want, ctx)
+				return false
+			}
+		}
+		if d.hasRd {
+			rmap[d.dest] = d
+		}
+		return true
+	})
+	return err
+}
+
+// checkContinuity verifies that, outside of in-progress recovery
+// sequences, the live window is a contiguous instruction sequence: each
+// instruction's assumed next PC names the next live instruction.
+func (m *machine) checkContinuity() error {
+	if m.active != nil || m.redisp != nil || len(m.pendingRecs) > 0 || len(m.suspended) > 0 {
+		return nil
+	}
+	var prev *dyn
+	var err error
+	m.win.forEach(func(d *dyn) bool {
+		if prev != nil && prev.assumedTarget != d.pc {
+			err = fmt.Errorf("ooo: cycle %d: window discontinuity: %v (next=%#x) followed by %v",
+				m.cycle, prev, prev.assumedTarget, d)
+			return false
+		}
+		prev = d
+		return true
+	})
+	return err
+}
+
+// inWindow reports whether a dyn still sits in a linked segment
+// (diagnostics for dangling source pointers).
+func (m *machine) inWindow(d *dyn) bool {
+	for seg := m.win.head; seg != nil; seg = seg.next {
+		for _, c := range seg.slots[:seg.used] {
+			if c == d {
+				return true
+			}
+		}
+	}
+	return false
+}

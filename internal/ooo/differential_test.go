@@ -1,0 +1,81 @@
+package ooo
+
+import (
+	"testing"
+
+	"cisim/internal/progen"
+)
+
+// TestDifferentialRandomPrograms is the flagship correctness test: random
+// always-terminating programs run through every machine and a spread of
+// configurations, with the in-engine golden checks comparing every retired
+// instruction (PC, value, address, branch direction) against the
+// functional emulator, plus the rename and continuity invariants.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		p := progen.Generate(seed, progen.Config{})
+		configs := []Config{
+			{Machine: Base, WindowSize: 32},
+			{Machine: Base, WindowSize: 256},
+			{Machine: CI, WindowSize: 32},
+			{Machine: CI, WindowSize: 256},
+			{Machine: CI, WindowSize: 128, SegmentSize: 4},
+			{Machine: CI, WindowSize: 128, SegmentSize: 16},
+			{Machine: CI, WindowSize: 128, Completion: Spec},
+			{Machine: CI, WindowSize: 128, Completion: NonSpec},
+			{Machine: CI, WindowSize: 128, Preempt: PreemptSimple},
+			{Machine: CI, WindowSize: 128, Repredict: RepredictNone},
+			{Machine: CI, WindowSize: 128, Reconv: Reconv{Return: true, Loop: true, Ltb: true}},
+			{Machine: CI, WindowSize: 128, Reconv: Reconv{Assoc: true}},
+			{Machine: CIInstant, WindowSize: 128},
+			{Machine: CI, WindowSize: 64, BimodalPredictor: true},
+		}
+		for i, c := range configs {
+			c.Check = true
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("seed %d config %d (%+v): golden check panic: %v", seed, i, c, r)
+					}
+				}()
+				r, err := Run(p, c)
+				if err != nil {
+					t.Fatalf("seed %d config %d (%+v): %v", seed, i, c, err)
+				}
+				if r.Stats.Retired == 0 {
+					t.Fatalf("seed %d config %d: nothing retired", seed, i)
+				}
+			}()
+		}
+	}
+}
+
+// TestDifferentialRetireCountsAgree verifies that every configuration
+// retires exactly the same number of instructions for the same program
+// (the architectural stream is configuration-independent).
+func TestDifferentialRetireCountsAgree(t *testing.T) {
+	for seed := int64(50); seed < 55; seed++ {
+		p := progen.Generate(seed, progen.Config{Blocks: 8})
+		var want uint64
+		for i, c := range []Config{
+			{Machine: Base, WindowSize: 64},
+			{Machine: CI, WindowSize: 64},
+			{Machine: CIInstant, WindowSize: 64},
+			{Machine: CI, WindowSize: 64, SegmentSize: 16},
+		} {
+			r, err := Run(p, c)
+			if err != nil {
+				t.Fatalf("seed %d config %d: %v", seed, i, err)
+			}
+			if i == 0 {
+				want = r.Stats.Retired
+			} else if r.Stats.Retired != want {
+				t.Errorf("seed %d config %d retired %d, want %d", seed, i, r.Stats.Retired, want)
+			}
+		}
+	}
+}

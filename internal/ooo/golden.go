@@ -1,0 +1,52 @@
+package ooo
+
+import (
+	"cisim/internal/bpred"
+	"cisim/internal/emu"
+	"cisim/internal/isa"
+	"cisim/internal/prog"
+)
+
+// golden is one instruction of the architecturally correct execution,
+// produced by the functional emulator. The simulator uses the golden
+// stream three ways: to validate the retired stream instruction by
+// instruction (the package's central invariant), to implement the oracle
+// features of Appendix A (HFM, CI-OR, oracle global history), and to
+// gather Table 3's work accounting.
+type golden struct {
+	pc     uint64
+	inst   isa.Inst
+	nextPC uint64
+	taken  bool
+	ea     uint64
+	val    uint64
+	// hist is the architecturally correct global branch history before
+	// this instruction (conditional-branch outcomes only), for §A.3.1.
+	hist bpred.History
+}
+
+// goldenStream runs the program to completion (or the instruction budget)
+// and records the correct-path stream.
+func goldenStream(p *prog.Program, max uint64) ([]golden, error) {
+	if max == 0 {
+		max = 1 << 62
+	}
+	st := emu.New(p)
+	var out []golden
+	var hist bpred.History
+	for !st.Halted && uint64(len(out)) < max {
+		step, err := st.Step()
+		if err != nil {
+			return nil, err
+		}
+		g := golden{
+			pc: step.PC, inst: step.Inst, nextPC: step.NextPC,
+			taken: step.Taken, ea: step.EA, val: step.Value, hist: hist,
+		}
+		if step.Inst.IsCondBranch() {
+			hist = hist.Push(step.Taken)
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}

@@ -1,0 +1,408 @@
+package ooo
+
+import (
+	"testing"
+
+	"cisim/internal/asm"
+	"cisim/internal/cache"
+	"cisim/internal/prog"
+	"cisim/internal/workloads"
+)
+
+func runSrc(t *testing.T, src string, c Config) *Result {
+	t.Helper()
+	c.Check = true
+	r, err := Run(asm.MustAssemble(src), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func runProg(t *testing.T, p *prog.Program, c Config) *Result {
+	t.Helper()
+	r, err := Run(p, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+const tinyLoop = `
+main:
+	li r1, 50
+	li r2, 0
+loop:
+	addi r2, r2, 1
+	addi r1, r1, -1
+	bne r1, r0, loop
+	halt
+`
+
+func TestBaseTinyLoop(t *testing.T) {
+	r := runSrc(t, tinyLoop, Config{Machine: Base, WindowSize: 64})
+	if r.Stats.Retired != 153 {
+		t.Errorf("retired %d, want 153", r.Stats.Retired)
+	}
+	if r.Stats.IPC() <= 0.5 {
+		t.Errorf("IPC = %.2f, suspiciously low", r.Stats.IPC())
+	}
+}
+
+func TestIndependentKernelIPC(t *testing.T) {
+	src := "main:\n"
+	for i := 0; i < 1600; i++ {
+		src += "\taddi r1, r0, 1\n\taddi r2, r0, 2\n\taddi r3, r0, 3\n\taddi r4, r0, 4\n"
+	}
+	src += "\thalt\n"
+	r := runSrc(t, src, Config{Machine: Base, WindowSize: 256})
+	if r.Stats.IPC() < 12 {
+		t.Errorf("independent kernel IPC = %.2f, want near 16", r.Stats.IPC())
+	}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	runSrc(t, `
+		.data
+		buf: .space 64
+		.text
+		main:
+			li r1, 42
+			la r2, buf
+			st r1, 0(r2)
+			ld r3, 0(r2)
+			addi r3, r3, 1
+			st r3, 8(r2)
+			ld r4, 8(r2)
+			sb r4, 16(r2)
+			lb r5, 16(r2)
+			halt
+	`, Config{Machine: Base, WindowSize: 32})
+	// Golden checking inside Run validates every retired value.
+}
+
+func TestCallsAndReturns(t *testing.T) {
+	runSrc(t, `
+		main:
+			li r1, 5
+			call f
+			call f
+			call f
+			halt
+		f:
+			addi sp, sp, -8
+			st ra, 0(sp)
+			call g
+			ld ra, 0(sp)
+			addi sp, sp, 8
+			ret
+		g:
+			add r1, r1, r1
+			ret
+	`, Config{Machine: Base, WindowSize: 64})
+}
+
+// All machines must retire every workload correctly (golden-checked) at a
+// variety of window sizes.
+func TestAllMachinesAllWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		p := w.Program(40)
+		for _, mach := range []Machine{Base, CI, CIInstant} {
+			for _, win := range []int{32, 128} {
+				c := Config{Machine: mach, WindowSize: win, Check: true}
+				r, err := Run(p, c)
+				if err != nil {
+					t.Fatalf("%s/%v/win%d: %v", w.Name, mach, win, err)
+				}
+				if r.Stats.Retired == 0 || r.Stats.IPC() <= 0 {
+					t.Errorf("%s/%v/win%d: empty run", w.Name, mach, win)
+				}
+			}
+		}
+	}
+}
+
+func TestCIBeatsBaseOnMispredictableWork(t *testing.T) {
+	w, _ := workloads.Get("xgo")
+	p := w.Program(600)
+	base := runProg(t, p, Config{Machine: Base, WindowSize: 256})
+	ci := runProg(t, p, Config{Machine: CI, WindowSize: 256})
+	cii := runProg(t, p, Config{Machine: CIInstant, WindowSize: 256})
+	t.Logf("BASE=%.3f CI=%.3f CI-I=%.3f (reconv %.0f%%, removed/restart %.1f, inserted %.1f)",
+		base.Stats.IPC(), ci.Stats.IPC(), cii.Stats.IPC(),
+		100*ci.Stats.ReconvRate(),
+		float64(ci.Stats.RemovedCD)/float64(max64(1, ci.Stats.Reconverged)),
+		float64(ci.Stats.InsertedCD)/float64(max64(1, ci.Stats.Reconverged)))
+	if ci.Stats.IPC() <= base.Stats.IPC() {
+		t.Errorf("CI (%.3f) should beat BASE (%.3f) on xgo", ci.Stats.IPC(), base.Stats.IPC())
+	}
+	if cii.Stats.IPC() < ci.Stats.IPC()*0.99 {
+		t.Errorf("CI-I (%.3f) should be at least CI (%.3f)", cii.Stats.IPC(), ci.Stats.IPC())
+	}
+	if ci.Stats.Reconverged == 0 {
+		t.Error("CI never reconverged")
+	}
+	if ci.Stats.WorkSaved == 0 {
+		t.Error("CI saved no work")
+	}
+}
+
+func TestCompletionModels(t *testing.T) {
+	w, _ := workloads.Get("xcompress")
+	p := w.Program(300)
+	ipc := map[Completion]float64{}
+	for _, cm := range []Completion{NonSpec, SpecD, SpecC, Spec} {
+		r := runProg(t, p, Config{Machine: CI, WindowSize: 128, Completion: cm})
+		ipc[cm] = r.Stats.IPC()
+	}
+	t.Logf("non-spec=%.3f spec-D=%.3f spec-C=%.3f spec=%.3f",
+		ipc[NonSpec], ipc[SpecD], ipc[SpecC], ipc[Spec])
+	// Less speculation can only slow resolution: non-spec is the floor.
+	if ipc[NonSpec] > ipc[Spec]*1.05 {
+		t.Errorf("non-spec (%.3f) should not beat spec (%.3f)", ipc[NonSpec], ipc[Spec])
+	}
+}
+
+func TestHFMNeverFalseMispredicts(t *testing.T) {
+	w, _ := workloads.Get("xcompress")
+	p := w.Program(300)
+	plain := runProg(t, p, Config{Machine: CI, WindowSize: 128, Completion: Spec})
+	hfm := runProg(t, p, Config{Machine: CI, WindowSize: 128, Completion: Spec, HideFalseMispredictions: true})
+	t.Logf("spec false misps=%d, spec-HFM false misps=%d", plain.Stats.FalseMisp, hfm.Stats.FalseMisp)
+	// The oracle relies on the best-effort golden mapping (§A.3.1), so a
+	// few false mispredictions with unknown mapping slip through — as in
+	// the paper's own simulator. Require a large reduction.
+	if plain.Stats.FalseMisp == 0 {
+		t.Skip("no false mispredictions at this scale")
+	}
+	if hfm.Stats.FalseMisp*5 > plain.Stats.FalseMisp {
+		t.Errorf("HFM left %d of %d false mispredictions", hfm.Stats.FalseMisp, plain.Stats.FalseMisp)
+	}
+	if hfm.Stats.IPC() < plain.Stats.IPC() {
+		t.Errorf("HFM (%.2f) should not be slower than spec (%.2f)", hfm.Stats.IPC(), plain.Stats.IPC())
+	}
+}
+
+func TestSegmentSizes(t *testing.T) {
+	w, _ := workloads.Get("xgcc")
+	p := w.Program(300)
+	var prev float64
+	for _, seg := range []int{16, 4, 1} {
+		r := runProg(t, p, Config{Machine: CI, WindowSize: 256, SegmentSize: seg})
+		t.Logf("segment %2d: IPC=%.3f", seg, r.Stats.IPC())
+		if prev > 0 && r.Stats.IPC() < prev*0.90 {
+			t.Errorf("finer segments (%d) should not be much worse: %.3f < %.3f", seg, r.Stats.IPC(), prev)
+		}
+		prev = r.Stats.IPC()
+	}
+}
+
+func TestPreemptionPolicies(t *testing.T) {
+	w, _ := workloads.Get("xgo")
+	p := w.Program(400)
+	opt := runProg(t, p, Config{Machine: CI, WindowSize: 256, Preempt: PreemptOptimal})
+	sim := runProg(t, p, Config{Machine: CI, WindowSize: 256, Preempt: PreemptSimple})
+	t.Logf("optimal=%.3f simple=%.3f (preemptions %d/%d)",
+		opt.Stats.IPC(), sim.Stats.IPC(), opt.Stats.Preemptions, sim.Stats.Preemptions)
+	if sim.Stats.IPC() > opt.Stats.IPC()*1.05 {
+		t.Errorf("simple preemption (%.3f) should not beat optimal (%.3f)", sim.Stats.IPC(), opt.Stats.IPC())
+	}
+}
+
+func TestRepredictPolicies(t *testing.T) {
+	w, _ := workloads.Get("xgo")
+	p := w.Program(400)
+	ipc := map[Repredict]float64{}
+	for _, rp := range []Repredict{RepredictNone, RepredictHeuristic, RepredictOracle} {
+		r := runProg(t, p, Config{Machine: CI, WindowSize: 256, Repredict: rp})
+		ipc[rp] = r.Stats.IPC()
+	}
+	t.Logf("CI-NR=%.3f CI=%.3f CI-OR=%.3f", ipc[RepredictNone], ipc[RepredictHeuristic], ipc[RepredictOracle])
+	if ipc[RepredictHeuristic] > ipc[RepredictOracle]*1.05 {
+		t.Errorf("heuristic re-predict (%.3f) should not beat oracle (%.3f)",
+			ipc[RepredictHeuristic], ipc[RepredictOracle])
+	}
+}
+
+func TestHeuristicReconvergence(t *testing.T) {
+	w, _ := workloads.Get("xgcc")
+	p := w.Program(300)
+	full := runProg(t, p, Config{Machine: CI, WindowSize: 256})
+	ret := runProg(t, p, Config{Machine: CI, WindowSize: 256,
+		Reconv: Reconv{Return: true}})
+	all := runProg(t, p, Config{Machine: CI, WindowSize: 256,
+		Reconv: Reconv{Return: true, Loop: true, Ltb: true}})
+	base := runProg(t, p, Config{Machine: Base, WindowSize: 256})
+	t.Logf("base=%.3f return=%.3f all-heur=%.3f postdom=%.3f",
+		base.Stats.IPC(), ret.Stats.IPC(), all.Stats.IPC(), full.Stats.IPC())
+	if ret.Stats.Reconverged == 0 {
+		t.Error("return heuristic never reconverged")
+	}
+}
+
+func TestOracleHistory(t *testing.T) {
+	w, _ := workloads.Get("xgo")
+	p := w.Program(300)
+	plain := runProg(t, p, Config{Machine: CI, WindowSize: 256})
+	oh := runProg(t, p, Config{Machine: CI, WindowSize: 256, OracleGlobalHistory: true})
+	t.Logf("timing-history=%.3f oracle-history=%.3f", plain.Stats.IPC(), oh.Stats.IPC())
+	// The paper found a small effect either way (±5%); just require a run.
+	if oh.Stats.Retired != plain.Stats.Retired {
+		t.Errorf("retired counts differ: %d vs %d", oh.Stats.Retired, plain.Stats.Retired)
+	}
+}
+
+func TestRecordMisps(t *testing.T) {
+	w, _ := workloads.Get("xcompress")
+	p := w.Program(200)
+	r := runProg(t, p, Config{Machine: CI, WindowSize: 128, Completion: Spec, RecordMisps: true})
+	if len(r.MispEvents) == 0 {
+		t.Fatal("no misprediction events recorded")
+	}
+	if uint64(len(r.MispEvents)) != r.Stats.Mispredicts {
+		t.Errorf("events %d != mispredicts %d", len(r.MispEvents), r.Stats.Mispredicts)
+	}
+}
+
+func TestPerfectCacheSpeedsUp(t *testing.T) {
+	w, _ := workloads.Get("xjpeg")
+	p := w.Program(100)
+	slow := runProg(t, p, Config{Machine: Base, WindowSize: 128})
+	fast := runProg(t, p, Config{Machine: Base, WindowSize: 128, Cache: cache.Perfect()})
+	if fast.Stats.IPC() < slow.Stats.IPC() {
+		t.Errorf("perfect cache (%.3f) slower than real cache (%.3f)", fast.Stats.IPC(), slow.Stats.IPC())
+	}
+}
+
+func TestMemViolationsDetected(t *testing.T) {
+	// xcompress's scratch store->load chain forces loads to issue before
+	// dependent stores resolve.
+	w, _ := workloads.Get("xcompress")
+	p := w.Program(300)
+	r := runProg(t, p, Config{Machine: CI, WindowSize: 256})
+	if r.Stats.MemViolations == 0 {
+		t.Error("expected memory-order violations on xcompress")
+	}
+	if r.Stats.IssuesPerRetired() <= 1.0 {
+		t.Errorf("issues per retired = %.3f, want > 1", r.Stats.IssuesPerRetired())
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestAssociativeSearchReconvergence(t *testing.T) {
+	// §A.5.1: the associative search should find reconvergent points
+	// without any static information, performing between BASE and
+	// post-dominator CI.
+	for _, wn := range []string{"xgcc", "xgo"} {
+		w, _ := workloads.Get(wn)
+		p := w.Program(400)
+		base := runProg(t, p, Config{Machine: Base, WindowSize: 256})
+		assoc := runProg(t, p, Config{Machine: CI, WindowSize: 256, Reconv: Reconv{Assoc: true}})
+		full := runProg(t, p, Config{Machine: CI, WindowSize: 256})
+		t.Logf("%s: base=%.2f assoc=%.2f postdom=%.2f (assoc reconverged %d)",
+			wn, base.Stats.IPC(), assoc.Stats.IPC(), full.Stats.IPC(), assoc.Stats.Reconverged)
+		if assoc.Stats.Reconverged == 0 {
+			t.Errorf("%s: associative search never reconverged", wn)
+		}
+		if assoc.Stats.IPC() < base.Stats.IPC()*0.9 {
+			t.Errorf("%s: assoc (%.2f) far below base (%.2f)", wn, assoc.Stats.IPC(), base.Stats.IPC())
+		}
+	}
+}
+
+func TestAssocGoldenChecked(t *testing.T) {
+	// The search path must preserve architectural correctness under the
+	// golden checks, across all workloads and a small window.
+	for _, w := range workloads.All() {
+		p := w.Program(40)
+		if _, err := Run(p, Config{Machine: CI, WindowSize: 32, Reconv: Reconv{Assoc: true}, Check: true}); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+}
+
+func TestConfidenceDelay(t *testing.T) {
+	// §A.2.2: delaying high-confidence branches with speculative operands
+	// must stay architecturally correct; the paper found it unprofitable,
+	// so no performance assertion beyond sanity.
+	w, _ := workloads.Get("xcompress")
+	p := w.Program(300)
+	plain := runProg(t, p, Config{Machine: CI, WindowSize: 128, Completion: Spec})
+	hedged := runProg(t, p, Config{Machine: CI, WindowSize: 128, Completion: Spec, ConfidenceDelay: true})
+	t.Logf("spec=%.3f spec+confidence-delay=%.3f", plain.Stats.IPC(), hedged.Stats.IPC())
+	if hedged.Stats.Retired != plain.Stats.Retired {
+		t.Errorf("retired differ: %d vs %d", hedged.Stats.Retired, plain.Stats.Retired)
+	}
+	if hedged.Stats.IPC() <= 0 {
+		t.Error("hedged run produced no progress")
+	}
+}
+
+func TestBimodalPredictorOption(t *testing.T) {
+	// §A.3's comparison point: under CI-NR (no re-predict sequences), a
+	// history-free bimodal predictor is immune to corrupted global
+	// history; gshare with re-predicts should still win overall on
+	// correlated workloads.
+	w, _ := workloads.Get("xgo")
+	p := w.Program(400)
+	gshare := runProg(t, p, Config{Machine: CI, WindowSize: 256})
+	bimodal := runProg(t, p, Config{Machine: CI, WindowSize: 256, BimodalPredictor: true})
+	t.Logf("gshare=%.3f bimodal=%.3f (mispredicts %d vs %d)",
+		gshare.Stats.IPC(), bimodal.Stats.IPC(), gshare.Stats.Mispredicts, bimodal.Stats.Mispredicts)
+	if bimodal.Stats.Retired != gshare.Stats.Retired {
+		t.Errorf("retired differ: %d vs %d", bimodal.Stats.Retired, gshare.Stats.Retired)
+	}
+	// Golden checking already validates correctness; just require both
+	// to make reasonable progress.
+	if bimodal.Stats.IPC() <= 1 {
+		t.Errorf("bimodal run IPC %.2f unreasonably low", bimodal.Stats.IPC())
+	}
+}
+
+func TestPartialOverlapForwarding(t *testing.T) {
+	// A byte store into the middle of a word, then a word load covering
+	// it: the load must merge store bytes with memory (golden-checked).
+	runSrc(t, `
+		.data
+		buf: .word 0x1111111111111111
+		.text
+		main:
+			la r2, buf
+			li r1, 0xAB
+			sb r1, 3(r2)       ; one byte inside the word
+			ld r3, 0(r2)       ; must see the merged value
+			lb r4, 3(r2)       ; covered load forwards directly
+			lb r5, 4(r2)       ; unaffected byte
+			li r6, -1
+			st r6, 0(r2)       ; full-word store shadows the byte
+			lb r7, 3(r2)
+			halt
+	`, Config{Machine: Base, WindowSize: 32})
+}
+
+func TestStoreDataChangeReissuesLoad(t *testing.T) {
+	// A store whose *data* arrives late (long dependence) with a younger
+	// load that issued early: the violation scan must reissue the load
+	// when the store completes with different data (golden-checked).
+	runSrc(t, `
+		.data
+		buf: .space 16
+		.text
+		main:
+			li r1, 9
+			mul r2, r1, r1       ; slow producer (latency 3)
+			mul r2, r2, r2
+			mul r2, r2, r2
+			la r3, buf
+			st r2, 0(r3)         ; store waits for the muls
+			ld r4, 0(r3)         ; load issues early, reads stale memory
+			addi r5, r4, 1       ; dependent chain must reissue too
+			halt
+	`, Config{Machine: Base, WindowSize: 32})
+}

@@ -1,0 +1,223 @@
+package ooo
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"cisim/internal/isa"
+)
+
+// PipeRecord captures one retired instruction's trip through the
+// pipeline, recorded when Config.RecordPipeline is set. Cycles are
+// absolute simulation cycles; IssueC is the *last* issue (selective
+// reissue means an instruction can issue several times — Issues counts
+// them all).
+type PipeRecord struct {
+	Seq    uint64
+	PC     uint64
+	Inst   isa.Inst
+	FetchC int64
+	IssueC int64 // last issue; -1 if the instruction never issued
+	DoneC  int64 // completion (result available); -1 if it never completed
+	// ResolveC is the cycle a control instruction's outcome completed
+	// under the configured completion model (§A.2.1 gating); -1 for
+	// non-control instructions.
+	ResolveC int64
+	RetireC  int64
+	Issues   int
+	// Saved marks a control independent survivor: the instruction was
+	// preserved across at least one recovery (Table 3's population).
+	Saved bool
+	// Reissued marks a survivor that was forced to reissue afterwards
+	// (new register names or violated memory speculation).
+	Reissued bool
+	// Squashed marks wrong-path work (recorded only under
+	// Config.RecordSquashed); RetireC is then the squash cycle.
+	Squashed bool
+}
+
+const defaultPipelineLimit = 10_000
+
+// recordSquashedPipe records a squashed dyn (RecordSquashed): same shape
+// as a retired record, flagged and stamped with the squash cycle.
+func (m *machine) recordSquashedPipe(d *dyn) {
+	n := len(m.pipeRecs)
+	m.recordPipe(d)
+	if len(m.pipeRecs) > n {
+		m.pipeRecs[len(m.pipeRecs)-1].Squashed = true
+	}
+}
+
+func (m *machine) recordPipe(d *dyn) {
+	limit := m.cfg.PipelineLimit
+	if limit <= 0 {
+		limit = defaultPipelineLimit
+	}
+	if len(m.pipeRecs) >= limit {
+		return
+	}
+	issueC, doneC := d.lastIssueC, d.doneC
+	if d.issues == 0 {
+		issueC = -1
+	}
+	resolveC := int64(-1)
+	if d.isCtl && d.ctlDone {
+		resolveC = d.ctlDoneC
+	}
+	m.pipeRecs = append(m.pipeRecs, PipeRecord{
+		Seq:      d.seq,
+		PC:       d.pc,
+		Inst:     d.inst,
+		FetchC:   d.fetchC,
+		IssueC:   issueC,
+		DoneC:    doneC,
+		ResolveC: resolveC,
+		RetireC:  m.cycle,
+		Issues:   d.issues,
+		Saved:    d.saved != savedNo,
+		Reissued: d.reissuedAfter,
+	})
+}
+
+// WriteKanata emits records in the Kanata log format (version 0004) that
+// the Konata pipeline visualizer reads. Stages are synthesized from the
+// record timestamps: F (fetch) from FetchC, X (execute) from the last
+// issue, C (complete) from DoneC, and retirement at RetireC. Only retired
+// instructions are recorded (squashed wrong-path work never reaches the
+// recording point), so every R line is a commit, never a flush.
+func WriteKanata(w io.Writer, recs []PipeRecord) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "Kanata\t0004\n")
+	if len(recs) == 0 {
+		return bw.Flush()
+	}
+	base := recs[0].FetchC
+	for i := range recs {
+		if recs[i].FetchC < base {
+			base = recs[i].FetchC
+		}
+	}
+	fmt.Fprintf(bw, "C=\t%d\n", base)
+	cycle := base
+	// Events per cycle, replayed in cycle order.
+	type ev struct {
+		cyc  int64
+		line string
+	}
+	var evs []ev
+	add := func(cyc int64, format string, args ...interface{}) {
+		if cyc < base {
+			return
+		}
+		evs = append(evs, ev{cyc, fmt.Sprintf(format, args...)})
+	}
+	for i := range recs {
+		r := &recs[i]
+		id := i
+		add(r.FetchC, "I\t%d\t%d\t0", id, r.Seq)
+		add(r.FetchC, "L\t%d\t0\t%#x: %s", id, r.PC, r.Inst.String())
+		add(r.FetchC, "S\t%d\t0\tF", id)
+		if r.IssueC >= 0 {
+			add(r.IssueC, "S\t%d\t0\tX", id)
+		}
+		if r.DoneC >= 0 {
+			add(r.DoneC, "S\t%d\t0\tC", id)
+		}
+		if r.Squashed {
+			add(r.RetireC, "R\t%d\t%d\t1", id, id) // flush
+		} else {
+			add(r.RetireC, "R\t%d\t%d\t0", id, id) // commit
+		}
+	}
+	sort.SliceStable(evs, func(a, b int) bool { return evs[a].cyc < evs[b].cyc })
+	for _, e := range evs {
+		if e.cyc > cycle {
+			fmt.Fprintf(bw, "C\t%d\n", e.cyc-cycle)
+			cycle = e.cyc
+		}
+		fmt.Fprintln(bw, e.line)
+	}
+	return bw.Flush()
+}
+
+// RenderPipeline draws records as an ASCII timeline, one row per retired
+// instruction:
+//
+//	F  fetch            .  in flight
+//	I  (last) issue     =  executing
+//	C  complete         R  retire (Q: squashed at that cycle)
+//
+// The time axis starts at the first record's fetch cycle; rows that
+// extend past width columns are truncated with '>'. Instructions that
+// issued more than once are annotated with the issue count, and control
+// independent survivors of a recovery with 's' (or 'r' when they were
+// also forced to reissue).
+func RenderPipeline(recs []PipeRecord, width int) string {
+	if len(recs) == 0 {
+		return "(no pipeline records)\n"
+	}
+	if width <= 0 {
+		width = 80
+	}
+	base := recs[0].FetchC
+	for i := range recs {
+		if recs[i].FetchC < base {
+			base = recs[i].FetchC
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycle axis: %d .. %d (one column per cycle)\n", base, base+int64(width)-1)
+	for i := range recs {
+		r := &recs[i]
+		row := make([]byte, 0, width)
+		put := func(c int64, ch byte, fill byte) {
+			col := int(c - base)
+			if c < 0 || col < 0 {
+				return
+			}
+			if col >= width {
+				// Fill to the edge and mark truncation there.
+				for len(row) < width {
+					row = append(row, fill)
+				}
+				row[width-1] = '>'
+				return
+			}
+			for len(row) < col {
+				row = append(row, fill)
+			}
+			if len(row) == col {
+				row = append(row, ch)
+			} else {
+				row[col] = ch
+			}
+		}
+		put(r.FetchC, 'F', ' ')
+		put(r.IssueC, 'I', '.')
+		put(r.DoneC, 'C', '=')
+		if r.Squashed {
+			put(r.RetireC, 'Q', '.') // squashed at this cycle
+		} else {
+			put(r.RetireC, 'R', '.')
+		}
+		note := ""
+		if r.Issues > 1 {
+			note = fmt.Sprintf(" x%d", r.Issues)
+		}
+		if r.Reissued {
+			note += " r"
+		} else if r.Saved {
+			note += " s"
+		}
+		if r.Squashed {
+			note += " squashed"
+		}
+		line := fmt.Sprintf("%6d %#08x %-24s %-*s%s", r.Seq, r.PC, r.Inst.String(), width, row, note)
+		b.WriteString(strings.TrimRight(line, " "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,160 @@
+package ooo
+
+import (
+	"testing"
+
+	"cisim/internal/workloads"
+)
+
+// White-box tests: the hookRecovery test hook observes every serviced
+// recovery with full access to the machine, letting these tests pin down
+// sequencer behaviour (suspension, overlap, preemption discipline) that
+// the black-box stats can only witness in aggregate.
+
+// nestedDiamonds stacks two unpredictable hammocks back to back so
+// recoveries overlap: an older branch's misprediction routinely arrives
+// while a younger branch's restart is active (§A.1's preemption cases).
+const nestedDiamonds = `
+main:
+	li r20, 123456789
+	li r21, 1103515245
+	li r1, 500
+	li r11, 0
+loop:
+	mul r20, r20, r21
+	addi r20, r20, 12345
+	srli r3, r20, 17
+	andi r3, r3, 1
+	srli r4, r20, 23
+	andi r4, r4, 1
+	mul r5, r3, r4
+	beq r5, r0, skipa
+	addi r11, r11, 1
+skipa:
+	add r6, r11, r5
+	beq r4, r0, skipb
+	addi r11, r11, 2
+skipb:
+	add r7, r11, r6
+	xor r11, r11, r7
+	addi r1, r1, -1
+	bne r1, r0, loop
+	halt
+`
+
+func TestHookObservesEveryRecovery(t *testing.T) {
+	var seen int
+	var nonRepred int
+	cfg := Config{Machine: CI, WindowSize: 128, Check: true}
+	cfg.hookRecovery = func(m *machine, pr pendingRec) {
+		seen++
+		if !pr.repred {
+			nonRepred++
+		}
+		if !pr.d.isCtl {
+			t.Errorf("recovery for non-control instruction %v", pr.d.inst)
+		}
+		if pr.d.squashed || pr.d.retired && pr.repred {
+			t.Errorf("recovery for dead dyn %v (squashed=%v retired=%v)",
+				pr.d, pr.d.squashed, pr.d.retired)
+		}
+	}
+	r := runSrc(t, nestedDiamonds, cfg)
+	if uint64(seen) != r.Stats.Recoveries {
+		t.Errorf("hook saw %d recoveries, stats count %d", seen, r.Stats.Recoveries)
+	}
+	if uint64(nonRepred) != r.Stats.Mispredicts {
+		t.Errorf("hook saw %d mispredictions, stats count %d", nonRepred, r.Stats.Mispredicts)
+	}
+	if seen == 0 {
+		t.Fatal("no recoveries serviced")
+	}
+}
+
+func TestOptimalPreemptionSuspends(t *testing.T) {
+	// Under optimal preemption, CASE 3 must park the active restart on
+	// the suspended list rather than discarding it.
+	maxSuspended := 0
+	cfg := Config{Machine: CI, WindowSize: 128, Preempt: PreemptOptimal, Check: true}
+	cfg.hookRecovery = func(m *machine, pr pendingRec) {
+		if len(m.suspended) > maxSuspended {
+			maxSuspended = len(m.suspended)
+		}
+	}
+	r := runSrc(t, nestedDiamonds, cfg)
+	if r.Stats.Case3Preemptions == 0 {
+		t.Skip("this run produced no CASE-3 preemptions; program needs more pressure")
+	}
+	if maxSuspended == 0 {
+		t.Error("CASE-3 preemptions occurred but no restart was ever suspended")
+	}
+}
+
+func TestSimplePreemptionNeverSuspends(t *testing.T) {
+	cfg := Config{Machine: CI, WindowSize: 128, Preempt: PreemptSimple, Check: true}
+	cfg.hookRecovery = func(m *machine, pr pendingRec) {
+		if len(m.suspended) != 0 {
+			t.Errorf("simple preemption must not maintain suspended restarts (have %d)",
+				len(m.suspended))
+		}
+	}
+	r := runSrc(t, nestedDiamonds, cfg)
+	if r.Stats.Recoveries == 0 {
+		t.Fatal("no recoveries serviced")
+	}
+}
+
+func TestWalkOverlapsRestart(t *testing.T) {
+	// §3.1 allows the redispatch walk to proceed while a later restart
+	// sequence fetches: on a recovery-dense workload the hook must at
+	// some point observe a new recovery beginning while a walk is still
+	// in progress.
+	overlap := false
+	cfg := Config{Machine: CI, WindowSize: 256, Check: true}
+	cfg.hookRecovery = func(m *machine, pr pendingRec) {
+		if m.redisp != nil {
+			overlap = true
+		}
+	}
+	w, _ := workloads.Get("xgo")
+	r := runProg(t, w.Program(400), cfg)
+	if r.Stats.Recoveries < 100 {
+		t.Fatalf("expected a recovery-dense run, got %d", r.Stats.Recoveries)
+	}
+	if !overlap {
+		t.Error("no recovery ever began during a redispatch walk; overlap machinery unused")
+	}
+}
+
+func TestRecoveryBranchInWindow(t *testing.T) {
+	// Every serviced recovery's branch must still be live in the window
+	// (position-addressable), or restart bookkeeping has gone stale.
+	cfg := Config{Machine: CI, WindowSize: 128, Check: true}
+	cfg.hookRecovery = func(m *machine, pr pendingRec) {
+		if pr.d.squashed {
+			t.Errorf("servicing recovery for squashed branch %v", pr.d)
+		}
+		if pr.d.seg == nil && !pr.d.retired {
+			t.Errorf("live branch %v has no segment", pr.d)
+		}
+	}
+	runSrc(t, nestedDiamonds, cfg)
+}
+
+func TestPendingQueueDrains(t *testing.T) {
+	// At HALT every pending recovery must have been serviced or pruned —
+	// a leak here is how "recovery storms" manifested during bring-up.
+	cfg := Config{Machine: CI, WindowSize: 128, Check: true}
+	var last *machine
+	cfg.hookRecovery = func(m *machine, pr pendingRec) { last = m }
+	runSrc(t, nestedDiamonds, cfg)
+	if last == nil {
+		t.Fatal("no recoveries serviced")
+	}
+	if len(last.pendingRecs) > 4 {
+		t.Errorf("pending queue still holds %d entries at the final recovery", len(last.pendingRecs))
+	}
+	if last.active != nil && last.done {
+		t.Error("machine finished with an active restart sequence")
+	}
+}

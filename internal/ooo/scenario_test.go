@@ -1,0 +1,644 @@
+package ooo
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"cisim/internal/cache"
+	"cisim/internal/workloads"
+)
+
+// Scenario tests: small hand-written programs that each force one specific
+// recovery mechanism, with white-box assertions on the Stats accounting.
+// All runs are golden-checked (runSrc sets Check), so these tests pin down
+// *bookkeeping* on top of the architectural correctness the golden stream
+// already enforces. Every program is deterministic, so assertions can be
+// tight without flakiness.
+
+// lcgDiamond is the canonical unpredictable hammock: a branch on a fresh
+// LCG bit with two register-writing arms and a control independent block
+// after the join that consumes arm-written registers (forcing new-name
+// reissues on every restart).
+const lcgDiamond = `
+main:
+	li r20, 123456789
+	li r21, 1103515245
+	li r1, 400
+	li r11, 0
+loop:
+	mul r20, r20, r21
+	addi r20, r20, 12345
+	srli r3, r20, 17
+	andi r3, r3, 1
+	beq r3, r0, else
+	addi r11, r11, 1
+	xor r4, r11, r3
+	jmp join
+else:
+	addi r11, r11, 2
+	add r4, r11, r3
+join:
+	add r5, r4, r11
+	xor r6, r5, r20
+	add r7, r6, r5
+	add r8, r7, r6
+	add r11, r11, r8
+	addi r1, r1, -1
+	bne r1, r0, loop
+	halt
+`
+
+func TestDiamondRestartStats(t *testing.T) {
+	ci := runSrc(t, lcgDiamond, Config{Machine: CI, WindowSize: 128})
+	s := &ci.Stats
+	if s.Mispredicts < 50 {
+		t.Fatalf("LCG branch should mispredict often, got %d", s.Mispredicts)
+	}
+	if s.Reconverged == 0 {
+		t.Fatal("diamond mispredictions should reconverge")
+	}
+	if s.RemovedCD == 0 || s.InsertedCD == 0 {
+		t.Errorf("restarts should both remove and insert control dependent work: removed=%d inserted=%d",
+			s.RemovedCD, s.InsertedCD)
+	}
+	if s.CIInstructions == 0 {
+		t.Error("no control independent instructions were preserved")
+	}
+	avgRestart := float64(s.RestartCycles) / float64(s.Reconverged)
+	if avgRestart < 0.5 || avgRestart > 4 {
+		t.Errorf("avg restart duration %.2f cycles, paper reports 1-2", avgRestart)
+	}
+	// The arms are tiny (2-3 instructions), so per-restart removal and
+	// insertion must be small.
+	if rm := float64(s.RemovedCD) / float64(s.Reconverged); rm > 4 {
+		t.Errorf("avg removed CD %.1f, arms are only 3 instructions", rm)
+	}
+}
+
+func TestBaseNeverReconverges(t *testing.T) {
+	base := runSrc(t, lcgDiamond, Config{Machine: Base, WindowSize: 128})
+	s := &base.Stats
+	if s.Reconverged != 0 || s.RemovedCD != 0 || s.InsertedCD != 0 || s.CIInstructions != 0 {
+		t.Errorf("BASE must not use restart machinery: reconv=%d removed=%d inserted=%d ci=%d",
+			s.Reconverged, s.RemovedCD, s.InsertedCD, s.CIInstructions)
+	}
+	if s.WorkSaved != 0 || s.FetchSaved != 0 {
+		t.Errorf("BASE saves nothing: workSaved=%d fetchSaved=%d", s.WorkSaved, s.FetchSaved)
+	}
+	if s.Mispredicts == 0 || s.FullSquashes != s.Recoveries {
+		t.Errorf("every BASE recovery is a full squash: full=%d recoveries=%d",
+			s.FullSquashes, s.Recoveries)
+	}
+}
+
+func TestCINewNamesReissue(t *testing.T) {
+	// The join block consumes r4 and r11, both written differently by the
+	// two arms, so correcting a misprediction renames them and the CI
+	// consumers must selectively reissue.
+	ci := runSrc(t, lcgDiamond, Config{Machine: CI, WindowSize: 128})
+	if ci.Stats.CINewNames == 0 {
+		t.Error("arm-written registers should force CI new-name reissues")
+	}
+	if ci.Stats.RegViolations == 0 {
+		t.Error("rename repairs should reissue retired CI instructions")
+	}
+	if ci.Stats.IssuesPerRetired() <= 1.0 {
+		t.Errorf("issues per retired %.3f, want > 1 with reissue traffic",
+			ci.Stats.IssuesPerRetired())
+	}
+}
+
+func TestEmptyArmHammock(t *testing.T) {
+	// A branch whose taken target IS the reconvergent point: one of the
+	// two wrong paths has zero instructions, the other is pure CI. Both
+	// directions must recover cleanly (golden-checked).
+	src := `
+main:
+	li r20, 987654321
+	li r21, 1103515245
+	li r1, 400
+	li r11, 0
+loop:
+	mul r20, r20, r21
+	addi r20, r20, 12345
+	srli r3, r20, 19
+	andi r3, r3, 1
+	beq r3, r0, join
+	addi r11, r11, 1
+join:
+	add r4, r11, r3
+	xor r11, r11, r4
+	addi r1, r1, -1
+	bne r1, r0, loop
+	halt
+`
+	ci := runSrc(t, src, Config{Machine: CI, WindowSize: 128})
+	if ci.Stats.Mispredicts < 50 {
+		t.Fatalf("hammock branch should mispredict, got %d", ci.Stats.Mispredicts)
+	}
+	if ci.Stats.Reconverged == 0 {
+		t.Error("empty-arm hammock should reconverge")
+	}
+	// One direction removes nothing (the arm is one instruction); per-
+	// restart removal must therefore be below one on average.
+	if rm := float64(ci.Stats.RemovedCD) / float64(ci.Stats.Reconverged); rm >= 1.5 {
+		t.Errorf("avg removed CD %.2f, want < 1.5 for a 1-instruction arm", rm)
+	}
+}
+
+func TestDivergentExitsFullSquash(t *testing.T) {
+	// The early-exit branch leads to a *different* halt than the loop's
+	// fall-through, so its only post-dominator is the virtual exit: no
+	// reconvergent point exists and CI must fall back to complete
+	// squashes for that branch.
+	src := `
+main:
+	li r20, 55770067
+	li r21, 1103515245
+	li r1, 2000
+	li r11, 0
+loop:
+	mul r20, r20, r21
+	addi r20, r20, 12345
+	srli r3, r20, 17
+	andi r3, r3, 15
+	beq r3, r0, earlyquit
+	addi r11, r11, 1
+	addi r1, r1, -1
+	bne r1, r0, loop
+	halt
+earlyquit:
+	addi r11, r11, 100
+	halt
+`
+	ci := runSrc(t, src, Config{Machine: CI, WindowSize: 128})
+	if ci.Stats.FullSquashes == 0 {
+		t.Error("a branch without a reconvergent point must fully squash")
+	}
+}
+
+func TestReconvergenceOutsideWindow(t *testing.T) {
+	// The control dependent arm is longer than the whole window, so even
+	// though a static reconvergent point exists it is never in the window
+	// when the branch resolves: CI degenerates to full squashes.
+	src := `
+main:
+	li r20, 123456789
+	li r21, 1103515245
+	li r1, 200
+	li r11, 0
+loop:
+	mul r20, r20, r21
+	addi r20, r20, 12345
+	srli r3, r20, 17
+	andi r3, r3, 1
+	beq r3, r0, join
+`
+	for i := 0; i < 48; i++ {
+		src += "\taddi r11, r11, 1\n"
+	}
+	src += `
+join:
+	add r4, r11, r3
+	addi r1, r1, -1
+	bne r1, r0, loop
+	halt
+`
+	ci := runSrc(t, src, Config{Machine: CI, WindowSize: 32})
+	if ci.Stats.Mispredicts == 0 {
+		t.Fatal("expected mispredictions")
+	}
+	if ci.Stats.FullSquashes == 0 {
+		t.Error("reconvergent point beyond the window must force full squashes")
+	}
+	// With window 256 the same program should reconverge routinely.
+	big := runSrc(t, src, Config{Machine: CI, WindowSize: 256})
+	if big.Stats.Reconverged == 0 {
+		t.Error("large window should capture the reconvergent point")
+	}
+}
+
+func TestCallReconvergenceInsideCallee(t *testing.T) {
+	// An unpredictable branch inside a called function, arms joining
+	// before the single ret: restarts must repair the RAS view and the
+	// return-address flow (golden-checked), and reconverge at the join.
+	src := `
+main:
+	li r20, 24601
+	li r21, 1103515245
+	li r1, 300
+	li r11, 0
+loop:
+	call fn
+	add r11, r11, r2
+	addi r1, r1, -1
+	bne r1, r0, loop
+	halt
+fn:
+	mul r20, r20, r21
+	addi r20, r20, 12345
+	srli r3, r20, 18
+	andi r3, r3, 1
+	beq r3, r0, fe
+	addi r2, r3, 5
+	jmp fr
+fe:
+	addi r2, r3, 9
+fr:
+	ret
+`
+	ci := runSrc(t, src, Config{Machine: CI, WindowSize: 128})
+	if ci.Stats.Mispredicts < 30 {
+		t.Fatalf("callee branch should mispredict, got %d", ci.Stats.Mispredicts)
+	}
+	if ci.Stats.Reconverged == 0 {
+		t.Error("callee hammock should reconverge at the pre-ret join")
+	}
+}
+
+func TestLoopExitMisprediction(t *testing.T) {
+	// Inner loop with an unpredictable 1-4 trip count: the backward
+	// branch mispredicts on exit and reconverges at its fall-through.
+	src := `
+main:
+	li r20, 31415926
+	li r21, 1103515245
+	li r1, 400
+	li r11, 0
+outer:
+	mul r20, r20, r21
+	addi r20, r20, 12345
+	srli r3, r20, 20
+	andi r3, r3, 3
+	addi r3, r3, 1
+inner:
+	addi r11, r11, 1
+	addi r3, r3, -1
+	bne r3, r0, inner
+	xor r11, r11, r20
+	addi r1, r1, -1
+	bne r1, r0, outer
+	halt
+`
+	ci := runSrc(t, src, Config{Machine: CI, WindowSize: 128})
+	base := runSrc(t, src, Config{Machine: Base, WindowSize: 128})
+	if ci.Stats.Mispredicts < 50 {
+		t.Fatalf("variable trip count should mispredict, got %d", ci.Stats.Mispredicts)
+	}
+	if ci.Stats.Reconverged == 0 {
+		t.Error("loop-exit mispredictions should reconverge at fall-through")
+	}
+	if ci.Stats.Retired != base.Stats.Retired {
+		t.Errorf("machines retire different streams: %d vs %d",
+			ci.Stats.Retired, base.Stats.Retired)
+	}
+}
+
+func TestConfigGridRetiresSameStream(t *testing.T) {
+	// Every combination of completion model, re-predict policy, and
+	// preemption policy must retire the identical architectural stream
+	// (the golden checker enforces values; this pins the count).
+	w, _ := workloads.Get("xgcc")
+	p := w.Program(40)
+	var want uint64
+	for _, cm := range []Completion{NonSpec, SpecD, SpecC, Spec} {
+		for _, rp := range []Repredict{RepredictNone, RepredictHeuristic, RepredictOracle} {
+			for _, pe := range []Preempt{PreemptOptimal, PreemptSimple} {
+				name := fmt.Sprintf("%v/%v/%v", cm, rp, pe)
+				r, err := Run(p, Config{
+					Machine: CI, WindowSize: 64, Check: true,
+					Completion: cm, Repredict: rp, Preempt: pe,
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if want == 0 {
+					want = r.Stats.Retired
+				}
+				if r.Stats.Retired != want {
+					t.Errorf("%s retired %d, others %d", name, r.Stats.Retired, want)
+				}
+			}
+		}
+	}
+	if want == 0 {
+		t.Fatal("no instructions retired")
+	}
+}
+
+func TestWindowSizeMonotonic(t *testing.T) {
+	// Bigger windows cannot hurt (same policies, more lookahead). Allow
+	// 2% slack for second-order scheduling noise.
+	w, _ := workloads.Get("xgcc")
+	p := w.Program(200)
+	for _, mach := range []Machine{Base, CI} {
+		var prev float64
+		for _, win := range []int{32, 64, 128, 256} {
+			r := runProg(t, p, Config{Machine: mach, WindowSize: win, Check: true})
+			if r.Stats.IPC() < prev*0.98 {
+				t.Errorf("%v window %d IPC %.3f below window/2's %.3f",
+					mach, win, r.Stats.IPC(), prev)
+			}
+			prev = r.Stats.IPC()
+		}
+	}
+}
+
+func TestWidthScaling(t *testing.T) {
+	src := "main:\n"
+	for i := 0; i < 800; i++ {
+		src += "\taddi r1, r0, 1\n\taddi r2, r0, 2\n\taddi r3, r0, 3\n\taddi r4, r0, 4\n"
+	}
+	src += "\thalt\n"
+	var prev float64
+	for _, width := range []int{2, 4, 8, 16} {
+		r := runSrc(t, src, Config{Machine: Base, WindowSize: 256, Width: width})
+		ipc := r.Stats.IPC()
+		if ipc > float64(width)+0.01 {
+			t.Errorf("width %d achieved IPC %.2f > width", width, ipc)
+		}
+		if ipc < prev {
+			t.Errorf("width %d IPC %.2f below width/2's %.2f", width, ipc, prev)
+		}
+		// Independent work should keep a wide machine nearly saturated.
+		if ipc < float64(width)*0.75 {
+			t.Errorf("width %d IPC %.2f, want near %d on independent work", width, ipc, width)
+		}
+		prev = ipc
+	}
+}
+
+func TestMaxInstrsBound(t *testing.T) {
+	w, _ := workloads.Get("xgo")
+	p := w.Program(0)
+	r := runProg(t, p, Config{Machine: CI, WindowSize: 64, MaxInstrs: 500, Check: true})
+	if r.Stats.Retired == 0 || r.Stats.Retired > 500 {
+		t.Errorf("retired %d, want in (0, 500]", r.Stats.Retired)
+	}
+}
+
+func TestDeadlockGuard(t *testing.T) {
+	w, _ := workloads.Get("xgo")
+	_, err := Run(w.Program(0), Config{
+		Machine: CI, WindowSize: 64, MaxCycles: 5,
+	})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Errorf("tiny cycle budget should report ErrDeadlock, got %v", err)
+	}
+}
+
+func TestStatsCoherence(t *testing.T) {
+	w, _ := workloads.Get("xgo")
+	p := w.Program(300)
+	r := runProg(t, p, Config{Machine: CI, WindowSize: 256, Check: true})
+	s := &r.Stats
+	if s.Reconverged+s.FullSquashes != s.Recoveries {
+		t.Errorf("reconverged %d + full squashes %d != recoveries %d",
+			s.Reconverged, s.FullSquashes, s.Recoveries)
+	}
+	if s.Recoveries != s.Mispredicts+s.RepredictFlips {
+		t.Errorf("recoveries %d != mispredictions %d + re-predict flips %d",
+			s.Recoveries, s.Mispredicts, s.RepredictFlips)
+	}
+	if s.FalseMisp > s.Mispredicts {
+		t.Errorf("false mispredictions %d exceed serviced mispredictions %d",
+			s.FalseMisp, s.Mispredicts)
+	}
+	if s.WorkSaved > s.FetchSaved || s.OnlyFetched > s.FetchSaved {
+		t.Errorf("saved-work accounting inconsistent: work %d, onlyFetched %d, fetch %d",
+			s.WorkSaved, s.OnlyFetched, s.FetchSaved)
+	}
+	if s.CINewNames > s.CIInstructions {
+		t.Errorf("new-name reissues %d exceed CI instructions %d",
+			s.CINewNames, s.CIInstructions)
+	}
+	if s.IssuesPerRetired() < 1.0 {
+		t.Errorf("issues per retired %.3f < 1: retired work must issue at least once",
+			s.IssuesPerRetired())
+	}
+	if s.Cycles <= 0 || s.Retired == 0 {
+		t.Error("empty run")
+	}
+	if s.CacheMisses > s.CacheAccesses {
+		t.Errorf("cache misses %d > accesses %d", s.CacheMisses, s.CacheAccesses)
+	}
+}
+
+func TestRepredictFlipAccounting(t *testing.T) {
+	w, _ := workloads.Get("xgo")
+	p := w.Program(300)
+	heur := runProg(t, p, Config{Machine: CI, WindowSize: 256, Repredict: RepredictHeuristic})
+	none := runProg(t, p, Config{Machine: CI, WindowSize: 256, Repredict: RepredictNone})
+	if heur.Stats.RepredictFlips == 0 {
+		t.Error("heuristic re-prediction should flip some predictions on xgo")
+	}
+	if none.Stats.RepredictFlips != 0 || none.Stats.RepredictOverturn != 0 {
+		t.Errorf("CI-NR must not re-predict: flips=%d overturns=%d",
+			none.Stats.RepredictFlips, none.Stats.RepredictOverturn)
+	}
+}
+
+func TestPreemptionsHappen(t *testing.T) {
+	// xgo's misprediction density guarantees overlapping recoveries.
+	w, _ := workloads.Get("xgo")
+	p := w.Program(400)
+	opt := runProg(t, p, Config{Machine: CI, WindowSize: 256, Preempt: PreemptOptimal})
+	sim := runProg(t, p, Config{Machine: CI, WindowSize: 256, Preempt: PreemptSimple})
+	if opt.Stats.Preemptions == 0 {
+		t.Error("optimal preemption never preempted a restart")
+	}
+	if sim.Stats.Case3Preemptions == 0 {
+		t.Error("simple preemption never hit CASE 3")
+	}
+	if sim.Stats.Case3Preemptions > sim.Stats.Preemptions {
+		t.Errorf("case-3 count %d exceeds preemptions %d",
+			sim.Stats.Case3Preemptions, sim.Stats.Preemptions)
+	}
+}
+
+func TestFetchTakenLimit(t *testing.T) {
+	// A tight loop is one taken branch per 4 instructions: an ideal front
+	// end fetches several iterations per cycle, a single-taken-branch
+	// front end at most one. The architectural stream must not change.
+	w, _ := workloads.Get("xgo")
+	p := w.Program(200)
+	ideal := runProg(t, p, Config{Machine: CI, WindowSize: 256, Check: true})
+	one := runProg(t, p, Config{Machine: CI, WindowSize: 256, FetchTakenLimit: 1, Check: true})
+	two := runProg(t, p, Config{Machine: CI, WindowSize: 256, FetchTakenLimit: 2, Check: true})
+	t.Logf("ideal=%.3f taken2=%.3f taken1=%.3f", ideal.Stats.IPC(), two.Stats.IPC(), one.Stats.IPC())
+	if one.Stats.Retired != ideal.Stats.Retired || two.Stats.Retired != ideal.Stats.Retired {
+		t.Errorf("retired differ: %d/%d/%d",
+			ideal.Stats.Retired, two.Stats.Retired, one.Stats.Retired)
+	}
+	if one.Stats.IPC() > ideal.Stats.IPC()*1.01 {
+		t.Errorf("limited fetch (%.3f) should not beat ideal fetch (%.3f)",
+			one.Stats.IPC(), ideal.Stats.IPC())
+	}
+	if two.Stats.IPC() < one.Stats.IPC()*0.98 {
+		t.Errorf("two-taken fetch (%.3f) should not lose to one-taken (%.3f)",
+			two.Stats.IPC(), one.Stats.IPC())
+	}
+}
+
+func TestFetchTakenLimitBitesOnJumpChains(t *testing.T) {
+	// The loop body is independent ALU work chopped into 3-instruction
+	// blocks connected by unconditional jumps. Execution could sustain
+	// many instructions per cycle, but a single-taken-branch front end
+	// delivers only one block per cycle: fetch becomes the bottleneck,
+	// exactly the ideal-fetch assumption the knob ablates.
+	// Blocks are laid out out of order so every jmp is actually taken
+	// (a fall-through jmp would not consume taken-fetch bandwidth).
+	src := `
+main:
+	li r1, 1000
+	li r8, 7
+	li r9, 11
+loop:
+	add r2, r8, r9
+	add r3, r8, r9
+	add r4, r8, r9
+	jmp b2
+b1:
+	add r5, r8, r9
+	add r6, r8, r9
+	add r7, r8, r9
+	jmp b3
+b2:
+	add r2, r8, r9
+	add r3, r8, r9
+	add r4, r8, r9
+	jmp b1
+b3:
+	add r5, r8, r9
+	add r6, r8, r9
+	addi r1, r1, -1
+	bne r1, r0, loop
+	halt
+`
+	ideal := runSrc(t, src, Config{Machine: Base, WindowSize: 256})
+	one := runSrc(t, src, Config{Machine: Base, WindowSize: 256, FetchTakenLimit: 1})
+	t.Logf("ideal=%.3f taken1=%.3f", ideal.Stats.IPC(), one.Stats.IPC())
+	if one.Stats.Retired != ideal.Stats.Retired {
+		t.Errorf("retired differ: %d vs %d", ideal.Stats.Retired, one.Stats.Retired)
+	}
+	if one.Stats.IPC() > 5.5 {
+		t.Errorf("one block per cycle should cap IPC near 4, got %.3f", one.Stats.IPC())
+	}
+	if ideal.Stats.IPC() < one.Stats.IPC()*1.5 {
+		t.Errorf("ideal fetch (%.3f) should clearly beat single-taken fetch (%.3f) here",
+			ideal.Stats.IPC(), one.Stats.IPC())
+	}
+}
+
+func TestConservativeLoads(t *testing.T) {
+	// With speculation disabled, BASE must be entirely free of
+	// memory-order violations, and xcompress — whose Table 4 violation
+	// costs are the paper's extreme case — must not get faster.
+	w, _ := workloads.Get("xcompress")
+	p := w.Program(300)
+	spec := runProg(t, p, Config{Machine: Base, WindowSize: 256, Check: true})
+	cons := runProg(t, p, Config{Machine: Base, WindowSize: 256, ConservativeLoads: true, Check: true})
+	t.Logf("speculative=%.3f conservative=%.3f (violations %d vs %d)",
+		spec.Stats.IPC(), cons.Stats.IPC(), spec.Stats.MemViolations, cons.Stats.MemViolations)
+	if cons.Stats.MemViolations != 0 {
+		t.Errorf("conservative BASE had %d memory-order violations", cons.Stats.MemViolations)
+	}
+	if spec.Stats.MemViolations == 0 {
+		t.Error("speculative BASE should violate on xcompress (Table 4)")
+	}
+	if cons.Stats.IPC() > spec.Stats.IPC()*1.02 {
+		t.Errorf("conservative loads (%.3f) should not beat speculation (%.3f)",
+			cons.Stats.IPC(), spec.Stats.IPC())
+	}
+	if cons.Stats.Retired != spec.Stats.Retired {
+		t.Errorf("retired differ: %d vs %d", cons.Stats.Retired, spec.Stats.Retired)
+	}
+}
+
+func TestConservativeLoadsCI(t *testing.T) {
+	// On CI machines restart insertion can still create violations, but
+	// they must drop dramatically, and the run stays golden-clean.
+	w, _ := workloads.Get("xcompress")
+	p := w.Program(300)
+	spec := runProg(t, p, Config{Machine: CI, WindowSize: 256, Check: true})
+	cons := runProg(t, p, Config{Machine: CI, WindowSize: 256, ConservativeLoads: true, Check: true})
+	t.Logf("CI speculative=%.3f conservative=%.3f (violations %d vs %d)",
+		spec.Stats.IPC(), cons.Stats.IPC(), spec.Stats.MemViolations, cons.Stats.MemViolations)
+	if cons.Stats.MemViolations*2 > spec.Stats.MemViolations {
+		t.Errorf("conservative CI violations %d should be far below speculative %d",
+			cons.Stats.MemViolations, spec.Stats.MemViolations)
+	}
+	if cons.Stats.Retired != spec.Stats.Retired {
+		t.Errorf("retired differ: %d vs %d", cons.Stats.Retired, spec.Stats.Retired)
+	}
+}
+
+func TestICacheModel(t *testing.T) {
+	// A cold I-cache must slow the first pass over the code but settle
+	// quickly (the workloads are tiny loops); the architectural stream
+	// must be unchanged and the miss counters populated.
+	w, _ := workloads.Get("xgo")
+	p := w.Program(200)
+	ideal := runProg(t, p, Config{Machine: CI, WindowSize: 256, Check: true})
+	icfg := cache.Config{Size: 16 << 10, Assoc: 2, LineSize: 64, HitLat: 1, MissLat: 10}
+	real := runProg(t, p, Config{Machine: CI, WindowSize: 256, ICache: icfg, Check: true})
+	t.Logf("ideal=%.3f icache=%.3f (misses %d/%d accesses)",
+		ideal.Stats.IPC(), real.Stats.IPC(), real.Stats.ICacheMisses, real.Stats.ICacheAccesses)
+	if real.Stats.Retired != ideal.Stats.Retired {
+		t.Errorf("retired differ: %d vs %d", ideal.Stats.Retired, real.Stats.Retired)
+	}
+	if real.Stats.ICacheAccesses == 0 || real.Stats.ICacheMisses == 0 {
+		t.Error("I-cache counters not populated")
+	}
+	if real.Stats.IPC() > ideal.Stats.IPC()*1.01 {
+		t.Errorf("I-cache run (%.3f) should not beat ideal supply (%.3f)",
+			real.Stats.IPC(), ideal.Stats.IPC())
+	}
+	if ideal.Stats.ICacheAccesses != 0 {
+		t.Error("ideal run should not touch an I-cache")
+	}
+	// The working set fits: the steady-state miss rate must be tiny.
+	if rate := float64(real.Stats.ICacheMisses) / float64(real.Stats.ICacheAccesses); rate > 0.01 {
+		t.Errorf("I-cache miss rate %.3f, loops should settle near zero", rate)
+	}
+}
+
+func TestAvgOccupancy(t *testing.T) {
+	w, _ := workloads.Get("xjpeg")
+	p := w.Program(100)
+	small := runProg(t, p, Config{Machine: Base, WindowSize: 32, Check: true})
+	big := runProg(t, p, Config{Machine: Base, WindowSize: 256, Check: true})
+	so, bo := small.Stats.AvgOccupancy(), big.Stats.AvgOccupancy()
+	t.Logf("occupancy: win32=%.1f win256=%.1f", so, bo)
+	if so <= 0 || so > 32 {
+		t.Errorf("window-32 occupancy %.1f outside (0,32]", so)
+	}
+	if bo <= so {
+		t.Errorf("bigger window should hold more instructions (%.1f vs %.1f)", bo, so)
+	}
+	if bo > 256 {
+		t.Errorf("occupancy %.1f exceeds window size", bo)
+	}
+}
+
+func TestICacheWithRecoveries(t *testing.T) {
+	// Restarts redirect fetch constantly; the I-cache stall logic must
+	// compose with recovery-driven redirects without corrupting the
+	// stream (golden-checked) and still make progress under a cache so
+	// small that the diamond misses repeatedly.
+	tiny := cache.Config{Size: 64, Assoc: 1, LineSize: 32, HitLat: 1, MissLat: 8}
+	ci := runSrc(t, lcgDiamond, Config{Machine: CI, WindowSize: 128, ICache: tiny})
+	base := runSrc(t, lcgDiamond, Config{Machine: Base, WindowSize: 128, ICache: tiny})
+	t.Logf("tiny icache: base=%.3f ci=%.3f (misses %d/%d)",
+		base.Stats.IPC(), ci.Stats.IPC(), ci.Stats.ICacheMisses, ci.Stats.ICacheAccesses)
+	if ci.Stats.Retired != base.Stats.Retired {
+		t.Errorf("retired differ: %d vs %d", ci.Stats.Retired, base.Stats.Retired)
+	}
+	if ci.Stats.ICacheMisses < 100 {
+		t.Errorf("a 64-byte cache should thrash on a 90-byte loop, got %d misses", ci.Stats.ICacheMisses)
+	}
+	if ci.Stats.Reconverged == 0 {
+		t.Error("recoveries should still reconverge with an I-cache")
+	}
+}

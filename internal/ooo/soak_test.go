@@ -1,0 +1,23 @@
+package ooo
+
+import (
+	"testing"
+
+	"cisim/internal/progen"
+)
+
+func TestSoakDifferential(t *testing.T) {
+	for seed := int64(100); seed < 200; seed++ {
+		p := progen.Generate(seed, progen.Config{Blocks: 20})
+		for _, c := range []Config{
+			{Machine: CI, WindowSize: 48, Completion: Spec, Check: true},
+			{Machine: CI, WindowSize: 300, SegmentSize: 4, Reconv: Reconv{Assoc: true}, Check: true},
+			{Machine: CIInstant, WindowSize: 96, Reconv: Reconv{Loop: true, Ltb: true}, Check: true},
+			{Machine: CI, WindowSize: 128, Preempt: PreemptSimple, Completion: SpecD, Check: true},
+		} {
+			if _, err := Run(p, c); err != nil {
+				t.Fatalf("seed %d %+v: %v", seed, c, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,443 @@
+package ooo
+
+import (
+	"fmt"
+
+	"cisim/internal/bpred"
+	"cisim/internal/isa"
+)
+
+// dynState tracks an in-flight instruction's pipeline status.
+type dynState uint8
+
+const (
+	stWaiting   dynState = iota // dispatched, waiting to (re)issue
+	stExecuting                 // issued, completion scheduled
+	stDone                      // completed; val holds the latest result
+)
+
+// dyn is a dynamic instruction instance. Its identity doubles as its
+// physical-register tag: consumers hold *dyn pointers, and a destination
+// keeps its tag across reissues (§3.2.3).
+type dyn struct {
+	seq  uint64
+	pc   uint64
+	inst isa.Inst
+	gold int // index into the golden stream; -1 on a wrong path
+
+	// Renaming: src[i] is the producing instruction for the i'th source
+	// register, nil when the value comes from committed state.
+	srcReg [2]isa.Reg
+	src    [2]*dyn
+	nsrc   int
+	dest   isa.Reg
+	hasRd  bool
+
+	st         dynState
+	stale      bool // an input changed while executing: reissue on completion
+	val        uint64
+	hasVal     bool
+	issues     int
+	doneC      int64
+	fetchC     int64
+	lastIssueC int64
+
+	// Memory state.
+	isLoad, isStore bool
+	ea              uint64
+	esize           uint8
+	eaValid         bool
+	fwdFrom         *dyn // store a load forwarded from; nil = committed memory
+
+	// Control state.
+	isCtl         bool // consumes a prediction (cond branch / indirect / return)
+	isCond        bool
+	predTaken     bool
+	assumedTaken  bool   // direction fetch currently assumes
+	assumedTarget uint64 // target fetch currently assumes
+	ctlDone       bool   // branch has completed (control resolved)
+	ctlDoneC      int64  // cycle control resolved (completion-model gated)
+	compTaken     bool
+	compTarget    uint64
+	histBefore    bpred.History
+	rasSnap       []uint64
+
+	stableFlag bool // data-stability flag (spec-C/non-spec gating)
+
+	// Window bookkeeping.
+	seg      *segment
+	slot     int
+	pos      int64
+	squashed bool
+	retired  bool
+
+	// Table 3 accounting: saved records whether this instruction was
+	// preserved across a recovery, and in what state.
+	saved         savedState
+	reissuedAfter bool // reissued after being preserved
+}
+
+type savedState uint8
+
+const (
+	savedNo savedState = iota
+	savedFetched
+	savedIssued
+)
+
+func (d *dyn) String() string {
+	return fmt.Sprintf("#%d pc=%#x %v", d.seq, d.pc, d.inst)
+}
+
+// ready reports whether every source value is available.
+func (d *dyn) ready() bool {
+	for i := 0; i < d.nsrc; i++ {
+		if d.src[i] != nil && d.src[i].st != stDone {
+			return false
+		}
+	}
+	return true
+}
+
+// segment is one ROB block (§A.4): slots fill in order; squashed slots
+// stay dead until the whole segment is reclaimed (internal fragmentation).
+type segment struct {
+	slots      []*dyn
+	used       int
+	prev, next *segment
+	// sealed marks a segment that will receive no more dispatches (it is
+	// neither the tail nor an active restart's fill target).
+	sealed bool
+	// unlinked marks a reclaimed segment; reclaiming is idempotent.
+	unlinked bool
+}
+
+func (s *segment) full() bool { return s.used == cap(s.slots) }
+
+// drained reports whether every used slot is retired or squashed.
+func (s *segment) drained() bool {
+	for _, d := range s.slots[:s.used] {
+		if !d.retired && !d.squashed {
+			return false
+		}
+	}
+	return true
+}
+
+// window is the segmented reorder buffer.
+type window struct {
+	segSize  int
+	maxSegs  int
+	liveSegs int
+	head     *segment
+	tail     *segment
+
+	nextPos int64
+	count   int // live (non-retired, non-squashed) instructions
+}
+
+const posGap = int64(1) << 20
+
+func newWindow(size, segSize int) *window {
+	return &window{
+		segSize: segSize,
+		maxSegs: size / segSize,
+	}
+}
+
+// full reports whether a new segment cannot be allocated.
+func (w *window) segsAvailable() int { return w.maxSegs - w.liveSegs }
+
+func (w *window) newSegment() *segment {
+	w.liveSegs++
+	return &segment{slots: make([]*dyn, 0, w.segSize)}
+}
+
+// appendTail adds a dyn at the window tail, allocating a segment if
+// needed. Returns false when the window is out of segments.
+func (w *window) appendTail(d *dyn) bool {
+	if w.tail == nil || w.tail.full() || w.tail.sealed {
+		if w.segsAvailable() == 0 {
+			return false
+		}
+		seg := w.newSegment()
+		if w.tail == nil {
+			w.head, w.tail = seg, seg
+		} else {
+			old := w.tail
+			seg.prev = old
+			old.next = seg
+			w.tail = seg
+			// The displaced tail loses its exemption; reclaim it if it
+			// already drained while it was the tail.
+			w.maybeFree(old)
+		}
+	}
+	seg := w.tail
+	d.seg = seg
+	d.slot = seg.used
+	seg.slots = seg.slots[:seg.used+1]
+	seg.slots[seg.used] = d
+	seg.used++
+	w.nextPos += posGap
+	d.pos = w.nextPos
+	w.count++
+	return true
+}
+
+// insertAfter places d immediately after prev in window order, allocating
+// insertion segments as needed. The fill segment for a restart is passed
+// back and forth by the caller: when fillSeg is non-nil and not full, d
+// goes into it; otherwise a fresh segment is linked after prevSeg.
+// Returns the (possibly new) fill segment, or nil when out of segments.
+func (w *window) insertAfter(prev *dyn, fillSeg *segment, d *dyn) *segment {
+	if fillSeg == nil || fillSeg.full() {
+		if w.segsAvailable() == 0 {
+			return nil
+		}
+		seg := w.newSegment()
+		after := prev.seg
+		if fillSeg != nil {
+			after = fillSeg
+			// The displaced fill segment will receive no more inserts.
+			fillSeg.sealed = true
+			defer w.maybeFree(fillSeg)
+		}
+		seg.prev = after
+		seg.next = after.next
+		if after.next != nil {
+			after.next.prev = seg
+		}
+		after.next = seg
+		if w.tail == after {
+			w.tail = seg
+		}
+		fillSeg = seg
+	}
+	d.seg = fillSeg
+	d.slot = fillSeg.used
+	fillSeg.slots = fillSeg.slots[:fillSeg.used+1]
+	fillSeg.slots[fillSeg.used] = d
+	fillSeg.used++
+	w.count++
+	w.assignPos(d)
+	return fillSeg
+}
+
+// assignPos gives d a position strictly between its window neighbours,
+// renumbering the whole window if the gap is exhausted.
+func (w *window) assignPos(d *dyn) {
+	prev := w.prevLive(d, true)
+	next := w.nextLive(d, true)
+	var lo, hi int64
+	if prev != nil {
+		lo = prev.pos
+	}
+	if next != nil {
+		hi = next.pos
+	} else {
+		hi = w.nextPos + 2*posGap
+		w.nextPos = hi
+	}
+	if hi-lo < 2 {
+		w.renumber()
+		w.assignPos(d)
+		return
+	}
+	d.pos = lo + (hi-lo)/2
+}
+
+func (w *window) renumber() {
+	p := int64(0)
+	for seg := w.head; seg != nil; seg = seg.next {
+		for _, d := range seg.slots[:seg.used] {
+			p += posGap
+			d.pos = p
+		}
+	}
+	w.nextPos = p
+}
+
+// prevLive returns the dyn before d in window order; includeAll also
+// visits squashed/retired slots (used for position assignment).
+func (w *window) prevLive(d *dyn, includeAll bool) *dyn {
+	seg, slot := d.seg, d.slot-1
+	for seg != nil {
+		for ; slot >= 0; slot-- {
+			c := seg.slots[slot]
+			if includeAll || (!c.squashed && !c.retired) {
+				return c
+			}
+		}
+		seg = seg.prev
+		if seg != nil {
+			slot = seg.used - 1
+		}
+	}
+	return nil
+}
+
+// nextLive returns the dyn after d in window order.
+func (w *window) nextLive(d *dyn, includeAll bool) *dyn {
+	seg, slot := d.seg, d.slot+1
+	for seg != nil {
+		for ; slot < seg.used; slot++ {
+			c := seg.slots[slot]
+			if includeAll || (!c.squashed && !c.retired) {
+				return c
+			}
+		}
+		seg = seg.next
+		slot = 0
+	}
+	return nil
+}
+
+// forEach visits every live (non-squashed, non-retired) dyn in order.
+// Returning false stops the walk.
+func (w *window) forEach(f func(d *dyn) bool) {
+	for seg := w.head; seg != nil; seg = seg.next {
+		for _, d := range seg.slots[:seg.used] {
+			if d.squashed || d.retired {
+				continue
+			}
+			if !f(d) {
+				return
+			}
+		}
+	}
+}
+
+// forEachAfter visits live dyns strictly after d in window order.
+func (w *window) forEachAfter(d *dyn, f func(d *dyn) bool) {
+	seg, slot := d.seg, d.slot+1
+	for seg != nil {
+		for ; slot < seg.used; slot++ {
+			c := seg.slots[slot]
+			if c.squashed || c.retired {
+				continue
+			}
+			if !f(c) {
+				return
+			}
+		}
+		seg = seg.next
+		slot = 0
+	}
+}
+
+// squash marks d dead and reclaims its segment if fully drained.
+func (w *window) squash(d *dyn) {
+	if d.squashed || d.retired {
+		return
+	}
+	d.squashed = true
+	w.count--
+	w.maybeFree(d.seg)
+}
+
+// retire marks d retired and reclaims its segment if fully drained.
+func (w *window) retire(d *dyn) {
+	d.retired = true
+	w.count--
+	w.maybeFree(d.seg)
+}
+
+// maybeFree reclaims a drained segment. The tail segment (or an unsealed
+// partially-filled segment) is kept: it may still receive dispatches.
+func (w *window) maybeFree(seg *segment) {
+	if !seg.drained() {
+		return
+	}
+	if seg == w.tail && !seg.sealed {
+		return
+	}
+	if !seg.full() && !seg.sealed {
+		return
+	}
+	w.unlink(seg)
+}
+
+func (w *window) unlink(seg *segment) {
+	if seg.unlinked {
+		return
+	}
+	seg.unlinked = true
+	if seg.prev != nil {
+		seg.prev.next = seg.next
+	} else {
+		w.head = seg.next
+	}
+	if seg.next != nil {
+		seg.next.prev = seg.prev
+	} else {
+		w.tail = seg.prev
+	}
+	w.liveSegs--
+}
+
+// sealAndSweep seals a segment and frees it if already drained.
+func (w *window) sealAndSweep(seg *segment) {
+	if seg == nil {
+		return
+	}
+	seg.sealed = true
+	w.maybeFree(seg)
+}
+
+// headLive returns the oldest live dyn.
+func (w *window) headLive() *dyn {
+	for seg := w.head; seg != nil; seg = seg.next {
+		for _, d := range seg.slots[:seg.used] {
+			if !d.squashed && !d.retired {
+				return d
+			}
+		}
+	}
+	return nil
+}
+
+// tailLive returns the youngest live dyn.
+func (w *window) tailLive() *dyn {
+	for seg := w.tail; seg != nil; seg = seg.prev {
+		for i := seg.used - 1; i >= 0; i-- {
+			d := seg.slots[i]
+			if !d.squashed && !d.retired {
+				return d
+			}
+		}
+	}
+	return nil
+}
+
+// check validates window invariants (enabled by Config.Check).
+func (w *window) check() error {
+	segs := 0
+	var lastPos int64 = -1
+	live := 0
+	for seg := w.head; seg != nil; seg = seg.next {
+		segs++
+		if seg.next != nil && seg.next.prev != seg {
+			return fmt.Errorf("window: broken segment links")
+		}
+		for _, d := range seg.slots[:seg.used] {
+			if d.pos <= lastPos {
+				return fmt.Errorf("window: position order violated at %v (%d after %d)", d, d.pos, lastPos)
+			}
+			lastPos = d.pos
+			if !d.squashed && !d.retired {
+				live++
+			}
+		}
+	}
+	if segs != w.liveSegs {
+		return fmt.Errorf("window: segment count %d != tracked %d", segs, w.liveSegs)
+	}
+	if live != w.count {
+		return fmt.Errorf("window: live count %d != tracked %d", live, w.count)
+	}
+	if segs > w.maxSegs {
+		return fmt.Errorf("window: %d segments exceed capacity %d", segs, w.maxSegs)
+	}
+	return nil
+}

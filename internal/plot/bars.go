@@ -1,0 +1,69 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one value in a bar chart.
+type Bar struct {
+	Name  string
+	Value float64
+}
+
+// BarGroup is a labeled cluster of bars (one benchmark's bars in the
+// paper's grouped bar figures).
+type BarGroup struct {
+	Label string
+	Bars  []Bar
+}
+
+// Bars renders grouped horizontal bars, the shape of the paper's
+// percent-improvement figures (6, 8, 9, 13, 14, 17). Bars scale to the
+// largest magnitude across all groups; negative values extend with '-'
+// instead of '='. The numeric value is printed after each bar, with the
+// given unit suffix ("%" for improvement charts, "" for IPC).
+func Bars(title string, groups []BarGroup, width int, unit string) string {
+	if width < 20 {
+		width = 20
+	}
+	maxAbs := 0.0
+	labelW, nameW := 0, 0
+	for _, g := range groups {
+		if len(g.Label) > labelW {
+			labelW = len(g.Label)
+		}
+		for _, b := range g.Bars {
+			maxAbs = math.Max(maxAbs, math.Abs(b.Value))
+			if len(b.Name) > nameW {
+				nameW = len(b.Name)
+			}
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(title)
+	sb.WriteByte('\n')
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	for gi, g := range groups {
+		if gi > 0 {
+			sb.WriteByte('\n')
+		}
+		for bi, b := range g.Bars {
+			label := ""
+			if bi == 0 {
+				label = g.Label
+			}
+			n := int(math.Round(math.Abs(b.Value) / maxAbs * float64(width)))
+			ch := "="
+			if b.Value < 0 {
+				ch = "-"
+			}
+			fmt.Fprintf(&sb, "%-*s  %-*s |%s %.1f%s\n",
+				labelW, label, nameW, b.Name, strings.Repeat(ch, n), b.Value, unit)
+		}
+	}
+	return sb.String()
+}

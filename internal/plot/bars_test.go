@@ -1,0 +1,47 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarsBasic(t *testing.T) {
+	out := Bars("title", []BarGroup{
+		{Label: "xgcc", Bars: []Bar{{"CI", 20.0}, {"CI-I", 40.0}}},
+		{Label: "xgo", Bars: []Bar{{"CI", 80.0}}},
+	}, 40, "%")
+	if !strings.HasPrefix(out, "title\n") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Group label appears only on the first bar of each group.
+	if !strings.HasPrefix(lines[1], "xgcc") || strings.HasPrefix(lines[2], "xgcc") {
+		t.Errorf("group labelling wrong:\n%s", out)
+	}
+	// The largest value spans the full width; half the value half the bar.
+	count := func(l string) int { return strings.Count(l, "=") }
+	if count(lines[4]) != 40 {
+		t.Errorf("max bar should span width 40, got %d:\n%s", count(lines[4]), out)
+	}
+	if c := count(lines[1]); c != 10 {
+		t.Errorf("20%% of 80%% max should be 10 columns, got %d", c)
+	}
+	if !strings.Contains(lines[1], "20.0%") {
+		t.Errorf("value suffix missing: %q", lines[1])
+	}
+}
+
+func TestBarsNegativeAndZero(t *testing.T) {
+	out := Bars("t", []BarGroup{
+		{Label: "a", Bars: []Bar{{"x", -50.0}, {"y", 100.0}, {"z", 0}}},
+	}, 20, "%")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[1], "----------") || strings.Contains(lines[1], "=") {
+		t.Errorf("negative bar should use '-': %q", lines[1])
+	}
+	if strings.Contains(lines[3], "=") || strings.Contains(lines[3], "-") {
+		t.Errorf("zero bar should be empty: %q", lines[3])
+	}
+	// All-zero input must not divide by zero.
+	_ = Bars("t", []BarGroup{{Label: "a", Bars: []Bar{{"x", 0}}}}, 20, "")
+}

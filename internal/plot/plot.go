@@ -1,0 +1,153 @@
+// Package plot renders simple ASCII line charts for the experiment CLI:
+// the paper's figures are IPC-versus-window curves, and a terminal plot
+// makes the crossover shapes visible without leaving the shell.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one sample of a series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// markers distinguish series in the grid.
+var markers = []byte{'o', '*', '+', 'x', '#', '@', '%', '&'}
+
+// Lines renders the series into a width×height character grid with Y axis
+// labels, X tick labels, and a legend.
+func Lines(title string, series []Series, width, height int) string {
+	if width < 24 {
+		width = 24
+	}
+	if height < 6 {
+		height = 6
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1) // Y axis anchored at 0 (IPC charts)
+	for _, s := range series {
+		for _, p := range s.Points {
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			maxY = math.Max(maxY, p.Y)
+		}
+	}
+	if math.IsInf(minX, 1) || maxX == minX {
+		return title + "\n(no data)\n"
+	}
+	if maxY <= minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	// Use log-scale X when the samples look geometric (window sweeps).
+	logX := geometric(series)
+	xpos := func(x float64) int {
+		lo, hi := minX, maxX
+		if logX {
+			x, lo, hi = math.Log2(x), math.Log2(minX), math.Log2(maxX)
+		}
+		return int(math.Round((x - lo) / (hi - lo) * float64(width-1)))
+	}
+	ypos := func(y float64) int {
+		return height - 1 - int(math.Round((y-minY)/(maxY-minY)*float64(height-1)))
+	}
+
+	for si, s := range series {
+		mk := markers[si%len(markers)]
+		pts := append([]Point(nil), s.Points...)
+		sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+		// Linear interpolation between samples for a continuous look.
+		for i := 0; i+1 < len(pts); i++ {
+			x0, x1 := xpos(pts[i].X), xpos(pts[i+1].X)
+			for c := x0; c <= x1; c++ {
+				var frac float64
+				if x1 > x0 {
+					frac = float64(c-x0) / float64(x1-x0)
+				}
+				y := pts[i].Y + frac*(pts[i+1].Y-pts[i].Y)
+				rr := ypos(y)
+				if rr >= 0 && rr < height {
+					ch := byte('.')
+					if c == x0 || c == x1 {
+						ch = mk
+					}
+					if grid[rr][c] == ' ' || ch != '.' {
+						grid[rr][c] = ch
+					}
+				}
+			}
+		}
+		if len(pts) == 1 {
+			grid[ypos(pts[0].Y)][xpos(pts[0].X)] = mk
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	for i, row := range grid {
+		yv := maxY - float64(i)/float64(height-1)*(maxY-minY)
+		fmt.Fprintf(&b, "%6.1f |%s\n", yv, string(row))
+	}
+	b.WriteString("       +" + strings.Repeat("-", width) + "\n")
+	// X tick labels at the sample positions of the first series.
+	tick := make([]byte, width+8)
+	for i := range tick {
+		tick[i] = ' '
+	}
+	if len(series) > 0 {
+		for _, p := range series[0].Points {
+			lbl := trimFloat(p.X)
+			c := xpos(p.X)
+			for j := 0; j < len(lbl) && c+j < len(tick); j++ {
+				tick[c+j] = lbl[j]
+			}
+		}
+	}
+	b.WriteString("        " + strings.TrimRight(string(tick), " ") + "\n")
+	for si, s := range series {
+		fmt.Fprintf(&b, "        %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// geometric reports whether the X samples grow multiplicatively.
+func geometric(series []Series) bool {
+	for _, s := range series {
+		if len(s.Points) < 3 {
+			continue
+		}
+		xs := make([]float64, len(s.Points))
+		for i, p := range s.Points {
+			xs[i] = p.X
+		}
+		sort.Float64s(xs)
+		if xs[0] <= 0 {
+			return false
+		}
+		r1 := xs[1] / xs[0]
+		rn := xs[len(xs)-1] / xs[len(xs)-2]
+		return r1 > 1.5 && rn > 1.5
+	}
+	return false
+}

@@ -1,0 +1,79 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLinesBasic(t *testing.T) {
+	s := []Series{
+		{Name: "oracle", Points: []Point{{16, 2}, {64, 6}, {256, 10}, {512, 12}}},
+		{Name: "base", Points: []Point{{16, 2}, {64, 4}, {256, 5}, {512, 5}}},
+	}
+	out := Lines("IPC vs window", s, 50, 12)
+	for _, want := range []string{"IPC vs window", "oracle", "base", "o", "*", "16", "512", "+--"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 12 grid rows + axis + ticks + 2 legend = 17
+	if len(lines) != 17 {
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+	// The oracle curve must end higher (earlier grid row) than base.
+	oRow, bRow := -1, -1
+	for i, l := range lines {
+		if idx := strings.LastIndexByte(l, 'o'); idx > 40 && oRow < 0 && strings.Contains(l, "|") {
+			oRow = i
+		}
+		if idx := strings.LastIndexByte(l, '*'); idx > 40 && bRow < 0 && strings.Contains(l, "|") {
+			bRow = i
+		}
+	}
+	if oRow < 0 || bRow < 0 || oRow >= bRow {
+		t.Errorf("curve endpoints wrong: oracle row %d, base row %d\n%s", oRow, bRow, out)
+	}
+}
+
+func TestLinesEmpty(t *testing.T) {
+	out := Lines("empty", nil, 40, 8)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty plot: %q", out)
+	}
+	out = Lines("flat", []Series{{Name: "x", Points: []Point{{1, 1}}}}, 40, 8)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("single-x plot should report no data: %q", out)
+	}
+}
+
+func TestMinimumDimensions(t *testing.T) {
+	s := []Series{{Name: "a", Points: []Point{{1, 1}, {2, 2}}}}
+	out := Lines("tiny", s, 1, 1)
+	if len(out) == 0 {
+		t.Fatal("empty output")
+	}
+}
+
+func TestGeometricDetection(t *testing.T) {
+	geo := []Series{{Points: []Point{{16, 1}, {32, 2}, {64, 3}, {128, 4}}}}
+	if !geometric(geo) {
+		t.Error("powers of two should be geometric")
+	}
+	lin := []Series{{Points: []Point{{1, 1}, {2, 2}, {3, 3}, {4, 4}}}}
+	if geometric(lin) {
+		t.Error("linear xs should not be geometric")
+	}
+}
+
+func TestManySeriesMarkers(t *testing.T) {
+	var s []Series
+	for i := 0; i < 10; i++ {
+		s = append(s, Series{Name: string(rune('a' + i)),
+			Points: []Point{{1, float64(i)}, {2, float64(i + 1)}}})
+	}
+	out := Lines("many", s, 40, 10)
+	if !strings.Contains(out, "a") || !strings.Contains(out, "j") {
+		t.Error("legend incomplete")
+	}
+}

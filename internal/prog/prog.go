@@ -1,0 +1,108 @@
+// Package prog defines the loaded-program representation shared by the
+// assembler, the functional emulator, the control-flow analyzer, and the
+// timing simulators: an instruction image, an initial data image, a symbol
+// table, and static annotations (possible targets of indirect jumps).
+package prog
+
+import (
+	"fmt"
+	"sort"
+
+	"cisim/internal/isa"
+)
+
+// Default memory layout. Code, static data, and the stack occupy disjoint
+// regions of a flat 64-bit address space.
+const (
+	CodeBase uint64 = 0x1000
+	DataBase uint64 = 0x10_0000
+	StackTop uint64 = 0x7f_f000 // initial stack pointer; stack grows down
+	HeapBase uint64 = 0x40_0000 // scratch region for workloads
+)
+
+// DataSeg is a chunk of the initial data image.
+type DataSeg struct {
+	Addr  uint64
+	Bytes []byte
+}
+
+// Program is a fully linked program image.
+type Program struct {
+	Entry    uint64
+	CodeBase uint64
+	Code     []isa.Inst // Code[i] lives at CodeBase + 4*i
+	Data     []DataSeg
+	Symbols  map[string]uint64
+
+	// IndirectTargets maps the PC of an indirect jump (JR) or indirect
+	// call (JALR) to its statically known possible targets, as annotated
+	// in the assembly source. Control-flow analysis uses it to build CFG
+	// edges for indirect jumps.
+	IndirectTargets map[uint64][]uint64
+}
+
+// InstAt returns the instruction at the given byte address.
+func (p *Program) InstAt(pc uint64) (isa.Inst, bool) {
+	if pc < p.CodeBase || pc%4 != 0 {
+		return isa.Inst{}, false
+	}
+	i := (pc - p.CodeBase) / 4
+	if i >= uint64(len(p.Code)) {
+		return isa.Inst{}, false
+	}
+	return p.Code[i], true
+}
+
+// CodeEnd returns the first byte address past the code image.
+func (p *Program) CodeEnd() uint64 { return p.CodeBase + 4*uint64(len(p.Code)) }
+
+// InCode reports whether pc addresses a valid instruction slot.
+func (p *Program) InCode(pc uint64) bool {
+	_, ok := p.InstAt(pc)
+	return ok
+}
+
+// Symbol returns the address of a label defined in the source.
+func (p *Program) Symbol(name string) (uint64, bool) {
+	a, ok := p.Symbols[name]
+	return a, ok
+}
+
+// MustSymbol is Symbol, panicking when the label is unknown. It is intended
+// for tests and workload setup where a missing label is a programming error.
+func (p *Program) MustSymbol(name string) uint64 {
+	a, ok := p.Symbols[name]
+	if !ok {
+		panic(fmt.Sprintf("prog: unknown symbol %q", name))
+	}
+	return a
+}
+
+// SymbolFor returns the name of the symbol at addr, preferring code labels.
+// It returns "" when no symbol matches exactly.
+func (p *Program) SymbolFor(addr uint64) string {
+	names := make([]string, 0, 2)
+	for n, a := range p.Symbols {
+		if a == addr {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return ""
+	}
+	sort.Strings(names)
+	return names[0]
+}
+
+// Disassemble renders the instruction at pc with its address and, when one
+// exists, the label naming it.
+func (p *Program) Disassemble(pc uint64) string {
+	in, ok := p.InstAt(pc)
+	if !ok {
+		return fmt.Sprintf("%#06x: <invalid>", pc)
+	}
+	if sym := p.SymbolFor(pc); sym != "" {
+		return fmt.Sprintf("%#06x <%s>: %v", pc, sym, in)
+	}
+	return fmt.Sprintf("%#06x: %v", pc, in)
+}

@@ -1,0 +1,78 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"cisim/internal/isa"
+)
+
+func sample() *Program {
+	return &Program{
+		Entry:    CodeBase,
+		CodeBase: CodeBase,
+		Code: []isa.Inst{
+			{Op: isa.ADDI, Rd: 1, Rs1: 0, Imm: 5},
+			{Op: isa.HALT},
+		},
+		Symbols: map[string]uint64{"main": CodeBase, "end": CodeBase + 4, "alias": CodeBase + 4},
+	}
+}
+
+func TestInstAt(t *testing.T) {
+	p := sample()
+	if in, ok := p.InstAt(CodeBase); !ok || in.Op != isa.ADDI {
+		t.Errorf("InstAt(entry) = %v, %v", in, ok)
+	}
+	if _, ok := p.InstAt(CodeBase + 8); ok {
+		t.Error("InstAt past end should fail")
+	}
+	if _, ok := p.InstAt(CodeBase + 1); ok {
+		t.Error("InstAt misaligned should fail")
+	}
+	if _, ok := p.InstAt(CodeBase - 4); ok {
+		t.Error("InstAt below base should fail")
+	}
+	if p.CodeEnd() != CodeBase+8 {
+		t.Errorf("CodeEnd = %#x", p.CodeEnd())
+	}
+	if !p.InCode(CodeBase+4) || p.InCode(CodeBase+8) {
+		t.Error("InCode bounds wrong")
+	}
+}
+
+func TestSymbols(t *testing.T) {
+	p := sample()
+	if a, ok := p.Symbol("main"); !ok || a != CodeBase {
+		t.Errorf("Symbol(main) = %#x, %v", a, ok)
+	}
+	if _, ok := p.Symbol("nope"); ok {
+		t.Error("unknown symbol should miss")
+	}
+	if p.MustSymbol("end") != CodeBase+4 {
+		t.Error("MustSymbol(end) wrong")
+	}
+	// SymbolFor picks deterministically among aliases.
+	if s := p.SymbolFor(CodeBase + 4); s != "alias" {
+		t.Errorf("SymbolFor = %q, want alias (first alphabetically)", s)
+	}
+	if s := p.SymbolFor(0xdead); s != "" {
+		t.Errorf("SymbolFor(unmapped) = %q", s)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSymbol on unknown label should panic")
+		}
+	}()
+	p.MustSymbol("nope")
+}
+
+func TestDisassemble(t *testing.T) {
+	p := sample()
+	if s := p.Disassemble(CodeBase); !strings.Contains(s, "main") || !strings.Contains(s, "addi") {
+		t.Errorf("Disassemble = %q", s)
+	}
+	if s := p.Disassemble(0xdead); !strings.Contains(s, "invalid") {
+		t.Errorf("Disassemble(bad) = %q", s)
+	}
+}

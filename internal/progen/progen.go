@@ -1,0 +1,342 @@
+// Package progen generates random, always-terminating assembly programs
+// for differential testing: the simulators must retire the exact
+// instruction stream of the functional emulator on any program, so random
+// programs explore corner cases (odd diamond shapes, deeply nested calls,
+// stores racing loads, mispredicted indirect jumps) that the curated
+// workloads miss.
+//
+// Every generated program:
+//   - terminates (all loops count down dedicated counter registers),
+//   - keeps memory accesses inside a scratch buffer,
+//   - exercises conditional branches with data-dependent outcomes,
+//     calls/returns, jump tables, and byte/word memory traffic, and
+//   - ends by storing a checksum so architectural effects are observable.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"cisim/internal/asm"
+	"cisim/internal/prog"
+)
+
+// Config bounds the generated program.
+type Config struct {
+	// Blocks is the number of random body blocks (default 12).
+	Blocks int
+	// MaxLoopIters bounds each loop's trip count (default 9).
+	MaxLoopIters int
+	// Funcs is the number of callable leaf functions (default 3).
+	Funcs int
+}
+
+func (c *Config) defaults() {
+	if c.Blocks <= 0 {
+		c.Blocks = 12
+	}
+	if c.MaxLoopIters <= 0 {
+		c.MaxLoopIters = 9
+	}
+	if c.Funcs <= 0 {
+		c.Funcs = 3
+	}
+}
+
+// Registers the generator uses:
+//
+//	r1          outer loop counter
+//	r2..r9      scratch values (data-dependent)
+//	r10         scratch buffer base
+//	r11         checksum accumulator
+//	r12..r14    inner loop counters
+//	r15         jump-table base
+//	r20, r21    LCG state and multiplier
+//	r29         recursion depth counter
+//	r30         stack pointer (link-register spills in recurse)
+const scratchSlots = 32
+
+// Generate builds a random program from the seed.
+func Generate(seed int64, cfg Config) *prog.Program {
+	src := Source(seed, cfg)
+	return asm.MustAssemble(src)
+}
+
+// Source builds the assembly text of a random program.
+func Source(seed int64, cfg Config) string {
+	cfg.defaults()
+	r := rand.New(rand.NewSource(seed))
+	g := &gen{r: r, cfg: cfg}
+	return g.program()
+}
+
+type gen struct {
+	r      *rand.Rand
+	cfg    Config
+	b      strings.Builder
+	nLabel int
+	nLoop  int
+}
+
+func (g *gen) emit(format string, args ...interface{}) {
+	fmt.Fprintf(&g.b, format+"\n", args...)
+}
+
+func (g *gen) label(prefix string) string {
+	g.nLabel++
+	return fmt.Sprintf("%s_%d", prefix, g.nLabel)
+}
+
+func (g *gen) program() string {
+	g.emit("main:")
+	g.emit("\tli r20, %d", 1000+g.r.Intn(1_000_000)) // seed
+	g.emit("\tli r21, 1103515245")
+	g.emit("\tla r10, scratch")
+	g.emit("\tla r15, jumptab")
+	g.emit("\tli r11, 0")
+	g.emit("\tli r1, %d", 2+g.r.Intn(6)) // outer trip count
+	g.emit("outer:")
+	for i := 0; i < g.cfg.Blocks; i++ {
+		g.block()
+	}
+	g.emit("\taddi r1, r1, -1")
+	g.emit("\tbne r1, r0, outer")
+	g.emit("\tla r2, result")
+	g.emit("\tst r11, 0(r2)")
+	g.emit("\thalt")
+	for f := 0; f < g.cfg.Funcs; f++ {
+		g.fn(f)
+	}
+	// Self-recursive function: descends while r29 > 0, saving the link
+	// register in a real stack frame (r30 is the stack pointer), with a
+	// data-dependent hammock on the way down.
+	g.emit("recurse:")
+	g.emit("\taddi r30, r30, -8")
+	g.emit("\tst r31, 0(r30)")
+	g.emit("\tadd r11, r11, r29")
+	g.emit("\tbeq r29, r0, rec_base")
+	g.emit("\taddi r29, r29, -1")
+	g.prng(9)
+	g.emit("\tandi r9, r9, 1")
+	g.emit("\tbeq r9, r0, rec_skip")
+	g.emit("\txor r11, r11, r9")
+	g.emit("rec_skip:")
+	g.emit("\tcall recurse")
+	g.emit("rec_base:")
+	g.emit("\tld r31, 0(r30)")
+	g.emit("\taddi r30, r30, 8")
+	g.emit("\tret")
+	// Jump-table cases.
+	for c := 0; c < 4; c++ {
+		g.emit("case_%d:", c)
+		g.straight(1 + g.r.Intn(3))
+		if c < 3 {
+			g.emit("\tjmp case_join")
+		}
+	}
+	g.emit("case_join:")
+	g.emit("\tret")
+	g.emit(".data")
+	g.emit("jumptab:")
+	g.emit("\t.addr case_0, case_1, case_2, case_3")
+	g.emit("scratch:")
+	g.emit("\t.space %d", scratchSlots*8)
+	g.emit("result:")
+	g.emit("\t.word 0")
+	return g.b.String()
+}
+
+// block emits one random construct.
+func (g *gen) block() {
+	switch g.r.Intn(7) {
+	case 0:
+		g.straight(2 + g.r.Intn(5))
+	case 1:
+		g.diamond()
+	case 2:
+		g.loop()
+	case 3:
+		g.memory()
+	case 4:
+		g.emit("\tcall fn_%d", g.r.Intn(g.cfg.Funcs))
+	case 5:
+		g.jumpTable()
+	case 6:
+		// Bounded recursion: drives the return address stack several
+		// frames deep, so recoveries must restore a non-trivial RAS,
+		// and the saved link registers add genuine stack traffic.
+		g.emit("\tli r29, %d", 3+g.r.Intn(5))
+		g.emit("\tcall recurse")
+	}
+}
+
+// prng advances the LCG and leaves fresh bits in the given register.
+func (g *gen) prng(dst int) {
+	g.emit("\tmul r20, r20, r21")
+	g.emit("\taddi r20, r20, 12345")
+	g.emit("\tsrli r%d, r20, %d", dst, 13+g.r.Intn(8))
+}
+
+// straight emits n random ALU instructions over the scratch registers,
+// covering the full register-register and register-immediate repertoire
+// including the div/rem zero-divisor edge cases.
+func (g *gen) straight(n int) {
+	ops := []string{"add", "sub", "xor", "and", "or", "mul", "slt", "sltu", "sra", "srl", "sll"}
+	imms := []string{"addi", "andi", "ori", "xori", "slti"}
+	for i := 0; i < n; i++ {
+		d := 2 + g.r.Intn(8)
+		a := 2 + g.r.Intn(8)
+		b := 2 + g.r.Intn(8)
+		switch g.r.Intn(5) {
+		case 0:
+			g.emit("\t%s r%d, r%d, r%d", ops[g.r.Intn(len(ops))], d, a, b)
+		case 1:
+			g.emit("\t%s r%d, r%d, %d", imms[g.r.Intn(len(imms))], d, a, g.r.Intn(2000)-1000)
+		case 2:
+			g.emit("\t%s r%d, r%d, %d",
+				[]string{"slli", "srli", "srai"}[g.r.Intn(3)], d, a, g.r.Intn(32))
+		case 3:
+			// Signed division and remainder; the divisor is a scratch
+			// register that can legitimately hold zero or negatives,
+			// exercising this ISA's no-trap edge semantics.
+			g.emit("\t%s r%d, r%d, r%d", []string{"div", "rem"}[g.r.Intn(2)], d, a, b)
+		case 4:
+			g.emit("\tandi r%d, r%d, %d", d, a, 1+g.r.Intn(1023))
+		}
+	}
+	g.emit("\tadd r11, r11, r%d", 2+g.r.Intn(8))
+}
+
+// branchOn emits a data-dependent conditional branch to the label, drawn
+// from the full comparison repertoire. The operands are fresh PRNG bits
+// (r3) against either zero or a second pseudo-random register (r7).
+func (g *gen) branchOn(label string) {
+	g.prng(3)
+	switch g.r.Intn(4) {
+	case 0:
+		g.emit("\tandi r3, r3, %d", 1+g.r.Intn(7))
+		g.emit("\t%s r3, r0, %s", []string{"beq", "bne"}[g.r.Intn(2)], label)
+	case 1:
+		g.prng(7)
+		g.emit("\tandi r3, r3, 255")
+		g.emit("\tandi r7, r7, 255")
+		g.emit("\t%s r3, r7, %s", []string{"blt", "bge", "bltu", "bgeu"}[g.r.Intn(4)], label)
+	case 2:
+		// Signed comparison with a negative operand.
+		g.emit("\tandi r3, r3, 15")
+		g.emit("\taddi r3, r3, -8")
+		g.emit("\tblt r3, r0, %s", label)
+	case 3:
+		g.emit("\tslt r3, r3, r11")
+		g.emit("\tbne r3, r0, %s", label)
+	}
+}
+
+// diamond emits a data-dependent two-way split that reconverges,
+// occasionally nesting a second hammock inside one arm.
+func (g *gen) diamond() {
+	els := g.label("else")
+	join := g.label("join")
+	g.branchOn(els)
+	g.straight(1 + g.r.Intn(4))
+	if g.r.Intn(3) == 0 {
+		// Nested hammock: a misprediction inside a control dependent
+		// region, so recoveries overlap (§A.1 preemption pressure).
+		skip := g.label("nest")
+		g.branchOn(skip)
+		g.straight(1)
+		g.emit("%s:", skip)
+	}
+	g.emit("\tjmp %s", join)
+	g.emit("%s:", els)
+	g.straight(1 + g.r.Intn(4))
+	g.emit("%s:", join)
+	// Control independent consumer straddling the diamond.
+	g.emit("\tadd r11, r11, r3")
+}
+
+// loop emits a counted inner loop, possibly with a data-dependent early
+// continue.
+func (g *gen) loop() {
+	g.nLoop++
+	ctr := 12 + g.nLoop%3
+	top := g.label("loop")
+	g.emit("\tli r%d, %d", ctr, 1+g.r.Intn(g.cfg.MaxLoopIters))
+	g.emit("%s:", top)
+	g.straight(1 + g.r.Intn(3))
+	if g.r.Intn(2) == 0 {
+		skip := g.label("skip")
+		g.prng(4)
+		g.emit("\tandi r4, r4, 3")
+		g.emit("\tbne r4, r0, %s", skip)
+		g.straight(1)
+		g.emit("%s:", skip)
+	}
+	g.emit("\taddi r%d, r%d, -1", ctr, ctr)
+	g.emit("\tbne r%d, r0, %s", ctr, top)
+}
+
+// memory emits scratch-buffer traffic: random-indexed stores and loads,
+// including byte accesses and a serial store→load round trip.
+func (g *gen) memory() {
+	g.prng(5)
+	g.emit("\tandi r5, r5, %d", scratchSlots-1)
+	g.emit("\tslli r5, r5, 3")
+	g.emit("\tadd r5, r10, r5")
+	// Data registers must exclude r5: loading into the address register
+	// would turn the following access into a wild pointer.
+	dreg := func() int { return []int{2, 3, 4, 8, 9}[g.r.Intn(5)] }
+	switch g.r.Intn(6) {
+	case 0:
+		g.emit("\tst r%d, 0(r5)", dreg())
+		g.emit("\tld r%d, 0(r5)", dreg())
+	case 1:
+		g.emit("\tsb r%d, %d(r5)", dreg(), g.r.Intn(8))
+		g.emit("\tld r%d, 0(r5)", dreg())
+	case 2:
+		g.emit("\tld r%d, 0(r5)", dreg())
+		g.emit("\tst r%d, 0(r5)", dreg())
+	case 3:
+		// Serial chain through a fixed slot, the xcompress pathology.
+		g.emit("\tst r11, 0(r10)")
+		g.emit("\tld r11, 0(r10)")
+	case 4:
+		// Byte load from inside a word slot: partial-overlap forwarding.
+		g.emit("\tst r%d, 0(r5)", dreg())
+		g.emit("\tlb r%d, %d(r5)", dreg(), g.r.Intn(8))
+	case 5:
+		// Byte store shadowed by a word store, then read back.
+		g.emit("\tsb r%d, %d(r5)", dreg(), g.r.Intn(8))
+		g.emit("\tst r%d, 0(r5)", dreg())
+		g.emit("\tld r%d, 0(r5)", dreg())
+	}
+}
+
+// jumpTable emits a 4-way indirect jump through the static table; all
+// cases return through case_join's ret, so the construct behaves as an
+// indirect call.
+func (g *gen) jumpTable() {
+	g.prng(6)
+	g.emit("\tandi r6, r6, 3")
+	g.emit("\tslli r6, r6, 3")
+	g.emit("\tadd r6, r15, r6")
+	g.emit("\tld r7, 0(r6)")
+	// Reuse the call/return machinery: jalr pushes the return address.
+	g.emit("\tjalr ra, r7 [case_0, case_1, case_2, case_3]")
+}
+
+// fn emits a callable leaf function with a small body and a data-dependent
+// branch.
+func (g *gen) fn(i int) {
+	g.emit("fn_%d:", i)
+	g.straight(1 + g.r.Intn(4))
+	if g.r.Intn(2) == 0 {
+		alt := g.label("fnalt")
+		g.emit("\tandi r8, r11, %d", 1+g.r.Intn(3))
+		g.emit("\tbeq r8, r0, %s", alt)
+		g.straight(1)
+		g.emit("%s:", alt)
+	}
+	g.emit("\tret")
+}

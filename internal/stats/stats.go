@@ -1,0 +1,131 @@
+// Package stats provides the small table model the experiment harness
+// uses to report results: named columns, typed cells, and aligned text
+// rendering that mirrors the paper's tables and figure series.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of rows. Cells are formatted on insertion.
+type Table struct {
+	Title   string
+	Note    string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; values are formatted with %v, floats with 2-3
+// significant decimals.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = formatCell(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatCell(c interface{}) string {
+	switch v := c.(type) {
+	case float64:
+		switch {
+		case v == 0:
+			return "0"
+		case v >= 100:
+			return fmt.Sprintf("%.0f", v)
+		case v >= 10:
+			return fmt.Sprintf("%.1f", v)
+		default:
+			return fmt.Sprintf("%.2f", v)
+		}
+	case Percent:
+		return fmt.Sprintf("%.1f%%", float64(v))
+	case string:
+		return v
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// Percent renders as a percentage with one decimal.
+type Percent float64
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				pad := widths[i] - len(cell)
+				if i == 0 {
+					// Left-align the first column (names).
+					b.WriteString(cell)
+					b.WriteString(strings.Repeat(" ", pad))
+				} else {
+					b.WriteString(strings.Repeat(" ", pad))
+					b.WriteString(cell)
+				}
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Note != "" {
+		b.WriteString(t.Note)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Ratio safely divides, returning 0 for a zero denominator.
+func Ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// PctImprove returns the percentage improvement of b over a.
+func PctImprove(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return 100 * (b - a) / a
+}

@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "ipc", "rate")
+	tb.AddRow("xgcc", 3.14159, Percent(8.3))
+	tb.AddRow("verylongname", 120.0, Percent(16.7))
+	tb.Note = "note line"
+	s := tb.String()
+	for _, want := range []string{"Demo", "name", "ipc", "3.14", "8.3%", "120", "16.7%", "note line", "verylongname"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 7 { // title, underline, header, separator, 2 rows, note
+		t.Errorf("unexpected line count %d:\n%s", len(lines), s)
+	}
+}
+
+func TestFormatCell(t *testing.T) {
+	cases := map[interface{}]string{
+		0.0:          "0",
+		1.2345:       "1.23",
+		12.345:       "12.3",
+		123.45:       "123",
+		"str":        "str",
+		42:           "42",
+		Percent(1.0): "1.0%",
+	}
+	for in, want := range cases {
+		if got := formatCell(in); got != want {
+			t.Errorf("formatCell(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRatioAndPct(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio by zero should be 0")
+	}
+	if Ratio(3, 4) != 0.75 {
+		t.Error("Ratio(3,4) wrong")
+	}
+	if PctImprove(0, 5) != 0 {
+		t.Error("PctImprove from zero should be 0")
+	}
+	if got := PctImprove(2, 3); got != 50 {
+		t.Errorf("PctImprove(2,3) = %f", got)
+	}
+}

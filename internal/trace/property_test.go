@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"testing"
+
+	"cisim/internal/progen"
+)
+
+// TestTraceStructuralInvariants checks, over random programs, every
+// structural promise the Trace type makes to its consumers (the ideal
+// scheduler leans on all of them).
+func TestTraceStructuralInvariants(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(100); seed < int64(100+seeds); seed++ {
+		p := progen.Generate(seed, progen.Config{})
+		tr, err := Generate(p, Options{MaxInstrs: 50_000})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var cond, condMisp, ind, indMisp uint64
+		for i := range tr.Entries {
+			e := &tr.Entries[i]
+
+			// The correct path is a chain: NextPC is the next entry's PC.
+			if i+1 < len(tr.Entries) && e.NextPC != tr.Entries[i+1].PC {
+				t.Fatalf("seed %d entry %d: NextPC %#x but next entry at %#x",
+					seed, i, e.NextPC, tr.Entries[i+1].PC)
+			}
+
+			// Prediction flags are consistent.
+			if e.Mispredicted && !e.Predicted {
+				t.Fatalf("seed %d entry %d: mispredicted but not predicted", seed, i)
+			}
+			if e.Predicted && !e.Inst.IsControl() {
+				t.Fatalf("seed %d entry %d: non-control %v carries a prediction",
+					seed, i, e.Inst)
+			}
+			if e.Mispredicted {
+				if e.Wrong == nil {
+					t.Fatalf("seed %d entry %d: misprediction without wrong-path annotation", seed, i)
+				}
+				if e.PredTarget == e.NextPC {
+					t.Fatalf("seed %d entry %d: mispredicted yet PredTarget == NextPC", seed, i)
+				}
+			}
+
+			// Register dependences point backwards at real producers.
+			for s, dep := range e.DepReg {
+				if dep < 0 {
+					continue
+				}
+				if int(dep) >= i {
+					t.Fatalf("seed %d entry %d: DepReg[%d]=%d not strictly earlier", seed, i, s, dep)
+				}
+				prod := &tr.Entries[dep]
+				rd, ok := prod.Inst.WritesReg()
+				if !ok {
+					t.Fatalf("seed %d entry %d: producer %d (%v) writes no register",
+						seed, i, dep, prod.Inst)
+				}
+				srcs := e.Inst.SrcRegs()
+				found := false
+				for _, r := range srcs {
+					if r == rd {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("seed %d entry %d (%v): producer %d writes %v, not a source %v",
+						seed, i, e.Inst, dep, rd, srcs)
+				}
+			}
+
+			// Memory dependence: producing store overlaps the load.
+			if e.DepMem >= 0 {
+				if int(e.DepMem) >= i {
+					t.Fatalf("seed %d entry %d: DepMem=%d not earlier", seed, i, e.DepMem)
+				}
+				st := &tr.Entries[e.DepMem]
+				if st.Inst.Op.String() != "st" && st.Inst.Op.String() != "sb" {
+					t.Fatalf("seed %d entry %d: DepMem %d is %v, not a store", seed, i, e.DepMem, st.Inst)
+				}
+				a := AddrRange{Addr: e.EA, Size: e.MemSize()}
+				b := AddrRange{Addr: st.EA, Size: st.MemSize()}
+				if !a.Overlaps(b) {
+					t.Fatalf("seed %d entry %d: load [%#x+%d) does not overlap store [%#x+%d)",
+						seed, i, a.Addr, a.Size, b.Addr, b.Size)
+				}
+			}
+
+			// Wrong-path annotations are internally consistent.
+			if w := e.Wrong; w != nil {
+				if w.Reconverged {
+					if w.ReconvEntry < 0 || int(w.ReconvEntry) >= len(tr.Entries) {
+						t.Fatalf("seed %d entry %d: ReconvEntry %d out of range", seed, i, w.ReconvEntry)
+					}
+					if int(w.ReconvEntry) <= i {
+						t.Fatalf("seed %d entry %d: ReconvEntry %d not after branch", seed, i, w.ReconvEntry)
+					}
+					if got := tr.Entries[w.ReconvEntry].PC; got != w.ReconvPC {
+						t.Fatalf("seed %d entry %d: ReconvEntry at %#x, want ReconvPC %#x",
+							seed, i, got, w.ReconvPC)
+					}
+				}
+				if w.Len < 0 {
+					t.Fatalf("seed %d entry %d: negative wrong-path length", seed, i)
+				}
+			}
+
+			// Tally prediction stats for the cross-check below.
+			if e.Predicted {
+				switch {
+				case e.Inst.IsCondBranch():
+					cond++
+					if e.Mispredicted {
+						condMisp++
+					}
+				case e.Inst.IsIndirect():
+					ind++
+					if e.Mispredicted {
+						indMisp++
+					}
+				}
+			}
+		}
+		if cond != tr.Stats.Cond || condMisp != tr.Stats.CondMisp {
+			t.Errorf("seed %d: cond stats %d/%d, entries say %d/%d",
+				seed, tr.Stats.Cond, tr.Stats.CondMisp, cond, condMisp)
+		}
+		if ind != tr.Stats.Indirect || indMisp != tr.Stats.IndMisp {
+			t.Errorf("seed %d: indirect stats %d/%d, entries say %d/%d",
+				seed, tr.Stats.Indirect, tr.Stats.IndMisp, ind, indMisp)
+		}
+	}
+}

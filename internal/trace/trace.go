@@ -1,0 +1,396 @@
+// Package trace generates annotated dynamic instruction traces, the input
+// to the idealized six-model study of Section 2 and to Table 1.
+//
+// A trace is the correct-path (retired) instruction stream, annotated with:
+//
+//   - branch predictions from the §2.2 predictor suite (2^16-entry gshare,
+//     2^16-entry correlated target buffer, perfect return address stack),
+//     made with correct global history — the idealization §A.3 points out;
+//   - for each misprediction, a wrong-path summary produced by actually
+//     executing the mispredicted path on a forked architectural state
+//     until it reaches the branch's reconvergent point (or a cap): its
+//     length, the registers it writes, and the memory it stores to, which
+//     is what the ideal models need to charge wasted resources (WR) and
+//     false data dependences (FD);
+//   - true data dependences: for every instruction the trace indices of
+//     its register producers and, via oracle memory disambiguation (§2.2),
+//     of the store a load depends on.
+package trace
+
+import (
+	"cisim/internal/bpred"
+	"cisim/internal/cfg"
+	"cisim/internal/emu"
+	"cisim/internal/isa"
+	"cisim/internal/prog"
+)
+
+// NoDep marks an absent producer index.
+const NoDep int32 = -1
+
+// AddrRange is a byte range touched by a memory access.
+type AddrRange struct {
+	Addr uint64
+	Size uint8
+}
+
+// Overlaps reports whether two ranges share any byte.
+func (a AddrRange) Overlaps(b AddrRange) bool {
+	return a.Addr < b.Addr+uint64(b.Size) && b.Addr < a.Addr+uint64(a.Size)
+}
+
+// WrongPath summarizes the misspeculated path following a mispredicted
+// control instruction.
+type WrongPath struct {
+	// Len is the number of wrong-path instructions executed before the
+	// path reached the reconvergent point, faulted, halted, or hit the
+	// cap.
+	Len int
+	// Reconverged reports that the wrong path reached ReconvPC within
+	// the cap.
+	Reconverged bool
+	// ReconvPC is the static reconvergent point (the branch's immediate
+	// post-dominator), 0 if the branch has none.
+	ReconvPC uint64
+	// ReconvEntry is the index of the first correct-path entry at
+	// ReconvPC after the branch — the first control independent
+	// instruction — or -1 when none exists in range.
+	ReconvEntry int32
+	// RegWrites is the set of architectural registers written by
+	// wrong-path instructions (bit r set for register r): the source of
+	// false register dependences.
+	RegWrites uint32
+	// Stores are the memory ranges written on the wrong path: the source
+	// of false memory dependences.
+	Stores []AddrRange
+}
+
+// Entry is one correct-path dynamic instruction.
+type Entry struct {
+	PC     uint64
+	Inst   isa.Inst
+	NextPC uint64
+	Taken  bool
+	EA     uint64 // loads/stores: effective address
+
+	// Predicted is set on control instructions that consume a prediction
+	// (conditional branches, indirect jumps/calls, returns).
+	Predicted bool
+	// Mispredicted is set when the prediction was wrong.
+	Mispredicted bool
+	// PredTarget is where fetch would have gone on a misprediction.
+	PredTarget uint64
+	// Wrong is the wrong-path annotation for mispredictions.
+	Wrong *WrongPath
+
+	// DepReg are the trace indices of the producers of the instruction's
+	// register sources (NoDep when the value predates the trace or the
+	// source is r0). DepMem is the producing store for a load, under
+	// oracle disambiguation.
+	DepReg [2]int32
+	DepMem int32
+}
+
+// MemSize returns the byte width of the entry's memory access.
+func (e *Entry) MemSize() uint8 {
+	switch e.Inst.Op {
+	case isa.LB, isa.SB:
+		return 1
+	case isa.LD, isa.ST:
+		return 8
+	}
+	return 0
+}
+
+// PredStats aggregates prediction behaviour over a trace (Table 1).
+type PredStats struct {
+	Cond       uint64 // conditional branch predictions
+	CondMisp   uint64
+	Indirect   uint64 // indirect jump/call predictions
+	IndMisp    uint64
+	Returns    uint64 // return predictions (perfect RAS: never wrong)
+	RetMisp    uint64
+	DirectJump uint64 // direct jumps/calls (always correct)
+}
+
+// MispRate returns the paper's Table 1 misprediction rate: mispredictions
+// of conditional branches and indirect jumps over those predictions.
+func (s PredStats) MispRate() float64 {
+	den := s.Cond + s.Indirect
+	if den == 0 {
+		return 0
+	}
+	return float64(s.CondMisp+s.IndMisp) / float64(den)
+}
+
+// Trace is an annotated correct-path instruction stream.
+type Trace struct {
+	Prog    *prog.Program
+	Graph   *cfg.Graph
+	Entries []Entry
+	Stats   PredStats
+	// Halted reports the program ran to completion (vs the instruction
+	// budget expiring).
+	Halted bool
+}
+
+// Options controls trace generation.
+type Options struct {
+	// MaxInstrs bounds the correct-path length. Zero means 200k.
+	MaxInstrs uint64
+	// WrongPathCap bounds each wrong-path expansion. Zero means 512
+	// (the largest window the studies use).
+	WrongPathCap int
+	// ReconvSearch bounds the forward search for the reconvergent point
+	// on the correct path. Zero means 4096 entries.
+	ReconvSearch int
+	// GShareBits and TargetBits size the predictor tables (default 16,
+	// as in §2.2).
+	GShareBits, TargetBits uint
+}
+
+func (o *Options) defaults() {
+	if o.MaxInstrs == 0 {
+		o.MaxInstrs = 200_000
+	}
+	if o.WrongPathCap == 0 {
+		o.WrongPathCap = 512
+	}
+	if o.ReconvSearch == 0 {
+		o.ReconvSearch = 4096
+	}
+	if o.GShareBits == 0 {
+		o.GShareBits = 16
+	}
+	if o.TargetBits == 0 {
+		o.TargetBits = 16
+	}
+}
+
+// Generate runs the program and produces its annotated trace.
+func Generate(p *prog.Program, opt Options) (*Trace, error) {
+	opt.defaults()
+	g := cfg.Build(p)
+	tr := &Trace{Prog: p, Graph: g}
+
+	gsh := bpred.NewGShare(opt.GShareBits)
+	ctb := bpred.NewTargetBuffer(opt.TargetBits)
+	var hist bpred.History
+
+	st := emu.New(p)
+	lastRegWriter := [isa.NumRegs]int32{}
+	for i := range lastRegWriter {
+		lastRegWriter[i] = NoDep
+	}
+	lastStore := make(map[uint64]int32, 1<<14) // byte address -> entry index
+
+	for uint64(len(tr.Entries)) < opt.MaxInstrs && !st.Halted {
+		// Snapshot needed for wrong-path forking before the step mutates
+		// state. Forking is cheap (copy-on-write) but not free, so fork
+		// only when a misprediction actually occurs: run the prediction
+		// logic first.
+		pc := st.PC
+		in, ok := p.InstAt(pc)
+		if !ok {
+			return nil, &emu.Fault{PC: pc, Why: "trace: pc outside code image"}
+		}
+
+		e := Entry{PC: pc, Inst: in, DepReg: [2]int32{NoDep, NoDep}, DepMem: NoDep}
+
+		// Record true register dependences before executing.
+		for si, r := range in.SrcRegs() {
+			if r != isa.RZero && si < 2 {
+				e.DepReg[si] = lastRegWriter[r]
+			}
+		}
+
+		// Prediction, before the outcome is known architecturally. The
+		// predicted target is computed from the predictor state; the
+		// actual outcome comes from the emulator step below.
+		var predTaken bool
+		var predTarget uint64
+		var hasPred bool
+		switch isa.ClassOf(in.Op) {
+		case isa.ClassCondBr:
+			hasPred = true
+			predTaken = gsh.Predict(pc, hist)
+			if predTaken {
+				predTarget = in.BranchTarget(pc)
+			} else {
+				predTarget = pc + 4
+			}
+		case isa.ClassIndJump, isa.ClassIndCall:
+			hasPred = true
+			if t, hit := ctb.Predict(pc, hist); hit {
+				predTarget = t
+			} else {
+				predTarget = pc + 4 // a miss predicts *something*; fall through
+			}
+		case isa.ClassReturn:
+			// Perfect return address stack (§2.2): always correct.
+			tr.Stats.Returns++
+		case isa.ClassJump, isa.ClassCall:
+			tr.Stats.DirectJump++
+		}
+
+		// A fork for wrong-path execution must capture pre-step state,
+		// but forking is only needed on actual mispredictions — and the
+		// outcome is computable from pre-step register state.
+		var fork *emu.State
+		if hasPred {
+			misp := false
+			switch isa.ClassOf(in.Op) {
+			case isa.ClassCondBr:
+				misp = predTaken != emu.EvalBranch(in, st.Reg(in.Rs1), st.Reg(in.Rs2))
+			default: // indirect jump/call
+				misp = predTarget != st.Reg(in.Rs1)
+			}
+			if misp {
+				fork = st.Fork()
+			}
+		}
+
+		step, err := st.Step()
+		if err != nil {
+			return nil, err
+		}
+		e.NextPC, e.Taken, e.EA = step.NextPC, step.Taken, step.EA
+
+		if hasPred {
+			e.Predicted = true
+			e.PredTarget = predTarget
+			switch isa.ClassOf(in.Op) {
+			case isa.ClassCondBr:
+				tr.Stats.Cond++
+				e.Mispredicted = predTaken != step.Taken
+				if e.Mispredicted {
+					tr.Stats.CondMisp++
+				}
+				gsh.Update(pc, hist, step.Taken)
+				hist = hist.Push(step.Taken)
+			default: // indirect jump/call
+				tr.Stats.Indirect++
+				e.Mispredicted = predTarget != step.NextPC
+				if e.Mispredicted {
+					tr.Stats.IndMisp++
+				}
+				ctb.Update(pc, hist, step.NextPC)
+			}
+			if e.Mispredicted {
+				e.Wrong = expandWrongPath(fork, g, in, pc, predTarget, opt.WrongPathCap)
+			}
+		}
+
+		idx := int32(len(tr.Entries))
+		if rd, writes := in.WritesReg(); writes {
+			lastRegWriter[rd] = idx
+		}
+		if isa.ClassOf(in.Op) == isa.ClassLoad {
+			size := uint64(e.MemSize())
+			dep := NoDep
+			for b := uint64(0); b < size; b++ {
+				if s, ok := lastStore[e.EA+b]; ok && s > dep {
+					dep = s
+				}
+			}
+			e.DepMem = dep
+		}
+		if isa.ClassOf(in.Op) == isa.ClassStore {
+			size := uint64(e.MemSize())
+			for b := uint64(0); b < size; b++ {
+				lastStore[e.EA+b] = idx
+			}
+		}
+
+		tr.Entries = append(tr.Entries, e)
+	}
+	tr.Halted = st.Halted
+	resolveReconvergence(tr, opt.ReconvSearch)
+	return tr, nil
+}
+
+// expandWrongPath executes the mispredicted path on the forked state until
+// it reaches the reconvergent point, faults, halts, or hits the cap.
+func expandWrongPath(fork *emu.State, g *cfg.Graph, in isa.Inst, branchPC, predTarget uint64, maxLen int) *WrongPath {
+	wp := &WrongPath{ReconvEntry: -1}
+	if rec, ok := g.ReconvergentPC(branchPC); ok {
+		wp.ReconvPC = rec
+	}
+
+	// Perform the control transfer the front end would have made: for
+	// calls the link register is written even on the wrong path.
+	switch isa.ClassOf(in.Op) {
+	case isa.ClassCall:
+		fork.SetReg(isa.RLink, branchPC+4)
+	case isa.ClassIndCall:
+		fork.SetReg(in.Rd, branchPC+4)
+	}
+	fork.PC = predTarget
+	fork.Halted = false
+
+	for wp.Len < maxLen {
+		if wp.ReconvPC != 0 && fork.PC == wp.ReconvPC {
+			wp.Reconverged = true
+			break
+		}
+		step, err := fork.Step()
+		if err != nil || step.Halt {
+			break
+		}
+		wp.Len++
+		if rd, writes := step.Inst.WritesReg(); writes {
+			wp.RegWrites |= 1 << rd
+		}
+		if isa.ClassOf(step.Inst.Op) == isa.ClassStore {
+			size := uint8(8)
+			if step.Inst.Op == isa.SB {
+				size = 1
+			}
+			wp.Stores = append(wp.Stores, AddrRange{Addr: step.EA, Size: size})
+		}
+	}
+	return wp
+}
+
+// resolveReconvergence locates, for every misprediction with a static
+// reconvergent point, the first later correct-path entry at that PC,
+// within the search bound.
+func resolveReconvergence(tr *Trace, search int) {
+	// Index occurrences of every PC that appears as a reconvergent
+	// point, then binary-search per misprediction.
+	needed := make(map[uint64][]int32)
+	for i := range tr.Entries {
+		if w := tr.Entries[i].Wrong; w != nil && w.ReconvPC != 0 {
+			needed[w.ReconvPC] = nil
+		}
+	}
+	if len(needed) == 0 {
+		return
+	}
+	for i := range tr.Entries {
+		pc := tr.Entries[i].PC
+		if occ, ok := needed[pc]; ok {
+			needed[pc] = append(occ, int32(i))
+		}
+	}
+	for i := range tr.Entries {
+		w := tr.Entries[i].Wrong
+		if w == nil || w.ReconvPC == 0 {
+			continue
+		}
+		occ := needed[w.ReconvPC]
+		// First occurrence strictly after i, within the search bound.
+		lo, hi := 0, len(occ)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if occ[mid] <= int32(i) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(occ) && occ[lo] <= int32(i+1+search) {
+			w.ReconvEntry = occ[lo]
+		}
+	}
+}

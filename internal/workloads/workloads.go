@@ -1,0 +1,595 @@
+// Package workloads provides the five synthetic benchmarks that stand in
+// for the paper's SPEC95 integer benchmarks (Table 1): gcc, go, compress,
+// ijpeg, and vortex.
+//
+// The originals cannot be run on this ISA, so each workload is constructed
+// to reproduce the *qualitative* character that matters to the study:
+//
+//	xgcc      irregular, call-heavy control flow with a data-dependent
+//	          jump-table switch and several biased branches (~8% mispred)
+//	xgo       data-dependent pseudo-random decisions, frequent small
+//	          diamonds, the hardest to predict (~16% mispred)
+//	xcompress a microbenchmark-like loop with one dominant data-dependent
+//	          branch, a serial hash chain, and a store→load dependence
+//	          carried through memory every iteration (~9% mispred, long
+//	          reissue chains in the detailed simulator)
+//	xjpeg     a high-ILP data-parallel kernel with predictable loops and a
+//	          rare clamping branch (~6% mispred)
+//	xvortex   call-heavy and highly predictable: error-check branches that
+//	          never fire, short probe loops (~1-2% mispred)
+//
+// Every workload finishes by storing a checksum to the data label
+// "result" and halting; tests use the checksum to pin down architectural
+// behaviour and the detailed simulator uses it to validate its retired
+// stream against the functional emulator.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"cisim/internal/asm"
+	"cisim/internal/prog"
+)
+
+// Workload is a named benchmark generator.
+type Workload struct {
+	Name        string
+	Paper       string // the SPEC95 benchmark it stands in for
+	Description string
+	// DefaultIters is the iteration count used by the experiment harness;
+	// chosen so runs are long enough for stable IPC but fast to simulate.
+	DefaultIters int
+	src          func(iters int) string
+}
+
+// Source returns the assembly text for a given iteration count.
+func (w *Workload) Source(iters int) string {
+	if iters <= 0 {
+		iters = w.DefaultIters
+	}
+	return w.src(iters)
+}
+
+// Program assembles the workload. iters <= 0 selects DefaultIters.
+func (w *Workload) Program(iters int) *prog.Program {
+	return asm.MustAssemble(w.Source(iters))
+}
+
+var registry = []*Workload{
+	{
+		Name:         "xgcc",
+		Paper:        "gcc",
+		Description:  "token dispatcher: jump-table switch, calls, biased branches",
+		DefaultIters: 7000,
+		src:          xgcc,
+	},
+	{
+		Name:         "xgo",
+		Paper:        "go",
+		Description:  "move generator: pseudo-random two-way decisions over a board",
+		DefaultIters: 9000,
+		src:          xgo,
+	},
+	{
+		Name:         "xcompress",
+		Paper:        "compress",
+		Description:  "hash coder: one dominant branch, serial memory dependence chain",
+		DefaultIters: 9000,
+		src:          xcompress,
+	},
+	{
+		Name:         "xjpeg",
+		Paper:        "ijpeg",
+		Description:  "block transform: high-ILP arithmetic, rare clamping branch",
+		DefaultIters: 1400,
+		src:          xjpeg,
+	},
+	{
+		Name:         "xvortex",
+		Paper:        "vortex",
+		Description:  "record store: call-heavy, near-perfectly predictable",
+		DefaultIters: 3400,
+		src:          xvortex,
+	},
+}
+
+// All returns the workloads in canonical (paper Table 1) order.
+func All() []*Workload {
+	out := make([]*Workload, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Get returns the workload with the given name.
+func Get(name string) (*Workload, bool) {
+	for _, w := range registry {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return nil, false
+}
+
+// Names returns all workload names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for _, w := range registry {
+		names = append(names, w.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Every workload draws its data-dependent control flow from a buffer of
+// pseudo-random words produced by an init phase (four interleaved 32-bit
+// LCGs, so the init loop itself has ILP). Reading randomness from memory —
+// instead of advancing an LCG in the main loop — keeps iterations data
+// independent of each other, which is what gives real programs their
+// far-flung instruction-level parallelism: the oracle model keeps scaling
+// with window size, as in the paper's Figure 3. xcompress is the deliberate
+// exception: like real compress it carries a serial dependence chain
+// through memory, and its IPC is low in every model.
+
+// rngInit emits the init phase: fill rngbuf[0..words) with pseudo-random
+// 64-bit values using four independent LCG streams (r20..r23), writing
+// four slots per loop iteration. Clobbers r2, r14-r18, r20-r27.
+func rngInit(words int) string {
+	// Round up to a multiple of 4 slots; the buffer is sized by callers.
+	n := (words + 3) / 4
+	return fmt.Sprintf(`
+	li r20, 88310901     ; four independent lcg states
+	li r21, 52919
+	li r22, 13904207
+	li r23, 71040503
+	li r24, 1103515245   ; multiplier
+	la r25, rngbuf
+	li r2, %d            ; groups of four
+rng_init:
+	mul  r20, r20, r24
+	addi r20, r20, 12345
+	mul  r21, r21, r24
+	addi r21, r21, 14321
+	mul  r22, r22, r24
+	addi r22, r22, 11111
+	mul  r23, r23, r24
+	addi r23, r23, 9991
+	srli r14, r20, 16
+	srli r15, r21, 16
+	srli r16, r22, 16
+	srli r17, r23, 16
+	st   r14, 0(r25)
+	st   r15, 8(r25)
+	st   r16, 16(r25)
+	st   r17, 24(r25)
+	addi r25, r25, 32
+	addi r2, r2, -1
+	bne  r2, r0, rng_init
+`, n)
+}
+
+func xgo(iters int) string {
+	return fmt.Sprintf(`
+; xgo -- stands in for SPEC95 go: control-intensive, hard-to-predict.
+; Each iteration reads pseudo-random bits, plays one of two "moves"
+; (a diamond that reconverges at move_done), sometimes runs a LONG
+; capture sequence (a large incorrect control-dependent region when the
+; capture branch mispredicts), then a short predictable scan loop.
+; Iterations are data independent, so instruction-level parallelism
+; extends across the whole window.
+main:
+%s
+	li r1, %d            ; iterations
+	la r10, board
+	la r19, rngbuf
+	li r11, 0            ; score
+outer:
+	ld   r22, 0(r19)     ; this iteration's random bits
+	addi r19, r19, 8
+	andi r23, r22, 63    ; board index
+	slli r24, r23, 3
+	add  r25, r10, r24
+	ld   r26, 0(r25)     ; board[idx]
+	mov  r13, r22        ; default move record (the paper's r5: written
+	                     ; before the branch, conditionally overwritten)
+	mul  r27, r26, r22   ; position evaluation: the decision depends on
+	xor  r27, r27, r22   ; a multiply over the board load, so the branch
+	andi r27, r27, 1     ; resolves late, as real evaluation code does
+	bne  r27, r0, move_a ; ~50%% taken, essentially random
+move_b:
+	addi r26, r26, 1
+	st   r26, 0(r25)
+	addi r11, r11, 2
+	xor  r13, r22, r26   ; only this side overwrites the move record
+	jmp  move_done
+move_a:
+	addi r26, r26, -1
+	st   r26, 0(r25)
+	andi r28, r22, 2
+	bne  r28, r0, move_done ; ~50%% taken, essentially random
+capture:
+	; long capture scan: a large control-dependent block, so a
+	; misprediction of the capture branch wastes many wrong-path slots
+	ld   r2, 8(r25)
+	ld   r3, 16(r25)
+	ld   r4, 24(r25)
+	ld   r5, 32(r25)
+	add  r6, r2, r3
+	add  r7, r4, r5
+	xor  r8, r2, r4
+	xor  r9, r3, r5
+	add  r6, r6, r7
+	xor  r8, r8, r9
+	add  r6, r6, r8
+	andi r6, r6, 255
+	add  r11, r11, r6
+	addi r11, r11, 5
+move_done:
+	xor  r12, r12, r13      ; control independent consumer of the move
+	                        ; record: a false data dependence when the
+	                        ; wrong path ran move_b -- and the bonus
+	                        ; branch below reads it, so a false dependence
+	                        ; delays detecting the next misprediction
+	xor  r29, r26, r12
+	andi r29, r29, 7
+	bne  r29, r0, no_bonus  ; ~87%% taken, drifts with game state
+	addi r11, r11, 3
+no_bonus:
+	; predictable scan loop: 2 iterations of liberty counting
+	li   r2, 2
+	mov  r3, r25
+scan:
+	ld   r4, 8(r3)
+	add  r12, r12, r4
+	addi r3, r3, 8
+	addi r2, r2, -1
+	bne  r2, r0, scan
+	addi r1, r1, -1
+	bne  r1, r0, outer
+	add r11, r11, r12
+	la  r9, result
+	st  r11, 0(r9)
+	halt
+.data
+board:
+	.space 640           ; 64 slots + capture/scan overrun room
+rngbuf:
+	.space %d
+result:
+	.word 0
+`, rngInit(iters), iters, 8*(iters+4))
+}
+
+func xcompress(iters int) string {
+	return fmt.Sprintf(`
+; xcompress -- stands in for SPEC95 compress: a microbenchmark-like loop
+; with one dominant data-dependent branch (the hash-probe hit test), a
+; serial hash chain, and a store->load dependence through memory every
+; iteration. The recurrent scratch store/load gives the detailed simulator
+; the same pathology the paper reports: loads issuing before dependent
+; stores, memory-ordering violations, and very long reissue chains.
+main:
+	li r20, 424243
+	li r21, 1103515245
+	li r1, %d            ; iterations
+	la r10, htab
+	la r17, scratch
+	li r11, 0            ; codes emitted
+	li r12, 0            ; rolling hash h
+loop:
+	mul  r20, r20, r21   ; next input "byte"
+	addi r20, r20, 12345
+	srli r22, r20, 17
+	andi r22, r22, 255   ; c
+	slli r13, r12, 4     ; h = ((h<<4) ^ c) & 1023
+	xor  r13, r13, r22
+	andi r12, r13, 1023
+	slli r14, r12, 3
+	add  r15, r10, r14
+	ld   r16, 0(r15)     ; probe htab[h]
+	; match test on the memory-carried hash state: taken ~25%%, data
+	; dependent and effectively random -- the DOMINANT branch. Because
+	; r12 round-trips through memory every iteration, loads that issue
+	; before the dependent store give this branch speculatively wrong
+	; operands: the paper's false-misprediction generator (§A.2).
+	xor  r18, r12, r16
+	xor  r18, r18, r22
+	srli r18, r18, 4
+	andi r18, r18, 3
+	beq  r18, r0, hit
+miss:
+	st   r22, 0(r15)     ; insert
+	addi r11, r11, 1     ; emit code
+	jmp  advance
+hit:
+	addi r12, r12, 1     ; extend match: perturb chain
+advance:
+	; carry the chain through memory: the next iteration's hash depends
+	; on a load of what this iteration stored.
+	st   r12, 0(r17)
+	ld   r12, 0(r17)
+	; alternating output-flush branch: T,N,T,N -- perfectly learnable
+	andi r5, r1, 1
+	bne  r5, r0, odd_iter
+	addi r11, r11, 1
+odd_iter:
+	addi r1, r1, -1
+	bne  r1, r0, loop
+	la  r9, result
+	st  r11, 0(r9)
+	halt
+.data
+htab:
+	.space 8192          ; 1024 8-byte slots
+scratch:
+	.word 0
+result:
+	.word 0
+`, iters)
+}
+
+func xjpeg(blocks int) string {
+	return fmt.Sprintf(`
+; xjpeg -- stands in for SPEC95 ijpeg: a data-parallel transform kernel.
+; An init pass fills the source block with pseudo-random coefficients;
+; the main pass runs a butterfly over each row (independent ALU work,
+; rich in parallelism) with a rare data-dependent clamping branch, then
+; writes the row back. Loop branches are perfectly predictable.
+main:
+%s
+	li r20, 777001
+	li r21, 1103515245
+	la r10, src
+	; init: 64 coefficients
+	li r2, 64
+	mov r3, r10
+init:
+	mul  r20, r20, r21
+	addi r20, r20, 12345
+	srli r4, r20, 18
+	andi r4, r4, 1023
+	st   r4, 0(r3)
+	addi r3, r3, 8
+	addi r2, r2, -1
+	bne  r2, r0, init
+	la r19, dst
+	la r24, rngbuf
+	li r1, %d            ; blocks
+	li r11, 0            ; checksum
+block:
+	; fresh per-block coefficient perturbation (new image data arriving)
+	ld   r23, 0(r24)
+	addi r24, r24, 8
+	andi r23, r23, 255
+	li r2, 8             ; rows
+	mov r3, r10
+	mov r6, r19
+row:
+	ld   r4, 0(r3)       ; four independent loads (src is read-only)
+	ld   r5, 8(r3)
+	ld   r7, 16(r3)
+	ld   r8, 24(r3)
+	add  r4, r4, r23     ; fold in the block's perturbation
+	add  r9, r4, r8      ; butterfly: independent adds/subs
+	sub  r12, r4, r8
+	add  r13, r5, r7
+	sub  r14, r5, r7
+	add  r15, r9, r13    ; second stage
+	sub  r16, r9, r13
+	mul  r17, r12, r14   ; cross term
+	add  r18, r15, r16
+	; quantization special-case: fires ~1/32 of rows, data-dependent --
+	; this is the kernel's internal mispredicting branch (the paper
+	; notes one jpeg loop has many internal mispredictions)
+	andi r22, r17, 31
+	bne  r22, r0, no_special
+	addi r18, r18, 64
+no_special:
+	add  r11, r11, r18
+	add  r11, r11, r17
+	st   r15, 0(r6)      ; write transformed row to dst
+	st   r16, 8(r6)
+	st   r17, 16(r6)
+	st   r18, 24(r6)
+	addi r3, r3, 32
+	addi r6, r6, 32
+	addi r2, r2, -1
+	bne  r2, r0, row
+	addi r1, r1, -1
+	bne  r1, r0, block
+	la  r9, result
+	st  r11, 0(r9)
+	halt
+.data
+src:
+	.space 512           ; 64 coefficients (8 rows x 8, accessed 4-wide)
+dst:
+	.space 512
+rngbuf:
+	.space %d
+result:
+	.word 0
+`, rngInit(blocks), blocks, 8*(blocks+4))
+}
+
+func xgcc(iters int) string {
+	return fmt.Sprintf(`
+; xgcc -- stands in for SPEC95 gcc: irregular, call-heavy control flow.
+; Each iteration classifies a pseudo-random "token" (heavily skewed
+; toward the common case), dispatches through a jump table (indirect
+; jump), and the cases do differing amounts of work, some through
+; function calls. Several biased branches surround the dispatch.
+main:
+%s
+	li r1, %d            ; iterations
+	la r10, jumptab
+	la r13, symtab
+	la r12, rngbuf
+	li r11, 0            ; checksum
+loop:
+	ld   r22, 0(r12)     ; this iteration's token bits
+	addi r12, r12, 8
+	andi r23, r22, 15    ; raw token bits
+	; skew: 13/16 of tokens collapse to class 0 (the common case)
+	slti r24, r23, 13
+	beq  r24, r0, rare_token  ; ~19%% taken, data-dependent
+	li   r23, 0
+rare_token:
+	andi r23, r23, 3     ; 4 classes
+	slli r25, r23, 3
+	add  r26, r10, r25
+	ld   r27, 0(r26)     ; jumptab[class]
+	jr   r27 [case_ident, case_num, case_op, case_str]
+case_ident:
+	; common case: hash the token into the symbol table and scan the
+	; two-entry collision chain (perfectly predictable probe loop)
+	andi r2, r22, 127
+	slli r2, r2, 3
+	add  r2, r13, r2
+	li   r14, 2
+probe:
+	ld   r3, 0(r2)
+	add  r11, r11, r3
+	addi r2, r2, 8
+	addi r14, r14, -1
+	bne  r14, r0, probe
+	addi r2, r2, -16
+	ld   r3, 0(r2)
+	addi r3, r3, 1
+	st   r3, 0(r2)
+	jmp  join
+case_num:
+	call fold_const
+	jmp  join
+case_op:
+	call apply_op
+	jmp  join
+case_str:
+	addi r11, r11, 7
+join:
+	; biased error-check branch: almost never taken
+	li   r4, 250
+	andi r5, r22, 255
+	bge  r5, r4, error_path  ; ~2%% taken
+	jmp  cont
+error_path:
+	addi r11, r11, 1
+cont:
+	addi r1, r1, -1
+	bne  r1, r0, loop
+	la  r9, result
+	st  r11, 0(r9)
+	halt
+
+fold_const:
+	andi r6, r22, 63
+	mul  r7, r6, r6
+	add  r11, r11, r7
+	andi r8, r7, 1
+	beq  r8, r0, fc_even   ; data-dependent, near 50/50
+	addi r11, r11, 3
+fc_even:
+	ret
+
+apply_op:
+	andi r6, r22, 31
+	slti r7, r6, 16
+	beq  r7, r0, op_high   ; 50/50 data-dependent
+	add  r11, r11, r6
+	ret
+op_high:
+	sub  r11, r11, r6
+	ret
+
+.data
+jumptab:
+	.addr case_ident, case_num, case_op, case_str
+symtab:
+	.space 1088          ; 128 slots + probe-chain overrun room
+rngbuf:
+	.space %d
+result:
+	.word 0
+`, rngInit(iters), iters, 8*(iters+4))
+}
+
+func xvortex(iters int) string {
+	return fmt.Sprintf(`
+; xvortex -- stands in for SPEC95 vortex: an object store with call-heavy
+; but highly predictable control. Insert/lookup/validate run every
+; iteration; their branches are one-sided (error paths that never fire,
+; probe loops that almost always exit first try). A rare event (~1.5%%)
+; provides the residual mispredictions.
+main:
+%s
+	li r1, %d            ; iterations
+	la r10, store
+	la r13, rngbuf
+	li r11, 0            ; checksum
+	li r12, 0            ; record id
+loop:
+	ld   r22, 0(r13)
+	addi r13, r13, 8
+	addi r12, r12, 1
+	call insert_record
+	call lookup_record
+	call validate_record
+	; rare event: bits == 0 (1/64)
+	andi r22, r22, 63
+	bne  r22, r0, no_event
+	addi r11, r11, 13
+no_event:
+	addi r1, r1, -1
+	bne  r1, r0, loop
+	la  r9, result
+	st  r11, 0(r9)
+	halt
+
+insert_record:
+	; slot = id %% 128, always succeeds first probe (table is cleared
+	; by construction so the occupancy check is perfectly predictable)
+	andi r2, r12, 127
+	slli r2, r2, 3
+	add  r2, r10, r2
+	ld   r3, 0(r2)
+	bne  r3, r0, ins_occupied  ; occupied? most slots reused: TAKEN after warmup
+	addi r11, r11, 1
+ins_occupied:
+	st   r12, 0(r2)
+	ret
+
+lookup_record:
+	andi r2, r12, 127
+	slli r2, r2, 3
+	add  r2, r10, r2
+	ld   r3, 0(r2)
+	beq  r3, r12, lk_found     ; always found: perfectly predictable
+	addi r11, r11, 99          ; never executes
+lk_found:
+	add  r11, r11, r3
+	ret
+
+validate_record:
+	andi r2, r12, 127
+	slli r2, r2, 3
+	add  r2, r10, r2
+	ld   r3, 0(r2)
+	; field check: id > 0 always
+	blt  r0, r3, val_ok        ; always taken
+	addi r11, r11, 77          ; never executes
+val_ok:
+	andi r4, r3, 1
+	beq  r4, r0, val_even      ; alternates with id: perfectly learnable
+	addi r11, r11, 2
+val_even:
+	ret
+
+.data
+store:
+	.space 1024
+rngbuf:
+	.space %d
+result:
+	.word 0
+`, rngInit(iters), iters, 8*(iters+4))
+}

@@ -1,0 +1,115 @@
+package workloads
+
+import (
+	"testing"
+
+	"cisim/internal/emu"
+)
+
+func TestAllAssembleAndHalt(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p := w.Program(50) // small run for tests
+			s := emu.New(p)
+			n, err := s.Run(2_000_000)
+			if err != nil {
+				t.Fatalf("%s did not halt cleanly: %v", w.Name, err)
+			}
+			if n < 100 {
+				t.Errorf("%s executed only %d instructions", w.Name, n)
+			}
+			res, ok := p.Symbol("result")
+			if !ok {
+				t.Fatalf("%s has no result label", w.Name)
+			}
+			if v := s.Mem.Read64(res); v == 0 {
+				t.Errorf("%s checksum is zero; workload likely did no work", w.Name)
+			}
+		})
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, w := range All() {
+		p := w.Program(30)
+		res := p.MustSymbol("result")
+		var first uint64
+		for trial := 0; trial < 2; trial++ {
+			s := emu.New(p)
+			if _, err := s.Run(2_000_000); err != nil {
+				t.Fatalf("%s: %v", w.Name, err)
+			}
+			if trial == 0 {
+				first = s.Mem.Read64(res)
+			} else if got := s.Mem.Read64(res); got != first {
+				t.Errorf("%s nondeterministic: %d vs %d", w.Name, first, got)
+			}
+		}
+	}
+}
+
+func TestIterationScaling(t *testing.T) {
+	// Instruction count must grow roughly linearly with iterations.
+	for _, w := range All() {
+		short := emu.New(w.Program(20))
+		long := emu.New(w.Program(40))
+		ns, err := short.Run(5_000_000)
+		if err != nil {
+			t.Fatalf("%s short: %v", w.Name, err)
+		}
+		nl, err := long.Run(5_000_000)
+		if err != nil {
+			t.Fatalf("%s long: %v", w.Name, err)
+		}
+		if nl <= ns {
+			t.Errorf("%s: %d iters ran %d instrs, %d iters ran %d", w.Name, 20, ns, 40, nl)
+		}
+		ratio := float64(nl) / float64(ns)
+		if ratio < 1.3 || ratio > 2.7 {
+			t.Errorf("%s scaling ratio = %.2f, want near 2 (init-dominated?)", w.Name, ratio)
+		}
+	}
+}
+
+func TestDefaultItersRunLength(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-length workload runs")
+	}
+	// Default lengths should land in the 100k-500k dynamic instruction
+	// range: long enough for stable IPC, short enough to simulate fast.
+	for _, w := range All() {
+		s := emu.New(w.Program(0))
+		n, err := s.Run(5_000_000)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if n < 100_000 || n > 500_000 {
+			t.Errorf("%s default run = %d instructions, want 100k-500k", w.Name, n)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if len(All()) != 5 {
+		t.Fatalf("expected 5 workloads, have %d", len(All()))
+	}
+	if _, ok := Get("xgo"); !ok {
+		t.Error("Get(xgo) failed")
+	}
+	if _, ok := Get("nope"); ok {
+		t.Error("Get(nope) should fail")
+	}
+	names := Names()
+	if len(names) != 5 {
+		t.Errorf("Names() = %v", names)
+	}
+	for _, w := range All() {
+		if w.Paper == "" || w.Description == "" {
+			t.Errorf("%s missing metadata", w.Name)
+		}
+		if w.Source(0) == "" {
+			t.Errorf("%s has empty source", w.Name)
+		}
+	}
+}
