@@ -1,0 +1,32 @@
+# Developer entry points. The repo is pure Go with no dependencies, so
+# every target is a thin wrapper around the go tool.
+
+GO ?= go
+
+.PHONY: all build test vet race check bench run-all clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race exercises the worker pool and the artifact cache's singleflight
+# path under the race detector (the runner tests spin up concurrent
+# jobs and concurrent lookups for one cache entry).
+race:
+	$(GO) test -race ./internal/runner/ ./cmd/cisim/
+
+# check is the CI gate: build, vet, full tests, and the race pass.
+check: build vet test race
+
+bench:
+	$(GO) test -bench=BenchmarkRunAllQuick -benchtime=1x -run=^$$ .
+
+run-all: build
+	$(GO) run ./cmd/cisim run -quick all

@@ -19,6 +19,7 @@ import (
 	"cisim/internal/exp"
 	"cisim/internal/ideal"
 	"cisim/internal/ooo"
+	"cisim/internal/runner"
 	"cisim/internal/trace"
 	"cisim/internal/workloads"
 )
@@ -57,6 +58,41 @@ func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
 func BenchmarkFig13(b *testing.B)  { benchExperiment(b, "fig13") }
 func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14") }
 func BenchmarkFig17(b *testing.B)  { benchExperiment(b, "fig17") }
+
+// BenchmarkRunAllQuick sweeps every experiment at quick scale under the
+// two artifact-cache regimes: cold resets the shared cache before each
+// sweep (the cost of a fresh `cisim run all` process), warm reuses it (a
+// repeated in-process sweep, where every artifact is memoized). The
+// cold/warm ratio is the harness overhead the cache cannot remove;
+// EXPERIMENTS.md records the measured numbers.
+func BenchmarkRunAllQuick(b *testing.B) {
+	sweep := func(b *testing.B) {
+		b.Helper()
+		for _, e := range exp.All() {
+			r, err := e.Run(exp.Options{Quick: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(r.Tables) == 0 {
+				b.Fatal("no output")
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runner.Artifacts.Reset()
+			sweep(b)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		runner.Artifacts.Reset()
+		sweep(b) // prime the cache outside the timed region
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sweep(b)
+		}
+	})
+}
 
 // --- substrate micro-benchmarks ---
 

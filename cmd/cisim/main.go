@@ -5,8 +5,16 @@
 // Usage:
 //
 //	cisim list                     list experiments and workloads
-//	cisim run all [-quick]         run every experiment
-//	cisim run <id> [-quick]        run one experiment (e.g. fig5, table2)
+//	cisim run [flags] all          run every experiment
+//	cisim run [flags] <id>         run one experiment (e.g. fig5, table2)
+//
+// Run flags: -quick (small inputs), -jobs N (concurrent workload jobs,
+// 0 = GOMAXPROCS), -events FILE (JSONL run-event stream), -json, -plot.
+// Experiment work is decomposed into (experiment, workload) jobs executed
+// by a bounded worker pool over a shared content-addressed artifact
+// cache; results are merged in paper order, so output is identical at
+// any -jobs value. A run summary (wall clock, instructions simulated,
+// cache hit rates) is printed to stderr.
 //	cisim sim [flags] <workload>   one detailed simulation with stats
 //	cisim ideal [flags] <workload> one idealized-model simulation
 //	cisim disasm <workload>        disassemble a program
@@ -24,20 +32,28 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/debug"
 	"strings"
-	"sync"
 	"time"
 
 	"cisim/internal/cache"
 	"cisim/internal/exp"
 	"cisim/internal/ideal"
 	"cisim/internal/ooo"
+	"cisim/internal/runner"
 	"cisim/internal/stats"
 	"cisim/internal/trace"
 	"cisim/internal/workloads"
 )
 
 func main() {
+	// The simulator is a short-lived batch process that allocates one
+	// dyn per fetched instruction; at the default GOGC the collector
+	// runs constantly against a small live set. Trade heap headroom for
+	// throughput unless the user asked for something specific.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(600)
+	}
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
@@ -77,8 +93,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   cisim list                      list experiments and workloads
-  cisim run all [-quick]          run every experiment
-  cisim run <id> [-quick]         run one experiment (fig5, table2, ...)
+  cisim run [flags] all           run every experiment (-quick -jobs N -events FILE -json -plot)
+  cisim run [flags] <id>          run one experiment (fig5, table2, ...)
   cisim sim [flags] <workload>    one detailed simulation
   cisim ideal [flags] <workload>  one idealized-model simulation
   cisim disasm <workload>         disassemble a workload (-file for a source file)
@@ -106,7 +122,9 @@ func cmdRun(args []string) error {
 	quick := fs.Bool("quick", false, "smaller runs (noisier, much faster)")
 	plotFlag := fs.Bool("plot", false, "render figure experiments as ASCII charts too")
 	jsonFlag := fs.Bool("json", false, "emit machine-readable JSON (for 'cisim compare') instead of text")
-	workers := fs.Int("j", 1, "experiments to run concurrently (they are independent; output stays in paper order)")
+	jobs := fs.Int("jobs", 0, "concurrent (experiment, workload) jobs (0 = GOMAXPROCS; output stays in paper order)")
+	fs.IntVar(jobs, "j", 0, "alias for -jobs")
+	events := fs.String("events", "", "write a JSONL run-event stream (job and cache activity) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -127,50 +145,119 @@ func cmdRun(args []string) error {
 		exps[i] = e
 	}
 
-	type outcome struct {
-		r       *exp.Result
-		err     error
-		elapsed time.Duration
+	var sink runner.Sink
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		js := runner.NewJSONLSink(f)
+		sink = js
+		runner.Artifacts.SetSink(js)
+		defer runner.Artifacts.SetSink(nil)
 	}
-	outcomes := make([]outcome, len(exps))
-	if *workers < 1 {
-		*workers = 1
-	}
-	sem := make(chan struct{}, *workers)
-	var wg sync.WaitGroup
-	for i, e := range exps {
-		wg.Add(1)
-		go func(i int, e *exp.Experiment) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			start := time.Now()
-			r, err := e.Run(opt)
-			outcomes[i] = outcome{r: r, err: err, elapsed: time.Since(start)}
-		}(i, e)
-	}
-	wg.Wait()
 
+	// One job per (experiment, workload): finer than whole experiments,
+	// so the pool can overlap slow workloads of one experiment with
+	// another's, and cache-hit jobs drain in microseconds.
+	ws := workloads.All()
+	jobList := make([]runner.Job, 0, len(exps)*len(ws))
+	for _, e := range exps {
+		for _, w := range ws {
+			e, w := e, w
+			jobList = append(jobList, runner.Job{Exp: e.ID, Key: w.Name,
+				Run: func() (interface{}, uint64, error) {
+					p, err := e.RunWorkload(w, opt)
+					var instrs uint64
+					if p != nil {
+						instrs = p.Instrs
+					}
+					return p, instrs, err
+				}})
+		}
+	}
+
+	pool := &runner.Pool{Workers: *jobs, Events: sink}
+	nw := pool.NumWorkers(len(jobList))
+	statsBefore := runner.Artifacts.Stats()
+	if sink != nil {
+		sink.Emit(runner.Event{Ev: "run_start", Jobs: len(jobList), Workers: nw})
+	}
+	start := time.Now()
+	results := pool.Run(jobList)
+	wall := time.Since(start)
+
+	// Merge per-workload partials back into whole experiments, in paper
+	// order.
+	outcomes := make([]outcome, len(exps))
+	for i, e := range exps {
+		parts := make([]*exp.Partial, len(ws))
+		var o outcome
+		for wi := range ws {
+			jr := results[i*len(ws)+wi]
+			o.elapsed += jr.Elapsed
+			if jr.Err != nil && o.err == nil {
+				o.err = jr.Err
+			}
+			parts[wi], _ = jr.Val.(*exp.Partial)
+		}
+		if o.err == nil {
+			o.r, o.err = e.Merge(opt, parts)
+		}
+		outcomes[i] = o
+	}
+
+	renderErr := renderOutcomes(exps, outcomes, *jsonFlag, *plotFlag)
+
+	sum := runner.Summarize(results, nw, wall, runner.Artifacts.Stats().Sub(statsBefore))
+	if sink != nil {
+		sink.Emit(sum.RunEndEvent())
+	}
+	fmt.Fprintf(os.Stderr, "%s", sum.Table())
+	return renderErr
+}
+
+// outcome is one experiment's merged result (or first failure) plus the
+// summed simulation time of its workload jobs.
+type outcome struct {
+	r       *exp.Result
+	err     error
+	elapsed time.Duration
+}
+
+// renderOutcomes prints every healthy experiment (text or JSON) and
+// returns an error aggregating every failure, so one broken experiment
+// neither hides the others' output nor lets the run exit zero.
+func renderOutcomes(exps []*exp.Experiment, outcomes []outcome, jsonMode, plotMode bool) error {
+	var errs []string
 	var jsonResults []exp.JSONResult
 	for i, e := range exps {
 		o := outcomes[i]
 		if o.err != nil {
-			return fmt.Errorf("%s: %w", e.ID, o.err)
+			errs = append(errs, o.err.Error())
+			continue
 		}
-		if *jsonFlag {
+		if jsonMode {
 			jsonResults = append(jsonResults, exp.ToJSON(e, o.r))
 			continue
 		}
 		fmt.Printf("%s\npaper: %s\n\n%s", e.Title, e.Paper, o.r)
-		if *plotFlag {
+		if plotMode {
 			for _, p := range o.r.Plots {
 				fmt.Println(p.Render())
 			}
 		}
 		fmt.Printf("(%s)\n\n", o.elapsed.Round(time.Millisecond))
 	}
-	if *jsonFlag {
-		return exp.WriteJSON(os.Stdout, jsonResults)
+	if jsonMode {
+		if err := exp.WriteJSON(os.Stdout, jsonResults); err != nil {
+			return err
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("%d of %d experiments failed:\n  %s",
+			len(errs), len(exps), strings.Join(errs, "\n  "))
 	}
 	return nil
 }

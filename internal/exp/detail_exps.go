@@ -8,7 +8,6 @@ import (
 	"cisim/internal/ooo"
 	"cisim/internal/plot"
 	"cisim/internal/stats"
-	"cisim/internal/workloads"
 )
 
 func init() {
@@ -16,73 +15,163 @@ func init() {
 		ID:    "fig5",
 		Title: "Figure 5: BASE / CI / CI-I IPC for three window sizes",
 		Paper: "CI clearly above BASE for the less predictable workloads; CI-I only 1-4% above CI",
-		Run:   runFig5,
+		tables: func(o Options) []*stats.Table {
+			return []*stats.Table{stats.NewTable("Figure 5: IPC with and without control independence",
+				"benchmark", "window", "BASE", "CI", "CI-I")}
+		},
+		workload: wlFig5,
 	})
 	register(&Experiment{
 		ID:    "fig6",
 		Title: "Figure 6: percent IPC improvement of CI over BASE",
 		Paper: "10-30% improvements; go the most, vortex the least; most variation between 128 and 256",
-		Run:   runFig6,
+		tables: func(o Options) []*stats.Table {
+			return []*stats.Table{stats.NewTable("Figure 6: percent improvement in IPC due to control independence",
+				"benchmark", "window", "CI vs BASE", "CI-I vs BASE")}
+		},
+		workload: wlFig6,
+		finish: func(o Options, r *Result) {
+			r.Plots = append(r.Plots, barsFromTable(r.Tables[0],
+				"Figure 6: percent improvement over BASE", []int{0, 1}, []int{2, 3}, "%"))
+		},
 	})
 	register(&Experiment{
 		ID:    "table2",
 		Title: "Table 2: restart/redispatch statistics (256-entry window)",
 		Paper: "reconvergence present for >60% of mispredictions (less for vortex); removed <14, inserted <20; >50 CI instructions; 2-3 CI reissues from new names",
-		Run:   runTable2,
+		tables: func(o Options) []*stats.Table {
+			return []*stats.Table{stats.NewTable("Table 2: statistics for restart/redispatch sequences",
+				"benchmark", "% reconverge", "avg removed CD", "avg inserted CD", "avg CI instr", "avg CI new names", "avg restart cycles")}
+		},
+		workload: wlTable2,
 	})
 	register(&Experiment{
 		ID:    "table3",
 		Title: "Table 3: work saved by control independence (256-entry window)",
 		Paper: "fetch saved 5-70% of retired instructions; work saved 4-39%; compress extreme, vortex minimal",
-		Run:   runTable3,
+		tables: func(o Options) []*stats.Table {
+			return []*stats.Table{stats.NewTable("Table 3: work saved by exploiting control independence (fraction of retired instructions)",
+				"benchmark", "fetch saved", "work saved", "work discarded", "had only fetched")}
+		},
+		workload: wlTable3,
 	})
 	register(&Experiment{
 		ID:    "table4",
 		Title: "Table 4: instruction issues per retired instruction (256-entry window)",
 		Paper: "1.04-1.24 without CI, 1.10-2.44 with CI; compress extreme through memory-order violations",
-		Run:   runTable4,
+		tables: func(o Options) []*stats.Table {
+			t := stats.NewTable("Table 4: instruction issues per retired instruction",
+				"benchmark", "noCI total", "noCI mem viol", "CI total", "CI mem viol", "CI reg viol")
+			t.Note = "violation columns count root-cause reissues per retired instruction; chains reissue on top"
+			return []*stats.Table{t}
+		},
+		workload: wlTable4,
 	})
 	register(&Experiment{
 		ID:    "fig8",
 		Title: "Figure 8: simple vs optimal preemption (256-entry window)",
 		Paper: "simple performs essentially as well as optimal; restarts last only 1-2 cycles",
-		Run:   runFig8,
+		tables: func(o Options) []*stats.Table {
+			return []*stats.Table{stats.NewTable("Figure 8: simple vs optimal preemption",
+				"benchmark", "simple IPC", "optimal IPC", "simple vs optimal", "preemptions", "case-3")}
+		},
+		workload: wlFig8,
+		finish: func(o Options, r *Result) {
+			r.Plots = append(r.Plots, barsFromTable(r.Tables[0],
+				"Figure 8: IPC under the preemption policies", []int{0}, []int{1, 2}, ""))
+		},
 	})
 	register(&Experiment{
 		ID:    "fig9",
 		Title: "Figure 9: branch completion models and false mispredictions (256-entry window)",
 		Paper: "spec-C about +10% over non-spec; HFM adds little except for compress (up to 37% under spec)",
-		Run:   runFig9,
+		tables: func(o Options) []*stats.Table {
+			cols := []string{"benchmark"}
+			for _, c := range fig9Cases {
+				cols = append(cols, c.name)
+			}
+			t := stats.NewTable("Figure 9a: IPC under the branch completion models", cols...)
+			d := stats.NewTable("Figure 9b: percent IPC differences",
+				"benchmark", "spec-C/non-spec", "spec-D/non-spec", "spec/non-spec",
+				"spec-C-HFM/spec-C", "spec-D-HFM/spec-D", "spec-HFM/spec")
+			h := stats.NewTable("Figure 9c (§A.2.2): confidence-delayed completion under spec",
+				"benchmark", "spec", "spec + confidence delay", "difference")
+			h.Note = "the paper's early experiments found confidence-based delay unprofitable (more true mispredictions delayed than false ones prevented)"
+			return []*stats.Table{t, d, h}
+		},
+		workload: wlFig9,
+		finish: func(o Options, r *Result) {
+			r.Plots = append(r.Plots, barsFromTable(r.Tables[1],
+				"Figure 9b: percent IPC differences between completion models", []int{0}, []int{1, 2, 3, 4, 5, 6}, "%"))
+		},
 	})
 	register(&Experiment{
 		ID:    "fig10",
 		Title: "Figure 10: true/false misprediction history (TFR) detection",
 		Paper: "delaying 10% of true mispredictions catches 60-95% of false ones with dynamic(xor); static fails on compress",
-		Run:   runFig10,
+		tables: func(o Options) []*stats.Table {
+			t := stats.NewTable("Figure 10: detecting false mispredictions from true/false history",
+				"benchmark", "true misps", "false misps",
+				"static @10%T", "static @20%T", "dyn(pc) @10%T", "dyn(pc) @20%T", "dyn(xor) @10%T", "dyn(xor) @20%T")
+			t.Note = "columns report the fraction of false mispredictions identified when delaying at most 10%/20% of true mispredictions"
+			return []*stats.Table{t}
+		},
+		workload: wlFig10,
 	})
 	register(&Experiment{
 		ID:    "fig12",
 		Title: "Figure 12: impact of oracle global branch history (256-entry window)",
 		Paper: "at most plus or minus 5% IPC",
-		Run:   runFig12,
+		tables: func(o Options) []*stats.Table {
+			return []*stats.Table{stats.NewTable("Figure 12: impact of oracle global branch history",
+				"benchmark", "timing history IPC", "oracle history IPC", "difference")}
+		},
+		workload: wlFig12,
 	})
 	register(&Experiment{
 		ID:    "fig13",
 		Title: "Figure 13: evaluation of re-predict sequences (256-entry window)",
 		Paper: "no re-prediction (CI-NR) forfeits half or more of CI's benefit; CI within 5% of oracle re-prediction except compress",
-		Run:   runFig13,
+		tables: func(o Options) []*stats.Table {
+			return []*stats.Table{stats.NewTable("Figure 13: evaluation of re-predictions",
+				"benchmark", "base", "CI-NR", "CI", "CI-OR", "CI-NR vs base", "CI vs base", "CI-OR vs base")}
+		},
+		workload: wlFig13,
+		finish: func(o Options, r *Result) {
+			r.Plots = append(r.Plots, barsFromTable(r.Tables[0],
+				"Figure 13: percent improvement over base", []int{0}, []int{5, 6, 7}, "%"))
+		},
 	})
 	register(&Experiment{
 		ID:    "fig14",
 		Title: "Figure 14: ROB segment size (256-entry window)",
 		Paper: "4-instruction segments within 5% of 1-instruction; 16-instruction segments cost up to half the CI benefit on irregular control",
-		Run:   runFig14,
+		tables: func(o Options) []*stats.Table {
+			return []*stats.Table{stats.NewTable("Figure 14: varying ROB segment size",
+				"benchmark", "base", "seg 1", "seg 4", "seg 16", "seg-1 vs base", "seg-4 vs base", "seg-16 vs base")}
+		},
+		workload: wlFig14,
+		finish: func(o Options, r *Result) {
+			r.Plots = append(r.Plots, barsFromTable(r.Tables[0],
+				"Figure 14: percent improvement over base by segment size", []int{0}, []int{5, 6, 7}, "%"))
+		},
 	})
 	register(&Experiment{
 		ID:    "fig17",
 		Title: "Figure 17: hardware heuristics for reconvergent points (256-entry window)",
 		Paper: "return is generally the best single heuristic; combined heuristics reach 1/3 (gcc) to 3/4 (jpeg) of full CI",
-		Run:   runFig17,
+		tables: func(o Options) []*stats.Table {
+			cols := []string{"benchmark"}
+			for _, c := range fig17Combos {
+				cols = append(cols, c.name)
+			}
+			return []*stats.Table{stats.NewTable("Figure 17: percent improvement over BASE, heuristic reconvergence", cols...)}
+		},
+		workload: wlFig17,
+		finish: func(o Options, r *Result) {
+			r.Plots = append(r.Plots, barsFromTable(r.Tables[0],
+				"Figure 17: percent improvement over BASE by reconvergence source", []int{0}, []int{1, 2, 3, 4, 5, 6, 7, 8, 9}, "%"))
+		},
 	})
 }
 
@@ -94,69 +183,50 @@ func fig5Windows(o Options) []int {
 	return []int{128, 256, 512}
 }
 
-func runDetailed(w *workloads.Workload, o Options, c ooo.Config) (*ooo.Result, error) {
-	p := programFor(w, o)
-	return ooo.Run(p, c)
-}
-
-func runFig5(o Options) (*Result, error) {
-	t := stats.NewTable("Figure 5: IPC with and without control independence",
-		"benchmark", "window", "BASE", "CI", "CI-I")
-	res := &Result{ID: "fig5", Tables: []*stats.Table{t}}
+func wlFig5(c *wctx) error {
 	machines := []ooo.Machine{ooo.Base, ooo.CI, ooo.CIInstant}
-	for _, w := range workloads.All() {
-		p := programFor(w, o)
-		curves := make([]plot.Series, len(machines))
-		for mi, m := range machines {
-			curves[mi].Name = m.String()
-		}
-		for _, win := range fig5Windows(o) {
-			row := []interface{}{w.Name, win}
-			for mi, mach := range machines {
-				r, err := ooo.Run(p, ooo.Config{Machine: mach, WindowSize: win})
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, fmtF(r.Stats.IPC()))
-				curves[mi].Points = append(curves[mi].Points, plot.Point{X: float64(win), Y: r.Stats.IPC()})
-			}
-			t.AddRow(row...)
-		}
-		res.Plots = append(res.Plots, Plot{
-			Title:  "Figure 5 (" + w.Name + "): IPC vs window size",
-			Series: curves,
-		})
+	curves := make([]plot.Series, len(machines))
+	for mi, m := range machines {
+		curves[mi].Name = m.String()
 	}
-	return res, nil
+	for _, win := range fig5Windows(c.o) {
+		row := Row{c.w.Name, win}
+		for mi, mach := range machines {
+			r, err := c.detailed(ooo.Config{Machine: mach, WindowSize: win})
+			if err != nil {
+				return err
+			}
+			row = append(row, fmtF(r.Stats.IPC()))
+			curves[mi].Points = append(curves[mi].Points, plot.Point{X: float64(win), Y: r.Stats.IPC()})
+		}
+		c.row(0, row...)
+	}
+	c.plot(Plot{
+		Title:  "Figure 5 (" + c.w.Name + "): IPC vs window size",
+		Series: curves,
+	})
+	return nil
 }
 
-func runFig6(o Options) (*Result, error) {
-	t := stats.NewTable("Figure 6: percent improvement in IPC due to control independence",
-		"benchmark", "window", "CI vs BASE", "CI-I vs BASE")
-	for _, w := range workloads.All() {
-		p := programFor(w, o)
-		for _, win := range fig5Windows(o) {
-			base, err := ooo.Run(p, ooo.Config{Machine: ooo.Base, WindowSize: win})
-			if err != nil {
-				return nil, err
-			}
-			ci, err := ooo.Run(p, ooo.Config{Machine: ooo.CI, WindowSize: win})
-			if err != nil {
-				return nil, err
-			}
-			cii, err := ooo.Run(p, ooo.Config{Machine: ooo.CIInstant, WindowSize: win})
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(w.Name, win,
-				stats.Percent(stats.PctImprove(base.Stats.IPC(), ci.Stats.IPC())),
-				stats.Percent(stats.PctImprove(base.Stats.IPC(), cii.Stats.IPC())))
+func wlFig6(c *wctx) error {
+	for _, win := range fig5Windows(c.o) {
+		base, err := c.detailed(ooo.Config{Machine: ooo.Base, WindowSize: win})
+		if err != nil {
+			return err
 		}
+		ci, err := c.detailed(ooo.Config{Machine: ooo.CI, WindowSize: win})
+		if err != nil {
+			return err
+		}
+		cii, err := c.detailed(ooo.Config{Machine: ooo.CIInstant, WindowSize: win})
+		if err != nil {
+			return err
+		}
+		c.row(0, c.w.Name, win,
+			stats.Percent(stats.PctImprove(base.Stats.IPC(), ci.Stats.IPC())),
+			stats.Percent(stats.PctImprove(base.Stats.IPC(), cii.Stats.IPC())))
 	}
-	res := &Result{ID: "fig6", Tables: []*stats.Table{t}}
-	res.Plots = append(res.Plots, barsFromTable(t,
-		"Figure 6: percent improvement over BASE", []int{0, 1}, []int{2, 3}, "%"))
-	return res, nil
+	return nil
 }
 
 func table2Window(o Options) int {
@@ -166,193 +236,148 @@ func table2Window(o Options) int {
 	return 256
 }
 
-func runTable2(o Options) (*Result, error) {
-	t := stats.NewTable("Table 2: statistics for restart/redispatch sequences",
-		"benchmark", "% reconverge", "avg removed CD", "avg inserted CD", "avg CI instr", "avg CI new names", "avg restart cycles")
-	for _, w := range workloads.All() {
-		r, err := runDetailed(w, o, ooo.Config{Machine: ooo.CI, WindowSize: table2Window(o)})
-		if err != nil {
-			return nil, err
-		}
-		s := &r.Stats
-		t.AddRow(w.Name,
-			stats.Percent(100*s.ReconvRate()),
-			stats.Ratio(s.RemovedCD, s.Reconverged),
-			stats.Ratio(s.InsertedCD, s.Reconverged),
-			stats.Ratio(s.CIInstructions, s.Reconverged),
-			stats.Ratio(s.CINewNames, s.Reconverged),
-			stats.Ratio(s.RestartCycles, s.Reconverged))
+func wlTable2(c *wctx) error {
+	r, err := c.detailed(ooo.Config{Machine: ooo.CI, WindowSize: table2Window(c.o)})
+	if err != nil {
+		return err
 	}
-	return &Result{ID: "table2", Tables: []*stats.Table{t}}, nil
+	s := &r.Stats
+	c.row(0, c.w.Name,
+		stats.Percent(100*s.ReconvRate()),
+		stats.Ratio(s.RemovedCD, s.Reconverged),
+		stats.Ratio(s.InsertedCD, s.Reconverged),
+		stats.Ratio(s.CIInstructions, s.Reconverged),
+		stats.Ratio(s.CINewNames, s.Reconverged),
+		stats.Ratio(s.RestartCycles, s.Reconverged))
+	return nil
 }
 
-func runTable3(o Options) (*Result, error) {
-	t := stats.NewTable("Table 3: work saved by exploiting control independence (fraction of retired instructions)",
-		"benchmark", "fetch saved", "work saved", "work discarded", "had only fetched")
-	for _, w := range workloads.All() {
-		r, err := runDetailed(w, o, ooo.Config{Machine: ooo.CI, WindowSize: table2Window(o)})
-		if err != nil {
-			return nil, err
-		}
-		s := &r.Stats
-		t.AddRow(w.Name,
-			stats.Percent(100*stats.Ratio(s.FetchSaved, s.Retired)),
-			stats.Percent(100*stats.Ratio(s.WorkSaved, s.Retired)),
-			stats.Percent(100*stats.Ratio(s.WorkDiscarded, s.Retired)),
-			stats.Percent(100*stats.Ratio(s.OnlyFetched, s.Retired)))
+func wlTable3(c *wctx) error {
+	r, err := c.detailed(ooo.Config{Machine: ooo.CI, WindowSize: table2Window(c.o)})
+	if err != nil {
+		return err
 	}
-	return &Result{ID: "table3", Tables: []*stats.Table{t}}, nil
+	s := &r.Stats
+	c.row(0, c.w.Name,
+		stats.Percent(100*stats.Ratio(s.FetchSaved, s.Retired)),
+		stats.Percent(100*stats.Ratio(s.WorkSaved, s.Retired)),
+		stats.Percent(100*stats.Ratio(s.WorkDiscarded, s.Retired)),
+		stats.Percent(100*stats.Ratio(s.OnlyFetched, s.Retired)))
+	return nil
 }
 
-func runTable4(o Options) (*Result, error) {
-	t := stats.NewTable("Table 4: instruction issues per retired instruction",
-		"benchmark", "noCI total", "noCI mem viol", "CI total", "CI mem viol", "CI reg viol")
-	for _, w := range workloads.All() {
-		base, err := runDetailed(w, o, ooo.Config{Machine: ooo.Base, WindowSize: table2Window(o)})
-		if err != nil {
-			return nil, err
-		}
-		ci, err := runDetailed(w, o, ooo.Config{Machine: ooo.CI, WindowSize: table2Window(o)})
-		if err != nil {
-			return nil, err
-		}
-		bs, cs := &base.Stats, &ci.Stats
-		t.AddRow(w.Name,
-			fmt.Sprintf("%.3f", bs.IssuesPerRetired()),
-			fmt.Sprintf("%.4f", stats.Ratio(bs.MemViolations, bs.Retired)),
-			fmt.Sprintf("%.3f", cs.IssuesPerRetired()),
-			fmt.Sprintf("%.4f", stats.Ratio(cs.MemViolations, cs.Retired)),
-			fmt.Sprintf("%.4f", stats.Ratio(cs.RegViolations, cs.Retired)))
+func wlTable4(c *wctx) error {
+	base, err := c.detailed(ooo.Config{Machine: ooo.Base, WindowSize: table2Window(c.o)})
+	if err != nil {
+		return err
 	}
-	t.Note = "violation columns count root-cause reissues per retired instruction; chains reissue on top"
-	return &Result{ID: "table4", Tables: []*stats.Table{t}}, nil
+	ci, err := c.detailed(ooo.Config{Machine: ooo.CI, WindowSize: table2Window(c.o)})
+	if err != nil {
+		return err
+	}
+	bs, cs := &base.Stats, &ci.Stats
+	c.row(0, c.w.Name,
+		fmt.Sprintf("%.3f", bs.IssuesPerRetired()),
+		fmt.Sprintf("%.4f", stats.Ratio(bs.MemViolations, bs.Retired)),
+		fmt.Sprintf("%.3f", cs.IssuesPerRetired()),
+		fmt.Sprintf("%.4f", stats.Ratio(cs.MemViolations, cs.Retired)),
+		fmt.Sprintf("%.4f", stats.Ratio(cs.RegViolations, cs.Retired)))
+	return nil
 }
 
-func runFig8(o Options) (*Result, error) {
-	t := stats.NewTable("Figure 8: simple vs optimal preemption",
-		"benchmark", "simple IPC", "optimal IPC", "simple vs optimal", "preemptions", "case-3")
-	for _, w := range workloads.All() {
-		simple, err := runDetailed(w, o, ooo.Config{Machine: ooo.CI, WindowSize: table2Window(o), Preempt: ooo.PreemptSimple})
-		if err != nil {
-			return nil, err
-		}
-		optimal, err := runDetailed(w, o, ooo.Config{Machine: ooo.CI, WindowSize: table2Window(o), Preempt: ooo.PreemptOptimal})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(w.Name, fmtF(simple.Stats.IPC()), fmtF(optimal.Stats.IPC()),
-			stats.Percent(stats.PctImprove(optimal.Stats.IPC(), simple.Stats.IPC())),
-			int(optimal.Stats.Preemptions), int(optimal.Stats.Case3Preemptions))
+func wlFig8(c *wctx) error {
+	simple, err := c.detailed(ooo.Config{Machine: ooo.CI, WindowSize: table2Window(c.o), Preempt: ooo.PreemptSimple})
+	if err != nil {
+		return err
 	}
-	res := &Result{ID: "fig8", Tables: []*stats.Table{t}}
-	res.Plots = append(res.Plots, barsFromTable(t,
-		"Figure 8: IPC under the preemption policies", []int{0}, []int{1, 2}, ""))
-	return res, nil
+	optimal, err := c.detailed(ooo.Config{Machine: ooo.CI, WindowSize: table2Window(c.o), Preempt: ooo.PreemptOptimal})
+	if err != nil {
+		return err
+	}
+	c.row(0, c.w.Name, fmtF(simple.Stats.IPC()), fmtF(optimal.Stats.IPC()),
+		stats.Percent(stats.PctImprove(optimal.Stats.IPC(), simple.Stats.IPC())),
+		int(optimal.Stats.Preemptions), int(optimal.Stats.Case3Preemptions))
+	return nil
 }
 
-func runFig9(o Options) (*Result, error) {
-	type cmCase struct {
-		name string
-		cm   ooo.Completion
-		hfm  bool
-	}
-	cases := []cmCase{
-		{"non-spec", ooo.NonSpec, false},
-		{"spec-D", ooo.SpecD, false},
-		{"spec-D-HFM", ooo.SpecD, true},
-		{"spec-C", ooo.SpecC, false},
-		{"spec-C-HFM", ooo.SpecC, true},
-		{"spec", ooo.Spec, false},
-		{"spec-HFM", ooo.Spec, true},
-	}
-	cols := []string{"benchmark"}
-	for _, c := range cases {
-		cols = append(cols, c.name)
-	}
-	t := stats.NewTable("Figure 9a: IPC under the branch completion models", cols...)
-	d := stats.NewTable("Figure 9b: percent IPC differences",
-		"benchmark", "spec-C/non-spec", "spec-D/non-spec", "spec/non-spec",
-		"spec-C-HFM/spec-C", "spec-D-HFM/spec-D", "spec-HFM/spec")
-	for _, w := range workloads.All() {
-		ipc := map[string]float64{}
-		row := []interface{}{w.Name}
-		for _, c := range cases {
-			r, err := runDetailed(w, o, ooo.Config{
-				Machine: ooo.CI, WindowSize: table2Window(o),
-				Completion: c.cm, HideFalseMispredictions: c.hfm,
-			})
-			if err != nil {
-				return nil, err
-			}
-			ipc[c.name] = r.Stats.IPC()
-			row = append(row, fmtF(r.Stats.IPC()))
+// fig9Cases are the branch completion models of Figure 9a, in column
+// order.
+var fig9Cases = []struct {
+	name string
+	cm   ooo.Completion
+	hfm  bool
+}{
+	{"non-spec", ooo.NonSpec, false},
+	{"spec-D", ooo.SpecD, false},
+	{"spec-D-HFM", ooo.SpecD, true},
+	{"spec-C", ooo.SpecC, false},
+	{"spec-C-HFM", ooo.SpecC, true},
+	{"spec", ooo.Spec, false},
+	{"spec-HFM", ooo.Spec, true},
+}
+
+func wlFig9(c *wctx) error {
+	ipc := map[string]float64{}
+	row := Row{c.w.Name}
+	for _, cs := range fig9Cases {
+		r, err := c.detailed(ooo.Config{
+			Machine: ooo.CI, WindowSize: table2Window(c.o),
+			Completion: cs.cm, HideFalseMispredictions: cs.hfm,
+		})
+		if err != nil {
+			return err
 		}
-		t.AddRow(row...)
-		d.AddRow(w.Name,
-			stats.Percent(stats.PctImprove(ipc["non-spec"], ipc["spec-C"])),
-			stats.Percent(stats.PctImprove(ipc["non-spec"], ipc["spec-D"])),
-			stats.Percent(stats.PctImprove(ipc["non-spec"], ipc["spec"])),
-			stats.Percent(stats.PctImprove(ipc["spec-C"], ipc["spec-C-HFM"])),
-			stats.Percent(stats.PctImprove(ipc["spec-D"], ipc["spec-D-HFM"])),
-			stats.Percent(stats.PctImprove(ipc["spec"], ipc["spec-HFM"])))
+		ipc[cs.name] = r.Stats.IPC()
+		row = append(row, fmtF(r.Stats.IPC()))
 	}
+	c.row(0, row...)
+	c.row(1, c.w.Name,
+		stats.Percent(stats.PctImprove(ipc["non-spec"], ipc["spec-C"])),
+		stats.Percent(stats.PctImprove(ipc["non-spec"], ipc["spec-D"])),
+		stats.Percent(stats.PctImprove(ipc["non-spec"], ipc["spec"])),
+		stats.Percent(stats.PctImprove(ipc["spec-C"], ipc["spec-C-HFM"])),
+		stats.Percent(stats.PctImprove(ipc["spec-D"], ipc["spec-D-HFM"])),
+		stats.Percent(stats.PctImprove(ipc["spec"], ipc["spec-HFM"])))
 	// §A.2.2's hedge: confidence-gated completion under the spec model.
-	h := stats.NewTable("Figure 9c (§A.2.2): confidence-delayed completion under spec",
-		"benchmark", "spec", "spec + confidence delay", "difference")
-	for _, w := range workloads.All() {
-		plain, err := runDetailed(w, o, ooo.Config{Machine: ooo.CI, WindowSize: table2Window(o), Completion: ooo.Spec})
-		if err != nil {
-			return nil, err
-		}
-		hedged, err := runDetailed(w, o, ooo.Config{Machine: ooo.CI, WindowSize: table2Window(o), Completion: ooo.Spec, ConfidenceDelay: true})
-		if err != nil {
-			return nil, err
-		}
-		h.AddRow(w.Name, fmtF(plain.Stats.IPC()), fmtF(hedged.Stats.IPC()),
-			stats.Percent(stats.PctImprove(plain.Stats.IPC(), hedged.Stats.IPC())))
+	hedged, err := c.detailed(ooo.Config{Machine: ooo.CI, WindowSize: table2Window(c.o),
+		Completion: ooo.Spec, ConfidenceDelay: true})
+	if err != nil {
+		return err
 	}
-	h.Note = "the paper's early experiments found confidence-based delay unprofitable (more true mispredictions delayed than false ones prevented)"
-	res := &Result{ID: "fig9", Tables: []*stats.Table{t, d, h}}
-	res.Plots = append(res.Plots, barsFromTable(d,
-		"Figure 9b: percent IPC differences between completion models", []int{0}, []int{1, 2, 3, 4, 5, 6}, "%"))
-	return res, nil
+	c.row(2, c.w.Name, fmtF(ipc["spec"]), fmtF(hedged.Stats.IPC()),
+		stats.Percent(stats.PctImprove(ipc["spec"], hedged.Stats.IPC())))
+	return nil
 }
 
-// runFig10 reproduces the TFR analysis: group mispredictions per static
+// wlFig10 reproduces the TFR analysis: group mispredictions per static
 // branch (static) or per TFR pattern (dynamic), sort groups by false
 // misprediction rate, and report the fraction of false mispredictions
 // caught when at most 10% / 20% of true mispredictions are delayed.
-func runFig10(o Options) (*Result, error) {
-	t := stats.NewTable("Figure 10: detecting false mispredictions from true/false history",
-		"benchmark", "true misps", "false misps",
-		"static @10%T", "static @20%T", "dyn(pc) @10%T", "dyn(pc) @20%T", "dyn(xor) @10%T", "dyn(xor) @20%T")
-	for _, w := range workloads.All() {
-		r, err := runDetailed(w, o, ooo.Config{
-			Machine: ooo.CI, WindowSize: table2Window(o),
-			Completion: ooo.Spec, RecordMisps: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		evs := r.MispEvents
-		var trues, falses int
-		for _, e := range evs {
-			if e.False {
-				falses++
-			} else {
-				trues++
-			}
-		}
-		s10, s20 := tfrCurve(evs, schemeStatic)
-		p10, p20 := tfrCurve(evs, schemePC)
-		x10, x20 := tfrCurve(evs, schemeXor)
-		t.AddRow(w.Name, trues, falses,
-			stats.Percent(100*s10), stats.Percent(100*s20),
-			stats.Percent(100*p10), stats.Percent(100*p20),
-			stats.Percent(100*x10), stats.Percent(100*x20))
+func wlFig10(c *wctx) error {
+	r, err := c.detailed(ooo.Config{
+		Machine: ooo.CI, WindowSize: table2Window(c.o),
+		Completion: ooo.Spec, RecordMisps: true,
+	})
+	if err != nil {
+		return err
 	}
-	t.Note = "columns report the fraction of false mispredictions identified when delaying at most 10%/20% of true mispredictions"
-	return &Result{ID: "fig10", Tables: []*stats.Table{t}}, nil
+	evs := r.MispEvents
+	var trues, falses int
+	for _, e := range evs {
+		if e.False {
+			falses++
+		} else {
+			trues++
+		}
+	}
+	s10, s20 := tfrCurve(evs, schemeStatic)
+	p10, p20 := tfrCurve(evs, schemePC)
+	x10, x20 := tfrCurve(evs, schemeXor)
+	c.row(0, c.w.Name, trues, falses,
+		stats.Percent(100*s10), stats.Percent(100*s20),
+		stats.Percent(100*p10), stats.Percent(100*p20),
+		stats.Percent(100*x10), stats.Percent(100*x20))
+	return nil
 }
 
 type tfrScheme int
@@ -404,11 +429,20 @@ func tfrCurve(evs []ooo.MispEvent, scheme tfrScheme) (at10, at20 float64) {
 	if totalF == 0 {
 		return 0, 0
 	}
-	// Sort by false misprediction rate, highest first.
+	// Sort by false misprediction rate, highest first. Ties break on the
+	// category counts: list comes from map iteration, and the cumulative
+	// sampling below must not depend on that order. Categories equal in
+	// all three keys are interchangeable for the prefix sums.
 	sort.Slice(list, func(i, j int) bool {
 		ri := float64(list[i].falses) / float64(list[i].falses+list[i].trues)
 		rj := float64(list[j].falses) / float64(list[j].falses+list[j].trues)
-		return ri > rj
+		if ri != rj {
+			return ri > rj
+		}
+		if list[i].falses != list[j].falses {
+			return list[i].falses > list[j].falses
+		}
+		return list[i].trues > list[j].trues
 	})
 	cumT, cumF := 0, 0
 	set10, set20 := false, false
@@ -433,117 +467,92 @@ func tfrCurve(evs []ooo.MispEvent, scheme tfrScheme) (at10, at20 float64) {
 	return at10, at20
 }
 
-func runFig12(o Options) (*Result, error) {
-	t := stats.NewTable("Figure 12: impact of oracle global branch history",
-		"benchmark", "timing history IPC", "oracle history IPC", "difference")
-	for _, w := range workloads.All() {
-		plain, err := runDetailed(w, o, ooo.Config{Machine: ooo.CI, WindowSize: table2Window(o)})
-		if err != nil {
-			return nil, err
-		}
-		oh, err := runDetailed(w, o, ooo.Config{Machine: ooo.CI, WindowSize: table2Window(o), OracleGlobalHistory: true})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(w.Name, fmtF(plain.Stats.IPC()), fmtF(oh.Stats.IPC()),
-			stats.Percent(stats.PctImprove(plain.Stats.IPC(), oh.Stats.IPC())))
+func wlFig12(c *wctx) error {
+	plain, err := c.detailed(ooo.Config{Machine: ooo.CI, WindowSize: table2Window(c.o)})
+	if err != nil {
+		return err
 	}
-	return &Result{ID: "fig12", Tables: []*stats.Table{t}}, nil
+	oh, err := c.detailed(ooo.Config{Machine: ooo.CI, WindowSize: table2Window(c.o), OracleGlobalHistory: true})
+	if err != nil {
+		return err
+	}
+	c.row(0, c.w.Name, fmtF(plain.Stats.IPC()), fmtF(oh.Stats.IPC()),
+		stats.Percent(stats.PctImprove(plain.Stats.IPC(), oh.Stats.IPC())))
+	return nil
 }
 
-func runFig13(o Options) (*Result, error) {
-	t := stats.NewTable("Figure 13: evaluation of re-predictions",
-		"benchmark", "base", "CI-NR", "CI", "CI-OR", "CI-NR vs base", "CI vs base", "CI-OR vs base")
-	for _, w := range workloads.All() {
-		base, err := runDetailed(w, o, ooo.Config{Machine: ooo.Base, WindowSize: table2Window(o)})
-		if err != nil {
-			return nil, err
-		}
-		ipc := map[ooo.Repredict]float64{}
-		for _, rp := range []ooo.Repredict{ooo.RepredictNone, ooo.RepredictHeuristic, ooo.RepredictOracle} {
-			r, err := runDetailed(w, o, ooo.Config{Machine: ooo.CI, WindowSize: table2Window(o), Repredict: rp})
-			if err != nil {
-				return nil, err
-			}
-			ipc[rp] = r.Stats.IPC()
-		}
-		b := base.Stats.IPC()
-		t.AddRow(w.Name, fmtF(b), fmtF(ipc[ooo.RepredictNone]), fmtF(ipc[ooo.RepredictHeuristic]), fmtF(ipc[ooo.RepredictOracle]),
-			stats.Percent(stats.PctImprove(b, ipc[ooo.RepredictNone])),
-			stats.Percent(stats.PctImprove(b, ipc[ooo.RepredictHeuristic])),
-			stats.Percent(stats.PctImprove(b, ipc[ooo.RepredictOracle])))
+func wlFig13(c *wctx) error {
+	base, err := c.detailed(ooo.Config{Machine: ooo.Base, WindowSize: table2Window(c.o)})
+	if err != nil {
+		return err
 	}
-	res := &Result{ID: "fig13", Tables: []*stats.Table{t}}
-	res.Plots = append(res.Plots, barsFromTable(t,
-		"Figure 13: percent improvement over base", []int{0}, []int{5, 6, 7}, "%"))
-	return res, nil
+	ipc := map[ooo.Repredict]float64{}
+	for _, rp := range []ooo.Repredict{ooo.RepredictNone, ooo.RepredictHeuristic, ooo.RepredictOracle} {
+		r, err := c.detailed(ooo.Config{Machine: ooo.CI, WindowSize: table2Window(c.o), Repredict: rp})
+		if err != nil {
+			return err
+		}
+		ipc[rp] = r.Stats.IPC()
+	}
+	b := base.Stats.IPC()
+	c.row(0, c.w.Name, fmtF(b), fmtF(ipc[ooo.RepredictNone]), fmtF(ipc[ooo.RepredictHeuristic]), fmtF(ipc[ooo.RepredictOracle]),
+		stats.Percent(stats.PctImprove(b, ipc[ooo.RepredictNone])),
+		stats.Percent(stats.PctImprove(b, ipc[ooo.RepredictHeuristic])),
+		stats.Percent(stats.PctImprove(b, ipc[ooo.RepredictOracle])))
+	return nil
 }
 
-func runFig14(o Options) (*Result, error) {
-	t := stats.NewTable("Figure 14: varying ROB segment size",
-		"benchmark", "base", "seg 1", "seg 4", "seg 16", "seg-1 vs base", "seg-4 vs base", "seg-16 vs base")
-	for _, w := range workloads.All() {
-		base, err := runDetailed(w, o, ooo.Config{Machine: ooo.Base, WindowSize: table2Window(o)})
-		if err != nil {
-			return nil, err
-		}
-		ipc := map[int]float64{}
-		for _, seg := range []int{1, 4, 16} {
-			r, err := runDetailed(w, o, ooo.Config{Machine: ooo.CI, WindowSize: table2Window(o), SegmentSize: seg})
-			if err != nil {
-				return nil, err
-			}
-			ipc[seg] = r.Stats.IPC()
-		}
-		b := base.Stats.IPC()
-		t.AddRow(w.Name, fmtF(b), fmtF(ipc[1]), fmtF(ipc[4]), fmtF(ipc[16]),
-			stats.Percent(stats.PctImprove(b, ipc[1])),
-			stats.Percent(stats.PctImprove(b, ipc[4])),
-			stats.Percent(stats.PctImprove(b, ipc[16])))
+func wlFig14(c *wctx) error {
+	base, err := c.detailed(ooo.Config{Machine: ooo.Base, WindowSize: table2Window(c.o)})
+	if err != nil {
+		return err
 	}
-	res := &Result{ID: "fig14", Tables: []*stats.Table{t}}
-	res.Plots = append(res.Plots, barsFromTable(t,
-		"Figure 14: percent improvement over base by segment size", []int{0}, []int{5, 6, 7}, "%"))
-	return res, nil
+	ipc := map[int]float64{}
+	for _, seg := range []int{1, 4, 16} {
+		r, err := c.detailed(ooo.Config{Machine: ooo.CI, WindowSize: table2Window(c.o), SegmentSize: seg})
+		if err != nil {
+			return err
+		}
+		ipc[seg] = r.Stats.IPC()
+	}
+	b := base.Stats.IPC()
+	c.row(0, c.w.Name, fmtF(b), fmtF(ipc[1]), fmtF(ipc[4]), fmtF(ipc[16]),
+		stats.Percent(stats.PctImprove(b, ipc[1])),
+		stats.Percent(stats.PctImprove(b, ipc[4])),
+		stats.Percent(stats.PctImprove(b, ipc[16])))
+	return nil
 }
 
-func runFig17(o Options) (*Result, error) {
-	combos := []struct {
-		name string
-		rc   ooo.Reconv
-	}{
-		{"return", ooo.Reconv{Return: true}},
-		{"loop", ooo.Reconv{Loop: true}},
-		{"ltb", ooo.Reconv{Ltb: true}},
-		{"return/ltb", ooo.Reconv{Return: true, Ltb: true}},
-		{"loop/ltb", ooo.Reconv{Loop: true, Ltb: true}},
-		{"return/loop", ooo.Reconv{Return: true, Loop: true}},
-		{"return/loop/ltb", ooo.Reconv{Return: true, Loop: true, Ltb: true}},
-		{"assoc search", ooo.Reconv{Assoc: true}},
-		{"CI (postdom)", ooo.Reconv{PostDom: true}},
+// fig17Combos are the reconvergence sources of Figure 17, in column
+// order.
+var fig17Combos = []struct {
+	name string
+	rc   ooo.Reconv
+}{
+	{"return", ooo.Reconv{Return: true}},
+	{"loop", ooo.Reconv{Loop: true}},
+	{"ltb", ooo.Reconv{Ltb: true}},
+	{"return/ltb", ooo.Reconv{Return: true, Ltb: true}},
+	{"loop/ltb", ooo.Reconv{Loop: true, Ltb: true}},
+	{"return/loop", ooo.Reconv{Return: true, Loop: true}},
+	{"return/loop/ltb", ooo.Reconv{Return: true, Loop: true, Ltb: true}},
+	{"assoc search", ooo.Reconv{Assoc: true}},
+	{"CI (postdom)", ooo.Reconv{PostDom: true}},
+}
+
+func wlFig17(c *wctx) error {
+	base, err := c.detailed(ooo.Config{Machine: ooo.Base, WindowSize: table2Window(c.o)})
+	if err != nil {
+		return err
 	}
-	cols := []string{"benchmark"}
-	for _, c := range combos {
-		cols = append(cols, c.name)
-	}
-	t := stats.NewTable("Figure 17: percent improvement over BASE, heuristic reconvergence", cols...)
-	for _, w := range workloads.All() {
-		base, err := runDetailed(w, o, ooo.Config{Machine: ooo.Base, WindowSize: table2Window(o)})
+	row := Row{c.w.Name}
+	for _, combo := range fig17Combos {
+		r, err := c.detailed(ooo.Config{Machine: ooo.CI, WindowSize: table2Window(c.o), Reconv: combo.rc})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := []interface{}{w.Name}
-		for _, c := range combos {
-			r, err := runDetailed(w, o, ooo.Config{Machine: ooo.CI, WindowSize: table2Window(o), Reconv: c.rc})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, stats.Percent(stats.PctImprove(base.Stats.IPC(), r.Stats.IPC())))
-		}
-		t.AddRow(row...)
+		row = append(row, stats.Percent(stats.PctImprove(base.Stats.IPC(), r.Stats.IPC())))
 	}
-	res := &Result{ID: "fig17", Tables: []*stats.Table{t}}
-	res.Plots = append(res.Plots, barsFromTable(t,
-		"Figure 17: percent improvement over BASE by reconvergence source", []int{0}, []int{1, 2, 3, 4, 5, 6, 7, 8, 9}, "%"))
-	return res, nil
+	c.row(0, row...)
+	return nil
 }

@@ -10,8 +10,11 @@ import (
 	"sort"
 	"strings"
 
+	"cisim/internal/ideal"
+	"cisim/internal/ooo"
 	"cisim/internal/plot"
 	"cisim/internal/prog"
+	"cisim/internal/runner"
 	"cisim/internal/stats"
 	"cisim/internal/trace"
 	"cisim/internal/workloads"
@@ -109,14 +112,157 @@ func (r *Result) String() string {
 	return s
 }
 
-// Experiment is a reproducible paper artifact.
+// Experiment is a reproducible paper artifact. Its work decomposes into
+// one job per workload: RunWorkload computes a workload's Partial and
+// Merge assembles partials (in workload order) into the final Result, so
+// a scheduler may execute the jobs in any order or concurrently without
+// changing the output. Run is the sequential composition of the two.
 type Experiment struct {
 	ID    string
 	Title string
 	// Paper describes what the paper's version showed, for side-by-side
 	// reading.
 	Paper string
-	Run   func(Options) (*Result, error)
+	// tables builds the experiment's empty output tables — titles,
+	// columns, notes — for a scale.
+	tables func(o Options) []*stats.Table
+	// workload computes one workload's contribution to those tables.
+	workload func(c *wctx) error
+	// finish, when set, derives whole-experiment artifacts (bar charts
+	// over the merged tables) after the partials are assembled.
+	finish func(o Options, r *Result)
+}
+
+// Row is one table row's cells, in stats.Table.AddRow form.
+type Row []interface{}
+
+// Partial is one workload's contribution to an experiment: rows for
+// each output table (Rows[t] belongs to the t-th table the experiment
+// declares), per-workload plots, and the number of instructions actually
+// simulated to produce it — artifact-cache hits contribute zero, so the
+// figure reflects real simulation work.
+type Partial struct {
+	Rows   [][]Row
+	Plots  []Plot
+	Instrs uint64
+}
+
+// wctx is the per-workload execution context handed to an experiment's
+// workload function. Its accessors route every program, trace, and
+// detailed-simulation request through the shared artifact cache and
+// accumulate the workload's Partial.
+type wctx struct {
+	w    *workloads.Workload
+	o    Options
+	part *Partial
+}
+
+// row appends a row to the experiment's table-th output table.
+func (c *wctx) row(table int, cells ...interface{}) {
+	for len(c.part.Rows) <= table {
+		c.part.Rows = append(c.part.Rows, nil)
+	}
+	c.part.Rows[table] = append(c.part.Rows[table], Row(cells))
+}
+
+// plot records a per-workload plot.
+func (c *wctx) plot(p Plot) { c.part.Plots = append(c.part.Plots, p) }
+
+// program returns the workload's assembled program at the current scale.
+func (c *wctx) program() (*prog.Program, error) {
+	return programFor(c.w, c.o)
+}
+
+// trace returns the workload's annotated trace at the current scale,
+// counting its generation cost once per cache fill.
+func (c *wctx) trace() (*trace.Trace, error) {
+	tr, hit, err := traceFor(c.w, c.o)
+	if err != nil {
+		return nil, err
+	}
+	if !hit {
+		c.part.Instrs += uint64(len(tr.Entries))
+	}
+	return tr, nil
+}
+
+// detailed runs the workload through the detailed simulator at the
+// current scale, memoized in the shared artifact cache.
+func (c *wctx) detailed(cfg ooo.Config) (*ooo.Result, error) {
+	r, hit, err := runner.Artifacts.Detailed(c.w, c.o.iters(c.w), cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !hit {
+		c.part.Instrs += r.Stats.Retired
+	}
+	return r, nil
+}
+
+// ideal runs the workload's trace through a Section 2 idealized model.
+func (c *wctx) ideal(cfg ideal.Config) (ideal.Result, error) {
+	tr, err := c.trace()
+	if err != nil {
+		return ideal.Result{}, err
+	}
+	r, err := ideal.Run(tr, cfg)
+	if err == nil {
+		c.part.Instrs += r.Retired
+	}
+	return r, err
+}
+
+// RunWorkload computes one workload's partial result — the unit of work
+// the parallel runner schedules.
+func (e *Experiment) RunWorkload(w *workloads.Workload, o Options) (*Partial, error) {
+	c := &wctx{w: w, o: o, part: &Partial{}}
+	if err := e.workload(c); err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", e.ID, w.Name, err)
+	}
+	return c.part, nil
+}
+
+// Merge assembles per-workload partials — which must be ordered as
+// workloads.All() — into the experiment's final result. The output
+// depends only on the partials' order in the slice, never on the order
+// they were computed in.
+func (e *Experiment) Merge(o Options, parts []*Partial) (*Result, error) {
+	ts := e.tables(o)
+	r := &Result{ID: e.ID, Tables: ts}
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("%s: missing partial result %d", e.ID, i)
+		}
+		for ti, rows := range p.Rows {
+			if ti >= len(ts) {
+				return nil, fmt.Errorf("%s: partial row for table %d of %d", e.ID, ti, len(ts))
+			}
+			for _, row := range rows {
+				ts[ti].AddRow(row...)
+			}
+		}
+		r.Plots = append(r.Plots, p.Plots...)
+	}
+	if e.finish != nil {
+		e.finish(o, r)
+	}
+	return r, nil
+}
+
+// Run executes the experiment's workload jobs sequentially and merges
+// them. `cisim run` executes the same jobs through the parallel runner;
+// both paths produce identical results.
+func (e *Experiment) Run(o Options) (*Result, error) {
+	ws := workloads.All()
+	parts := make([]*Partial, len(ws))
+	for i, w := range ws {
+		p, err := e.RunWorkload(w, o)
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = p
+	}
+	return e.Merge(o, parts)
 }
 
 var registry []*Experiment
@@ -160,16 +306,20 @@ func IDs() []string {
 	return out
 }
 
-// traceFor generates (and memoizes per call site) the annotated trace for
-// a workload at the chosen scale.
-func traceFor(w *workloads.Workload, o Options) (*trace.Trace, error) {
-	p := w.Program(o.iters(w))
-	return trace.Generate(p, trace.Options{MaxInstrs: o.maxTraceInstrs()})
+// traceFor returns the annotated trace for a workload at the chosen
+// scale, memoized in the shared artifact cache: a second call with the
+// same (workload, iters, trace options) key returns the cached trace
+// without regeneration. The bool reports a cache hit.
+func traceFor(w *workloads.Workload, o Options) (*trace.Trace, bool, error) {
+	return runner.Artifacts.Trace(w, o.iters(w),
+		trace.Options{MaxInstrs: o.maxTraceInstrs()})
 }
 
-// programFor assembles a workload at the chosen scale.
-func programFor(w *workloads.Workload, o Options) *prog.Program {
-	return w.Program(o.iters(w))
+// programFor assembles a workload at the chosen scale, memoized in the
+// shared artifact cache.
+func programFor(w *workloads.Workload, o Options) (*prog.Program, error) {
+	p, _, err := runner.Artifacts.Program(w, o.iters(w))
+	return p, err
 }
 
 func fmtF(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -4,7 +4,6 @@ import (
 	"cisim/internal/ideal"
 	"cisim/internal/plot"
 	"cisim/internal/stats"
-	"cisim/internal/workloads"
 )
 
 func init() {
@@ -12,29 +11,39 @@ func init() {
 		ID:    "table1",
 		Title: "Table 1: benchmark information",
 		Paper: "gcc 8.3%, go 16.7%, compress 9.1%, ijpeg 6.8%, vortex 1.4% misprediction rates; 100-166M instructions",
-		Run:   runTable1,
+		tables: func(o Options) []*stats.Table {
+			t := stats.NewTable("Table 1: benchmark information",
+				"benchmark", "stands for", "instructions", "cond branches", "indirect", "mispredict rate")
+			t.Note = "misprediction rate counts conditional branches and indirect jumps (gshare 2^16 + correlated target buffer, perfect RAS)"
+			return []*stats.Table{t}
+		},
+		workload: wlTable1,
 	})
 	register(&Experiment{
 		ID:    "fig3",
 		Title: "Figure 3: performance of the six control independence models",
 		Paper: "oracle scales with window; base saturates at 128-256; WR-FD closes about half the oracle-base gap; WR hurts about 2x more than FD except compress, where FD dominates",
-		Run:   runFig3,
+		tables: func(o Options) []*stats.Table {
+			cols := []string{"benchmark", "window"}
+			for _, m := range ideal.Models() {
+				cols = append(cols, m.String())
+			}
+			t := stats.NewTable("Figure 3: IPC of the six idealized models vs window size", cols...)
+			t.Note = "16-wide, perfect caches, oracle disambiguation, unlimited renaming (paper section 2.2)"
+			return []*stats.Table{t}
+		},
+		workload: wlFig3,
 	})
 }
 
-func runTable1(o Options) (*Result, error) {
-	t := stats.NewTable("Table 1: benchmark information",
-		"benchmark", "stands for", "instructions", "cond branches", "indirect", "mispredict rate")
-	for _, w := range workloads.All() {
-		tr, err := traceFor(w, o)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(w.Name, w.Paper, len(tr.Entries), int(tr.Stats.Cond), int(tr.Stats.Indirect),
-			stats.Percent(100*tr.Stats.MispRate()))
+func wlTable1(c *wctx) error {
+	tr, err := c.trace()
+	if err != nil {
+		return err
 	}
-	t.Note = "misprediction rate counts conditional branches and indirect jumps (gshare 2^16 + correlated target buffer, perfect RAS)"
-	return &Result{ID: "table1", Tables: []*stats.Table{t}}, nil
+	c.row(0, c.w.Name, c.w.Paper, len(tr.Entries), int(tr.Stats.Cond), int(tr.Stats.Indirect),
+		stats.Percent(100*tr.Stats.MispRate()))
+	return nil
 }
 
 // fig3Windows returns the window sweep for the current scale.
@@ -45,40 +54,27 @@ func fig3Windows(o Options) []int {
 	return []int{16, 32, 64, 128, 256, 512}
 }
 
-func runFig3(o Options) (*Result, error) {
+func wlFig3(c *wctx) error {
 	models := ideal.Models()
-	cols := []string{"benchmark", "window"}
-	for _, m := range models {
-		cols = append(cols, m.String())
+	curves := make([]plot.Series, len(models))
+	for mi, m := range models {
+		curves[mi].Name = m.String()
 	}
-	t := stats.NewTable("Figure 3: IPC of the six idealized models vs window size", cols...)
-	res := &Result{ID: "fig3", Tables: []*stats.Table{t}}
-	for _, w := range workloads.All() {
-		tr, err := traceFor(w, o)
-		if err != nil {
-			return nil, err
-		}
-		curves := make([]plot.Series, len(models))
+	for _, win := range fig3Windows(c.o) {
+		row := Row{c.w.Name, win}
 		for mi, m := range models {
-			curves[mi].Name = m.String()
-		}
-		for _, win := range fig3Windows(o) {
-			row := []interface{}{w.Name, win}
-			for mi, m := range models {
-				r, err := ideal.Run(tr, ideal.Config{Model: m, WindowSize: win})
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, fmtF(r.IPC))
-				curves[mi].Points = append(curves[mi].Points, plot.Point{X: float64(win), Y: r.IPC})
+			r, err := c.ideal(ideal.Config{Model: m, WindowSize: win})
+			if err != nil {
+				return err
 			}
-			t.AddRow(row...)
+			row = append(row, fmtF(r.IPC))
+			curves[mi].Points = append(curves[mi].Points, plot.Point{X: float64(win), Y: r.IPC})
 		}
-		res.Plots = append(res.Plots, Plot{
-			Title:  "Figure 3 (" + w.Name + "): IPC vs window size",
-			Series: curves,
-		})
+		c.row(0, row...)
 	}
-	t.Note = "16-wide, perfect caches, oracle disambiguation, unlimited renaming (paper section 2.2)"
-	return res, nil
+	c.plot(Plot{
+		Title:  "Figure 3 (" + c.w.Name + "): IPC vs window size",
+		Series: curves,
+	})
+	return nil
 }

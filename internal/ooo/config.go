@@ -16,6 +16,8 @@
 package ooo
 
 import (
+	"fmt"
+
 	"cisim/internal/cache"
 )
 
@@ -262,6 +264,22 @@ func (c *Config) defaults() {
 	if (c.Machine == CI || c.Machine == CIInstant) && c.Reconv == (Reconv{}) {
 		c.Reconv.PostDom = true
 	}
+}
+
+// Key returns a canonical encoding of the configuration with defaults
+// applied, suitable for memoizing simulation results: two configurations
+// that run identically produce the same key (e.g. SegmentSize 0 and 1, or
+// an unset Reconv and an explicit PostDom on a CI machine). The second
+// return is false when the configuration carries observation hooks
+// (Debug, recovery hooks) whose side effects make a cached result
+// unfaithful; such runs must not be memoized.
+func (c Config) Key() (string, bool) {
+	if c.Debug != nil || c.hookRecovery != nil {
+		return "", false
+	}
+	d := c
+	d.defaults()
+	return fmt.Sprintf("%+v", d), true
 }
 
 // Stats aggregates the measurements behind Figures 5-17 and Tables 2-4.

@@ -80,10 +80,26 @@ type machine struct {
 	mispEvents []MispEvent
 	pipeRecs   []PipeRecord
 
+	// arena batch-allocates dyns: the simulator creates one per fetched
+	// instruction (wrong paths included), and individual heap
+	// allocations dominated the garbage collector's workload. Slots are
+	// never reused, so the zero-value guarantee of a fresh slab matches
+	// a &dyn{} literal.
+	arena []dyn
+
 	seq   uint64
 	cycle int64
 	stats Stats
 	done  bool
+}
+
+func (m *machine) allocDyn() *dyn {
+	if len(m.arena) == 0 {
+		m.arena = make([]dyn, 512)
+	}
+	d := &m.arena[0]
+	m.arena = m.arena[1:]
+	return d
 }
 
 func (m *machine) debugf(format string, args ...interface{}) {
@@ -96,18 +112,51 @@ func (m *machine) debugf(format string, args ...interface{}) {
 // than spun on).
 var ErrDeadlock = errors.New("ooo: cycle limit exceeded")
 
-// Run simulates the program to completion under the configuration.
-func Run(p *prog.Program, c Config) (*Result, error) {
-	c.defaults()
-	g, err := goldenStream(p, c.MaxInstrs)
+// Prep holds the per-program artifacts Run derives before simulating: the
+// golden stream at an instruction budget, and the CFG with its
+// post-dominator analysis. Both are deterministic functions of the
+// program and are never written during simulation, so one Prep may be
+// shared by any number of Runs — including concurrent ones — that use
+// the same program and MaxInstrs.
+type Prep struct {
+	maxInstrs uint64
+	golden    []golden
+	graph     *cfg.Graph
+}
+
+// Prepare computes the shared pre-simulation artifacts for a program at
+// an instruction budget (0 = unbounded, as in Config.MaxInstrs).
+func Prepare(p *prog.Program, maxInstrs uint64) (*Prep, error) {
+	g, err := goldenStream(p, maxInstrs)
 	if err != nil {
 		return nil, err
+	}
+	return &Prep{maxInstrs: maxInstrs, golden: g, graph: cfg.Build(p)}, nil
+}
+
+// Run simulates the program to completion under the configuration.
+func Run(p *prog.Program, c Config) (*Result, error) {
+	return RunPrepared(p, c, nil)
+}
+
+// RunPrepared is Run with the pre-simulation artifacts supplied by the
+// caller. A nil prep is computed on the spot; a non-nil prep must come
+// from Prepare with the same program and the configuration's MaxInstrs.
+func RunPrepared(p *prog.Program, c Config, pre *Prep) (*Result, error) {
+	c.defaults()
+	if pre == nil {
+		var err error
+		if pre, err = Prepare(p, c.MaxInstrs); err != nil {
+			return nil, err
+		}
+	} else if pre.maxInstrs != c.MaxInstrs {
+		return nil, fmt.Errorf("ooo: prep built for MaxInstrs=%d, config wants %d", pre.maxInstrs, c.MaxInstrs)
 	}
 	m := &machine{
 		cfg:         c,
 		p:           p,
-		graph:       cfg.Build(p),
-		golden:      g,
+		graph:       pre.graph,
+		golden:      pre.golden,
 		gsh:         bpred.NewGShare(c.GShareBits),
 		bim:         bpred.NewBimodal(c.GShareBits),
 		ctb:         bpred.NewTargetBuffer(c.TargetBits),
@@ -133,7 +182,7 @@ func Run(p *prog.Program, c Config) (*Result, error) {
 
 	maxCycles := c.MaxCycles
 	if maxCycles == 0 {
-		maxCycles = int64(len(g))*12 + 100_000
+		maxCycles = int64(len(pre.golden))*12 + 100_000
 	}
 	for !m.done {
 		m.cycle++
@@ -227,10 +276,9 @@ func (m *machine) fetchStage() {
 
 func (m *machine) newDyn(pc uint64, in isa.Inst) *dyn {
 	m.seq++
-	d := &dyn{
-		seq: m.seq, pc: pc, inst: in, gold: -1,
-		fetchC: m.cycle, doneC: -1,
-	}
+	d := m.allocDyn()
+	d.seq, d.pc, d.inst, d.gold = m.seq, pc, in, -1
+	d.fetchC, d.doneC = m.cycle, -1
 	if m.goldCur >= 0 && m.goldCur < len(m.golden) && m.golden[m.goldCur].pc == pc {
 		d.gold = m.goldCur
 	}

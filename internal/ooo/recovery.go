@@ -698,10 +698,9 @@ func (m *machine) convertSearchToPlain(halted bool) {
 // restart's own history, RAS, and golden cursor.
 func (m *machine) newDynAt(pc uint64, in isa.Inst, act *restartSeq) *dyn {
 	m.seq++
-	d := &dyn{
-		seq: m.seq, pc: pc, inst: in, gold: -1,
-		fetchC: m.cycle, doneC: -1,
-	}
+	d := m.allocDyn()
+	d.seq, d.pc, d.inst, d.gold = m.seq, pc, in, -1
+	d.fetchC, d.doneC = m.cycle, -1
 	if act.goldCur >= 0 && act.goldCur < len(m.golden) && m.golden[act.goldCur].pc == pc {
 		d.gold = act.goldCur
 	}

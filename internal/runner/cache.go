@@ -1,0 +1,275 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"cisim/internal/ooo"
+	"cisim/internal/prog"
+	"cisim/internal/trace"
+	"cisim/internal/workloads"
+)
+
+// Artifact kinds tracked by the cache.
+const (
+	KindProgram = "program"
+	KindTrace   = "trace"
+	KindPrep    = "prep"
+	KindResult  = "result"
+)
+
+// Cache is a content-addressed artifact cache for the experiment
+// harness. It memoizes the three expensive, deterministic artifacts the
+// experiments re-derive over and over:
+//
+//	program — an assembled workload, addressed by the hash of its
+//	          assembly source (which encodes the iteration count);
+//	trace   — an annotated dynamic trace, addressed by the program
+//	          address plus the trace.Options;
+//	result  — a detailed ooo simulation, addressed by the program
+//	          address plus the canonical ooo.Config key.
+//
+// Every artifact is immutable once built (programs and traces are
+// read-only to the simulators, results are read-only to the renderers),
+// so a single instance is safely shared across goroutines. Lookups are
+// guarded by singleflight: concurrent requests for the same address
+// block on one computation instead of duplicating it.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	stats   map[string]*kindStats // by kind
+	sink    Sink
+}
+
+type entry struct {
+	ready chan struct{} // closed when val/err are set
+	val   interface{}
+	err   error
+}
+
+type kindStats struct{ hits, misses uint64 }
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	ProgramHits, ProgramMisses uint64
+	TraceHits, TraceMisses     uint64
+	PrepHits, PrepMisses       uint64
+	ResultHits, ResultMisses   uint64
+}
+
+// Hits returns total cache hits across kinds.
+func (s CacheStats) Hits() uint64 {
+	return s.ProgramHits + s.TraceHits + s.PrepHits + s.ResultHits
+}
+
+// Misses returns total cache misses across kinds.
+func (s CacheStats) Misses() uint64 {
+	return s.ProgramMisses + s.TraceMisses + s.PrepMisses + s.ResultMisses
+}
+
+// HitRate returns the overall hit fraction in [0,1], 0 when unused.
+func (s CacheStats) HitRate() float64 { return rate(s.Hits(), s.Misses()) }
+
+// Sub returns the counter deltas since an earlier snapshot, so a caller
+// sharing a long-lived cache can report per-run statistics.
+func (s CacheStats) Sub(prev CacheStats) CacheStats {
+	return CacheStats{
+		ProgramHits: s.ProgramHits - prev.ProgramHits, ProgramMisses: s.ProgramMisses - prev.ProgramMisses,
+		TraceHits: s.TraceHits - prev.TraceHits, TraceMisses: s.TraceMisses - prev.TraceMisses,
+		PrepHits: s.PrepHits - prev.PrepHits, PrepMisses: s.PrepMisses - prev.PrepMisses,
+		ResultHits: s.ResultHits - prev.ResultHits, ResultMisses: s.ResultMisses - prev.ResultMisses,
+	}
+}
+
+// TraceHitRate returns the trace-kind hit fraction in [0,1].
+func (s CacheStats) TraceHitRate() float64 { return rate(s.TraceHits, s.TraceMisses) }
+
+func rate(h, m uint64) float64 {
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: map[string]*entry{}, stats: map[string]*kindStats{}}
+}
+
+// Artifacts is the shared process-wide cache used by the experiment
+// harness: every experiment's traceFor/programFor/detailed lookups route
+// through it, so one `run all` assembles and traces each workload once.
+var Artifacts = NewCache()
+
+// SetSink attaches an event sink that observes every lookup (hit and
+// miss). Pass nil to detach.
+func (c *Cache) SetSink(s Sink) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sink = s
+}
+
+// Reset drops every cached artifact and zeroes the statistics. Intended
+// for benchmarks measuring cold-cache behaviour; it must not race with
+// in-flight lookups.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[string]*entry{}
+	c.stats = map[string]*kindStats{}
+}
+
+// Stats snapshots the per-kind hit/miss counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	get := func(kind string) kindStats {
+		if s := c.stats[kind]; s != nil {
+			return *s
+		}
+		return kindStats{}
+	}
+	p, t, r := get(KindProgram), get(KindTrace), get(KindResult)
+	pr := get(KindPrep)
+	return CacheStats{
+		ProgramHits: p.hits, ProgramMisses: p.misses,
+		TraceHits: t.hits, TraceMisses: t.misses,
+		PrepHits: pr.hits, PrepMisses: pr.misses,
+		ResultHits: r.hits, ResultMisses: r.misses,
+	}
+}
+
+// addr derives the content address for an artifact description.
+func addr(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// get memoizes compute under (kind, address) with singleflight: the
+// first caller computes, concurrent callers block until the value is
+// ready, later callers return it immediately. The bool reports whether
+// the value came from the cache (including waiting on an in-flight
+// computation) rather than being computed by this call.
+func (c *Cache) get(kind, key, address string, compute func() (interface{}, error)) (interface{}, bool, error) {
+	c.mu.Lock()
+	st := c.stats[kind]
+	if st == nil {
+		st = &kindStats{}
+		c.stats[kind] = st
+	}
+	if e, ok := c.entries[address]; ok {
+		st.hits++
+		sink := c.sink
+		c.mu.Unlock()
+		emit(sink, Event{Ev: "cache", Kind: kind, Key: key, Addr: address, Hit: true})
+		<-e.ready
+		return e.val, true, e.err
+	}
+	e := &entry{ready: make(chan struct{})}
+	c.entries[address] = e
+	st.misses++
+	sink := c.sink
+	c.mu.Unlock()
+	emit(sink, Event{Ev: "cache", Kind: kind, Key: key, Addr: address, Hit: false})
+
+	defer close(e.ready)
+	func() {
+		// A panicking compute (e.g. an assembler bug) must not leave
+		// waiters blocked forever: record it as the entry's error.
+		defer func() {
+			if r := recover(); r != nil {
+				e.err = fmt.Errorf("runner: computing %s %s: panic: %v", kind, key, r)
+			}
+		}()
+		e.val, e.err = compute()
+	}()
+	return e.val, false, e.err
+}
+
+// Program returns the assembled program for a workload at an iteration
+// count, addressed by the hash of the generated assembly source. The
+// bool reports a cache hit.
+func (c *Cache) Program(w *workloads.Workload, iters int) (*prog.Program, bool, error) {
+	src := w.Source(iters)
+	key := fmt.Sprintf("%s iters=%d", w.Name, iters)
+	v, hit, err := c.get(KindProgram, key, addr(KindProgram, src), func() (interface{}, error) {
+		return w.Program(iters), nil
+	})
+	if err != nil {
+		return nil, hit, err
+	}
+	return v.(*prog.Program), hit, nil
+}
+
+// Trace returns the annotated dynamic trace of a workload at an
+// iteration count under the given trace options, addressed by the
+// program's content address plus the options. The bool reports a cache
+// hit.
+func (c *Cache) Trace(w *workloads.Workload, iters int, opt trace.Options) (*trace.Trace, bool, error) {
+	p, _, err := c.Program(w, iters)
+	if err != nil {
+		return nil, false, err
+	}
+	src := w.Source(iters)
+	key := fmt.Sprintf("%s iters=%d %+v", w.Name, iters, opt)
+	v, hit, err := c.get(KindTrace, key, addr(KindTrace, src, fmt.Sprintf("%+v", opt)), func() (interface{}, error) {
+		return trace.Generate(p, opt)
+	})
+	if err != nil {
+		return nil, hit, err
+	}
+	return v.(*trace.Trace), hit, nil
+}
+
+// prep returns the shared pre-simulation artifacts (golden stream, CFG
+// post-dominator analysis) for a program, addressed by its content
+// address plus the instruction budget. One prep serves every detailed
+// configuration of the workload.
+func (c *Cache) prep(w *workloads.Workload, iters int, p *prog.Program, maxInstrs uint64) (*ooo.Prep, error) {
+	src := w.Source(iters)
+	key := fmt.Sprintf("%s iters=%d max=%d", w.Name, iters, maxInstrs)
+	v, _, err := c.get(KindPrep, key, addr(KindPrep, src, fmt.Sprint(maxInstrs)), func() (interface{}, error) {
+		return ooo.Prepare(p, maxInstrs)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*ooo.Prep), nil
+}
+
+// Detailed returns the result of running a workload through the
+// detailed simulator under cfg, addressed by the program's content
+// address plus the canonical configuration key (so configurations that
+// only differ in spelled-out defaults share an entry). Configurations
+// carrying debug hooks are executed directly — uncached, though still
+// over the shared prep artifacts. The bool reports a cache hit.
+func (c *Cache) Detailed(w *workloads.Workload, iters int, cfg ooo.Config) (*ooo.Result, bool, error) {
+	p, _, err := c.Program(w, iters)
+	if err != nil {
+		return nil, false, err
+	}
+	pre, err := c.prep(w, iters, p, cfg.MaxInstrs)
+	if err != nil {
+		return nil, false, err
+	}
+	ck, memoizable := cfg.Key()
+	if !memoizable {
+		r, err := ooo.RunPrepared(p, cfg, pre)
+		return r, false, err
+	}
+	src := w.Source(iters)
+	key := fmt.Sprintf("%s iters=%d %s", w.Name, iters, cfg.Machine)
+	v, hit, err := c.get(KindResult, key, addr(KindResult, src, ck), func() (interface{}, error) {
+		return ooo.RunPrepared(p, cfg, pre)
+	})
+	if err != nil {
+		return nil, hit, err
+	}
+	return v.(*ooo.Result), hit, nil
+}

@@ -1,0 +1,261 @@
+package runner
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cisim/internal/ooo"
+	"cisim/internal/trace"
+	"cisim/internal/workloads"
+)
+
+func testWorkload(t testing.TB) *workloads.Workload {
+	t.Helper()
+	w, ok := workloads.Get("xgo")
+	if !ok {
+		t.Fatal("workload xgo missing")
+	}
+	return w
+}
+
+// TestTraceMemoized: a second request for the same (workload, iters,
+// options) key returns the cached trace — the same object — without
+// regenerating it.
+func TestTraceMemoized(t *testing.T) {
+	c := NewCache()
+	w := testWorkload(t)
+	opt := trace.Options{MaxInstrs: 5_000}
+
+	tr1, hit, err := c.Trace(w, 100, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first lookup reported a hit")
+	}
+	tr2, hit, err := c.Trace(w, 100, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("second lookup missed")
+	}
+	if tr1 != tr2 {
+		t.Error("second lookup regenerated the trace (different pointer)")
+	}
+	s := c.Stats()
+	if s.TraceMisses != 1 || s.TraceHits != 1 {
+		t.Errorf("trace stats = %d hits / %d misses, want 1/1", s.TraceHits, s.TraceMisses)
+	}
+
+	// A different key must not share the entry.
+	tr3, hit, err := c.Trace(w, 100, trace.Options{MaxInstrs: 2_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || tr3 == tr1 {
+		t.Error("different options shared a cache entry")
+	}
+}
+
+func TestProgramMemoized(t *testing.T) {
+	c := NewCache()
+	w := testWorkload(t)
+	p1, hit, err := c.Program(w, 100)
+	if err != nil || hit {
+		t.Fatalf("first: hit=%v err=%v", hit, err)
+	}
+	p2, hit, err := c.Program(w, 100)
+	if err != nil || !hit || p2 != p1 {
+		t.Fatalf("second: hit=%v same=%v err=%v", hit, p2 == p1, err)
+	}
+	if p3, hit, _ := c.Program(w, 150); hit || p3 == p1 {
+		t.Error("different iteration count shared a program")
+	}
+}
+
+// TestDetailedCanonicalKey: configurations identical after defaults are
+// applied share one simulation (SegmentSize 0 means 1, Completion zero
+// value is the paper default), while a semantically different
+// configuration does not.
+func TestDetailedCanonicalKey(t *testing.T) {
+	c := NewCache()
+	w := testWorkload(t)
+	base := ooo.Config{Machine: ooo.CI, WindowSize: 64, MaxInstrs: 4_000}
+
+	r1, hit, err := c.Detailed(w, 100, base)
+	if err != nil || hit {
+		t.Fatalf("first: hit=%v err=%v", hit, err)
+	}
+	spelled := base
+	spelled.SegmentSize = 1 // the default, spelled out
+	r2, hit, err := c.Detailed(w, 100, spelled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || r2 != r1 {
+		t.Error("canonically identical config re-simulated")
+	}
+	diff := base
+	diff.SegmentSize = 4
+	if r3, hit, _ := c.Detailed(w, 100, diff); hit || r3 == r1 {
+		t.Error("different segment size shared a result")
+	}
+	s := c.Stats()
+	if s.ResultMisses != 2 || s.ResultHits != 1 {
+		t.Errorf("result stats = %d hits / %d misses, want 1/2", s.ResultHits, s.ResultMisses)
+	}
+	// One prep serves all three simulations.
+	if s.PrepMisses != 1 || s.PrepHits != 2 {
+		t.Errorf("prep stats = %d hits / %d misses, want 2/1", s.PrepHits, s.PrepMisses)
+	}
+}
+
+// TestDetailedUncacheable: observation hooks opt a configuration out of
+// memoization entirely — two identical calls both simulate.
+func TestDetailedUncacheable(t *testing.T) {
+	c := NewCache()
+	w := testWorkload(t)
+	cfg := ooo.Config{Machine: ooo.CI, WindowSize: 64, MaxInstrs: 4_000,
+		Debug: func(string, ...interface{}) {}}
+	r1, hit, err := c.Detailed(w, 100, cfg)
+	if err != nil || hit {
+		t.Fatalf("first: hit=%v err=%v", hit, err)
+	}
+	r2, hit, err := c.Detailed(w, 100, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || r2 == r1 {
+		t.Error("debug-hooked config was memoized")
+	}
+	if s := c.Stats(); s.ResultHits != 0 || s.ResultMisses != 0 {
+		t.Errorf("uncacheable runs touched result stats: %+v", s)
+	}
+}
+
+// TestSingleflight: concurrent requests for one address run the compute
+// exactly once; every caller gets the value.
+func TestSingleflight(t *testing.T) {
+	c := NewCache()
+	var computes atomic.Int32
+	release := make(chan struct{})
+	const n = 8
+	var wg sync.WaitGroup
+	vals := make([]interface{}, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := c.get("kind", "k", "addr1", func() (interface{}, error) {
+				computes.Add(1)
+				<-release
+				return "value", nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			vals[i] = v
+		}()
+	}
+	close(release)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Errorf("compute ran %d times", n)
+	}
+	for i, v := range vals {
+		if v != "value" {
+			t.Errorf("caller %d got %v", i, v)
+		}
+	}
+	if s := c.entries["addr1"]; s == nil {
+		t.Error("entry not retained")
+	}
+}
+
+// TestCachePanicAndError: a panicking or failing compute is recorded on
+// the entry — later callers see the same error, and nobody deadlocks.
+func TestCachePanicAndError(t *testing.T) {
+	c := NewCache()
+	_, hit, err := c.get("k", "key", "a1", func() (interface{}, error) { panic("compute exploded") })
+	if hit || err == nil || !strings.Contains(err.Error(), "compute exploded") {
+		t.Fatalf("panic not converted: hit=%v err=%v", hit, err)
+	}
+	// The poisoned entry is cached: a retry observes the original error.
+	_, hit, err = c.get("k", "key", "a1", func() (interface{}, error) { return "fine", nil })
+	if !hit || err == nil {
+		t.Errorf("second call: hit=%v err=%v", hit, err)
+	}
+
+	want := errors.New("assembler failed")
+	_, _, err = c.get("k", "key2", "a2", func() (interface{}, error) { return nil, want })
+	if !errors.Is(err, want) {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+// TestCacheEvents: lookups emit cache events tagged hit/miss.
+func TestCacheEvents(t *testing.T) {
+	c := NewCache()
+	var mu sync.Mutex
+	var events []Event
+	c.SetSink(sinkFunc(func(e Event) {
+		mu.Lock()
+		events = append(events, e)
+		mu.Unlock()
+	}))
+	compute := func() (interface{}, error) { return 1, nil }
+	c.get(KindTrace, "k", "a", compute)
+	c.get(KindTrace, "k", "a", compute)
+	if len(events) != 2 {
+		t.Fatalf("got %d events", len(events))
+	}
+	if events[0].Ev != "cache" || events[0].Hit || events[0].Kind != KindTrace {
+		t.Errorf("first event = %+v", events[0])
+	}
+	if !events[1].Hit {
+		t.Errorf("second event = %+v", events[1])
+	}
+	c.SetSink(nil)
+	c.get(KindTrace, "k", "a", compute)
+	if len(events) != 2 {
+		t.Error("detached sink still received events")
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache()
+	c.get("k", "k", "a", func() (interface{}, error) { return 1, nil })
+	c.Reset()
+	if s := c.Stats(); s.Hits()+s.Misses() != 0 {
+		t.Errorf("stats survived reset: %+v", s)
+	}
+	_, hit, _ := c.get("k", "k", "a", func() (interface{}, error) { return 2, nil })
+	if hit {
+		t.Error("entry survived reset")
+	}
+}
+
+func TestCacheStatsMath(t *testing.T) {
+	s := CacheStats{ProgramHits: 1, TraceHits: 2, TraceMisses: 2, PrepHits: 1, ResultMisses: 4}
+	if s.Hits() != 4 || s.Misses() != 6 {
+		t.Errorf("hits=%d misses=%d", s.Hits(), s.Misses())
+	}
+	if got := s.HitRate(); got != 0.4 {
+		t.Errorf("hit rate = %v", got)
+	}
+	if got := s.TraceHitRate(); got != 0.5 {
+		t.Errorf("trace hit rate = %v", got)
+	}
+	if got := (CacheStats{}).HitRate(); got != 0 {
+		t.Errorf("empty hit rate = %v", got)
+	}
+	d := s.Sub(CacheStats{TraceHits: 1, ResultMisses: 1})
+	if d.TraceHits != 1 || d.ResultMisses != 3 || d.ProgramHits != 1 {
+		t.Errorf("sub = %+v", d)
+	}
+}

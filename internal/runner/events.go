@@ -1,0 +1,83 @@
+package runner
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one structured run event, serialized as a JSON line by
+// JSONLSink. The stream records the life of an orchestrated run:
+//
+//	run_start  — once, with the job count and worker count
+//	job_start  — a worker picked up an (experiment, workload) job
+//	job_end    — the job finished: duration, instructions actually
+//	             simulated (cache hits contribute zero), sim rate
+//	cache      — an artifact cache lookup: kind (program/trace/result),
+//	             the human-readable key, the content address, hit/miss
+//	run_end    — once, with aggregate totals and cache statistics
+type Event struct {
+	Ev string `json:"ev"`
+	// T is milliseconds since the sink was created, so a log is
+	// self-contained without wall-clock stamps on every line.
+	T float64 `json:"t_ms"`
+
+	// Job identity (job_start, job_end, cache when inside a job).
+	Exp string `json:"exp,omitempty"`
+	Key string `json:"key,omitempty"`
+
+	// Cache lookups.
+	Kind string `json:"kind,omitempty"`
+	Addr string `json:"addr,omitempty"`
+	Hit  bool   `json:"hit,omitempty"`
+
+	// Job completion.
+	Ms     float64 `json:"ms,omitempty"`
+	Instrs uint64  `json:"instrs,omitempty"`
+	Rate   float64 `json:"instrs_per_sec,omitempty"`
+	Err    string  `json:"err,omitempty"`
+
+	// Run lifecycle.
+	Jobs    int `json:"jobs,omitempty"`
+	Workers int `json:"workers,omitempty"`
+	// run_end cache totals.
+	CacheHits   uint64 `json:"cache_hits,omitempty"`
+	CacheMisses uint64 `json:"cache_misses,omitempty"`
+}
+
+// Sink receives run events. Implementations must be safe for concurrent
+// use; Emit is called from worker goroutines.
+type Sink interface {
+	Emit(Event)
+}
+
+// emit forwards an event to an optional sink.
+func emit(s Sink, e Event) {
+	if s != nil {
+		s.Emit(e)
+	}
+}
+
+// JSONLSink writes events as JSON lines to an io.Writer.
+type JSONLSink struct {
+	mu    sync.Mutex
+	enc   *json.Encoder
+	start time.Time
+}
+
+// NewJSONLSink wraps w in a concurrency-safe JSONL event writer.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w), start: time.Now()}
+}
+
+// Emit writes one event line. Encoding errors are deliberately dropped:
+// event logging must never fail a run.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e.T = round2(time.Since(s.start).Seconds() * 1000)
+	_ = s.enc.Encode(e)
+}
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }

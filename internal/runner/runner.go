@@ -1,0 +1,164 @@
+// Package runner orchestrates experiment execution: a bounded worker
+// pool over (experiment, workload) jobs, a content-addressed artifact
+// cache that collapses redundant assembly, trace generation, and
+// detailed simulation across experiments, and a structured JSONL event
+// stream for observing a run.
+//
+// The package is deliberately ignorant of the experiment registry: jobs
+// are opaque closures tagged with display identity, so the scheduler
+// stays reusable for any decomposition. Determinism is structural —
+// Pool.Run returns results indexed by submission order, so callers merge
+// partial results in a fixed order no matter how completion interleaves.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"cisim/internal/stats"
+)
+
+// Job is one schedulable unit of work: typically one workload of one
+// experiment. Run returns the job's value, the number of instructions it
+// actually simulated (artifact-cache hits contribute zero), and an
+// error.
+type Job struct {
+	Exp string // owning experiment id, for events and error reports
+	Key string // sub-unit label, typically the workload name
+	Run func() (val interface{}, instrs uint64, err error)
+}
+
+// JobResult is one job's outcome, delivered at the job's submission
+// index regardless of completion order.
+type JobResult struct {
+	Val     interface{}
+	Err     error
+	Elapsed time.Duration
+	Instrs  uint64
+}
+
+// Pool executes jobs with bounded concurrency.
+type Pool struct {
+	// Workers bounds concurrent jobs; 0 means GOMAXPROCS.
+	Workers int
+	// Events, when non-nil, receives job_start/job_end events.
+	Events Sink
+}
+
+// NumWorkers resolves the effective worker count for a run of njobs
+// jobs: Workers when positive (GOMAXPROCS otherwise), never more than
+// the jobs available.
+func (p *Pool) NumWorkers(njobs int) int {
+	n := p.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > njobs && njobs > 0 {
+		n = njobs
+	}
+	return n
+}
+
+// Run executes the jobs and returns their results in submission order.
+// It always runs every job: per-job failures are reported in the
+// result slice, not short-circuited, so one broken experiment cannot
+// silently suppress the others.
+func (p *Pool) Run(jobs []Job) []JobResult {
+	n := p.NumWorkers(len(jobs))
+	results := make([]JobResult, len(jobs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				j := jobs[i]
+				emit(p.Events, Event{Ev: "job_start", Exp: j.Exp, Key: j.Key})
+				start := time.Now()
+				val, instrs, err := runJob(j)
+				elapsed := time.Since(start)
+				results[i] = JobResult{Val: val, Err: err, Elapsed: elapsed, Instrs: instrs}
+				ev := Event{Ev: "job_end", Exp: j.Exp, Key: j.Key,
+					Ms: round2(elapsed.Seconds() * 1000), Instrs: instrs}
+				if sec := elapsed.Seconds(); sec > 0 && instrs > 0 {
+					ev.Rate = round2(float64(instrs) / sec)
+				}
+				if err != nil {
+					ev.Err = err.Error()
+				}
+				emit(p.Events, ev)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// runJob isolates a job panic into an error so one crashing job cannot
+// take down the whole run.
+func runJob(j Job) (val interface{}, instrs uint64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("job %s/%s panicked: %v", j.Exp, j.Key, r)
+		}
+	}()
+	return j.Run()
+}
+
+// Summary aggregates a finished run for the footer table and the
+// run_end event.
+type Summary struct {
+	Jobs    int
+	Workers int
+	Wall    time.Duration
+	// Busy is the summed job time across workers (≥ Wall under
+	// parallelism).
+	Busy   time.Duration
+	Instrs uint64
+	Cache  CacheStats
+}
+
+// Summarize folds job results and cache statistics into a Summary.
+func Summarize(jobs []JobResult, workers int, wall time.Duration, cs CacheStats) Summary {
+	s := Summary{Jobs: len(jobs), Workers: workers, Wall: wall, Cache: cs}
+	for _, r := range jobs {
+		s.Busy += r.Elapsed
+		s.Instrs += r.Instrs
+	}
+	return s
+}
+
+// Table renders the summary as the run footer.
+func (s Summary) Table() *stats.Table {
+	t := stats.NewTable("run summary", "metric", "value")
+	t.AddRow("jobs", s.Jobs)
+	t.AddRow("workers", s.Workers)
+	t.AddRow("wall clock", s.Wall.Round(time.Millisecond).String())
+	t.AddRow("job time (summed)", s.Busy.Round(time.Millisecond).String())
+	t.AddRow("instructions simulated", int(s.Instrs))
+	if sec := s.Wall.Seconds(); sec > 0 {
+		t.AddRow("sim rate (instrs/sec)", fmt.Sprintf("%.0f", float64(s.Instrs)/sec))
+	}
+	c := s.Cache
+	t.AddRow("cache hits / misses", fmt.Sprintf("%d / %d", c.Hits(), c.Misses()))
+	t.AddRow("  programs", fmt.Sprintf("%d / %d", c.ProgramHits, c.ProgramMisses))
+	t.AddRow("  traces", fmt.Sprintf("%d / %d", c.TraceHits, c.TraceMisses))
+	t.AddRow("  sim preps", fmt.Sprintf("%d / %d", c.PrepHits, c.PrepMisses))
+	t.AddRow("  detailed results", fmt.Sprintf("%d / %d", c.ResultHits, c.ResultMisses))
+	t.AddRow("cache hit rate", stats.Percent(100*c.HitRate()))
+	return t
+}
+
+// RunEndEvent builds the run_end event for a summary.
+func (s Summary) RunEndEvent() Event {
+	return Event{Ev: "run_end", Jobs: s.Jobs, Workers: s.Workers,
+		Ms: round2(s.Wall.Seconds() * 1000), Instrs: s.Instrs,
+		CacheHits: s.Cache.Hits(), CacheMisses: s.Cache.Misses()}
+}

@@ -1,0 +1,205 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolOrder: results land at submission indices no matter how
+// completion interleaves (younger jobs finish first here).
+func TestPoolOrder(t *testing.T) {
+	const n = 24
+	jobs := make([]Job, n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{Exp: "e", Key: fmt.Sprint(i), Run: func() (interface{}, uint64, error) {
+			time.Sleep(time.Duration(n-i) * time.Millisecond / 4)
+			return i, uint64(i), nil
+		}}
+	}
+	results := (&Pool{Workers: 8}).Run(jobs)
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d failed: %v", i, r.Err)
+		}
+		if r.Val.(int) != i {
+			t.Errorf("result %d holds value %v", i, r.Val)
+		}
+		if r.Instrs != uint64(i) {
+			t.Errorf("result %d instrs = %d", i, r.Instrs)
+		}
+	}
+}
+
+// TestPoolNoShortCircuit: failures and panics are delivered in their
+// slots; every other job still runs.
+func TestPoolNoShortCircuit(t *testing.T) {
+	var ran atomic.Int32
+	jobs := []Job{
+		{Exp: "a", Key: "ok", Run: func() (interface{}, uint64, error) { ran.Add(1); return "fine", 0, nil }},
+		{Exp: "b", Key: "bad", Run: func() (interface{}, uint64, error) { ran.Add(1); return nil, 0, errors.New("boom") }},
+		{Exp: "c", Key: "panics", Run: func() (interface{}, uint64, error) { ran.Add(1); panic("kaboom") }},
+		{Exp: "d", Key: "ok2", Run: func() (interface{}, uint64, error) { ran.Add(1); return "also fine", 0, nil }},
+	}
+	results := (&Pool{Workers: 2}).Run(jobs)
+	if got := ran.Load(); got != 4 {
+		t.Fatalf("ran %d jobs, want 4", got)
+	}
+	if results[0].Err != nil || results[0].Val != "fine" {
+		t.Errorf("job 0: %+v", results[0])
+	}
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "boom") {
+		t.Errorf("job 1 error = %v", results[1].Err)
+	}
+	if results[2].Err == nil || !strings.Contains(results[2].Err.Error(), "c/panics panicked: kaboom") {
+		t.Errorf("job 2 error = %v", results[2].Err)
+	}
+	if results[3].Err != nil || results[3].Val != "also fine" {
+		t.Errorf("job 3: %+v", results[3])
+	}
+}
+
+// TestPoolConcurrency: the pool genuinely overlaps jobs up to the worker
+// bound, and never beyond it.
+func TestPoolConcurrency(t *testing.T) {
+	var cur, peak atomic.Int32
+	barrier := make(chan struct{})
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		first := i < 4
+		jobs[i] = Job{Exp: "e", Key: fmt.Sprint(i), Run: func() (interface{}, uint64, error) {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			if first {
+				// The first four jobs meet at a barrier: reaching it
+				// proves four workers ran at once.
+				barrier <- struct{}{}
+			}
+			cur.Add(-1)
+			return nil, 0, nil
+		}}
+	}
+	done := make(chan []JobResult)
+	go func() { done <- (&Pool{Workers: 4}).Run(jobs) }()
+	for i := 0; i < 4; i++ {
+		select {
+		case <-barrier:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d of 4 workers reached the barrier", i)
+		}
+	}
+	<-done
+	if p := peak.Load(); p > 4 {
+		t.Errorf("observed %d concurrent jobs with 4 workers", p)
+	}
+}
+
+func TestNumWorkers(t *testing.T) {
+	if got := (&Pool{Workers: 3}).NumWorkers(10); got != 3 {
+		t.Errorf("explicit workers: got %d", got)
+	}
+	if got := (&Pool{Workers: 8}).NumWorkers(2); got != 2 {
+		t.Errorf("clamp to jobs: got %d", got)
+	}
+	if got := (&Pool{}).NumWorkers(1000); got < 1 {
+		t.Errorf("default workers: got %d", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	results := []JobResult{
+		{Elapsed: 2 * time.Second, Instrs: 100},
+		{Elapsed: 3 * time.Second, Instrs: 200},
+	}
+	cs := CacheStats{TraceHits: 3, TraceMisses: 1, ResultHits: 2, ResultMisses: 2}
+	s := Summarize(results, 2, 4*time.Second, cs)
+	if s.Jobs != 2 || s.Workers != 2 || s.Busy != 5*time.Second || s.Instrs != 300 {
+		t.Errorf("summary = %+v", s)
+	}
+	tab := s.Table().String()
+	for _, want := range []string{"jobs", "wall clock", "cache hit rate", "62.5%", "instructions simulated"} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("summary table missing %q:\n%s", want, tab)
+		}
+	}
+	ev := s.RunEndEvent()
+	if ev.Ev != "run_end" || ev.CacheHits != 5 || ev.CacheMisses != 3 || ev.Instrs != 300 {
+		t.Errorf("run_end event = %+v", ev)
+	}
+}
+
+// TestPoolEvents: job_start/job_end arrive for every job, with errors
+// recorded on the failing one.
+func TestPoolEvents(t *testing.T) {
+	var mu sync.Mutex
+	var events []Event
+	sink := sinkFunc(func(e Event) {
+		mu.Lock()
+		events = append(events, e)
+		mu.Unlock()
+	})
+	jobs := []Job{
+		{Exp: "x", Key: "a", Run: func() (interface{}, uint64, error) { return nil, 7, nil }},
+		{Exp: "x", Key: "b", Run: func() (interface{}, uint64, error) { return nil, 0, errors.New("nope") }},
+	}
+	(&Pool{Workers: 2, Events: sink}).Run(jobs)
+	var starts, ends, failed int
+	for _, e := range events {
+		switch e.Ev {
+		case "job_start":
+			starts++
+		case "job_end":
+			ends++
+			if e.Key == "b" && e.Err == "nope" {
+				failed++
+			}
+		}
+	}
+	if starts != 2 || ends != 2 || failed != 1 {
+		t.Errorf("starts=%d ends=%d failed=%d; events=%+v", starts, ends, failed, events)
+	}
+}
+
+type sinkFunc func(Event)
+
+func (f sinkFunc) Emit(e Event) { f(e) }
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.Emit(Event{Ev: "job_start", Exp: "fig5", Key: "xgo"})
+	s.Emit(Event{Ev: "cache", Kind: KindTrace, Key: "xgo", Hit: true})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	}
+	var ev struct {
+		Ev  string  `json:"ev"`
+		T   float64 `json:"t_ms"`
+		Exp string  `json:"exp"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Ev != "job_start" || ev.Exp != "fig5" || ev.T < 0 {
+		t.Errorf("decoded event = %+v", ev)
+	}
+	if !strings.Contains(lines[1], `"hit":true`) {
+		t.Errorf("cache event line missing hit flag: %s", lines[1])
+	}
+}
