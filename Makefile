@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench run-all clean
+.PHONY: all build test vet lint checkprog race check bench run-all clean
 
 all: check
 
@@ -16,14 +16,25 @@ test:
 vet:
 	$(GO) vet ./...
 
+# lint runs the repo's custom analyzers (internal/lint): cache-key field
+# coverage, deterministic map iteration, and simulator purity.
+lint:
+	$(GO) run ./cmd/cisimlint
+
+# checkprog statically verifies the built-in workload programs (branch
+# targets, reachability, def-before-use, call discipline, reconvergence).
+checkprog:
+	$(GO) run ./cmd/cisim check
+
 # race exercises the worker pool and the artifact cache's singleflight
 # path under the race detector (the runner tests spin up concurrent
 # jobs and concurrent lookups for one cache entry).
 race:
 	$(GO) test -race ./internal/runner/ ./cmd/cisim/
 
-# check is the CI gate: build, vet, full tests, and the race pass.
-check: build vet test race
+# check is the CI gate: build, vet, the custom analyzers, the workload
+# verifier, full tests, and the race pass.
+check: build vet lint checkprog test race
 
 bench:
 	$(GO) test -bench=BenchmarkRunAllQuick -benchtime=1x -run=^$$ .

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cisim/internal/check"
+	"cisim/internal/workloads"
+)
+
+// cmdCheck statically verifies programs with internal/check. With no
+// arguments it checks every built-in workload (at the default experiment
+// iteration count); with arguments it checks the named assembly source
+// files. Any diagnostic makes the command fail.
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	iters := fs.Int("iters", 0, "workload iterations to verify at (0 = default)")
+	quiet := fs.Bool("q", false, "suppress per-program ok lines")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: cisim check [-iters N] [-q] [files...]\n\n")
+		fmt.Fprintf(fs.Output(), "Verifies assembled programs: branch targets in range, no unreachable\n")
+		fmt.Fprintf(fs.Output(), "blocks, registers defined before use on all paths, call/return\n")
+		fmt.Fprintf(fs.Output(), "discipline, and a reconvergence point for every conditional branch.\n")
+		fmt.Fprintf(fs.Output(), "Without file arguments, checks every built-in workload.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	total := 0
+	report := func(name string, ds []check.Diagnostic) {
+		if len(ds) == 0 {
+			if !*quiet {
+				fmt.Printf("%s: ok\n", name)
+			}
+			return
+		}
+		total += len(ds)
+		for _, d := range ds {
+			fmt.Println(d)
+		}
+	}
+
+	if fs.NArg() == 0 {
+		for _, w := range workloads.All() {
+			report(w.Name, check.Source(w.Name+".s", w.Source(*iters)))
+		}
+	} else {
+		for _, file := range fs.Args() {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				return err
+			}
+			report(file, check.Source(file, string(src)))
+		}
+	}
+	if total > 0 {
+		return fmt.Errorf("%d problem(s) found", total)
+	}
+	return nil
+}

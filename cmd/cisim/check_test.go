@@ -1,0 +1,32 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCmdCheck pins the command-line contract: built-in workloads verify
+// cleanly, and a bad source file yields an error (hence a non-zero exit
+// from main).
+func TestCmdCheck(t *testing.T) {
+	if err := cmdCheck([]string{"-q"}); err != nil {
+		t.Errorf("built-in workloads should verify cleanly: %v", err)
+	}
+
+	f := filepath.Join(t.TempDir(), "bad.s")
+	if err := os.WriteFile(f, []byte("main:\n\tb nowhere\n\thalt\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := cmdCheck([]string{"-q", f})
+	if err == nil {
+		t.Fatal("cmdCheck should fail on an undefined label")
+	}
+	if err.Error() != "1 problem(s) found" {
+		t.Errorf("error = %q, want \"1 problem(s) found\"", err)
+	}
+
+	if err := cmdCheck([]string{"-q", filepath.Join(t.TempDir(), "missing.s")}); err == nil {
+		t.Error("cmdCheck should fail on an unreadable file")
+	}
+}

@@ -22,13 +22,13 @@ func loadProgram(file bool, arg string, iters int) (*prog.Program, error) {
 		if err != nil {
 			return nil, err
 		}
-		return asm.Assemble(string(src))
+		return asm.AssembleNamed(arg, string(src))
 	}
 	w, ok := workloads.Get(arg)
 	if !ok {
 		return nil, fmt.Errorf("unknown workload %q (try 'cisim list', or -file for a source file)", arg)
 	}
-	return w.Program(iters), nil
+	return w.Assemble(iters)
 }
 
 // labelsByAddr inverts the symbol table so listings can print labels.
@@ -182,10 +182,16 @@ func analyzeDynamic(p *prog.Program, name func(uint64) string) error {
 		}
 	}
 	var pcs []uint64
+	//lint:ignore detrange sorted below with a full tie-break
 	for pc := range sites {
 		pcs = append(pcs, pc)
 	}
-	sort.Slice(pcs, func(i, j int) bool { return sites[pcs[i]].misp > sites[pcs[j]].misp })
+	sort.Slice(pcs, func(i, j int) bool {
+		if sites[pcs[i]].misp != sites[pcs[j]].misp {
+			return sites[pcs[i]].misp > sites[pcs[j]].misp
+		}
+		return pcs[i] < pcs[j] // deterministic order for equal counts
+	})
 	fmt.Printf("\ndynamic behaviour over %d traced instructions (%.2f%% misprediction rate):\n",
 		len(tr.Entries), 100*tr.Stats.MispRate())
 	fmt.Printf("  %-28s %10s %12s %18s\n", "branch site", "mispredicts", "reconverge", "avg wrong-path len")

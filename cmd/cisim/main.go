@@ -15,6 +15,7 @@
 // cache; results are merged in paper order, so output is identical at
 // any -jobs value. A run summary (wall clock, instructions simulated,
 // cache hit rates) is printed to stderr.
+//
 //	cisim sim [flags] <workload>   one detailed simulation with stats
 //	cisim ideal [flags] <workload> one idealized-model simulation
 //	cisim disasm <workload>        disassemble a program
@@ -78,6 +79,8 @@ func main() {
 		err = cmdPipe(os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
+	case "check":
+		err = cmdCheck(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -101,7 +104,8 @@ func usage() {
   cisim analyze <workload>        CFG + reconvergent-point report
   cisim trace [flags] <workload>  dump the annotated dynamic trace
   cisim pipe [flags] <workload>   per-instruction pipeline timeline
-  cisim compare <old> <new>       diff two 'run -json' result files`)
+  cisim compare <old> <new>       diff two 'run -json' result files
+  cisim check [files...]          statically verify programs (default: all workloads)`)
 }
 
 func cmdList() error {
@@ -368,8 +372,12 @@ func cmdSim(args []string) error {
 		return fmt.Errorf("unknown completion model %q", *completion)
 	}
 
+	p, err := w.Assemble(*iters)
+	if err != nil {
+		return err
+	}
 	start := time.Now()
-	r, err := ooo.Run(w.Program(*iters), cfg)
+	r, err := ooo.Run(p, cfg)
 	if err != nil {
 		return err
 	}
@@ -426,7 +434,11 @@ func cmdIdeal(args []string) error {
 	if !found {
 		return fmt.Errorf("unknown model %q", *model)
 	}
-	tr, err := trace.Generate(w.Program(*iters), trace.Options{})
+	p, err := w.Assemble(*iters)
+	if err != nil {
+		return err
+	}
+	tr, err := trace.Generate(p, trace.Options{})
 	if err != nil {
 		return err
 	}

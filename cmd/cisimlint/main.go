@@ -1,0 +1,53 @@
+// cisimlint runs the repository's custom static analyzers (package
+// internal/lint) over Go packages and reports findings in the usual
+// file:line:col format. It exits 1 when any diagnostic survives
+// suppression, 2 on a loading failure.
+//
+// Usage:
+//
+//	cisimlint [-C dir] [-list] [packages]
+//
+// With no package patterns it lints the whole enclosing module (./...),
+// so `cisimlint` from anywhere inside the repo checks everything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cisim/internal/lint"
+)
+
+func main() {
+	fs := flag.NewFlagSet("cisimlint", flag.ExitOnError)
+	dir := fs.String("C", "", "module directory to lint (default: the enclosing module)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: cisimlint [-C dir] [-list] [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "Runs the cisim repository analyzers over the given package patterns\n")
+		fmt.Fprintf(fs.Output(), "(default ./... relative to the enclosing module).\n\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	pkgs, err := lint.Load(*dir, fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cisimlint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, lint.Analyzers())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

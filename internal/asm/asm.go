@@ -37,13 +37,20 @@ import (
 	"cisim/internal/prog"
 )
 
-// Error is an assembly error with source position.
+// Error is an assembly error with source position. File is empty when the
+// source came from Assemble rather than AssembleNamed.
 type Error struct {
+	File string
 	Line int
 	Msg  string
 }
 
-func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+func (e *Error) Error() string {
+	if e.File != "" {
+		return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+	}
+	return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg)
+}
 
 type section int
 
@@ -81,7 +88,14 @@ type fixup struct {
 
 // Assemble translates source text into a linked program.
 func Assemble(src string) (*prog.Program, error) {
+	return AssembleNamed("", src)
+}
+
+// AssembleNamed is Assemble with a file name attached to diagnostics, so
+// errors render as "file:line: message".
+func AssembleNamed(file, src string) (*prog.Program, error) {
 	a := &assembler{
+		file:    file,
 		labels:  make(map[string]uint64),
 		textPos: prog.CodeBase,
 		dataPos: prog.DataBase,
@@ -103,6 +117,7 @@ func MustAssemble(src string) *prog.Program {
 }
 
 type assembler struct {
+	file    string
 	stmts   []stmt
 	labels  map[string]uint64
 	textPos uint64
@@ -111,7 +126,7 @@ type assembler struct {
 }
 
 func (a *assembler) errf(line int, format string, args ...interface{}) error {
-	return &Error{line, fmt.Sprintf(format, args...)}
+	return &Error{File: a.file, Line: line, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (a *assembler) pass1(src string) error {
@@ -481,6 +496,7 @@ func (a *assembler) pass2() (*prog.Program, error) {
 	}
 	nInst := int((a.textPos - prog.CodeBase) / 4)
 	p.Code = make([]isa.Inst, nInst)
+	p.Lines = make([]int32, nInst)
 
 	for _, st := range a.stmts {
 		switch st.sec {
@@ -539,6 +555,7 @@ func (a *assembler) pass2() (*prog.Program, error) {
 				return nil, a.errf(st.line, "unencodable instruction: %v", err)
 			}
 			p.Code[(st.addr-prog.CodeBase)/4] = in
+			p.Lines[(st.addr-prog.CodeBase)/4] = int32(st.line)
 			if len(st.targets) > 0 {
 				for _, t := range st.targets {
 					addr, ok := a.labels[t]
@@ -557,7 +574,7 @@ func (a *assembler) pass2() (*prog.Program, error) {
 		p.Entry = prog.CodeBase
 	}
 	if nInst == 0 {
-		return nil, &Error{0, "program has no instructions"}
+		return nil, &Error{File: a.file, Msg: "program has no instructions"}
 	}
 	return p, nil
 }

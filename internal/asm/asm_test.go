@@ -11,6 +11,17 @@ import (
 	"cisim/internal/prog"
 )
 
+// mustSym resolves a label defined in the test program, failing the test
+// if the assembler did not record it.
+func mustSym(t *testing.T, p *prog.Program, name string) uint64 {
+	t.Helper()
+	a, ok := p.Symbol(name)
+	if !ok {
+		t.Fatalf("undefined symbol %q", name)
+	}
+	return a
+}
+
 func TestBasicProgram(t *testing.T) {
 	p, err := Assemble(`
 		; a tiny counting loop
@@ -49,10 +60,10 @@ func TestLabelOnOwnLine(t *testing.T) {
 			nop
 		end: halt
 	`)
-	if p.MustSymbol("main") != p.MustSymbol("start") {
+	if mustSym(t, p, "main") != mustSym(t, p, "start") {
 		t.Error("stacked labels differ")
 	}
-	if p.MustSymbol("end") != p.MustSymbol("main")+4 {
+	if mustSym(t, p, "end") != mustSym(t, p, "main")+4 {
 		t.Error("end label misplaced")
 	}
 }
@@ -74,23 +85,23 @@ func TestDataSection(t *testing.T) {
 			ld r2, 0(r1)
 			halt
 	`)
-	tbl := p.MustSymbol("table")
+	tbl := mustSym(t, p, "table")
 	if tbl != prog.DataBase {
 		t.Errorf("table at %#x, want %#x", tbl, prog.DataBase)
 	}
-	if p.MustSymbol("bytes") != tbl+24 {
-		t.Errorf("bytes at %#x", p.MustSymbol("bytes"))
+	if mustSym(t, p, "bytes") != tbl+24 {
+		t.Errorf("bytes at %#x", mustSym(t, p, "bytes"))
 	}
-	if p.MustSymbol("gap") != tbl+27 {
-		t.Errorf("gap at %#x", p.MustSymbol("gap"))
+	if mustSym(t, p, "gap") != tbl+27 {
+		t.Errorf("gap at %#x", mustSym(t, p, "gap"))
 	}
-	if p.MustSymbol("ptrs") != tbl+27+16 {
-		t.Errorf("ptrs at %#x", p.MustSymbol("ptrs"))
+	if mustSym(t, p, "ptrs") != tbl+27+16 {
+		t.Errorf("ptrs at %#x", mustSym(t, p, "ptrs"))
 	}
 	// Find the .addr words in the data image.
 	var ptrBytes []byte
 	for _, seg := range p.Data {
-		if seg.Addr == p.MustSymbol("ptrs") {
+		if seg.Addr == mustSym(t, p, "ptrs") {
 			ptrBytes = seg.Bytes
 		}
 	}
@@ -101,8 +112,8 @@ func TestDataSection(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		v |= uint64(ptrBytes[i]) << (8 * i)
 	}
-	if v != p.MustSymbol("main") {
-		t.Errorf(".addr main = %#x, want %#x", v, p.MustSymbol("main"))
+	if v != mustSym(t, p, "main") {
+		t.Errorf(".addr main = %#x, want %#x", v, mustSym(t, p, "main"))
 	}
 }
 
@@ -145,7 +156,7 @@ func TestIndirectTargets(t *testing.T) {
 	if len(tgts) != 2 {
 		t.Fatalf("indirect targets = %v", tgts)
 	}
-	if tgts[0] != p.MustSymbol("case0") || tgts[1] != p.MustSymbol("case1") {
+	if tgts[0] != mustSym(t, p, "case0") || tgts[1] != mustSym(t, p, "case1") {
 		t.Errorf("targets = %#x, want case0/case1", tgts)
 	}
 }
@@ -193,7 +204,7 @@ func TestCallAndRet(t *testing.T) {
 		fn:
 			ret
 	`)
-	if in := p.Code[0]; in.Op != isa.JAL || in.Target != p.MustSymbol("fn") {
+	if in := p.Code[0]; in.Op != isa.JAL || in.Target != mustSym(t, p, "fn") {
 		t.Errorf("call = %v", in)
 	}
 	if in := p.Code[2]; in.Op != isa.RET {
@@ -403,8 +414,8 @@ func TestLAHighBitAddress(t *testing.T) {
 			ld r2, 0(r1)
 			halt
 	`)
-	if p.MustSymbol("tgt") != prog.DataBase+0x8000 {
-		t.Fatalf("tgt at %#x", p.MustSymbol("tgt"))
+	if mustSym(t, p, "tgt") != prog.DataBase+0x8000 {
+		t.Fatalf("tgt at %#x", mustSym(t, p, "tgt"))
 	}
 	// Interpret the la pair.
 	in0, in1 := p.Code[0], p.Code[1]
@@ -420,7 +431,7 @@ func TestLAHighBitAddress(t *testing.T) {
 	default:
 		t.Fatalf("second la instruction = %v", in1)
 	}
-	if got != p.MustSymbol("tgt") {
-		t.Errorf("la materializes %#x, want %#x", got, p.MustSymbol("tgt"))
+	if got != mustSym(t, p, "tgt") {
+		t.Errorf("la materializes %#x, want %#x", got, mustSym(t, p, "tgt"))
 	}
 }

@@ -30,6 +30,7 @@ type formatter struct {
 }
 
 func (f *formatter) collectLabels() {
+	//lint:ignore detrange per-address name lists are sorted just below
 	for name, addr := range f.p.Symbols {
 		f.labels[addr] = append(f.labels[addr], name)
 	}
@@ -130,6 +131,7 @@ func (f *formatter) data(b *strings.Builder) {
 		}
 	}
 	var dataLabels []uint64
+	//lint:ignore detrange sorted below before rendering
 	for addr := range f.labels {
 		if addr >= prog.DataBase {
 			dataLabels = append(dataLabels, addr)

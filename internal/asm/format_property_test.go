@@ -9,9 +9,19 @@ import (
 
 	"cisim/internal/asm"
 	"cisim/internal/emu"
+	"cisim/internal/prog"
 	"cisim/internal/progen"
 	"cisim/internal/workloads"
 )
+
+func mustSym(t *testing.T, p *prog.Program, name string) uint64 {
+	t.Helper()
+	a, ok := p.Symbol(name)
+	if !ok {
+		t.Fatalf("undefined symbol %q", name)
+	}
+	return a
+}
 
 func TestFormatRoundTripWorkloads(t *testing.T) {
 	for _, w := range workloads.All() {
@@ -30,7 +40,7 @@ func TestFormatRoundTripWorkloads(t *testing.T) {
 		if na != nb {
 			t.Fatalf("%s: instruction counts differ %d vs %d", w.Name, na, nb)
 		}
-		res := p.MustSymbol("result")
+		res := mustSym(t, p, "result")
 		if a.Mem.Read64(res) != b.Mem.Read64(res) {
 			t.Fatalf("%s: checksums differ after round trip", w.Name)
 		}
@@ -69,7 +79,7 @@ func TestFormatRoundTripRandomPrograms(t *testing.T) {
 		if _, err := b.Run(3_000_000); err != nil {
 			t.Fatal(err)
 		}
-		res := p.MustSymbol("result")
+		res := mustSym(t, p, "result")
 		if a.Mem.Read64(res) != b.Mem.Read64(res) {
 			t.Fatalf("seed %d: checksums differ after round trip", seed)
 		}

@@ -85,6 +85,7 @@ func (g *Graph) findBlocks() {
 	}
 
 	starts := make([]uint64, 0, len(leader))
+	//lint:ignore detrange sorted into address order just below
 	for a := range leader {
 		if p.InCode(a) {
 			starts = append(starts, a)

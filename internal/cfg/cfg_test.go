@@ -11,6 +11,15 @@ import (
 	"cisim/internal/prog"
 )
 
+func mustSym(t *testing.T, p *prog.Program, name string) uint64 {
+	t.Helper()
+	a, ok := p.Symbol(name)
+	if !ok {
+		t.Fatalf("undefined symbol %q", name)
+	}
+	return a
+}
+
 // figure1 is the CFG of Figure 1 in the paper: a diamond. Block 1 ends with
 // a conditional branch to block 3 (else side); block 2 is the fall-through;
 // both rejoin at block 4, the immediate post-dominator.
@@ -34,12 +43,12 @@ func TestFigure1Diamond(t *testing.T) {
 	p := asm.MustAssemble(figure1)
 	g := Build(p)
 
-	branchPC := p.MustSymbol("block2") - 4 // the beq
+	branchPC := mustSym(t, p, "block2") - 4 // the beq
 	rec, ok := g.ReconvergentPC(branchPC)
 	if !ok {
 		t.Fatal("diamond branch should have a reconvergent point")
 	}
-	if want := p.MustSymbol("block4"); rec != want {
+	if want := mustSym(t, p, "block4"); rec != want {
 		t.Errorf("reconvergent point = %#x, want block4 %#x", rec, want)
 	}
 }
@@ -55,13 +64,13 @@ func TestLoopReconvergence(t *testing.T) {
 			halt
 	`)
 	g := Build(p)
-	branchPC := p.MustSymbol("after") - 4
+	branchPC := mustSym(t, p, "after") - 4
 	rec, ok := g.ReconvergentPC(branchPC)
 	if !ok {
 		t.Fatal("loop branch should reconverge")
 	}
 	// The loop-terminating branch's post-dominator is the loop exit.
-	if want := p.MustSymbol("after"); rec != want {
+	if want := mustSym(t, p, "after"); rec != want {
 		t.Errorf("reconvergent point = %#x, want after %#x", rec, want)
 	}
 }
@@ -86,12 +95,12 @@ func TestNestedDiamonds(t *testing.T) {
 			halt
 	`)
 	g := Build(p)
-	outerBr := p.MustSymbol("main")
-	innerBr := p.MustSymbol("outerThen")
-	if rec, ok := g.ReconvergentPC(outerBr); !ok || rec != p.MustSymbol("outerJoin") {
+	outerBr := mustSym(t, p, "main")
+	innerBr := mustSym(t, p, "outerThen")
+	if rec, ok := g.ReconvergentPC(outerBr); !ok || rec != mustSym(t, p, "outerJoin") {
 		t.Errorf("outer reconvergent = %#x, %v; want outerJoin", rec, ok)
 	}
-	if rec, ok := g.ReconvergentPC(innerBr); !ok || rec != p.MustSymbol("innerJoin") {
+	if rec, ok := g.ReconvergentPC(innerBr); !ok || rec != mustSym(t, p, "innerJoin") {
 		t.Errorf("inner reconvergent = %#x, %v; want innerJoin", rec, ok)
 	}
 }
@@ -115,11 +124,11 @@ func TestCallTransparent(t *testing.T) {
 			ret
 	`)
 	g := Build(p)
-	if rec, ok := g.ReconvergentPC(p.MustSymbol("main")); !ok || rec != p.MustSymbol("join") {
+	if rec, ok := g.ReconvergentPC(mustSym(t, p, "main")); !ok || rec != mustSym(t, p, "join") {
 		t.Errorf("reconvergent = %#x, %v; want join", rec, ok)
 	}
 	// A mid-block call site: reconvergent point is the next instruction.
-	callPC := p.MustSymbol("then")
+	callPC := mustSym(t, p, "then")
 	if rec, ok := g.ReconvergentPC(callPC); !ok || rec != callPC+4 {
 		t.Errorf("call reconvergent = %#x, %v; want pc+4", rec, ok)
 	}
@@ -138,7 +147,7 @@ func TestIndirectJumpWithTargets(t *testing.T) {
 			halt
 	`)
 	g := Build(p)
-	if rec, ok := g.ReconvergentPC(p.MustSymbol("main")); !ok || rec != p.MustSymbol("join") {
+	if rec, ok := g.ReconvergentPC(mustSym(t, p, "main")); !ok || rec != mustSym(t, p, "join") {
 		t.Errorf("annotated jr reconvergent = %#x, %v; want join", rec, ok)
 	}
 }
@@ -154,7 +163,7 @@ func TestUnannotatedIndirectJump(t *testing.T) {
 	`)
 	g := Build(p)
 	// The branch's paths only rejoin at exit (jr target unknown).
-	if rec, ok := g.ReconvergentPC(p.MustSymbol("main")); ok {
+	if rec, ok := g.ReconvergentPC(mustSym(t, p, "main")); ok {
 		t.Errorf("branch over unannotated jr should not reconverge, got %#x", rec)
 	}
 }
@@ -168,7 +177,7 @@ func TestReturnHasNoReconvergence(t *testing.T) {
 			ret
 	`)
 	g := Build(p)
-	if _, ok := g.ReconvergentPC(p.MustSymbol("fn")); ok {
+	if _, ok := g.ReconvergentPC(mustSym(t, p, "fn")); ok {
 		t.Error("a return should have no static reconvergent point")
 	}
 }
@@ -176,16 +185,16 @@ func TestReturnHasNoReconvergence(t *testing.T) {
 func TestBlockOf(t *testing.T) {
 	p := asm.MustAssemble(figure1)
 	g := Build(p)
-	b := g.BlockOf(p.MustSymbol("block2"))
-	if b == nil || b.Start != p.MustSymbol("block2") {
+	b := g.BlockOf(mustSym(t, p, "block2"))
+	if b == nil || b.Start != mustSym(t, p, "block2") {
 		t.Fatalf("BlockOf(block2) = %+v", b)
 	}
 	if g.BlockOf(0xdead0) != nil {
 		t.Error("BlockOf outside code should be nil")
 	}
 	// Address in the middle of a block resolves to that block.
-	mid := g.BlockOf(p.MustSymbol("block2") + 4)
-	if mid == nil || mid.Start != p.MustSymbol("block2") {
+	mid := g.BlockOf(mustSym(t, p, "block2") + 4)
+	if mid == nil || mid.Start != mustSym(t, p, "block2") {
 		t.Errorf("mid-block lookup = %+v", mid)
 	}
 }
@@ -193,8 +202,8 @@ func TestBlockOf(t *testing.T) {
 func TestPostDominates(t *testing.T) {
 	p := asm.MustAssemble(figure1)
 	g := Build(p)
-	b2 := g.BlockOf(p.MustSymbol("block2")).Start
-	b4 := p.MustSymbol("block4")
+	b2 := g.BlockOf(mustSym(t, p, "block2")).Start
+	b4 := mustSym(t, p, "block4")
 	if !g.PostDominates(b4, b2) {
 		t.Error("block4 should post-dominate block2")
 	}

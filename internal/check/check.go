@@ -1,0 +1,610 @@
+// Package check statically verifies assembled programs before they are
+// simulated. The simulators trust their input image: a branch into the
+// data section, code that falls off the end of the image, or a RET with
+// no caller shows up as a confusing emulator fault (or worse, silently
+// wrong statistics) minutes into a run. The checker finds these at
+// assembly time and reports them with file:line positions.
+//
+// Rules:
+//
+//	assemble        the source must assemble (position from the assembler)
+//	target-range    branch/jump/call targets and annotated indirect
+//	                targets must land inside the code image
+//	unreachable     every basic block must be reachable from the entry
+//	                point (following calls)
+//	fall-off-end    control must not be able to run past the last
+//	                instruction of the image
+//	def-before-use  along every path, a register is written before it is
+//	                read (interprocedural: call sites guarantee what the
+//	                callee may assume, callees summarize what they define)
+//	call-discipline a RET must only execute when the link register holds
+//	                a return address on every path (i.e. after a call)
+//	reconvergence   every conditional branch needs a reconvergent point:
+//	                a post-dominator, or — the paper's return heuristic —
+//	                all paths ending at a return or halt. A branch whose
+//	                outcome can escape through an unannotated indirect
+//	                jump defeats control independence entirely.
+//
+// The def-before-use analysis is a must-be-defined forward dataflow over
+// each function's CFG (meet = intersection). Because every transfer
+// function only adds registers, the registers a function is guaranteed
+// to define are independent of what was defined at its entry, so each
+// function is summarized by one register set and the whole-program
+// analysis iterates function summaries and entry facts to a greatest
+// fixpoint; recursion converges because all facts shrink monotonically.
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"cisim/internal/asm"
+	"cisim/internal/cfg"
+	"cisim/internal/isa"
+	"cisim/internal/prog"
+)
+
+// Diagnostic is one finding, anchored to an instruction.
+type Diagnostic struct {
+	File string
+	Line int    // 1-based source line; 0 when the program has no line info
+	PC   uint64 // address of the offending instruction
+	Rule string
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	if d.File != "" && d.Line > 0 {
+		return fmt.Sprintf("%s:%d: %s: %s", d.File, d.Line, d.Rule, d.Msg)
+	}
+	if d.File != "" {
+		return fmt.Sprintf("%s: %s: %s (pc %#x)", d.File, d.Rule, d.Msg, d.PC)
+	}
+	return fmt.Sprintf("%#x: %s: %s", d.PC, d.Rule, d.Msg)
+}
+
+// Source assembles src (attributing positions to file) and checks the
+// resulting program. An assembly failure is itself returned as a
+// diagnostic under the "assemble" rule.
+func Source(file, src string) []Diagnostic {
+	p, err := asm.AssembleNamed(file, src)
+	if err != nil {
+		if e, ok := err.(*asm.Error); ok {
+			return []Diagnostic{{File: e.File, Line: e.Line, Rule: "assemble", Msg: e.Msg}}
+		}
+		return []Diagnostic{{File: file, Rule: "assemble", Msg: err.Error()}}
+	}
+	return Program(file, p)
+}
+
+// Program runs every rule over an assembled program. file is used only
+// for reporting and may be empty.
+func Program(file string, p *prog.Program) []Diagnostic {
+	c := &checker{file: file, p: p, g: cfg.Build(p), seen: map[string]bool{}}
+	c.checkTargets()
+	c.computeReach()
+	c.checkUnreachable()
+	c.checkFallOff()
+	c.checkDataflow()
+	c.checkReconvergence()
+	sort.Slice(c.diags, func(i, j int) bool {
+		if c.diags[i].PC != c.diags[j].PC {
+			return c.diags[i].PC < c.diags[j].PC
+		}
+		if c.diags[i].Rule != c.diags[j].Rule {
+			return c.diags[i].Rule < c.diags[j].Rule
+		}
+		return c.diags[i].Msg < c.diags[j].Msg
+	})
+	return c.diags
+}
+
+type checker struct {
+	file  string
+	p     *prog.Program
+	g     *cfg.Graph
+	reach map[uint64]bool // block start -> reachable from entry
+	seen  map[string]bool // dedupe: same finding via two calling contexts
+	diags []Diagnostic
+}
+
+func (c *checker) reportf(pc uint64, rule, format string, args ...interface{}) {
+	d := Diagnostic{File: c.file, Line: c.p.LineOf(pc), PC: pc, Rule: rule, Msg: fmt.Sprintf(format, args...)}
+	key := fmt.Sprintf("%x/%s/%s", pc, rule, d.Msg)
+	if c.seen[key] {
+		return
+	}
+	c.seen[key] = true
+	c.diags = append(c.diags, d)
+}
+
+// --- target-range ---
+
+func (c *checker) checkTargets() {
+	for i, in := range c.p.Code {
+		pc := c.p.CodeBase + uint64(4*i)
+		switch isa.ClassOf(in.Op) {
+		case isa.ClassCondBr:
+			if t := in.BranchTarget(pc); !c.p.InCode(t) {
+				c.reportf(pc, "target-range", "branch target %#x is outside the code image", t)
+			}
+		case isa.ClassJump, isa.ClassCall:
+			if !c.p.InCode(in.Target) {
+				c.reportf(pc, "target-range", "%s target %#x is outside the code image", in.Op, in.Target)
+			}
+		}
+	}
+	//lint:ignore detrange diagnostics are sorted before they are returned
+	for pc, tgts := range c.p.IndirectTargets {
+		for _, t := range tgts {
+			if !c.p.InCode(t) {
+				c.reportf(pc, "target-range", "annotated indirect target %#x is outside the code image", t)
+			}
+		}
+	}
+}
+
+// --- reachability ---
+
+// computeReach marks every block reachable from the entry point. Unlike
+// the CFG (which models calls as fall-through so post-dominance sees
+// through them), reachability must also follow call edges into callees.
+func (c *checker) computeReach() {
+	c.reach = map[uint64]bool{}
+	start := c.g.BlockOf(c.p.Entry)
+	if start == nil {
+		return
+	}
+	work := []uint64{start.Start}
+	c.reach[start.Start] = true
+	for len(work) > 0 {
+		b := c.g.Blocks[work[len(work)-1]]
+		work = work[:len(work)-1]
+		next := append([]uint64{}, b.Succs...)
+		for pc := b.Start; pc < b.End; pc += 4 {
+			in, _ := c.p.InstAt(pc)
+			switch isa.ClassOf(in.Op) {
+			case isa.ClassCall:
+				next = append(next, in.Target)
+			case isa.ClassIndCall:
+				next = append(next, c.p.IndirectTargets[pc]...)
+			}
+		}
+		for _, s := range next {
+			if blk := c.g.BlockOf(s); blk != nil && !c.reach[blk.Start] {
+				c.reach[blk.Start] = true
+				work = append(work, blk.Start)
+			}
+		}
+	}
+}
+
+func (c *checker) checkUnreachable() {
+	order := c.g.Order
+	for i := 0; i < len(order); {
+		if c.reach[order[i]] {
+			i++
+			continue
+		}
+		// Group a run of address-contiguous unreachable blocks into one
+		// finding so a dead function reports once, not once per block.
+		j, n := i, 0
+		for j < len(order) && !c.reach[order[j]] {
+			b := c.g.Blocks[order[j]]
+			n += int((b.End - b.Start) / 4)
+			if j+1 < len(order) && order[j+1] != b.End {
+				j++
+				break
+			}
+			j++
+		}
+		start := order[i]
+		if label := c.p.SymbolFor(start); label != "" {
+			c.reportf(start, "unreachable", "unreachable code: %d instruction(s) starting at %q can never execute", n, label)
+		} else {
+			c.reportf(start, "unreachable", "unreachable code: %d instruction(s) can never execute", n)
+		}
+		i = j
+	}
+}
+
+// --- fall-off-end ---
+
+func (c *checker) checkFallOff() {
+	for _, bs := range c.g.Order {
+		b := c.g.Blocks[bs]
+		if !c.reach[bs] || b.End != c.p.CodeEnd() {
+			continue
+		}
+		last, _ := c.p.InstAt(b.LastPC())
+		switch isa.ClassOf(last.Op) {
+		case isa.ClassJump, isa.ClassIndJump, isa.ClassReturn, isa.ClassHalt:
+			// Control transfers away (or the program ends) — fine.
+		default:
+			c.reportf(b.LastPC(), "fall-off-end", "control can fall off the end of the code image (last instruction is %q, not a halt, return, or jump)", last.Op)
+		}
+	}
+}
+
+// --- def-before-use / call-discipline ---
+
+// regset is a bitset over the 32 architectural registers.
+type regset uint32
+
+const allRegs regset = 0xffff_ffff
+
+func (s regset) has(r isa.Reg) bool { return s&(1<<r) != 0 }
+
+// entrySeed is what the loader guarantees at program entry: R0 reads as
+// zero and the stack pointer is initialized (see emu.New). Everything
+// else must be written before it is read.
+const entrySeed = regset(1<<isa.RZero | 1<<isa.RSP)
+
+// fn is one function: a call target (or the program entry) plus the
+// blocks reachable from it without crossing a call or return.
+type fn struct {
+	entry  uint64
+	blocks []uint64            // ascending block starts
+	preds  map[uint64][]uint64 // intra-function predecessors
+}
+
+func (c *checker) checkDataflow() {
+	fns := c.collectFns()
+	summaries := map[uint64]regset{} // fn entry -> regs the fn always defines
+	entryIn := map[uint64]regset{}   // fn entry -> regs defined on entry, all paths
+	for _, f := range fns {
+		summaries[f.entry] = allRegs
+		entryIn[f.entry] = allRegs
+	}
+	entryIn[c.p.Entry] = entrySeed
+
+	// Greatest fixpoint over summaries and entry facts. Every quantity
+	// shrinks monotonically from the all-registers top, so this
+	// terminates even with recursion.
+	for changed := true; changed; {
+		changed = false
+		newEntry := map[uint64]regset{}
+		for _, f := range fns {
+			newEntry[f.entry] = allRegs
+		}
+		for _, f := range fns {
+			gen, sum := c.genFlow(f, summaries)
+			if sum != summaries[f.entry] {
+				summaries[f.entry] = sum
+				changed = true
+			}
+			// Contribute call-site facts to each callee's entry set.
+			base := entryIn[f.entry]
+			for _, bs := range f.blocks {
+				c.walkBlock(bs, base|gen[bs], summaries, func(pc uint64, in isa.Inst, def regset) {
+					for _, t := range c.callTargets(pc, in) {
+						if cur, ok := newEntry[t]; ok {
+							newEntry[t] = cur & (def | 1<<isa.RLink)
+						}
+					}
+				})
+			}
+		}
+		for e, v := range newEntry {
+			if e == c.p.Entry {
+				v &= entrySeed // entry facts come from the loader, not callers
+			}
+			if v != entryIn[e] {
+				entryIn[e] = v
+				changed = true
+			}
+		}
+	}
+
+	// Reporting pass with the converged facts.
+	for _, f := range fns {
+		gen, _ := c.genFlow(f, summaries)
+		base := entryIn[f.entry]
+		for _, bs := range f.blocks {
+			c.walkBlock(bs, base|gen[bs], summaries, func(pc uint64, in isa.Inst, def regset) {
+				if isa.ClassOf(in.Op) == isa.ClassReturn {
+					if !def.has(isa.RLink) {
+						c.reportf(pc, "call-discipline", "ret executes with an undefined return address: no call dominates it on every path")
+					}
+					return
+				}
+				for _, r := range in.SrcRegs() {
+					if r != isa.RZero && !def.has(r) {
+						c.reportf(pc, "def-before-use", "register %s may be read before any instruction writes it", r)
+					}
+				}
+			})
+		}
+	}
+}
+
+// collectFns finds function entries — the program entry plus every
+// reachable direct or annotated-indirect call target — and their
+// intra-function block sets.
+func (c *checker) collectFns() []*fn {
+	entries := []uint64{c.p.Entry}
+	seen := map[uint64]bool{c.p.Entry: true}
+	for i, in := range c.p.Code {
+		pc := c.p.CodeBase + uint64(4*i)
+		var tgts []uint64
+		switch isa.ClassOf(in.Op) {
+		case isa.ClassCall:
+			tgts = []uint64{in.Target}
+		case isa.ClassIndCall:
+			tgts = c.p.IndirectTargets[pc]
+		default:
+			continue
+		}
+		for _, t := range tgts {
+			blk := c.g.BlockOf(t)
+			if blk == nil || !c.reach[blk.Start] || seen[t] {
+				continue
+			}
+			seen[t] = true
+			entries = append(entries, t)
+		}
+	}
+	var fns []*fn
+	for _, e := range entries {
+		f := &fn{entry: e, preds: map[uint64][]uint64{}}
+		start := c.g.BlockOf(e)
+		if start == nil {
+			continue
+		}
+		visited := map[uint64]bool{start.Start: true}
+		work := []uint64{start.Start}
+		for len(work) > 0 {
+			bs := work[len(work)-1]
+			work = work[:len(work)-1]
+			f.blocks = append(f.blocks, bs)
+			for _, s := range c.g.Blocks[bs].Succs {
+				if blk := c.g.BlockOf(s); blk != nil {
+					f.preds[blk.Start] = append(f.preds[blk.Start], bs)
+					if !visited[blk.Start] {
+						visited[blk.Start] = true
+						work = append(work, blk.Start)
+					}
+				}
+			}
+		}
+		sort.Slice(f.blocks, func(i, j int) bool { return f.blocks[i] < f.blocks[j] })
+		fns = append(fns, f)
+	}
+	return fns
+}
+
+// callTargets returns the known callee entries of a call instruction.
+func (c *checker) callTargets(pc uint64, in isa.Inst) []uint64 {
+	switch isa.ClassOf(in.Op) {
+	case isa.ClassCall:
+		if c.p.InCode(in.Target) {
+			return []uint64{in.Target}
+		}
+	case isa.ClassIndCall:
+		return c.p.IndirectTargets[pc]
+	}
+	return nil
+}
+
+// walkBlock applies the must-defined transfer function across one block,
+// invoking visit before each instruction with the registers defined on
+// every path to it.
+func (c *checker) walkBlock(bs uint64, def regset, summaries map[uint64]regset, visit func(pc uint64, in isa.Inst, def regset)) regset {
+	b := c.g.Blocks[bs]
+	for pc := b.Start; pc < b.End; pc += 4 {
+		in, _ := c.p.InstAt(pc)
+		if visit != nil {
+			visit(pc, in, def)
+		}
+		switch isa.ClassOf(in.Op) {
+		case isa.ClassCall, isa.ClassIndCall:
+			// The call defines the link register (JALR: its rd); on
+			// return, everything every possible callee defines is defined.
+			if rd, ok := in.WritesReg(); ok {
+				def |= 1 << rd
+			}
+			callee := allRegs
+			tgts := c.callTargets(pc, in)
+			if len(tgts) == 0 {
+				callee = 0 // unannotated indirect call: assume nothing
+			}
+			for _, t := range tgts {
+				if s, ok := summaries[t]; ok {
+					callee &= s
+				} else {
+					callee = 0
+				}
+			}
+			def |= callee
+		default:
+			if rd, ok := in.WritesReg(); ok {
+				def |= 1 << rd
+			}
+		}
+	}
+	return def
+}
+
+// genFlow runs the must-defined dataflow over one function with an empty
+// entry set, yielding per-block generated sets (registers defined on
+// every path from the function's entry to the block) and the function's
+// summary (registers defined on every path from entry to a return).
+// Because transfer functions only add registers, the facts for a real
+// entry set E are simply E ∪ gen.
+func (c *checker) genFlow(f *fn, summaries map[uint64]regset) (map[uint64]regset, regset) {
+	in := map[uint64]regset{}
+	out := map[uint64]regset{}
+	for _, bs := range f.blocks {
+		in[bs] = allRegs
+		out[bs] = allRegs
+	}
+	in[f.entry] = 0
+	if blk := c.g.BlockOf(f.entry); blk != nil {
+		in[blk.Start] = 0
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, bs := range f.blocks {
+			v := in[bs]
+			if preds := f.preds[bs]; len(preds) > 0 && bs != f.entry {
+				v = allRegs
+				for _, p := range preds {
+					v &= out[p]
+				}
+			}
+			nv := c.walkBlock(bs, v, summaries, nil)
+			if v != in[bs] || nv != out[bs] {
+				in[bs], out[bs] = v, nv
+				changed = true
+			}
+		}
+	}
+	sum := allRegs
+	sawRet := false
+	for _, bs := range f.blocks {
+		b := c.g.Blocks[bs]
+		if last, _ := c.p.InstAt(b.LastPC()); isa.ClassOf(last.Op) == isa.ClassReturn {
+			sum &= out[bs]
+			sawRet = true
+		}
+	}
+	if !sawRet {
+		// A function that never returns contributes vacuously: code after
+		// a call to it never runs, so any claim about it is sound.
+		sum = allRegs
+	}
+	return in, sum
+}
+
+// --- reconvergence ---
+
+func (c *checker) checkReconvergence() {
+	preds := c.blockPreds()
+	canExit := c.canReachExit(preds)
+	for _, bs := range c.g.Order {
+		if !c.reach[bs] {
+			continue
+		}
+		b := c.g.Blocks[bs]
+		last, _ := c.p.InstAt(b.LastPC())
+		if !last.IsCondBranch() {
+			continue
+		}
+		if r, ok := c.g.IPdom(bs); ok {
+			// A post-dominator exists, but the algorithm ignores blocks
+			// that never reach exit — an arm that spins forever still
+			// gets a (vacuous) reconvergent point. Require every path
+			// from the branch to actually be able to reach it.
+			if why, bad := c.divergesBefore(bs, r, preds); bad {
+				c.reportf(b.LastPC(), "reconvergence", "conditional branch has no reconvergence point: %s", why)
+			}
+			continue
+		}
+		// No post-dominator. The paper's return heuristic (§A.5.2) still
+		// provides a reconvergent point — the caller's continuation —
+		// when every path from the branch ends at a return or halt. Only
+		// paths that escape analysis or never terminate are real losses.
+		if why, bad := c.escapes(bs, canExit); bad {
+			c.reportf(b.LastPC(), "reconvergence", "conditional branch has no reconvergence point: %s", why)
+		}
+	}
+}
+
+// blockPreds computes the CFG predecessor map over block starts.
+func (c *checker) blockPreds() map[uint64][]uint64 {
+	preds := map[uint64][]uint64{}
+	for _, bs := range c.g.Order {
+		for _, s := range c.g.Blocks[bs].Succs {
+			if blk := c.g.BlockOf(s); blk != nil {
+				preds[blk.Start] = append(preds[blk.Start], bs)
+			}
+		}
+	}
+	return preds
+}
+
+// canReachExit computes the blocks from which some path reaches the
+// virtual exit (a return, halt, or the fall-through end of the image).
+func (c *checker) canReachExit(preds map[uint64][]uint64) map[uint64]bool {
+	can := map[uint64]bool{}
+	var work []uint64
+	for _, bs := range c.g.Order {
+		if c.g.Blocks[bs].ToExit {
+			can[bs] = true
+			work = append(work, bs)
+		}
+	}
+	for len(work) > 0 {
+		bs := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, p := range preds[bs] {
+			if !can[p] {
+				can[p] = true
+				work = append(work, p)
+			}
+		}
+	}
+	return can
+}
+
+// divergesBefore reports a path from the branch block bs that can never
+// reach the branch's reconvergent point r.
+func (c *checker) divergesBefore(bs, r uint64, preds map[uint64][]uint64) (string, bool) {
+	// Blocks that reach r, by reverse BFS from r.
+	reaches := map[uint64]bool{r: true}
+	work := []uint64{r}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, p := range preds[cur] {
+			if !reaches[p] {
+				reaches[p] = true
+				work = append(work, p)
+			}
+		}
+	}
+	// Walk the region between the branch and r; every block in it must
+	// be able to reach r.
+	visited := map[uint64]bool{bs: true}
+	work = []uint64{bs}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		if cur != bs && !reaches[cur] {
+			return "a path loops forever without reaching the reconvergence point", true
+		}
+		for _, s := range c.g.Blocks[cur].Succs {
+			if blk := c.g.BlockOf(s); blk != nil && blk.Start != r && !visited[blk.Start] {
+				visited[blk.Start] = true
+				work = append(work, blk.Start)
+			}
+		}
+	}
+	return "", false
+}
+
+// escapes reports why a branch with no post-dominator also fails the
+// return heuristic, walking every path forward from the branch block.
+func (c *checker) escapes(bs uint64, canExit map[uint64]bool) (string, bool) {
+	visited := map[uint64]bool{bs: true}
+	work := []uint64{bs}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		b := c.g.Blocks[cur]
+		last, _ := c.p.InstAt(b.LastPC())
+		if isa.ClassOf(last.Op) == isa.ClassIndJump && len(c.p.IndirectTargets[b.LastPC()]) == 0 {
+			return fmt.Sprintf("a path escapes through the indirect jump at %#x, which has no annotated targets", b.LastPC()), true
+		}
+		if !canExit[cur] {
+			return "a path loops forever without reaching a return or halt", true
+		}
+		for _, s := range b.Succs {
+			if blk := c.g.BlockOf(s); blk != nil && !visited[blk.Start] {
+				visited[blk.Start] = true
+				work = append(work, blk.Start)
+			}
+		}
+	}
+	return "", false
+}

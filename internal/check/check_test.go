@@ -1,0 +1,233 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"cisim/internal/workloads"
+)
+
+// TestWorkloadsClean is the acceptance gate for the built-in benchmarks:
+// every workload program must pass every rule, at the test iteration
+// count and at the experiment defaults.
+func TestWorkloadsClean(t *testing.T) {
+	for _, w := range workloads.All() {
+		for _, iters := range []int{50, 0} {
+			for _, d := range Source(w.Name+".s", w.Source(iters)) {
+				t.Errorf("%s (iters=%d): %s", w.Name, iters, d)
+			}
+		}
+	}
+}
+
+// expectDiag asserts that checking src yields a diagnostic rendering
+// exactly as want.
+func expectDiag(t *testing.T, src, want string) {
+	t.Helper()
+	ds := Source("bad.s", src)
+	for _, d := range ds {
+		if d.String() == want {
+			return
+		}
+	}
+	var got []string
+	for _, d := range ds {
+		got = append(got, d.String())
+	}
+	t.Errorf("diagnostic %q not found; got:\n  %s", want, strings.Join(got, "\n  "))
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	expectDiag(t, `main:
+	b nowhere
+	halt`,
+		`bad.s:2: assemble: undefined label "nowhere"`)
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	expectDiag(t, `main:
+	nop
+main:
+	halt`,
+		`bad.s:3: assemble: duplicate label "main"`)
+}
+
+func TestImmediateOutOfRange(t *testing.T) {
+	// The historical panic path: an iteration count too large for li
+	// (e.g. cisim sim -iters 3000000000) must be a diagnostic, not a crash.
+	expectDiag(t, `main:
+	li r1, 3000000000
+	halt`,
+		`bad.s:2: assemble: li immediate 3000000000 out of 32-bit range`)
+}
+
+func TestBranchTargetOutsideCode(t *testing.T) {
+	expectDiag(t, `main:
+	b table
+	halt
+.data
+table:
+	.word 1`,
+		`bad.s:2: target-range: jmp target 0x100000 is outside the code image`)
+}
+
+func TestUnreachableCode(t *testing.T) {
+	expectDiag(t, `main:
+	nop
+	halt
+dead:
+	nop
+	nop
+	halt`,
+		`bad.s:5: unreachable: unreachable code: 3 instruction(s) starting at "dead" can never execute`)
+}
+
+func TestFallOffEnd(t *testing.T) {
+	expectDiag(t, `main:
+	li r1, 1
+	addi r1, r1, 1`,
+		`bad.s:3: fall-off-end: control can fall off the end of the code image (last instruction is "addi", not a halt, return, or jump)`)
+}
+
+func TestDefBeforeUse(t *testing.T) {
+	expectDiag(t, `main:
+	add r1, r2, r0
+	halt`,
+		`bad.s:2: def-before-use: register r2 may be read before any instruction writes it`)
+}
+
+func TestDefBeforeUseOnOnePath(t *testing.T) {
+	// r5 is defined on the taken path only; the join must intersect.
+	expectDiag(t, `main:
+	li r1, 1
+	beq r1, r0, skip
+	li r5, 7
+skip:
+	add r2, r5, r0
+	halt`,
+		`bad.s:6: def-before-use: register r5 may be read before any instruction writes it`)
+}
+
+func TestRetWithoutCall(t *testing.T) {
+	expectDiag(t, `main:
+	nop
+	ret`,
+		`bad.s:3: call-discipline: ret executes with an undefined return address: no call dominates it on every path`)
+}
+
+func TestNoReconvergencePoint(t *testing.T) {
+	// One arm of the branch escapes through an unannotated indirect
+	// jump: no post-dominator exists and the return heuristic cannot
+	// apply, so wrong-path work past this branch is never reclaimable.
+	expectDiag(t, `main:
+	li r1, 1
+	beq r1, r0, other
+	jr r1
+other:
+	halt`,
+		`bad.s:3: reconvergence: conditional branch has no reconvergence point: a path escapes through the indirect jump at 0x1008, which has no annotated targets`)
+}
+
+func TestInfiniteLoopArm(t *testing.T) {
+	expectDiag(t, `main:
+	li r1, 1
+	beq r1, r0, spin
+	halt
+spin:
+	b spin`,
+		`bad.s:3: reconvergence: conditional branch has no reconvergence point: a path loops forever without reaching the reconvergence point`)
+}
+
+// TestInterproceduralDefs pins the call-summary machinery: a callee may
+// rely on registers every call site defines, and the caller may rely on
+// registers the callee always defines — but nothing more.
+func TestInterproceduralDefs(t *testing.T) {
+	src := `main:
+	li r2, 5
+	call fn
+	add r9, r8, r0   ; r8: defined by fn on every path
+	add r9, r7, r0   ; r7: fn defines it on one path only
+	halt
+fn:
+	add r3, r2, r0   ; r2: defined at every call site
+	add r3, r4, r0   ; r4: defined nowhere
+	beq r2, r0, fn_done
+	li r7, 1
+fn_done:
+	li r8, 2
+	ret`
+	ds := Source("bad.s", src)
+	var got []string
+	for _, d := range ds {
+		got = append(got, d.String())
+	}
+	want := []string{
+		`bad.s:5: def-before-use: register r7 may be read before any instruction writes it`,
+		`bad.s:9: def-before-use: register r4 may be read before any instruction writes it`,
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("diagnostics:\n  %s\nwant:\n  %s", strings.Join(got, "\n  "), strings.Join(want, "\n  "))
+	}
+}
+
+// TestRecursionConverges exercises the greatest-fixpoint iteration with
+// a self-recursive function; the analysis must terminate and stay clean.
+func TestRecursionConverges(t *testing.T) {
+	src := `main:
+	li r2, 3
+	call count
+	halt
+count:
+	addi r2, r2, -1
+	beq r2, r0, done
+	addi r3, r2, 0
+done:
+	ret`
+	if ds := Source("ok.s", src); len(ds) != 0 {
+		t.Errorf("recursive-shape program should be clean, got %v", ds)
+	}
+}
+
+// TestJumpTableClean checks that annotated indirect jumps participate in
+// reachability and reconvergence like the xgcc dispatch does.
+func TestJumpTableClean(t *testing.T) {
+	src := `main:
+	la r2, tab
+	ld r3, 0(r2)
+	jr r3 [a, b]
+a:
+	b join
+b:
+	nop
+join:
+	halt
+.data
+tab:
+	.addr a, b`
+	if ds := Source("ok.s", src); len(ds) != 0 {
+		t.Errorf("jump-table program should be clean, got %v", ds)
+	}
+}
+
+func TestDiagnosticWithoutLineInfo(t *testing.T) {
+	// Hand-built programs (no assembler) carry no line table; the
+	// diagnostic falls back to the PC.
+	w, _ := workloads.Get("xgcc")
+	p, err := w.Assemble(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Lines = nil
+	ds := Program("", p)
+	if len(ds) != 0 {
+		t.Errorf("xgcc should stay clean without line info, got %v", ds)
+	}
+	d := Diagnostic{PC: 0x1004, Rule: "target-range", Msg: "m"}
+	if d.String() != "0x1004: target-range: m" {
+		t.Errorf("PC-only rendering = %q", d.String())
+	}
+	d.File = "f.s"
+	if d.String() != "f.s: target-range: m (pc 0x1004)" {
+		t.Errorf("file-without-line rendering = %q", d.String())
+	}
+}

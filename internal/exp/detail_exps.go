@@ -421,6 +421,7 @@ func tfrCurve(evs []ooo.MispEvent, scheme tfrScheme) (at10, at20 float64) {
 	}
 	list := make([]*cat, 0, len(cats))
 	totalT, totalF := 0, 0
+	//lint:ignore detrange sorted below with a full tie-break (the fig10 fix)
 	for _, c := range cats {
 		list = append(list, c)
 		totalT += c.trues

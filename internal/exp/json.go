@@ -115,6 +115,7 @@ func Compare(prev, cur []JSONResult, tolPct float64) []Diff {
 		diffs = append(diffs, compareTables(nr.ID, or.Tables, nr.Tables, tolPct)...)
 	}
 	var leftover []string
+	//lint:ignore detrange sorted just below
 	for id := range oldByID {
 		leftover = append(leftover, id)
 	}

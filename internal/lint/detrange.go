@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetRange flags `for ... range m` over a map whose body has an
+// order-dependent effect: appending to a slice that outlives the loop,
+// sending on a channel, or calling an emitting function (writers, hashes,
+// printers, encoders). Go randomizes map iteration order, so such loops
+// produce run-to-run nondeterministic output — exactly the bug class
+// behind the fig10 true/false-misprediction curve ordering fixed in PR 1.
+// Order-insensitive bodies (counting, keyed writes into another map,
+// min/max reduction) are not flagged; loops that sort afterwards can
+// carry a `//lint:ignore detrange <why>` justification.
+var DetRange = &Analyzer{
+	Name: "detrange",
+	Doc:  "map iteration must not feed order-dependent sinks (append, channel send, writers/hashes)",
+	Run:  runDetRange,
+}
+
+// emitNames are method/function name shapes treated as order-dependent
+// sinks: each emission is observable in sequence, so calling one per map
+// element bakes the iteration order into the output.
+var emitPrefixes = []string{"Write", "Print", "Fprint", "Encode", "Emit", "Log", "AddRow", "Append"}
+
+func isEmitName(name string) bool {
+	for _, p := range emitPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runDetRange(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sink := findOrderSink(info, rng); sink != "" {
+				pass.Reportf(rng.Pos(), "map iteration feeds an order-dependent sink (%s); iterate sorted keys or sort afterwards", sink)
+			}
+			return true
+		})
+	}
+}
+
+// findOrderSink returns a description of the first order-dependent effect
+// in the range body, or "" when the body looks order-insensitive.
+func findOrderSink(info *types.Info, rng *ast.RangeStmt) string {
+	var sink string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			sink = "channel send"
+			return false
+		case *ast.CallExpr:
+			if name, ok := calleeName(info, n); ok {
+				if name == "append" && appendsToOuter(info, rng, n) {
+					sink = "append to a slice declared outside the loop"
+					return false
+				}
+				if isEmitName(name) {
+					sink = "call to " + name
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// calleeName extracts the called function or method name: `append`,
+// `fmt.Fprintf` -> Fprintf, `w.Write` -> Write.
+func calleeName(info *types.Info, call *ast.CallExpr) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name, true
+	case *ast.SelectorExpr:
+		return fun.Sel.Name, true
+	}
+	return "", false
+}
+
+// appendsToOuter reports whether an append call's destination is declared
+// outside the range statement, so the element order of the map iteration
+// becomes the element order of a longer-lived slice.
+func appendsToOuter(info *types.Info, rng *ast.RangeStmt, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	ident := rootIdent(call.Args[0])
+	if ident == nil {
+		// Appending to a field or index of something: conservatively
+		// treat as escaping the loop.
+		return true
+	}
+	obj := info.Uses[ident]
+	if obj == nil {
+		obj = info.Defs[ident]
+	}
+	if obj == nil {
+		return true
+	}
+	pos := obj.Pos()
+	return pos < rng.Pos() || pos > rng.End() || pos == token.NoPos
+}
+
+// rootIdent digs the base identifier out of expressions like xs, p.xs,
+// xs[i].
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// KeyCover verifies that every exported field of a struct with a Key
+// method is referenced somewhere in that method's body. The artifact
+// cache (internal/runner) addresses simulation results by the canonical
+// string Config.Key builds by hand; a field added to the struct but not
+// to Key would make two semantically different configurations share a
+// cache address, silently serving stale results. This check turns that
+// runtime hazard into a lint failure at the moment the field is added.
+var KeyCover = &Analyzer{
+	Name: "keycover",
+	Doc:  "exported fields of cache-keyed structs must be referenced by their Key method",
+	Run:  runKeyCover,
+}
+
+func runKeyCover(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Name.Name != "Key" || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			recv := recvNamed(info, fn)
+			if recv == nil {
+				continue
+			}
+			st, ok := recv.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			exported := map[string]bool{}
+			for i := 0; i < st.NumFields(); i++ {
+				if f := st.Field(i); f.Exported() {
+					exported[f.Name()] = false
+				}
+			}
+			if len(exported) == 0 {
+				continue
+			}
+			// A field counts as covered when any expression in the body
+			// (including the usual `d := c; d.defaults()` copy) selects it
+			// from a value of the receiver type.
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s, ok := info.Selections[sel]
+				if !ok || s.Kind() != types.FieldVal {
+					return true
+				}
+				if named, ok := derefNamed(s.Recv()); ok && named.Obj() == recv.Obj() {
+					if _, tracked := exported[s.Obj().Name()]; tracked {
+						exported[s.Obj().Name()] = true
+					}
+				}
+				return true
+			})
+			var missing []string
+			//lint:ignore detrange sorted just below for stable reporting
+			for name, covered := range exported {
+				if !covered {
+					missing = append(missing, name)
+				}
+			}
+			sort.Strings(missing)
+			for _, name := range missing {
+				pass.Reportf(fn.Pos(), "%s.Key does not cover exported field %s; configs differing only in %s would share a cache key",
+					recv.Obj().Name(), name, name)
+			}
+		}
+	}
+}
+
+// recvNamed resolves a method's receiver to its named type, if the
+// receiver is a (possibly pointer to) named struct defined here.
+func recvNamed(info *types.Info, fn *ast.FuncDecl) *types.Named {
+	if len(fn.Recv.List) != 1 {
+		return nil
+	}
+	var ident *ast.Ident
+	switch t := fn.Recv.List[0].Type.(type) {
+	case *ast.Ident:
+		ident = t
+	case *ast.StarExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			ident = id
+		}
+	}
+	if ident == nil {
+		return nil
+	}
+	obj := info.Uses[ident]
+	if obj == nil {
+		obj = info.Defs[ident]
+	}
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, _ := tn.Type().(*types.Named)
+	return named
+}
+
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return named, ok
+}

@@ -1,0 +1,91 @@
+// Package linttest is a test harness for internal/lint analyzers in the
+// style of golang.org/x/tools/go/analysis/analysistest (which is not
+// available offline): a testdata package's sources carry expectations as
+// trailing comments,
+//
+//	rand.Int() // want `global random source`
+//
+// and Run checks that the analyzer reports exactly the expected
+// diagnostics — each `want` regexp must match a diagnostic on its line,
+// and no unmatched diagnostics may remain.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cisim/internal/lint"
+)
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the package rooted at dir and applies the analyzer, bypassing
+// its Match policy (testdata lives under synthetic import paths).
+func Run(t *testing.T, dir string, a *lint.Analyzer) {
+	t.Helper()
+	pkg, err := lint.LoadDir(dir, "linttest/"+a.Name)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	var diags []lint.Diagnostic
+	lint.RunPackage(pkg, a, &diags)
+
+	wants := map[string][]*expectation{} // "file:line" -> expectations
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, m := range wantRE.FindAllStringSubmatch(strings.TrimPrefix(text, "want "), -1) {
+					pat := m[1]
+					if pat == "" && m[2] != "" {
+						unq, err := strconv.Unquote(`"` + m[2] + `"`)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", key, m[2], err)
+						}
+						pat = unq
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("expected diagnostic at %s matching %q, got none", key, w.re)
+			}
+		}
+	}
+}

@@ -1,0 +1,246 @@
+// Package loading for the lint framework. The environment is offline, so
+// instead of golang.org/x/tools/go/packages this loader shells out to the
+// go tool for package metadata and compiled export data ("go list -json
+// -export -deps"), parses the target packages' sources itself, and
+// type-checks them with go/types using the gc importer over the export
+// data. Dependencies are never re-checked from source, which keeps a
+// whole-repo lint run fast.
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves the package patterns (e.g. "./...") relative to dir and
+// returns the matched packages parsed and type-checked. An empty dir
+// means the enclosing module's root, so "./..." covers the whole module
+// regardless of the caller's working directory. Test files are not
+// loaded, matching the go tool's definition of a package's GoFiles.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if dir == "" {
+		root, err := moduleRoot()
+		if err != nil {
+			return nil, err
+		}
+		dir = root
+	}
+	metas, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	targets, err := goListPaths(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := exportMap(metas)
+	var pkgs []*Package
+	for _, path := range targets {
+		m, ok := metas[path]
+		if !ok || len(m.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := check(m, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir loads a single directory that is not a go-tool-visible package
+// (e.g. an analyzer's testdata directory) under a synthetic import path.
+// Export data for its imports is resolved via the go tool from dir.
+func LoadDir(dir, asPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	m := listedPkg{ImportPath: asPath, Dir: dir}
+	for _, e := range entries {
+		if name := e.Name(); strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			m.GoFiles = append(m.GoFiles, name)
+		}
+	}
+	if len(m.GoFiles) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	// Parse first to learn the imports, then ask the go tool for their
+	// export data (plus transitive dependencies).
+	fset := token.NewFileSet()
+	files, err := parseAll(fset, m)
+	if err != nil {
+		return nil, err
+	}
+	// Collect imports in file order (not via a map) so the go list
+	// invocation below is deterministic — the loader holds itself to the
+	// same detrange standard it enforces.
+	seen := map[string]bool{}
+	var paths []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			if p := strings.Trim(imp.Path.Value, `"`); !seen[p] {
+				seen[p] = true
+				paths = append(paths, p)
+			}
+		}
+	}
+	exports := map[string]string{}
+	if len(paths) > 0 {
+		metas, err := goList(dir, paths)
+		if err != nil {
+			return nil, err
+		}
+		exports = exportMap(metas)
+	}
+	return checkParsed(m, fset, files, exports)
+}
+
+// moduleRoot asks the go tool for the enclosing module's directory.
+func moduleRoot() (string, error) {
+	out, err := runGo("", []string{"env", "GOMOD"})
+	if err != nil {
+		return "", err
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("lint: not inside a Go module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+func goList(dir string, patterns []string) (map[string]listedPkg, error) {
+	out, err := runGo(dir, append([]string{"list", "-json", "-export", "-deps"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	metas := map[string]listedPkg{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var m listedPkg
+		if err := dec.Decode(&m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if m.Error != nil {
+			return nil, fmt.Errorf("lint: go list: %s: %s", m.ImportPath, m.Error.Err)
+		}
+		metas[m.ImportPath] = m
+	}
+	return metas, nil
+}
+
+func goListPaths(dir string, patterns []string) ([]string, error) {
+	out, err := runGo(dir, append([]string{"list"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if line != "" {
+			paths = append(paths, line)
+		}
+	}
+	return paths, nil
+}
+
+func runGo(dir string, args []string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return out, nil
+}
+
+func exportMap(metas map[string]listedPkg) map[string]string {
+	exports := map[string]string{}
+	for path, m := range metas {
+		if m.Export != "" {
+			exports[path] = m.Export
+		}
+	}
+	return exports
+}
+
+func parseAll(fset *token.FileSet, m listedPkg) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range m.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(m.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func check(m listedPkg, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	files, err := parseAll(fset, m)
+	if err != nil {
+		return nil, err
+	}
+	return checkParsed(m, fset, files, exports)
+}
+
+func checkParsed(m listedPkg, fset *token.FileSet, files []*ast.File, exports map[string]string) (*Package, error) {
+	lookup := func(path string) (io.ReadCloser, error) {
+		p, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(p)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	tpkg, err := conf.Check(m.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", m.ImportPath, err)
+	}
+	return &Package{Path: m.ImportPath, Dir: m.Dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

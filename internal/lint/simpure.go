@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SimPure forbids nondeterministic or environment-dependent inputs inside
+// the simulator model packages: wall-clock time, the process environment,
+// and the globally seeded math/rand state. A simulation result must be a
+// pure function of the program and configuration — that is what makes the
+// runner's content-addressed artifact cache sound and experiment results
+// reproducible. Explicitly seeded generators (rand.New(rand.NewSource(s)))
+// remain allowed.
+var SimPure = &Analyzer{
+	Name: "simpure",
+	Doc:  "simulator packages must not use time.Now, global math/rand, or the environment",
+	Run:  runSimPure,
+	// The policy applies to the deterministic model packages; drivers
+	// (cmd/*) and the harness may read the clock and environment.
+	Match: func(path string) bool {
+		for _, suffix := range []string{
+			"internal/ooo", "internal/ideal", "internal/emu",
+			"internal/bpred", "internal/cache", "internal/cfg",
+			"internal/progen", "internal/workloads", "internal/check",
+		} {
+			if strings.HasSuffix(path, suffix) {
+				return true
+			}
+		}
+		return false
+	},
+}
+
+// forbidden maps package path -> function name -> reason. An empty inner
+// map forbids every package-level function except those in allowed.
+var simPureForbidden = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock time",
+		"Since": "wall-clock time",
+		"Until": "wall-clock time",
+	},
+	"os": {
+		"Getenv":    "process environment",
+		"LookupEnv": "process environment",
+		"Environ":   "process environment",
+	},
+}
+
+// globalRand lists math/rand package-level functions that draw from the
+// shared global source. Constructors taking an explicit seed are allowed.
+var globalRandAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func runSimPure(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgIdent, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := info.Uses[pkgIdent].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pkgName.Imported().Path()
+			fn := sel.Sel.Name
+			if reason, bad := simPureForbidden[path][fn]; bad {
+				pass.Reportf(call.Pos(), "%s.%s reads %s; simulator results must be reproducible from program and config alone", path, fn, reason)
+			}
+			if (path == "math/rand" || path == "math/rand/v2") && !globalRandAllowed[fn] {
+				pass.Reportf(call.Pos(), "%s.%s draws from the global random source; use rand.New(rand.NewSource(seed)) threaded through the config", path, fn)
+			}
+			return true
+		})
+	}
+}

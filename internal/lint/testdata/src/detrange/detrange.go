@@ -1,0 +1,80 @@
+// Package detrange is analyzer testdata covering the order-dependent map
+// iteration shapes the analyzer must flag, and the order-insensitive ones
+// it must leave alone.
+package detrange
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"sort"
+)
+
+func appendToOuter(m map[string]int) []string {
+	var names []string
+	for name := range m { // want `append to a slice declared outside the loop`
+		names = append(names, name)
+	}
+	return names
+}
+
+func appendSortedAfter(m map[string]int) []string {
+	var names []string
+	//lint:ignore detrange keys are sorted before use
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func writeOut(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `call to Fprintf`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func hashValues(m map[uint64]uint64) [32]byte {
+	h := sha256.New()
+	for _, v := range m { // want `call to Write`
+		h.Write([]byte{byte(v)})
+	}
+	var sum [32]byte
+	copy(sum[:], h.Sum(nil))
+	return sum
+}
+
+func sendAll(m map[int]int, ch chan<- int) {
+	for k := range m { // want `channel send`
+		ch <- k
+	}
+}
+
+// Order-insensitive bodies: counting, keyed writes, reductions, and
+// ranging over slices are all fine.
+func clean(m map[string]int, xs []string) (int, map[string]int, []string) {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	inverted := map[string]int{}
+	for k, v := range m {
+		inverted[k] = v * 2
+	}
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return n, inverted, out
+}
+
+// appendToInner is fine: the slice does not outlive the iteration body.
+func appendToInner(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}

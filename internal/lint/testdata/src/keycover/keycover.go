@@ -1,0 +1,48 @@
+// Package keycover is analyzer testdata: Config has an exported field
+// (Extra) that its Key method does not reference — the exact mistake
+// keycover exists to catch, a config knob invisible to the artifact
+// cache. Covered demonstrates the clean shape, including coverage via a
+// local copy, and Other shows that structs without a Key method are not
+// in scope.
+package keycover
+
+import "fmt"
+
+type Config struct {
+	Machine int
+	Window  int
+	Extra   bool // test-only field added without extending Key
+
+	debug func() // unexported fields are not required in the key
+}
+
+func (c Config) defaults() {
+	if c.Window == 0 {
+		c.Window = 256
+	}
+}
+
+func (c Config) Key() (string, bool) { // want `Config.Key does not cover exported field Extra`
+	if c.debug != nil {
+		return "", false
+	}
+	d := c
+	d.defaults()
+	return fmt.Sprintf("machine=%d window=%d", d.Machine, d.Window), true
+}
+
+type Covered struct {
+	A int
+	B string
+}
+
+func (c *Covered) Key() string {
+	d := *c
+	return fmt.Sprintf("a=%d b=%q", d.A, d.B)
+}
+
+type Other struct {
+	Unkeyed int
+}
+
+func (o Other) String() string { return "other" }

@@ -1,0 +1,31 @@
+// Package simpure is analyzer testdata: impure inputs a simulator model
+// package must not touch, next to the explicitly seeded shapes it may.
+package simpure
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func impure() (int64, string, int) {
+	t := time.Now().UnixNano()         // want `time.Now reads wall-clock time`
+	home := os.Getenv("HOME")          // want `os.Getenv reads process environment`
+	n := rand.Intn(10)                 // want `math/rand.Intn draws from the global random source`
+	rand.Shuffle(n, func(i, j int) {}) // want `math/rand.Shuffle draws from the global random source`
+	return t, home, n
+}
+
+func pureEnough(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // seeded constructors are allowed
+	d := 3 * time.Second                // durations are data, not clock reads
+	_ = d
+	return r.Intn(10) // method on an explicit *rand.Rand, not the global source
+}
+
+func fileOK() error {
+	// os use other than the environment is not simpure's concern (other
+	// layers decide whether file IO belongs here).
+	_, err := os.Stat("/dev/null")
+	return err
+}

@@ -17,6 +17,7 @@ package ooo
 
 import (
 	"fmt"
+	"strings"
 
 	"cisim/internal/cache"
 )
@@ -273,13 +274,34 @@ func (c *Config) defaults() {
 // return is false when the configuration carries observation hooks
 // (Debug, recovery hooks) whose side effects make a cached result
 // unfaithful; such runs must not be memoized.
+//
+// The encoding is spelled out field by field rather than dumped with
+// %+v so it stays stable across Go versions and field reorderings, and
+// so the keycover analyzer (internal/lint) can prove every exported
+// field participates: a field missing here would make the artifact cache
+// (internal/runner) serve one field-variant's result for another's.
 func (c Config) Key() (string, bool) {
 	if c.Debug != nil || c.hookRecovery != nil {
 		return "", false
 	}
 	d := c
 	d.defaults()
-	return fmt.Sprintf("%+v", d), true
+	var b strings.Builder
+	// Reconv prints via its String method, which canonicalizes the
+	// PostDom-overrides-heuristics rule the simulator applies.
+	fmt.Fprintf(&b, "machine=%v completion=%v repredict=%v preempt=%v reconv=%v",
+		d.Machine, d.Completion, d.Repredict, d.Preempt, d.Reconv)
+	fmt.Fprintf(&b, " window=%d width=%d segment=%d",
+		d.WindowSize, d.Width, d.SegmentSize)
+	fmt.Fprintf(&b, " consloads=%t fetchtaken=%d confdelay=%t hfm=%t oraclehist=%t",
+		d.ConservativeLoads, d.FetchTakenLimit, d.ConfidenceDelay,
+		d.HideFalseMispredictions, d.OracleGlobalHistory)
+	fmt.Fprintf(&b, " cache=%+v icache=%+v bimodal=%t gshare=%d target=%d",
+		d.Cache, d.ICache, d.BimodalPredictor, d.GShareBits, d.TargetBits)
+	fmt.Fprintf(&b, " maxinstrs=%d maxcycles=%d misps=%t pipe=%t pipelimit=%d squashed=%t check=%t",
+		d.MaxInstrs, d.MaxCycles, d.RecordMisps, d.RecordPipeline,
+		d.PipelineLimit, d.RecordSquashed, d.Check)
+	return b.String(), true
 }
 
 // Stats aggregates the measurements behind Figures 5-17 and Tables 2-4.

@@ -39,6 +39,26 @@ type Program struct {
 	// in the assembly source. Control-flow analysis uses it to build CFG
 	// edges for indirect jumps.
 	IndirectTargets map[uint64][]uint64
+
+	// Lines[i] is the 1-based source line of Code[i] in the assembly the
+	// program was built from (0 when unknown, e.g. hand-built images).
+	// The static checker (internal/check) uses it for file:line
+	// diagnostics; instructions expanded from one pseudo-instruction
+	// share its line.
+	Lines []int32
+}
+
+// LineOf returns the source line of the instruction at pc, or 0 when the
+// program carries no line information for it.
+func (p *Program) LineOf(pc uint64) int {
+	if pc < p.CodeBase || pc%4 != 0 {
+		return 0
+	}
+	i := (pc - p.CodeBase) / 4
+	if i >= uint64(len(p.Lines)) {
+		return 0
+	}
+	return int(p.Lines[i])
 }
 
 // InstAt returns the instruction at the given byte address.
@@ -68,20 +88,11 @@ func (p *Program) Symbol(name string) (uint64, bool) {
 	return a, ok
 }
 
-// MustSymbol is Symbol, panicking when the label is unknown. It is intended
-// for tests and workload setup where a missing label is a programming error.
-func (p *Program) MustSymbol(name string) uint64 {
-	a, ok := p.Symbols[name]
-	if !ok {
-		panic(fmt.Sprintf("prog: unknown symbol %q", name))
-	}
-	return a
-}
-
 // SymbolFor returns the name of the symbol at addr, preferring code labels.
 // It returns "" when no symbol matches exactly.
 func (p *Program) SymbolFor(addr uint64) string {
 	names := make([]string, 0, 2)
+	//lint:ignore detrange sorted below; only the first name is returned
 	for n, a := range p.Symbols {
 		if a == addr {
 			names = append(names, n)

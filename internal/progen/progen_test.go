@@ -5,7 +5,17 @@ import (
 	"testing"
 
 	"cisim/internal/emu"
+	"cisim/internal/prog"
 )
+
+func mustSym(t *testing.T, p *prog.Program, name string) uint64 {
+	t.Helper()
+	a, ok := p.Symbol(name)
+	if !ok {
+		t.Fatalf("undefined symbol %q", name)
+	}
+	return a
+}
 
 func TestGeneratedProgramsTerminate(t *testing.T) {
 	for seed := int64(0); seed < 30; seed++ {
@@ -18,7 +28,7 @@ func TestGeneratedProgramsTerminate(t *testing.T) {
 		if n < 50 {
 			t.Errorf("seed %d ran only %d instructions", seed, n)
 		}
-		res := p.MustSymbol("result")
+		res := mustSym(t, p, "result")
 		_ = s.Mem.Read64(res) // observable checksum exists
 	}
 }
@@ -74,7 +84,7 @@ func TestGeneratedChecksumsDiffer(t *testing.T) {
 		if _, err := s.Run(3_000_000); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		sum := s.Mem.Read64(p.MustSymbol("result"))
+		sum := s.Mem.Read64(mustSym(t, p, "result"))
 		if prev, dup := sums[sum]; dup && sum != 0 {
 			t.Errorf("seeds %d and %d produced identical checksum %#x", prev, seed, sum)
 		}

@@ -199,7 +199,7 @@ func (c *Cache) Program(w *workloads.Workload, iters int) (*prog.Program, bool, 
 	src := w.Source(iters)
 	key := fmt.Sprintf("%s iters=%d", w.Name, iters)
 	v, hit, err := c.get(KindProgram, key, addr(KindProgram, src), func() (interface{}, error) {
-		return w.Program(iters), nil
+		return w.Assemble(iters)
 	})
 	if err != nil {
 		return nil, hit, err

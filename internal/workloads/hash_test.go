@@ -1,0 +1,42 @@
+package workloads
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+)
+
+// TestSourcePinned pins the exact generated assembly of every workload.
+// The experiment runner's artifact cache (internal/runner) addresses
+// programs, traces, and results by the hash of this source, and the
+// paper-reproduction numbers in EXPERIMENTS.md were measured against
+// these programs — so a change here must be deliberate. If you edited a
+// workload on purpose, update the hash and expect cached artifacts and
+// recorded results to shift.
+func TestSourcePinned(t *testing.T) {
+	pinned := map[string]string{
+		"xgcc":      "2f95cd18b36faa3c5c90f568005877ba32e7f6459aa86591e4f8dab944988db9",
+		"xgo":       "2664f31e382e7f77e6e571f7b8cd1b61c4203a10832546798fd97beea78932f3",
+		"xcompress": "ef3c40f0653dd3c674c5ddbd1a62600fbd5b7f9b3c93007f1cb7e3c11f54f78e",
+		"xjpeg":     "b533a85eb66ee9ae9aad3179796a9dcc7ca2a370438bbd3a61413e54137d537d",
+		"xvortex":   "41185799d305e6b211dc81fe58d199a14a04cf123af67ecde9005e0b293b0c39",
+	}
+	for _, w := range All() {
+		want, ok := pinned[w.Name]
+		if !ok {
+			t.Errorf("workload %s has no pinned source hash; add one", w.Name)
+			continue
+		}
+		got := fmt.Sprintf("%x", sha256.Sum256([]byte(w.Source(100))))
+		if got != want {
+			t.Errorf("%s source (iters=100) hash changed:\n  got  %s\n  want %s\nif intentional, update the pin (cached artifacts and recorded results will shift)", w.Name, got, want)
+		}
+	}
+	// Source generation must also be a pure function of the iteration
+	// count — same input, same text, every call.
+	for _, w := range All() {
+		if w.Source(73) != w.Source(73) {
+			t.Errorf("%s source generation is nondeterministic", w.Name)
+		}
+	}
+}

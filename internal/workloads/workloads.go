@@ -51,9 +51,23 @@ func (w *Workload) Source(iters int) string {
 	return w.src(iters)
 }
 
-// Program assembles the workload. iters <= 0 selects DefaultIters.
+// Assemble assembles the workload, reporting errors with the workload
+// name as the source file. iters <= 0 selects DefaultIters. Assembly can
+// fail for extreme iteration counts (immediates out of encodable range),
+// so user-facing paths must use this form rather than Program.
+func (w *Workload) Assemble(iters int) (*prog.Program, error) {
+	return asm.AssembleNamed(w.Name+".s", w.Source(iters))
+}
+
+// Program assembles the workload, panicking on error. For tests and other
+// callers whose iteration counts are known-good constants. iters <= 0
+// selects DefaultIters.
 func (w *Workload) Program(iters int) *prog.Program {
-	return asm.MustAssemble(w.Source(iters))
+	p, err := w.Assemble(iters)
+	if err != nil {
+		panic(err)
+	}
+	return p
 }
 
 var registry = []*Workload{
@@ -183,6 +197,7 @@ main:
 	la r10, board
 	la r19, rngbuf
 	li r11, 0            ; score
+	li r12, 0            ; scan accumulator
 outer:
 	ld   r22, 0(r19)     ; this iteration's random bits
 	addi r19, r19, 8

@@ -4,7 +4,17 @@ import (
 	"testing"
 
 	"cisim/internal/emu"
+	"cisim/internal/prog"
 )
+
+func mustSym(t *testing.T, p *prog.Program, name string) uint64 {
+	t.Helper()
+	a, ok := p.Symbol(name)
+	if !ok {
+		t.Fatalf("undefined symbol %q", name)
+	}
+	return a
+}
 
 func TestAllAssembleAndHalt(t *testing.T) {
 	for _, w := range All() {
@@ -33,7 +43,7 @@ func TestAllAssembleAndHalt(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	for _, w := range All() {
 		p := w.Program(30)
-		res := p.MustSymbol("result")
+		res := mustSym(t, p, "result")
 		var first uint64
 		for trial := 0; trial < 2; trial++ {
 			s := emu.New(p)
