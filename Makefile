@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint checkprog race check bench run-all clean
+.PHONY: all build test vet lint checkprog race faults check bench run-all clean
 
 all: check
 
@@ -17,7 +17,8 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the repo's custom analyzers (internal/lint): cache-key field
-# coverage, deterministic map iteration, and simulator purity.
+# coverage, deterministic map iteration, simulator purity, and
+# stack-preserving recover sites.
 lint:
 	$(GO) run ./cmd/cisimlint
 
@@ -32,9 +33,16 @@ checkprog:
 race:
 	$(GO) test -race ./internal/runner/ ./cmd/cisim/
 
+# faults drives the deterministic fault-injection matrix end to end:
+# every fault point (cache corruption, transient/permanent failures,
+# hangs, panics, aborts) through real quick experiment runs, plus the
+# journal crash-recovery and resume paths (see DESIGN.md §8).
+faults:
+	$(GO) test -run 'TestFaultMatrix|TestJournalResume|TestRunBadFaultSpec|TestRunResumeNeedsJournal' ./cmd/cisim/
+
 # check is the CI gate: build, vet, the custom analyzers, the workload
-# verifier, full tests, and the race pass.
-check: build vet lint checkprog test race
+# verifier, full tests, the race pass, and the fault matrix.
+check: build vet lint checkprog test race faults
 
 bench:
 	$(GO) test -bench=BenchmarkRunAllQuick -benchtime=1x -run=^$$ .

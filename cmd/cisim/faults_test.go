@@ -1,0 +1,300 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cisim/internal/faults"
+	"cisim/internal/runner"
+)
+
+// runQuiet runs cmdRun with a cold artifact cache and both stdout and
+// stderr captured, returning stdout. Faults are cleared afterwards even
+// if cmdRun bails before its own deferred Clear.
+func runQuiet(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	runner.Artifacts.Reset()
+	defer faults.Clear()
+	oldErr := os.Stderr
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = devnull
+	defer func() {
+		os.Stderr = oldErr
+		devnull.Close()
+	}()
+	return capture(t, func() error { return cmdRun(args) })
+}
+
+// countEvents tallies event kinds in a JSONL events file.
+func countEvents(t *testing.T, path string) map[string]int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		if line == "" {
+			continue
+		}
+		var ev struct {
+			Ev string `json:"ev"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		counts[ev.Ev]++
+	}
+	return counts
+}
+
+// TestFaultMatrix drives every fault point through a real (quick)
+// experiment run and checks the recovery contract: recoverable faults
+// (cache corruption, transient failures) leave the output byte-identical
+// to an uninjected run; unrecoverable ones (permanent failure, timeout,
+// panic, abort) fail loudly with the right diagnostics. fig5 re-reads
+// its program and prep artifacts across simulations, so a corrupted
+// store is guaranteed to be detected.
+func TestFaultMatrix(t *testing.T) {
+	dir := t.TempDir()
+	baselines := map[string]string{}
+	for _, id := range []string{"fig5", "table1"} {
+		out, err := runQuiet(t, "-quick", "-json", id)
+		if err != nil {
+			t.Fatalf("baseline %s: %v", id, err)
+		}
+		baselines[id] = out
+	}
+
+	cases := []struct {
+		name      string
+		exp       string   // experiment id ("" means fig5)
+		extra     []string // flags beyond -quick -json <exp>
+		identical bool     // stdout must match the baseline byte for byte
+		wantErr   string   // "" means the run must succeed
+		events    map[string]int
+	}{
+		{
+			name:      "cache corruption self-heals",
+			extra:     []string{"-faults", "cache-corrupt"},
+			identical: true,
+			events:    map[string]int{"cache_corrupt": 1},
+		},
+		{
+			// table1, not fig5: it is the experiment that generates
+			// traces, where the emulator step budget can run out.
+			name:      "transient trace budget retries",
+			exp:       "table1",
+			extra:     []string{"-faults", "trace-budget", "-retries", "2"},
+			identical: true,
+			events:    map[string]int{"job_retry": 1},
+		},
+		{
+			name:      "transient job failure retries",
+			extra:     []string{"-faults", "job-transient", "-retries", "1"},
+			identical: true,
+			events:    map[string]int{"job_retry": 1},
+		},
+		{
+			name:    "permanent job failure surfaces",
+			extra:   []string{"-faults", "job-permanent"},
+			wantErr: "injected permanent job failure",
+		},
+		{
+			name:    "hung job hits its deadline",
+			extra:   []string{"-faults", "job-hang", "-timeout", "100ms"},
+			wantErr: "job deadline exceeded",
+			events:  map[string]int{"job_stall": 1},
+		},
+		{
+			name:    "job panic is contained",
+			extra:   []string{"-faults", "job-panic"},
+			wantErr: "panicked",
+		},
+		{
+			name:    "abort drains and reports holes",
+			extra:   []string{"-faults", "run-abort@3", "-jobs", "1"},
+			wantErr: "run aborted before completion",
+			events:  map[string]int{"run_abort": 1},
+		},
+	}
+	for i, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			expID := tc.exp
+			if expID == "" {
+				expID = "fig5"
+			}
+			evFile := filepath.Join(dir, tc.name+".jsonl")
+			args := append([]string{"-quick", "-json", "-events", evFile}, tc.extra...)
+			args = append(args, expID)
+			out, err := runQuiet(t, args...)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("run failed: %v", err)
+				}
+			} else {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+				}
+			}
+			if tc.identical && out != baselines[expID] {
+				t.Errorf("output diverged from the uninjected baseline (case %d)", i)
+			}
+			counts := countEvents(t, evFile)
+			for ev, want := range tc.events {
+				if counts[ev] < want {
+					t.Errorf("events[%s] = %d, want >= %d (all: %v)", ev, counts[ev], want, counts)
+				}
+			}
+		})
+	}
+}
+
+// TestFaultMatrixPanicKeepsStack: a fault-injected job panic surfaces
+// with its stack trace on the event stream, not just the message.
+func TestFaultMatrixPanicKeepsStack(t *testing.T) {
+	evFile := filepath.Join(t.TempDir(), "ev.jsonl")
+	_, err := runQuiet(t, "-quick", "-json", "-events", evFile, "-faults", "job-panic", "fig5")
+	if err == nil {
+		t.Fatal("panicking job should fail the run")
+	}
+	data, err := os.ReadFile(evFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawStack bool
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var ev struct {
+			Ev    string `json:"ev"`
+			Stack string `json:"stack"`
+		}
+		if json.Unmarshal([]byte(line), &ev) == nil && ev.Ev == "job_end" && strings.Contains(ev.Stack, "goroutine") {
+			sawStack = true
+		}
+	}
+	if !sawStack {
+		t.Error("no job_end event carried the panic stack")
+	}
+}
+
+// TestRunBadFaultSpec: an unknown fault point is rejected up front with
+// the known vocabulary, not silently ignored.
+func TestRunBadFaultSpec(t *testing.T) {
+	_, err := runQuiet(t, "-quick", "-faults", "no-such-point", "table1")
+	if err == nil || !strings.Contains(err.Error(), "unknown point") {
+		t.Fatalf("error = %v, want unknown point", err)
+	}
+	if !strings.Contains(err.Error(), "cache-corrupt") {
+		t.Errorf("error does not list the known points: %v", err)
+	}
+}
+
+// TestJournalResume is the crash-recovery acceptance path: a journaled
+// campaign is killed mid-write (simulated by tearing the journal's last
+// record), and -resume recomputes only the lost job, producing output
+// byte-identical to an uninterrupted run.
+func TestJournalResume(t *testing.T) {
+	dir := t.TempDir()
+	jfile := filepath.Join(dir, "run.journal")
+
+	baseline, err := runQuiet(t, "-quick", "-json", "fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runQuiet(t, "-quick", "-json", "-journal", jfile, "fig5"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := strings.Count(string(data), "\n")
+	if jobs < 2 {
+		t.Fatalf("journal holds %d records, need >= 2 for a meaningful tear", jobs)
+	}
+
+	// Crash simulation: the process died 10 bytes into fsyncing the last
+	// record.
+	if err := os.Truncate(jfile, int64(len(data)-10)); err != nil {
+		t.Fatal(err)
+	}
+
+	evFile := filepath.Join(dir, "resume.jsonl")
+	out, err := runQuiet(t, "-quick", "-json", "-journal", jfile, "-resume", "-events", evFile, "fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != baseline {
+		t.Error("resumed output differs from an uninterrupted run")
+	}
+	counts := countEvents(t, evFile)
+	if counts["job_skip"] != jobs-1 {
+		t.Errorf("job_skip = %d, want %d (only the torn record recomputes)", counts["job_skip"], jobs-1)
+	}
+	if counts["job_start"] != 1 {
+		t.Errorf("job_start = %d, want 1", counts["job_start"])
+	}
+
+	// The journal is whole again: a further resume recomputes nothing.
+	evFile2 := filepath.Join(dir, "resume2.jsonl")
+	out, err = runQuiet(t, "-quick", "-json", "-journal", jfile, "-resume", "-events", evFile2, "fig5")
+	if err != nil || out != baseline {
+		t.Fatalf("second resume: err=%v identical=%v", err, out == baseline)
+	}
+	counts = countEvents(t, evFile2)
+	if counts["job_start"] != 0 || counts["job_skip"] != jobs {
+		t.Errorf("second resume ran jobs: %v", counts)
+	}
+}
+
+// TestJournalResumeAfterAbort: an aborted journaled campaign resumes
+// with only the unfinished jobs and converges on the uninterrupted
+// output — the full kill-mid-flight acceptance criterion, driven by the
+// run-abort fault instead of an actual SIGINT.
+func TestJournalResumeAfterAbort(t *testing.T) {
+	dir := t.TempDir()
+	jfile := filepath.Join(dir, "run.journal")
+
+	baseline, err := runQuiet(t, "-quick", "-json", "fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = runQuiet(t, "-quick", "-json", "-jobs", "1", "-journal", jfile, "-faults", "run-abort@3", "fig5")
+	if err == nil || !strings.Contains(err.Error(), "aborted") {
+		t.Fatalf("aborted run error = %v", err)
+	}
+	data, err := os.ReadFile(jfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := strings.Count(string(data), "\n")
+	if done == 0 {
+		t.Fatal("abort journaled nothing; the drained jobs should have been recorded")
+	}
+
+	evFile := filepath.Join(dir, "resume.jsonl")
+	out, err := runQuiet(t, "-quick", "-json", "-journal", jfile, "-resume", "-events", evFile, "fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != baseline {
+		t.Error("post-abort resume differs from an uninterrupted run")
+	}
+	if counts := countEvents(t, evFile); counts["job_skip"] != done {
+		t.Errorf("job_skip = %d, want %d (the journaled jobs)", counts["job_skip"], done)
+	}
+}
+
+// TestRunResumeNeedsJournal: -resume without -journal is a usage error.
+func TestRunResumeNeedsJournal(t *testing.T) {
+	if _, err := runQuiet(t, "-quick", "-resume", "table1"); err == nil {
+		t.Error("-resume without -journal should error")
+	}
+}

@@ -16,6 +16,17 @@
 // any -jobs value. A run summary (wall clock, instructions simulated,
 // cache hit rates) is printed to stderr.
 //
+// Resilience flags, for long full-fidelity campaigns (DESIGN.md §8):
+// -timeout D bounds each job's lifetime (a stalled job is reported and
+// abandoned); -retries N re-runs transiently-failed jobs with capped
+// jitter-free backoff; -journal FILE appends each completed job to a
+// crash-consistent fsync'd JSONL file and -resume replays it, so an
+// interrupted campaign restarts where it died; SIGINT drains in-flight
+// jobs, prints the completed experiments with explicit holes for the
+// rest, and exits non-zero. -faults SPEC (or CISIM_FAULTS) arms the
+// deterministic fault-injection points (internal/faults) that make every
+// one of those recovery paths testable on demand.
+//
 //	cisim sim [flags] <workload>   one detailed simulation with stats
 //	cisim ideal [flags] <workload> one idealized-model simulation
 //	cisim disasm <workload>        disassemble a program
@@ -30,15 +41,20 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime/debug"
 	"strings"
+	"sync"
 	"time"
 
 	"cisim/internal/cache"
 	"cisim/internal/exp"
+	"cisim/internal/faults"
 	"cisim/internal/ideal"
 	"cisim/internal/ooo"
 	"cisim/internal/runner"
@@ -98,6 +114,7 @@ func usage() {
   cisim list                      list experiments and workloads
   cisim run [flags] all           run every experiment (-quick -jobs N -events FILE -json -plot)
   cisim run [flags] <id>          run one experiment (fig5, table2, ...)
+                                  resilience: -timeout D -retries N -journal FILE -resume -faults SPEC
   cisim sim [flags] <workload>    one detailed simulation
   cisim ideal [flags] <workload>  one idealized-model simulation
   cisim disasm <workload>         disassemble a workload (-file for a source file)
@@ -129,11 +146,31 @@ func cmdRun(args []string) error {
 	jobs := fs.Int("jobs", 0, "concurrent (experiment, workload) jobs (0 = GOMAXPROCS; output stays in paper order)")
 	fs.IntVar(jobs, "j", 0, "alias for -jobs")
 	events := fs.String("events", "", "write a JSONL run-event stream (job and cache activity) to this file")
+	timeout := fs.Duration("timeout", 0, "per-job deadline (0 = none); a stalled job is reported and abandoned")
+	retries := fs.Int("retries", 0, "re-run a transiently-failed job up to N times with capped backoff")
+	journalPath := fs.String("journal", "", "append completed jobs to this crash-consistent JSONL file")
+	resumeFlag := fs.Bool("resume", false, "replay the -journal file and run only the jobs it is missing")
+	faultsSpec := fs.String("faults", "", "arm deterministic fault injection, e.g. 'cache-corrupt@2,job-transient' (see DESIGN.md §8; also CISIM_FAULTS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("run needs an experiment id or 'all'")
+	}
+	if *resumeFlag && *journalPath == "" {
+		return fmt.Errorf("run -resume needs -journal FILE (the journal to replay)")
+	}
+	spec := *faultsSpec
+	if spec == "" {
+		spec = os.Getenv("CISIM_FAULTS")
+	}
+	if spec != "" {
+		plan, err := faults.Parse(spec)
+		if err != nil {
+			return err
+		}
+		faults.Set(plan)
+		defer faults.Clear()
 	}
 	opt := exp.Options{Quick: *quick}
 	ids := []string{fs.Arg(0)}
@@ -162,52 +199,138 @@ func cmdRun(args []string) error {
 		defer runner.Artifacts.SetSink(nil)
 	}
 
+	// The journal replays completed jobs from a prior interrupted
+	// campaign; without -resume a -journal file starts fresh.
+	var jrn *runner.Journal
+	journaled := map[string]json.RawMessage{}
+	if *journalPath != "" {
+		if !*resumeFlag {
+			if err := os.Remove(*journalPath); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+		j, entries, dropped, err := runner.OpenJournal(*journalPath)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		jrn = j
+		if *resumeFlag {
+			journaled = entries
+			if dropped > 0 {
+				fmt.Fprintf(os.Stderr, "cisim: journal %s: dropped %d torn/corrupt record(s); the affected jobs will recompute\n",
+					*journalPath, dropped)
+			}
+		}
+	}
+
+	// SIGINT cancels the pool's context: in-flight jobs drain, the rest
+	// are skipped, and the run reports its holes and exits non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	// One job per (experiment, workload): finer than whole experiments,
 	// so the pool can overlap slow workloads of one experiment with
-	// another's, and cache-hit jobs drain in microseconds.
+	// another's, and cache-hit jobs drain in microseconds. parts is
+	// indexed by global slot (experiment-major); journal replays fill
+	// their slots up front and the pool fills the rest.
 	ws := workloads.All()
-	jobList := make([]runner.Job, 0, len(exps)*len(ws))
-	for _, e := range exps {
-		for _, w := range ws {
+	total := len(exps) * len(ws)
+	parts := make([]*exp.Partial, total)
+	executed := make([]runner.JobResult, total)
+	ran := make([]bool, total)
+	jobList := make([]runner.Job, 0, total)
+	slotOf := make([]int, 0, total) // jobList index -> global slot
+	type skip struct{ exp, key string }
+	var resumedSkips []skip
+	var journalWarn sync.Once
+	for ei, e := range exps {
+		for wi, w := range ws {
+			gi := ei*len(ws) + wi
+			addr := exp.JobAddress(e, w, opt)
+			if raw, ok := journaled[addr]; ok {
+				if p, err := exp.DecodePartial(raw); err == nil {
+					parts[gi] = p
+					resumedSkips = append(resumedSkips, skip{e.ID, w.Name})
+					continue
+				}
+				// Undecodable payload: fall through and recompute.
+			}
 			e, w := e, w
 			jobList = append(jobList, runner.Job{Exp: e.ID, Key: w.Name,
-				Run: func() (interface{}, uint64, error) {
+				Run: func(ctx context.Context) (interface{}, uint64, error) {
 					p, err := e.RunWorkload(w, opt)
 					var instrs uint64
 					if p != nil {
 						instrs = p.Instrs
 					}
+					if err == nil && jrn != nil {
+						payload, jerr := exp.EncodePartial(p)
+						if jerr == nil {
+							jerr = jrn.Record(e.ID, w.Name, addr, payload)
+						}
+						if jerr != nil {
+							// Degrade gracefully: a dying journal disk
+							// costs resumability, not the run.
+							journalWarn.Do(func() {
+								fmt.Fprintf(os.Stderr, "cisim: journal write failed (run continues unjournaled): %v\n", jerr)
+							})
+						}
+					}
 					return p, instrs, err
 				}})
+			slotOf = append(slotOf, gi)
 		}
 	}
 
-	pool := &runner.Pool{Workers: *jobs, Events: sink}
+	pool := &runner.Pool{Workers: *jobs, Events: sink, Timeout: *timeout, Retries: *retries}
 	nw := pool.NumWorkers(len(jobList))
 	statsBefore := runner.Artifacts.Stats()
 	if sink != nil {
-		sink.Emit(runner.Event{Ev: "run_start", Jobs: len(jobList), Workers: nw})
+		sink.Emit(runner.Event{Ev: "run_start", Jobs: len(jobList), Workers: nw, Skipped: len(resumedSkips)})
+		for _, s := range resumedSkips {
+			sink.Emit(runner.Event{Ev: "job_skip", Exp: s.exp, Key: s.key})
+		}
 	}
 	start := time.Now()
-	results := pool.Run(jobList)
+	results := pool.RunContext(ctx, jobList)
 	wall := time.Since(start)
 
+	aborted := ctx.Err() != nil
+	for k, jr := range results {
+		gi := slotOf[k]
+		executed[gi] = jr
+		ran[gi] = true
+		if jr.Skipped {
+			aborted = true
+		}
+		if p, ok := jr.Val.(*exp.Partial); ok && jr.Err == nil {
+			parts[gi] = p
+		}
+	}
+
 	// Merge per-workload partials back into whole experiments, in paper
-	// order.
+	// order. An experiment with a skipped job is a hole, not a failure.
 	outcomes := make([]outcome, len(exps))
 	for i, e := range exps {
-		parts := make([]*exp.Partial, len(ws))
 		var o outcome
 		for wi := range ws {
-			jr := results[i*len(ws)+wi]
+			gi := i*len(ws) + wi
+			if !ran[gi] {
+				continue // journal replay
+			}
+			jr := executed[gi]
 			o.elapsed += jr.Elapsed
+			if jr.Skipped {
+				o.aborted = true
+				continue
+			}
 			if jr.Err != nil && o.err == nil {
 				o.err = jr.Err
 			}
-			parts[wi], _ = jr.Val.(*exp.Partial)
 		}
-		if o.err == nil {
-			o.r, o.err = e.Merge(opt, parts)
+		if o.err == nil && !o.aborted {
+			o.r, o.err = e.Merge(opt, parts[i*len(ws):(i+1)*len(ws)])
 		}
 		outcomes[i] = o
 	}
@@ -219,20 +342,32 @@ func cmdRun(args []string) error {
 		sink.Emit(sum.RunEndEvent())
 	}
 	fmt.Fprintf(os.Stderr, "%s", sum.Table())
+	if aborted {
+		abortErr := fmt.Errorf("run aborted before completion (re-run with -journal/-resume to pick up where it stopped)")
+		if renderErr != nil {
+			return fmt.Errorf("%v\n%v", renderErr, abortErr)
+		}
+		return abortErr
+	}
 	return renderErr
 }
 
 // outcome is one experiment's merged result (or first failure) plus the
-// summed simulation time of its workload jobs.
+// summed simulation time of its workload jobs. aborted marks an
+// experiment whose jobs were skipped by a run abort: a hole, not a
+// failure.
 type outcome struct {
 	r       *exp.Result
 	err     error
 	elapsed time.Duration
+	aborted bool
 }
 
 // renderOutcomes prints every healthy experiment (text or JSON) and
 // returns an error aggregating every failure, so one broken experiment
-// neither hides the others' output nor lets the run exit zero.
+// neither hides the others' output nor lets the run exit zero. Aborted
+// experiments print an explicit hole in text mode and are absent from
+// JSON output; the caller turns the abort itself into a non-zero exit.
 func renderOutcomes(exps []*exp.Experiment, outcomes []outcome, jsonMode, plotMode bool) error {
 	var errs []string
 	var jsonResults []exp.JSONResult
@@ -240,6 +375,12 @@ func renderOutcomes(exps []*exp.Experiment, outcomes []outcome, jsonMode, plotMo
 		o := outcomes[i]
 		if o.err != nil {
 			errs = append(errs, o.err.Error())
+			continue
+		}
+		if o.aborted {
+			if !jsonMode {
+				fmt.Printf("%s\npaper: %s\n\n  [not run: aborted before completion]\n\n", e.Title, e.Paper)
+			}
 			continue
 		}
 		if jsonMode {

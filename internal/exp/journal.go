@@ -1,0 +1,79 @@
+package exp
+
+// Journal serialization for experiment partials. The run journal
+// (internal/runner) stores opaque payloads; this file is where the
+// experiment layer defines what a payload is for its jobs: a Partial
+// with table cells pre-rendered to strings. Pre-rendering matters —
+// stats.Table formats cells by dynamic type on insertion (int vs float64
+// vs Percent render differently), and JSON cannot round-trip those
+// types. Strings pass through stats.FormatCell unchanged, so a Partial
+// replayed from a journal merges into byte-identical output.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"cisim/internal/runner"
+	"cisim/internal/stats"
+	"cisim/internal/workloads"
+)
+
+// journalVersion salts job addresses; bump it when the payload encoding
+// changes so stale journals miss instead of decoding garbage.
+const journalVersion = "exp.v1"
+
+// JobAddress returns the content address identifying one (experiment,
+// workload) job at a scale, for journal keying. It hashes the workload's
+// generated assembly source, so editing a workload (or changing scale)
+// invalidates its journal entries rather than resuming stale results.
+func JobAddress(e *Experiment, w *workloads.Workload, o Options) string {
+	return runner.Address("job", journalVersion, e.ID, w.Name,
+		fmt.Sprintf("quick=%t", o.Quick), w.Source(o.iters(w)))
+}
+
+// journalPartial is the serialized form of a Partial.
+type journalPartial struct {
+	Rows   [][][]string `json:"rows,omitempty"`
+	Plots  []Plot       `json:"plots,omitempty"`
+	Instrs uint64       `json:"instrs,omitempty"`
+}
+
+// EncodePartial serializes a Partial for the run journal.
+func EncodePartial(p *Partial) (json.RawMessage, error) {
+	jp := journalPartial{Plots: p.Plots, Instrs: p.Instrs}
+	for _, rows := range p.Rows {
+		out := make([][]string, len(rows))
+		for i, row := range rows {
+			cells := make([]string, len(row))
+			for j, c := range row {
+				cells[j] = stats.FormatCell(c)
+			}
+			out[i] = cells
+		}
+		jp.Rows = append(jp.Rows, out)
+	}
+	return json.Marshal(jp)
+}
+
+// DecodePartial reconstructs a journaled Partial. Cells come back as
+// strings, which stats.Table renders verbatim — identical to what the
+// original cells rendered to.
+func DecodePartial(data json.RawMessage) (*Partial, error) {
+	var jp journalPartial
+	if err := json.Unmarshal(data, &jp); err != nil {
+		return nil, fmt.Errorf("exp: decoding journaled partial: %w", err)
+	}
+	p := &Partial{Plots: jp.Plots, Instrs: jp.Instrs}
+	for _, rows := range jp.Rows {
+		out := make([]Row, len(rows))
+		for i, cells := range rows {
+			row := make(Row, len(cells))
+			for j, c := range cells {
+				row[j] = c
+			}
+			out[i] = row
+		}
+		p.Rows = append(p.Rows, out)
+	}
+	return p, nil
+}

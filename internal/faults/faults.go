@@ -1,0 +1,213 @@
+// Package faults is a deterministic fault-injection registry for the
+// experiment harness. Subsystems register named fault points (an artifact
+// cache store, a job pickup, an emulator budget check) and consult them
+// on the hot path with Fire; a Plan parsed from a spec string arms a
+// subset of points to trigger on exact hit counts. Because activation is
+// count-based — never clock- or rand-based — an injected failure
+// reproduces identically on every run, which is what makes the recovery
+// paths (retry, self-heal, stall, abort) testable on demand.
+//
+// Spec grammar (comma-separated arms):
+//
+//	point              fire on the 1st hit of the point, once
+//	point@N            fire on the Nth hit (1-based), once
+//	point@N#C          fire on hits N through N+C-1
+//	point#C            fire on hits 1 through C
+//
+// e.g. CISIM_FAULTS="cache-corrupt@2,job-transient#2".
+//
+// When no plan is installed, Fire is a single atomic pointer load —
+// effectively free — so production runs pay nothing for the
+// instrumentation.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// registry holds every known fault point, name -> doc. Points register
+// at package init of their owning subsystem, so any spec mentioning an
+// unknown name is a typo and Parse rejects it.
+var registry struct {
+	mu sync.Mutex
+	m  map[string]string
+}
+
+// Register declares a fault point and returns its name, so owners can
+// bind it to a package-level identifier:
+//
+//	var FaultJobHang = faults.Register("job-hang", "job blocks until its deadline")
+//
+// Registering the same name twice panics: point names are part of the
+// user-facing -faults vocabulary and must be unambiguous.
+func Register(name, doc string) string {
+	if name == "" || strings.ContainsAny(name, ",@# \t") {
+		panic(fmt.Sprintf("faults: invalid point name %q", name))
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.m == nil {
+		registry.m = map[string]string{}
+	}
+	if _, dup := registry.m[name]; dup {
+		panic(fmt.Sprintf("faults: point %q registered twice", name))
+	}
+	registry.m[name] = doc
+	return name
+}
+
+// Point describes one registered fault point.
+type Point struct {
+	Name string
+	Doc  string
+}
+
+// Points returns every registered fault point, sorted by name.
+func Points() []Point {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make([]Point, 0, len(registry.m))
+	//lint:ignore detrange sorted by name just below
+	for name, doc := range registry.m {
+		out = append(out, Point{Name: name, Doc: doc})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// arm is one activated point: trigger on hits [at, at+count).
+type arm struct {
+	at    uint64
+	count uint64
+	hits  atomic.Uint64
+}
+
+// Plan is a parsed fault-injection spec: a set of armed points with
+// their trigger windows. A Plan is safe for concurrent Fire calls; the
+// arm set itself is immutable after Parse.
+type Plan struct {
+	arms map[string]*arm
+	spec string
+}
+
+// Parse compiles a spec string into a Plan, validating every point name
+// against the registry. An empty spec yields a nil Plan (nothing armed).
+func Parse(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	p := &Plan{arms: map[string]*arm{}, spec: spec}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, at, count, err := parseArm(part)
+		if err != nil {
+			return nil, err
+		}
+		registry.mu.Lock()
+		_, known := registry.m[name]
+		registry.mu.Unlock()
+		if !known {
+			return nil, fmt.Errorf("faults: unknown point %q (known: %s)", name, knownNames())
+		}
+		if _, dup := p.arms[name]; dup {
+			return nil, fmt.Errorf("faults: point %q armed twice in %q", name, spec)
+		}
+		p.arms[name] = &arm{at: at, count: count}
+	}
+	if len(p.arms) == 0 {
+		return nil, nil
+	}
+	return p, nil
+}
+
+func parseArm(s string) (name string, at, count uint64, err error) {
+	at, count = 1, 1
+	rest := s
+	if i := strings.IndexByte(rest, '#'); i >= 0 {
+		count, err = parsePositive(rest[i+1:], s, "count")
+		if err != nil {
+			return "", 0, 0, err
+		}
+		rest = rest[:i]
+	}
+	if i := strings.IndexByte(rest, '@'); i >= 0 {
+		at, err = parsePositive(rest[i+1:], s, "hit index")
+		if err != nil {
+			return "", 0, 0, err
+		}
+		rest = rest[:i]
+	}
+	if rest == "" {
+		return "", 0, 0, fmt.Errorf("faults: empty point name in %q", s)
+	}
+	return rest, at, count, nil
+}
+
+func parsePositive(v, arm, what string) (uint64, error) {
+	n, err := strconv.ParseUint(v, 10, 32)
+	if err != nil || n == 0 {
+		return 0, fmt.Errorf("faults: bad %s in %q (want a positive integer)", what, arm)
+	}
+	return n, nil
+}
+
+func knownNames() string {
+	names := make([]string, 0, len(registry.m))
+	//lint:ignore detrange sorted just below
+	for name := range registry.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// String returns the spec the plan was parsed from.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	return p.spec
+}
+
+// fire records one hit of the point and reports whether this hit falls
+// in the arm's trigger window. Unarmed points never fire.
+func (p *Plan) fire(name string) bool {
+	if p == nil {
+		return false
+	}
+	a, ok := p.arms[name]
+	if !ok {
+		return false
+	}
+	hit := a.hits.Add(1)
+	return hit >= a.at && hit < a.at+a.count
+}
+
+// current is the process-wide installed plan; nil means injection is off.
+var current atomic.Pointer[Plan]
+
+// Set installs a plan process-wide (nil disarms everything). The previous
+// plan's hit counters are discarded with it.
+func Set(p *Plan) { current.Store(p) }
+
+// Clear disarms fault injection.
+func Clear() { current.Store(nil) }
+
+// Active reports whether a plan is installed.
+func Active() bool { return current.Load() != nil }
+
+// Fire records one hit of the named point against the installed plan and
+// reports whether the point should trigger its fault on this hit. With no
+// plan installed it is one atomic load.
+func Fire(name string) bool {
+	return current.Load().fire(name)
+}

@@ -1,0 +1,156 @@
+package faults
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Test-only points. Registration is global to the process, so names are
+// prefixed to stay out of the way of real subsystem points.
+var (
+	ptA = Register("test-a", "first test point")
+	ptB = Register("test-b", "second test point")
+)
+
+func TestParseGrammar(t *testing.T) {
+	cases := []struct {
+		spec      string
+		at, count uint64
+	}{
+		{"test-a", 1, 1},
+		{"test-a@3", 3, 1},
+		{"test-a#4", 1, 4},
+		{"test-a@2#3", 2, 3},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.spec, err)
+		}
+		a := p.arms["test-a"]
+		if a == nil || a.at != c.at || a.count != c.count {
+			t.Errorf("Parse(%q) arm = %+v, want at=%d count=%d", c.spec, a, c.at, c.count)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"no-such-point",
+		"test-a@0",
+		"test-a#0",
+		"test-a@x",
+		"@1",
+		"test-a,test-a",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) should fail", spec)
+		}
+	}
+	// Unknown-point errors name the vocabulary.
+	_, err := Parse("no-such-point")
+	if err == nil || !strings.Contains(err.Error(), "test-a") {
+		t.Errorf("unknown-point error should list known points: %v", err)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	for _, spec := range []string{"", "  ", ","} {
+		p, err := Parse(spec)
+		if err != nil || p != nil {
+			t.Errorf("Parse(%q) = %v, %v; want nil, nil", spec, p, err)
+		}
+	}
+}
+
+func TestFireWindow(t *testing.T) {
+	p, err := Parse("test-a@2#2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, true, true, false, false}
+	for i, w := range want {
+		if got := p.fire(ptA); got != w {
+			t.Errorf("hit %d: fire = %v, want %v", i+1, got, w)
+		}
+	}
+	// Unarmed points never fire.
+	if p.fire(ptB) {
+		t.Error("unarmed point fired")
+	}
+}
+
+func TestGlobalInstall(t *testing.T) {
+	defer Clear()
+	if Active() || Fire(ptA) {
+		t.Fatal("disarmed process fired")
+	}
+	p, err := Parse("test-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Set(p)
+	if !Active() {
+		t.Fatal("plan not active after Set")
+	}
+	if Fire(ptA) {
+		t.Error("unarmed point fired")
+	}
+	if !Fire(ptB) || Fire(ptB) {
+		t.Error("armed point should fire exactly once")
+	}
+	Clear()
+	if Active() || Fire(ptB) {
+		t.Error("Clear left the plan armed")
+	}
+}
+
+// TestFireConcurrent: exactly count hits fire under contention — the
+// trigger window is claimed atomically, never duplicated or lost.
+func TestFireConcurrent(t *testing.T) {
+	p, err := Parse("test-a@50#10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, perG = 8, 25
+	var wg sync.WaitGroup
+	fired := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if p.fire(ptA) {
+					fired[g]++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range fired {
+		total += n
+	}
+	if total != 10 {
+		t.Errorf("fired %d times across 200 hits, want 10", total)
+	}
+}
+
+func TestPoints(t *testing.T) {
+	pts := Points()
+	var seen []string
+	for _, pt := range pts {
+		seen = append(seen, pt.Name)
+	}
+	joined := strings.Join(seen, ",")
+	if !strings.Contains(joined, "test-a") || !strings.Contains(joined, "test-b") {
+		t.Errorf("Points() missing test points: %v", seen)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1].Name >= pts[i].Name {
+			t.Errorf("Points() not sorted: %q >= %q", pts[i-1].Name, pts[i].Name)
+		}
+	}
+}

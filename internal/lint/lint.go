@@ -4,17 +4,22 @@
 // is offline, so the framework loads and type-checks packages itself (see
 // load.go) instead of depending on x/tools.
 //
-// Three repo-specific analyzers guard invariants the simulators rely on:
+// Four repo-specific analyzers guard invariants the simulators rely on:
 //
-//	keycover  every exported field of a cache-keyed Config must be
-//	          referenced by its Key method, or the artifact cache serves
-//	          stale results when a config field changes (internal/runner)
-//	detrange  map iteration must not feed order-dependent sinks (appends,
-//	          writers, hashes, channels) — the bug class behind the fig10
-//	          true/false-misprediction curve nondeterminism
-//	simpure   simulator packages must not read wall-clock time, global
-//	          random state, or the environment; runs must be reproducible
-//	          from their inputs alone
+//	keycover     every exported field of a cache-keyed Config must be
+//	             referenced by its Key method, or the artifact cache
+//	             serves stale results when a config field changes
+//	             (internal/runner)
+//	detrange     map iteration must not feed order-dependent sinks
+//	             (appends, writers, hashes, channels) — the bug class
+//	             behind the fig10 true/false-misprediction curve
+//	             nondeterminism
+//	simpure      simulator packages must not read wall-clock time, global
+//	             random state, or the environment; runs must be
+//	             reproducible from their inputs alone
+//	recoverstack recover() sites must capture the goroutine stack
+//	             (debug.Stack/runtime.Stack), or a contained panic loses
+//	             its crash site
 //
 // A diagnostic can be suppressed with a justification comment on the same
 // line or the line immediately above the offending statement:
@@ -83,7 +88,7 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the repo's analyzer suite.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{KeyCover, DetRange, SimPure}
+	return []*Analyzer{KeyCover, DetRange, SimPure, RecoverStack}
 }
 
 // Run applies the analyzers to the packages, honouring each analyzer's

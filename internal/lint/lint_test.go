@@ -22,6 +22,10 @@ func TestSimPure(t *testing.T) {
 	linttest.Run(t, filepath.Join("testdata", "src", "simpure"), lint.SimPure)
 }
 
+func TestRecoverStack(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "src", "recoverstack"), lint.RecoverStack)
+}
+
 // TestRepoIsClean runs the full analyzer suite over the whole module, the
 // same gate `make check` and CI apply via cmd/cisimlint: the tree must be
 // free of keycover/detrange/simpure findings.

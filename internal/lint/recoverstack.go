@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RecoverStack flags recover() sites whose enclosing function never
+// captures the goroutine stack. A recover that keeps only the panic
+// value turns a crash with a precise site into an undebuggable one-line
+// message — the bug class fixed in the runner's job isolation, where a
+// panicking simulator job used to surface as `panicked: index out of
+// range` with no indication of which simulator line blew up. The fix is
+// mechanical: call debug.Stack() (or runtime.Stack) in the same function
+// and carry it with the recovered value.
+//
+// The stack capture must be syntactically in the same function as the
+// recover — a capture inside a nested function literal does not count,
+// since nothing guarantees it runs on the panic path. Intentional
+// drops (e.g. a recover that re-panics, where the runtime preserves the
+// original stack) carry a `//lint:ignore recoverstack <why>`.
+var RecoverStack = &Analyzer{
+	Name: "recoverstack",
+	Doc:  "recover() must capture the stack (debug.Stack/runtime.Stack) or the crash site is lost",
+	Run:  runRecoverStack,
+}
+
+func runRecoverStack(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkRecoverBody(pass, info, body)
+			}
+			// Keep descending: nested literals are checked as their own
+			// functions when the walk reaches them.
+			return true
+		})
+	}
+}
+
+// checkRecoverBody scans one function body — excluding nested function
+// literals — for recover() calls and stack captures, and reports every
+// recover in a function that captures no stack.
+func checkRecoverBody(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	var recovers []token.Pos
+	captures := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, nested := n.(*ast.FuncLit); nested {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isBuiltinRecover(info, call) {
+			recovers = append(recovers, call.Pos())
+		}
+		if isStackCapture(info, call) {
+			captures = true
+		}
+		return true
+	})
+	if captures {
+		return
+	}
+	for _, pos := range recovers {
+		pass.Reportf(pos, "recover() discards the panic stack; capture debug.Stack() alongside the recovered value so the crash site stays diagnosable")
+	}
+}
+
+// isBuiltinRecover reports whether the call is the recover builtin (not
+// a user-defined function that happens to share the name).
+func isBuiltinRecover(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "recover" {
+		return false
+	}
+	_, builtin := info.Uses[id].(*types.Builtin)
+	return builtin
+}
+
+// isStackCapture reports whether the call is debug.Stack() or
+// runtime.Stack(...), resolved through the type info so import renames
+// and shadowing cannot fool it.
+func isStackCapture(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Stack" {
+		return false
+	}
+	pkgIdent, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := info.Uses[pkgIdent].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	path := pkgName.Imported().Path()
+	return path == "runtime/debug" || path == "runtime"
+}

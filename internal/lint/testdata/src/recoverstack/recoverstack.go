@@ -1,0 +1,92 @@
+// Package recoverstack is analyzer testdata covering recover() shapes
+// that drop the panic stack and the ones that keep it.
+package recoverstack
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+func dropsStack() (err error) {
+	defer func() {
+		if r := recover(); r != nil { // want `discards the panic stack`
+			err = fmt.Errorf("panicked: %v", r)
+		}
+	}()
+	return nil
+}
+
+func dropsStackDiscardingValue() {
+	defer func() {
+		recover() // want `discards the panic stack`
+	}()
+}
+
+func capturesDebugStack() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return nil
+}
+
+func capturesRuntimeStack() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 4096)
+			n := runtime.Stack(buf, false)
+			err = fmt.Errorf("panicked: %v\n%s", r, buf[:n])
+		}
+	}()
+	return nil
+}
+
+// A capture inside a nested function literal does not count: nothing
+// guarantees the literal runs on the panic path.
+func nestedCaptureDoesNotCount() (err error) {
+	defer func() {
+		if r := recover(); r != nil { // want `discards the panic stack`
+			grab := func() []byte { return debug.Stack() }
+			_ = grab
+			err = fmt.Errorf("panicked: %v", r)
+		}
+	}()
+	return nil
+}
+
+// A recover in one deferred closure is not excused by a capture in a
+// different closure of the same outer function.
+func siblingCaptureDoesNotCount() (err error) {
+	defer func() {
+		_ = debug.Stack()
+	}()
+	defer func() {
+		if r := recover(); r != nil { // want `discards the panic stack`
+			err = fmt.Errorf("panicked: %v", r)
+		}
+	}()
+	return nil
+}
+
+// Re-panicking preserves the original stack in the runtime, so the drop
+// is intentional — and must say so.
+func ignoredWithReason(clean func()) {
+	defer func() {
+		//lint:ignore recoverstack the panic is rethrown; the runtime keeps its stack
+		if r := recover(); r != nil {
+			clean()
+			panic(r)
+		}
+	}()
+	clean()
+}
+
+// A user-defined recover() is not the builtin and is left alone.
+func notTheBuiltin() {
+	recover := func() interface{} { return nil }
+	if recover() != nil {
+		panic("unreachable")
+	}
+}

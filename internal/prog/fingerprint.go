@@ -1,0 +1,33 @@
+package prog
+
+import "hash/fnv"
+
+// Fingerprint returns a cheap integrity checksum over the program image:
+// the code (every instruction word), the entry point, and the data
+// segments. The runner's artifact cache verifies it on every read, so an
+// aliasing bug that mutates a cached program — programs are shared
+// read-only across concurrent simulations — is caught at the next lookup
+// instead of silently corrupting later experiments.
+func (p *Program) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	w(p.Entry)
+	w(p.CodeBase)
+	w(uint64(len(p.Code)))
+	for _, in := range p.Code {
+		w(uint64(in.Op)<<48 | uint64(in.Rd)<<40 | uint64(in.Rs1)<<32 |
+			uint64(in.Rs2)<<24 | uint64(uint32(in.Imm)))
+		w(in.Target)
+	}
+	for _, seg := range p.Data {
+		w(seg.Addr)
+		h.Write(seg.Bytes)
+	}
+	return h.Sum64()
+}

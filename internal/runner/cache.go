@@ -3,13 +3,27 @@ package runner
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 
+	"cisim/internal/faults"
 	"cisim/internal/ooo"
 	"cisim/internal/prog"
 	"cisim/internal/trace"
 	"cisim/internal/workloads"
+)
+
+// Cache fault points (see internal/faults).
+var (
+	// FaultCacheCorrupt flips a just-stored artifact's checksum, so the
+	// next read detects corruption and exercises the self-heal path.
+	FaultCacheCorrupt = faults.Register("cache-corrupt", "stored artifact checksum is corrupted; next read must self-heal")
+	// FaultTraceBudget makes one trace generation fail with a transient
+	// error, as if the emulator's step budget was exhausted — the
+	// retry path recomputes it.
+	FaultTraceBudget = faults.Register("trace-budget", "trace generation fails transiently, as if the emulator step budget ran out")
 )
 
 // Artifact kinds tracked by the cache.
@@ -36,6 +50,16 @@ const (
 // so a single instance is safely shared across goroutines. Lookups are
 // guarded by singleflight: concurrent requests for the same address
 // block on one computation instead of duplicating it.
+//
+// The cache defends its own integrity (DESIGN.md §8): artifacts that
+// implement Fingerprinter are checksummed at store time and re-verified
+// on every hit, so an aliasing bug that mutates a shared artifact — the
+// failure mode the immutability contract above forbids — is detected at
+// the next read instead of silently poisoning every later consumer. A
+// corrupt entry is quarantined (evicted), counted, and recomputed once;
+// a second consecutive corruption of the same address is reported as an
+// error rather than retried forever. Failed computations are never
+// memoized, so a transient failure can be retried.
 type Cache struct {
 	mu      sync.Mutex
 	entries map[string]*entry
@@ -47,9 +71,28 @@ type entry struct {
 	ready chan struct{} // closed when val/err are set
 	val   interface{}
 	err   error
+	// sum is the artifact's integrity checksum, captured at store time
+	// when the value implements Fingerprinter (summed reports whether).
+	sum    uint64
+	summed bool
 }
 
-type kindStats struct{ hits, misses uint64 }
+type kindStats struct{ hits, misses, healed uint64 }
+
+// Fingerprinter lets an artifact expose a cheap integrity checksum. The
+// cache verifies it on every hit; implementations must be fast (hash a
+// structural summary, not every byte) and deterministic.
+type Fingerprinter interface {
+	Fingerprint() uint64
+}
+
+// fingerprint returns the artifact's checksum and whether it has one.
+func fingerprint(v interface{}) (uint64, bool) {
+	if f, ok := v.(Fingerprinter); ok {
+		return f.Fingerprint(), true
+	}
+	return 0, false
+}
 
 // CacheStats is a point-in-time snapshot of cache effectiveness.
 type CacheStats struct {
@@ -57,6 +100,8 @@ type CacheStats struct {
 	TraceHits, TraceMisses     uint64
 	PrepHits, PrepMisses       uint64
 	ResultHits, ResultMisses   uint64
+	// Healed counts corrupt artifacts detected on read and recomputed.
+	Healed uint64
 }
 
 // Hits returns total cache hits across kinds.
@@ -80,6 +125,7 @@ func (s CacheStats) Sub(prev CacheStats) CacheStats {
 		TraceHits: s.TraceHits - prev.TraceHits, TraceMisses: s.TraceMisses - prev.TraceMisses,
 		PrepHits: s.PrepHits - prev.PrepHits, PrepMisses: s.PrepMisses - prev.PrepMisses,
 		ResultHits: s.ResultHits - prev.ResultHits, ResultMisses: s.ResultMisses - prev.ResultMisses,
+		Healed: s.Healed - prev.Healed,
 	}
 }
 
@@ -138,6 +184,7 @@ func (c *Cache) Stats() CacheStats {
 		TraceHits: t.hits, TraceMisses: t.misses,
 		PrepHits: pr.hits, PrepMisses: pr.misses,
 		ResultHits: r.hits, ResultMisses: r.misses,
+		Healed: p.healed + t.healed + pr.healed + r.healed,
 	}
 }
 
@@ -151,12 +198,30 @@ func addr(parts ...string) string {
 	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
+// Address derives a content address from the parts, with the same
+// construction the cache uses internally — exported for callers that
+// need stable artifact identities outside the cache, like the run
+// journal's job keys.
+func Address(parts ...string) string { return addr(parts...) }
+
 // get memoizes compute under (kind, address) with singleflight: the
 // first caller computes, concurrent callers block until the value is
 // ready, later callers return it immediately. The bool reports whether
 // the value came from the cache (including waiting on an in-flight
 // computation) rather than being computed by this call.
+//
+// Two deliberate asymmetries against a plain memo table:
+//
+//   - failures are not memoized: a compute error is returned to everyone
+//     already waiting, but the entry is evicted so a later caller (e.g.
+//     a retried job) recomputes instead of replaying the failure;
+//   - values are verified: a hit whose artifact fails its checksum is
+//     quarantined and recomputed once (see Cache doc).
 func (c *Cache) get(kind, key, address string, compute func() (interface{}, error)) (interface{}, bool, error) {
+	return c.getDepth(kind, key, address, compute, 0)
+}
+
+func (c *Cache) getDepth(kind, key, address string, compute func() (interface{}, error), depth int) (interface{}, bool, error) {
 	c.mu.Lock()
 	st := c.stats[kind]
 	if st == nil {
@@ -169,6 +234,11 @@ func (c *Cache) get(kind, key, address string, compute func() (interface{}, erro
 		c.mu.Unlock()
 		emit(sink, Event{Ev: "cache", Kind: kind, Key: key, Addr: address, Hit: true})
 		<-e.ready
+		if e.err == nil && e.summed {
+			if sum, _ := fingerprint(e.val); sum != e.sum {
+				return c.heal(kind, key, address, compute, depth, e, st)
+			}
+		}
 		return e.val, true, e.err
 	}
 	e := &entry{ready: make(chan struct{})}
@@ -178,18 +248,64 @@ func (c *Cache) get(kind, key, address string, compute func() (interface{}, erro
 	c.mu.Unlock()
 	emit(sink, Event{Ev: "cache", Kind: kind, Key: key, Addr: address, Hit: false})
 
-	defer close(e.ready)
+	defer func() {
+		if e.err != nil {
+			// Do not memoize failures: evict so a retry recomputes.
+			c.mu.Lock()
+			if c.entries[address] == e {
+				delete(c.entries, address)
+			}
+			c.mu.Unlock()
+		}
+		close(e.ready)
+	}()
 	func() {
 		// A panicking compute (e.g. an assembler bug) must not leave
 		// waiters blocked forever: record it as the entry's error.
 		defer func() {
 			if r := recover(); r != nil {
-				e.err = fmt.Errorf("runner: computing %s %s: panic: %v", kind, key, r)
+				e.err = fmt.Errorf("runner: computing %s %s: panic: %w", kind, key,
+					&PanicError{Value: r, Stack: debug.Stack()})
 			}
 		}()
 		e.val, e.err = compute()
 	}()
+	if e.err == nil {
+		e.sum, e.summed = fingerprint(e.val)
+		if e.summed && faults.Fire(FaultCacheCorrupt) {
+			// Simulate in-memory corruption of the stored artifact: the
+			// checksum no longer matches, so the next read must heal.
+			e.sum ^= 1
+		}
+		if depth >= 1 && e.summed {
+			// This compute is a heal's recomputation: verify it before
+			// handing it out, so corruption that strikes the replacement
+			// too surfaces as an error instead of healing forever.
+			if sum, _ := fingerprint(e.val); sum != e.sum {
+				e.val = nil
+				e.err = fmt.Errorf("runner: %s %s (%s): artifact failed its checksum again after recomputation", kind, key, address)
+			}
+		}
+	}
 	return e.val, false, e.err
+}
+
+// heal quarantines a corrupt entry and recomputes it once. Concurrent
+// detectors race to evict; exactly one counts the corruption, and all of
+// them converge on the recomputation's singleflight entry.
+func (c *Cache) heal(kind, key, address string, compute func() (interface{}, error), depth int, bad *entry, st *kindStats) (interface{}, bool, error) {
+	if depth >= 1 {
+		return nil, false, fmt.Errorf("runner: %s %s (%s): artifact failed its checksum again after recomputation", kind, key, address)
+	}
+	c.mu.Lock()
+	if c.entries[address] == bad {
+		delete(c.entries, address)
+		st.healed++
+	}
+	sink := c.sink
+	c.mu.Unlock()
+	emit(sink, Event{Ev: "cache_corrupt", Kind: kind, Key: key, Addr: address})
+	return c.getDepth(kind, key, address, compute, depth+1)
 }
 
 // Program returns the assembled program for a workload at an iteration
@@ -219,6 +335,10 @@ func (c *Cache) Trace(w *workloads.Workload, iters int, opt trace.Options) (*tra
 	src := w.Source(iters)
 	key := fmt.Sprintf("%s iters=%d %+v", w.Name, iters, opt)
 	v, hit, err := c.get(KindTrace, key, addr(KindTrace, src, fmt.Sprintf("%+v", opt)), func() (interface{}, error) {
+		if faults.Fire(FaultTraceBudget) {
+			// Failures are not memoized, so a retried job recomputes.
+			return nil, Transient(errors.New("faults: injected emulator step-budget exhaustion"))
+		}
 		return trace.Generate(p, opt)
 	})
 	if err != nil {

@@ -1,0 +1,62 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Job failures fall into two classes, and the pool's retry machinery
+// keys off the distinction:
+//
+//	transient  — worth retrying: an injected fault, a resource blip, a
+//	             failure whose recomputation can plausibly succeed. Mark
+//	             one with Transient when constructing it.
+//	permanent  — everything else: wrong programs, simulator bugs,
+//	             panics, deadline expiries. Retrying would repeat the
+//	             same failure, so the pool fails the job immediately.
+//
+// The classification survives fmt.Errorf("%w") wrapping, so a job may
+// annotate a transient error with its own context without losing the
+// retry semantics.
+
+// transientError marks an error as retryable.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err as retryable. A nil err stays nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err is marked retryable anywhere in its
+// chain.
+func IsTransient(err error) bool {
+	var te *transientError
+	return errors.As(err, &te)
+}
+
+// ErrTimeout marks a job that exceeded the pool's per-job deadline. The
+// job's goroutine may still be running (a detailed simulation cannot be
+// preempted mid-cycle); the pool abandons it and fails the job.
+var ErrTimeout = errors.New("job deadline exceeded")
+
+// ErrAborted marks a job that never ran because the run was aborted
+// (SIGINT or an injected abort) before it was dispatched.
+var ErrAborted = errors.New("run aborted before job ran")
+
+// PanicError is a recovered job (or cache compute) panic, carrying the
+// stack captured at the recovery site so a crashing experiment is
+// diagnosable from the error chain and the job_end event alone.
+type PanicError struct {
+	Value interface{} // the value passed to panic
+	Stack []byte      // debug.Stack() at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("%v\n%s", e.Value, e.Stack)
+}

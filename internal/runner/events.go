@@ -10,13 +10,25 @@ import (
 // Event is one structured run event, serialized as a JSON line by
 // JSONLSink. The stream records the life of an orchestrated run:
 //
-//	run_start  — once, with the job count and worker count
-//	job_start  — a worker picked up an (experiment, workload) job
-//	job_end    — the job finished: duration, instructions actually
-//	             simulated (cache hits contribute zero), sim rate
-//	cache      — an artifact cache lookup: kind (program/trace/result),
-//	             the human-readable key, the content address, hit/miss
-//	run_end    — once, with aggregate totals and cache statistics
+//	run_start     — once, with the job count and worker count (and the
+//	                count of jobs replayed from a journal, if resuming)
+//	job_start     — a worker picked up an (experiment, workload) job;
+//	                attempt > 1 marks a retry execution
+//	job_end       — the job finished: duration, instructions actually
+//	                simulated (cache hits contribute zero), sim rate;
+//	                on a panic the stack rides in its own field
+//	job_retry     — a transient failure is about to be retried after a
+//	                jitter-free backoff delay
+//	job_stall     — the watchdog caught a job outliving its deadline
+//	job_skip      — a journaled job was replayed instead of re-run
+//	cache         — an artifact cache lookup: kind (program/trace/
+//	                prep/result), human-readable key, content address,
+//	                hit/miss
+//	cache_corrupt — an artifact failed its checksum on read and was
+//	                quarantined for recomputation
+//	run_abort     — the run was interrupted (SIGINT or injected abort):
+//	                in-flight jobs drained, the rest skipped
+//	run_end       — once, with aggregate totals and cache statistics
 type Event struct {
 	Ev string `json:"ev"`
 	// T is milliseconds since the sink was created, so a log is
@@ -37,13 +49,23 @@ type Event struct {
 	Instrs uint64  `json:"instrs,omitempty"`
 	Rate   float64 `json:"instrs_per_sec,omitempty"`
 	Err    string  `json:"err,omitempty"`
+	// Stack is the recovered panic stack (job_end after a panic).
+	Stack string `json:"stack,omitempty"`
+
+	// Retry bookkeeping (job_start, job_end, job_retry).
+	Attempt int     `json:"attempt,omitempty"`
+	DelayMs float64 `json:"delay_ms,omitempty"`
 
 	// Run lifecycle.
 	Jobs    int `json:"jobs,omitempty"`
 	Workers int `json:"workers,omitempty"`
+	// Skipped counts jobs not executed: journal replays on run_start,
+	// abort casualties on run_abort/run_end.
+	Skipped int `json:"skipped,omitempty"`
 	// run_end cache totals.
 	CacheHits   uint64 `json:"cache_hits,omitempty"`
 	CacheMisses uint64 `json:"cache_misses,omitempty"`
+	Healed      uint64 `json:"healed,omitempty"`
 }
 
 // Sink receives run events. Implementations must be safe for concurrent

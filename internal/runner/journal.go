@@ -1,0 +1,131 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Journal is a crash-consistent record of completed jobs, one JSON line
+// per job, fsync'd as written. A campaign killed mid-flight leaves at
+// worst one torn final line; reopening the journal drops the torn tail
+// (and truncates the file back to its valid prefix, so later appends
+// cannot splice into it) and replays every intact record, which is what
+// lets `cisim run -resume` recompute only the jobs that were lost.
+//
+// Record format (journal.v1):
+//
+//	{"v":1,"addr":"<content address>","exp":"fig5","key":"xgo",
+//	 "sum":"<payload checksum>","payload":{...}}
+//
+// addr is the job's content address (runner.Address over the job's
+// identity including its input hash), so a journal written against one
+// workload definition can never satisfy a resume against another. sum
+// is an integrity checksum of the payload bytes: a record that parses
+// but fails its checksum is treated as absent and the job recomputed.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// journalVersion guards the record schema; bump it when the payload
+// encoding changes incompatibly.
+const journalVersion = 1
+
+type journalRecord struct {
+	V       int             `json:"v"`
+	Addr    string          `json:"addr"`
+	Exp     string          `json:"exp"`
+	Key     string          `json:"key"`
+	Sum     string          `json:"sum"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// OpenJournal opens (creating if absent) the journal at path and replays
+// its intact records. It returns the journal ready for appending, the
+// replayed payloads keyed by job address, and the number of records
+// dropped as torn or corrupt. The file is truncated back to its last
+// intact record, so a torn tail can never corrupt subsequent appends.
+func OpenJournal(path string) (*Journal, map[string]json.RawMessage, int, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	entries := map[string]json.RawMessage{}
+	dropped := 0
+	valid := 0 // byte offset of the end of the last intact record
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// No newline: the final line never finished writing.
+			dropped++
+			break
+		}
+		line := data[off : off+nl]
+		off += nl + 1
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.V != journalVersion || rec.Addr == "" {
+			// A malformed framed line means the file was damaged here;
+			// everything after it is untrustworthy. Keep the prefix.
+			dropped++
+			break
+		}
+		if rec.Sum != Address(string(rec.Payload)) {
+			// Framing intact but the payload bytes are not what was
+			// written: skip this record (the job recomputes) but keep
+			// scanning — later records have independent framing.
+			dropped++
+			valid = off
+			continue
+		}
+		entries[rec.Addr] = rec.Payload
+		valid = off
+	}
+	if valid < len(data) {
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("truncating torn journal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(valid), 0); err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	return &Journal{f: f, path: path}, entries, dropped, nil
+}
+
+// Record appends one completed job, fsync'd before returning so a crash
+// after Record cannot lose it. Safe for concurrent use by pool workers.
+func (j *Journal) Record(exp, key, addr string, payload json.RawMessage) error {
+	rec := journalRecord{V: journalVersion, Addr: addr, Exp: exp, Key: key,
+		Sum: Address(string(payload)), Payload: payload}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -1,0 +1,180 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openTestJournal(t *testing.T, path string) (*Journal, map[string]json.RawMessage, int) {
+	t.Helper()
+	j, entries, dropped, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, entries, dropped
+}
+
+// TestJournalRoundtrip: records written are replayed on reopen, keyed by
+// address.
+func TestJournalRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, entries, dropped := openTestJournal(t, path)
+	if len(entries) != 0 || dropped != 0 {
+		t.Fatalf("fresh journal replayed %d entries, dropped %d", len(entries), dropped)
+	}
+	if err := j.Record("fig5", "xgo", "addr1", json.RawMessage(`{"instrs":5}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("fig5", "xqueens", "addr2", json.RawMessage(`{"instrs":9}`)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, entries, dropped := openTestJournal(t, path)
+	defer j2.Close()
+	if dropped != 0 {
+		t.Errorf("dropped %d records from a clean journal", dropped)
+	}
+	if len(entries) != 2 || string(entries["addr1"]) != `{"instrs":5}` || string(entries["addr2"]) != `{"instrs":9}` {
+		t.Errorf("replayed entries = %v", entries)
+	}
+}
+
+// TestJournalTornTail: a crash mid-write leaves a final line without its
+// newline; reopening drops it, truncates the file back to the valid
+// prefix, and appending afterwards produces a clean journal.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, _, _ := openTestJournal(t, path)
+	if err := j.Record("fig5", "xgo", "addr1", json.RawMessage(`{"a":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("fig5", "xqueens", "addr2", json.RawMessage(`{"b":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Tear the tail: chop the last 5 bytes, removing record 2's newline
+	// and part of its body.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, entries, dropped := openTestJournal(t, path)
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+	if len(entries) != 1 || string(entries["addr1"]) != `{"a":1}` {
+		t.Errorf("entries after torn tail = %v", entries)
+	}
+	// The torn bytes are gone from disk, so this append cannot splice
+	// into them.
+	if err := j2.Record("fig5", "xfib", "addr3", json.RawMessage(`{"c":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(data, []byte{'\n'}); n != 2 {
+		t.Errorf("journal has %d lines after recovery append, want 2:\n%s", n, data)
+	}
+	_, entries, dropped = openTestJournal(t, path)
+	if dropped != 0 || len(entries) != 2 {
+		t.Errorf("recovered journal: entries=%v dropped=%d", entries, dropped)
+	}
+}
+
+// TestJournalCorruptRecord: a framed line whose payload fails its
+// checksum is skipped (that job recomputes) without discarding the valid
+// records after it.
+func TestJournalCorruptRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, _, _ := openTestJournal(t, path)
+	j.Record("e", "w1", "addr1", json.RawMessage(`{"a":1}`))
+	j.Record("e", "w2", "addr2", json.RawMessage(`{"b":2}`))
+	j.Record("e", "w3", "addr3", json.RawMessage(`{"c":3}`))
+	j.Close()
+
+	// Flip payload bytes inside the middle record without breaking its
+	// JSON framing.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangled := bytes.Replace(data, []byte(`{"b":2}`), []byte(`{"b":7}`), 1)
+	if bytes.Equal(mangled, data) {
+		t.Fatal("mangling found nothing to replace")
+	}
+	if err := os.WriteFile(path, mangled, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, entries, dropped := openTestJournal(t, path)
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+	if len(entries) != 2 || entries["addr2"] != nil {
+		t.Errorf("entries = %v, want addr1+addr3 only", entries)
+	}
+	if string(entries["addr3"]) != `{"c":3}` {
+		t.Errorf("record after the corrupt one was lost: %v", entries)
+	}
+}
+
+// TestJournalGarbage: a file that is not a journal at all replays
+// nothing and is truncated rather than trusted.
+func TestJournalGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	if err := os.WriteFile(path, []byte("not json at all\n{\"v\":99}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, entries, dropped := openTestJournal(t, path)
+	defer j.Close()
+	if len(entries) != 0 || dropped == 0 {
+		t.Errorf("garbage journal: entries=%v dropped=%d", entries, dropped)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 0 {
+		t.Errorf("garbage journal not truncated: %d bytes remain", fi.Size())
+	}
+}
+
+// TestJournalConcurrentRecord: pool workers append concurrently; every
+// record survives intact.
+func TestJournalConcurrentRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, _, _ := openTestJournal(t, path)
+	const n = 20
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			addr := fmt.Sprintf("addr%d", i)
+			if err := j.Record("e", "w", addr, json.RawMessage(fmt.Sprintf(`{"i":%d}`, i))); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	j.Close()
+	_, entries, dropped := openTestJournal(t, path)
+	if dropped != 0 || len(entries) != n {
+		t.Errorf("entries=%d dropped=%d, want %d/0", len(entries), dropped, n)
+	}
+}

@@ -26,12 +26,16 @@ func NewTable(title string, columns ...string) *Table {
 func (t *Table) AddRow(cells ...interface{}) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
-		row[i] = formatCell(c)
+		row[i] = FormatCell(c)
 	}
 	t.Rows = append(t.Rows, row)
 }
 
-func formatCell(c interface{}) string {
+// FormatCell renders one cell the way AddRow would. A cell formatted
+// with FormatCell and re-added as a string renders identically, which is
+// what lets the run journal serialize table rows without changing a
+// resumed run's output.
+func FormatCell(c interface{}) string {
 	switch v := c.(type) {
 	case float64:
 		switch {

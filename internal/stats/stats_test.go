@@ -33,8 +33,8 @@ func TestFormatCell(t *testing.T) {
 		Percent(1.0): "1.0%",
 	}
 	for in, want := range cases {
-		if got := formatCell(in); got != want {
-			t.Errorf("formatCell(%v) = %q, want %q", in, got, want)
+		if got := FormatCell(in); got != want {
+			t.Errorf("FormatCell(%v) = %q, want %q", in, got, want)
 		}
 	}
 }

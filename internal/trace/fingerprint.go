@@ -1,0 +1,62 @@
+package trace
+
+import "hash/fnv"
+
+// Fingerprint returns a cheap structural checksum of the trace for the
+// runner's artifact cache to verify on read. Traces run to hundreds of
+// thousands of entries and are re-read on every cache hit, so hashing
+// every byte would cost more than regenerating small traces; instead the
+// checksum covers the full prediction statistics plus a bounded sample
+// of entries (first, last, and a fixed stride between) — enough that any
+// realistic mutation of a shared trace (an entry overwritten, the slice
+// truncated or extended) changes the sum.
+func (t *Trace) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	w(uint64(len(t.Entries)))
+	if t.Halted {
+		w(1)
+	} else {
+		w(0)
+	}
+	s := t.Stats
+	w(s.Cond)
+	w(s.CondMisp)
+	w(s.Indirect)
+	w(s.IndMisp)
+	w(s.Returns)
+	w(s.RetMisp)
+	w(s.DirectJump)
+	// Sample at most ~64 entries, always including the endpoints.
+	stride := len(t.Entries)/64 + 1
+	for i := 0; i < len(t.Entries); i += stride {
+		sample(w, &t.Entries[i])
+	}
+	if n := len(t.Entries); n > 0 && (n-1)%stride != 0 {
+		sample(w, &t.Entries[n-1])
+	}
+	return h.Sum64()
+}
+
+func sample(w func(uint64), e *Entry) {
+	w(e.PC)
+	w(e.NextPC)
+	w(e.EA)
+	var bits uint64
+	if e.Taken {
+		bits |= 1
+	}
+	if e.Predicted {
+		bits |= 2
+	}
+	if e.Mispredicted {
+		bits |= 4
+	}
+	w(bits<<32 | uint64(uint32(e.DepMem)))
+}
