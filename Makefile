@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint checkprog race faults check bench run-all clean
+.PHONY: all build test vet lint checkprog race faults schema check bench run-all profile clean
 
 all: check
 
@@ -40,12 +40,31 @@ race:
 faults:
 	$(GO) test -run 'TestFaultMatrix|TestJournalResume|TestRunBadFaultSpec|TestRunResumeNeedsJournal' ./cmd/cisim/
 
+# schema pins the run-event JSONL interface: the golden field inventory
+# and per-event required/optional matrix in cmd/cisim/testdata must match
+# runner.Event and what a real run emits (see cmd/cisim/schema_test.go).
+schema:
+	$(GO) test -run 'TestEventSchemaMatchesStruct|TestEventStreamMatchesSchema' ./cmd/cisim/
+
 # check is the CI gate: build, vet, the custom analyzers, the workload
-# verifier, full tests, the race pass, and the fault matrix.
-check: build vet lint checkprog test race faults
+# verifier, full tests, the race pass, the fault matrix, and the event
+# schema golden test.
+check: build vet lint checkprog test race faults schema
 
 bench:
 	$(GO) test -bench=BenchmarkRunAllQuick -benchtime=1x -run=^$$ .
 
 run-all: build
 	$(GO) run ./cmd/cisim run -quick all
+
+# profile runs a quick campaign with the observability hooks armed and
+# drops the artifacts in artifacts/: CPU + heap profiles, a Go execution
+# trace, and the run-event stream. Inspect with `go tool pprof
+# artifacts/cpu.pprof` / `go tool trace artifacts/exec.trace` /
+# `go run ./cmd/cisim events artifacts/events.jsonl`.
+profile: build
+	mkdir -p artifacts
+	$(GO) run ./cmd/cisim run -quick -metrics \
+		-cpuprofile artifacts/cpu.pprof -memprofile artifacts/mem.pprof \
+		-exectrace artifacts/exec.trace -events artifacts/events.jsonl all
+	$(GO) run ./cmd/cisim events artifacts/events.jsonl

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"cisim/internal/runner"
+)
+
+// TestCmdRunMetricsDeterminism: -metrics -json output is byte-identical
+// across -jobs 1 and -jobs 8 with the cache reset in between — the
+// snapshots are merged from per-workload partials in paper order, so
+// scheduling cannot reorder them.
+func TestCmdRunMetricsDeterminism(t *testing.T) {
+	runner.Artifacts.Reset()
+	seq, err := capture(t, func() error {
+		return cmdRun([]string{"-quick", "-metrics", "-json", "-jobs", "1", "fig5"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner.Artifacts.Reset()
+	par, err := capture(t, func() error {
+		return cmdRun([]string{"-quick", "-metrics", "-json", "-jobs", "8", "fig5"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != par {
+		t.Errorf("-metrics output differs across -jobs (len %d vs %d)", len(seq), len(par))
+	}
+	for _, want := range []string{`"metrics"`, `"ooo.retired"`, `"ooo.window_occupancy"`, `"bpred.ctb.lookups"`} {
+		if !strings.Contains(seq, want) {
+			t.Errorf("-metrics -json output missing %s", want)
+		}
+	}
+}
+
+// TestCmdRunMetricsOffUnchanged: without -metrics the JSON output carries
+// no metrics key at all, keeping it parseable by older consumers.
+func TestCmdRunMetricsOffUnchanged(t *testing.T) {
+	out, err := capture(t, func() error {
+		return cmdRun([]string{"-quick", "-json", "fig12"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, `"metrics"`) {
+		t.Error("plain -json output grew a metrics key without -metrics")
+	}
+}
+
+// TestCmdSimPipetrace: -pipetrace writes a deterministic trace in both
+// formats, and repeated runs produce identical bytes.
+func TestCmdSimPipetrace(t *testing.T) {
+	dir := t.TempDir()
+	run := func(path, format string) string {
+		t.Helper()
+		if _, err := capture(t, func() error {
+			return cmdSim([]string{"-machine=CI", "-window=64", "-iters=100",
+				"-pipetrace", path, "-pipetrace-format", format, "xcompress"})
+		}); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	k1 := run(dir+"/a.log", "kanata")
+	k2 := run(dir+"/b.log", "kanata")
+	if k1 != k2 {
+		t.Error("kanata pipetrace differs across identical sim runs")
+	}
+	if !strings.HasPrefix(k1, "Kanata\t0004\n") {
+		t.Errorf("missing Kanata header: %q", k1[:40])
+	}
+	j := run(dir+"/c.jsonl", "jsonl")
+	if !strings.Contains(j, `"fetch":`) || !strings.Contains(j, `"retire":`) {
+		t.Error("jsonl pipetrace missing stage fields")
+	}
+	if _, err := capture(t, func() error {
+		return cmdSim([]string{"-pipetrace", dir + "/d", "-pipetrace-format", "wat", "-iters=50", "xgo"})
+	}); err == nil {
+		t.Error("unknown pipetrace format should error")
+	}
+}
+
+// TestCmdSimMetrics: -metrics prints the counter and histogram tables.
+func TestCmdSimMetrics(t *testing.T) {
+	out, err := capture(t, func() error {
+		return cmdSim([]string{"-machine=CI", "-window=64", "-iters=100", "-metrics", "xgo"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"metrics: counters", "metrics: histograms",
+		"ooo.retired", "ooo.window_occupancy", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sim -metrics output missing %q", want)
+		}
+	}
+}
+
+// TestCmdEvents: the analyzer summarizes a real -events stream.
+func TestCmdEvents(t *testing.T) {
+	f := t.TempDir() + "/events.jsonl"
+	if _, err := capture(t, func() error {
+		return cmdRun([]string{"-quick", "-metrics", "-events", f, "table2"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error { return cmdEvents([]string{"-top", "3", f}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"run overview", "jobs completed", "worker utilization",
+		"artifact cache by kind", "slowest 3 job(s)", "table2/", "metrics snapshots"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("events output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCmdEventsJournal: the analyzer recognizes a -journal file.
+func TestCmdEventsJournal(t *testing.T) {
+	f := t.TempDir() + "/journal.jsonl"
+	if _, err := capture(t, func() error {
+		return cmdRun([]string{"-quick", "-journal", f, "table1"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error { return cmdEvents([]string{f}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "journal: 5 completed job(s)") || !strings.Contains(out, "table1") {
+		t.Errorf("events journal output unexpected:\n%s", out)
+	}
+}
+
+// TestCmdEventsBadArgs: missing and empty inputs error cleanly.
+func TestCmdEventsBadArgs(t *testing.T) {
+	if _, err := capture(t, func() error { return cmdEvents(nil) }); err == nil {
+		t.Error("events with no file should error")
+	}
+	if _, err := capture(t, func() error { return cmdEvents([]string{"/no/such/file"}) }); err == nil {
+		t.Error("events with a missing file should error")
+	}
+	empty := t.TempDir() + "/empty.jsonl"
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, func() error { return cmdEvents([]string{empty}) }); err == nil {
+		t.Error("events with an empty file should error")
+	}
+}
+
+// TestCmdRunProfiles: the profiling hooks write non-empty artifacts.
+func TestCmdRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem, exec := dir+"/cpu.pprof", dir+"/mem.pprof", dir+"/trace.out"
+	if _, err := capture(t, func() error {
+		return cmdRun([]string{"-quick", "-cpuprofile", cpu, "-memprofile", mem,
+			"-exectrace", exec, "table1"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem, exec} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("profile artifact missing: %v", err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile artifact %s is empty", path)
+		}
+	}
+}

@@ -27,6 +27,13 @@
 // deterministic fault-injection points (internal/faults) that make every
 // one of those recovery paths testable on demand.
 //
+// Observability flags (DESIGN.md §9): -metrics collects deterministic
+// per-workload counter/histogram snapshots (in -json output and as
+// `metrics` events); -cpuprofile/-memprofile/-exectrace wrap the run in
+// the Go profilers. `cisim sim -pipetrace FILE` writes a cycle-level
+// pipeline trace (Konata-compatible Kanata or JSONL), and `cisim
+// events` summarizes an -events or -journal file offline.
+//
 //	cisim sim [flags] <workload>   one detailed simulation with stats
 //	cisim ideal [flags] <workload> one idealized-model simulation
 //	cisim disasm <workload>        disassemble a program
@@ -34,6 +41,7 @@
 //	cisim trace [flags] <workload> dump the annotated dynamic trace
 //	cisim pipe [flags] <workload>  per-instruction pipeline timeline
 //	cisim compare <old> <new>      diff two 'run -json' result files
+//	cisim events <file.jsonl>      analyze a run-event stream or journal
 //
 // Experiment ids follow the paper's tables and figures: table1, fig3,
 // fig5, fig6, table2, table3, table4, fig8, fig9, fig10, fig12, fig13,
@@ -47,7 +55,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
 	"sync"
 	"time"
@@ -56,6 +67,7 @@ import (
 	"cisim/internal/exp"
 	"cisim/internal/faults"
 	"cisim/internal/ideal"
+	"cisim/internal/metrics"
 	"cisim/internal/ooo"
 	"cisim/internal/runner"
 	"cisim/internal/stats"
@@ -95,6 +107,8 @@ func main() {
 		err = cmdPipe(os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
+	case "events":
+		err = cmdEvents(os.Args[2:])
 	case "check":
 		err = cmdCheck(os.Args[2:])
 	case "help", "-h", "--help":
@@ -122,6 +136,7 @@ func usage() {
   cisim trace [flags] <workload>  dump the annotated dynamic trace
   cisim pipe [flags] <workload>   per-instruction pipeline timeline
   cisim compare <old> <new>       diff two 'run -json' result files
+  cisim events <file.jsonl>       summarize a run-event stream or journal (-top N)
   cisim check [files...]          statically verify programs (default: all workloads)`)
 }
 
@@ -151,9 +166,18 @@ func cmdRun(args []string) error {
 	journalPath := fs.String("journal", "", "append completed jobs to this crash-consistent JSONL file")
 	resumeFlag := fs.Bool("resume", false, "replay the -journal file and run only the jobs it is missing")
 	faultsSpec := fs.String("faults", "", "arm deterministic fault injection, e.g. 'cache-corrupt@2,job-transient' (see DESIGN.md §8; also CISIM_FAULTS)")
+	metricsFlag := fs.Bool("metrics", false, "collect per-workload metrics snapshots (rides in -json output and -events stream)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memprofile := fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
+	exectrace := fs.String("exectrace", "", "write a Go execution trace of the run to this file (go tool trace)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := startProfiles(*cpuprofile, *memprofile, *exectrace)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	if fs.NArg() != 1 {
 		return fmt.Errorf("run needs an experiment id or 'all'")
 	}
@@ -172,7 +196,7 @@ func cmdRun(args []string) error {
 		faults.Set(plan)
 		defer faults.Clear()
 	}
-	opt := exp.Options{Quick: *quick}
+	opt := exp.Options{Quick: *quick, Metrics: *metricsFlag}
 	ids := []string{fs.Arg(0)}
 	if fs.Arg(0) == "all" {
 		ids = exp.IDs()
@@ -335,6 +359,20 @@ func cmdRun(args []string) error {
 		outcomes[i] = o
 	}
 
+	// Metrics snapshots ride the event stream too, one event per
+	// (experiment, workload) in paper order — deterministic because they
+	// are emitted from the merged results, never from worker goroutines.
+	if sink != nil && *metricsFlag {
+		for i, e := range exps {
+			if outcomes[i].r == nil {
+				continue
+			}
+			for _, wm := range outcomes[i].r.Metrics {
+				sink.Emit(runner.Event{Ev: "metrics", Exp: e.ID, Key: wm.Workload, Metrics: wm.Snapshot})
+			}
+		}
+	}
+
 	renderErr := renderOutcomes(exps, outcomes, *jsonFlag, *plotFlag)
 
 	sum := runner.Summarize(results, nw, wall, runner.Artifacts.Stats().Sub(statsBefore))
@@ -350,6 +388,58 @@ func cmdRun(args []string) error {
 		return abortErr
 	}
 	return renderErr
+}
+
+// startProfiles arms the requested Go profiling hooks and returns the
+// function that stops them and writes the end-of-run artifacts. The
+// hooks observe the harness process only; simulation results are
+// identical with or without them.
+func startProfiles(cpu, mem, exec string) (func(), error) {
+	var stops []func()
+	cleanup := func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stops = append(stops, func() { pprof.StopCPUProfile(); f.Close() })
+	}
+	if exec != "" {
+		f, err := os.Create(exec)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		if err := rtrace.Start(f); err != nil {
+			f.Close()
+			cleanup()
+			return nil, err
+		}
+		stops = append(stops, func() { rtrace.Stop(); f.Close() })
+	}
+	if mem != "" {
+		stops = append(stops, func() {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cisim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "cisim: memprofile:", err)
+			}
+		})
+	}
+	return cleanup, nil
 }
 
 // outcome is one experiment's merged result (or first failure) plus the
@@ -458,6 +548,9 @@ func cmdSim(args []string) error {
 	fetchTaken := fs.Int("fetch-taken", 0, "taken control transfers followed per fetch cycle (0 = ideal, the paper's §4.1 front end)")
 	consLoads := fs.Bool("conservative-loads", false, "disable speculative memory disambiguation (loads wait for all older stores)")
 	icache := fs.Bool("icache", false, "model a 64KB instruction cache (the paper assumes ideal instruction supply)")
+	pipetrace := fs.String("pipetrace", "", "write a cycle-level pipeline trace of every fetched instruction to this file")
+	pipeFormat := fs.String("pipetrace-format", "kanata", "pipetrace format: kanata (Konata-compatible) or jsonl")
+	metricsFlag := fs.Bool("metrics", false, "collect and print deterministic counters and cycle histograms")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -513,6 +606,26 @@ func cmdSim(args []string) error {
 		return fmt.Errorf("unknown completion model %q", *completion)
 	}
 
+	cfg.CollectMetrics = *metricsFlag
+	var flushTrace func() error
+	if *pipetrace != "" {
+		f, err := os.Create(*pipetrace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		switch *pipeFormat {
+		case "kanata":
+			tr := ooo.NewKanataTracer(f)
+			cfg.Tracer, flushTrace = tr, tr.Flush
+		case "jsonl":
+			tr := ooo.NewJSONLTracer(f)
+			cfg.Tracer, flushTrace = tr, tr.Flush
+		default:
+			return fmt.Errorf("unknown pipetrace format %q (want kanata or jsonl)", *pipeFormat)
+		}
+	}
+
 	p, err := w.Assemble(*iters)
 	if err != nil {
 		return err
@@ -521,6 +634,12 @@ func cmdSim(args []string) error {
 	r, err := ooo.Run(p, cfg)
 	if err != nil {
 		return err
+	}
+	if flushTrace != nil {
+		if err := flushTrace(); err != nil {
+			return fmt.Errorf("writing pipetrace: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "cisim: pipetrace (%s) written to %s\n", *pipeFormat, *pipetrace)
 	}
 	s := &r.Stats
 	t := stats.NewTable(fmt.Sprintf("%s on %s (window %d, segment %d, %s)",
@@ -547,7 +666,25 @@ func cmdSim(args []string) error {
 		t.AddRow("instruction cache miss rate", stats.Percent(100*stats.Ratio(s.ICacheMisses, s.ICacheAccesses)))
 	}
 	fmt.Printf("%s\n(%s)\n", t, time.Since(start).Round(time.Millisecond))
+	if r.Metrics != nil {
+		printMetrics(r.Metrics)
+	}
 	return nil
+}
+
+// printMetrics renders a metrics snapshot as counter and histogram
+// tables. Snapshot slices are pre-sorted by name, so the output is
+// deterministic.
+func printMetrics(s *metrics.Snapshot) {
+	ct := stats.NewTable("metrics: counters", "name", "value")
+	for _, c := range s.Counters {
+		ct.AddRow(c.Name, int(c.Value))
+	}
+	ht := stats.NewTable("metrics: histograms", "name", "count", "mean", "p50", "p99", "max")
+	for _, h := range s.Histograms {
+		ht.AddRow(h.Name, int(h.Count), h.Mean(), int(h.Quantile(0.5)), int(h.Quantile(0.99)), int(h.Max))
+	}
+	fmt.Printf("\n%s\n%s", ct, ht)
 }
 
 func cmdIdeal(args []string) error {

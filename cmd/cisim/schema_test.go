@@ -1,0 +1,163 @@
+package main
+
+// Golden-schema tests for the run-event stream. The JSONL written by
+// `cisim run -events` is a public interface — scripts, CI, and `cisim
+// events` parse it by field name — so its shape is pinned in
+// testdata/event_schema.json and checked two ways: the schema's field
+// list must match runner.Event's json tags exactly (both directions),
+// and every line of a real run must satisfy the per-event-type
+// required/optional matrix. Renaming a field or changing an event's
+// guarantees fails here until the schema is updated deliberately.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"cisim/internal/runner"
+)
+
+type eventSpec struct {
+	Required []string `json:"required"`
+	Optional []string `json:"optional"`
+}
+
+type eventSchema struct {
+	Fields map[string]string    `json:"fields"`
+	Events map[string]eventSpec `json:"events"`
+}
+
+func loadSchema(t *testing.T) *eventSchema {
+	t.Helper()
+	data, err := os.ReadFile("testdata/event_schema.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s eventSchema
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatalf("parsing event_schema.json: %v", err)
+	}
+	return &s
+}
+
+// TestEventSchemaMatchesStruct: the schema's field inventory and
+// runner.Event's json tags are the same set.
+func TestEventSchemaMatchesStruct(t *testing.T) {
+	s := loadSchema(t)
+	tags := map[string]bool{}
+	typ := reflect.TypeOf(runner.Event{})
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		name := strings.Split(f.Tag.Get("json"), ",")[0]
+		if name == "" || name == "-" {
+			t.Fatalf("Event.%s has no json tag; every field must serialize under a documented name", f.Name)
+		}
+		tags[name] = true
+		if _, ok := s.Fields[name]; !ok {
+			t.Errorf("Event.%s serializes as %q, which event_schema.json does not list — add it", f.Name, name)
+		}
+	}
+	var stale []string
+	//lint:ignore detrange sorted just below
+	for name := range s.Fields {
+		if !tags[name] {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(stale)
+	for _, name := range stale {
+		t.Errorf("event_schema.json lists %q, which runner.Event no longer has — remove it", name)
+	}
+	for ev, spec := range s.Events {
+		for _, name := range append(append([]string{}, spec.Required...), spec.Optional...) {
+			if _, ok := s.Fields[name]; !ok {
+				t.Errorf("event %q references field %q missing from the field inventory", ev, name)
+			}
+		}
+	}
+}
+
+// jsonType names a decoded JSON value's type the way the schema does.
+func jsonType(v interface{}) string {
+	switch v.(type) {
+	case string:
+		return "string"
+	case float64:
+		return "number"
+	case bool:
+		return "boolean"
+	case map[string]interface{}:
+		return "object"
+	case []interface{}:
+		return "array"
+	case nil:
+		return "null"
+	}
+	return fmt.Sprintf("%T", v)
+}
+
+// TestEventStreamMatchesSchema runs a real metrics-collecting quick run
+// and validates every emitted line against the matrix: required fields
+// present, no field outside required+optional, types as declared.
+func TestEventStreamMatchesSchema(t *testing.T) {
+	s := loadSchema(t)
+	f := t.TempDir() + "/events.jsonl"
+	runner.Artifacts.Reset()
+	if _, err := capture(t, func() error {
+		return cmdRun([]string{"-quick", "-metrics", "-events", f, "fig5"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var m map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("unparseable event line %q: %v", line, err)
+		}
+		ev, _ := m["ev"].(string)
+		spec, ok := s.Events[ev]
+		if !ok {
+			t.Fatalf("run emitted event type %q that event_schema.json does not document: %s", ev, line)
+		}
+		seen[ev] = true
+		allowed := map[string]bool{}
+		for _, name := range spec.Required {
+			allowed[name] = true
+			if _, ok := m[name]; !ok {
+				t.Errorf("%s event missing required field %q: %s", ev, name, line)
+			}
+		}
+		for _, name := range spec.Optional {
+			allowed[name] = true
+		}
+		var got []string
+		//lint:ignore detrange sorted just below
+		for name := range m {
+			got = append(got, name)
+		}
+		sort.Strings(got)
+		for _, name := range got {
+			if !allowed[name] {
+				t.Errorf("%s event carries field %q the schema does not allow for it: %s", ev, name, line)
+			}
+			if want, ok := s.Fields[name]; ok {
+				if jt := jsonType(m[name]); jt != want {
+					t.Errorf("field %q is %s, schema says %s: %s", name, jt, want, line)
+				}
+			}
+		}
+	}
+	for _, want := range []string{"run_start", "job_start", "job_end", "cache", "metrics", "run_end"} {
+		if !seen[want] {
+			t.Errorf("validation run emitted no %s event; the matrix for it went unchecked", want)
+		}
+	}
+}

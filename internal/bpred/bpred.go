@@ -78,6 +78,14 @@ type TargetBuffer struct {
 	bits    uint
 	targets []uint64
 	tags    []uint32
+
+	// Lookups/Hits count Predict calls and tag matches; Aliases counts
+	// lookups that found a valid entry installed by a *different* branch
+	// (partial-tag conflict) — the destructive interference the
+	// correlated index trades against history sensitivity.
+	Lookups uint64
+	Hits    uint64
+	Aliases uint64
 }
 
 // NewTargetBuffer returns a buffer with 2^bits entries.
@@ -96,10 +104,15 @@ func (t *TargetBuffer) index(pc uint64, h History) (uint64, uint32) {
 
 // Predict returns the predicted target, or ok=false on a miss.
 func (t *TargetBuffer) Predict(pc uint64, h History) (uint64, bool) {
+	t.Lookups++
 	i, tag := t.index(pc, h)
 	if t.tags[i] != tag {
+		if t.tags[i] != 0 {
+			t.Aliases++
+		}
 		return 0, false
 	}
+	t.Hits++
 	return t.targets[i], true
 }
 

@@ -41,6 +41,9 @@ type Cache struct {
 
 	Accesses uint64
 	Misses   uint64
+	// Evictions counts fills that displaced a valid line (conflict or
+	// capacity victims, as opposed to cold fills into empty ways).
+	Evictions uint64
 }
 
 // New builds a cache from a configuration. Size, Assoc and LineSize must
@@ -102,6 +105,9 @@ func (c *Cache) Access(addr uint64) int {
 		if ways[i].lru < ways[victim].lru {
 			victim = i
 		}
+	}
+	if ways[victim].valid {
+		c.Evictions++
 	}
 	ways[victim] = way{tag: tag, valid: true, lru: c.tick}
 	return c.cfg.MissLat

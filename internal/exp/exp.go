@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"cisim/internal/ideal"
+	"cisim/internal/metrics"
 	"cisim/internal/ooo"
 	"cisim/internal/plot"
 	"cisim/internal/prog"
@@ -25,6 +26,11 @@ type Options struct {
 	// Quick shrinks workload lengths (and some sweeps) for tests and
 	// benchmarks; results keep their shape but are noisier.
 	Quick bool
+	// Metrics collects deterministic counter/histogram snapshots from
+	// every detailed simulation. The snapshots are part of the cached
+	// result (the config key covers the flag), so metric and non-metric
+	// runs never share artifacts.
+	Metrics bool
 }
 
 // iters returns the workload iteration count for the current scale.
@@ -55,6 +61,16 @@ type Result struct {
 	// experiments that are line charts in the paper; the CLI renders
 	// them with -plot.
 	Plots []Plot
+	// Metrics holds one merged snapshot per workload (in workloads.All()
+	// order) when the experiment ran with Options.Metrics.
+	Metrics []WorkloadMetrics
+}
+
+// WorkloadMetrics pairs a workload with the metrics snapshot merged over
+// every detailed simulation the experiment ran for it.
+type WorkloadMetrics struct {
+	Workload string            `json:"workload"`
+	Snapshot *metrics.Snapshot `json:"snapshot"`
 }
 
 // Plot is one renderable chart: a line chart (Series) for the
@@ -145,6 +161,9 @@ type Partial struct {
 	Rows   [][]Row
 	Plots  []Plot
 	Instrs uint64
+	// Metrics is the union of the snapshots from every detailed run the
+	// workload function requested, nil unless Options.Metrics is set.
+	Metrics *metrics.Snapshot
 }
 
 // wctx is the per-workload execution context handed to an experiment's
@@ -187,14 +206,25 @@ func (c *wctx) trace() (*trace.Trace, error) {
 }
 
 // detailed runs the workload through the detailed simulator at the
-// current scale, memoized in the shared artifact cache.
+// current scale, memoized in the shared artifact cache. Under
+// Options.Metrics each run's snapshot is merged into the Partial; the
+// merge clones before mutating because the snapshot may be shared with
+// the artifact cache.
 func (c *wctx) detailed(cfg ooo.Config) (*ooo.Result, error) {
+	cfg.CollectMetrics = c.o.Metrics
 	r, hit, err := runner.Artifacts.Detailed(c.w, c.o.iters(c.w), cfg)
 	if err != nil {
 		return nil, err
 	}
 	if !hit {
 		c.part.Instrs += r.Stats.Retired
+	}
+	if r.Metrics != nil {
+		if c.part.Metrics == nil {
+			c.part.Metrics = r.Metrics.Clone()
+		} else if err := c.part.Metrics.Merge(r.Metrics); err != nil {
+			return nil, fmt.Errorf("%s: merging metrics: %w", c.w.Name, err)
+		}
 	}
 	return r, nil
 }
@@ -229,6 +259,7 @@ func (e *Experiment) RunWorkload(w *workloads.Workload, o Options) (*Partial, er
 func (e *Experiment) Merge(o Options, parts []*Partial) (*Result, error) {
 	ts := e.tables(o)
 	r := &Result{ID: e.ID, Tables: ts}
+	ws := workloads.All()
 	for i, p := range parts {
 		if p == nil {
 			return nil, fmt.Errorf("%s: missing partial result %d", e.ID, i)
@@ -242,6 +273,9 @@ func (e *Experiment) Merge(o Options, parts []*Partial) (*Result, error) {
 			}
 		}
 		r.Plots = append(r.Plots, p.Plots...)
+		if p.Metrics != nil && i < len(ws) {
+			r.Metrics = append(r.Metrics, WorkloadMetrics{Workload: ws[i].Name, Snapshot: p.Metrics})
+		}
 	}
 	if e.finish != nil {
 		e.finish(o, r)

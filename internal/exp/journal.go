@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"cisim/internal/metrics"
 	"cisim/internal/runner"
 	"cisim/internal/stats"
 	"cisim/internal/workloads"
@@ -20,7 +21,7 @@ import (
 
 // journalVersion salts job addresses; bump it when the payload encoding
 // changes so stale journals miss instead of decoding garbage.
-const journalVersion = "exp.v1"
+const journalVersion = "exp.v2"
 
 // JobAddress returns the content address identifying one (experiment,
 // workload) job at a scale, for journal keying. It hashes the workload's
@@ -28,19 +29,20 @@ const journalVersion = "exp.v1"
 // invalidates its journal entries rather than resuming stale results.
 func JobAddress(e *Experiment, w *workloads.Workload, o Options) string {
 	return runner.Address("job", journalVersion, e.ID, w.Name,
-		fmt.Sprintf("quick=%t", o.Quick), w.Source(o.iters(w)))
+		fmt.Sprintf("quick=%t metrics=%t", o.Quick, o.Metrics), w.Source(o.iters(w)))
 }
 
 // journalPartial is the serialized form of a Partial.
 type journalPartial struct {
-	Rows   [][][]string `json:"rows,omitempty"`
-	Plots  []Plot       `json:"plots,omitempty"`
-	Instrs uint64       `json:"instrs,omitempty"`
+	Rows    [][][]string      `json:"rows,omitempty"`
+	Plots   []Plot            `json:"plots,omitempty"`
+	Instrs  uint64            `json:"instrs,omitempty"`
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
 }
 
 // EncodePartial serializes a Partial for the run journal.
 func EncodePartial(p *Partial) (json.RawMessage, error) {
-	jp := journalPartial{Plots: p.Plots, Instrs: p.Instrs}
+	jp := journalPartial{Plots: p.Plots, Instrs: p.Instrs, Metrics: p.Metrics}
 	for _, rows := range p.Rows {
 		out := make([][]string, len(rows))
 		for i, row := range rows {
@@ -63,7 +65,7 @@ func DecodePartial(data json.RawMessage) (*Partial, error) {
 	if err := json.Unmarshal(data, &jp); err != nil {
 		return nil, fmt.Errorf("exp: decoding journaled partial: %w", err)
 	}
-	p := &Partial{Plots: jp.Plots, Instrs: jp.Instrs}
+	p := &Partial{Plots: jp.Plots, Instrs: jp.Instrs, Metrics: jp.Metrics}
 	for _, rows := range jp.Rows {
 		out := make([]Row, len(rows))
 		for i, cells := range rows {

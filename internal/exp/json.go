@@ -19,11 +19,14 @@ type JSONResult struct {
 	ID     string         `json:"id"`
 	Title  string         `json:"title"`
 	Tables []*stats.Table `json:"tables"`
+	// Metrics rides along only when the run collected metrics; the
+	// omitempty keeps plain -json output byte-identical to older builds.
+	Metrics []WorkloadMetrics `json:"metrics,omitempty"`
 }
 
 // ToJSON converts an experiment's result for serialization.
 func ToJSON(e *Experiment, r *Result) JSONResult {
-	return JSONResult{ID: e.ID, Title: e.Title, Tables: r.Tables}
+	return JSONResult{ID: e.ID, Title: e.Title, Tables: r.Tables, Metrics: r.Metrics}
 }
 
 // WriteJSON writes results as indented JSON.

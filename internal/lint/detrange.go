@@ -25,7 +25,12 @@ var DetRange = &Analyzer{
 // emitNames are method/function name shapes treated as order-dependent
 // sinks: each emission is observable in sequence, so calling one per map
 // element bakes the iteration order into the output.
-var emitPrefixes = []string{"Write", "Print", "Fprint", "Encode", "Emit", "Log", "AddRow", "Append"}
+// "Trace" and "Observe" cover the observability layer: pipeline tracers
+// stream events in call order and histogram observations land in shared
+// buckets whose snapshots are diffed byte-for-byte across runs, so
+// feeding either from a map range is the same determinism bug as an
+// unordered Write.
+var emitPrefixes = []string{"Write", "Print", "Fprint", "Encode", "Emit", "Log", "AddRow", "Append", "Trace", "Observe"}
 
 func isEmitName(name string) bool {
 	for _, p := range emitPrefixes {

@@ -24,6 +24,7 @@ var SimPure = &Analyzer{
 			"internal/ooo", "internal/ideal", "internal/emu",
 			"internal/bpred", "internal/cache", "internal/cfg",
 			"internal/progen", "internal/workloads", "internal/check",
+			"internal/metrics",
 		} {
 			if strings.HasSuffix(path, suffix) {
 				return true

@@ -50,6 +50,40 @@ func sendAll(m map[int]int, ch chan<- int) {
 	}
 }
 
+type tracer interface {
+	TraceRetire(seq uint64, cycle int64)
+}
+
+type histogram struct{}
+
+func (h *histogram) Observe(v int64) {}
+
+// Observability sinks: trace events stream in call order and histogram
+// observations fill shared buckets, so map order leaks into both.
+func traceAll(tr tracer, m map[uint64]int64) {
+	for seq, c := range m { // want `call to TraceRetire`
+		tr.TraceRetire(seq, c)
+	}
+}
+
+func observeAll(h *histogram, m map[string]int64) {
+	for _, v := range m { // want `call to Observe`
+		h.Observe(v)
+	}
+}
+
+func observeSortedAfter(h *histogram, m map[string]int64) {
+	keys := make([]string, 0, len(m))
+	//lint:ignore detrange sorted just below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h.Observe(m[k])
+	}
+}
+
 // Order-insensitive bodies: counting, keyed writes, reductions, and
 // ranging over slices are all fine.
 func clean(m map[string]int, xs []string) (int, map[string]int, []string) {

@@ -1,0 +1,300 @@
+// Package metrics is a deterministic, allocation-free metrics layer for
+// the simulator packages: named monotonic counters and fixed-bucket
+// histograms whose observed values are cycle counts (or other
+// simulation-derived integers), never wall-clock time. A Registry filled
+// by a simulation is a pure function of the program and configuration —
+// the same property the artifact cache (internal/runner) and the
+// `simpure` analyzer (internal/lint) demand of the simulators themselves
+// — so snapshots can ride in cached results and JSON output without
+// breaking byte-for-byte reproducibility.
+//
+// The hot path is allocation-free: Counter.Add and Histogram.Observe
+// touch preallocated arrays only. Registration (New*, Registry.Counter,
+// Registry.Histogram) allocates and is meant for setup time.
+//
+// Registries are not safe for concurrent use; the simulator machines
+// that fill them are single-goroutine. Snapshots are plain immutable
+// data and safe to share once taken.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	name string
+	v    uint64
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Histogram counts observations into fixed buckets. Bounds are inclusive
+// upper bounds in ascending order; an observation v lands in the first
+// bucket with v <= bounds[i], or in the implicit overflow bucket past the
+// last bound. Sum, Count, Min and Max are tracked exactly, so means are
+// not subject to bucket resolution.
+type Histogram struct {
+	name   string
+	bounds []int64
+	counts []uint64 // len(bounds)+1; last is overflow
+	count  uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// Name returns the histogram's registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Registry holds a simulation run's metrics. The zero value is not
+// usable; call New.
+type Registry struct {
+	counters []*Counter
+	hists    []*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry { return &Registry{} }
+
+// Counter returns the named counter, registering it on first use.
+// Registration order does not matter: snapshots sort by name.
+func (r *Registry) Counter(name string) *Counter {
+	for _, c := range r.counters {
+		if c.name == name {
+			return c
+		}
+	}
+	c := &Counter{name: name}
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// Histogram returns the named histogram, registering it with the given
+// bucket bounds on first use. Bounds must be ascending; re-registering a
+// name with different bounds panics (a metrics-taxonomy bug, not a
+// runtime condition).
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	for _, h := range r.hists {
+		if h.name == name {
+			if !boundsEqual(h.bounds, bounds) {
+				panic(fmt.Sprintf("metrics: histogram %q re-registered with different bounds", name))
+			}
+			return h
+		}
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %q bounds not ascending", name))
+		}
+	}
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	h := &Histogram{name: name, bounds: b, counts: make([]uint64, len(b)+1)}
+	r.hists = append(r.hists, h)
+	return h
+}
+
+func boundsEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CounterSnap is one counter's snapshot.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// HistogramSnap is one histogram's snapshot. Counts has one entry per
+// bound plus a final overflow bucket.
+type HistogramSnap struct {
+	Name   string   `json:"name"`
+	Bounds []int64  `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+	Count  uint64   `json:"count"`
+	Sum    int64    `json:"sum"`
+	Min    int64    `json:"min"`
+	Max    int64    `json:"max"`
+}
+
+// Mean returns the exact observation mean (0 with no observations).
+func (h *HistogramSnap) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) from the
+// bucket counts: the bound of the bucket where the q-th observation
+// falls, or Max for the overflow bucket. With no observations it returns
+// 0.
+func (h *HistogramSnap) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.Counts {
+		seen += c
+		if seen >= rank {
+			if i < len(h.Bounds) {
+				return h.Bounds[i]
+			}
+			return h.Max
+		}
+	}
+	return h.Max
+}
+
+// Snapshot is an immutable, name-sorted copy of a registry's contents:
+// the form that rides in JSON output, run events, and journal payloads.
+type Snapshot struct {
+	Counters   []CounterSnap   `json:"counters,omitempty"`
+	Histograms []HistogramSnap `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current state, sorted by metric name so
+// serialization is deterministic regardless of registration order.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	for _, c := range r.counters {
+		s.Counters = append(s.Counters, CounterSnap{Name: c.name, Value: c.v})
+	}
+	for _, h := range r.hists {
+		hs := HistogramSnap{
+			Name:   h.name,
+			Bounds: append([]int64(nil), h.bounds...),
+			Counts: append([]uint64(nil), h.counts...),
+			Count:  h.count,
+			Sum:    h.sum,
+		}
+		if h.count > 0 {
+			hs.Min, hs.Max = h.min, h.max
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Merge folds another snapshot into this one: counters with the same name
+// sum, histograms with the same name (and identical bounds) add their
+// buckets, and unmatched metrics are appended. Merging is commutative and
+// associative up to the final name sort, so per-workload snapshots can be
+// aggregated in any grouping. Histograms whose bounds disagree return an
+// error (a taxonomy mismatch, e.g. snapshots from different versions).
+func (s *Snapshot) Merge(o *Snapshot) error {
+	if o == nil {
+		return nil
+	}
+	for _, oc := range o.Counters {
+		found := false
+		for i := range s.Counters {
+			if s.Counters[i].Name == oc.Name {
+				s.Counters[i].Value += oc.Value
+				found = true
+				break
+			}
+		}
+		if !found {
+			s.Counters = append(s.Counters, oc)
+		}
+	}
+	for _, oh := range o.Histograms {
+		found := false
+		for i := range s.Histograms {
+			h := &s.Histograms[i]
+			if h.Name != oh.Name {
+				continue
+			}
+			if !boundsEqual(h.Bounds, oh.Bounds) {
+				return fmt.Errorf("metrics: merging histogram %q: bucket bounds differ", oh.Name)
+			}
+			for j := range h.Counts {
+				h.Counts[j] += oh.Counts[j]
+			}
+			if oh.Count > 0 {
+				if h.Count == 0 || oh.Min < h.Min {
+					h.Min = oh.Min
+				}
+				if h.Count == 0 || oh.Max > h.Max {
+					h.Max = oh.Max
+				}
+			}
+			h.Count += oh.Count
+			h.Sum += oh.Sum
+			found = true
+			break
+		}
+		if !found {
+			hs := oh
+			hs.Bounds = append([]int64(nil), oh.Bounds...)
+			hs.Counts = append([]uint64(nil), oh.Counts...)
+			s.Histograms = append(s.Histograms, hs)
+		}
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return nil
+}
+
+// Clone returns a deep copy, so a cached snapshot can be merged into
+// without mutating the cache's copy.
+func (s *Snapshot) Clone() *Snapshot {
+	if s == nil {
+		return nil
+	}
+	c := &Snapshot{
+		Counters:   append([]CounterSnap(nil), s.Counters...),
+		Histograms: append([]HistogramSnap(nil), s.Histograms...),
+	}
+	for i := range c.Histograms {
+		c.Histograms[i].Bounds = append([]int64(nil), s.Histograms[i].Bounds...)
+		c.Histograms[i].Counts = append([]uint64(nil), s.Histograms[i].Counts...)
+	}
+	return c
+}

@@ -1,0 +1,185 @@
+package metrics
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := New()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("value = %d, want 5", c.Value())
+	}
+	if r.Counter("x") != c {
+		t.Fatal("re-registering a counter should return the same instance")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", []int64{1, 2, 4, 8})
+	for _, v := range []int64{0, 1, 2, 3, 4, 5, 8, 9, 100} {
+		h.Observe(v)
+	}
+	s := r.Snapshot()
+	hs := s.Histograms[0]
+	// Buckets: <=1, <=2, <=4, <=8, overflow.
+	want := []uint64{2, 1, 2, 2, 2}
+	for i, w := range want {
+		if hs.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, hs.Counts[i], w, hs.Counts)
+		}
+	}
+	if hs.Count != 9 || hs.Min != 0 || hs.Max != 100 {
+		t.Fatalf("count/min/max = %d/%d/%d, want 9/0/100", hs.Count, hs.Min, hs.Max)
+	}
+	if hs.Sum != 0+1+2+3+4+5+8+9+100 {
+		t.Fatalf("sum = %d", hs.Sum)
+	}
+}
+
+func TestHistogramReregister(t *testing.T) {
+	r := New()
+	h := r.Histogram("h", []int64{1, 2})
+	if r.Histogram("h", []int64{1, 2}) != h {
+		t.Fatal("same bounds should return the same histogram")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bounds mismatch")
+		}
+	}()
+	r.Histogram("h", []int64{1, 3})
+}
+
+func TestSnapshotSortedAndDeterministic(t *testing.T) {
+	r := New()
+	r.Counter("zeta").Add(1)
+	r.Counter("alpha").Add(2)
+	r.Histogram("m", []int64{10}).Observe(3)
+	r.Histogram("a", []int64{10}).Observe(4)
+	s := r.Snapshot()
+	if s.Counters[0].Name != "alpha" || s.Counters[1].Name != "zeta" {
+		t.Fatalf("counters not sorted: %+v", s.Counters)
+	}
+	if s.Histograms[0].Name != "a" || s.Histograms[1].Name != "m" {
+		t.Fatalf("histograms not sorted: %+v", s.Histograms)
+	}
+	j1, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := json.Marshal(r.Snapshot())
+	if string(j1) != string(j2) {
+		t.Fatal("repeated snapshots differ")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	mk := func(cv uint64, hv int64) *Snapshot {
+		r := New()
+		r.Counter("c").Add(cv)
+		r.Counter("only" + string(rune('0'+cv))).Add(1)
+		r.Histogram("h", []int64{2, 4}).Observe(hv)
+		return r.Snapshot()
+	}
+	a := mk(1, 1)
+	b := mk(2, 5)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	var c *CounterSnap
+	for i := range a.Counters {
+		if a.Counters[i].Name == "c" {
+			c = &a.Counters[i]
+		}
+	}
+	if c == nil || c.Value != 3 {
+		t.Fatalf("merged counter = %+v", c)
+	}
+	h := a.Histograms[0]
+	if h.Count != 2 || h.Min != 1 || h.Max != 5 || h.Sum != 6 {
+		t.Fatalf("merged histogram = %+v", h)
+	}
+	if h.Counts[0] != 1 || h.Counts[2] != 1 {
+		t.Fatalf("merged buckets = %v", h.Counts)
+	}
+	// Mismatched bounds must error.
+	r := New()
+	r.Histogram("h", []int64{3}).Observe(1)
+	if err := a.Merge(r.Snapshot()); err == nil {
+		t.Fatal("expected bounds-mismatch error")
+	}
+	// Merging nil is a no-op.
+	if err := a.Merge(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeDoesNotAliasSource(t *testing.T) {
+	r := New()
+	r.Histogram("h", []int64{1}).Observe(0)
+	src := r.Snapshot()
+	dst := &Snapshot{}
+	if err := dst.Merge(src); err != nil {
+		t.Fatal(err)
+	}
+	dst.Histograms[0].Counts[0] = 99
+	if src.Histograms[0].Counts[0] == 99 {
+		t.Fatal("merge aliased the source snapshot's counts")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	r := New()
+	r.Counter("c").Add(1)
+	r.Histogram("h", []int64{1}).Observe(0)
+	s := r.Snapshot()
+	c := s.Clone()
+	c.Counters[0].Value = 9
+	c.Histograms[0].Counts[0] = 9
+	if s.Counters[0].Value == 9 || s.Histograms[0].Counts[0] == 9 {
+		t.Fatal("clone aliased the original")
+	}
+	if (*Snapshot)(nil).Clone() != nil {
+		t.Fatal("nil clone should be nil")
+	}
+}
+
+func TestQuantileAndMean(t *testing.T) {
+	r := New()
+	h := r.Histogram("h", []int64{1, 2, 4, 8})
+	for v := int64(1); v <= 8; v++ {
+		h.Observe(v)
+	}
+	hs := r.Snapshot().Histograms[0]
+	if m := hs.Mean(); m != 4.5 {
+		t.Fatalf("mean = %v, want 4.5", m)
+	}
+	if q := hs.Quantile(0.5); q != 4 {
+		t.Fatalf("p50 = %d, want 4", q)
+	}
+	if q := hs.Quantile(1.0); q != 8 {
+		t.Fatalf("p100 = %d, want 8", q)
+	}
+	empty := HistogramSnap{}
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty histogram quantile/mean should be 0")
+	}
+}
+
+func TestObserveAllocationFree(t *testing.T) {
+	r := New()
+	h := r.Histogram("h", []int64{1, 2, 4})
+	c := r.Counter("c")
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(3)
+		c.Inc()
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe/Inc allocated %v per op, want 0", allocs)
+	}
+}

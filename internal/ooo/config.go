@@ -234,8 +234,22 @@ type Config struct {
 	// timeline and as flushes in the Kanata export.
 	RecordSquashed bool
 
+	// CollectMetrics fills Result.Metrics with a deterministic snapshot
+	// of the run's counters and cycle-keyed histograms (window
+	// occupancy, fetch-to-retire latency, recovery penalty, squash
+	// depth, re-execution counts, cache and predictor counters). The
+	// snapshot is a pure function of program and configuration, so
+	// metric-collecting runs stay memoizable.
+	CollectMetrics bool
+
 	// Check enables expensive internal invariant checking (tests).
 	Check bool
+
+	// Tracer, when set, observes every dynamic instruction's pipeline
+	// stage transitions (see the Tracer interface in tracer.go). Like
+	// Debug, it is an observation hook with side effects outside the
+	// Result, so traced runs are never memoized.
+	Tracer Tracer
 
 	// Debug, when set, receives internal event messages (tests only).
 	Debug func(format string, args ...interface{})
@@ -281,7 +295,7 @@ func (c *Config) defaults() {
 // field participates: a field missing here would make the artifact cache
 // (internal/runner) serve one field-variant's result for another's.
 func (c Config) Key() (string, bool) {
-	if c.Debug != nil || c.hookRecovery != nil {
+	if c.Debug != nil || c.hookRecovery != nil || c.Tracer != nil {
 		return "", false
 	}
 	d := c
@@ -298,9 +312,9 @@ func (c Config) Key() (string, bool) {
 		d.HideFalseMispredictions, d.OracleGlobalHistory)
 	fmt.Fprintf(&b, " cache=%+v icache=%+v bimodal=%t gshare=%d target=%d",
 		d.Cache, d.ICache, d.BimodalPredictor, d.GShareBits, d.TargetBits)
-	fmt.Fprintf(&b, " maxinstrs=%d maxcycles=%d misps=%t pipe=%t pipelimit=%d squashed=%t check=%t",
+	fmt.Fprintf(&b, " maxinstrs=%d maxcycles=%d misps=%t pipe=%t pipelimit=%d squashed=%t check=%t metrics=%t",
 		d.MaxInstrs, d.MaxCycles, d.RecordMisps, d.RecordPipeline,
-		d.PipelineLimit, d.RecordSquashed, d.Check)
+		d.PipelineLimit, d.RecordSquashed, d.Check, d.CollectMetrics)
 	return b.String(), true
 }
 

@@ -10,6 +10,7 @@ import (
 	"cisim/internal/emu"
 	"cisim/internal/isa"
 	"cisim/internal/mem"
+	"cisim/internal/metrics"
 	"cisim/internal/prog"
 )
 
@@ -26,6 +27,11 @@ type Result struct {
 	Stats      Stats
 	MispEvents []MispEvent  // populated when Config.RecordMisps is set
 	Pipeline   []PipeRecord // populated when Config.RecordPipeline is set
+	// Metrics is the deterministic counter/histogram snapshot, populated
+	// when Config.CollectMetrics is set. It is part of the Result proper
+	// — a pure function of program and configuration — so cached results
+	// carry it.
+	Metrics *metrics.Snapshot
 }
 
 type machine struct {
@@ -79,6 +85,12 @@ type machine struct {
 
 	mispEvents []MispEvent
 	pipeRecs   []PipeRecord
+
+	// Observability hooks (tracer.go). trc mirrors cfg.Tracer; mx is
+	// non-nil when cfg.CollectMetrics is set. Both are checked with one
+	// nil test per pipeline stage.
+	trc Tracer
+	mx  *machineMetrics
 
 	// arena batch-allocates dyns: the simulator creates one per fetched
 	// instruction (wrong paths included), and individual heap
@@ -175,6 +187,10 @@ func RunPrepared(p *prog.Program, c Config, pre *Prep) (*Result, error) {
 	if c.ICache != (cache.Config{}) {
 		m.icache = cache.New(c.ICache)
 	}
+	m.trc = c.Tracer
+	if c.CollectMetrics {
+		m.mx = newMachineMetrics()
+	}
 	for _, seg := range p.Data {
 		m.mem.WriteBytes(seg.Addr, seg.Bytes)
 	}
@@ -201,6 +217,9 @@ func RunPrepared(p *prog.Program, c Config, pre *Prep) (*Result, error) {
 		m.dispatchStage()
 		m.fetchStage()
 		m.stats.OccupancySum += uint64(m.win.count)
+		if m.mx != nil {
+			m.mx.occupancy.Observe(int64(m.win.count))
+		}
 		if c.Check {
 			if err := m.win.check(); err != nil {
 				return nil, err
@@ -220,7 +239,11 @@ func RunPrepared(p *prog.Program, c Config, pre *Prep) (*Result, error) {
 		m.stats.ICacheAccesses = m.icache.Accesses
 		m.stats.ICacheMisses = m.icache.Misses
 	}
-	return &Result{Stats: m.stats, MispEvents: m.mispEvents, Pipeline: m.pipeRecs}, nil
+	r := &Result{Stats: m.stats, MispEvents: m.mispEvents, Pipeline: m.pipeRecs}
+	if m.mx != nil {
+		r.Metrics = m.mx.finalize(m)
+	}
+	return r, nil
 }
 
 // --- fetch stage ---
@@ -303,6 +326,9 @@ func (m *machine) newDyn(pc uint64, in isa.Inst) *dyn {
 		if in.Op == isa.SB {
 			d.esize = 1
 		}
+	}
+	if m.trc != nil {
+		m.trc.TraceFetch(d.seq, pc, in, m.cycle)
 	}
 	return d
 }
@@ -404,6 +430,9 @@ func (m *machine) renameAtTail(d *dyn) {
 	if d.hasRd {
 		m.tailRmap[d.dest] = d
 	}
+	if m.trc != nil {
+		m.trc.TraceRename(d.seq, m.cycle)
+	}
 }
 
 // rebuildTailRmap reconstructs the tail rename map by walking the window
@@ -475,6 +504,9 @@ func (m *machine) issue(d *dyn) {
 	d.lastIssueC = m.cycle
 	d.stale = false
 	d.issues++
+	if m.trc != nil {
+		m.trc.TraceIssue(d.seq, m.cycle)
+	}
 	if d.saved != savedNo && d.issues > 1 {
 		d.reissuedAfter = true
 	}
@@ -569,6 +601,9 @@ func (m *machine) complete(d *dyn) {
 	d.st = stDone
 	d.hasVal = true
 	d.doneC = m.cycle
+	if m.trc != nil {
+		m.trc.TraceComplete(d.seq, m.cycle)
+	}
 	if m.cfg.Debug != nil {
 		m.debugf("complete %v val=%#x", d, d.val)
 	}
@@ -960,6 +995,13 @@ func (m *machine) commit(d *dyn) {
 	}
 	m.stats.Issues += uint64(d.issues)
 	m.stats.Retired++
+	if m.mx != nil {
+		m.mx.fetchToRetire.Observe(m.cycle - d.fetchC)
+		m.mx.issuesPerRetired.Observe(int64(d.issues))
+	}
+	if m.trc != nil {
+		m.trc.TraceRetire(d.seq, m.cycle)
+	}
 	if m.cfg.RecordPipeline {
 		m.recordPipe(d)
 	}

@@ -23,9 +23,9 @@ func TestKeyCoversEveryExportedField(t *testing.T) {
 		if !f.IsExported() {
 			continue
 		}
-		if f.Type.Kind() == reflect.Func {
-			// Hook fields make the config non-memoizable instead of
-			// participating in the key; covered below.
+		if f.Type.Kind() == reflect.Func || f.Type.Kind() == reflect.Interface {
+			// Hook fields (Debug, Tracer) make the config non-memoizable
+			// instead of participating in the key; covered below.
 			continue
 		}
 		var c Config
@@ -92,6 +92,9 @@ func TestKeyCanonicalizesDefaults(t *testing.T) {
 	}
 	if _, ok := (Config{Debug: func(string, ...interface{}) {}}).Key(); ok {
 		t.Error("config with a Debug hook must not be memoizable")
+	}
+	if _, ok := (Config{Tracer: NewJSONLTracer(nil)}).Key(); ok {
+		t.Error("config with a Tracer must not be memoizable")
 	}
 	if _, ok := (Config{hookRecovery: func(*machine, pendingRec) {}}).Key(); ok {
 		t.Error("config with a recovery hook must not be memoizable")

@@ -184,9 +184,21 @@ func (m *machine) abandonRestart(act *restartSeq) {
 	m.win.sealAndSweep(act.fillSeg)
 }
 
-// beginRecovery services one misprediction: selective squash and restart
-// setup (CI machines), or complete squash (BASE / no reconvergence).
+// beginRecovery services one misprediction, measuring the squash depth —
+// instructions discarded in its immediate service (selective or full
+// squash, fetch-buffer drops) — when metrics are enabled.
 func (m *machine) beginRecovery(pr pendingRec) {
+	before := m.stats.WrongPathFetched
+	m.beginRecoveryInner(pr)
+	if m.mx != nil {
+		m.mx.squashDepth.Observe(int64(m.stats.WrongPathFetched - before))
+	}
+}
+
+// beginRecoveryInner services one misprediction: selective squash and
+// restart setup (CI machines), or complete squash (BASE / no
+// reconvergence).
+func (m *machine) beginRecoveryInner(pr pendingRec) {
 	d := pr.d
 	if m.cfg.hookRecovery != nil {
 		m.cfg.hookRecovery(m, pr)
@@ -258,7 +270,7 @@ func (m *machine) beginRecovery(pr pendingRec) {
 		}
 		m.countWrongPath(c)
 		m.dropFromEvents(c)
-		m.win.squash(c)
+		m.squashDyn(c)
 		removed++
 		return true
 	})
@@ -271,7 +283,7 @@ func (m *machine) beginRecovery(pr pendingRec) {
 		}
 		m.countWrongPath(nr)
 		m.dropFromEvents(nr)
-		m.win.squash(nr)
+		m.squashDyn(nr)
 		removed++
 		nr = next
 	}
@@ -344,7 +356,7 @@ func (m *machine) beginSearchRecovery(d *dyn, pr pendingRec) bool {
 				squashedStores = append(squashedStores, c)
 			}
 			m.countWrongPath(c)
-			m.win.squash(c)
+			m.squashDyn(c)
 		}
 	}
 	m.reissueLoadsAfterStoreSquash(d, squashedStores)
@@ -393,7 +405,7 @@ func (m *machine) fullSquash(d *dyn) {
 	m.win.forEachAfter(d, func(c *dyn) bool {
 		m.countWrongPath(c)
 		m.dropFromEvents(c)
-		m.win.squash(c)
+		m.squashDyn(c)
 		return true
 	})
 	m.active = nil
@@ -416,6 +428,16 @@ func (m *machine) fullSquash(d *dyn) {
 	m.rebuildTailRmap()
 }
 
+// observeRestartPenalty accounts a finished (or abandoned) restart
+// sequence's cycle cost: the Table 2 aggregate, plus the
+// recovery-penalty histogram when metrics are enabled.
+func (m *machine) observeRestartPenalty(act *restartSeq) {
+	m.stats.RestartCycles += uint64(m.cycle - act.started + 1)
+	if m.mx != nil {
+		m.mx.recoveryPenalty.Observe(m.cycle - act.started + 1)
+	}
+}
+
 func (m *machine) countWrongPath(c *dyn) {
 	m.stats.WrongPathFetched++
 	m.stats.WrongPathIssues += uint64(c.issues)
@@ -434,6 +456,9 @@ func (m *machine) dropFromEvents(c *dyn) {}
 func (m *machine) dropFetchBuf() {
 	for _, c := range m.fetchBuf {
 		m.countWrongPath(c)
+		if m.trc != nil {
+			m.trc.TraceSquash(c.seq, m.cycle)
+		}
 	}
 	m.fetchBuf = nil
 }
@@ -443,10 +468,10 @@ func (m *machine) squashFrom(d *dyn) {
 	m.countWrongPath(d)
 	m.win.forEachAfter(d, func(c *dyn) bool {
 		m.countWrongPath(c)
-		m.win.squash(c)
+		m.squashDyn(c)
 		return true
 	})
-	m.win.squash(d)
+	m.squashDyn(d)
 	m.rebuildTailRmap()
 }
 
@@ -537,7 +562,7 @@ func (m *machine) continueRestart() {
 			}
 			m.stats.EvictedCI++
 			m.countWrongPath(tail)
-			m.win.squash(tail)
+			m.squashDyn(tail)
 		}
 		d := m.newDynAt(act.fetchPC, in, act)
 		seg := m.win.insertAfter(act.lastIns, act.fillSeg, d)
@@ -591,7 +616,7 @@ func (m *machine) continueSearchRestart() {
 					squashedStores = append(squashedStores, c)
 				}
 				m.countWrongPath(c)
-				m.win.squash(c)
+				m.squashDyn(c)
 				removed++
 				return true
 			})
@@ -631,7 +656,7 @@ func (m *machine) continueSearchRestart() {
 			}
 			m.stats.EvictedCI++
 			m.countWrongPath(tail)
-			m.win.squash(tail)
+			m.squashDyn(tail)
 		}
 		d := m.newDynAt(act.fetchPC, in, act)
 		seg := m.win.insertAfter(act.lastIns, act.fillSeg, d)
@@ -682,7 +707,7 @@ func (m *machine) convertSearchToPlain(halted bool) {
 	}
 	m.win.sealAndSweep(act.fillSeg)
 	m.stats.InsertedCD += uint64(act.insert)
-	m.stats.RestartCycles += uint64(m.cycle - act.started + 1)
+	m.observeRestartPenalty(act)
 	m.stats.FullSquashes++
 
 	m.filterSuspended()
@@ -777,6 +802,9 @@ func (m *machine) newDynAt(pc uint64, in isa.Inst, act *restartSeq) *dyn {
 			act.goldCur = -1
 		}
 	}
+	if m.trc != nil {
+		m.trc.TraceFetch(d.seq, pc, in, m.cycle)
+	}
 	return d
 }
 
@@ -796,6 +824,9 @@ func (m *machine) renameWith(d *dyn, rmap map[isa.Reg]*dyn) {
 	if d.hasRd {
 		rmap[d.dest] = d
 	}
+	if m.trc != nil {
+		m.trc.TraceRename(d.seq, m.cycle)
+	}
 }
 
 // finishRestart completes the restart sequence and schedules redispatch.
@@ -805,7 +836,7 @@ func (m *machine) finishRestart() {
 	m.active = nil
 	m.win.sealAndSweep(act.fillSeg)
 	m.stats.InsertedCD += uint64(act.insert)
-	m.stats.RestartCycles += uint64(m.cycle - act.started + 1)
+	m.observeRestartPenalty(act)
 
 	nd := &redispSeq{cur: act.reconv, hist: act.hist, ras: act.ras, gold: act.goldCur}
 	if m.redisp == nil || nd.cur.pos < m.redisp.cur.pos {
@@ -880,7 +911,7 @@ func (m *machine) convertRestartToPlain(halted bool) {
 	}
 	m.win.sealAndSweep(act.fillSeg)
 	m.stats.InsertedCD += uint64(act.insert)
-	m.stats.RestartCycles += uint64(m.cycle - act.started + 1)
+	m.observeRestartPenalty(act)
 	// Degrades to a full squash for statistics purposes.
 	m.stats.Reconverged--
 	m.stats.FullSquashes++

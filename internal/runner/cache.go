@@ -232,7 +232,7 @@ func (c *Cache) getDepth(kind, key, address string, compute func() (interface{},
 		st.hits++
 		sink := c.sink
 		c.mu.Unlock()
-		emit(sink, Event{Ev: "cache", Kind: kind, Key: key, Addr: address, Hit: true})
+		emit(sink, Event{Ev: "cache", Kind: kind, Key: key, Addr: address, Hit: boolp(true)})
 		<-e.ready
 		if e.err == nil && e.summed {
 			if sum, _ := fingerprint(e.val); sum != e.sum {
@@ -246,7 +246,7 @@ func (c *Cache) getDepth(kind, key, address string, compute func() (interface{},
 	st.misses++
 	sink := c.sink
 	c.mu.Unlock()
-	emit(sink, Event{Ev: "cache", Kind: kind, Key: key, Addr: address, Hit: false})
+	emit(sink, Event{Ev: "cache", Kind: kind, Key: key, Addr: address, Hit: boolp(false)})
 
 	defer func() {
 		if e.err != nil {

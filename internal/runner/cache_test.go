@@ -332,10 +332,10 @@ func TestCacheEvents(t *testing.T) {
 	if len(events) != 2 {
 		t.Fatalf("got %d events", len(events))
 	}
-	if events[0].Ev != "cache" || events[0].Hit || events[0].Kind != KindTrace {
+	if events[0].Ev != "cache" || events[0].Hit == nil || *events[0].Hit || events[0].Kind != KindTrace {
 		t.Errorf("first event = %+v", events[0])
 	}
-	if !events[1].Hit {
+	if events[1].Hit == nil || !*events[1].Hit {
 		t.Errorf("second event = %+v", events[1])
 	}
 	c.SetSink(nil)

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"cisim/internal/metrics"
 )
 
 // Event is one structured run event, serialized as a JSON line by
@@ -23,12 +25,17 @@ import (
 //	job_skip      — a journaled job was replayed instead of re-run
 //	cache         — an artifact cache lookup: kind (program/trace/
 //	                prep/result), human-readable key, content address,
-//	                hit/miss
+//	                and hit — always serialized, true or false, so a
+//	                miss line is distinguishable from a malformed one
 //	cache_corrupt — an artifact failed its checksum on read and was
 //	                quarantined for recomputation
+//	metrics       — one (experiment, workload) deterministic metrics
+//	                snapshot (counters and cycle-keyed histograms),
+//	                emitted when the run collects metrics
 //	run_abort     — the run was interrupted (SIGINT or injected abort):
 //	                in-flight jobs drained, the rest skipped
-//	run_end       — once, with aggregate totals and cache statistics
+//	run_end       — once, with aggregate totals, cache statistics, and a
+//	                Go runtime snapshot (heap, GC, goroutines)
 type Event struct {
 	Ev string `json:"ev"`
 	// T is milliseconds since the sink was created, so a log is
@@ -39,10 +46,12 @@ type Event struct {
 	Exp string `json:"exp,omitempty"`
 	Key string `json:"key,omitempty"`
 
-	// Cache lookups.
+	// Cache lookups. Hit is a pointer so misses serialize an explicit
+	// "hit":false rather than omitting the field (a bare bool under
+	// omitempty vanished on misses).
 	Kind string `json:"kind,omitempty"`
 	Addr string `json:"addr,omitempty"`
-	Hit  bool   `json:"hit,omitempty"`
+	Hit  *bool  `json:"hit,omitempty"`
 
 	// Job completion.
 	Ms     float64 `json:"ms,omitempty"`
@@ -56,6 +65,11 @@ type Event struct {
 	Attempt int     `json:"attempt,omitempty"`
 	DelayMs float64 `json:"delay_ms,omitempty"`
 
+	// Worker is the 1-based pool worker that handled the job (job_start,
+	// job_end, job_retry, job_stall), for per-worker utilization
+	// analysis by `cisim events`.
+	Worker int `json:"worker,omitempty"`
+
 	// Run lifecycle.
 	Jobs    int `json:"jobs,omitempty"`
 	Workers int `json:"workers,omitempty"`
@@ -66,7 +80,22 @@ type Event struct {
 	CacheHits   uint64 `json:"cache_hits,omitempty"`
 	CacheMisses uint64 `json:"cache_misses,omitempty"`
 	Healed      uint64 `json:"healed,omitempty"`
+
+	// run_end Go runtime snapshot: live heap bytes, completed GC cycles,
+	// total GC pause, and goroutine count at the end of the run. These
+	// describe the harness process, never the simulation, so they ride
+	// only on run_end — simulation-side metrics stay cycle-keyed.
+	HeapBytes  uint64  `json:"heap_bytes,omitempty"`
+	GCCycles   uint32  `json:"gc_cycles,omitempty"`
+	GCPauseMs  float64 `json:"gc_pause_ms,omitempty"`
+	Goroutines int     `json:"goroutines,omitempty"`
+
+	// Metrics is the snapshot carried by a metrics event.
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
 }
+
+// boolp returns a pointer to b, for the explicit Hit field.
+func boolp(b bool) *bool { return &b }
 
 // Sink receives run events. Implementations must be safe for concurrent
 // use; Emit is called from worker goroutines.

@@ -144,13 +144,16 @@ func (p *Pool) RunContext(parent context.Context, jobs []Job) []JobResult {
 	var wg sync.WaitGroup
 	for w := 0; w < n; w++ {
 		wg.Add(1)
+		// Workers are numbered from 1 in events; 0 means "unattributed"
+		// and is omitted from JSON.
+		worker := w + 1
 		go func() {
 			defer wg.Done()
 			for i := range idx {
 				if faults.Fire(FaultRunAbort) {
 					cancel()
 				}
-				results[i] = p.runOne(ctx, jobs[i])
+				results[i] = p.runOne(ctx, jobs[i], worker)
 			}
 		}()
 	}
@@ -183,7 +186,7 @@ dispatch:
 
 // runOne executes one job to its final outcome: attempts separated by
 // backoff while the error stays transient and the budget lasts.
-func (p *Pool) runOne(ctx context.Context, j Job) JobResult {
+func (p *Pool) runOne(ctx context.Context, j Job, worker int) JobResult {
 	if ctx.Err() != nil {
 		return JobResult{Err: ErrAborted, Skipped: true}
 	}
@@ -193,13 +196,13 @@ func (p *Pool) runOne(ctx context.Context, j Job) JobResult {
 	}
 	var res JobResult
 	for attempt := 1; ; attempt++ {
-		res = p.attempt(ctx, j, attempt)
+		res = p.attempt(ctx, j, attempt, worker)
 		res.Attempts = attempt
 		if res.Err == nil || !IsTransient(res.Err) || attempt >= maxAttempts || ctx.Err() != nil {
 			return res
 		}
 		delay := backoffDelay(p.RetryBase, attempt)
-		emit(p.Events, Event{Ev: "job_retry", Exp: j.Exp, Key: j.Key,
+		emit(p.Events, Event{Ev: "job_retry", Exp: j.Exp, Key: j.Key, Worker: worker,
 			Attempt: attempt, DelayMs: round2(delay.Seconds() * 1000), Err: res.Err.Error()})
 		t := time.NewTimer(delay)
 		select {
@@ -228,14 +231,14 @@ func backoffDelay(base time.Duration, attempt int) time.Duration {
 // that reports and abandons a job that outlives it. An abandoned job's
 // goroutine keeps running (a simulation cannot be preempted) but the
 // worker moves on, so one hung job cannot stall the campaign.
-func (p *Pool) attempt(ctx context.Context, j Job, attempt int) JobResult {
+func (p *Pool) attempt(ctx context.Context, j Job, attempt, worker int) JobResult {
 	jctx := ctx
 	cancel := func() {}
 	if p.Timeout > 0 {
 		jctx, cancel = context.WithTimeout(ctx, p.Timeout)
 	}
 	defer cancel()
-	ev := Event{Ev: "job_start", Exp: j.Exp, Key: j.Key}
+	ev := Event{Ev: "job_start", Exp: j.Exp, Key: j.Key, Worker: worker}
 	if attempt > 1 {
 		ev.Attempt = attempt
 	}
@@ -252,7 +255,7 @@ func (p *Pool) attempt(ctx context.Context, j Job, attempt int) JobResult {
 	case res = <-done:
 	case <-jctx.Done():
 		if errors.Is(jctx.Err(), context.DeadlineExceeded) {
-			emit(p.Events, Event{Ev: "job_stall", Exp: j.Exp, Key: j.Key,
+			emit(p.Events, Event{Ev: "job_stall", Exp: j.Exp, Key: j.Key, Worker: worker,
 				Ms: round2(time.Since(start).Seconds() * 1000)})
 			// Grace window: a job that observes its context exits here;
 			// a compute-bound one is abandoned.
@@ -271,7 +274,7 @@ func (p *Pool) attempt(ctx context.Context, j Job, attempt int) JobResult {
 		res.Err = fmt.Errorf("job %s/%s: %w (deadline %s)", j.Exp, j.Key, ErrTimeout, p.Timeout)
 	}
 	res.Elapsed = time.Since(start)
-	end := Event{Ev: "job_end", Exp: j.Exp, Key: j.Key,
+	end := Event{Ev: "job_end", Exp: j.Exp, Key: j.Key, Worker: worker,
 		Ms: round2(res.Elapsed.Seconds() * 1000), Instrs: res.Instrs}
 	if attempt > 1 {
 		end.Attempt = attempt
@@ -386,10 +389,20 @@ func (s Summary) Table() *stats.Table {
 	return t
 }
 
-// RunEndEvent builds the run_end event for a summary.
+// RunEndEvent builds the run_end event for a summary, stamped with a Go
+// runtime snapshot (live heap, GC work, goroutine count) so a slow or
+// memory-hungry run is diagnosable from its event log alone. The
+// snapshot describes the harness process; nothing simulation-facing
+// reads the wall clock or the runtime.
 func (s Summary) RunEndEvent() Event {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	return Event{Ev: "run_end", Jobs: s.Jobs, Workers: s.Workers,
 		Ms: round2(s.Wall.Seconds() * 1000), Instrs: s.Instrs,
 		CacheHits: s.Cache.Hits(), CacheMisses: s.Cache.Misses(),
-		Skipped: s.Skipped, Healed: s.Cache.Healed}
+		Skipped: s.Skipped, Healed: s.Cache.Healed,
+		HeapBytes:  ms.HeapAlloc,
+		GCCycles:   ms.NumGC,
+		GCPauseMs:  round2(float64(ms.PauseTotalNs) / 1e6),
+		Goroutines: runtime.NumGoroutine()}
 }

@@ -462,7 +462,7 @@ func TestJSONLSink(t *testing.T) {
 	var buf bytes.Buffer
 	s := NewJSONLSink(&buf)
 	s.Emit(Event{Ev: "job_start", Exp: "fig5", Key: "xgo"})
-	s.Emit(Event{Ev: "cache", Kind: KindTrace, Key: "xgo", Hit: true})
+	s.Emit(Event{Ev: "cache", Kind: KindTrace, Key: "xgo", Hit: boolp(true)})
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
 	if len(lines) != 2 {
 		t.Fatalf("got %d lines: %q", len(lines), buf.String())
