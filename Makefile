@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint checkprog race faults schema check bench run-all profile clean
+.PHONY: all build test vet lint checkprog race faults schema check bench bench-baseline benchdiff run-all profile clean
+
+# The headline benchmarks gated by BENCH_5.json (see bench-baseline and
+# benchdiff below).
+BENCHES = BenchmarkRunAllQuick|BenchmarkDetailedMachine|BenchmarkTraceGeneration|BenchmarkIdealScheduler
 
 all: check
 
@@ -53,6 +57,22 @@ check: build vet lint checkprog test race faults schema
 
 bench:
 	$(GO) test -bench=BenchmarkRunAllQuick -benchtime=1x -run=^$$ .
+
+# bench-baseline re-records the committed benchmark baseline from three
+# runs of the headline benchmarks (medians). Run on an idle machine and
+# commit the result together with the change that moved the numbers.
+bench-baseline:
+	$(GO) test -bench='$(BENCHES)' -benchtime=1x -count=3 -benchmem -run=^$$ . \
+		| $(GO) run ./cmd/benchdiff -write BENCH_5.json \
+			-note "$$(uname -m), $$($(GO) version | cut -d' ' -f3), -benchtime=1x -count=3 medians"
+
+# benchdiff compares a fresh benchmark run against the committed
+# baseline: time deltas beyond ±10% and any allocs/op increase are
+# flagged. Advisory (exit 0) because wall-clock noise on shared machines
+# is real; pass STRICT=-strict to turn regressions into a failure.
+benchdiff:
+	$(GO) test -bench='$(BENCHES)' -benchtime=1x -count=3 -benchmem -run=^$$ . \
+		| $(GO) run ./cmd/benchdiff -baseline BENCH_5.json $(STRICT)
 
 run-all: build
 	$(GO) run ./cmd/cisim run -quick all

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: cisim
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkRunAllQuick/cold-8         	       1	7000000000 ns/op	3000000000 B/op	19000000 allocs/op
+BenchmarkRunAllQuick/cold-8         	       1	9000000000 ns/op	3100000000 B/op	19000000 allocs/op
+BenchmarkRunAllQuick/cold-8         	       1	8000000000 ns/op	3200000000 B/op	19000000 allocs/op
+BenchmarkTraceGeneration-8          	      10	 120000000 ns/op	    240000 instrs/op	 90000000 B/op	 500000 allocs/op
+BenchmarkTraceGeneration-8          	      10	 100000000 ns/op	    240000 instrs/op	 90000000 B/op	 500000 allocs/op
+PASS
+ok  	cisim	42.0s
+`
+
+func TestParseBenchMedians(t *testing.T) {
+	samples, err := parseBench(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := medians(samples)
+
+	cold, ok := got["BenchmarkRunAllQuick/cold"]
+	if !ok {
+		t.Fatalf("missing cold benchmark; have %v", got)
+	}
+	if cold.NsPerOp != 8e9 {
+		t.Errorf("cold median ns/op = %g, want 8e9", cold.NsPerOp)
+	}
+	if cold.AllocsPerOp != 19e6 {
+		t.Errorf("cold allocs/op = %g, want 19e6", cold.AllocsPerOp)
+	}
+
+	// Even run count: mean of the middle two. The instrs/op ReportMetric
+	// pair must not confuse the parser.
+	tg, ok := got["BenchmarkTraceGeneration"]
+	if !ok {
+		t.Fatalf("missing trace benchmark; have %v", got)
+	}
+	if tg.NsPerOp != 110e6 {
+		t.Errorf("trace median ns/op = %g, want 110e6", tg.NsPerOp)
+	}
+	if tg.BytesPerOp != 90e6 {
+		t.Errorf("trace B/op = %g, want 90e6", tg.BytesPerOp)
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := map[string]Benchmark{
+		"BenchmarkA":    {NsPerOp: 100, AllocsPerOp: 10},
+		"BenchmarkB":    {NsPerOp: 100, AllocsPerOp: 10},
+		"BenchmarkC":    {NsPerOp: 100, AllocsPerOp: 10},
+		"BenchmarkGone": {NsPerOp: 1},
+	}
+	cur := map[string]Benchmark{
+		"BenchmarkA":   {NsPerOp: 105, AllocsPerOp: 10}, // within threshold
+		"BenchmarkB":   {NsPerOp: 150, AllocsPerOp: 10}, // time regression
+		"BenchmarkC":   {NsPerOp: 90, AllocsPerOp: 11},  // alloc regression
+		"BenchmarkNew": {NsPerOp: 5},
+	}
+
+	var sb strings.Builder
+	if !compare(&sb, base, cur, 10) {
+		t.Error("compare should report a regression")
+	}
+	out := sb.String()
+	if !strings.Contains(out, "time regression") {
+		t.Errorf("missing time regression flag:\n%s", out)
+	}
+	if !strings.Contains(out, "allocs/op increased") {
+		t.Errorf("missing alloc regression flag:\n%s", out)
+	}
+	if !strings.Contains(out, "BenchmarkNew") || !strings.Contains(out, "BenchmarkGone") {
+		t.Errorf("new/vanished benchmarks not reported:\n%s", out)
+	}
+
+	var ok strings.Builder
+	if compare(&ok, base, map[string]Benchmark{"BenchmarkA": {NsPerOp: 104, AllocsPerOp: 10}}, 10) {
+		t.Errorf("within-threshold delta flagged as regression:\n%s", ok.String())
+	}
+}
+
+func TestTrimProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkFoo-8":        "BenchmarkFoo",
+		"BenchmarkFoo/sub-16":   "BenchmarkFoo/sub",
+		"BenchmarkFoo/BASE-2":   "BenchmarkFoo/BASE",
+		"BenchmarkNoSuffix":     "BenchmarkNoSuffix",
+		"BenchmarkFoo/w-64-8":   "BenchmarkFoo/w-64",
+		"BenchmarkFoo/not-anum": "BenchmarkFoo/not-anum",
+	} {
+		if got := trimProcs(in); got != want {
+			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

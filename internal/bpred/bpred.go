@@ -126,41 +126,61 @@ func (t *TargetBuffer) Update(pc uint64, h History, target uint64) {
 // RAS is a return address stack. With no depth limit and Snapshot/Restore
 // around every recovery it behaves as the paper's perfect RAS: returns on
 // the correct path always predict correctly.
+//
+// The stack is a persistent linked list of immutable nodes: Push
+// allocates one node, Pop moves the top pointer, and Snapshot/Restore
+// are O(1) pointer copies. The detailed simulator checkpoints the RAS at
+// every fetched control instruction, so cheap snapshots matter far more
+// than the pointer chase a deep Restore-then-Pop might cost.
 type RAS struct {
-	stack []uint64
+	top   *rasNode
+	depth int
+}
+
+type rasNode struct {
+	addr uint64
+	prev *rasNode
+}
+
+// Snap is an immutable RAS checkpoint: a reference into the persistent
+// stack. The zero value is an empty stack.
+type Snap struct {
+	top   *rasNode
+	depth int
 }
 
 // NewRAS returns an empty return address stack.
 func NewRAS() *RAS { return &RAS{} }
 
 // Push records a return address at a call.
-func (r *RAS) Push(addr uint64) { r.stack = append(r.stack, addr) }
+func (r *RAS) Push(addr uint64) {
+	r.top = &rasNode{addr: addr, prev: r.top}
+	r.depth++
+}
 
 // Pop predicts (and consumes) the target of a return. It returns 0, false
 // on underflow (a return with no matching call in view).
 func (r *RAS) Pop() (uint64, bool) {
-	if len(r.stack) == 0 {
+	if r.top == nil {
 		return 0, false
 	}
-	a := r.stack[len(r.stack)-1]
-	r.stack = r.stack[:len(r.stack)-1]
+	a := r.top.addr
+	r.top = r.top.prev
+	r.depth--
 	return a, true
 }
 
 // Depth returns the current stack depth.
-func (r *RAS) Depth() int { return len(r.stack) }
+func (r *RAS) Depth() int { return r.depth }
 
-// Snapshot captures the stack contents for later Restore.
-func (r *RAS) Snapshot() []uint64 {
-	s := make([]uint64, len(r.stack))
-	copy(s, r.stack)
-	return s
-}
+// Snapshot captures the stack for later Restore. Nodes are never
+// mutated, so sharing the spine is safe and allocation-free.
+func (r *RAS) Snapshot() Snap { return Snap{top: r.top, depth: r.depth} }
 
 // Restore rewinds the stack to a snapshot.
-func (r *RAS) Restore(s []uint64) {
-	r.stack = r.stack[:0]
-	r.stack = append(r.stack, s...)
+func (r *RAS) Restore(s Snap) {
+	r.top = s.top
+	r.depth = s.depth
 }
 
 // Confidence is a branch-confidence estimator: a table of resetting

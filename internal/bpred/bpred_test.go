@@ -133,7 +133,8 @@ func TestRASStackProperty(t *testing.T) {
 	f := func() bool {
 		r := NewRAS()
 		var model []uint64
-		var snap []uint64
+		var snap Snap
+		var hasSnap bool
 		var modelSnap []uint64
 		for i := 0; i < 50; i++ {
 			switch rng.Intn(4) {
@@ -155,13 +156,14 @@ func TestRASStackProperty(t *testing.T) {
 					}
 				}
 			case 3:
-				if snap == nil {
+				if !hasSnap {
 					snap = r.Snapshot()
+					hasSnap = true
 					modelSnap = append([]uint64(nil), model...)
 				} else {
 					r.Restore(snap)
 					model = append([]uint64(nil), modelSnap...)
-					snap = nil
+					hasSnap = false
 				}
 			}
 			if r.Depth() != len(model) {

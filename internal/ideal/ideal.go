@@ -49,12 +49,23 @@ const (
 	WRFD
 )
 
-var modelNames = map[Model]string{
-	Oracle: "oracle", Base: "base",
-	NWRnFD: "nWR-nFD", NWRFD: "nWR-FD", WRnFD: "WR-nFD", WRFD: "WR-FD",
+func (m Model) String() string {
+	switch m {
+	case Oracle:
+		return "oracle"
+	case Base:
+		return "base"
+	case NWRnFD:
+		return "nWR-nFD"
+	case NWRFD:
+		return "nWR-FD"
+	case WRnFD:
+		return "WR-nFD"
+	case WRFD:
+		return "WR-FD"
+	}
+	return ""
 }
-
-func (m Model) String() string { return modelNames[m] }
 
 // Models lists all six in the paper's presentation order (Figure 3).
 func Models() []Model { return []Model{Oracle, NWRnFD, NWRFD, WRnFD, WRFD, Base} }
@@ -212,13 +223,21 @@ type engine struct {
 	// mispOf remembers the recovery record of each mispredicted branch
 	// entry, so a refetch after eviction can tell whether the branch has
 	// already resolved (in which case the outcome is known and the
-	// control-dependent region is covered by surviving streams).
-	mispOf map[int32]*mispRec
+	// control-dependent region is covered by surviving streams). Dense:
+	// one slot per trace entry, nil for never-mispredicted entries.
+	mispOf []*mispRec
 
 	// liveReal tracks which trace entries currently occupy window slots,
 	// letting overlapping fetch streams (created by eviction refetches)
 	// skip entries that are already present instead of duplicating them.
-	liveReal map[int32]bool
+	// Dense: one flag per trace entry.
+	liveReal []bool
+
+	// slotArena batch-allocates window slots: one is created per fetched
+	// slot (junk included) and never reused, so a bump allocator keeps
+	// the zero-value semantics of a &slot{} literal without the per-fetch
+	// heap traffic.
+	slotArena []slot
 
 	// squashAt holds pending recovery actions: at the recorded cycle the
 	// misprediction's junk is squashed and wrong-path fetch stops, so
@@ -250,8 +269,9 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 		width:     cfg.Width,
 		winSize:   cfg.WindowSize,
 		doneCycle: make([]int64, len(tr.Entries)),
-		mispOf:    make(map[int32]*mispRec),
-		liveReal:  make(map[int32]bool),
+		mispOf:    make([]*mispRec, len(tr.Entries)),
+		liveReal:  make([]bool, len(tr.Entries)),
+		window:    make([]*slot, 0, cfg.WindowSize+cfg.Width),
 	}
 	for i := range e.doneCycle {
 		e.doneCycle[i] = never
@@ -284,6 +304,15 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 	return e.res, nil
 }
 
+func (e *engine) allocSlot() *slot {
+	if len(e.slotArena) == 0 {
+		e.slotArena = make([]slot, 256)
+	}
+	s := &e.slotArena[0]
+	e.slotArena = e.slotArena[1:]
+	return s
+}
+
 func (e *engine) addStream(next, end int32, activateAt int64) *stream {
 	s := &stream{id: e.nextSID, next: next, end: end, activateAt: activateAt}
 	e.nextSID++
@@ -311,7 +340,7 @@ func (e *engine) retire() {
 			e.res.RetireCycle[s.key.idx] = e.cycle
 			e.res.IssueCycle[s.key.idx] = s.issueC
 		}
-		delete(e.liveReal, s.key.idx)
+		e.liveReal[s.key.idx] = false
 		e.retireNext++
 		e.head++
 	}
@@ -558,7 +587,7 @@ func (e *engine) evictFor(st *stream) bool {
 	e.res.Evicted++
 	idx := young.key.idx
 	e.doneCycle[idx] = never
-	delete(e.liveReal, idx)
+	e.liveReal[idx] = false
 	if young.misp != nil && !young.misp.resolved {
 		// An evicted, still-unresolved mispredicted branch takes its
 		// recovery machinery with it; refetching it rebuilds everything.
@@ -610,23 +639,21 @@ func (e *engine) fetchOne(st *stream) {
 		if st.junkLeft > 0 {
 			st.junkLeft--
 		}
-		s := &slot{
-			key:    key{st.junkFor.branch, st.junkSub},
-			kind:   kindJunk,
-			stream: st.id, streamEnd: st.end,
-			fetchC: e.cycle, issueC: never, doneC: never,
-		}
+		s := e.allocSlot()
+		s.key = key{st.junkFor.branch, st.junkSub}
+		s.kind = kindJunk
+		s.stream, s.streamEnd = st.id, st.end
+		s.fetchC, s.issueC, s.doneC = e.cycle, never, never
 		e.insert(s)
 		return
 	}
 	idx := st.next
 	st.next++
-	s := &slot{
-		key:    key{idx, 0},
-		kind:   kindReal,
-		stream: st.id, streamEnd: st.end,
-		fetchC: e.cycle, issueC: never, doneC: never,
-	}
+	s := e.allocSlot()
+	s.key = key{idx, 0}
+	s.kind = kindReal
+	s.stream, s.streamEnd = st.id, st.end
+	s.fetchC, s.issueC, s.doneC = e.cycle, never, never
 	en := &e.tr.Entries[idx]
 
 	// Attach false-dependence floors from every unresolved misprediction

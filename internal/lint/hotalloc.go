@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc forbids make(map[...]) outside constructors in the simulator
+// model packages. The per-cycle and per-instruction loops of the detailed
+// and ideal simulators were rewritten onto dense arrays, event wheels, and
+// bitsets precisely because transient maps dominated the allocation
+// profile (a map per recovery walk, a bucket per completion event, a
+// rename map per cycle); this analyzer keeps the map-tax from silently
+// returning. Maps allocated once at construction are fine — functions
+// named init or with a New/new prefix are exempt. Anything else carries a
+// `//lint:ignore hotalloc <why>` justifying that the site is cold (a
+// Check-only validator, a once-per-trace post-pass, a reference shadow).
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "model packages must not make(map[...]) outside constructors; hot loops use dense structures",
+	// The policy applies to packages on the simulation hot path: the
+	// cycle-level and trace-level models and the state they step.
+	Match: func(path string) bool {
+		for _, suffix := range []string{
+			"internal/ooo", "internal/ideal", "internal/trace",
+			"internal/emu", "internal/bpred", "internal/cache",
+			"internal/mem",
+		} {
+			if strings.HasSuffix(path, suffix) {
+				return true
+			}
+		}
+		return false
+	},
+	Run: runHotAlloc,
+}
+
+// coldFunc reports whether a function is an exempt constructor: maps
+// built there are allocated once per simulation, not per cycle.
+func coldFunc(name string) bool {
+	return name == "init" ||
+		strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new")
+}
+
+func runHotAlloc(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body != nil && !coldFunc(fn.Name.Name) {
+				checkHotAllocBody(pass, info, fn.Name.Name, fn.Body)
+			}
+		}
+	}
+}
+
+// checkHotAllocBody reports every map make in a function body. Nested
+// function literals are included: a closure declared in a hot function
+// runs on the hot path.
+func checkHotAllocBody(pass *Pass, info *types.Info, name string, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isBuiltinMake(info, call) || len(call.Args) == 0 {
+			return true
+		}
+		if t := info.TypeOf(call.Args[0]); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				pass.Reportf(call.Pos(),
+					"make(map[...]) in %s allocates on the simulator hot path; use a dense array/slice or hoist to a constructor", name)
+			}
+		}
+		return true
+	})
+}
+
+// isBuiltinMake reports whether the call is the make builtin (not a
+// user-defined function that shadows the name).
+func isBuiltinMake(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	_, builtin := info.Uses[id].(*types.Builtin)
+	return builtin
+}

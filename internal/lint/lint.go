@@ -20,6 +20,10 @@
 //	recoverstack recover() sites must capture the goroutine stack
 //	             (debug.Stack/runtime.Stack), or a contained panic loses
 //	             its crash site
+//	hotalloc     model packages must not make(map[...]) outside
+//	             constructors — the per-cycle loops were rewritten onto
+//	             dense arrays/wheels/bitsets and transient maps must not
+//	             creep back (internal/ooo, internal/ideal, ...)
 //
 // A diagnostic can be suppressed with a justification comment on the same
 // line or the line immediately above the offending statement:
@@ -88,7 +92,7 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the repo's analyzer suite.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{KeyCover, DetRange, SimPure, RecoverStack}
+	return []*Analyzer{KeyCover, DetRange, SimPure, RecoverStack, HotAlloc}
 }
 
 // Run applies the analyzers to the packages, honouring each analyzer's

@@ -26,6 +26,32 @@ func TestRecoverStack(t *testing.T) {
 	linttest.Run(t, filepath.Join("testdata", "src", "recoverstack"), lint.RecoverStack)
 }
 
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "src", "hotalloc"), lint.HotAlloc)
+}
+
+// TestHotAllocMatch pins the package-path policy: hot-path model packages
+// are in scope; program generation, the harness, and drivers are not.
+func TestHotAllocMatch(t *testing.T) {
+	for path, want := range map[string]bool{
+		"cisim/internal/ooo":    true,
+		"cisim/internal/ideal":  true,
+		"cisim/internal/trace":  true,
+		"cisim/internal/emu":    true,
+		"cisim/internal/mem":    true,
+		"cisim/internal/bpred":  true,
+		"cisim/internal/cache":  true,
+		"cisim/internal/cfg":    false,
+		"cisim/internal/progen": false,
+		"cisim/internal/runner": false,
+		"cisim/cmd/cisim":       false,
+	} {
+		if got := lint.HotAlloc.Match(path); got != want {
+			t.Errorf("HotAlloc.Match(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
 // TestRepoIsClean runs the full analyzer suite over the whole module, the
 // same gate `make check` and CI apply via cmd/cisimlint: the tree must be
 // free of keycover/detrange/simpure findings.

@@ -1,0 +1,56 @@
+// Package hotalloc is analyzer testdata: map allocations a simulator
+// model package must not make per cycle, next to the constructor-time and
+// justified shapes it may.
+package hotalloc
+
+type machine struct {
+	rmap  map[uint8]int
+	cache map[uint64]bool
+}
+
+// newMachine is a constructor: maps built here are once per simulation.
+func newMachine() *machine {
+	return &machine{
+		rmap:  make(map[uint8]int),
+		cache: make(map[uint64]bool),
+	}
+}
+
+// NewTable is likewise exempt by its New prefix.
+func NewTable() map[string]int {
+	return make(map[string]int, 32)
+}
+
+func (m *machine) step() {
+	scratch := make(map[uint8]int) // want `make\(map\[\.\.\.\]\) in step allocates on the simulator hot path`
+	for k, v := range m.rmap {
+		scratch[k] = v
+	}
+}
+
+func (m *machine) recover2() {
+	// A closure inside a hot function is still the hot path.
+	walk := func() map[uint64]bool {
+		return make(map[uint64]bool) // want `make\(map\[\.\.\.\]\) in recover2 allocates`
+	}
+	_ = walk()
+}
+
+func (m *machine) slicesOK(n int) []int {
+	// Non-map makes are not this analyzer's concern.
+	evs := make([]int, 0, n)
+	ch := make(chan int, 1)
+	close(ch)
+	return evs
+}
+
+func (m *machine) justified() map[uint64]bool {
+	//lint:ignore hotalloc Check-only validator, not on the cycle loop
+	return make(map[uint64]bool)
+}
+
+// make shadowed by a local function is not the builtin.
+func shadowed() {
+	make := func(n int) map[int]int { return nil }
+	_ = make(4)
+}

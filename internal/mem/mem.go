@@ -37,7 +37,9 @@ func New() *Memory {
 // the parent or the child are invisible to the other.
 func (m *Memory) Fork() *Memory {
 	child := &Memory{
+		//lint:ignore hotalloc Fork runs once per misprediction, not per instruction; the page map is what makes the copy O(pages touched)
 		pages: make(map[uint64]*page, len(m.pages)),
+		//lint:ignore hotalloc same: per-fork, not per-step
 		owned: make(map[uint64]bool),
 	}
 	for k, v := range m.pages {

@@ -35,9 +35,17 @@ const (
 	CIInstant
 )
 
-var machineNames = map[Machine]string{Base: "BASE", CI: "CI", CIInstant: "CI-I"}
-
-func (m Machine) String() string { return machineNames[m] }
+func (m Machine) String() string {
+	switch m {
+	case Base:
+		return "BASE"
+	case CI:
+		return "CI"
+	case CIInstant:
+		return "CI-I"
+	}
+	return ""
+}
 
 // Completion selects the branch completion model of §A.2.1.
 type Completion int
@@ -55,11 +63,19 @@ const (
 	NonSpec
 )
 
-var completionNames = map[Completion]string{
-	Spec: "spec", SpecC: "spec-C", SpecD: "spec-D", NonSpec: "non-spec",
+func (c Completion) String() string {
+	switch c {
+	case Spec:
+		return "spec"
+	case SpecC:
+		return "spec-C"
+	case SpecD:
+		return "spec-D"
+	case NonSpec:
+		return "non-spec"
+	}
+	return ""
 }
-
-func (c Completion) String() string { return completionNames[c] }
 
 // Repredict selects the redispatch re-prediction policy of §A.3.2.
 type Repredict int
@@ -76,11 +92,17 @@ const (
 	RepredictOracle
 )
 
-var repredictNames = map[Repredict]string{
-	RepredictHeuristic: "CI", RepredictNone: "CI-NR", RepredictOracle: "CI-OR",
+func (r Repredict) String() string {
+	switch r {
+	case RepredictHeuristic:
+		return "CI"
+	case RepredictNone:
+		return "CI-NR"
+	case RepredictOracle:
+		return "CI-OR"
+	}
+	return ""
 }
-
-func (r Repredict) String() string { return repredictNames[r] }
 
 // Preempt selects the multiple-misprediction policy of §A.1.
 type Preempt int
@@ -95,9 +117,15 @@ const (
 	PreemptSimple
 )
 
-var preemptNames = map[Preempt]string{PreemptOptimal: "optimal", PreemptSimple: "simple"}
-
-func (p Preempt) String() string { return preemptNames[p] }
+func (p Preempt) String() string {
+	switch p {
+	case PreemptOptimal:
+		return "optimal"
+	case PreemptSimple:
+		return "simple"
+	}
+	return ""
+}
 
 // Reconv selects how reconvergent points are identified (§3.2.1, §A.5).
 type Reconv struct {
@@ -256,6 +284,12 @@ type Config struct {
 
 	// hookRecovery, when set, observes each serviced recovery (tests).
 	hookRecovery func(m *machine, pr pendingRec)
+
+	// refCheck, when set, runs the map-based pre-rewrite reference
+	// implementations of the rename map, event schedule, and
+	// reconvergence sets alongside the dense ones and cross-checks them
+	// every cycle (refcheck.go; white-box tests only).
+	refCheck bool
 }
 
 // Hook types are unexported; hookRecovery exists for white-box tests.

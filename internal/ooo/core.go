@@ -51,17 +51,17 @@ type machine struct {
 	fetchOn   bool // false once HALT (or garbage) is fetched, until recovery
 	goldCur   int  // golden index fetch believes it is at; -1 on a wrong path
 
-	fetchBuf []*dyn // fetched this cycle, dispatched next
+	fetchBuf []*dyn // fetched this cycle, dispatched next; reused in place
 
 	win      *window
-	tailRmap map[isa.Reg]*dyn
+	tailRmap regMap
 
 	// Instruction-cache state (Config.ICache). fetchStallUntil blocks
 	// sequential fetch while a line fill is outstanding.
 	icache          *cache.Cache
 	fetchStallUntil int64
 
-	events map[int64][]*dyn
+	events eventWheel
 
 	// Committed architectural state. regCommitC records the cycle each
 	// register was last committed, for redispatch staleness detection.
@@ -80,8 +80,17 @@ type machine struct {
 
 	// Reconvergence-heuristic candidate tables (§A.5.2): program counters
 	// recorded by the decoder as likely reconvergent points.
-	retTargets  map[uint64]bool
-	loopTargets map[uint64]bool
+	retTargets  pcSet
+	loopTargets pcSet
+
+	// storeScratch is the reusable squash worklist: stores squashed by one
+	// recovery, collected so dependent loads can reissue. Recoveries never
+	// nest within a cycle, so one buffer serves them all.
+	storeScratch []*dyn
+
+	// shadow carries the map-based reference implementations when
+	// Config.refCheck is set (refcheck.go); nil in normal runs.
+	shadow *refShadow
 
 	mispEvents []MispEvent
 	pipeRecs   []PipeRecord
@@ -99,10 +108,11 @@ type machine struct {
 	// a &dyn{} literal.
 	arena []dyn
 
-	seq   uint64
-	cycle int64
-	stats Stats
-	done  bool
+	seq       uint64
+	cycle     int64
+	maxCycles int64
+	stats     Stats
+	done      bool
 }
 
 func (m *machine) allocDyn() *dyn {
@@ -164,6 +174,11 @@ func RunPrepared(p *prog.Program, c Config, pre *Prep) (*Result, error) {
 	} else if pre.maxInstrs != c.MaxInstrs {
 		return nil, fmt.Errorf("ooo: prep built for MaxInstrs=%d, config wants %d", pre.maxInstrs, c.MaxInstrs)
 	}
+	return newMachine(p, c, pre).run()
+}
+
+// newMachine builds a machine for an already-defaulted configuration.
+func newMachine(p *prog.Program, c Config, pre *Prep) *machine {
 	m := &machine{
 		cfg:         c,
 		p:           p,
@@ -177,15 +192,24 @@ func RunPrepared(p *prog.Program, c Config, pre *Prep) (*Result, error) {
 		fetchPC:     p.Entry,
 		fetchOn:     true,
 		win:         newWindow(c.WindowSize, c.SegmentSize),
-		tailRmap:    make(map[isa.Reg]*dyn),
-		events:      make(map[int64][]*dyn),
+		fetchBuf:    make([]*dyn, 0, c.Width),
 		mem:         mem.New(),
 		dcache:      cache.New(c.Cache),
-		retTargets:  make(map[uint64]bool),
-		loopTargets: make(map[uint64]bool),
+		retTargets:  newPCSet(p),
+		loopTargets: newPCSet(p),
 	}
+	// The wheel horizon covers the longest schedulable completion: opcode
+	// latency plus the worst data-cache access a load can add.
+	maxCacheLat := c.Cache.HitLat
+	if c.Cache.MissLat > maxCacheLat {
+		maxCacheLat = c.Cache.MissLat
+	}
+	m.events.init(maxOpLatency + maxCacheLat)
 	if c.ICache != (cache.Config{}) {
 		m.icache = cache.New(c.ICache)
+	}
+	if c.refCheck {
+		m.shadow = newRefShadow()
 	}
 	m.trc = c.Tracer
 	if c.CollectMetrics {
@@ -196,40 +220,17 @@ func RunPrepared(p *prog.Program, c Config, pre *Prep) (*Result, error) {
 	}
 	m.regs[isa.RSP] = prog.StackTop
 
-	maxCycles := c.MaxCycles
-	if maxCycles == 0 {
-		maxCycles = int64(len(pre.golden))*12 + 100_000
+	m.maxCycles = c.MaxCycles
+	if m.maxCycles == 0 {
+		m.maxCycles = int64(len(pre.golden))*12 + 100_000
 	}
+	return m
+}
+
+func (m *machine) run() (*Result, error) {
 	for !m.done {
-		m.cycle++
-		if m.cycle > maxCycles {
-			return nil, fmt.Errorf("%w at cycle %d, retired %d/%d: %s",
-				ErrDeadlock, m.cycle, m.retireCur, len(m.golden), m.stuckReport())
-		}
-		m.retireStage()
-		if m.done {
-			break
-		}
-		m.goldSync()
-		m.completeStage()
-		m.recoveryStage()
-		m.issueStage()
-		m.dispatchStage()
-		m.fetchStage()
-		m.stats.OccupancySum += uint64(m.win.count)
-		if m.mx != nil {
-			m.mx.occupancy.Observe(int64(m.win.count))
-		}
-		if c.Check {
-			if err := m.win.check(); err != nil {
-				return nil, err
-			}
-			if err := m.checkRenames(); err != nil {
-				return nil, err
-			}
-			if err := m.checkContinuity(); err != nil {
-				return nil, err
-			}
+		if err := m.step(); err != nil {
+			return nil, err
 		}
 	}
 	m.stats.Cycles = m.cycle
@@ -244,6 +245,49 @@ func RunPrepared(p *prog.Program, c Config, pre *Prep) (*Result, error) {
 		r.Metrics = m.mx.finalize(m)
 	}
 	return r, nil
+}
+
+// step advances the machine one cycle. It is the unit the steady-state
+// allocation test measures (differential_test.go).
+func (m *machine) step() error {
+	m.cycle++
+	if m.cycle > m.maxCycles {
+		return fmt.Errorf("%w at cycle %d, retired %d/%d: %s",
+			ErrDeadlock, m.cycle, m.retireCur, len(m.golden), m.stuckReport())
+	}
+	m.retireStage()
+	if m.done {
+		return nil
+	}
+	// Rebuild the live-order cache once, at a point where no walk is in
+	// progress: retirement and last cycle's fetch dirtied it, and every
+	// stage below iterates it.
+	m.win.refresh()
+	m.goldSync()
+	m.completeStage()
+	m.recoveryStage()
+	m.issueStage()
+	m.dispatchStage()
+	m.fetchStage()
+	m.stats.OccupancySum += uint64(m.win.count)
+	if m.mx != nil {
+		m.mx.occupancy.Observe(int64(m.win.count))
+	}
+	if m.shadow != nil {
+		m.shadow.verifyCycle(m)
+	}
+	if m.cfg.Check {
+		if err := m.win.check(); err != nil {
+			return err
+		}
+		if err := m.checkRenames(); err != nil {
+			return err
+		}
+		if err := m.checkContinuity(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // --- fetch stage ---
@@ -356,7 +400,7 @@ func (m *machine) predict(d *dyn) {
 		if m.cfg.Reconv.Loop && cfg.IsBackwardBranch(in) {
 			// The loop heuristic records the predicted target of a
 			// backward branch as a candidate reconvergent point (§A.5.2).
-			m.loopTargets[next] = true
+			m.addLoopTarget(next)
 		}
 	case isa.ClassJump:
 		next = in.Target
@@ -379,7 +423,7 @@ func (m *machine) predict(d *dyn) {
 			next = t
 		}
 		if m.cfg.Reconv.Return {
-			m.retTargets[next] = true
+			m.addRetTarget(next)
 		}
 	}
 	d.assumedTarget = next
@@ -392,6 +436,41 @@ func (m *machine) predict(d *dyn) {
 			m.goldCur = -1
 		}
 	}
+}
+
+// addRetTarget and addLoopTarget record reconvergence candidates
+// (§A.5.2); isRetTarget and isLoopTarget are the membership queries
+// findReconv uses. The sets are bitsets over the code image (dense.go);
+// refCheck runs shadow the original maps and compare every query.
+
+func (m *machine) addRetTarget(pc uint64) {
+	m.retTargets.add(pc)
+	if m.shadow != nil {
+		m.shadow.retTargets[pc] = true
+	}
+}
+
+func (m *machine) addLoopTarget(pc uint64) {
+	m.loopTargets.add(pc)
+	if m.shadow != nil {
+		m.shadow.loopTargets[pc] = true
+	}
+}
+
+func (m *machine) isRetTarget(pc uint64) bool {
+	v := m.retTargets.has(pc)
+	if m.shadow != nil {
+		m.shadow.checkMember("retTargets", m.shadow.retTargets, pc, v)
+	}
+	return v
+}
+
+func (m *machine) isLoopTarget(pc uint64) bool {
+	v := m.loopTargets.has(pc)
+	if m.shadow != nil {
+		m.shadow.checkMember("loopTargets", m.shadow.loopTargets, pc, v)
+	}
+	return v
 }
 
 // --- dispatch stage ---
@@ -408,15 +487,10 @@ func (m *machine) dispatchStage() {
 		m.renameAtTail(d)
 		n++
 	}
-	m.fetchBuf = m.fetchBuf[n:]
-	if len(m.fetchBuf) > 0 {
-		// Keep remaining instructions for next cycle; compact the slice.
-		rest := make([]*dyn, len(m.fetchBuf))
-		copy(rest, m.fetchBuf)
-		m.fetchBuf = rest
-	} else {
-		m.fetchBuf = nil
-	}
+	// Keep remaining instructions for next cycle; compact in place so the
+	// buffer's storage is reused.
+	k := copy(m.fetchBuf, m.fetchBuf[n:])
+	m.fetchBuf = m.fetchBuf[:k]
 }
 
 func (m *machine) renameAtTail(d *dyn) {
@@ -429,6 +503,9 @@ func (m *machine) renameAtTail(d *dyn) {
 	}
 	if d.hasRd {
 		m.tailRmap[d.dest] = d
+		if m.shadow != nil {
+			m.shadow.tailRmap[d.dest] = d
+		}
 	}
 	if m.trc != nil {
 		m.trc.TraceRename(d.seq, m.cycle)
@@ -438,37 +515,59 @@ func (m *machine) renameAtTail(d *dyn) {
 // rebuildTailRmap reconstructs the tail rename map by walking the window
 // backward, used after squashes that invalidate the incremental map.
 func (m *machine) rebuildTailRmap() {
-	m.tailRmap = make(map[isa.Reg]*dyn)
+	m.tailRmap = regMap{}
 	found := 0
 	for d := m.win.tailLive(); d != nil && found < isa.NumRegs; d = m.win.prevLive(d, false) {
-		if d.hasRd {
-			if _, ok := m.tailRmap[d.dest]; !ok {
-				m.tailRmap[d.dest] = d
-				found++
-			}
+		if d.hasRd && m.tailRmap[d.dest] == nil {
+			m.tailRmap[d.dest] = d
+			found++
 		}
+	}
+	if m.shadow != nil {
+		m.shadow.rebuildTailRmap(m)
 	}
 }
 
-// rmapAt computes the rename map as seen just after dyn at (inclusive).
-func (m *machine) rmapAt(at *dyn) map[isa.Reg]*dyn {
-	rm := make(map[isa.Reg]*dyn)
+// rmapAt computes the rename map as seen just after dyn at (inclusive)
+// into the caller's scratch array, which it clears first. Callers embed
+// the scratch in their sequence state (restartSeq/redispSeq), so recovery
+// walks no longer allocate.
+func (m *machine) rmapAt(rm *regMap, at *dyn) {
+	*rm = regMap{}
 	found := 0
 	for d := at; d != nil && found < isa.NumRegs; d = m.win.prevLive(d, false) {
-		if d.hasRd {
-			if _, ok := rm[d.dest]; !ok {
-				rm[d.dest] = d
-				found++
-			}
+		if d.hasRd && rm[d.dest] == nil {
+			rm[d.dest] = d
+			found++
 		}
 	}
-	return rm
 }
 
 // --- issue stage ---
 
 func (m *machine) issueStage() {
 	issued := 0
+	if cache, ok := m.win.live(); ok {
+		m.win.walking++
+		for _, d := range cache {
+			if d.squashed || d.retired {
+				continue
+			}
+			if issued >= m.cfg.Width {
+				break
+			}
+			if d.st != stWaiting || m.cycle < d.fetchC+2 || !d.ready() {
+				continue
+			}
+			if d.isLoad && m.cfg.ConservativeLoads && m.olderStorePending(d) {
+				continue
+			}
+			m.issue(d)
+			issued++
+		}
+		m.win.walking--
+		return
+	}
 	m.win.forEach(func(d *dyn) bool {
 		if issued >= m.cfg.Width {
 			return false
@@ -524,7 +623,10 @@ func (m *machine) issue(d *dyn) {
 		lat += m.dcache.Access(d.ea)
 	}
 	at := m.cycle + int64(lat)
-	m.events[at] = append(m.events[at], d)
+	m.events.schedule(d, m.cycle, at)
+	if m.shadow != nil {
+		m.shadow.addEvent(at, d)
+	}
 }
 
 // predictDir consults the configured direction predictor.
@@ -549,11 +651,13 @@ func (m *machine) readSrc(d *dyn, i int) uint64 {
 // --- complete stage ---
 
 func (m *machine) completeStage() {
-	evs := m.events[m.cycle]
-	if evs == nil {
+	evs := m.events.drain(m.cycle)
+	if m.shadow != nil {
+		m.shadow.drainEvents(m.cycle, evs)
+	}
+	if len(evs) == 0 {
 		return
 	}
-	delete(m.events, m.cycle)
 	for _, d := range evs {
 		if d.squashed || d.st != stExecuting {
 			continue
@@ -566,6 +670,9 @@ func (m *machine) completeStage() {
 		}
 		m.complete(d)
 	}
+	// Safe to recycle after the loop: completion never schedules new
+	// events (reissues go back to stWaiting and re-enter via issue).
+	m.events.recycle(m.cycle, evs)
 }
 
 func (m *machine) complete(d *dyn) {
@@ -634,22 +741,28 @@ func (m *machine) loadValue(d *dyn) uint64 {
 	var have uint // bitmask of resolved bytes
 	full := uint(1)<<n - 1
 	var val uint64
-	for s := m.win.prevLive(d, false); s != nil && have != full; s = m.win.prevLive(s, false) {
-		if !s.isStore || !s.eaValid || s.st != stDone {
-			continue
+	w := m.win
+	fast := false
+	if !w.dirty {
+		// One backward scan over the order cache instead of a prevLive
+		// chain that re-finds its position on every step.
+		if i := w.cacheIndex(w.liveCache, d); i >= 0 {
+			fast = true
+			for j := i - 1; j >= w.lo && have != full; j-- {
+				s := w.liveCache[j]
+				if s.squashed || s.retired || !s.isStore || !s.eaValid || s.st != stDone {
+					continue
+				}
+				mergeStoreBytes(d, s, n, &have, &val)
+			}
 		}
-		for i := uint(0); i < n; i++ {
-			if have&(1<<i) != 0 {
+	}
+	if !fast {
+		for s := w.prevLive(d, false); s != nil && have != full; s = w.prevLive(s, false) {
+			if !s.isStore || !s.eaValid || s.st != stDone {
 				continue
 			}
-			a := d.ea + uint64(i)
-			if a >= s.ea && a < s.ea+uint64(s.esize) {
-				val |= uint64(byte(s.val>>(8*(a-s.ea)))) << (8 * i)
-				have |= 1 << i
-				if d.fwdFrom == nil {
-					d.fwdFrom = s
-				}
-			}
+			mergeStoreBytes(d, s, n, &have, &val)
 		}
 	}
 	for i := uint(0); i < n; i++ {
@@ -658,6 +771,24 @@ func (m *machine) loadValue(d *dyn) uint64 {
 		}
 	}
 	return val
+}
+
+// mergeStoreBytes folds the bytes of store s that cover load d's still-
+// unresolved bytes into val, recording the youngest contributing store.
+func mergeStoreBytes(d, s *dyn, n uint, have *uint, val *uint64) {
+	for i := uint(0); i < n; i++ {
+		if *have&(1<<i) != 0 {
+			continue
+		}
+		a := d.ea + uint64(i)
+		if a >= s.ea && a < s.ea+uint64(s.esize) {
+			*val |= uint64(byte(s.val>>(8*(a-s.ea)))) << (8 * i)
+			*have |= 1 << i
+			if d.fwdFrom == nil {
+				d.fwdFrom = s
+			}
+		}
+	}
 }
 
 func overlaps(a uint64, an uint8, b uint64, bn uint8) bool {
@@ -671,6 +802,17 @@ func covers(a uint64, an uint8, b uint64, bn uint8) bool {
 // wakeConsumers reissues instructions whose source is d (selective
 // reissue, §3.2.4: issue buffers reissue autonomously on a new value).
 func (m *machine) wakeConsumers(d *dyn) {
+	if cache, ok := m.win.liveAfter(d); ok {
+		m.win.walking++
+		for _, c := range cache {
+			if c.squashed || c.retired || (c.src[0] != d && c.src[1] != d) {
+				continue
+			}
+			m.forceReissue(c)
+		}
+		m.win.walking--
+		return
+	}
 	m.win.forEachAfter(d, func(c *dyn) bool {
 		if c.src[0] != d && c.src[1] != d {
 			return true
@@ -693,6 +835,36 @@ func (m *machine) forceReissue(c *dyn) {
 // storeCompleted runs memory-order violation detection: younger loads that
 // issued with a conflicting value reissue with a one-cycle penalty (§4.1).
 func (m *machine) storeCompleted(s *dyn) {
+	if cache, ok := m.win.liveAfter(s); ok {
+		m.win.walking++
+		for _, c := range cache {
+			if c.squashed || c.retired {
+				continue
+			}
+			if c.isStore && c.eaValid && c.st == stDone && covers(c.ea, c.esize, s.ea, s.esize) {
+				break
+			}
+			if !c.isLoad || c.st == stWaiting || !c.eaValid {
+				continue
+			}
+			if c.fwdFrom == s {
+				if c.st == stDone {
+					nv := m.loadValue(c)
+					if nv != c.val || c.fwdFrom != s {
+						m.reissueLoad(c)
+					}
+				} else {
+					c.stale = true
+				}
+				continue
+			}
+			if overlaps(s.ea, s.esize, c.ea, c.esize) {
+				m.reissueLoad(c)
+			}
+		}
+		m.win.walking--
+		return
+	}
 	m.win.forEachAfter(s, func(c *dyn) bool {
 		if c.isStore && c.eaValid && c.st == stDone && covers(c.ea, c.esize, s.ea, s.esize) {
 			// A younger store completely shadows this one; loads beyond
@@ -743,52 +915,69 @@ func (m *machine) recoveryStage() {
 		m.computeStability()
 	}
 	oldestUnresolved := true
-	m.win.forEach(func(d *dyn) bool {
-		if !d.isCtl || d.ctlDone {
-			if d.isCtl && !d.ctlDone {
-				oldestUnresolved = false
+	if cache, ok := m.win.live(); ok {
+		m.win.walking++
+		for _, d := range cache {
+			if d.squashed || d.retired {
+				continue
 			}
+			m.resolveStep(d, &oldestUnresolved)
+		}
+		m.win.walking--
+	} else {
+		m.win.forEach(func(d *dyn) bool {
+			m.resolveStep(d, &oldestUnresolved)
 			return true
-		}
-		if d.st != stDone {
-			oldestUnresolved = false
-			return true
-		}
-		ok := true
-		switch m.cfg.Completion {
-		case Spec:
-		case SpecC:
-			ok = d.stableFlag
-		case SpecD:
-			ok = oldestUnresolved
-		case NonSpec:
-			ok = oldestUnresolved && d.stableFlag
-		}
-		if ok && m.cfg.ConfidenceDelay && d.isCond && !d.stableFlag &&
-			m.conf.Confident(d.pc, d.histBefore) {
-			// §A.2.2 hedge: a high-confidence prediction is held while
-			// its operands are speculative, hoping any apparent
-			// misprediction is a false one.
-			ok = false
-		}
-		if ok && m.cfg.HideFalseMispredictions && d.gold >= 0 {
-			if m.falseOutcome(d) {
-				ok = false // hold the branch until operands repair
-			}
-		}
-		if ok {
-			d.ctlDone = true
-			d.ctlDoneC = m.cycle
-			if d.isCond {
-				m.stats.CondBranches++
-			}
-			m.checkResolved(d)
-		} else {
-			oldestUnresolved = false
-		}
-		return true
-	})
+		})
+	}
 	m.serviceRecoveries()
+}
+
+// resolveStep decides whether one branch's control may resolve this
+// cycle under the configured completion model.
+func (m *machine) resolveStep(d *dyn, oldestUnresolved *bool) {
+	if !d.isCtl || d.ctlDone {
+		if d.isCtl && !d.ctlDone {
+			*oldestUnresolved = false
+		}
+		return
+	}
+	if d.st != stDone {
+		*oldestUnresolved = false
+		return
+	}
+	ok := true
+	switch m.cfg.Completion {
+	case Spec:
+	case SpecC:
+		ok = d.stableFlag
+	case SpecD:
+		ok = *oldestUnresolved
+	case NonSpec:
+		ok = *oldestUnresolved && d.stableFlag
+	}
+	if ok && m.cfg.ConfidenceDelay && d.isCond && !d.stableFlag &&
+		m.conf.Confident(d.pc, d.histBefore) {
+		// §A.2.2 hedge: a high-confidence prediction is held while
+		// its operands are speculative, hoping any apparent
+		// misprediction is a false one.
+		ok = false
+	}
+	if ok && m.cfg.HideFalseMispredictions && d.gold >= 0 {
+		if m.falseOutcome(d) {
+			ok = false // hold the branch until operands repair
+		}
+	}
+	if ok {
+		d.ctlDone = true
+		d.ctlDoneC = m.cycle
+		if d.isCond {
+			m.stats.CondBranches++
+		}
+		m.checkResolved(d)
+	} else {
+		*oldestUnresolved = false
+	}
 }
 
 // falseOutcome reports whether the branch's computed outcome disagrees
@@ -831,32 +1020,49 @@ func (m *machine) checkResolved(d *dyn) {
 // change it. The result lives in each dyn's stableFlag.
 func (m *machine) computeStability() {
 	allOlderMemStable := true
-	m.win.forEach(func(d *dyn) bool {
-		s := d.st == stDone && !d.stale
-		if s {
-			for i := 0; i < d.nsrc; i++ {
-				// A retired producer is committed state (stable). A
-				// squashed producer means the mapping awaits redispatch
-				// repair: inherently speculative data.
-				p := d.src[i]
-				if p == nil || p.retired {
-					continue
-				}
-				if p.squashed || !p.stableFlag {
-					s = false
-					break
-				}
+	if cache, ok := m.win.live(); ok {
+		m.win.walking++
+		for _, d := range cache {
+			if d.squashed || d.retired {
+				continue
 			}
+			m.stabilityStep(d, &allOlderMemStable)
 		}
-		if s && d.isLoad && !allOlderMemStable {
-			s = false
-		}
-		d.stableFlag = s
-		if d.isStore && !s {
-			allOlderMemStable = false
-		}
+		m.win.walking--
+		return
+	}
+	m.win.forEach(func(d *dyn) bool {
+		m.stabilityStep(d, &allOlderMemStable)
 		return true
 	})
+}
+
+// stabilityStep computes one instruction's stability flag during the
+// forward pass.
+func (m *machine) stabilityStep(d *dyn, allOlderMemStable *bool) {
+	s := d.st == stDone && !d.stale
+	if s {
+		for i := 0; i < d.nsrc; i++ {
+			// A retired producer is committed state (stable). A
+			// squashed producer means the mapping awaits redispatch
+			// repair: inherently speculative data.
+			p := d.src[i]
+			if p == nil || p.retired {
+				continue
+			}
+			if p.squashed || !p.stableFlag {
+				s = false
+				break
+			}
+		}
+	}
+	if s && d.isLoad && !*allOlderMemStable {
+		s = false
+	}
+	d.stableFlag = s
+	if d.isStore && !s {
+		*allOlderMemStable = false
+	}
 }
 
 // --- retire stage ---
@@ -1008,7 +1214,10 @@ func (m *machine) commit(d *dyn) {
 	m.retireCur++
 	// Drop the dyn from the tail rename map if it is still the latest.
 	if d.hasRd && m.tailRmap[d.dest] == d {
-		delete(m.tailRmap, d.dest)
+		m.tailRmap[d.dest] = nil
+		if m.shadow != nil {
+			delete(m.shadow.tailRmap, d.dest)
+		}
 	}
 	m.win.retire(d)
 
@@ -1027,6 +1236,35 @@ func (m *machine) commit(d *dyn) {
 func (m *machine) goldSync() {
 	g := m.retireCur
 	limit := 256
+	if cache, ok := m.win.live(); ok {
+		m.win.walking++
+		defer func() { m.win.walking-- }()
+		for _, d := range cache {
+			if d.squashed || d.retired {
+				continue
+			}
+			if g >= len(m.golden) || limit == 0 {
+				return
+			}
+			limit--
+			gd := &m.golden[g]
+			if d.pc != gd.pc {
+				return
+			}
+			if d.gold < 0 {
+				d.gold = g
+			} else if d.gold != g {
+				return
+			}
+			// Continue only while the window's assumed path follows the
+			// golden path.
+			if d.assumedTarget != gd.nextPC {
+				return
+			}
+			g++
+		}
+		return
+	}
 	for d := m.win.headLive(); d != nil && g < len(m.golden) && limit > 0; d = m.win.nextLive(d, false) {
 		limit--
 		gd := &m.golden[g]
@@ -1089,7 +1327,7 @@ func (m *machine) checkRenames() error {
 	if m.active != nil || m.redisp != nil || len(m.pendingRecs) > 0 || len(m.suspended) > 0 {
 		return nil // repair in progress
 	}
-	rmap := make(map[isa.Reg]*dyn)
+	rmap := make(map[isa.Reg]*dyn) //lint:ignore hotalloc Check-only invariant walk, enabled by tests rather than simulation runs
 	var err error
 	m.win.forEach(func(d *dyn) bool {
 		for i := 0; i < d.nsrc; i++ {

@@ -1,0 +1,143 @@
+package ooo
+
+import (
+	"cisim/internal/isa"
+	"cisim/internal/prog"
+)
+
+// This file holds the dense data structures the cycle loop runs on. The
+// machine originally kept its hot state in Go maps — the tail rename map,
+// the completion-event schedule, and the reconvergence candidate sets —
+// which taxed every dispatched instruction with hashing and every cycle
+// with map allocation and GC pressure. Each structure here is a drop-in
+// replacement with identical observable behaviour; refcheck.go can shadow
+// all three with the original map implementations and cross-check them
+// (Config.refCheck, used by the differential tests).
+
+// regMap is a dense rename map: one slot per architectural register, nil
+// when the register's value comes from committed state. The ISA has
+// exactly 32 registers, so a fixed array replaces map[isa.Reg]*dyn
+// everywhere: lookups are an index, and clearing is a 256-byte copy of
+// the zero value.
+type regMap [isa.NumRegs]*dyn
+
+// maxOpLatency is the largest execution latency any opcode can take,
+// found once by scanning the opcode space (Op is a byte). It bounds the
+// event wheel horizon together with the worst-case cache access time.
+var maxOpLatency = func() int {
+	max := 1
+	for op := 0; op < 256; op++ {
+		if l := isa.Latency(isa.Op(op)); l > max {
+			max = l
+		}
+	}
+	return max
+}()
+
+// eventWheel schedules instruction completions. Completion latencies are
+// bounded by opcode latency plus the worst-case data-cache access, so
+// events live in a power-of-two ring of per-cycle buckets indexed by
+// cycle mod len(buckets); drained buckets are recycled in place, making
+// the steady-state schedule allocation-free. Events beyond the horizon
+// (possible only if a future config exceeds the computed bound) overflow
+// into far, which migrates entries into the ring as their cycle
+// approaches.
+type eventWheel struct {
+	buckets [][]*dyn
+	mask    int64
+	far     []farEvent
+}
+
+type farEvent struct {
+	at int64
+	d  *dyn
+}
+
+// init sizes the ring to cover latencies up to horizon cycles ahead.
+func (ew *eventWheel) init(horizon int) {
+	n := 8
+	for n < horizon+2 {
+		n <<= 1
+	}
+	ew.buckets = make([][]*dyn, n)
+	ew.mask = int64(n - 1)
+}
+
+// schedule enqueues d to complete at cycle at; now is the current cycle.
+// Within one target cycle, events complete in schedule order — the same
+// order a map bucket's append gave — which drain relies on.
+func (ew *eventWheel) schedule(d *dyn, now, at int64) {
+	if at-now >= int64(len(ew.buckets)) {
+		ew.far = append(ew.far, farEvent{at: at, d: d})
+		return
+	}
+	ew.buckets[at&ew.mask] = append(ew.buckets[at&ew.mask], d)
+}
+
+// drain returns the events due at cycle now. The caller must process the
+// slice and hand it back via recycle before the next schedule call.
+func (ew *eventWheel) drain(now int64) []*dyn {
+	if len(ew.far) > 0 {
+		ew.migrate(now)
+	}
+	return ew.buckets[now&ew.mask]
+}
+
+// recycle returns a drained bucket's storage to the ring.
+func (ew *eventWheel) recycle(now int64, evs []*dyn) {
+	ew.buckets[now&ew.mask] = evs[:0]
+}
+
+// migrate moves far events that fell within the horizon into their ring
+// buckets, preserving schedule order. It runs at the top of each cycle's
+// drain — before any same-cycle schedule calls — so a migrated event
+// always lands in a not-yet-drained bucket ahead of any event scheduled
+// for the same cycle later this cycle, exactly matching the append order
+// the map implementation produced.
+func (ew *eventWheel) migrate(now int64) {
+	kept := ew.far[:0]
+	for _, fe := range ew.far {
+		if fe.at-now < int64(len(ew.buckets)) {
+			ew.buckets[fe.at&ew.mask] = append(ew.buckets[fe.at&ew.mask], fe.d)
+		} else {
+			kept = append(kept, fe)
+		}
+	}
+	ew.far = kept
+}
+
+// pcSet is a bitset over the program's instruction slots, replacing
+// map[uint64]bool membership sets keyed by PC. Out-of-image PCs (garbage
+// targets recorded on wrong paths) are dropped on add: membership is only
+// ever queried for PCs of fetched instructions, which are in the image by
+// construction.
+type pcSet struct {
+	base uint64
+	bits []uint64
+}
+
+func newPCSet(p *prog.Program) pcSet {
+	return pcSet{base: p.CodeBase, bits: make([]uint64, (len(p.Code)+63)/64)}
+}
+
+func (s *pcSet) add(pc uint64) {
+	if pc < s.base || pc&3 != 0 {
+		return
+	}
+	i := (pc - s.base) >> 2
+	if i >= uint64(len(s.bits))<<6 {
+		return
+	}
+	s.bits[i>>6] |= 1 << (i & 63)
+}
+
+func (s *pcSet) has(pc uint64) bool {
+	if pc < s.base || pc&3 != 0 {
+		return false
+	}
+	i := (pc - s.base) >> 2
+	if i >= uint64(len(s.bits))<<6 {
+		return false
+	}
+	return s.bits[i>>6]&(1<<(i&63)) != 0
+}

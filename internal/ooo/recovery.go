@@ -22,7 +22,7 @@ type restartSeq struct {
 	fetchPC  uint64
 	hist     bpred.History
 	ras      *bpred.RAS
-	rmap     map[isa.Reg]*dyn
+	rmap     regMap // scratch rename array, filled by rmapAt
 	fillSeg  *segment
 	lastIns  *dyn
 	goldCur  int
@@ -39,7 +39,8 @@ type redispSeq struct {
 	hist bpred.History
 	ras  *bpred.RAS
 	gold int
-	rmap map[isa.Reg]*dyn // nil until the walk starts
+	rmap      regMap // scratch rename array, filled when the walk starts
+	rmapValid bool
 }
 
 // pendingRec is a detected misprediction (or re-prediction flip) awaiting
@@ -260,7 +261,7 @@ func (m *machine) beginRecoveryInner(pr pendingRec) {
 	// Selective squash of the incorrect control dependent instructions.
 	m.stats.Reconverged++
 	removed := uint64(0)
-	var squashedStores []*dyn
+	squashedStores := m.storeScratch[:0]
 	m.win.forEachAfter(d, func(c *dyn) bool {
 		if c == nr {
 			return false
@@ -290,6 +291,7 @@ func (m *machine) beginRecoveryInner(pr pendingRec) {
 	if nr == nil {
 		// Everything after the branch fell in its segment: degenerate to
 		// a complete squash.
+		m.storeScratch = squashedStores[:0]
 		m.stats.Reconverged--
 		m.fullSquash(d)
 		return
@@ -299,6 +301,7 @@ func (m *machine) beginRecoveryInner(pr pendingRec) {
 	// Loads in the preserved region that read squashed stores' data must
 	// reissue (memory dependences broken by the restart, §3.2.3).
 	m.reissueLoadsAfterStoreSquash(d, squashedStores)
+	m.storeScratch = squashedStores[:0]
 
 	// Mark preserved control independent instructions (Table 2/3).
 	ci := uint64(0)
@@ -332,11 +335,11 @@ func (m *machine) beginRecoveryInner(pr pendingRec) {
 		fetchPC: pr.target,
 		hist:    hist,
 		ras:     ras,
-		rmap:    m.rmapAt(d),
 		lastIns: d,
 		goldCur: goldCur,
 		started: m.cycle,
 	}
+	m.rmapAt(&m.active.rmap, d)
 	m.rebuildTailRmap()
 }
 
@@ -348,7 +351,7 @@ func (m *machine) beginSearchRecovery(d *dyn, pr pendingRec) bool {
 	// Segment granularity (§A.4): the fill segment links after the
 	// branch's segment, so any live same-segment successors must go
 	// first — they cannot be preserved across a mid-segment insertion.
-	var squashedStores []*dyn
+	squashedStores := m.storeScratch[:0]
 	for i := d.slot + 1; i < d.seg.used; i++ {
 		c := d.seg.slots[i]
 		if !c.squashed && !c.retired {
@@ -360,6 +363,7 @@ func (m *machine) beginSearchRecovery(d *dyn, pr pendingRec) bool {
 		}
 	}
 	m.reissueLoadsAfterStoreSquash(d, squashedStores)
+	m.storeScratch = squashedStores[:0]
 	if m.win.nextLive(d, false) == nil {
 		return false
 	}
@@ -381,11 +385,11 @@ func (m *machine) beginSearchRecovery(d *dyn, pr pendingRec) bool {
 		fetchPC:  pr.target,
 		hist:     hist,
 		ras:      ras,
-		rmap:     m.rmapAt(d),
 		lastIns:  d,
 		goldCur:  goldCur,
 		started:  m.cycle,
 	}
+	m.rmapAt(&m.active.rmap, d)
 	m.rebuildTailRmap()
 	return true
 }
@@ -460,7 +464,7 @@ func (m *machine) dropFetchBuf() {
 			m.trc.TraceSquash(c.seq, m.cycle)
 		}
 	}
-	m.fetchBuf = nil
+	m.fetchBuf = m.fetchBuf[:0]
 }
 
 // squashFrom squashes d and everything after it.
@@ -501,8 +505,8 @@ func (m *machine) findReconv(d *dyn, taken bool, target uint64) *dyn {
 	}
 	var found *dyn
 	m.win.forEachAfter(d, func(c *dyn) bool {
-		if (m.cfg.Reconv.Return && m.retTargets[c.pc]) ||
-			(m.cfg.Reconv.Loop && m.loopTargets[c.pc]) {
+		if (m.cfg.Reconv.Return && m.isRetTarget(c.pc)) ||
+			(m.cfg.Reconv.Loop && m.isLoopTarget(c.pc)) {
 			found = c
 			return false
 		}
@@ -572,7 +576,7 @@ func (m *machine) continueRestart() {
 		act.fillSeg = seg
 		act.lastIns = d
 		act.insert++
-		m.renameWith(d, act.rmap)
+		m.renameWith(d, &act.rmap)
 		act.fetchPC = d.assumedTarget
 		if in.Op == isa.HALT {
 			// The correct path exits before reconverging: anything
@@ -607,7 +611,7 @@ func (m *machine) continueSearchRestart() {
 			// between the gap and the match (the incorrect control
 			// dependent path) and finish as a normal restart.
 			removed := uint64(0)
-			var squashedStores []*dyn
+			squashedStores := m.storeScratch[:0]
 			m.win.forEachAfter(act.lastIns, func(c *dyn) bool {
 				if c == match {
 					return false
@@ -621,6 +625,7 @@ func (m *machine) continueSearchRestart() {
 				return true
 			})
 			m.reissueLoadsAfterStoreSquash(act.branch, squashedStores)
+			m.storeScratch = squashedStores[:0]
 			m.stats.Reconverged++
 			m.stats.RemovedCD += removed
 			ci := uint64(0)
@@ -666,7 +671,7 @@ func (m *machine) continueSearchRestart() {
 		act.fillSeg = seg
 		act.lastIns = d
 		act.insert++
-		m.renameWith(d, act.rmap)
+		m.renameWith(d, &act.rmap)
 		act.fetchPC = d.assumedTarget
 		if in.Op == isa.HALT {
 			m.convertSearchToPlain(true)
@@ -768,7 +773,7 @@ func (m *machine) newDynAt(pc uint64, in isa.Inst, act *restartSeq) *dyn {
 		act.hist = act.hist.Push(d.predTaken)
 		d.rasSnap = act.ras.Snapshot()
 		if m.cfg.Reconv.Loop && cfg.IsBackwardBranch(in) {
-			m.loopTargets[next] = true
+			m.addLoopTarget(next)
 		}
 	case isa.ClassJump:
 		next = in.Target
@@ -791,7 +796,7 @@ func (m *machine) newDynAt(pc uint64, in isa.Inst, act *restartSeq) *dyn {
 			next = t
 		}
 		if m.cfg.Reconv.Return {
-			m.retTargets[next] = true
+			m.addRetTarget(next)
 		}
 	}
 	d.assumedTarget = next
@@ -808,7 +813,7 @@ func (m *machine) newDynAt(pc uint64, in isa.Inst, act *restartSeq) *dyn {
 	return d
 }
 
-func (m *machine) renameWith(d *dyn, rmap map[isa.Reg]*dyn) {
+func (m *machine) renameWith(d *dyn, rmap *regMap) {
 	changed := false
 	for i := 0; i < d.nsrc; i++ {
 		if d.srcReg[i] == isa.RZero {
@@ -891,7 +896,7 @@ func (m *machine) resumeSuspended() {
 	}
 	s := m.suspended[len(m.suspended)-1]
 	m.suspended = m.suspended[:len(m.suspended)-1]
-	s.rmap = m.rmapAt(s.lastIns)
+	m.rmapAt(&s.rmap, s.lastIns)
 	m.debugf("resume suspended branch=%v lastIns=%v", s.branch, s.lastIns)
 	m.active = s
 }
@@ -924,7 +929,6 @@ func (m *machine) convertRestartToPlain(halted bool) {
 	m.fetchHist = act.hist
 	m.ras.Restore(act.ras.Snapshot())
 	m.goldCur = act.goldCur
-	m.tailRmap = act.rmap
 	m.rebuildTailRmap()
 }
 
@@ -933,13 +937,13 @@ func (m *machine) convertRestartToPlain(halted bool) {
 // CI-I walks the entire window in one cycle.
 func (m *machine) continueWalk() {
 	rd := m.redisp
-	if rd.rmap == nil {
-		prev := m.win.prevLive(rd.cur, false)
-		if prev == nil {
-			rd.rmap = make(map[isa.Reg]*dyn)
+	if !rd.rmapValid {
+		if prev := m.win.prevLive(rd.cur, false); prev == nil {
+			rd.rmap = regMap{}
 		} else {
-			rd.rmap = m.rmapAt(prev)
+			m.rmapAt(&rd.rmap, prev)
 		}
+		rd.rmapValid = true
 		m.debugf("walk start cur=%v rmap[r11]=%v", rd.cur, rd.rmap[11])
 	}
 	steps := m.cfg.Width
@@ -1085,6 +1089,9 @@ func (m *machine) finishWalk() {
 	m.debugf("finishWalk")
 	m.redisp = nil
 	m.tailRmap = rd.rmap
+	if m.shadow != nil {
+		m.shadow.setTailFrom(&rd.rmap)
+	}
 	m.fetchHist = rd.hist
 	m.ras.Restore(rd.ras.Snapshot())
 	m.goldCur = rd.gold

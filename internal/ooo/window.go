@@ -60,7 +60,7 @@ type dyn struct {
 	compTaken     bool
 	compTarget    uint64
 	histBefore    bpred.History
-	rasSnap       []uint64
+	rasSnap       bpred.Snap
 
 	stableFlag bool // data-stability flag (spec-C/non-spec gating)
 
@@ -70,6 +70,7 @@ type dyn struct {
 	pos      int64
 	squashed bool
 	retired  bool
+	liveIdx  int32 // index in the window's live-order cache; see refresh
 
 	// Table 3 accounting: saved records whether this instruction was
 	// preserved across a recovery, and in what state.
@@ -134,6 +135,41 @@ type window struct {
 
 	nextPos int64
 	count   int // live (non-retired, non-squashed) instructions
+
+	// Slab arenas for segments and their slot arrays. With the default
+	// SegmentSize of 1 every dispatched instruction allocates a segment,
+	// which made newSegment the single largest allocation site of the
+	// whole simulator (>80% of objects). Segments are never reused after
+	// being unlinked — stale seg pointers held by retired dyns must keep
+	// pointing at dead-but-intact memory — so a bump allocator is safe:
+	// slots carved from one big backing array, structs from one slab.
+	segArena  []segment
+	slotArena []*dyn
+
+	// liveCache is the in-order snapshot of the window that the per-cycle
+	// walks (forEach, forEachAfter, the goldSync and rename chains)
+	// iterate instead of chasing segment links slot by slot — with the
+	// default SegmentSize of 1 a segment walk is a pointer chase per
+	// instruction, and the walks dominated the simulator's CPU profile.
+	// The cache is maintained incrementally: appendTail extends it in
+	// place (tail appends preserve order), and squash/retire leave their
+	// entry behind as a tombstone that every walker skips by flag —
+	// exactly the check the segment walk performed — counted in dead and
+	// compacted away once tombstones dominate. Only insertAfter breaks
+	// cache order; it sets dirty, and refresh rebuilds from the
+	// authoritative segment chain. lo is a watermark below which every
+	// entry is known dead (liveness flags are never cleared), advanced by
+	// headLive so the retired prefix is skipped in amortized O(1).
+	// Mutations *during* a cached walk are handled the same way the
+	// segment walk handled them: flags are re-checked at visit time, and
+	// nested walks fall back to the segment path while a cached walk is
+	// in progress (walking > 0) so the snapshot under the outer iteration
+	// is never rebuilt or compacted in place.
+	liveCache []*dyn
+	dirty     bool
+	dead      int
+	lo        int
+	walking   int
 }
 
 const posGap = int64(1) << 20
@@ -150,7 +186,21 @@ func (w *window) segsAvailable() int { return w.maxSegs - w.liveSegs }
 
 func (w *window) newSegment() *segment {
 	w.liveSegs++
-	return &segment{slots: make([]*dyn, 0, w.segSize)}
+	if len(w.segArena) == 0 {
+		w.segArena = make([]segment, 64)
+	}
+	seg := &w.segArena[0]
+	w.segArena = w.segArena[1:]
+	if len(w.slotArena) < w.segSize {
+		n := 64 * w.segSize
+		if n < 1024 {
+			n = 1024
+		}
+		w.slotArena = make([]*dyn, n)
+	}
+	seg.slots = w.slotArena[:0:w.segSize]
+	w.slotArena = w.slotArena[w.segSize:]
+	return seg
 }
 
 // appendTail adds a dyn at the window tail, allocating a segment if
@@ -182,6 +232,12 @@ func (w *window) appendTail(d *dyn) bool {
 	w.nextPos += posGap
 	d.pos = w.nextPos
 	w.count++
+	if !w.dirty && w.walking == 0 {
+		d.liveIdx = int32(len(w.liveCache))
+		w.liveCache = append(w.liveCache, d)
+	} else {
+		w.dirty = true
+	}
 	return true
 }
 
@@ -220,6 +276,7 @@ func (w *window) insertAfter(prev *dyn, fillSeg *segment, d *dyn) *segment {
 	fillSeg.slots[fillSeg.used] = d
 	fillSeg.used++
 	w.count++
+	w.dirty = true
 	w.assignPos(d)
 	return fillSeg
 }
@@ -258,9 +315,104 @@ func (w *window) renumber() {
 	w.nextPos = p
 }
 
+// refresh makes the order cache usable: a dirty cache (an insertAfter
+// broke order) is rebuilt from the segment chain, and a clean one is
+// compacted when tombstones dominate. ok is false only when the cache is
+// dirty inside an ongoing cached walk and the caller must take the
+// segment path.
+func (w *window) refresh() (cache []*dyn, ok bool) {
+	if w.dirty {
+		if w.walking > 0 {
+			return nil, false
+		}
+		w.liveCache = w.liveCache[:0]
+		for seg := w.head; seg != nil; seg = seg.next {
+			for _, d := range seg.slots[:seg.used] {
+				if !d.squashed && !d.retired {
+					d.liveIdx = int32(len(w.liveCache))
+					w.liveCache = append(w.liveCache, d)
+				}
+			}
+		}
+		w.dirty = false
+		w.dead = 0
+		w.lo = 0
+	} else if w.walking == 0 && w.dead >= 32 && 2*w.dead >= len(w.liveCache) {
+		w.compact()
+	}
+	return w.liveCache, true
+}
+
+// compact squeezes tombstones out of a clean cache, preserving order.
+func (w *window) compact() {
+	n := 0
+	for _, d := range w.liveCache {
+		if d.squashed || d.retired {
+			continue
+		}
+		d.liveIdx = int32(n)
+		w.liveCache[n] = d
+		n++
+	}
+	w.liveCache = w.liveCache[:n]
+	w.dead = 0
+	w.lo = 0
+}
+
+// live returns the order cache (tombstones included — callers must skip
+// by flag, exactly as forEach does) for direct, inlinable iteration by
+// the hot per-cycle stages. ok is false only when the cache is dirty
+// inside an ongoing walk; the caller then takes the forEach path.
+// Callers bracket their loop with walking++/-- and must not append or
+// insert, the same contract forEach imposes on its callbacks.
+func (w *window) live() ([]*dyn, bool) {
+	cache, ok := w.refresh()
+	if !ok {
+		return nil, false
+	}
+	return cache[w.lo:], true
+}
+
+// liveAfter returns the cache suffix strictly after d under the same
+// contract as live. ok is false when the cache is dirty or d has been
+// compacted away (dead anchor); the caller then takes the forEachAfter
+// path.
+func (w *window) liveAfter(d *dyn) ([]*dyn, bool) {
+	cache, ok := w.refresh()
+	if !ok {
+		return nil, false
+	}
+	if i := w.cacheIndex(cache, d); i >= 0 {
+		return cache[i+1:], true
+	}
+	return nil, false
+}
+
+// cacheIndex returns d's position in a current cache, or -1 when d is not
+// in it (dead, or a stale liveIdx from an earlier rebuild — the identity
+// check catches both).
+func (w *window) cacheIndex(cache []*dyn, d *dyn) int {
+	if i := int(d.liveIdx); i >= 0 && i < len(cache) && cache[i] == d {
+		return i
+	}
+	return -1
+}
+
 // prevLive returns the dyn before d in window order; includeAll also
-// visits squashed/retired slots (used for position assignment).
+// visits squashed/retired slots (used for position assignment). A clean
+// cache answers live queries in O(1); dead anchors and dirty windows take
+// the segment walk.
 func (w *window) prevLive(d *dyn, includeAll bool) *dyn {
+	if !includeAll && !w.dirty {
+		if i := w.cacheIndex(w.liveCache, d); i >= 0 {
+			for j := i - 1; j >= w.lo; j-- {
+				if c := w.liveCache[j]; !c.squashed && !c.retired {
+					return c
+				}
+			}
+			return nil
+		}
+	}
 	seg, slot := d.seg, d.slot-1
 	for seg != nil {
 		for ; slot >= 0; slot-- {
@@ -279,6 +431,16 @@ func (w *window) prevLive(d *dyn, includeAll bool) *dyn {
 
 // nextLive returns the dyn after d in window order.
 func (w *window) nextLive(d *dyn, includeAll bool) *dyn {
+	if !includeAll && !w.dirty {
+		if i := w.cacheIndex(w.liveCache, d); i >= 0 {
+			for _, c := range w.liveCache[i+1:] {
+				if !c.squashed && !c.retired {
+					return c
+				}
+			}
+			return nil
+		}
+	}
 	seg, slot := d.seg, d.slot+1
 	for seg != nil {
 		for ; slot < seg.used; slot++ {
@@ -294,22 +456,56 @@ func (w *window) nextLive(d *dyn, includeAll bool) *dyn {
 }
 
 // forEach visits every live (non-squashed, non-retired) dyn in order.
-// Returning false stops the walk.
+// Returning false stops the walk. Callbacks may squash or retire — the
+// flags are re-checked at visit time, matching the segment walk — but
+// must not append or insert (nothing does: dispatch and restart fill run
+// outside window walks).
 func (w *window) forEach(f func(d *dyn) bool) {
-	for seg := w.head; seg != nil; seg = seg.next {
-		for _, d := range seg.slots[:seg.used] {
-			if d.squashed || d.retired {
-				continue
-			}
-			if !f(d) {
-				return
+	cache, ok := w.refresh()
+	if !ok {
+		for seg := w.head; seg != nil; seg = seg.next {
+			for _, d := range seg.slots[:seg.used] {
+				if d.squashed || d.retired {
+					continue
+				}
+				if !f(d) {
+					return
+				}
 			}
 		}
+		return
 	}
+	w.walking++
+	for _, d := range cache[w.lo:] {
+		if d.squashed || d.retired {
+			continue
+		}
+		if !f(d) {
+			break
+		}
+	}
+	w.walking--
 }
 
 // forEachAfter visits live dyns strictly after d in window order.
 func (w *window) forEachAfter(d *dyn, f func(d *dyn) bool) {
+	if cache, ok := w.refresh(); ok {
+		if i := w.cacheIndex(cache, d); i >= 0 {
+			w.walking++
+			for _, c := range cache[i+1:] {
+				if c.squashed || c.retired {
+					continue
+				}
+				if !f(c) {
+					break
+				}
+			}
+			w.walking--
+			return
+		}
+	}
+	// Dead anchor or mid-walk mutation: the segment walk navigates from
+	// dead slots exactly as the pre-cache implementation did.
 	seg, slot := d.seg, d.slot+1
 	for seg != nil {
 		for ; slot < seg.used; slot++ {
@@ -333,6 +529,9 @@ func (w *window) squash(d *dyn) {
 	}
 	d.squashed = true
 	w.count--
+	if !w.dirty {
+		w.dead++ // now a tombstone in the cache; walkers skip by flag
+	}
 	w.maybeFree(d.seg)
 }
 
@@ -340,6 +539,9 @@ func (w *window) squash(d *dyn) {
 func (w *window) retire(d *dyn) {
 	d.retired = true
 	w.count--
+	if !w.dirty {
+		w.dead++ // now a tombstone in the cache; walkers skip by flag
+	}
 	w.maybeFree(d.seg)
 }
 
@@ -385,8 +587,17 @@ func (w *window) sealAndSweep(seg *segment) {
 	w.maybeFree(seg)
 }
 
-// headLive returns the oldest live dyn.
+// headLive returns the oldest live dyn, advancing the dead-prefix
+// watermark past retired tombstones as it scans.
 func (w *window) headLive() *dyn {
+	if !w.dirty {
+		for ; w.lo < len(w.liveCache); w.lo++ {
+			if d := w.liveCache[w.lo]; !d.squashed && !d.retired {
+				return d
+			}
+		}
+		return nil
+	}
 	for seg := w.head; seg != nil; seg = seg.next {
 		for _, d := range seg.slots[:seg.used] {
 			if !d.squashed && !d.retired {
@@ -399,6 +610,14 @@ func (w *window) headLive() *dyn {
 
 // tailLive returns the youngest live dyn.
 func (w *window) tailLive() *dyn {
+	if !w.dirty {
+		for i := len(w.liveCache) - 1; i >= w.lo; i-- {
+			if d := w.liveCache[i]; !d.squashed && !d.retired {
+				return d
+			}
+		}
+		return nil
+	}
 	for seg := w.tail; seg != nil; seg = seg.prev {
 		for i := seg.used - 1; i >= 0; i-- {
 			d := seg.slots[i]
@@ -438,6 +657,44 @@ func (w *window) check() error {
 	}
 	if segs > w.maxSegs {
 		return fmt.Errorf("window: %d segments exceed capacity %d", segs, w.maxSegs)
+	}
+	if !w.dirty {
+		// A clean cache, with tombstones skipped, must be exactly the live
+		// segment walk in order; tombstone and watermark accounting must
+		// match.
+		dead := 0
+		var liveIn []*dyn
+		for i, d := range w.liveCache {
+			if d.squashed || d.retired {
+				dead++
+				continue
+			}
+			if i < w.lo {
+				return fmt.Errorf("window: live %v below dead-prefix watermark %d", d, w.lo)
+			}
+			if w.cacheIndex(w.liveCache, d) != i {
+				return fmt.Errorf("window: stale liveIdx for %v at cache slot %d", d, i)
+			}
+			liveIn = append(liveIn, d)
+		}
+		if dead != w.dead {
+			return fmt.Errorf("window: %d tombstones in cache, tracked %d", dead, w.dead)
+		}
+		i := 0
+		for seg := w.head; seg != nil; seg = seg.next {
+			for _, d := range seg.slots[:seg.used] {
+				if d.squashed || d.retired {
+					continue
+				}
+				if i >= len(liveIn) || liveIn[i] != d {
+					return fmt.Errorf("window: live cache diverges from segment order at %d (%v)", i, d)
+				}
+				i++
+			}
+		}
+		if i != len(liveIn) {
+			return fmt.Errorf("window: live cache has %d live entries, segment walk %d", len(liveIn), i)
+		}
 	}
 	return nil
 }

@@ -28,6 +28,61 @@ import (
 // NoDep marks an absent producer index.
 const NoDep int32 = -1
 
+// storeIndex maps byte addresses to the index of the last store that wrote
+// them. The modeled address space (data, heap, stack — everything below
+// prog.StackTop) is covered by a sparse two-level page table of int32
+// slots holding entry-index+1 (0 = never written); out-of-range addresses
+// fall back to a lazily created map. Oracle disambiguation probes this
+// once per load byte, so the common case must not hash.
+type storeIndex struct {
+	pages [][]int32
+	far   map[uint64]int32
+}
+
+const (
+	storePageShift = 12 // 4 KiB pages
+	storePageSize  = 1 << storePageShift
+	storeSpace     = 1 << 23 // covers addresses up to prog.StackTop
+)
+
+func newStoreIndex() *storeIndex {
+	return &storeIndex{pages: make([][]int32, storeSpace>>storePageShift)}
+}
+
+// get returns the index of the last store to addr, or NoDep.
+func (s *storeIndex) get(addr uint64) int32 {
+	if addr < storeSpace {
+		pg := s.pages[addr>>storePageShift]
+		if pg == nil {
+			return NoDep
+		}
+		return pg[addr&(storePageSize-1)] - 1
+	}
+	if v, ok := s.far[addr]; ok {
+		return v
+	}
+	return NoDep
+}
+
+// set records idx as the last store to addr.
+func (s *storeIndex) set(addr uint64, idx int32) {
+	if addr < storeSpace {
+		pi := addr >> storePageShift
+		pg := s.pages[pi]
+		if pg == nil {
+			pg = make([]int32, storePageSize)
+			s.pages[pi] = pg
+		}
+		pg[addr&(storePageSize-1)] = idx + 1
+		return
+	}
+	if s.far == nil {
+		//lint:ignore hotalloc built at most once, only if a workload stores beyond the modeled address space
+		s.far = make(map[uint64]int32)
+	}
+	s.far[addr] = idx
+}
+
 // AddrRange is a byte range touched by a memory access.
 type AddrRange struct {
 	Addr uint64
@@ -182,7 +237,10 @@ func Generate(p *prog.Program, opt Options) (*Trace, error) {
 	for i := range lastRegWriter {
 		lastRegWriter[i] = NoDep
 	}
-	lastStore := make(map[uint64]int32, 1<<14) // byte address -> entry index
+	lastStore := newStoreIndex()
+	if opt.MaxInstrs < 1<<22 {
+		tr.Entries = make([]Entry, 0, opt.MaxInstrs)
+	}
 
 	for uint64(len(tr.Entries)) < opt.MaxInstrs && !st.Halted {
 		// Snapshot needed for wrong-path forking before the step mutates
@@ -289,7 +347,7 @@ func Generate(p *prog.Program, opt Options) (*Trace, error) {
 			size := uint64(e.MemSize())
 			dep := NoDep
 			for b := uint64(0); b < size; b++ {
-				if s, ok := lastStore[e.EA+b]; ok && s > dep {
+				if s := lastStore.get(e.EA + b); s > dep {
 					dep = s
 				}
 			}
@@ -298,7 +356,7 @@ func Generate(p *prog.Program, opt Options) (*Trace, error) {
 		if isa.ClassOf(in.Op) == isa.ClassStore {
 			size := uint64(e.MemSize())
 			for b := uint64(0); b < size; b++ {
-				lastStore[e.EA+b] = idx
+				lastStore.set(e.EA+b, idx)
 			}
 		}
 
@@ -358,7 +416,7 @@ func expandWrongPath(fork *emu.State, g *cfg.Graph, in isa.Inst, branchPC, predT
 func resolveReconvergence(tr *Trace, search int) {
 	// Index occurrences of every PC that appears as a reconvergent
 	// point, then binary-search per misprediction.
-	needed := make(map[uint64][]int32)
+	needed := make(map[uint64][]int32) //lint:ignore hotalloc once-per-trace post-pass, not the generation loop
 	for i := range tr.Entries {
 		if w := tr.Entries[i].Wrong; w != nil && w.ReconvPC != 0 {
 			needed[w.ReconvPC] = nil
