@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint checkprog race faults schema check bench bench-baseline benchdiff run-all profile clean
+.PHONY: all build test vet lint checkprog race faults schema serve-smoke check bench bench-baseline benchdiff run-all profile clean
 
 # The headline benchmarks gated by BENCH_5.json (see bench-baseline and
 # benchdiff below).
@@ -31,11 +31,12 @@ lint:
 checkprog:
 	$(GO) run ./cmd/cisim check
 
-# race exercises the worker pool and the artifact cache's singleflight
-# path under the race detector (the runner tests spin up concurrent
-# jobs and concurrent lookups for one cache entry).
+# race exercises the worker pool, the artifact cache's singleflight
+# path, and the serve daemon's dispatcher/streaming machinery under the
+# race detector (the runner and serve tests spin up concurrent jobs,
+# concurrent cache lookups, and concurrent HTTP subscribers).
 race:
-	$(GO) test -race ./internal/runner/ ./cmd/cisim/
+	$(GO) test -race ./internal/runner/ ./internal/serve/ ./cmd/cisim/
 
 # faults drives the deterministic fault-injection matrix end to end:
 # every fault point (cache corruption, transient/permanent failures,
@@ -44,16 +45,25 @@ race:
 faults:
 	$(GO) test -run 'TestFaultMatrix|TestJournalResume|TestRunBadFaultSpec|TestRunResumeNeedsJournal' ./cmd/cisim/
 
-# schema pins the run-event JSONL interface: the golden field inventory
-# and per-event required/optional matrix in cmd/cisim/testdata must match
-# runner.Event and what a real run emits (see cmd/cisim/schema_test.go).
+# schema pins the machine-readable interfaces: the run-event JSONL
+# stream (cmd/cisim/testdata/event_schema.json against runner.Event and
+# a real run) and the serve HTTP API (internal/api/testdata/
+# api_schema.json against the request/response structs).
 schema:
 	$(GO) test -run 'TestEventSchemaMatchesStruct|TestEventStreamMatchesSchema' ./cmd/cisim/
+	$(GO) test -run 'TestAPISchema|TestSweepRequestRoundTrip' ./internal/api/
+
+# serve-smoke drives the `cisim serve` daemon across a real process
+# boundary: start it, submit a quick sweep over HTTP with the example
+# client, assert the result is byte-identical to `run -quick -json`,
+# and drain it with SIGTERM (see scripts/serve_smoke.sh).
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # check is the CI gate: build, vet, the custom analyzers, the workload
-# verifier, full tests, the race pass, the fault matrix, and the event
-# schema golden test.
-check: build vet lint checkprog test race faults schema
+# verifier, full tests, the race pass, the fault matrix, the schema
+# golden tests, and the serve daemon smoke test.
+check: build vet lint checkprog test race faults schema serve-smoke
 
 bench:
 	$(GO) test -bench=BenchmarkRunAllQuick -benchtime=1x -run=^$$ .

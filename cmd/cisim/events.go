@@ -1,19 +1,23 @@
 package main
 
 // cisim events: offline analyzer for the observability streams the rest
-// of the tool writes — the JSONL run-event stream (`cisim run -events`)
-// and the crash-consistent journal (`cisim run -journal`). It answers
-// the questions a slow or failed campaign raises without re-running it:
-// which workers did the work, what did the cache absorb, which job was
-// the critical path, and what went wrong.
+// of the tool writes — the JSONL run-event stream (`cisim run -events`),
+// the crash-consistent journal (`cisim run -journal`), and a `cisim
+// serve` event endpoint fetched over HTTP. It answers the questions a
+// slow or failed campaign raises without re-running it: which workers
+// did the work, what did the cache absorb, which job was the critical
+// path, and what went wrong.
 
 import (
 	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"sort"
+	"strings"
 
 	"cisim/internal/stats"
 )
@@ -25,19 +29,40 @@ func cmdEvents(args []string) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("events needs one JSONL file (from 'cisim run -events FILE' or -journal FILE)")
+		return fmt.Errorf("events needs one JSONL source: a file from 'cisim run -events FILE' or -journal FILE, or an http(s) URL such as a serve daemon's /v1/sweeps/{id}/events")
 	}
-	f, err := os.Open(fs.Arg(0))
+	src, name, err := openEventSource(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	a, err := analyzeEvents(f)
+	defer src.Close()
+	a, err := analyzeEvents(src, name)
 	if err != nil {
 		return err
 	}
 	fmt.Print(a.render(*top))
 	return nil
+}
+
+// openEventSource opens the argument as a file, or as an HTTP stream
+// when it is a URL — the daemon's JSONL event endpoint analyzes exactly
+// like an -events file, including live streams (the response body is
+// read to EOF, which for a running sweep means until it finishes).
+func openEventSource(arg string) (io.ReadCloser, string, error) {
+	if !strings.HasPrefix(arg, "http://") && !strings.HasPrefix(arg, "https://") {
+		f, err := os.Open(arg)
+		return f, arg, err
+	}
+	resp, err := http.Get(arg)
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		return nil, "", fmt.Errorf("%s: %s: %s", arg, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return resp.Body, arg, nil
 }
 
 // eventLine is the union of a run event and a journal record: run events
@@ -106,13 +131,13 @@ type analysis struct {
 	failures         []jobStat
 }
 
-func analyzeEvents(f *os.File) (*analysis, error) {
+func analyzeEvents(r io.Reader, name string) (*analysis, error) {
 	a := &analysis{
 		journalExps: map[string]int{},
 		workers:     map[int]*workerStat{},
 		kinds:       map[string]kindStat{},
 	}
-	sc := bufio.NewScanner(f)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
 	for sc.Scan() {
 		line := sc.Bytes()
@@ -186,7 +211,7 @@ func analyzeEvents(f *os.File) (*analysis, error) {
 		return nil, err
 	}
 	if a.lines == 0 {
-		return nil, fmt.Errorf("%s: empty file", f.Name())
+		return nil, fmt.Errorf("%s: empty file", name)
 	}
 	return a, nil
 }

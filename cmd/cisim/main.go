@@ -21,11 +21,11 @@
 // abandoned); -retries N re-runs transiently-failed jobs with capped
 // jitter-free backoff; -journal FILE appends each completed job to a
 // crash-consistent fsync'd JSONL file and -resume replays it, so an
-// interrupted campaign restarts where it died; SIGINT drains in-flight
-// jobs, prints the completed experiments with explicit holes for the
-// rest, and exits non-zero. -faults SPEC (or CISIM_FAULTS) arms the
-// deterministic fault-injection points (internal/faults) that make every
-// one of those recovery paths testable on demand.
+// interrupted campaign restarts where it died; SIGINT or SIGTERM drains
+// in-flight jobs, prints the completed experiments with explicit holes
+// for the rest, and exits non-zero. -faults SPEC (or CISIM_FAULTS) arms
+// the deterministic fault-injection points (internal/faults) that make
+// every one of those recovery paths testable on demand.
 //
 // Observability flags (DESIGN.md §9): -metrics collects deterministic
 // per-workload counter/histogram snapshots (in -json output and as
@@ -41,7 +41,15 @@
 //	cisim trace [flags] <workload> dump the annotated dynamic trace
 //	cisim pipe [flags] <workload>  per-instruction pipeline timeline
 //	cisim compare <old> <new>      diff two 'run -json' result files
-//	cisim events <file.jsonl>      analyze a run-event stream or journal
+//	cisim events <file|url>        analyze a run-event stream or journal
+//
+// `cisim serve` runs the same sweeps as an HTTP daemon (DESIGN.md §11):
+// versioned JSON requests on a bounded queue (full -> 429 + Retry-After),
+// job status and result endpoints, live event streaming (SSE or JSONL),
+// and SIGTERM graceful drain. `cisim version` prints build and API
+// version info. The CLI and the daemon are thin frontends over the same
+// embeddable engine (internal/api), so an HTTP result is byte-identical
+// to `cisim run -json` for the same request.
 //
 // Experiment ids follow the paper's tables and figures: table1, fig3,
 // fig5, fig6, table2, table3, table4, fig8, fig9, fig10, fig12, fig13,
@@ -60,9 +68,10 @@ import (
 	"runtime/pprof"
 	rtrace "runtime/trace"
 	"strings"
-	"sync"
+	"syscall"
 	"time"
 
+	"cisim/internal/api"
 	"cisim/internal/cache"
 	"cisim/internal/exp"
 	"cisim/internal/faults"
@@ -111,6 +120,10 @@ func main() {
 		err = cmdEvents(os.Args[2:])
 	case "check":
 		err = cmdCheck(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "version", "-version", "--version":
+		err = cmdVersion()
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -136,8 +149,10 @@ func usage() {
   cisim trace [flags] <workload>  dump the annotated dynamic trace
   cisim pipe [flags] <workload>   per-instruction pipeline timeline
   cisim compare <old> <new>       diff two 'run -json' result files
-  cisim events <file.jsonl>       summarize a run-event stream or journal (-top N)
-  cisim check [files...]          statically verify programs (default: all workloads)`)
+  cisim events <file|url>         summarize a run-event stream, journal, or serve stream (-top N)
+  cisim check [files...]          statically verify programs (default: all workloads)
+  cisim serve [flags]             HTTP sweep daemon (-addr -queue -jobs -journal-dir; DESIGN.md §11)
+  cisim version                   print build, toolchain, and API version`)
 }
 
 func cmdList() error {
@@ -196,18 +211,14 @@ func cmdRun(args []string) error {
 		faults.Set(plan)
 		defer faults.Clear()
 	}
-	opt := exp.Options{Quick: *quick, Metrics: *metricsFlag}
-	ids := []string{fs.Arg(0)}
-	if fs.Arg(0) == "all" {
-		ids = exp.IDs()
-	}
-	exps := make([]*exp.Experiment, len(ids))
-	for i, id := range ids {
-		e, ok := exp.Get(id)
-		if !ok {
-			return fmt.Errorf("unknown experiment %q (try 'cisim list')", id)
-		}
-		exps[i] = e
+	// The flag surface maps 1:1 onto the versioned sweep request, so the
+	// CLI and the HTTP daemon validate and execute identically.
+	req := &api.SweepRequest{V: api.Version, Experiments: []string{fs.Arg(0)},
+		Quick: *quick, Metrics: *metricsFlag, Jobs: *jobs,
+		TimeoutMs: timeout.Milliseconds(), Retries: *retries}
+	exps, err := exp.Resolve(req.Experiments)
+	if err != nil {
+		return err
 	}
 
 	var sink runner.Sink
@@ -248,139 +259,29 @@ func cmdRun(args []string) error {
 		}
 	}
 
-	// SIGINT cancels the pool's context: in-flight jobs drain, the rest
-	// are skipped, and the run reports its holes and exits non-zero.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGINT or SIGTERM cancels the engine's context: in-flight jobs
+	// drain, the rest are skipped, and the run reports its holes and
+	// exits non-zero. SIGTERM takes the identical path so process
+	// managers stopping a long campaign lose nothing either.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	// One job per (experiment, workload): finer than whole experiments,
-	// so the pool can overlap slow workloads of one experiment with
-	// another's, and cache-hit jobs drain in microseconds. parts is
-	// indexed by global slot (experiment-major); journal replays fill
-	// their slots up front and the pool fills the rest.
-	ws := workloads.All()
-	total := len(exps) * len(ws)
-	parts := make([]*exp.Partial, total)
-	executed := make([]runner.JobResult, total)
-	ran := make([]bool, total)
-	jobList := make([]runner.Job, 0, total)
-	slotOf := make([]int, 0, total) // jobList index -> global slot
-	type skip struct{ exp, key string }
-	var resumedSkips []skip
-	var journalWarn sync.Once
-	for ei, e := range exps {
-		for wi, w := range ws {
-			gi := ei*len(ws) + wi
-			addr := exp.JobAddress(e, w, opt)
-			if raw, ok := journaled[addr]; ok {
-				if p, err := exp.DecodePartial(raw); err == nil {
-					parts[gi] = p
-					resumedSkips = append(resumedSkips, skip{e.ID, w.Name})
-					continue
-				}
-				// Undecodable payload: fall through and recompute.
-			}
-			e, w := e, w
-			jobList = append(jobList, runner.Job{Exp: e.ID, Key: w.Name,
-				Run: func(ctx context.Context) (interface{}, uint64, error) {
-					p, err := e.RunWorkload(w, opt)
-					var instrs uint64
-					if p != nil {
-						instrs = p.Instrs
-					}
-					if err == nil && jrn != nil {
-						payload, jerr := exp.EncodePartial(p)
-						if jerr == nil {
-							jerr = jrn.Record(e.ID, w.Name, addr, payload)
-						}
-						if jerr != nil {
-							// Degrade gracefully: a dying journal disk
-							// costs resumability, not the run.
-							journalWarn.Do(func() {
-								fmt.Fprintf(os.Stderr, "cisim: journal write failed (run continues unjournaled): %v\n", jerr)
-							})
-						}
-					}
-					return p, instrs, err
-				}})
-			slotOf = append(slotOf, gi)
-		}
+	// The engine (shared with `cisim serve`) decomposes the sweep into
+	// (experiment, workload) jobs, replays the journal, runs the pool,
+	// and merges partials in paper order.
+	out, err := api.Run(ctx, req, api.RunOptions{
+		Sink: sink, Journal: jrn, Replayed: journaled,
+		JournalWarn: func(jerr error) {
+			fmt.Fprintf(os.Stderr, "cisim: journal write failed (run continues unjournaled): %v\n", jerr)
+		}})
+	if err != nil {
+		return err
 	}
 
-	pool := &runner.Pool{Workers: *jobs, Events: sink, Timeout: *timeout, Retries: *retries}
-	nw := pool.NumWorkers(len(jobList))
-	statsBefore := runner.Artifacts.Stats()
-	if sink != nil {
-		sink.Emit(runner.Event{Ev: "run_start", Jobs: len(jobList), Workers: nw, Skipped: len(resumedSkips)})
-		for _, s := range resumedSkips {
-			sink.Emit(runner.Event{Ev: "job_skip", Exp: s.exp, Key: s.key})
-		}
-	}
-	start := time.Now()
-	results := pool.RunContext(ctx, jobList)
-	wall := time.Since(start)
+	renderErr := renderOutcomes(exps, out.Outcomes, *jsonFlag, *plotFlag)
 
-	aborted := ctx.Err() != nil
-	for k, jr := range results {
-		gi := slotOf[k]
-		executed[gi] = jr
-		ran[gi] = true
-		if jr.Skipped {
-			aborted = true
-		}
-		if p, ok := jr.Val.(*exp.Partial); ok && jr.Err == nil {
-			parts[gi] = p
-		}
-	}
-
-	// Merge per-workload partials back into whole experiments, in paper
-	// order. An experiment with a skipped job is a hole, not a failure.
-	outcomes := make([]outcome, len(exps))
-	for i, e := range exps {
-		var o outcome
-		for wi := range ws {
-			gi := i*len(ws) + wi
-			if !ran[gi] {
-				continue // journal replay
-			}
-			jr := executed[gi]
-			o.elapsed += jr.Elapsed
-			if jr.Skipped {
-				o.aborted = true
-				continue
-			}
-			if jr.Err != nil && o.err == nil {
-				o.err = jr.Err
-			}
-		}
-		if o.err == nil && !o.aborted {
-			o.r, o.err = e.Merge(opt, parts[i*len(ws):(i+1)*len(ws)])
-		}
-		outcomes[i] = o
-	}
-
-	// Metrics snapshots ride the event stream too, one event per
-	// (experiment, workload) in paper order — deterministic because they
-	// are emitted from the merged results, never from worker goroutines.
-	if sink != nil && *metricsFlag {
-		for i, e := range exps {
-			if outcomes[i].r == nil {
-				continue
-			}
-			for _, wm := range outcomes[i].r.Metrics {
-				sink.Emit(runner.Event{Ev: "metrics", Exp: e.ID, Key: wm.Workload, Metrics: wm.Snapshot})
-			}
-		}
-	}
-
-	renderErr := renderOutcomes(exps, outcomes, *jsonFlag, *plotFlag)
-
-	sum := runner.Summarize(results, nw, wall, runner.Artifacts.Stats().Sub(statsBefore))
-	if sink != nil {
-		sink.Emit(sum.RunEndEvent())
-	}
-	fmt.Fprintf(os.Stderr, "%s", sum.Table())
-	if aborted {
+	fmt.Fprintf(os.Stderr, "%s", out.Summary.Table())
+	if out.Aborted {
 		abortErr := fmt.Errorf("run aborted before completion (re-run with -journal/-resume to pick up where it stopped)")
 		if renderErr != nil {
 			return fmt.Errorf("%v\n%v", renderErr, abortErr)
@@ -442,48 +343,37 @@ func startProfiles(cpu, mem, exec string) (func(), error) {
 	return cleanup, nil
 }
 
-// outcome is one experiment's merged result (or first failure) plus the
-// summed simulation time of its workload jobs. aborted marks an
-// experiment whose jobs were skipped by a run abort: a hole, not a
-// failure.
-type outcome struct {
-	r       *exp.Result
-	err     error
-	elapsed time.Duration
-	aborted bool
-}
-
 // renderOutcomes prints every healthy experiment (text or JSON) and
 // returns an error aggregating every failure, so one broken experiment
 // neither hides the others' output nor lets the run exit zero. Aborted
 // experiments print an explicit hole in text mode and are absent from
 // JSON output; the caller turns the abort itself into a non-zero exit.
-func renderOutcomes(exps []*exp.Experiment, outcomes []outcome, jsonMode, plotMode bool) error {
+func renderOutcomes(exps []*exp.Experiment, outcomes []api.Outcome, jsonMode, plotMode bool) error {
 	var errs []string
 	var jsonResults []exp.JSONResult
 	for i, e := range exps {
 		o := outcomes[i]
-		if o.err != nil {
-			errs = append(errs, o.err.Error())
+		if o.Err != nil {
+			errs = append(errs, o.Err.Error())
 			continue
 		}
-		if o.aborted {
+		if o.Aborted {
 			if !jsonMode {
 				fmt.Printf("%s\npaper: %s\n\n  [not run: aborted before completion]\n\n", e.Title, e.Paper)
 			}
 			continue
 		}
 		if jsonMode {
-			jsonResults = append(jsonResults, exp.ToJSON(e, o.r))
+			jsonResults = append(jsonResults, exp.ToJSON(e, o.Result))
 			continue
 		}
-		fmt.Printf("%s\npaper: %s\n\n%s", e.Title, e.Paper, o.r)
+		fmt.Printf("%s\npaper: %s\n\n%s", e.Title, e.Paper, o.Result)
 		if plotMode {
-			for _, p := range o.r.Plots {
+			for _, p := range o.Result.Plots {
 				fmt.Println(p.Render())
 			}
 		}
-		fmt.Printf("(%s)\n\n", o.elapsed.Round(time.Millisecond))
+		fmt.Printf("(%s)\n\n", o.Elapsed.Round(time.Millisecond))
 	}
 	if jsonMode {
 		if err := exp.WriteJSON(os.Stdout, jsonResults); err != nil {

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"cisim/internal/api"
 	"cisim/internal/exp"
 	"cisim/internal/runner"
 )
@@ -50,10 +51,10 @@ func TestRenderOutcomesAggregatesErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	outcomes := []outcome{
-		{r: r},
-		{err: errors.New("fig99/xgo: window underflow")},
-		{err: errors.New("fig99/xgcc: deadlock")},
+	outcomes := []api.Outcome{
+		{Exp: e, Result: r},
+		{Exp: e, Err: errors.New("fig99/xgo: window underflow")},
+		{Exp: e, Err: errors.New("fig99/xgcc: deadlock")},
 	}
 	out, err := capture(t, func() error {
 		return renderOutcomes([]*exp.Experiment{e, e, e}, outcomes, false, false)

@@ -1,0 +1,152 @@
+// Serveclient: drive a running `cisim serve` daemon over its versioned
+// HTTP API — submit a sweep, follow its live event stream, poll to a
+// terminal status, and print the result JSON (byte-identical to `cisim
+// run -json` for the same request) on stdout.
+//
+// Start a daemon and run the client against it:
+//
+//	cisim serve -addr 127.0.0.1:8077 &
+//	go run ./examples/serveclient -addr 127.0.0.1:8077 -experiments table1 -quick
+//
+// The client retries a 429 (full queue) after the server's Retry-After
+// hint — the polite backpressure loop every caller should implement.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"cisim/internal/api"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serveclient: ")
+	addr := flag.String("addr", "127.0.0.1:8077", "daemon address (host:port)")
+	experiments := flag.String("experiments", "all", "comma-separated experiment ids, or all")
+	quick := flag.Bool("quick", false, "request the smaller, faster inputs")
+	metrics := flag.Bool("metrics", false, "request per-workload metrics snapshots")
+	jobs := flag.Int("jobs", 0, "runner-pool width for the sweep (0 = server default)")
+	stream := flag.Bool("stream", false, "follow the live event stream on stderr while waiting")
+	flag.Parse()
+	base := "http://" + *addr
+
+	req := api.SweepRequest{V: api.Version, Experiments: strings.Split(*experiments, ","),
+		Quick: *quick, Metrics: *metrics, Jobs: *jobs}
+	info := submit(base, &req)
+	log.Printf("sweep %s accepted (queue position %d)", info.ID, info.QueuePos)
+
+	if *stream {
+		go streamEvents(base, info.ID)
+	}
+
+	final := await(base, info.ID)
+	if final.Status != api.StatusDone {
+		log.Fatalf("sweep %s ended %s: %s", final.ID, final.Status, final.Error)
+	}
+	log.Printf("sweep %s done in %.0f ms (%d instructions simulated)", final.ID, final.Ms, final.Instrs)
+
+	resp, err := http.Get(base + "/v1/sweeps/" + final.ID + "/result")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("result: %s: %s", resp.Status, readError(resp.Body))
+	}
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// submit posts the request, honoring the daemon's backpressure: a 429
+// is retried after the Retry-After hint rather than treated as failure.
+func submit(base string, req *api.SweepRequest) api.JobInfo {
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for {
+		resp, err := http.Post(base+"/v1/sweeps", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var info api.JobInfo
+			if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+				log.Fatal(err)
+			}
+			resp.Body.Close()
+			return info
+		case http.StatusTooManyRequests:
+			delay := 2 * time.Second
+			if s := resp.Header.Get("Retry-After"); s != "" {
+				if n, err := strconv.Atoi(s); err == nil {
+					delay = time.Duration(n) * time.Second
+				}
+			}
+			resp.Body.Close()
+			log.Printf("queue full; retrying in %s", delay)
+			time.Sleep(delay)
+		default:
+			msg := readError(resp.Body)
+			resp.Body.Close()
+			log.Fatalf("submit: %s: %s", resp.Status, msg)
+		}
+	}
+}
+
+// await polls the job until it reaches a terminal status.
+func await(base, id string) api.JobInfo {
+	for {
+		resp, err := http.Get(base + "/v1/sweeps/" + id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var info api.JobInfo
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		if info.Status.Terminal() {
+			return info
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// streamEvents copies the sweep's live JSONL event stream to stderr —
+// the same golden-schema lines `cisim run -events` writes to a file.
+func streamEvents(base, id string) {
+	resp, err := http.Get(base + "/v1/sweeps/" + id + "/events")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return // streaming is best-effort decoration; polling still works
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		fmt.Fprintln(os.Stderr, sc.Text())
+	}
+}
+
+// readError extracts the daemon's JSON error envelope, falling back to
+// the raw body.
+func readError(r io.Reader) string {
+	data, _ := io.ReadAll(io.LimitReader(r, 4096))
+	var e api.ErrorResponse
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(data))
+}

@@ -1,0 +1,170 @@
+package api
+
+// Golden-schema test for the serve API. Every JSON shape that crosses
+// the HTTP boundary — the sweep request, job info, listings, errors,
+// health, version — is pinned in testdata/api_schema.json and checked
+// against the structs' json tags in both directions, the same contract
+// the run-event stream has in cmd/cisim/testdata/event_schema.json.
+// Renaming a field, changing its type, or adding one silently fails
+// here until the schema file is updated deliberately (and the API
+// version bumped if the change is incompatible).
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+type apiSchema struct {
+	APIVersion int                          `json:"api_version"`
+	Types      map[string]map[string]string `json:"types"`
+	Statuses   []string                     `json:"statuses"`
+}
+
+func loadAPISchema(t *testing.T) *apiSchema {
+	t.Helper()
+	data, err := os.ReadFile("testdata/api_schema.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s apiSchema
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatalf("parsing api_schema.json: %v", err)
+	}
+	return &s
+}
+
+// schemaTypes maps the golden file's type names to the structs they pin.
+var schemaTypes = map[string]reflect.Type{
+	"SweepRequest":  reflect.TypeOf(SweepRequest{}),
+	"JobInfo":       reflect.TypeOf(JobInfo{}),
+	"JobList":       reflect.TypeOf(JobList{}),
+	"ErrorResponse": reflect.TypeOf(ErrorResponse{}),
+	"Health":        reflect.TypeOf(Health{}),
+	"VersionInfo":   reflect.TypeOf(VersionInfo{}),
+}
+
+// jsonTypeOf names a struct field's JSON encoding the way the schema
+// file does.
+func jsonTypeOf(t reflect.Type) string {
+	switch t.Kind() {
+	case reflect.String:
+		return "string"
+	case reflect.Bool:
+		return "boolean"
+	case reflect.Int, reflect.Int64, reflect.Uint32, reflect.Uint64, reflect.Float64:
+		return "number"
+	case reflect.Slice, reflect.Array:
+		return "array"
+	case reflect.Struct, reflect.Map:
+		return "object"
+	case reflect.Pointer:
+		return jsonTypeOf(t.Elem())
+	}
+	return t.Kind().String()
+}
+
+// TestAPISchemaMatchesStructs: each pinned type's json tags and the
+// schema's field inventory are the same set, with matching types.
+func TestAPISchemaMatchesStructs(t *testing.T) {
+	s := loadAPISchema(t)
+	if s.APIVersion != Version {
+		t.Errorf("api_schema.json pins api_version %d, build speaks v%d — bump both together", s.APIVersion, Version)
+	}
+	var names []string
+	//lint:ignore detrange sorted just below
+	for name := range schemaTypes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		typ := schemaTypes[name]
+		fields, ok := s.Types[name]
+		if !ok {
+			t.Errorf("api_schema.json has no entry for type %s", name)
+			continue
+		}
+		tags := map[string]bool{}
+		for i := 0; i < typ.NumField(); i++ {
+			f := typ.Field(i)
+			tag := strings.Split(f.Tag.Get("json"), ",")[0]
+			if tag == "" || tag == "-" {
+				t.Errorf("%s.%s has no json tag; every API field must serialize under a documented name", name, f.Name)
+				continue
+			}
+			tags[tag] = true
+			want, ok := fields[tag]
+			if !ok {
+				t.Errorf("%s.%s serializes as %q, which api_schema.json does not list — add it (and bump the version if incompatible)", name, f.Name, tag)
+				continue
+			}
+			if got := jsonTypeOf(f.Type); got != want {
+				t.Errorf("%s.%q encodes as %s, schema says %s", name, tag, got, want)
+			}
+		}
+		var stale []string
+		//lint:ignore detrange sorted just below
+		for tag := range fields {
+			if !tags[tag] {
+				stale = append(stale, tag)
+			}
+		}
+		sort.Strings(stale)
+		for _, tag := range stale {
+			t.Errorf("api_schema.json lists %s.%q, which the struct no longer has — remove it", name, tag)
+		}
+	}
+	var staleTypes []string
+	//lint:ignore detrange sorted just below
+	for name := range s.Types {
+		if _, ok := schemaTypes[name]; !ok {
+			staleTypes = append(staleTypes, name)
+		}
+	}
+	sort.Strings(staleTypes)
+	for _, name := range staleTypes {
+		t.Errorf("api_schema.json pins type %s that schema_test.go does not map — add it to schemaTypes or remove it", name)
+	}
+}
+
+// TestAPISchemaStatuses: the client-facing status taxonomy is pinned
+// value-for-value, in order.
+func TestAPISchemaStatuses(t *testing.T) {
+	s := loadAPISchema(t)
+	got := Statuses()
+	if len(got) != len(s.Statuses) {
+		t.Fatalf("build has %d statuses, api_schema.json pins %d", len(got), len(s.Statuses))
+	}
+	for i, want := range s.Statuses {
+		if string(got[i]) != want {
+			t.Errorf("status[%d] = %q, schema pins %q", i, got[i], want)
+		}
+	}
+	for _, st := range got {
+		terminal := st == StatusDone || st == StatusFailed || st == StatusCancelled
+		if st.Terminal() != terminal {
+			t.Errorf("Terminal(%s) = %v, want %v", st, st.Terminal(), terminal)
+		}
+	}
+}
+
+// TestSweepRequestRoundTrip: a request survives encode/decode unchanged,
+// so the daemon can echo the validated request in job info.
+func TestSweepRequestRoundTrip(t *testing.T) {
+	req := SweepRequest{V: Version, Experiments: []string{"fig5", "table2"},
+		Quick: true, Metrics: true, Jobs: 3, TimeoutMs: 1500, Retries: 2}
+	data, err := json.Marshal(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SweepRequest
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(req, back) {
+		t.Errorf("round trip changed the request: %+v -> %+v", req, back)
+	}
+}

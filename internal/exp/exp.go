@@ -331,6 +331,35 @@ func Get(id string) (*Experiment, bool) {
 	return nil, false
 }
 
+// Resolve expands experiment ids — where the single element "all" means
+// every experiment in paper order — into registry entries, rejecting
+// unknown ids, duplicates, and "all" mixed with explicit ids. It is the
+// one id-validation path shared by `cisim run` and the serve API
+// (internal/api), so both frontends reject the same requests with the
+// same diagnostics.
+func Resolve(ids []string) ([]*Experiment, error) {
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = IDs()
+	}
+	out := make([]*Experiment, len(ids))
+	seen := make(map[string]bool, len(ids))
+	for i, id := range ids {
+		if id == "all" {
+			return nil, fmt.Errorf(`"all" cannot be combined with explicit experiment ids`)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("duplicate experiment %q", id)
+		}
+		seen[id] = true
+		e, ok := Get(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q (try 'cisim list')", id)
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
 // IDs lists all experiment ids in paper order.
 func IDs() []string {
 	out := make([]string, 0, len(registry))

@@ -14,7 +14,9 @@
 //
 // Registries are not safe for concurrent use; the simulator machines
 // that fill them are single-goroutine. Snapshots are plain immutable
-// data and safe to share once taken.
+// data and safe to share once taken; they travel in `run -json` output,
+// in `metrics` run events, and through the serve API's results and
+// event streams (internal/api, internal/serve) unchanged.
 package metrics
 
 import (

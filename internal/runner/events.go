@@ -32,10 +32,17 @@ import (
 //	metrics       — one (experiment, workload) deterministic metrics
 //	                snapshot (counters and cycle-keyed histograms),
 //	                emitted when the run collects metrics
-//	run_abort     — the run was interrupted (SIGINT or injected abort):
-//	                in-flight jobs drained, the rest skipped
+//	run_abort     — the run was interrupted (SIGINT/SIGTERM, a daemon
+//	                cancel or drain, or an injected abort): in-flight
+//	                jobs drained, the rest skipped
 //	run_end       — once, with aggregate totals, cache statistics, and a
 //	                Go runtime snapshot (heap, GC, goroutines)
+//
+// The stream's shape is a public interface pinned by a golden test
+// (cmd/cisim/testdata/event_schema.json). It has two transports: the
+// -events JSONL file, and the serve daemon's per-sweep streaming
+// endpoint (internal/serve), which replays and follows the same lines
+// over HTTP — `cisim events` analyzes either.
 type Event struct {
 	Ev string `json:"ev"`
 	// T is milliseconds since the sink was created, so a log is

@@ -131,8 +131,9 @@ func (p *Pool) Run(jobs []Job) []JobResult {
 }
 
 // RunContext is Run under a context. When the context is canceled —
-// SIGINT at the caller, or the run-abort fault point — the pool stops
-// dispatching, lets in-flight jobs drain, marks the remainder skipped
+// SIGINT/SIGTERM at the CLI, a cancel or graceful drain at the serve
+// daemon, or the run-abort fault point — the pool stops dispatching,
+// lets in-flight jobs drain, marks the remainder skipped
 // (Err == ErrAborted), emits one run_abort event, and returns every
 // slot filled. Results stay indexed by submission order.
 func (p *Pool) RunContext(parent context.Context, jobs []Job) []JobResult {

@@ -1,0 +1,103 @@
+package serve
+
+// eventLog is the per-sweep event buffer behind the streaming endpoint.
+// The engine's JSONL sink writes event lines into it; any number of
+// HTTP subscribers read them out, each at its own pace. The full log is
+// retained for the job's lifetime, so a late subscriber replays the
+// stream from the first line — the same lines a `cisim run -events`
+// file would hold, satisfying the same golden-tested schema.
+//
+// Backpressure is reader-paced by construction: a subscriber copies
+// lines to its own connection on its own goroutine, so a slow client
+// delays nobody — not the simulation (the sink's Emit only appends
+// under a short critical section) and not other subscribers.
+
+import (
+	"bytes"
+	"sync"
+)
+
+type eventLog struct {
+	mu     sync.Mutex
+	buf    []byte   // partial line not yet terminated by '\n'
+	lines  [][]byte // complete event lines, each ending in '\n'
+	closed bool
+	subs   map[chan struct{}]struct{}
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{subs: map[chan struct{}]struct{}{}}
+}
+
+// Write implements io.Writer for runner.NewJSONLSink: it splits the
+// encoder's output into complete lines and wakes subscribers. The JSON
+// encoder emits one line per Emit, but partial writes are buffered
+// defensively so a torn line can never reach a client.
+func (l *eventLog) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf = append(l.buf, p...)
+	for {
+		i := bytes.IndexByte(l.buf, '\n')
+		if i < 0 {
+			break
+		}
+		line := make([]byte, i+1)
+		copy(line, l.buf[:i+1])
+		l.lines = append(l.lines, line)
+		l.buf = l.buf[i+1:]
+	}
+	l.notifyLocked()
+	return len(p), nil
+}
+
+// Close marks the stream complete: subscribers drain what remains and
+// then see EOF. Idempotent.
+func (l *eventLog) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	l.notifyLocked()
+}
+
+// notifyLocked nudges every subscriber without blocking: each channel
+// has capacity one, so a subscriber that has not yet consumed its last
+// nudge needs no second.
+func (l *eventLog) notifyLocked() {
+	//lint:ignore detrange wake-up order is irrelevant; subscribers read lines by index
+	for ch := range l.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// subscribe registers a wake-up channel; pair with unsubscribe.
+func (l *eventLog) subscribe() chan struct{} {
+	ch := make(chan struct{}, 1)
+	l.mu.Lock()
+	l.subs[ch] = struct{}{}
+	l.mu.Unlock()
+	return ch
+}
+
+func (l *eventLog) unsubscribe(ch chan struct{}) {
+	l.mu.Lock()
+	delete(l.subs, ch)
+	l.mu.Unlock()
+}
+
+// since returns the complete lines from index i on and whether the log
+// is closed (no further lines will appear).
+func (l *eventLog) since(i int) ([][]byte, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if i >= len(l.lines) {
+		return nil, l.closed
+	}
+	return l.lines[i:], l.closed
+}

@@ -1,0 +1,76 @@
+#!/bin/sh
+# serve_smoke.sh: end-to-end smoke test of the `cisim serve` daemon
+# against a real process boundary — the contract CI pins (DESIGN.md §11).
+#
+#   1. build cisim and start `cisim serve` on an ephemeral port
+#   2. submit a quick sweep over HTTP with examples/serveclient,
+#      following the live event stream
+#   3. assert the HTTP result is byte-identical to `cisim run -quick
+#      -json` for the same request
+#   4. SIGTERM the daemon and assert it drains cleanly (exit 0)
+#
+# Run via `make serve-smoke`. Requires only the go toolchain.
+set -eu
+
+workdir="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+    if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+        kill -TERM "$daemon_pid" 2>/dev/null || true
+        wait "$daemon_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: building cisim"
+go build -o "$workdir/cisim" ./cmd/cisim
+
+echo "serve-smoke: baseline run -quick -json table1"
+"$workdir/cisim" run -quick -json table1 >"$workdir/baseline.json" 2>/dev/null
+
+echo "serve-smoke: starting daemon"
+"$workdir/cisim" serve -addr 127.0.0.1:0 -addr-file "$workdir/addr" \
+    -journal-dir "$workdir/journals" 2>"$workdir/serve.log" &
+daemon_pid=$!
+
+# Wait for the daemon to publish its bound address.
+i=0
+while [ ! -s "$workdir/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: daemon never published its address" >&2
+        cat "$workdir/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr="$(head -n1 "$workdir/addr")"
+echo "serve-smoke: daemon on $addr"
+
+echo "serve-smoke: submitting sweep over HTTP"
+go run ./examples/serveclient -addr "$addr" -experiments table1 -quick -stream \
+    >"$workdir/http.json" 2>"$workdir/client.log"
+
+echo "serve-smoke: comparing HTTP result to the CLI baseline"
+if ! cmp -s "$workdir/baseline.json" "$workdir/http.json"; then
+    echo "serve-smoke: HTTP result differs from run -quick -json" >&2
+    diff "$workdir/baseline.json" "$workdir/http.json" >&2 || true
+    exit 1
+fi
+
+echo "serve-smoke: draining daemon with SIGTERM"
+kill -TERM "$daemon_pid"
+if ! wait "$daemon_pid"; then
+    echo "serve-smoke: daemon exited non-zero on SIGTERM" >&2
+    cat "$workdir/serve.log" >&2
+    exit 1
+fi
+daemon_pid=""
+if ! grep -q "drain complete" "$workdir/serve.log"; then
+    echo "serve-smoke: daemon log never reported a completed drain" >&2
+    cat "$workdir/serve.log" >&2
+    exit 1
+fi
+
+echo "serve-smoke: OK (HTTP result byte-identical to CLI; drain clean)"
