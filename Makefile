@@ -21,8 +21,12 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the repo's custom analyzers (internal/lint): cache-key field
-# coverage, deterministic map iteration, simulator purity, and
-# stack-preserving recover sites.
+# coverage (keycover), deterministic map iteration (detrange), simulator
+# purity (simpure), stack-preserving recover sites (recoverstack),
+# hot-loop allocation hygiene (hotalloc), and the concurrency-invariant
+# passes — mutex-guarded field discipline (lockguard), global sink
+# rebinding (sinkdiscipline), goroutine termination paths (goroleak),
+# and atomic/plain access mixing (atomicmix).
 lint:
 	$(GO) run ./cmd/cisimlint
 
@@ -31,12 +35,14 @@ lint:
 checkprog:
 	$(GO) run ./cmd/cisim check
 
-# race exercises the worker pool, the artifact cache's singleflight
-# path, and the serve daemon's dispatcher/streaming machinery under the
-# race detector (the runner and serve tests spin up concurrent jobs,
-# concurrent cache lookups, and concurrent HTTP subscribers).
+# race runs the whole tree under the race detector. -short keeps the
+# single-threaded model packages cheap (they skip their long sweeps)
+# while the concurrency-heavy packages — the worker pool, the artifact
+# cache's singleflight path, the serve daemon's dispatcher/streaming
+# machinery, and the api engine's sink window — run their full suites:
+# none of their tests consult testing.Short.
 race:
-	$(GO) test -race ./internal/runner/ ./internal/serve/ ./cmd/cisim/
+	$(GO) test -race -short ./...
 
 # faults drives the deterministic fault-injection matrix end to end:
 # every fault point (cache corruption, transient/permanent failures,

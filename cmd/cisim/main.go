@@ -228,10 +228,10 @@ func cmdRun(args []string) error {
 			return err
 		}
 		defer f.Close()
-		js := runner.NewJSONLSink(f)
-		sink = js
-		runner.Artifacts.SetSink(js)
-		defer runner.Artifacts.SetSink(nil)
+		// The engine binds the process-global cache sink itself for
+		// exactly the sweep's duration (and the sinkdiscipline analyzer
+		// keeps this frontend from re-binding it).
+		sink = runner.NewJSONLSink(f)
 	}
 
 	// The journal replays completed jobs from a prior interrupted

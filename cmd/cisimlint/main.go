@@ -5,13 +5,17 @@
 //
 // Usage:
 //
-//	cisimlint [-C dir] [-list] [packages]
+//	cisimlint [-C dir] [-list] [-json] [packages]
 //
 // With no package patterns it lints the whole enclosing module (./...),
 // so `cisimlint` from anywhere inside the repo checks everything.
+// -json emits one JSON object per diagnostic line ({"file", "line",
+// "col", "analyzer", "message"}) for machine consumption — CI uploads
+// that stream as an artifact when the lint gate fails.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,8 +27,9 @@ func main() {
 	fs := flag.NewFlagSet("cisimlint", flag.ExitOnError)
 	dir := fs.String("C", "", "module directory to lint (default: the enclosing module)")
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit diagnostics as JSON lines instead of file:line:col text")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: cisimlint [-C dir] [-list] [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "usage: cisimlint [-C dir] [-list] [-json] [packages]\n\n")
 		fmt.Fprintf(fs.Output(), "Runs the cisim repository analyzers over the given package patterns\n")
 		fmt.Fprintf(fs.Output(), "(default ./... relative to the enclosing module).\n\n")
 		fs.PrintDefaults()
@@ -44,10 +49,34 @@ func main() {
 		os.Exit(2)
 	}
 	diags := lint.Run(pkgs, lint.Analyzers())
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			_ = enc.Encode(jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
+}
+
+// jsonDiag is the -json line shape; a stable, flat record so CI
+// artifacts and editor integrations can parse findings without
+// knowing the analyzers.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }

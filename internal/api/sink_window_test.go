@@ -1,0 +1,94 @@
+package api
+
+// The engine brackets every sweep with runner.Artifacts.SetSink(sink) /
+// defer SetSink(nil): the process-global cache emits its hit/miss events
+// to the caller's sink for exactly the run's duration. This test pins
+// that window. If the defer were lost (or the rebinding raced), cache
+// events from a later run would leak into an earlier run's sink — under
+// `go test -race` the worker goroutines emitting into a stale sink also
+// surface as a data race on the sink's own state.
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"cisim/internal/runner"
+)
+
+// windowSink counts events and records any that arrive after its run
+// returned (strays), which the sink-window contract forbids.
+type windowSink struct {
+	mu     sync.Mutex
+	open   bool // guarded by mu
+	events int  // guarded by mu
+	stray  int  // guarded by mu
+}
+
+func (s *windowSink) Emit(runner.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events++
+	if !s.open {
+		s.stray++
+	}
+}
+
+// seal marks the sink's run as finished and returns the events seen so
+// far; anything after this counts as a stray.
+func (s *windowSink) seal() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.open = false
+	return s.events
+}
+
+func (s *windowSink) strays() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stray
+}
+
+// TestRunSinkWindow: back-to-back sweeps with distinct live sinks never
+// interleave — each sink sees only its own run's events, and a final
+// sinkless run emits to nobody.
+func TestRunSinkWindow(t *testing.T) {
+	req := &SweepRequest{V: Version, Experiments: []string{"table1"}, Quick: true}
+
+	a := &windowSink{open: true}
+	runner.Artifacts.Reset()
+	if _, err := Run(context.Background(), req, RunOptions{Sink: a}); err != nil {
+		t.Fatal(err)
+	}
+	if n := a.seal(); n == 0 {
+		t.Fatal("sink A saw no events during its own run")
+	}
+
+	// Run 2: a different sink. Reset forces real cache misses, so the
+	// global cache emits — those events must reach B, never A.
+	b := &windowSink{open: true}
+	runner.Artifacts.Reset()
+	if _, err := Run(context.Background(), req, RunOptions{Sink: b}); err != nil {
+		t.Fatal(err)
+	}
+	if n := b.seal(); n == 0 {
+		t.Fatal("sink B saw no events during its own run")
+	}
+	if n := a.strays(); n != 0 {
+		t.Errorf("sink A received %d events after its run returned (SetSink window leaked)", n)
+	}
+
+	// Run 3: no sink at all. If the engine's defer SetSink(nil) were
+	// lost, the cache would still hold the previous run's sink and
+	// these misses would land in B.
+	runner.Artifacts.Reset()
+	if _, err := Run(context.Background(), req, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if n := b.strays(); n != 0 {
+		t.Errorf("sink B received %d events after its run returned (global sink not unbound)", n)
+	}
+	if n := a.strays(); n != 0 {
+		t.Errorf("sink A received %d stray events by end of test", n)
+	}
+}

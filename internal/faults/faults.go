@@ -35,7 +35,7 @@ import (
 // unknown name is a typo and Parse rejects it.
 var registry struct {
 	mu sync.Mutex
-	m  map[string]string
+	m  map[string]string // guarded by mu
 }
 
 // Register declares a fault point and returns its name, so owners can
@@ -160,7 +160,13 @@ func parsePositive(v, arm, what string) (uint64, error) {
 	return n, nil
 }
 
+// knownNames lists every registered point for error messages. It takes
+// the registry lock itself: its caller (Parse) reads the registry in a
+// separate critical section, and the unlocked map read here raced with
+// concurrent Registers until the lockguard analyzer flagged it.
 func knownNames() string {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
 	names := make([]string, 0, len(registry.m))
 	//lint:ignore detrange sorted just below
 	for name := range registry.m {

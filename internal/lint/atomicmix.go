@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix flags variables accessed both through sync/atomic and as
+// plain memory. Passing `&x.hits` to atomic.AddUint64 declares that the
+// variable is shared without a lock; every other load or store of it
+// must then also be atomic, or the plain access races with the atomic
+// ones — a race the compiler happily miscompiles (torn reads, hoisted
+// loads) and the race detector only catches when the schedule
+// cooperates. The typed sync/atomic API (atomic.Uint64 and friends,
+// which the repo's faults package uses) makes the mix unrepresentable;
+// this analyzer covers the pointer-style API where it is one refactor
+// away, so the coming shared-cache counters cannot drift into it.
+//
+// The analysis is per package, which matches how such fields are used:
+// a field shared more widely than its package is already a design
+// escalation the annotations of lockguard should cover instead.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a variable accessed via sync/atomic must be accessed atomically everywhere",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	info := pass.TypesInfo()
+
+	// Pass 1: every variable whose address feeds a sync/atomic call, and
+	// the exact operand nodes of those calls (the sanctioned accesses).
+	atomicVars := map[*types.Var]bool{}
+	sanctioned := map[ast.Node]bool{}
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if v, operand := addressedVar(info, arg); v != nil {
+					atomicVars[v] = true
+					sanctioned[operand] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return
+	}
+
+	// Pass 2: any other reference to those variables is a plain access
+	// racing with the atomic ones.
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				if sanctioned[e] {
+					return false
+				}
+				s, ok := info.Selections[e]
+				if !ok || s.Kind() != types.FieldVal {
+					return true
+				}
+				if v, ok := s.Obj().(*types.Var); ok && atomicVars[v] {
+					pass.Reportf(e.Sel.Pos(),
+						"%s is accessed via sync/atomic elsewhere; this plain access races with the atomic ones (use atomic loads/stores, or the typed atomic.%s API)",
+						v.Name(), typedAtomicFor(v.Type()))
+				}
+			case *ast.Ident:
+				if sanctioned[e] {
+					return false
+				}
+				v, ok := info.Uses[e].(*types.Var)
+				if !ok || v.IsField() || !atomicVars[v] {
+					return true
+				}
+				pass.Reportf(e.Pos(),
+					"%s is accessed via sync/atomic elsewhere; this plain access races with the atomic ones (use atomic loads/stores, or the typed atomic.%s API)",
+					v.Name(), typedAtomicFor(v.Type()))
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicCall reports whether the call targets the sync/atomic package,
+// resolved through the import table so renames cannot hide it.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgIdent, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := info.Uses[pkgIdent].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == "sync/atomic"
+}
+
+// addressedVar unwraps `&expr` and resolves expr to the variable it
+// names: a struct field selection or a plain identifier. The returned
+// node is the operand expression, recorded so pass 2 can tell a
+// sanctioned atomic access from a bare one.
+func addressedVar(info *types.Info, arg ast.Expr) (*types.Var, ast.Node) {
+	unary, ok := arg.(*ast.UnaryExpr)
+	if !ok || unary.Op != token.AND {
+		return nil, nil
+	}
+	switch e := unary.X.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok {
+				return v, e
+			}
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v, e
+		}
+	}
+	return nil, nil
+}
+
+// typedAtomicFor names the typed sync/atomic replacement for a variable's
+// type, for the diagnostic's fix hint.
+func typedAtomicFor(t types.Type) string {
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64:
+			return "Uint64"
+		case types.Int32:
+			return "Int32"
+		case types.Int64:
+			return "Int64"
+		case types.Uintptr:
+			return "Uintptr"
+		case types.Bool:
+			return "Bool"
+		}
+	}
+	if _, ok := t.Underlying().(*types.Pointer); ok {
+		return "Pointer"
+	}
+	return "Value"
+}

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroLeak requires every `go` statement in the model and service
+// packages to have a visible termination path, so service goroutines
+// cannot silently outlive a drain. The serve daemon's SIGTERM story
+// (DESIGN.md §11) is "Shutdown returns once the dispatcher exits"; a
+// goroutine spinning in a `for {}` with no exit keeps the process's
+// work alive after Shutdown reports success, which is exactly the class
+// of bug the coming coordinator/worker sharding would multiply.
+//
+// The check is a per-goroutine syntactic approximation. A spawned body
+// (a func literal, or a same-package function the go statement names)
+// passes when every loop in it terminates visibly:
+//
+//   - `for … range ch` over a channel ends when the channel closes —
+//     the dispatcher and pool-worker idiom;
+//   - a loop with a condition (`for i < n`, three-clause) is bounded by
+//     that condition;
+//   - a bare `for { … }` must contain a `return` or `break` — typically
+//     a select case on ctx.Done() or a done channel.
+//
+// Calls into other packages are out of reach of a single-package pass
+// and are not followed; a go statement whose callee cannot be resolved
+// in the package is accepted. Deliberate process-lifetime goroutines
+// carry a `//lint:ignore goroleak <why>` naming who outlives what.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "go statements need a visible termination path (ctx.Done/done-channel exit, channel range, or bounded loop)",
+	// Model and service packages only: examples are demo code whose
+	// goroutines die with their short-lived processes.
+	Match: func(path string) bool {
+		return path == "cisim" ||
+			strings.Contains(path, "internal/") ||
+			strings.Contains(path, "cmd/")
+	},
+	Run: runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) {
+	info := pass.TypesInfo()
+	decls := packageFuncDecls(pass)
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goBody(info, decls, g.Call)
+			if body == nil {
+				return true // callee not visible in this package
+			}
+			checkGoroBody(pass, g, body)
+			return true
+		})
+	}
+}
+
+// packageFuncDecls indexes the package's function and method
+// declarations by their type objects, so `go s.dispatch()` resolves to
+// the dispatcher's body.
+func packageFuncDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	info := pass.TypesInfo()
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// goBody resolves the body a go statement spawns: an inline literal, or
+// the declaration of a same-package function/method. Nil means the
+// callee is not visible here.
+func goBody(info *types.Info, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// checkGoroBody reports the go statement when the spawned body contains
+// a loop with no visible exit. Nested function literals are skipped —
+// they are values, not control flow of this goroutine — and nested go
+// statements are visited by the outer walk on their own.
+func checkGoroBody(pass *Pass, g *ast.GoStmt, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch loop := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			return false
+		case *ast.RangeStmt:
+			// Ranging a channel ends on close; any other range is
+			// bounded by its operand.
+			return true
+		case *ast.ForStmt:
+			if loop.Cond != nil {
+				return true // bounded by its condition
+			}
+			if !hasVisibleExit(loop.Body) {
+				pass.Reportf(g.Pos(),
+					"goroutine loops forever with no visible exit; select on ctx.Done() or a done channel (and return) so drain can stop it")
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// hasVisibleExit reports whether a bare `for { … }` body contains a
+// return or break (nested literals and nested loops' own breaks
+// excluded), i.e. some path out of the loop a reader can point to.
+func hasVisibleExit(body *ast.BlockStmt) bool {
+	exit := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch inner := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			// A break inside a nested loop exits that loop, not this
+			// one; returns inside it would still exit, but skipping the
+			// whole subtree keeps the approximation conservative.
+			return false
+		case *ast.ReturnStmt:
+			exit = true
+		case *ast.BranchStmt:
+			if inner.Tok == token.BREAK {
+				exit = true
+			}
+		}
+		return !exit
+	})
+	return exit
+}

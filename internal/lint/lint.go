@@ -4,31 +4,46 @@
 // is offline, so the framework loads and type-checks packages itself (see
 // load.go) instead of depending on x/tools.
 //
-// Four repo-specific analyzers guard invariants the simulators rely on:
+// The repo-specific analyzers guard invariants the simulators and the
+// service around them rely on:
 //
-//	keycover     every exported field of a cache-keyed Config must be
-//	             referenced by its Key method, or the artifact cache
-//	             serves stale results when a config field changes
-//	             (internal/runner)
-//	detrange     map iteration must not feed order-dependent sinks
-//	             (appends, writers, hashes, channels) — the bug class
-//	             behind the fig10 true/false-misprediction curve
-//	             nondeterminism
-//	simpure      simulator packages must not read wall-clock time, global
-//	             random state, or the environment; runs must be
-//	             reproducible from their inputs alone
-//	recoverstack recover() sites must capture the goroutine stack
-//	             (debug.Stack/runtime.Stack), or a contained panic loses
-//	             its crash site
-//	hotalloc     model packages must not make(map[...]) outside
-//	             constructors — the per-cycle loops were rewritten onto
-//	             dense arrays/wheels/bitsets and transient maps must not
-//	             creep back (internal/ooo, internal/ideal, ...)
+//	keycover       every exported field of a cache-keyed Config must be
+//	               referenced by its Key method, or the artifact cache
+//	               serves stale results when a config field changes
+//	               (internal/runner)
+//	detrange       map iteration must not feed order-dependent sinks
+//	               (appends, writers, hashes, channels) — the bug class
+//	               behind the fig10 true/false-misprediction curve
+//	               nondeterminism
+//	simpure        simulator packages must not read wall-clock time,
+//	               global random state, or the environment; runs must be
+//	               reproducible from their inputs alone
+//	recoverstack   recover() sites must capture the goroutine stack
+//	               (debug.Stack/runtime.Stack), or a contained panic
+//	               loses its crash site
+//	hotalloc       model packages must not make(map[...]) outside
+//	               constructors — the per-cycle loops were rewritten onto
+//	               dense arrays/wheels/bitsets and transient maps must
+//	               not creep back (internal/ooo, internal/ideal, ...)
+//	lockguard      struct fields annotated `// guarded by <mu>` may only
+//	               be accessed in scopes that hold that mutex (serve's
+//	               Server/job, the artifact cache, the journal, the
+//	               faults registry)
+//	sinkdiscipline process-global sink mutators (runner.Cache.SetSink)
+//	               may only be called by the serial sweep engine
+//	               (internal/api, internal/serve)
+//	goroleak       go statements in model/service packages need a
+//	               visible termination path, so goroutines cannot
+//	               outlive a serve drain
+//	atomicmix      a variable touched via sync/atomic must be accessed
+//	               atomically everywhere
 //
 // A diagnostic can be suppressed with a justification comment on the same
-// line or the line immediately above the offending statement:
+// line or the line immediately above the offending statement; the long
+// spelling is accepted as an alias:
 //
 //	//lint:ignore detrange keys are sorted before emission
+//	//lint:ignore-with-reason lockguard published via channel before sharing
 package lint
 
 import (
@@ -92,7 +107,10 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the repo's analyzer suite.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{KeyCover, DetRange, SimPure, RecoverStack, HotAlloc}
+	return []*Analyzer{
+		KeyCover, DetRange, SimPure, RecoverStack, HotAlloc,
+		LockGuard, SinkDiscipline, GoroLeak, AtomicMix,
+	}
 }
 
 // Run applies the analyzers to the packages, honouring each analyzer's
@@ -152,10 +170,14 @@ func ignoredLines(pkg *Package) ignoreSet {
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
 				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, "lint:ignore") {
+				rest, ok := strings.CutPrefix(text, "lint:ignore-with-reason")
+				if !ok {
+					rest, ok = strings.CutPrefix(text, "lint:ignore")
+				}
+				if !ok {
 					continue
 				}
-				fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore"))
+				fields := strings.Fields(rest)
 				if len(fields) < 2 {
 					// A justification is required; a bare directive is
 					// ignored so it cannot silently disable checks.

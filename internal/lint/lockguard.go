@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockGuard verifies the `// guarded by <mu>` annotations the concurrent
+// packages carry on their struct fields: a field so annotated may only be
+// read or written in a scope that visibly holds the named mutex. The
+// serve daemon, the artifact cache, the journal, and the faults registry
+// all state their locking discipline in comments; this analyzer turns
+// those comments into checked contracts, so a new handler or helper that
+// forgets the lock fails `make lint` instead of racing in production
+// (the invariant class that backs the serve dispatcher and the coming
+// shared-cache/sharding work).
+//
+// Annotation grammar, on the field's own line or doc comment:
+//
+//	status api.Status     // guarded by Server.mu
+//	lines  [][]byte       // guarded by mu
+//
+// The unqualified form (`mu`) names a sibling field: an access `x.f` is
+// legal when the enclosing scope locks `x.mu`. The qualified form
+// (`Owner.mu`) is for fields whose guard lives on another struct (the
+// serve `job`'s fields are guarded by the owning Server's mu): the scope
+// must lock the `mu` field of some expression of type Owner.
+//
+// "Holds the mutex" is a flow-insensitive dominator approximation over
+// the enclosing top-level function: the scope counts as holding the lock
+// when its body (nested closures included — they share the frame's
+// critical sections) contains a matching `.Lock()` or `.RLock()` call,
+// or when the function's name carries the `Locked` suffix, the repo
+// convention for helpers whose callers hold the lock. The approximation
+// accepts any lock anywhere in the body, so it cannot prove lock/access
+// ordering — it catches the real-world failure mode (a scope with no
+// locking at all, like the faults registry's unlocked map read this
+// analyzer found) while staying immune to false positives from
+// early-unlock patterns. Genuine exceptions (publication via channel,
+// init-before-share) carry `//lint:ignore lockguard <why>`.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "fields annotated `guarded by <mu>` may only be accessed in scopes that hold that mutex",
+	Run:  runLockGuard,
+}
+
+// guardSpec is one parsed annotation: the mutex field's name and, for
+// the qualified form, the type that owns it ("" for a sibling field).
+type guardSpec struct {
+	mutex string
+	owner string
+}
+
+func (g guardSpec) String() string {
+	if g.owner == "" {
+		return g.mutex
+	}
+	return g.owner + "." + g.mutex
+}
+
+// guardedByRE extracts the mutex name from a field comment. Both
+// `guarded by mu` and `guarded by Server.mu` parse; prose around the
+// phrase is tolerated so existing doc comments can carry the annotation.
+var guardedByRE = regexp.MustCompile(`guarded by (?:the )?([A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)?)`)
+
+func runLockGuard(pass *Pass) {
+	info := pass.TypesInfo()
+	guarded := collectGuards(pass)
+	if len(guarded) == 0 {
+		return
+	}
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				// Convention: a *Locked helper runs under its caller's
+				// critical section.
+				continue
+			}
+			checkLockGuardFunc(pass, info, fn, guarded)
+		}
+	}
+}
+
+// collectGuards parses every struct field annotation in the package into
+// a map from the field's object to its guard.
+func collectGuards(pass *Pass) map[*types.Var]guardSpec {
+	info := pass.TypesInfo()
+	guarded := map[*types.Var]guardSpec{}
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				spec, ok := parseGuard(field)
+				if !ok {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj, ok := info.Defs[name].(*types.Var); ok {
+						guarded[obj] = spec
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+func parseGuard(field *ast.Field) (guardSpec, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			spec := guardSpec{mutex: m[1]}
+			if i := strings.IndexByte(m[1], '.'); i >= 0 {
+				spec.owner, spec.mutex = m[1][:i], m[1][i+1:]
+			}
+			return spec, true
+		}
+	}
+	return guardSpec{}, false
+}
+
+// lockCall is one `<base>.<mutex>.Lock()` (or RLock) found in a scope:
+// the textual base expression and the base's named type, which are what
+// the two guard forms respectively match against.
+type lockCall struct {
+	baseText string
+	baseType string
+	mutex    string
+}
+
+// checkLockGuardFunc reports every guarded-field access in fn whose
+// guard has no matching lock call anywhere in fn's body.
+func checkLockGuardFunc(pass *Pass, info *types.Info, fn *ast.FuncDecl, guarded map[*types.Var]guardSpec) {
+	locks := collectLockCalls(info, fn.Body)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		obj, ok := s.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		spec, ok := guarded[obj]
+		if !ok {
+			return true
+		}
+		if lockHeld(sel, spec, locks) {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"field %s is guarded by %s but %s never locks it; hold the mutex (or use a *Locked helper called under it)",
+			obj.Name(), spec, fn.Name.Name)
+		return true
+	})
+}
+
+// collectLockCalls finds every mutex acquisition in the body, nested
+// closures included: closures run inside the frame's critical sections
+// often enough (sort.Slice comparators, small accessors) that excluding
+// them would only manufacture false positives for a flow-insensitive
+// pass.
+func collectLockCalls(info *types.Info, body *ast.BlockStmt) []lockCall {
+	var locks []lockCall
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (fun.Sel.Name != "Lock" && fun.Sel.Name != "RLock") {
+			return true
+		}
+		mu, ok := fun.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		lc := lockCall{baseText: types.ExprString(mu.X), mutex: mu.Sel.Name}
+		if tv, ok := info.Types[mu.X]; ok {
+			lc.baseType = namedTypeName(tv.Type)
+		}
+		locks = append(locks, lc)
+		return true
+	})
+	return locks
+}
+
+// namedTypeName returns the name of the (pointer-stripped) named type,
+// or "" for unnamed types like the faults registry's anonymous struct.
+func namedTypeName(t types.Type) string {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// lockHeld reports whether any collected lock call satisfies the access's
+// guard: the sibling form needs a lock on the access's own base
+// expression; the qualified form needs a lock on any expression of the
+// owning type.
+func lockHeld(access *ast.SelectorExpr, spec guardSpec, locks []lockCall) bool {
+	if spec.owner == "" {
+		base := types.ExprString(access.X)
+		for _, lc := range locks {
+			if lc.mutex == spec.mutex && lc.baseText == base {
+				return true
+			}
+		}
+		return false
+	}
+	for _, lc := range locks {
+		if lc.mutex == spec.mutex && lc.baseType == spec.owner {
+			return true
+		}
+	}
+	return false
+}

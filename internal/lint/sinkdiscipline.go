@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SinkDiscipline enforces the call-site allowlist for process-global
+// event-sink mutators. `runner.Cache.SetSink` rebinds the sink of the
+// process-wide artifact cache (`runner.Artifacts`), so whoever calls it
+// claims the whole process's cache-event attribution: two overlapping
+// callers interleave their sweeps' events into each other's streams.
+// The repo's answer is serialization, not locking — exactly one sweep
+// may have a live sink at a time — and the only code positioned to
+// guarantee that is the sweep engine (`internal/api`, whose Run brackets
+// one sweep with SetSink/defer SetSink(nil)) and the serve daemon
+// (`internal/serve`, whose dispatcher runs sweeps strictly one at a
+// time). Everyone else, the CLI included, passes a Sink through
+// api.RunOptions and lets the engine own the global. Tests are exempt by
+// construction: the loader never loads _test.go files.
+//
+// The analyzer found (and this PR removed) the one violation in the
+// tree: cmd/cisim's run command redundantly re-bound the global sink
+// around its call into api.Run, a second writer that would have become a
+// real interleaving as soon as the CLI learned to overlap sweeps.
+var SinkDiscipline = &Analyzer{
+	Name: "sinkdiscipline",
+	Doc:  "process-global sink mutators (runner.Cache.SetSink) may only be called by the serial sweep engine",
+	Run:  runSinkDiscipline,
+}
+
+// sinkMutatorOK reports whether a package may call the global sink
+// mutators directly. Exported to the policy test via SinkDiscipline's
+// behaviour; kept as a function so the list reads as the contract.
+func sinkMutatorOK(pkgPath string) bool {
+	for _, suffix := range []string{
+		"internal/api",    // the sweep engine's SetSink/defer SetSink(nil) bracket
+		"internal/serve",  // the serial dispatcher that guarantees one sweep at a time
+		"internal/runner", // the defining package (constructors, future cache plumbing)
+	} {
+		if strings.HasSuffix(pkgPath, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runSinkDiscipline(pass *Pass) {
+	if sinkMutatorOK(pass.Pkg.Path) {
+		return
+	}
+	info := pass.TypesInfo()
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "SetSink" {
+				return true
+			}
+			if !isGlobalSinkMutator(info, sel) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"Cache.SetSink rebinds the process-global event sink and may only be called by the serial sweep engine (internal/api, internal/serve); pass a Sink via api.RunOptions instead")
+			return true
+		})
+	}
+}
+
+// isGlobalSinkMutator reports whether the selected method is SetSink on
+// the runner package's Cache — the type whose process-wide instance
+// (runner.Artifacts) makes the mutator global. Resolution goes through
+// the type info, so renamed imports or intermediate variables cannot
+// hide a call; an unrelated local type's SetSink stays out of scope.
+func isGlobalSinkMutator(info *types.Info, sel *ast.SelectorExpr) bool {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	obj := s.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/runner") {
+		return false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "Cache"
+}

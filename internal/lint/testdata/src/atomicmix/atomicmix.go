@@ -1,0 +1,48 @@
+// Package atomicmix is analyzer testdata: variables accessed both
+// through sync/atomic and as plain memory (flagged), fields used only
+// atomically or only plainly (clean), and the typed atomic API, which
+// makes the mix unrepresentable.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	ops   uint64 // mixed: atomic in Record, plain in Total
+	fails uint64 // atomic-only: clean
+	warm  uint64 // plain-only: clean
+	ready atomic.Bool
+}
+
+func (c *counters) Record() {
+	atomic.AddUint64(&c.ops, 1)
+	atomic.AddUint64(&c.fails, 0)
+}
+
+func (c *counters) Total() uint64 {
+	return c.ops + // want `ops is accessed via sync/atomic elsewhere`
+		atomic.LoadUint64(&c.fails)
+}
+
+func (c *counters) Reset() {
+	c.ops = 0 // want `ops is accessed via sync/atomic elsewhere`
+	c.warm++
+}
+
+// The typed API is self-guarding: Load/Store are the only spellings.
+func (c *counters) Ready() bool { return c.ready.Load() }
+
+// Package-level variables mix the same way fields do.
+var inflight int64
+
+func enter() { atomic.AddInt64(&inflight, 1) }
+
+func leak() int64 {
+	return inflight // want `inflight is accessed via sync/atomic elsewhere`
+}
+
+// A sanctioned access in one call does not excuse a plain one nearby.
+func swapAndPeek(v *int64) int64 {
+	atomic.StoreInt64(&inflight, 0)
+	_ = atomic.LoadInt64(v)
+	return inflight // want `inflight is accessed via sync/atomic elsewhere`
+}

@@ -1,0 +1,91 @@
+// Package goroleak is analyzer testdata: goroutines with and without a
+// visible termination path — ctx.Done selects, done channels, channel
+// ranges, bounded loops, straight-line bodies, and the leaky spinners
+// the analyzer exists to flag.
+package goroleak
+
+import (
+	"context"
+	"time"
+)
+
+// Bad: a pure spinner — no return, no break, nothing watches a done
+// signal.
+func spin() {
+	go func() { // want `goroutine loops forever with no visible exit`
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+// Bad: the leak hides in a named same-package function; the go statement
+// is still the reported site.
+func pump(ch chan int) {
+	go pumpLoop(ch) // want `goroutine loops forever with no visible exit`
+}
+
+func pumpLoop(ch chan int) {
+	for {
+		ch <- 1
+	}
+}
+
+// Good: the canonical drain shape — select on ctx.Done and return.
+func watch(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case w := <-work:
+				_ = w
+			}
+		}
+	}()
+}
+
+// Good: a done channel with a break is an exit too.
+func until(done chan struct{}) {
+	go func() {
+		for {
+			if _, open := <-done; !open {
+				break
+			}
+		}
+	}()
+}
+
+// Good: ranging a channel ends when the producer closes it — the
+// dispatcher/worker idiom.
+type server struct{ queue chan int }
+
+func (s *server) start() {
+	go s.dispatch()
+}
+
+func (s *server) dispatch() {
+	for j := range s.queue {
+		_ = j
+	}
+}
+
+// Good: a loop with a condition is bounded by it.
+func bounded(n int, out chan<- int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			out <- i
+		}
+	}()
+}
+
+// Good: a straight-line body terminates by construction.
+func oneshot(errc chan<- error, run func() error) {
+	go func() { errc <- run() }()
+}
+
+// Accepted: the callee is not visible in this package, so the analyzer
+// cannot follow it.
+func external() {
+	go time.Sleep(time.Minute)
+}

@@ -1,0 +1,98 @@
+// Package lockguard is analyzer testdata: guarded-field accesses with
+// and without their mutex held, both annotation forms (sibling `mu` and
+// qualified `Owner.mu`), the Locked-suffix convention, and unannotated
+// fields staying out of scope.
+package lockguard
+
+import "sync"
+
+// Server mirrors the serve daemon's shape: a mutex plus guarded state,
+// and satellite jobs whose fields are guarded by the owning Server's mu.
+type Server struct {
+	mu sync.Mutex
+
+	jobs     map[string]*job // guarded by mu
+	draining bool            // guarded by mu
+
+	name string // immutable after construction; not annotated
+}
+
+type job struct {
+	status int // guarded by Server.mu
+	err    string
+	done   chan struct{}
+}
+
+// Good: the access scope locks the sibling mutex (flow-insensitively).
+func (s *Server) Lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// Good: RLock counts as holding the guard for reads.
+type registry struct {
+	mu sync.RWMutex
+	m  map[string]string // guarded by mu
+}
+
+func (r *registry) Get(k string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k]
+}
+
+// Bad: no lock anywhere in the scope.
+func (s *Server) Draining() bool {
+	return s.draining // want `field draining is guarded by mu but Draining never locks it`
+}
+
+// Bad: the qualified form needs a lock on a Server, and this scope has
+// none.
+func leak(j *job) int {
+	return j.status // want `field status is guarded by Server.mu but leak never locks it`
+}
+
+// Good: the qualified form is satisfied by locking any Server's mu, even
+// though the access base (j) differs from the lock base (s).
+func finish(s *Server, j *job) {
+	s.mu.Lock()
+	j.status = 2
+	s.mu.Unlock()
+}
+
+// Good: the Locked suffix promises the caller holds the lock.
+func (s *Server) finishLocked(j *job) {
+	j.status = 3
+	delete(s.jobs, "x")
+}
+
+// Good: unannotated fields are out of scope regardless of locking.
+func (s *Server) Name() string { return s.name }
+
+// Good: err and done carry no annotation, so channel-discipline access
+// stays legal.
+func wait(j *job) string {
+	<-j.done
+	return j.err
+}
+
+// Good: a lock taken in the outer frame covers nested closures — the
+// Stats/sort.Slice idiom.
+func (s *Server) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	get := func() int { return len(s.jobs) }
+	return get()
+}
+
+// Bad: a suppressed violation needs a reason; this one has it.
+func (s *Server) peek() bool {
+	//lint:ignore lockguard testdata exercises the escape hatch
+	return s.draining
+}
+
+// Bad, twice on one line: both accesses are reported.
+func (s *Server) swap(j *job) {
+	j.status, s.draining = 1, true // want `field status is guarded by Server.mu` `field draining is guarded by mu`
+}

@@ -1,0 +1,36 @@
+// Package sinkdiscipline is analyzer testdata: calls to the process-
+// global sink mutator (runner.Cache.SetSink) from a package outside the
+// allowlist, which is exactly what this synthetic package is. A local
+// type's unrelated SetSink stays clean, as does routing the sink through
+// api.RunOptions-style plumbing.
+package sinkdiscipline
+
+import "cisim/internal/runner"
+
+type opts struct{ sink runner.Sink }
+
+// local has a SetSink of its own; resolving through the type info keeps
+// it out of scope.
+type local struct{ sink runner.Sink }
+
+func (l *local) SetSink(s runner.Sink) { l.sink = s }
+
+func bindGlobal(s runner.Sink) {
+	runner.Artifacts.SetSink(s) // want `Cache.SetSink rebinds the process-global event sink`
+}
+
+func bindFresh(s runner.Sink) {
+	c := runner.NewCache()
+	c.SetSink(s) // want `Cache.SetSink rebinds the process-global event sink`
+}
+
+func bindLocal(s runner.Sink) {
+	l := &local{}
+	l.SetSink(s) // a different type's method: clean
+}
+
+func plumb(o *opts, s runner.Sink) {
+	// The sanctioned shape: hand the sink to the engine, let it own the
+	// global bracket.
+	o.sink = s
+}

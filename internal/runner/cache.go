@@ -62,11 +62,14 @@ const (
 // memoized, so a transient failure can be retried.
 type Cache struct {
 	mu      sync.Mutex
-	entries map[string]*entry
-	stats   map[string]*kindStats // by kind
-	sink    Sink
+	entries map[string]*entry     // guarded by mu
+	stats   map[string]*kindStats // guarded by mu; by kind
+	sink    Sink                  // guarded by mu
 }
 
+// entry's value fields are synchronized by the ready channel, not the
+// cache mutex: the computing goroutine writes them before close(ready),
+// waiters read them after <-ready.
 type entry struct {
 	ready chan struct{} // closed when val/err are set
 	val   interface{}
@@ -77,7 +80,11 @@ type entry struct {
 	summed bool
 }
 
-type kindStats struct{ hits, misses, healed uint64 }
+// kindStats counters are mutated through pointers handed out under the
+// cache lock; every increment site keeps holding it.
+type kindStats struct {
+	hits, misses, healed uint64 // guarded by Cache.mu
+}
 
 // Fingerprinter lets an artifact expose a cheap integrity checksum. The
 // cache verifies it on every hit; implementations must be fast (hash a

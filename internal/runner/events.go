@@ -120,8 +120,8 @@ func emit(s Sink, e Event) {
 // JSONLSink writes events as JSON lines to an io.Writer.
 type JSONLSink struct {
 	mu    sync.Mutex
-	enc   *json.Encoder
-	start time.Time
+	enc   *json.Encoder // guarded by mu (Emit is called from worker goroutines)
+	start time.Time     // guarded by mu
 }
 
 // NewJSONLSink wraps w in a concurrency-safe JSONL event writer.

@@ -27,8 +27,8 @@ import (
 // but fails its checksum is treated as absent and the job recomputed.
 type Journal struct {
 	mu   sync.Mutex
-	f    *os.File
-	path string
+	f    *os.File // guarded by mu (concurrent pool workers append)
+	path string   // immutable after OpenJournal
 }
 
 // journalVersion guards the record schema; bump it when the payload

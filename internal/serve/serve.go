@@ -79,21 +79,23 @@ const (
 	maxRequestBytes = 1 << 20
 )
 
-// job is one submitted sweep and its lifecycle state. All mutable
-// fields are guarded by the owning Server's mu.
+// job is one submitted sweep and its lifecycle state. The id, request,
+// and log are immutable after handleSubmit publishes the job; every
+// mutable field is guarded by the owning Server's mu (verified by the
+// lockguard analyzer via the annotations below).
 type job struct {
-	id       string
-	req      *api.SweepRequest
-	queuePos int
-	log      *eventLog
+	id  string
+	req *api.SweepRequest
+	log *eventLog
 
-	status    api.Status
-	err       string
-	cancel    context.CancelFunc // non-nil only while running
-	results   []exp.JSONResult   // set once done
-	elapsedMs float64
-	instrs    uint64
-	done      chan struct{} // closed on reaching a terminal status
+	queuePos  int                // guarded by Server.mu
+	status    api.Status         // guarded by Server.mu
+	err       string             // guarded by Server.mu
+	cancel    context.CancelFunc // guarded by Server.mu; non-nil only while running
+	results   []exp.JSONResult   // guarded by Server.mu; set once done
+	elapsedMs float64            // guarded by Server.mu
+	instrs    uint64             // guarded by Server.mu
+	done      chan struct{}      // closed (under mu) on reaching a terminal status; receives need no lock
 }
 
 // Server is the daemon: an http.Handler plus the dispatcher that
@@ -103,11 +105,11 @@ type Server struct {
 	mux *http.ServeMux
 
 	mu       sync.Mutex
-	jobs     map[string]*job
-	order    []string // submission order, for deterministic listings
-	queue    chan *job
-	nextID   int
-	draining bool
+	jobs     map[string]*job // guarded by mu
+	order    []string        // guarded by mu; submission order, for deterministic listings
+	queue    chan *job       // the channel itself is immutable; sends/len/cap happen under mu, receives on the dispatcher
+	nextID   int             // guarded by mu
+	draining bool            // guarded by mu
 
 	baseCtx        context.Context
 	cancelAll      context.CancelFunc

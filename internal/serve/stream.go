@@ -19,10 +19,10 @@ import (
 
 type eventLog struct {
 	mu     sync.Mutex
-	buf    []byte   // partial line not yet terminated by '\n'
-	lines  [][]byte // complete event lines, each ending in '\n'
-	closed bool
-	subs   map[chan struct{}]struct{}
+	buf    []byte                     // guarded by mu; partial line not yet terminated by '\n'
+	lines  [][]byte                   // guarded by mu; complete event lines, each ending in '\n'
+	closed bool                       // guarded by mu
+	subs   map[chan struct{}]struct{} // guarded by mu
 }
 
 func newEventLog() *eventLog {

@@ -1,0 +1,117 @@
+package serve
+
+// Stress the eventLog fan-out under the race detector: one writer
+// producing the sink's JSONL stream (including torn writes that split a
+// line across Write calls), many concurrent subscribers — some from the
+// start, some late — each required to observe the complete stream, in
+// order, with every line intact. This is the concurrency contract the
+// streaming endpoint is built on: a late HTTP client replays from line
+// zero and then follows, and no client can ever see a torn line.
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestEventLogFanOutStress(t *testing.T) {
+	const (
+		nLines   = 600
+		nReaders = 8
+	)
+
+	want := make([][]byte, nLines)
+	for i := range want {
+		want[i] = []byte(fmt.Sprintf(`{"ev":"stress","seq":%d,"pad":"%08x"}`+"\n", i, i*2654435761))
+	}
+
+	l := newEventLog()
+	half := make(chan struct{}) // closed once the writer is halfway
+	halfClosed := false
+
+	read := func(id int) error {
+		ch := l.subscribe()
+		defer l.unsubscribe(ch)
+		idx := 0
+		for {
+			batch, closed := l.since(idx)
+			for _, line := range batch {
+				if idx >= nLines {
+					return fmt.Errorf("reader %d: got %d+ lines, want %d", id, idx+1, nLines)
+				}
+				if !bytes.Equal(line, want[idx]) {
+					return fmt.Errorf("reader %d: line %d = %q, want %q (torn or out of order)", id, idx, line, want[idx])
+				}
+				idx++
+			}
+			if closed {
+				if idx != nLines {
+					return fmt.Errorf("reader %d: stream closed after %d lines, want %d", id, idx, nLines)
+				}
+				return nil
+			}
+			if len(batch) == 0 {
+				<-ch // wait for the writer's nudge
+			}
+		}
+	}
+
+	errs := make(chan error, nReaders)
+	var wg sync.WaitGroup
+	for r := 0; r < nReaders; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if r >= nReaders/2 {
+				// Late subscribers join mid-stream and must replay
+				// everything they missed before following.
+				<-half
+			}
+			errs <- read(r)
+		}()
+	}
+
+	// The writer mimics runner.JSONLSink's io.Writer usage but worse:
+	// every third line arrives split across two Write calls, and every
+	// seventh pair arrives fused in one call, so the log's torn-line
+	// buffering is exercised both ways.
+	for i := 0; i < nLines; i++ {
+		line := want[i]
+		switch {
+		case i%7 == 0 && i+1 < nLines:
+			fused := append(append([]byte{}, line...), want[i+1]...)
+			if _, err := l.Write(fused); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		case i%3 == 0:
+			cut := len(line) / 2
+			if _, err := l.Write(line[:cut]); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := l.Write(line[cut:]); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			if _, err := l.Write(line); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i >= nLines/2 && !halfClosed {
+			halfClosed = true
+			close(half)
+		}
+	}
+	l.Close()
+	l.Close() // idempotent
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
