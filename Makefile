@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint checkprog race faults schema serve-smoke check bench bench-baseline benchdiff run-all profile clean
+.PHONY: all build test vet lint checkprog race faults schema serve-smoke cache-smoke check bench bench-baseline benchdiff run-all profile clean
 
 # The headline benchmarks gated by BENCH_5.json (see bench-baseline and
 # benchdiff below).
@@ -49,7 +49,7 @@ race:
 # hangs, panics, aborts) through real quick experiment runs, plus the
 # journal crash-recovery and resume paths (see DESIGN.md §8).
 faults:
-	$(GO) test -run 'TestFaultMatrix|TestJournalResume|TestRunBadFaultSpec|TestRunResumeNeedsJournal' ./cmd/cisim/
+	$(GO) test -run 'TestFaultMatrix|TestJournalResume|TestRunBadFaultSpec|TestRunResumeNeedsJournal|TestStoreCrash|TestStoreDiskFaults|TestStoreReadCorruption' ./cmd/cisim/
 
 # schema pins the machine-readable interfaces: the run-event JSONL
 # stream (cmd/cisim/testdata/event_schema.json against runner.Event and
@@ -66,10 +66,20 @@ schema:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
+# cache-smoke drives the persistent artifact store (-cache-dir) across
+# real process boundaries: two concurrent cold cisim processes share
+# one store (no deadlock, byte-identical JSON), a warm third process
+# must finish in under half the storeless baseline, the store verifies
+# clean, and `cisim cache stats -json` lands in artifacts/ (see
+# scripts/cache_smoke.sh, DESIGN.md §13).
+cache-smoke:
+	./scripts/cache_smoke.sh
+
 # check is the CI gate: build, vet, the custom analyzers, the workload
 # verifier, full tests, the race pass, the fault matrix, the schema
-# golden tests, and the serve daemon smoke test.
-check: build vet lint checkprog test race faults schema serve-smoke
+# golden tests, and the process-boundary smoke tests (serve daemon,
+# persistent store).
+check: build vet lint checkprog test race faults schema serve-smoke cache-smoke
 
 bench:
 	$(GO) test -bench=BenchmarkRunAllQuick -benchtime=1x -run=^$$ .

@@ -1,0 +1,197 @@
+package main
+
+// cisim cache: operator tooling for the persistent artifact store
+// (-cache-dir / CISIM_CACHE_DIR; internal/store, DESIGN.md §13).
+//
+//	cisim cache stats  [-cache-dir DIR] [-json]     usage + lifetime log
+//	cisim cache verify [-cache-dir DIR] [-quarantine]  read-check blobs
+//	cisim cache gc     [-cache-dir DIR] [-max-bytes N] [-max-age D] [-dry-run]
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"cisim/internal/runner"
+	"cisim/internal/stats"
+	"cisim/internal/store"
+)
+
+// attachStore opens the persistent artifact store named by the
+// -cache-dir flag (or, when that is empty, CISIM_CACHE_DIR) and mounts
+// it behind the process-wide artifact cache. The returned detach closes
+// the store and unhooks it; with no directory configured it is a no-op
+// and runs stay purely in-memory.
+func attachStore(dir string) (func(), error) {
+	if dir == "" {
+		dir = os.Getenv("CISIM_CACHE_DIR")
+	}
+	if dir == "" {
+		return func() {}, nil
+	}
+	st, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		return nil, err
+	}
+	runner.Artifacts.SetStore(st)
+	return func() {
+		runner.Artifacts.SetStore(nil)
+		st.Close()
+	}, nil
+}
+
+// storeDir resolves the store directory for the standalone cache
+// subcommands, which need one explicitly (flag or env) rather than
+// silently operating on nothing.
+func storeDir(flagVal string) (string, error) {
+	if flagVal != "" {
+		return flagVal, nil
+	}
+	if env := os.Getenv("CISIM_CACHE_DIR"); env != "" {
+		return env, nil
+	}
+	return "", fmt.Errorf("cache needs -cache-dir DIR (or CISIM_CACHE_DIR)")
+}
+
+func cmdCache(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("cache needs a subcommand: stats, verify, or gc")
+	}
+	switch args[0] {
+	case "stats":
+		return cmdCacheStats(args[1:])
+	case "verify":
+		return cmdCacheVerify(args[1:])
+	case "gc":
+		return cmdCacheGC(args[1:])
+	default:
+		return fmt.Errorf("unknown cache subcommand %q (want stats, verify, or gc)", args[0])
+	}
+}
+
+func cmdCacheStats(args []string) error {
+	fs := flag.NewFlagSet("cache stats", flag.ExitOnError)
+	dirFlag := fs.String("cache-dir", "", "store directory (or CISIM_CACHE_DIR)")
+	jsonFlag := fs.Bool("json", false, "emit the report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dir, err := storeDir(*dirFlag)
+	if err != nil {
+		return err
+	}
+	st, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	rep, err := st.Stats()
+	if err != nil {
+		return err
+	}
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	t := stats.NewTable(fmt.Sprintf("artifact store %s (%s)", rep.Dir, rep.Version), "metric", "value")
+	t.AddRow("entries", rep.Entries)
+	t.AddRow("bytes", int(rep.Bytes))
+	var kinds []string
+	//lint:ignore detrange sorted just below
+	for kind := range rep.ByKind {
+		kinds = append(kinds, kind)
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		t.AddRow("  "+kind, rep.ByKind[kind])
+	}
+	if !rep.Oldest.IsZero() {
+		t.AddRow("oldest entry", rep.Oldest.Format(time.RFC3339))
+		t.AddRow("newest entry", rep.Newest.Format(time.RFC3339))
+	}
+	t.AddRow("lifetime puts", rep.Life.Puts)
+	t.AddRow("lifetime bytes written", int(rep.Life.BytesWritten))
+	t.AddRow("lifetime evictions", rep.Life.Evictions)
+	t.AddRow("lifetime quarantines", rep.Life.Quarantines)
+	if rep.Life.IndexDropped > 0 {
+		t.AddRow("index records dropped", rep.Life.IndexDropped)
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func cmdCacheVerify(args []string) error {
+	fs := flag.NewFlagSet("cache verify", flag.ExitOnError)
+	dirFlag := fs.String("cache-dir", "", "store directory (or CISIM_CACHE_DIR)")
+	quar := fs.Bool("quarantine", false, "move failing blobs to quarantine/ (they heal on next use)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dir, err := storeDir(*dirFlag)
+	if err != nil {
+		return err
+	}
+	st, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	checked, bad, err := st.Verify(*quar)
+	if err != nil {
+		return err
+	}
+	if len(bad) == 0 {
+		fmt.Printf("verified %d blob(s): all sound\n", checked)
+		return nil
+	}
+	for _, b := range bad {
+		fmt.Printf("corrupt: %s.%s — %s\n", b.Addr, b.Kind, b.Reason)
+	}
+	if *quar {
+		fmt.Printf("verified %d blob(s): %d quarantined (will recompute on next use)\n", checked, len(bad))
+		return nil
+	}
+	return fmt.Errorf("verified %d blob(s): %d corrupt (re-run with -quarantine to heal)", checked, len(bad))
+}
+
+func cmdCacheGC(args []string) error {
+	fs := flag.NewFlagSet("cache gc", flag.ExitOnError)
+	dirFlag := fs.String("cache-dir", "", "store directory (or CISIM_CACHE_DIR)")
+	maxBytes := fs.Int64("max-bytes", 0, "evict oldest entries until the store fits this many bytes (0 = no size bound)")
+	maxAge := fs.Duration("max-age", 0, "evict entries older than this (0 = no age bound)")
+	dryRun := fs.Bool("dry-run", false, "report what would be evicted without touching the store")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *maxBytes <= 0 && *maxAge <= 0 {
+		return fmt.Errorf("cache gc needs -max-bytes and/or -max-age")
+	}
+	dir, err := storeDir(*dirFlag)
+	if err != nil {
+		return err
+	}
+	st, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	evicted, err := st.GC(*maxBytes, *maxAge, *dryRun)
+	if err != nil {
+		return err
+	}
+	verb := "evicted"
+	if *dryRun {
+		verb = "would evict"
+	}
+	var freed int64
+	for _, e := range evicted {
+		freed += e.Bytes
+		fmt.Printf("%s %s.%s (%d bytes)\n", verb, e.Addr, e.Kind, e.Bytes)
+	}
+	fmt.Printf("%s %d entries, %d bytes\n", verb, len(evicted), freed)
+	return nil
+}

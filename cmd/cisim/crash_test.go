@@ -1,0 +1,192 @@
+package main
+
+// Real-process crash and disk-fault recovery tests for the persistent
+// artifact store (internal/store, DESIGN.md §13). The store's unit
+// tests stub the crash hook and panic; these tests do it for real: the
+// test binary re-executes itself as a child `cisim run` (see TestMain),
+// the armed store-crash fault kills that child with os.Exit mid disk
+// operation — indistinguishable from SIGKILL to the filesystem — and a
+// clean rerun over the survived store directory must self-heal and
+// produce byte-identical JSON. The non-fatal disk faults (short write,
+// rename failure, ENOSPC, stale lock, read corruption) get the same
+// treatment: armed or not, cold or warm, the run's stdout never
+// changes, because the store is an accelerator and never a point of
+// failure.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"cisim/internal/store"
+)
+
+// childEnv carries the child's cmdRun argv, unit-separated because
+// experiment ids and flag values never contain control bytes.
+const childEnv = "CISIM_CRASH_CHILD"
+
+// TestMain re-executes cmdRun when invoked as a crash-test child; the
+// armed store-crash fault then terminates this process for real, which
+// no in-process test can do without taking the suite down with it.
+func TestMain(m *testing.M) {
+	if argv := os.Getenv(childEnv); argv != "" {
+		if err := cmdRun(strings.Split(argv, "\x1f")); err != nil {
+			fmt.Fprintln(os.Stderr, "cisim:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runChild runs `cisim run args...` in a separate process and returns
+// its stdout and exit code.
+func runChild(t *testing.T, args ...string) ([]byte, int) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-test.run=^$")
+	cmd.Env = append(os.Environ(), childEnv+"="+strings.Join(args, "\x1f"))
+	var out, errs bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errs
+	err = cmd.Run()
+	code := 0
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("child failed to run: %v", err)
+	}
+	if code != 0 {
+		t.Logf("child exited %d, stderr:\n%s", code, errs.String())
+	}
+	return out.Bytes(), code
+}
+
+// crashBaseline runs the child once without a store and returns the
+// JSON every store-backed variant must reproduce byte for byte.
+func crashBaseline(t *testing.T) []byte {
+	t.Helper()
+	out, code := runChild(t, "-quick", "-json", "fig5")
+	if code != 0 {
+		t.Fatalf("baseline run exited %d", code)
+	}
+	return out
+}
+
+// verifyClean opens the store directory and requires every blob to pass
+// full verification.
+func verifyClean(t *testing.T, dir string) {
+	t.Helper()
+	st, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopening store after recovery: %v", err)
+	}
+	defer st.Close()
+	checked, bad, err := st.Verify(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Errorf("store has %d corrupt blobs after recovery (of %d checked), want 0: %+v", len(bad), checked, bad)
+	}
+}
+
+// TestStoreCrashRecovery kills a store-backed run at each of the three
+// crash sites — temp written but not renamed, blob renamed but index
+// record not appended, index record half-written — then reruns clean
+// over the same directory. The rerun must exit 0, emit byte-identical
+// JSON, and leave a store with no corrupt blobs.
+func TestStoreCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real child processes; the race detector sees nothing across the boundary")
+	}
+	baseline := crashBaseline(t)
+	for site := 1; site <= 3; site++ {
+		t.Run(fmt.Sprintf("site%d", site), func(t *testing.T) {
+			dir := t.TempDir() + "/store"
+			_, code := runChild(t, "-quick", "-json",
+				"-faults", fmt.Sprintf("%s@%d", store.FaultCrash, site),
+				"-cache-dir", dir, "fig5")
+			if code != 137 {
+				t.Fatalf("crashed child exited %d, want 137", code)
+			}
+			out, code := runChild(t, "-quick", "-json", "-cache-dir", dir, "fig5")
+			if code != 0 {
+				t.Fatalf("recovery run exited %d", code)
+			}
+			if !bytes.Equal(out, baseline) {
+				t.Errorf("recovery run JSON differs from baseline after crash at site %d", site)
+			}
+			verifyClean(t, dir)
+		})
+	}
+}
+
+// TestStoreDiskFaultsPreserveOutput arms each non-fatal disk fault for
+// an entire cold run and a subsequent clean warm run: both must exit 0
+// and match the storeless baseline byte for byte — degraded caching,
+// never a degraded answer.
+func TestStoreDiskFaultsPreserveOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real child processes; the race detector sees nothing across the boundary")
+	}
+	baseline := crashBaseline(t)
+	// #1000000: fire on every hit for the whole run.
+	for _, point := range []string{store.FaultShortWrite, store.FaultRenameFail,
+		store.FaultENOSPC, store.FaultLockStale} {
+		t.Run(point, func(t *testing.T) {
+			dir := t.TempDir() + "/store"
+			out, code := runChild(t, "-quick", "-json",
+				"-faults", point+"#1000000", "-cache-dir", dir, "fig5")
+			if code != 0 {
+				t.Fatalf("faulted cold run exited %d", code)
+			}
+			if !bytes.Equal(out, baseline) {
+				t.Errorf("cold run under %s differs from baseline", point)
+			}
+			out, code = runChild(t, "-quick", "-json", "-cache-dir", dir, "fig5")
+			if code != 0 {
+				t.Fatalf("clean rerun exited %d", code)
+			}
+			if !bytes.Equal(out, baseline) {
+				t.Errorf("clean rerun after %s differs from baseline", point)
+			}
+		})
+	}
+}
+
+// TestStoreReadCorruptionHeals warms a store, flips a bit in the first
+// blob read of the warm run, and requires the run to quarantine the
+// blob, recompute, and still print baseline-identical JSON.
+func TestStoreReadCorruptionHeals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real child processes; the race detector sees nothing across the boundary")
+	}
+	baseline := crashBaseline(t)
+	dir := t.TempDir() + "/store"
+	if out, code := runChild(t, "-quick", "-json", "-cache-dir", dir, "fig5"); code != 0 {
+		t.Fatalf("warming run exited %d", code)
+	} else if !bytes.Equal(out, baseline) {
+		t.Fatal("warming run differs from baseline")
+	}
+	out, code := runChild(t, "-quick", "-json",
+		"-faults", store.FaultReadCorrupt+"@1", "-cache-dir", dir, "fig5")
+	if code != 0 {
+		t.Fatalf("corrupted warm run exited %d", code)
+	}
+	if !bytes.Equal(out, baseline) {
+		t.Error("warm run with a corrupted read differs from baseline")
+	}
+	ents, err := os.ReadDir(dir + "/quarantine")
+	if err != nil || len(ents) == 0 {
+		t.Errorf("corrupted blob was not quarantined (entries %d, err %v)", len(ents), err)
+	}
+	verifyClean(t, dir)
+}

@@ -118,6 +118,8 @@ func main() {
 		err = cmdCompare(os.Args[2:])
 	case "events":
 		err = cmdEvents(os.Args[2:])
+	case "cache":
+		err = cmdCache(os.Args[2:])
 	case "check":
 		err = cmdCheck(os.Args[2:])
 	case "serve":
@@ -150,8 +152,9 @@ func usage() {
   cisim pipe [flags] <workload>   per-instruction pipeline timeline
   cisim compare <old> <new>       diff two 'run -json' result files
   cisim events <file|url>         summarize a run-event stream, journal, or serve stream (-top N)
+  cisim cache <stats|verify|gc>   inspect or bound a persistent artifact store (-cache-dir)
   cisim check [files...]          statically verify programs (default: all workloads)
-  cisim serve [flags]             HTTP sweep daemon (-addr -queue -jobs -journal-dir; DESIGN.md §11)
+  cisim serve [flags]             HTTP sweep daemon (-addr -queue -jobs -journal-dir -cache-dir; DESIGN.md §11)
   cisim version                   print build, toolchain, and API version`)
 }
 
@@ -181,6 +184,7 @@ func cmdRun(args []string) error {
 	journalPath := fs.String("journal", "", "append completed jobs to this crash-consistent JSONL file")
 	resumeFlag := fs.Bool("resume", false, "replay the -journal file and run only the jobs it is missing")
 	faultsSpec := fs.String("faults", "", "arm deterministic fault injection, e.g. 'cache-corrupt@2,job-transient' (see DESIGN.md §8; also CISIM_FAULTS)")
+	cacheDir := fs.String("cache-dir", "", "persistent artifact store shared across runs and processes (also CISIM_CACHE_DIR; DESIGN.md §13)")
 	metricsFlag := fs.Bool("metrics", false, "collect per-workload metrics snapshots (rides in -json output and -events stream)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memprofile := fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
@@ -211,6 +215,14 @@ func cmdRun(args []string) error {
 		faults.Set(plan)
 		defer faults.Clear()
 	}
+	// The persistent store (if configured) mounts behind the shared
+	// artifact cache for exactly this run; results computed here are
+	// written through for the next process, and vice versa.
+	detachStore, err := attachStore(*cacheDir)
+	if err != nil {
+		return err
+	}
+	defer detachStore()
 	// The flag surface maps 1:1 onto the versioned sweep request, so the
 	// CLI and the HTTP daemon validate and execute identically.
 	req := &api.SweepRequest{V: api.Version, Experiments: []string{fs.Arg(0)},
@@ -441,6 +453,7 @@ func cmdSim(args []string) error {
 	pipetrace := fs.String("pipetrace", "", "write a cycle-level pipeline trace of every fetched instruction to this file")
 	pipeFormat := fs.String("pipetrace-format", "kanata", "pipetrace format: kanata (Konata-compatible) or jsonl")
 	metricsFlag := fs.Bool("metrics", false, "collect and print deterministic counters and cycle histograms")
+	cacheDir := fs.String("cache-dir", "", "persistent artifact store shared across runs and processes (also CISIM_CACHE_DIR)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -516,12 +529,18 @@ func cmdSim(args []string) error {
 		}
 	}
 
-	p, err := w.Assemble(*iters)
+	// Route through the shared artifact cache (and the persistent store
+	// behind it, when configured): a sim of a config a previous run
+	// already computed is served instead of re-simulated. Configs with a
+	// pipetrace attached are never memoized — the tracer is a side
+	// effect — but still share the cached program and prep artifacts.
+	detachStore, err := attachStore(*cacheDir)
 	if err != nil {
 		return err
 	}
+	defer detachStore()
 	start := time.Now()
-	r, err := ooo.Run(p, cfg)
+	r, _, err := runner.Artifacts.Detailed(w, *iters, cfg)
 	if err != nil {
 		return err
 	}

@@ -112,7 +112,44 @@ func TestEventStreamMatchesSchema(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(f)
+	seen := validateEventStream(t, s, f)
+	for _, want := range []string{"run_start", "job_start", "job_end", "cache", "metrics", "run_end"} {
+		if !seen[want] {
+			t.Errorf("validation run emitted no %s event; the matrix for it went unchecked", want)
+		}
+	}
+}
+
+// TestEventStreamStoreEvents repeats the stream validation with a
+// persistent store attached: a cold run must emit store_put lines, a
+// warm run from a fresh in-memory cache must emit store_hit lines, and
+// every line must still satisfy the schema matrix.
+func TestEventStreamStoreEvents(t *testing.T) {
+	s := loadSchema(t)
+	dir := t.TempDir()
+	cache := dir + "/store"
+	cold, warm := dir+"/cold.jsonl", dir+"/warm.jsonl"
+	for _, run := range []struct{ events string }{{cold}, {warm}} {
+		runner.Artifacts.Reset()
+		if _, err := capture(t, func() error {
+			return cmdRun([]string{"-quick", "-events", run.events, "-cache-dir", cache, "fig5"})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if seen := validateEventStream(t, s, cold); !seen["store_put"] {
+		t.Error("cold store-backed run emitted no store_put event")
+	}
+	if seen := validateEventStream(t, s, warm); !seen["store_hit"] {
+		t.Error("warm store-backed run emitted no store_hit event")
+	}
+}
+
+// validateEventStream checks every line of an events file against the
+// schema matrix and returns the set of event types observed.
+func validateEventStream(t *testing.T, s *eventSchema, path string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,9 +192,5 @@ func TestEventStreamMatchesSchema(t *testing.T) {
 			}
 		}
 	}
-	for _, want := range []string{"run_start", "job_start", "job_end", "cache", "metrics", "run_end"} {
-		if !seen[want] {
-			t.Errorf("validation run emitted no %s event; the matrix for it went unchecked", want)
-		}
-	}
+	return seen
 }

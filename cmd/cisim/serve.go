@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"cisim/internal/api"
+	"cisim/internal/runner"
 	"cisim/internal/serve"
 )
 
@@ -30,6 +31,7 @@ func cmdServe(args []string) error {
 	journalDir := fs.String("journal-dir", "", "write per-sweep crash-consistent journals into this directory")
 	drainTimeout := fs.Duration("drain-timeout", time.Minute, "how long a SIGTERM/SIGINT drain may take before giving up")
 	addrFile := fs.String("addr-file", "", "write the bound listen address to this file (for scripts using port 0)")
+	cacheDir := fs.String("cache-dir", "", "persistent artifact store shared with other cisim processes (also CISIM_CACHE_DIR; DESIGN.md §13)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -41,6 +43,14 @@ func cmdServe(args []string) error {
 			return err
 		}
 	}
+	// The persistent store outlives individual sweeps: it mounts behind
+	// the process cache for the daemon's lifetime, and its counters ride
+	// in /healthz and the drain footer below.
+	detachStore, err := attachStore(*cacheDir)
+	if err != nil {
+		return err
+	}
+	defer detachStore()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -58,7 +68,8 @@ func cmdServe(args []string) error {
 	if depth <= 0 {
 		depth = serve.DefaultQueue
 	}
-	srv := serve.New(serve.Config{Queue: *queue, Jobs: *jobs, JournalDir: *journalDir})
+	srv := serve.New(serve.Config{Queue: *queue, Jobs: *jobs, JournalDir: *journalDir,
+		Store: runner.Artifacts.Store()})
 	hs := &http.Server{Handler: srv}
 	fmt.Fprintf(os.Stderr, "cisim: serving on http://%s (api v%d; queue %d; SIGTERM drains)\n",
 		bound, api.Version, depth)
@@ -91,6 +102,11 @@ func cmdServe(args []string) error {
 		return herr
 	}
 	fmt.Fprintln(os.Stderr, "cisim: drain complete")
+	if st := runner.Artifacts.Store(); st != nil {
+		h := serve.StoreHealth(st)
+		fmt.Fprintf(os.Stderr, "cisim: store %s: %d hits, %d misses, %d puts, %d heals, %d evictions, %d B read, %d B written\n",
+			h.Dir, h.Hits, h.Misses, h.Puts, h.Heals, h.Evictions, h.BytesRead, h.BytesWritten)
+	}
 	return nil
 }
 

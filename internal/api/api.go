@@ -170,6 +170,23 @@ type Health struct {
 	// Completed counts terminal jobs (done, failed, cancelled) still
 	// retained for result and event retrieval.
 	Completed int `json:"completed"`
+	// Store reports persistent artifact store activity; absent when the
+	// daemon runs without -cache-dir.
+	Store *StoreHealth `json:"store,omitempty"`
+}
+
+// StoreHealth is this process's view of its persistent artifact store
+// (-cache-dir): session counters since the daemon started, so operators
+// can watch cache effectiveness without scraping event streams.
+type StoreHealth struct {
+	Dir          string `json:"dir"`
+	Hits         uint64 `json:"hits"`
+	Misses       uint64 `json:"misses"`
+	Puts         uint64 `json:"puts"`
+	Heals        uint64 `json:"heals"`
+	Evictions    uint64 `json:"evictions"`
+	BytesRead    int64  `json:"bytes_read"`
+	BytesWritten int64  `json:"bytes_written"`
 }
 
 // VersionInfo identifies a build: module, version, toolchain, VCS state,

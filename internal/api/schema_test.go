@@ -44,6 +44,7 @@ var schemaTypes = map[string]reflect.Type{
 	"JobList":       reflect.TypeOf(JobList{}),
 	"ErrorResponse": reflect.TypeOf(ErrorResponse{}),
 	"Health":        reflect.TypeOf(Health{}),
+	"StoreHealth":   reflect.TypeOf(StoreHealth{}),
 	"VersionInfo":   reflect.TypeOf(VersionInfo{}),
 }
 

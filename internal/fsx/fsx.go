@@ -1,0 +1,169 @@
+// Package fsx holds the crash-consistency file primitives shared by the
+// run journal (internal/runner) and the persistent artifact store
+// (internal/store): fsync'd temp-file writes promoted by atomic rename,
+// directory syncs so renames survive power loss, and torn-tail recovery
+// for newline-framed append-only files.
+//
+// The discipline is journal.v1's, extracted so every durable file in the
+// repo makes the same promises:
+//
+//   - a file written with WriteAtomic is either absent or complete —
+//     readers can never observe a half-written payload under its final
+//     name;
+//   - a file maintained with OpenAppend plus fsync'd appends loses at
+//     worst its final record to a crash, and reopening truncates that
+//     torn tail so later appends can never splice into damaged bytes.
+package fsx
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// WriteTemp writes data to a fresh temp file in dir (name prefix
+// ".tmp-"), fsyncs, closes, and returns its path. The caller promotes it
+// with os.Rename and seals the rename with SyncDir — or removes it on
+// failure. Splitting the write from the rename is what lets the store
+// interpose fault-injection and crash points between the two.
+func WriteTemp(dir string, data []byte) (string, error) {
+	f, err := os.CreateTemp(dir, ".tmp-")
+	if err != nil {
+		return "", err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	return tmp, nil
+}
+
+// WriteAtomic writes data to path so readers observe either the old
+// contents or the new, never a mix: temp file in the same directory,
+// fsync, rename over path, directory sync. perm applies to the final
+// file.
+func WriteAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := WriteTemp(dir, data)
+	if err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp, perm); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory, making the renames and unlinks inside it
+// durable. Filesystems that reject directory fsync (some network and
+// overlay mounts) degrade to the rename's own ordering guarantees rather
+// than failing the operation.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !isSyncUnsupported(err) {
+		return err
+	}
+	return nil
+}
+
+// isSyncUnsupported reports whether a sync error means the filesystem
+// cannot fsync this handle at all (EINVAL/ENOTSUP on exotic mounts), as
+// opposed to a real I/O failure.
+func isSyncUnsupported(err error) bool {
+	return errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) ||
+		errors.Is(err, syscall.EBADF) || os.IsPermission(err)
+}
+
+// Verdict classifies one newline-framed record during OpenAppend's
+// recovery scan.
+type Verdict int
+
+const (
+	// Keep: the record is intact; return it to the caller.
+	Keep Verdict = iota
+	// Skip: the framing is intact but the content is not what was
+	// written (e.g. a failed checksum). The record is dropped from the
+	// returned set but its bytes stay in the file, and scanning
+	// continues — later records have independent framing.
+	Skip
+	// Stop: the file is damaged here (unparseable line). Everything from
+	// this record on is untrustworthy: scanning stops and the file is
+	// truncated back to the end of the previous verdict's bytes.
+	Stop
+)
+
+// OpenAppend opens (creating if absent) a newline-framed append-only
+// file, replays its records through judge, and recovers from a torn or
+// damaged tail: an unterminated final line, or any line judged Stop,
+// is truncated away so subsequent appends extend a verified prefix.
+//
+// It returns the file opened O_APPEND (every write lands at the current
+// end regardless of seek position, so concurrent appenders through one
+// descriptor interleave whole writes), the lines judged Keep (without
+// their newlines, aliasing one shared buffer — copy before retaining),
+// and the number of records dropped as torn, damaged, or Skip'd.
+func OpenAppend(path string, judge func(line []byte) Verdict) (*os.File, [][]byte, int, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	var kept [][]byte
+	dropped := 0
+	valid := 0 // byte offset of the end of the last trusted record
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// No newline: the final record never finished writing.
+			dropped++
+			break
+		}
+		line := data[off : off+nl]
+		off += nl + 1
+		switch judge(line) {
+		case Keep:
+			kept = append(kept, line)
+			valid = off
+		case Skip:
+			dropped++
+			valid = off
+		case Stop:
+			dropped++
+			off = len(data) // everything after the damage is untrustworthy
+		}
+	}
+	if valid < len(data) {
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("truncating torn tail of %s: %w", path, err)
+		}
+	}
+	return f, kept, dropped, nil
+}

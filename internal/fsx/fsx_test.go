@@ -1,0 +1,196 @@
+package fsx
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteAtomicRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	want := []byte("hello, crash consistency")
+	if err := WriteAtomic(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("read back %q, wrote %q", got, want)
+	}
+	// No temp litter survives a successful write.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestWriteAtomicReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	if err := WriteAtomic(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteAtomic(path, []byte("new contents"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "new contents" {
+		t.Errorf("got %q after overwrite", got)
+	}
+}
+
+func TestWriteTempThenRename(t *testing.T) {
+	dir := t.TempDir()
+	tmp, err := WriteTemp(dir, []byte("staged"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(tmp) != dir {
+		t.Fatalf("temp %s not in %s (rename would not be atomic)", tmp, dir)
+	}
+	final := filepath.Join(dir, "final")
+	if err := os.Rename(tmp, final); err != nil {
+		t.Fatal(err)
+	}
+	if err := SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(final)
+	if string(got) != "staged" {
+		t.Errorf("promoted temp holds %q", got)
+	}
+}
+
+// judgeAll marks every framed line Keep — pure torn-tail recovery.
+func judgeAll(line []byte) Verdict { return Keep }
+
+func TestOpenAppendFreshFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	f, kept, dropped, err := OpenAppend(path, judgeAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if len(kept) != 0 || dropped != 0 {
+		t.Errorf("fresh file: kept=%d dropped=%d", len(kept), dropped)
+	}
+	if _, err := f.Write([]byte("one\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenAppendTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	if err := os.WriteFile(path, []byte("one\ntwo\nthr"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, kept, dropped, err := OpenAppend(path, judgeAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 2 || dropped != 1 {
+		t.Fatalf("kept=%d dropped=%d, want 2/1", len(kept), dropped)
+	}
+	if string(kept[0]) != "one" || string(kept[1]) != "two" {
+		t.Errorf("kept = %q, %q", kept[0], kept[1])
+	}
+	// The torn bytes are gone and a new append extends the valid prefix.
+	if _, err := f.Write([]byte("three\n")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	data, _ := os.ReadFile(path)
+	if string(data) != "one\ntwo\nthree\n" {
+		t.Errorf("file after recovery+append: %q", data)
+	}
+}
+
+func TestOpenAppendStopTruncatesSuffix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	if err := os.WriteFile(path, []byte("good\nBAD\nafter\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, kept, dropped, err := OpenAppend(path, func(line []byte) Verdict {
+		if bytes.Equal(line, []byte("BAD")) {
+			return Stop
+		}
+		return Keep
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	// Stop distrusts everything from the damage on: only the prefix
+	// survives, and "after" is counted into the truncation, not kept.
+	if len(kept) != 1 || string(kept[0]) != "good" {
+		t.Fatalf("kept = %v", kept)
+	}
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1 (the damaged line)", dropped)
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "good\n" {
+		t.Errorf("file = %q, want the trusted prefix only", data)
+	}
+}
+
+func TestOpenAppendSkipKeepsBytes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	if err := os.WriteFile(path, []byte("good\nstale\nalso-good\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, kept, dropped, err := OpenAppend(path, func(line []byte) Verdict {
+		if bytes.Equal(line, []byte("stale")) {
+			return Skip
+		}
+		return Keep
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if len(kept) != 2 || dropped != 1 {
+		t.Fatalf("kept=%d dropped=%d, want 2/1", len(kept), dropped)
+	}
+	// Skip drops the record from the replay but not from the file:
+	// later records were framed after it, so the bytes must stay.
+	data, _ := os.ReadFile(path)
+	if string(data) != "good\nstale\nalso-good\n" {
+		t.Errorf("file = %q; Skip must not rewrite history", data)
+	}
+}
+
+func TestOpenAppendAppendsAtEndAfterTruncate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	if err := os.WriteFile(path, []byte("a\nb\ntorn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, _, _, err := OpenAppend(path, judgeAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := fmt.Fprintf(f, "extra%d\n", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	data, _ := os.ReadFile(path)
+	if string(data) != "a\nb\nextra0\nextra1\nextra2\n" {
+		t.Errorf("appends after recovery produced %q", data)
+	}
+}

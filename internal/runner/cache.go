@@ -11,6 +11,7 @@ import (
 	"cisim/internal/faults"
 	"cisim/internal/ooo"
 	"cisim/internal/prog"
+	storage "cisim/internal/store"
 	"cisim/internal/trace"
 	"cisim/internal/workloads"
 )
@@ -65,6 +66,16 @@ type Cache struct {
 	entries map[string]*entry     // guarded by mu
 	stats   map[string]*kindStats // guarded by mu; by kind
 	sink    Sink                  // guarded by mu
+	// disk is the optional persistent backend (SetStore); result-kind
+	// misses read through it and successful computes write through.
+	disk  *storage.Store // guarded by mu
+	store storeStats     // guarded by mu
+}
+
+// storeStats counts persistent-backend traffic from this process's
+// point of view (the store keeps its own richer session counters).
+type storeStats struct {
+	hits, puts, evictions, quarantines uint64 // guarded by Cache.mu
 }
 
 // entry's value fields are synchronized by the ready channel, not the
@@ -109,6 +120,12 @@ type CacheStats struct {
 	ResultHits, ResultMisses   uint64
 	// Healed counts corrupt artifacts detected on read and recomputed.
 	Healed uint64
+	// Persistent-backend traffic (zero when no store is attached):
+	// result-kind memory misses served from disk, artifacts written
+	// through, entries evicted by the put-path budget, and blobs
+	// quarantined as corrupt.
+	StoreHits, StorePuts        uint64
+	StoreEvictions, StoreHealed uint64
 }
 
 // Hits returns total cache hits across kinds.
@@ -132,7 +149,9 @@ func (s CacheStats) Sub(prev CacheStats) CacheStats {
 		TraceHits: s.TraceHits - prev.TraceHits, TraceMisses: s.TraceMisses - prev.TraceMisses,
 		PrepHits: s.PrepHits - prev.PrepHits, PrepMisses: s.PrepMisses - prev.PrepMisses,
 		ResultHits: s.ResultHits - prev.ResultHits, ResultMisses: s.ResultMisses - prev.ResultMisses,
-		Healed: s.Healed - prev.Healed,
+		Healed:    s.Healed - prev.Healed,
+		StoreHits: s.StoreHits - prev.StoreHits, StorePuts: s.StorePuts - prev.StorePuts,
+		StoreEvictions: s.StoreEvictions - prev.StoreEvictions, StoreHealed: s.StoreHealed - prev.StoreHealed,
 	}
 }
 
@@ -172,6 +191,7 @@ func (c *Cache) Reset() {
 	defer c.mu.Unlock()
 	c.entries = map[string]*entry{}
 	c.stats = map[string]*kindStats{}
+	c.store = storeStats{}
 }
 
 // Stats snapshots the per-kind hit/miss counters.
@@ -191,7 +211,9 @@ func (c *Cache) Stats() CacheStats {
 		TraceHits: t.hits, TraceMisses: t.misses,
 		PrepHits: pr.hits, PrepMisses: pr.misses,
 		ResultHits: r.hits, ResultMisses: r.misses,
-		Healed: p.healed + t.healed + pr.healed + r.healed,
+		Healed:    p.healed + t.healed + pr.healed + r.healed,
+		StoreHits: c.store.hits, StorePuts: c.store.puts,
+		StoreEvictions: c.store.evictions, StoreHealed: c.store.quarantines,
 	}
 }
 
@@ -275,7 +297,9 @@ func (c *Cache) getDepth(kind, key, address string, compute func() (interface{},
 					&PanicError{Value: r, Stack: debug.Stack()})
 			}
 		}()
-		e.val, e.err = compute()
+		// throughDisk consults the persistent store (when one is attached
+		// and the kind persists) before falling back to compute.
+		e.val, e.err = c.throughDisk(kind, key, address, compute)
 	}()
 	if e.err == nil {
 		e.sum, e.summed = fingerprint(e.val)

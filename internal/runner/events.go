@@ -29,6 +29,17 @@ import (
 //	                miss line is distinguishable from a malformed one
 //	cache_corrupt — an artifact failed its checksum on read and was
 //	                quarantined for recomputation
+//	store_hit     — a memory miss was served from the persistent
+//	                artifact store (-cache-dir): kind, key, address, and
+//	                the blob's size in bytes
+//	store_put     — a freshly computed artifact was written through to
+//	                the persistent store
+//	store_evict   — the store's size/age budget evicted an entry during
+//	                a put (GC evictions via `cisim cache gc` do not ride
+//	                the run stream)
+//	store_quarantine — a stored blob failed verification (checksum,
+//	                decode, or fingerprint) and was moved to the store's
+//	                quarantine for recomputation; err says which check
 //	metrics       — one (experiment, workload) deterministic metrics
 //	                snapshot (counters and cycle-keyed histograms),
 //	                emitted when the run collects metrics
@@ -59,6 +70,9 @@ type Event struct {
 	Kind string `json:"kind,omitempty"`
 	Addr string `json:"addr,omitempty"`
 	Hit  *bool  `json:"hit,omitempty"`
+	// Bytes is the blob size carried by persistent-store events
+	// (store_hit, store_put, store_evict).
+	Bytes int64 `json:"bytes,omitempty"`
 
 	// Job completion.
 	Ms     float64 `json:"ms,omitempty"`

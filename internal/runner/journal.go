@@ -1,11 +1,11 @@
 package runner
 
 import (
-	"bytes"
 	"encoding/json"
-	"fmt"
 	"os"
 	"sync"
+
+	"cisim/internal/fsx"
 )
 
 // Journal is a crash-consistent record of completed jobs, one JSON line
@@ -13,7 +13,9 @@ import (
 // worst one torn final line; reopening the journal drops the torn tail
 // (and truncates the file back to its valid prefix, so later appends
 // cannot splice into it) and replays every intact record, which is what
-// lets `cisim run -resume` recompute only the jobs that were lost.
+// lets `cisim run -resume` recompute only the jobs that were lost. The
+// torn-tail recovery itself is the shared fsx.OpenAppend discipline,
+// the same one the persistent artifact store's index uses.
 //
 // Record format (journal.v1):
 //
@@ -50,54 +52,32 @@ type journalRecord struct {
 // dropped as torn or corrupt. The file is truncated back to its last
 // intact record, so a torn tail can never corrupt subsequent appends.
 func OpenJournal(path string) (*Journal, map[string]json.RawMessage, int, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, nil, 0, err
-	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		f.Close()
-		return nil, nil, 0, err
-	}
 	entries := map[string]json.RawMessage{}
-	dropped := 0
-	valid := 0 // byte offset of the end of the last intact record
-	for off := 0; off < len(data); {
-		nl := bytes.IndexByte(data[off:], '\n')
-		if nl < 0 {
-			// No newline: the final line never finished writing.
-			dropped++
-			break
-		}
-		line := data[off : off+nl]
-		off += nl + 1
+	f, kept, dropped, err := fsx.OpenAppend(path, func(line []byte) fsx.Verdict {
 		var rec journalRecord
 		if err := json.Unmarshal(line, &rec); err != nil || rec.V != journalVersion || rec.Addr == "" {
 			// A malformed framed line means the file was damaged here;
 			// everything after it is untrustworthy. Keep the prefix.
-			dropped++
-			break
+			return fsx.Stop
 		}
 		if rec.Sum != Address(string(rec.Payload)) {
 			// Framing intact but the payload bytes are not what was
 			// written: skip this record (the job recomputes) but keep
 			// scanning — later records have independent framing.
-			dropped++
-			valid = off
-			continue
+			return fsx.Skip
 		}
-		entries[rec.Addr] = rec.Payload
-		valid = off
-	}
-	if valid < len(data) {
-		if err := f.Truncate(int64(valid)); err != nil {
-			f.Close()
-			return nil, nil, 0, fmt.Errorf("truncating torn journal tail: %w", err)
-		}
-	}
-	if _, err := f.Seek(int64(valid), 0); err != nil {
-		f.Close()
+		return fsx.Keep
+	})
+	if err != nil {
 		return nil, nil, 0, err
+	}
+	for _, line := range kept {
+		// Keep-judged lines already parsed and verified; decode again to
+		// own the payload bytes (kept lines alias OpenAppend's buffer).
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err == nil {
+			entries[rec.Addr] = rec.Payload
+		}
 	}
 	return &Journal{f: f, path: path}, entries, dropped, nil
 }

@@ -387,6 +387,17 @@ func (s Summary) Table() *stats.Table {
 	if c.Healed > 0 {
 		t.AddRow("cache corruptions healed", int(c.Healed))
 	}
+	// Persistent-store rows appear only when a store was attached (any
+	// traffic at all); a storeless run's footer is unchanged.
+	if c.StoreHits+c.StorePuts+c.StoreEvictions+c.StoreHealed > 0 {
+		t.AddRow("store hits / puts", fmt.Sprintf("%d / %d", c.StoreHits, c.StorePuts))
+		if c.StoreEvictions > 0 {
+			t.AddRow("store evictions", int(c.StoreEvictions))
+		}
+		if c.StoreHealed > 0 {
+			t.AddRow("store blobs healed", int(c.StoreHealed))
+		}
+	}
 	return t
 }
 

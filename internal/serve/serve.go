@@ -50,6 +50,7 @@ import (
 	"cisim/internal/api"
 	"cisim/internal/exp"
 	"cisim/internal/runner"
+	"cisim/internal/store"
 )
 
 // Config parameterizes a Server.
@@ -64,6 +65,11 @@ type Config struct {
 	// at <dir>/<job id>.journal, so a drained or crashed sweep's
 	// completed jobs survive for offline inspection or resume.
 	JournalDir string
+	// Store is the persistent artifact store the daemon's sweeps share
+	// (already attached behind runner.Artifacts by the frontend); the
+	// server only reads its counters for /healthz. Nil without
+	// -cache-dir.
+	Store *store.Store
 }
 
 // DefaultQueue is the queue depth used when Config.Queue is zero.
@@ -420,7 +426,23 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.Unlock()
+	if st := s.cfg.Store; st != nil {
+		h.Store = StoreHealth(st)
+	}
 	writeJSON(w, http.StatusOK, h)
+}
+
+// StoreHealth snapshots a store's session counters into the /healthz
+// shape. Exported for the frontend's SIGTERM drain footer, which prints
+// the same numbers the last /healthz probe would have shown.
+func StoreHealth(st *store.Store) *api.StoreHealth {
+	c := st.Session()
+	return &api.StoreHealth{
+		Dir:  st.Dir(),
+		Hits: c.Hits, Misses: c.Misses, Puts: c.Puts,
+		Heals: c.Quarantines, Evictions: c.Evictions,
+		BytesRead: c.BytesRead, BytesWritten: c.BytesWritten,
+	}
 }
 
 func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {

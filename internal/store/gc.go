@@ -1,0 +1,249 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"cisim/internal/fsx"
+)
+
+// BlobInfo describes one stored blob as found on disk.
+type BlobInfo struct {
+	Kind    string
+	Addr    string
+	Bytes   int64 // full blob size (header + payload)
+	ModTime time.Time
+	Path    string
+}
+
+// Scan walks blobs/ and returns every stored blob, oldest first. It
+// reads only directory metadata — Verify reads the bytes.
+func (s *Store) Scan() ([]BlobInfo, error) {
+	return s.scanBlobs()
+}
+
+func (s *Store) scanBlobs() ([]BlobInfo, error) {
+	var blobs []BlobInfo
+	root := filepath.Join(s.dir, "blobs")
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			// A shard directory vanishing mid-walk is another process's
+			// GC, not a scan failure.
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if d.IsDir() || strings.HasPrefix(d.Name(), ".tmp-") {
+			return nil
+		}
+		name := d.Name()
+		dot := strings.LastIndexByte(name, '.')
+		if dot <= 0 {
+			return nil
+		}
+		fi, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		blobs = append(blobs, BlobInfo{
+			Kind:    name[dot+1:],
+			Addr:    name[:dot],
+			Bytes:   fi.Size(),
+			ModTime: fi.ModTime(),
+			Path:    path,
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(blobs, func(i, j int) bool {
+		if !blobs[i].ModTime.Equal(blobs[j].ModTime) {
+			return blobs[i].ModTime.Before(blobs[j].ModTime)
+		}
+		return blobs[i].Path < blobs[j].Path
+	})
+	return blobs, nil
+}
+
+// VerifyResult reports one blob that failed verification.
+type VerifyResult struct {
+	Kind, Addr, Reason string
+}
+
+// Verify reads every blob and checks it against its own header. With
+// quarantineBad, failures are moved to quarantine/ (and heal on next
+// access); otherwise they are only reported.
+func (s *Store) Verify(quarantineBad bool) (checked int, bad []VerifyResult, err error) {
+	blobs, err := s.scanBlobs()
+	if err != nil {
+		return 0, nil, err
+	}
+	for _, b := range blobs {
+		checked++
+		data, rerr := os.ReadFile(b.Path)
+		if rerr != nil {
+			if os.IsNotExist(rerr) { // evicted under us
+				checked--
+				continue
+			}
+			bad = append(bad, VerifyResult{b.Kind, b.Addr, rerr.Error()})
+			continue
+		}
+		hdr, body, verr := parseBlob(data)
+		if verr == nil {
+			verr = verifyBlob(hdr, body, b.Kind, b.Addr)
+		}
+		if verr != nil {
+			bad = append(bad, VerifyResult{b.Kind, b.Addr, verr.Error()})
+			if quarantineBad {
+				s.Quarantine(b.Kind, b.Addr, verr.Error())
+			}
+		}
+	}
+	return checked, bad, nil
+}
+
+// GC evicts oldest-first until the store fits maxBytes and nothing is
+// older than maxAge (zero disables that bound). Entries pinned by a
+// reader or being written are skipped — eviction never races a read.
+// With dryRun, returns what would be evicted without touching disk.
+func (s *Store) GC(maxBytes int64, maxAge time.Duration, dryRun bool) ([]EvictStat, error) {
+	blobs, err := s.scanBlobs()
+	if err != nil {
+		return nil, err
+	}
+	var total int64
+	for _, b := range blobs {
+		total += b.Bytes
+	}
+	var cutoff time.Time
+	if maxAge > 0 {
+		cutoff = time.Now().Add(-maxAge)
+	}
+	var out []EvictStat
+	for _, b := range blobs { // oldest first
+		tooBig := maxBytes > 0 && total > maxBytes
+		tooOld := maxAge > 0 && b.ModTime.Before(cutoff)
+		if !tooBig && !tooOld {
+			// Oldest-first: later blobs are newer still, and total only
+			// shrinks by evicting, so no later blob can breach a bound.
+			break
+		}
+		if dryRun {
+			out = append(out, EvictStat{Kind: b.Kind, Addr: b.Addr, Bytes: b.Bytes})
+			total -= b.Bytes
+			continue
+		}
+		if st, ok := s.evictOne(b); ok {
+			out = append(out, st)
+			total -= b.Bytes
+		}
+	}
+	return out, nil
+}
+
+// evictOne removes one blob if no other process holds its entry lock.
+func (s *Store) evictOne(b BlobInfo) (EvictStat, bool) {
+	unlock, ok := s.tryEvictLock(b.Addr)
+	if !ok {
+		return EvictStat{}, false // pinned by a reader or writer
+	}
+	defer unlock()
+	err := os.Remove(b.Path)
+	if err != nil {
+		return EvictStat{}, false
+	}
+	_ = s.syncShard(b.Path)
+	s.mu.Lock()
+	s.counters.Evictions++
+	s.entries--
+	s.bytes -= b.Bytes
+	s.appendIndexLocked(indexRecord{Op: "evict", Addr: b.Addr, Kind: b.Kind, Len: int(b.Bytes)})
+	s.mu.Unlock()
+	return EvictStat{Kind: b.Kind, Addr: b.Addr, Bytes: b.Bytes}, true
+}
+
+func (s *Store) syncShard(blobPath string) error {
+	return fsx.SyncDir(filepath.Dir(blobPath))
+}
+
+// evictLocked enforces the configured size/age budget after a put (and
+// at open). Caller holds s.mu; the lock is dropped around the disk walk
+// so a large GC cannot stall concurrent counters.
+func (s *Store) evictLocked(st *PutStat) {
+	if s.cfg.MaxBytes <= 0 && s.cfg.MaxAge <= 0 {
+		return
+	}
+	over := s.cfg.MaxBytes > 0 && s.bytes > s.cfg.MaxBytes
+	if !over && s.cfg.MaxAge <= 0 {
+		return
+	}
+	s.mu.Unlock()
+	evicted, err := s.GC(s.cfg.MaxBytes, s.cfg.MaxAge, false)
+	s.mu.Lock()
+	if err == nil && st != nil {
+		st.Evicted = append(st.Evicted, evicted...)
+	}
+}
+
+// Report is the full store accounting: live usage from a fresh disk
+// scan plus lifetime totals replayed from the index log.
+type Report struct {
+	Dir     string           `json:"dir"`
+	Version string           `json:"version"`
+	Entries int              `json:"entries"`
+	Bytes   int64            `json:"bytes"`
+	ByKind  map[string]int   `json:"by_kind"`
+	Oldest  time.Time        `json:"oldest,omitempty"`
+	Newest  time.Time        `json:"newest,omitempty"`
+	Life    LifetimeCounters `json:"lifetime"`
+	Session Counters         `json:"session"`
+}
+
+// LifetimeCounters aggregate the index log across every process that
+// ever used the store.
+type LifetimeCounters struct {
+	Puts         int   `json:"puts"`
+	Evictions    int   `json:"evictions"`
+	Quarantines  int   `json:"quarantines"`
+	BytesWritten int64 `json:"bytes_written"`
+	IndexDropped int   `json:"index_dropped"`
+}
+
+// Stats computes a Report from a fresh disk scan and index replay.
+func (s *Store) Stats() (Report, error) {
+	blobs, err := s.scanBlobs()
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{Dir: s.dir, Version: Version, ByKind: map[string]int{}, Session: s.Session()}
+	for _, b := range blobs {
+		rep.Entries++
+		rep.Bytes += b.Bytes
+		rep.ByKind[b.Kind]++
+		if rep.Oldest.IsZero() || b.ModTime.Before(rep.Oldest) {
+			rep.Oldest = b.ModTime
+		}
+		if b.ModTime.After(rep.Newest) {
+			rep.Newest = b.ModTime
+		}
+	}
+	puts, evicts, quars, putBytes, dropped, err := s.replayIndex()
+	if err != nil {
+		return rep, err
+	}
+	s.mu.Lock()
+	openDropped := s.dropped
+	s.mu.Unlock()
+	rep.Life = LifetimeCounters{
+		Puts: puts, Evictions: evicts, Quarantines: quars,
+		BytesWritten: putBytes,
+		IndexDropped: dropped + openDropped,
+	}
+	return rep, nil
+}

@@ -1,0 +1,122 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"cisim/internal/faults"
+	"cisim/internal/fsx"
+)
+
+// indexRecord is one line of index.jsonl: an operation the store
+// performed, checksummed so a torn or bit-rotted line is detectable.
+// The index is an advisory log — blobs are the ground truth — so a
+// damaged record costs statistics, never correctness.
+type indexRecord struct {
+	V    int    `json:"v"`
+	Op   string `json:"op"` // put | evict | quarantine
+	Addr string `json:"addr"`
+	Kind string `json:"kind"`
+	Len  int    `json:"len"`
+	T    int64  `json:"t"`   // unix seconds
+	Sum  string `json:"sum"` // checksum over the other fields
+}
+
+// recordSum checksums an index record's identifying fields; hex16 like
+// the runner's content addresses (the store cannot import runner — the
+// dependency points the other way).
+func recordSum(r indexRecord) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%d|%s|%s|%s|%d|%d", r.V, r.Op, r.Addr, r.Kind, r.Len, r.T)))
+	return hex.EncodeToString(h[:8])
+}
+
+// judgeIndexLine classifies one index line during open-time recovery:
+// unparseable framing distrusts the rest of the file (Stop — only a
+// crash mid-append under the index lock produces it, and only at the
+// tail), a checksum mismatch drops just that record (Skip).
+func judgeIndexLine(line []byte) fsx.Verdict {
+	var rec indexRecord
+	if err := json.Unmarshal(line, &rec); err != nil || rec.V != 1 || rec.Op == "" {
+		return fsx.Stop
+	}
+	if rec.Sum != recordSum(rec) {
+		return fsx.Skip
+	}
+	return fsx.Keep
+}
+
+// appendIndexLocked appends one fsync'd record to the index. Caller
+// holds s.mu; the cross-process index flock serializes against other
+// processes' appends and open-time truncation. Index failures are
+// swallowed after counting: the log is advisory and a store that can
+// write blobs but not index lines should keep serving.
+func (s *Store) appendIndexLocked(rec indexRecord) {
+	if s.index == nil {
+		return
+	}
+	rec.V = 1
+	rec.T = time.Now().Unix()
+	rec.Sum = recordSum(rec)
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	unlock, err := s.lockIndexFile()
+	if err != nil {
+		return
+	}
+	defer unlock()
+	if faults.Fire(FaultCrash) {
+		// Site 3: die halfway through the append, leaving a torn line
+		// for the next open to truncate.
+		s.index.Write(line[:len(line)/2])
+		s.index.Sync()
+		crashExit()
+	}
+	if _, err := s.index.Write(line); err == nil {
+		s.index.Sync()
+	}
+}
+
+// lockIndexFile takes the cross-process exclusive flock on index.lock,
+// blocking until granted. Returns the release func.
+func (s *Store) lockIndexFile() (func(), error) {
+	return flockPath(filepath.Join(s.dir, "index.lock"))
+}
+
+// replayIndex re-reads the whole index (shared with other processes)
+// and folds it into lifetime totals. Used by Report; the live store
+// never depends on it.
+func (s *Store) replayIndex() (puts, evicts, quarantines int, putBytes int64, dropped int, err error) {
+	unlock, err := s.lockIndexFile()
+	if err != nil {
+		return 0, 0, 0, 0, 0, err
+	}
+	defer unlock()
+	f, kept, dropped, err := fsx.OpenAppend(filepath.Join(s.dir, "index.jsonl"), judgeIndexLine)
+	if err != nil {
+		return 0, 0, 0, 0, 0, err
+	}
+	f.Close()
+	for _, line := range kept {
+		var rec indexRecord
+		if json.Unmarshal(line, &rec) != nil {
+			continue
+		}
+		switch rec.Op {
+		case "put":
+			puts++
+			putBytes += int64(rec.Len)
+		case "evict":
+			evicts++
+		case "quarantine":
+			quarantines++
+		}
+	}
+	return puts, evicts, quarantines, putBytes, dropped, nil
+}

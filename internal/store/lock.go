@@ -1,0 +1,103 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"cisim/internal/faults"
+)
+
+// Entry locking protocol (flock, so the kernel releases locks when a
+// process dies — a SIGKILLed holder can never wedge the store):
+//
+//   - readers take a SHARED lock on locks/<addr>.lock for the duration
+//     of the blob read ("pinning" the entry);
+//   - the cross-process singleflight winner holds the EXCLUSIVE lock
+//     while computing and writing the entry; losers block (bounded by
+//     Config.LockWait) and then re-check the blob — usually a hit;
+//   - eviction takes the EXCLUSIVE lock non-blocking and skips the
+//     entry if anyone holds it, so GC never evicts mid-read.
+//
+// Lock files are never unlinked: removing one while another process
+// holds its flock would let a third process lock a fresh inode under
+// the same name, splitting the lock namespace. A few bytes per entry
+// is the price of a race-free protocol.
+
+// flockPath opens (creating if needed) path and takes a blocking
+// exclusive flock on it. Returns the release func.
+func flockPath(path string) (func(), error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Closing the fd releases the flock.
+	return func() { f.Close() }, nil
+}
+
+func (s *Store) entryLockPath(addr string) string {
+	return filepath.Join(s.dir, "locks", addr+".lock")
+}
+
+// flockPoll is the retry interval while waiting on a contended lock.
+// flock has no native timeout, so bounded waits poll LOCK_NB.
+const flockPoll = 5 * time.Millisecond
+
+// acquire takes the flock described by how (LOCK_SH or LOCK_EX) on
+// path, polling non-blocking until granted or deadline. Returns the
+// release func, or ok=false on timeout.
+func acquire(path string, how int, wait time.Duration) (unlock func(), ok bool) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, false
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		err := syscall.Flock(int(f.Fd()), how|syscall.LOCK_NB)
+		if err == nil {
+			return func() { f.Close() }, true
+		}
+		if err != syscall.EWOULDBLOCK && err != syscall.EAGAIN {
+			f.Close()
+			return nil, false
+		}
+		if time.Now().After(deadline) {
+			f.Close()
+			return nil, false
+		}
+		time.Sleep(flockPoll)
+	}
+}
+
+// LockEntry takes the exclusive per-entry lock — the cross-process
+// singleflight slot for addr. ok=false means the lock could not be had
+// within Config.LockWait (a slow or wedged holder, or the injected
+// store-lock-stale fault): the caller computes without dedup, which
+// costs duplicate work, never correctness.
+func (s *Store) LockEntry(addr string) (unlock func(), ok bool) {
+	if faults.Fire(FaultLockStale) {
+		return nil, false
+	}
+	return acquire(s.entryLockPath(addr), syscall.LOCK_EX, s.cfg.LockWait)
+}
+
+// pinEntry takes the shared per-entry lock for the duration of a read,
+// keeping GC from evicting the entry mid-read. A brief bounded wait
+// (an exclusive writer holds the lock only while renaming); on timeout
+// the read proceeds unpinned — POSIX rename/unlink cannot tear an
+// already-open read, so the downside is only a spurious miss.
+func (s *Store) pinEntry(addr string) (unlock func(), ok bool) {
+	return acquire(s.entryLockPath(addr), syscall.LOCK_SH, 2*time.Second)
+}
+
+// tryEvictLock takes the exclusive per-entry lock without waiting.
+// Eviction-only: any current reader or writer makes the entry
+// untouchable this round.
+func (s *Store) tryEvictLock(addr string) (unlock func(), ok bool) {
+	return acquire(s.entryLockPath(addr), syscall.LOCK_EX, 0)
+}

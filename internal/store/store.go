@@ -1,0 +1,516 @@
+// Package store is the persistent, shareable artifact backend behind
+// the in-memory artifact cache (internal/runner): a content-addressed
+// blob store on disk, built so that N cisim processes — CLI runs and
+// serve workers — can share one directory without ever serving a torn,
+// corrupt, or stale artifact.
+//
+// Layout (schema store.v1; the VERSION file pins it):
+//
+//	<dir>/VERSION                 "store.v1\n", written atomically
+//	<dir>/blobs/<aa>/<addr>.<kind> one artifact: a JSON header line
+//	                              (address, kind, fingerprint, payload
+//	                              checksum, length) followed by the
+//	                              payload bytes
+//	<dir>/index.jsonl             checksummed append-only operation log
+//	                              (put/evict/quarantine), torn tail
+//	                              truncated on open
+//	<dir>/index.lock              flock serializing index writes and
+//	                              open-time recovery across processes
+//	<dir>/locks/<addr>.lock       per-entry flock: shared readers pin
+//	                              entries against eviction, an exclusive
+//	                              holder is the cross-process
+//	                              singleflight winner
+//	<dir>/quarantine/             corrupt blobs moved aside, kept for
+//	                              post-mortem instead of deleted
+//
+// Crash consistency follows the journal.v1 discipline (internal/fsx):
+// blobs are written to a temp file, fsync'd, and renamed into place, so
+// under its final name a blob is either absent or byte-complete; the
+// index is append-only with fsync'd, checksummed lines, so a crash
+// costs at worst the final line, which reopening truncates away. Blobs
+// are the ground truth — the index is an operation log for statistics
+// and forensics, and losing its tail can never make the store serve a
+// wrong artifact.
+//
+// Every read is verified: the header's SHA-256 must match the payload
+// bytes, and the caller additionally checks the recorded artifact
+// fingerprint after decoding (the runner cache's Fingerprinter path). A
+// blob that fails either check is quarantined and recomputed — the
+// store self-heals exactly as the in-memory cache does.
+//
+// The disk failure matrix is deterministically testable through the
+// registered fault points (internal/faults): store-short-write,
+// store-read-corrupt, store-rename-fail, store-enospc,
+// store-lock-stale, and store-crash, which aborts the process (as a
+// SIGKILL would) at each distinct disk mutation site.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"cisim/internal/faults"
+	"cisim/internal/fsx"
+)
+
+// Version is the on-disk schema this package reads and writes; a store
+// directory created by an incompatible layout is rejected at Open.
+const Version = "store.v1"
+
+// Disk-layer fault points (see internal/faults and DESIGN.md §13).
+var (
+	// FaultShortWrite silently truncates one blob's written bytes, as a
+	// lying disk would: the write "succeeds" but the payload is short.
+	// The next read fails the header checksum and self-heals.
+	FaultShortWrite = faults.Register("store-short-write", "one stored blob is silently truncated; the next read detects and heals it")
+	// FaultReadCorrupt flips a bit in one blob's payload as it is read,
+	// exercising the verify-on-read quarantine path.
+	FaultReadCorrupt = faults.Register("store-read-corrupt", "a bit flips in a blob payload on read; the entry is quarantined and recomputed")
+	// FaultRenameFail makes one blob's rename-into-place fail, as if the
+	// directory entry could not be written. The put degrades to a miss.
+	FaultRenameFail = faults.Register("store-rename-fail", "promoting a written blob fails; the store misses instead of storing")
+	// FaultENOSPC makes one blob write fail with ENOSPC before any bytes
+	// land. The put degrades to a miss.
+	FaultENOSPC = faults.Register("store-enospc", "a blob write fails with ENOSPC; the store misses instead of storing")
+	// FaultLockStale makes one entry-lock acquisition report the lock as
+	// held by an unresponsive owner, forcing the caller onto the
+	// compute-without-dedup fallback.
+	FaultLockStale = faults.Register("store-lock-stale", "an entry lock behaves as if its holder died without releasing; the caller computes without cross-process dedup")
+	// FaultCrash aborts the process (as an external SIGKILL would) at
+	// the next disk mutation site: after the temp write, after the
+	// rename, or halfway through an index append. Arm with @N to pick
+	// the Nth site reached.
+	FaultCrash = faults.Register("store-crash", "the process dies mid disk operation, as if SIGKILLed; reopening the store must recover")
+)
+
+// crashExit is how FaultCrash kills the process; a variable so the
+// in-process torn-index test can observe the half-written line instead
+// of dying. 137 mirrors a SIGKILL exit status.
+var crashExit = func() { os.Exit(137) }
+
+// crashPoint aborts the process when the store-crash fault fires.
+func crashPoint() {
+	if faults.Fire(FaultCrash) {
+		crashExit()
+	}
+}
+
+// Config parameterizes a Store.
+type Config struct {
+	// Dir is the store directory, created if absent.
+	Dir string
+	// MaxBytes bounds the blob payload total; puts that push past it
+	// evict the oldest unpinned entries. 0 means unbounded.
+	MaxBytes int64
+	// MaxAge expires entries not rewritten for this long, enforced on
+	// open, on put, and by GC. 0 means no age limit.
+	MaxAge time.Duration
+	// LockWait bounds how long a cross-process singleflight waiter
+	// blocks on another process's exclusive entry lock before giving up
+	// and computing without dedup. 0 means DefaultLockWait.
+	LockWait time.Duration
+}
+
+// DefaultLockWait is the entry-lock patience used when Config.LockWait
+// is zero: long enough to ride out another process computing a quick
+// artifact, short enough that a wedged holder cannot hang a sweep.
+const DefaultLockWait = 15 * time.Second
+
+// Counters is a snapshot of one process's store activity (the lifetime
+// log lives in the index; see Report).
+type Counters struct {
+	Hits         uint64 `json:"hits"`
+	Misses       uint64 `json:"misses"`
+	Puts         uint64 `json:"puts"`
+	PutErrors    uint64 `json:"put_errors"`
+	Quarantines  uint64 `json:"quarantines"`
+	Evictions    uint64 `json:"evictions"`
+	BytesRead    int64  `json:"bytes_read"`
+	BytesWritten int64  `json:"bytes_written"`
+}
+
+// Store is an open artifact store. All methods are safe for concurrent
+// use by multiple goroutines, and the on-disk state is safe for
+// concurrent use by multiple processes.
+type Store struct {
+	cfg Config
+	dir string
+
+	mu       sync.Mutex
+	index    *os.File // guarded by mu (appends; cross-process via index.lock)
+	counters Counters // guarded by mu
+	entries  int      // guarded by mu; live blob count (open scan + deltas)
+	bytes    int64    // guarded by mu; live blob bytes (open scan + deltas)
+	dropped  int      // guarded by mu; index records dropped at open
+}
+
+// PutStat reports what one Put did: the bytes written and any entries
+// evicted to stay under the size/age budget.
+type PutStat struct {
+	Bytes   int64
+	Evicted []EvictStat
+}
+
+// EvictStat identifies one evicted entry.
+type EvictStat struct {
+	Kind  string
+	Addr  string
+	Bytes int64
+}
+
+// CorruptError reports a blob that failed verification and was
+// quarantined. Callers treat it as a miss and recompute.
+type CorruptError struct {
+	Kind, Addr, Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("store: blob %s.%s corrupt (%s); quarantined", e.Addr, e.Kind, e.Reason)
+}
+
+// Open opens (creating if needed) the store at cfg.Dir: directories are
+// laid out, the VERSION file is checked or written, stale temp files
+// are swept, the index recovers its torn tail under the cross-process
+// index lock, and the size/age budget is enforced.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	if cfg.LockWait <= 0 {
+		cfg.LockWait = DefaultLockWait
+	}
+	dir, err := filepath.Abs(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range []string{dir, filepath.Join(dir, "blobs"), filepath.Join(dir, "locks"), filepath.Join(dir, "quarantine")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	vpath := filepath.Join(dir, "VERSION")
+	switch v, err := os.ReadFile(vpath); {
+	case err == nil:
+		if got := strings.TrimSpace(string(v)); got != Version {
+			return nil, fmt.Errorf("store: %s holds schema %q, this build speaks %q (move the directory aside or point -cache-dir elsewhere)", dir, got, Version)
+		}
+	case os.IsNotExist(err):
+		if err := fsx.WriteAtomic(vpath, []byte(Version+"\n"), 0o644); err != nil {
+			return nil, fmt.Errorf("store: writing VERSION: %w", err)
+		}
+	default:
+		return nil, err
+	}
+
+	s := &Store{cfg: cfg, dir: dir}
+
+	// Index recovery happens under the cross-process index lock: another
+	// live appender must never race our torn-tail truncation.
+	unlock, err := s.lockIndexFile()
+	if err != nil {
+		return nil, err
+	}
+	idx, _, dropped, err := fsx.OpenAppend(filepath.Join(dir, "index.jsonl"), judgeIndexLine)
+	unlock()
+	if err != nil {
+		return nil, fmt.Errorf("store: opening index: %w", err)
+	}
+	s.index = idx
+	s.dropped = dropped
+
+	s.sweepTemps()
+	blobs, err := s.scanBlobs()
+	if err != nil {
+		idx.Close()
+		return nil, err
+	}
+	for _, b := range blobs {
+		s.entries++
+		s.bytes += b.Bytes
+	}
+	s.mu.Lock()
+	s.evictLocked(nil)
+	s.mu.Unlock()
+	return s, nil
+}
+
+// Close closes the index file. Blob and lock state lives on disk; a
+// closed store's directory can be reopened by any process.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.index == nil {
+		return nil
+	}
+	err := s.index.Close()
+	s.index = nil
+	return err
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Session snapshots this process's counters.
+func (s *Store) Session() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters
+}
+
+// Usage returns the live entry count and payload byte total, as tracked
+// since open (other processes' concurrent writes are not included until
+// the next Scan or Report).
+func (s *Store) Usage() (entries int, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.entries, s.bytes
+}
+
+// blobHeader is the self-describing first line of every blob file. A
+// blob verifies standalone — header against address and kind, payload
+// against Sum and Len — so a blob another process wrote after our index
+// was read is as trustworthy as one of our own.
+type blobHeader struct {
+	V    int    `json:"v"`
+	Addr string `json:"addr"`
+	Kind string `json:"kind"`
+	// Fp is the artifact's structural fingerprint at store time; the
+	// reader re-derives it after decoding (runner.Fingerprinter).
+	Fp  uint64 `json:"fp"`
+	Sum string `json:"sum"` // SHA-256 (hex) of the payload bytes
+	Len int    `json:"len"` // payload length in bytes
+}
+
+func (s *Store) blobPath(kind, addr string) string {
+	shard := "xx"
+	if len(addr) >= 2 {
+		shard = addr[:2]
+	}
+	return filepath.Join(s.dir, "blobs", shard, addr+"."+kind)
+}
+
+// Get reads and verifies one blob. found is false on a clean miss; a
+// verification failure quarantines the blob and returns a *CorruptError
+// with found false, so callers recompute either way.
+func (s *Store) Get(kind, addr string) (payload []byte, fp uint64, found bool, err error) {
+	return s.get(kind, addr, true)
+}
+
+// GetLocked is Get for a caller already holding the entry's exclusive
+// lock (LockEntry): the read-pin is skipped, because flock is per file
+// description — a shared request through a second descriptor would
+// block on the caller's own exclusive hold — and unnecessary, because
+// the exclusive holder already excludes eviction.
+func (s *Store) GetLocked(kind, addr string) (payload []byte, fp uint64, found bool, err error) {
+	return s.get(kind, addr, false)
+}
+
+func (s *Store) get(kind, addr string, pin bool) (payload []byte, fp uint64, found bool, err error) {
+	path := s.blobPath(kind, addr)
+	data, rerr := func() ([]byte, error) {
+		if pin {
+			if unpin, ok := s.pinEntry(addr); ok { // shared lock: eviction skips us
+				defer unpin()
+			}
+		}
+		return os.ReadFile(path)
+	}()
+	if rerr != nil {
+		if os.IsNotExist(rerr) {
+			s.count(func(c *Counters) { c.Misses++ })
+			return nil, 0, false, nil
+		}
+		return nil, 0, false, rerr
+	}
+	hdr, body, verr := parseBlob(data)
+	if verr == nil {
+		if faults.Fire(FaultReadCorrupt) && len(body) > 0 {
+			body = append([]byte(nil), body...)
+			body[0] ^= 0x80
+		}
+		verr = verifyBlob(hdr, body, kind, addr)
+	}
+	if verr != nil {
+		s.Quarantine(kind, addr, verr.Error())
+		return nil, 0, false, &CorruptError{Kind: kind, Addr: addr, Reason: verr.Error()}
+	}
+	s.count(func(c *Counters) { c.Hits++; c.BytesRead += int64(len(body)) })
+	return body, hdr.Fp, true, nil
+}
+
+// parseBlob splits a blob file into its header and payload.
+func parseBlob(data []byte) (blobHeader, []byte, error) {
+	var hdr blobHeader
+	nl := -1
+	for i, b := range data {
+		if b == '\n' {
+			nl = i
+			break
+		}
+	}
+	if nl < 0 {
+		return hdr, nil, errors.New("no header line")
+	}
+	if err := json.Unmarshal(data[:nl], &hdr); err != nil {
+		return hdr, nil, fmt.Errorf("unparseable header: %v", err)
+	}
+	return hdr, data[nl+1:], nil
+}
+
+// verifyBlob checks a parsed blob against its own header and the name
+// it was found under.
+func verifyBlob(hdr blobHeader, body []byte, kind, addr string) error {
+	switch {
+	case hdr.V != 1:
+		return fmt.Errorf("header version %d", hdr.V)
+	case hdr.Addr != addr || hdr.Kind != kind:
+		return fmt.Errorf("header identifies %s.%s", hdr.Addr, hdr.Kind)
+	case hdr.Len != len(body):
+		return fmt.Errorf("payload is %d bytes, header says %d", len(body), hdr.Len)
+	case hdr.Sum != payloadSum(body):
+		return errors.New("payload checksum mismatch")
+	}
+	return nil
+}
+
+func payloadSum(body []byte) string {
+	h := sha256.Sum256(body)
+	return hex.EncodeToString(h[:])
+}
+
+// Put stores one artifact: header+payload to a temp file, fsync, atomic
+// rename, directory sync, then an index record and budget enforcement.
+// A failed put degrades to a future miss — it never corrupts the store
+// and never destroys an existing good blob (the rename is atomic).
+func (s *Store) Put(kind, addr string, payload []byte, fp uint64) (PutStat, error) {
+	st, err := s.put(kind, addr, payload, fp)
+	if err != nil {
+		s.count(func(c *Counters) { c.PutErrors++ })
+	}
+	return st, err
+}
+
+func (s *Store) put(kind, addr string, payload []byte, fp uint64) (PutStat, error) {
+	if faults.Fire(FaultENOSPC) {
+		return PutStat{}, fmt.Errorf("store: writing %s.%s: %w", addr, kind, syscall.ENOSPC)
+	}
+	hdr := blobHeader{V: 1, Addr: addr, Kind: kind, Fp: fp, Sum: payloadSum(payload), Len: len(payload)}
+	head, err := json.Marshal(hdr)
+	if err != nil {
+		return PutStat{}, err
+	}
+	blob := make([]byte, 0, len(head)+1+len(payload))
+	blob = append(blob, head...)
+	blob = append(blob, '\n')
+	blob = append(blob, payload...)
+	if faults.Fire(FaultShortWrite) && len(payload) > 1 {
+		// A lying disk: the write reports success but half the payload
+		// never lands. The header still promises the full checksum, so
+		// the next read quarantines and heals.
+		blob = blob[:len(head)+1+len(payload)/2]
+	}
+
+	path := s.blobPath(kind, addr)
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return PutStat{}, err
+	}
+	tmp, err := fsx.WriteTemp(dir, blob)
+	if err != nil {
+		return PutStat{}, err
+	}
+	crashPoint() // site 1: temp written, not yet renamed — invisible to readers
+	if faults.Fire(FaultRenameFail) {
+		os.Remove(tmp)
+		return PutStat{}, fmt.Errorf("store: promoting %s.%s: %w", addr, kind, syscall.EIO)
+	}
+	replaced := int64(0)
+	if fi, err := os.Stat(path); err == nil {
+		replaced = fi.Size()
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return PutStat{}, err
+	}
+	if err := fsx.SyncDir(dir); err != nil {
+		return PutStat{}, err
+	}
+	crashPoint() // site 2: blob live, index record not yet appended
+
+	st := PutStat{Bytes: int64(len(blob))}
+	func() {
+		// Deferred unlock: the crash fault inside appendIndexLocked can
+		// unwind (the unit tests stub crashExit to panic) and must not
+		// leave the store mutex held.
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.counters.Puts++
+		s.counters.BytesWritten += int64(len(blob))
+		if replaced > 0 {
+			s.bytes -= replaced
+		} else {
+			s.entries++
+		}
+		s.bytes += int64(len(blob))
+		s.appendIndexLocked(indexRecord{Op: "put", Addr: addr, Kind: kind, Len: len(blob)})
+		s.evictLocked(&st)
+	}()
+	return st, nil
+}
+
+// Quarantine moves a corrupt blob aside (keeping it for post-mortem)
+// and logs the operation. Exported for callers that detect corruption
+// the store itself cannot — a payload that decodes but fails its
+// artifact fingerprint. Best-effort: a concurrent quarantiner winning
+// the rename is success, not failure.
+func (s *Store) Quarantine(kind, addr, reason string) {
+	path := s.blobPath(kind, addr)
+	var size int64
+	if fi, err := os.Stat(path); err == nil {
+		size = fi.Size()
+	}
+	dst := filepath.Join(s.dir, "quarantine",
+		fmt.Sprintf("%s.%s.%d", addr, kind, time.Now().UnixNano()))
+	moved := os.Rename(path, dst) == nil
+	_ = fsx.SyncDir(filepath.Dir(path))
+	s.mu.Lock()
+	s.counters.Quarantines++
+	if moved {
+		s.entries--
+		s.bytes -= size
+		s.appendIndexLocked(indexRecord{Op: "quarantine", Addr: addr, Kind: kind, Len: int(size)})
+	}
+	s.mu.Unlock()
+}
+
+// count mutates the session counters under the store lock.
+func (s *Store) count(f func(*Counters)) {
+	s.mu.Lock()
+	f(&s.counters)
+	s.mu.Unlock()
+}
+
+// sweepTemps removes abandoned temp files left by crashed writers.
+// Young temps are spared: they may belong to a live writer in another
+// process that has not renamed yet.
+func (s *Store) sweepTemps() {
+	cutoff := time.Now().Add(-time.Hour)
+	_ = filepath.WalkDir(filepath.Join(s.dir, "blobs"), func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasPrefix(d.Name(), ".tmp-") {
+			return nil
+		}
+		if fi, err := d.Info(); err == nil && fi.ModTime().Before(cutoff) {
+			_ = os.Remove(path)
+		}
+		return nil
+	})
+}

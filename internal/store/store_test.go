@@ -1,0 +1,501 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"cisim/internal/faults"
+)
+
+func openTest(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// arm installs a fault plan for the duration of the test.
+func arm(t *testing.T, spec string) {
+	t.Helper()
+	plan, err := faults.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Set(plan)
+	t.Cleanup(faults.Clear)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openTest(t, Config{})
+	payload := []byte("the artifact bytes")
+	if _, err := s.Put("result", "aaaa000011112222", payload, 42); err != nil {
+		t.Fatal(err)
+	}
+	got, fp, found, err := s.Get("result", "aaaa000011112222")
+	if err != nil || !found {
+		t.Fatalf("Get: found=%v err=%v", found, err)
+	}
+	if !bytes.Equal(got, payload) || fp != 42 {
+		t.Errorf("got %q fp=%d", got, fp)
+	}
+	c := s.Session()
+	if c.Puts != 1 || c.Hits != 1 || c.Misses != 0 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+func TestGetMiss(t *testing.T) {
+	s := openTest(t, Config{})
+	_, _, found, err := s.Get("result", "feedfacefeedface")
+	if err != nil || found {
+		t.Fatalf("miss: found=%v err=%v", found, err)
+	}
+	if c := s.Session(); c.Misses != 1 {
+		t.Errorf("misses = %d", c.Misses)
+	}
+}
+
+func TestReopenSeesBlobs(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, Config{Dir: dir})
+	for i := 0; i < 3; i++ {
+		addr := fmt.Sprintf("%016x", i)
+		if _, err := s.Put("result", addr, []byte("payload"), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	s2 := openTest(t, Config{Dir: dir})
+	entries, bytes := s2.Usage()
+	if entries != 3 || bytes == 0 {
+		t.Errorf("after reopen: entries=%d bytes=%d", entries, bytes)
+	}
+	got, _, found, err := s2.Get("result", fmt.Sprintf("%016x", 1))
+	if err != nil || !found || string(got) != "payload" {
+		t.Errorf("reopened Get: %q found=%v err=%v", got, found, err)
+	}
+}
+
+func TestVersionMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "VERSION"), []byte("store.v9\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Dir: dir}); err == nil || !strings.Contains(err.Error(), "store.v9") {
+		t.Fatalf("Open on foreign schema: err=%v", err)
+	}
+}
+
+func TestCorruptBlobQuarantined(t *testing.T) {
+	s := openTest(t, Config{})
+	if _, err := s.Put("result", "deadbeefdeadbeef", []byte("precious"), 7); err != nil {
+		t.Fatal(err)
+	}
+	// Rot a payload byte on disk behind the store's back.
+	path := s.blobPath("result", "deadbeefdeadbeef")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, found, err := s.Get("result", "deadbeefdeadbeef")
+	var ce *CorruptError
+	if found || !errors.As(err, &ce) {
+		t.Fatalf("corrupt Get: found=%v err=%v", found, err)
+	}
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Error("corrupt blob still live after quarantine")
+	}
+	quarantined, _ := os.ReadDir(filepath.Join(s.Dir(), "quarantine"))
+	if len(quarantined) != 1 {
+		t.Errorf("quarantine/ holds %d files, want 1", len(quarantined))
+	}
+	// The entry now misses cleanly and can be re-put (self-heal).
+	if _, _, found, err := s.Get("result", "deadbeefdeadbeef"); found || err != nil {
+		t.Fatalf("post-quarantine Get: found=%v err=%v", found, err)
+	}
+	if _, err := s.Put("result", "deadbeefdeadbeef", []byte("precious"), 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, found, _ := s.Get("result", "deadbeefdeadbeef"); !found {
+		t.Error("healed entry not served")
+	}
+}
+
+func TestFaultReadCorrupt(t *testing.T) {
+	s := openTest(t, Config{})
+	if _, err := s.Put("result", "0123456789abcdef", []byte("payload bytes"), 1); err != nil {
+		t.Fatal(err)
+	}
+	arm(t, FaultReadCorrupt)
+	_, _, found, err := s.Get("result", "0123456789abcdef")
+	var ce *CorruptError
+	if found || !errors.As(err, &ce) {
+		t.Fatalf("bit-flip read: found=%v err=%v", found, err)
+	}
+	if c := s.Session(); c.Quarantines != 1 {
+		t.Errorf("quarantines = %d", c.Quarantines)
+	}
+}
+
+func TestFaultShortWrite(t *testing.T) {
+	s := openTest(t, Config{})
+	arm(t, FaultShortWrite)
+	// The lying-disk write itself reports success.
+	if _, err := s.Put("result", "abcdabcdabcdabcd", []byte("twelve bytes"), 1); err != nil {
+		t.Fatal(err)
+	}
+	// The next read detects the truncation and quarantines.
+	_, _, found, err := s.Get("result", "abcdabcdabcdabcd")
+	var ce *CorruptError
+	if found || !errors.As(err, &ce) {
+		t.Fatalf("short-written blob served: found=%v err=%v", found, err)
+	}
+}
+
+func TestFaultRenameFail(t *testing.T) {
+	s := openTest(t, Config{})
+	arm(t, FaultRenameFail)
+	if _, err := s.Put("result", "1111222233334444", []byte("p"), 1); err == nil {
+		t.Fatal("rename-fail Put succeeded")
+	}
+	// Degrades to a miss; no temp litter, no half blob.
+	if _, _, found, err := s.Get("result", "1111222233334444"); found || err != nil {
+		t.Fatalf("after failed put: found=%v err=%v", found, err)
+	}
+	ents, _ := os.ReadDir(filepath.Join(s.Dir(), "blobs", "11"))
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Errorf("temp litter %s after failed rename", e.Name())
+		}
+	}
+	// The store is not poisoned: the same put works once the fault passes.
+	if _, err := s.Put("result", "1111222233334444", []byte("p"), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultENOSPC(t *testing.T) {
+	s := openTest(t, Config{})
+	arm(t, FaultENOSPC)
+	_, err := s.Put("result", "5555666677778888", []byte("p"), 1)
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+	if c := s.Session(); c.PutErrors != 1 {
+		t.Errorf("put_errors = %d", c.PutErrors)
+	}
+}
+
+func TestFaultLockStale(t *testing.T) {
+	s := openTest(t, Config{})
+	arm(t, FaultLockStale)
+	if _, ok := s.LockEntry("9999aaaabbbbcccc"); ok {
+		t.Fatal("stale lock reported acquired")
+	}
+	// Next acquisition (fault spent) succeeds.
+	unlock, ok := s.LockEntry("9999aaaabbbbcccc")
+	if !ok {
+		t.Fatal("lock not acquired after fault passed")
+	}
+	unlock()
+}
+
+func TestEntryLockExcludesAcrossFds(t *testing.T) {
+	s := openTest(t, Config{LockWait: 50 * time.Millisecond})
+	unlock, ok := s.LockEntry("ffff0000ffff0000")
+	if !ok {
+		t.Fatal("first lock")
+	}
+	// A second holder (separate fd, as a second process would be) times out.
+	if _, ok := s.LockEntry("ffff0000ffff0000"); ok {
+		t.Fatal("exclusive lock acquired twice")
+	}
+	unlock()
+	unlock2, ok := s.LockEntry("ffff0000ffff0000")
+	if !ok {
+		t.Fatal("lock not reacquirable after release")
+	}
+	unlock2()
+}
+
+func TestReadPinBlocksEviction(t *testing.T) {
+	s := openTest(t, Config{})
+	if _, err := s.Put("result", "cafe0000cafe0000", bytes.Repeat([]byte("x"), 100), 1); err != nil {
+		t.Fatal(err)
+	}
+	unpin, ok := s.pinEntry("cafe0000cafe0000")
+	if !ok {
+		t.Fatal("pin")
+	}
+	// GC to zero bytes: the pinned entry must survive.
+	evicted, err := s.GC(1, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 0 {
+		t.Fatalf("evicted %v while pinned", evicted)
+	}
+	unpin()
+	evicted, err = s.GC(1, 0, false)
+	if err != nil || len(evicted) != 1 {
+		t.Fatalf("after unpin: evicted=%v err=%v", evicted, err)
+	}
+	if _, _, found, _ := s.Get("result", "cafe0000cafe0000"); found {
+		t.Error("evicted entry still served")
+	}
+}
+
+func TestGCOldestFirst(t *testing.T) {
+	s := openTest(t, Config{})
+	payload := bytes.Repeat([]byte("y"), 64)
+	for i := 0; i < 4; i++ {
+		addr := fmt.Sprintf("%016x", 0xa0+i)
+		if _, err := s.Put("result", addr, payload, 1); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes, oldest = lowest i.
+		past := time.Now().Add(time.Duration(i-10) * time.Hour)
+		if err := os.Chtimes(s.blobPath("result", addr), past, past); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, total := s.Usage()
+	evicted, err := s.GC(total/2, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 2 {
+		t.Fatalf("evicted %d entries, want 2", len(evicted))
+	}
+	for i, want := range []string{fmt.Sprintf("%016x", 0xa0), fmt.Sprintf("%016x", 0xa1)} {
+		if evicted[i].Addr != want {
+			t.Errorf("evicted[%d] = %s, want %s (oldest first)", i, evicted[i].Addr, want)
+		}
+	}
+}
+
+func TestGCMaxAge(t *testing.T) {
+	s := openTest(t, Config{})
+	if _, err := s.Put("result", "0a0a0a0a0a0a0a0a", []byte("old"), 1); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-48 * time.Hour)
+	os.Chtimes(s.blobPath("result", "0a0a0a0a0a0a0a0a"), old, old)
+	if _, err := s.Put("result", "0b0b0b0b0b0b0b0b", []byte("new"), 1); err != nil {
+		t.Fatal(err)
+	}
+	evicted, err := s.GC(0, 24*time.Hour, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 1 || evicted[0].Addr != "0a0a0a0a0a0a0a0a" {
+		t.Fatalf("evicted = %v, want just the stale entry", evicted)
+	}
+}
+
+func TestGCDryRun(t *testing.T) {
+	s := openTest(t, Config{})
+	if _, err := s.Put("result", "0c0c0c0c0c0c0c0c", bytes.Repeat([]byte("z"), 100), 1); err != nil {
+		t.Fatal(err)
+	}
+	would, err := s.GC(1, 0, true)
+	if err != nil || len(would) != 1 {
+		t.Fatalf("dry run: %v err=%v", would, err)
+	}
+	if _, _, found, _ := s.Get("result", "0c0c0c0c0c0c0c0c"); !found {
+		t.Error("dry run evicted for real")
+	}
+}
+
+func TestPutBudgetEvicts(t *testing.T) {
+	s := openTest(t, Config{MaxBytes: 400})
+	payload := bytes.Repeat([]byte("b"), 150)
+	var last PutStat
+	for i := 0; i < 4; i++ {
+		addr := fmt.Sprintf("%016x", 0xe0+i)
+		st, err := s.Put("result", addr, payload, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		past := time.Now().Add(time.Duration(i-10) * time.Minute)
+		os.Chtimes(s.blobPath("result", addr), past, past)
+		last = st
+	}
+	if len(last.Evicted) == 0 {
+		t.Error("puts past MaxBytes evicted nothing")
+	}
+	_, total := s.Usage()
+	if total > 400+int64(len(payload)) {
+		t.Errorf("usage %d far above budget", total)
+	}
+}
+
+func TestVerifyFindsAndQuarantines(t *testing.T) {
+	s := openTest(t, Config{})
+	if _, err := s.Put("result", "d0d0d0d0d0d0d0d0", []byte("good"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("result", "d1d1d1d1d1d1d1d1", []byte("will rot"), 1); err != nil {
+		t.Fatal(err)
+	}
+	path := s.blobPath("result", "d1d1d1d1d1d1d1d1")
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 1
+	os.WriteFile(path, data, 0o644)
+
+	checked, bad, err := s.Verify(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked != 2 || len(bad) != 1 || bad[0].Addr != "d1d1d1d1d1d1d1d1" {
+		t.Fatalf("checked=%d bad=%v", checked, bad)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal("report-only Verify removed the blob")
+	}
+
+	_, bad, err = s.Verify(true)
+	if err != nil || len(bad) != 1 {
+		t.Fatalf("quarantining Verify: bad=%v err=%v", bad, err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("quarantining Verify left the corrupt blob live")
+	}
+}
+
+func TestTornIndexRecovered(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, Config{Dir: dir})
+	if _, err := s.Put("result", "e0e0e0e0e0e0e0e0", []byte("p"), 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Tear the index tail as a crash mid-append would.
+	idx := filepath.Join(dir, "index.jsonl")
+	if err := os.WriteFile(idx, append(mustRead(t, idx), []byte(`{"v":1,"op":"put","ad`)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, Config{Dir: dir})
+	rep, err := s2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Life.Puts != 1 || rep.Life.IndexDropped == 0 {
+		t.Errorf("lifetime = %+v after torn tail", rep.Life)
+	}
+	// The torn bytes are gone: the file ends at the last intact record.
+	data := mustRead(t, idx)
+	if len(data) == 0 || data[len(data)-1] != '\n' {
+		t.Errorf("index not truncated to intact prefix: %q", data)
+	}
+}
+
+func TestCrashMidIndexAppendLeavesTornLine(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, Config{Dir: dir})
+	defer func() { crashExit = func() { os.Exit(137) } }()
+	died := false
+	crashExit = func() { died = true; panic("crash") }
+	// Crash site 3 is the index append (sites 1 and 2 precede it in Put).
+	arm(t, FaultCrash+"@3")
+	func() {
+		defer func() { recover() }()
+		s.Put("result", "e1e1e1e1e1e1e1e1", []byte("p"), 1)
+	}()
+	if !died {
+		t.Fatal("crash fault never fired")
+	}
+	s.Close()
+
+	// The blob survived (written before the index append) and reopening
+	// truncates the half line; the next store works normally.
+	s2 := openTest(t, Config{Dir: dir})
+	got, _, found, err := s2.Get("result", "e1e1e1e1e1e1e1e1")
+	if err != nil || !found || string(got) != "p" {
+		t.Fatalf("blob after crash: %q found=%v err=%v", got, found, err)
+	}
+	rep, err := s2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Life.IndexDropped == 0 {
+		t.Error("torn index line not counted as dropped")
+	}
+	if _, err := s2.Put("result", "e2e2e2e2e2e2e2e2", []byte("q"), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsReport(t *testing.T) {
+	s := openTest(t, Config{})
+	for i := 0; i < 2; i++ {
+		if _, err := s.Put("result", fmt.Sprintf("%016x", 0xf0+i), []byte("payload"), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Put("program", "f2f2f2f2f2f2f2f2", []byte("prog"), 1); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Entries != 3 || rep.ByKind["result"] != 2 || rep.ByKind["program"] != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.Life.Puts != 3 || rep.Version != Version {
+		t.Errorf("lifetime/version = %+v / %s", rep.Life, rep.Version)
+	}
+}
+
+func TestSweepTempsRemovesStaleOnly(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, Config{Dir: dir})
+	s.Close()
+	shard := filepath.Join(dir, "blobs", "aa")
+	os.MkdirAll(shard, 0o755)
+	stale := filepath.Join(shard, ".tmp-stale")
+	fresh := filepath.Join(shard, ".tmp-fresh")
+	os.WriteFile(stale, []byte("x"), 0o644)
+	os.WriteFile(fresh, []byte("x"), 0o644)
+	old := time.Now().Add(-2 * time.Hour)
+	os.Chtimes(stale, old, old)
+
+	s2 := openTest(t, Config{Dir: dir})
+	s2.Close()
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale temp survived open")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Error("fresh temp (a live writer's) was swept")
+	}
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
