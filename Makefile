@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint checkprog race faults schema serve-smoke cache-smoke check bench bench-baseline benchdiff run-all profile clean
+.PHONY: all build test vet lint checkprog race faults schema serve-smoke cache-smoke metrics-smoke check bench bench-baseline benchdiff run-all profile clean
 
 # The headline benchmarks gated by BENCH_5.json (see bench-baseline and
 # benchdiff below).
@@ -53,10 +53,13 @@ faults:
 
 # schema pins the machine-readable interfaces: the run-event JSONL
 # stream (cmd/cisim/testdata/event_schema.json against runner.Event and
-# a real run) and the serve HTTP API (internal/api/testdata/
-# api_schema.json against the request/response structs).
+# a real run), the span trace JSONL (cmd/cisim/testdata/span_schema.json
+# against telemetry.Record and a real traced run), and the serve HTTP
+# API (internal/api/testdata/api_schema.json against the request/
+# response structs).
 schema:
 	$(GO) test -run 'TestEventSchemaMatchesStruct|TestEventStreamMatchesSchema' ./cmd/cisim/
+	$(GO) test -run 'TestSpanSchemaMatchesStruct|TestSpanStreamMatchesSchema' ./cmd/cisim/
 	$(GO) test -run 'TestAPISchema|TestSweepRequestRoundTrip' ./internal/api/
 
 # serve-smoke drives the `cisim serve` daemon across a real process
@@ -75,11 +78,21 @@ serve-smoke:
 cache-smoke:
 	./scripts/cache_smoke.sh
 
+# metrics-smoke drives the observability surface across a real process
+# boundary: a daemon with a spans directory and a persistent store, a
+# traced sweep submitted with a traceparent header (result still
+# byte-identical to the CLI), GET /metrics validated by the in-repo
+# strict exposition parser (`cisim promcheck`), and the span trace
+# analyzed offline (`cisim spans`) with a Chrome export in artifacts/
+# (see scripts/metrics_smoke.sh, DESIGN.md §14).
+metrics-smoke:
+	./scripts/metrics_smoke.sh
+
 # check is the CI gate: build, vet, the custom analyzers, the workload
 # verifier, full tests, the race pass, the fault matrix, the schema
 # golden tests, and the process-boundary smoke tests (serve daemon,
-# persistent store).
-check: build vet lint checkprog test race faults schema serve-smoke cache-smoke
+# persistent store, observability surface).
+check: build vet lint checkprog test race faults schema serve-smoke cache-smoke metrics-smoke
 
 bench:
 	$(GO) test -bench=BenchmarkRunAllQuick -benchtime=1x -run=^$$ .

@@ -79,6 +79,7 @@ type eventLine struct {
 	Key     string  `json:"key"`
 	Kind    string  `json:"kind"`
 	Hit     *bool   `json:"hit"`
+	Bytes   int64   `json:"bytes"`
 	Ms      float64 `json:"ms"`
 	Instrs  uint64  `json:"instrs"`
 	Err     string  `json:"err"`
@@ -114,6 +115,12 @@ type workerStat struct {
 
 type kindStat struct{ Hits, Misses int }
 
+// storeStat aggregates one persistent-store event type.
+type storeStat struct {
+	Count int
+	Bytes int64
+}
+
 // analysis is everything cmdEvents learned from one stream.
 type analysis struct {
 	lines, malformed int
@@ -124,6 +131,7 @@ type analysis struct {
 	jobs             []jobStat
 	workers          map[int]*workerStat
 	kinds            map[string]kindStat
+	store            map[string]*storeStat // by event type: store_hit, store_put, ...
 	metricsEvents    []string // "exp/workload" per metrics event
 	retries, stalls  int
 	skips, corrupt   int
@@ -136,6 +144,7 @@ func analyzeEvents(r io.Reader, name string) (*analysis, error) {
 		journalExps: map[string]int{},
 		workers:     map[int]*workerStat{},
 		kinds:       map[string]kindStat{},
+		store:       map[string]*storeStat{},
 	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
@@ -201,6 +210,14 @@ func analyzeEvents(r io.Reader, name string) (*analysis, error) {
 			a.kinds[e.Kind] = ks
 		case "cache_corrupt":
 			a.corrupt++
+		case "store_hit", "store_put", "store_evict", "store_quarantine":
+			ss := a.store[e.Ev]
+			if ss == nil {
+				ss = &storeStat{}
+				a.store[e.Ev] = ss
+			}
+			ss.Count++
+			ss.Bytes += e.Bytes
 		case "metrics":
 			a.metricsEvents = append(a.metricsEvents, e.Exp+"/"+e.Key)
 		case "run_abort":
@@ -306,6 +323,24 @@ func (a *analysis) render(top int) string {
 			ks := a.kinds[k]
 			t.AddRow(k, ks.Hits, ks.Misses,
 				stats.Percent(100*stats.Ratio(uint64(ks.Hits), uint64(ks.Hits+ks.Misses))))
+		}
+		out += t.String() + "\n"
+	}
+
+	if len(a.store) > 0 {
+		// Persistent-store traffic rides the same stream (store_hit,
+		// store_put, store_evict, store_quarantine); bytes are blob
+		// payload sizes, zero for events that move none.
+		t := stats.NewTable("persistent store activity", "event", "count", "bytes")
+		evs := make([]string, 0, len(a.store))
+		//lint:ignore detrange sorted just below
+		for ev := range a.store {
+			evs = append(evs, ev)
+		}
+		sort.Strings(evs)
+		for _, ev := range evs {
+			ss := a.store[ev]
+			t.AddRow(strings.TrimPrefix(ev, "store_"), ss.Count, int(ss.Bytes))
 		}
 		out += t.String() + "\n"
 	}

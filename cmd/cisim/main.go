@@ -27,9 +27,13 @@
 // the deterministic fault-injection points (internal/faults) that make
 // every one of those recovery paths testable on demand.
 //
-// Observability flags (DESIGN.md §9): -metrics collects deterministic
-// per-workload counter/histogram snapshots (in -json output and as
-// `metrics` events); -cpuprofile/-memprofile/-exectrace wrap the run in
+// Observability flags (DESIGN.md §9, §14): -metrics collects
+// deterministic per-workload counter/histogram snapshots (in -json
+// output and as `metrics` events); -spans FILE writes a deterministic-ID
+// span trace of the whole run (sweep → jobs → pipeline stages →
+// persistent-store traffic) that `cisim spans` analyzes offline —
+// critical path, per-stage time, queue and lock waits — and exports for
+// Chrome/Perfetto; -cpuprofile/-memprofile/-exectrace wrap the run in
 // the Go profilers. `cisim sim -pipetrace FILE` writes a cycle-level
 // pipeline trace (Konata-compatible Kanata or JSONL), and `cisim
 // events` summarizes an -events or -journal file offline.
@@ -80,6 +84,7 @@ import (
 	"cisim/internal/ooo"
 	"cisim/internal/runner"
 	"cisim/internal/stats"
+	"cisim/internal/telemetry"
 	"cisim/internal/trace"
 	"cisim/internal/workloads"
 )
@@ -118,6 +123,10 @@ func main() {
 		err = cmdCompare(os.Args[2:])
 	case "events":
 		err = cmdEvents(os.Args[2:])
+	case "spans":
+		err = cmdSpans(os.Args[2:])
+	case "promcheck":
+		err = cmdPromcheck(os.Args[2:])
 	case "cache":
 		err = cmdCache(os.Args[2:])
 	case "check":
@@ -144,6 +153,7 @@ func usage() {
   cisim run [flags] all           run every experiment (-quick -jobs N -events FILE -json -plot)
   cisim run [flags] <id>          run one experiment (fig5, table2, ...)
                                   resilience: -timeout D -retries N -journal FILE -resume -faults SPEC
+                                  observability: -spans FILE -metrics (DESIGN.md §14)
   cisim sim [flags] <workload>    one detailed simulation
   cisim ideal [flags] <workload>  one idealized-model simulation
   cisim disasm <workload>         disassemble a workload (-file for a source file)
@@ -152,6 +162,8 @@ func usage() {
   cisim pipe [flags] <workload>   per-instruction pipeline timeline
   cisim compare <old> <new>       diff two 'run -json' result files
   cisim events <file|url>         summarize a run-event stream, journal, or serve stream (-top N)
+  cisim spans <file|url>          analyze a span trace from 'run -spans FILE' or serve's /spans (-top N -chrome FILE)
+  cisim promcheck <file|url>      validate a Prometheus text exposition, e.g. serve's /metrics (-require a,b,c)
   cisim cache <stats|verify|gc>   inspect or bound a persistent artifact store (-cache-dir)
   cisim check [files...]          statically verify programs (default: all workloads)
   cisim serve [flags]             HTTP sweep daemon (-addr -queue -jobs -journal-dir -cache-dir; DESIGN.md §11)
@@ -179,6 +191,7 @@ func cmdRun(args []string) error {
 	jobs := fs.Int("jobs", 0, "concurrent (experiment, workload) jobs (0 = GOMAXPROCS; output stays in paper order)")
 	fs.IntVar(jobs, "j", 0, "alias for -jobs")
 	events := fs.String("events", "", "write a JSONL run-event stream (job and cache activity) to this file")
+	spansPath := fs.String("spans", "", "write a deterministic-ID span trace (JSONL) to this file; analyze with 'cisim spans'")
 	timeout := fs.Duration("timeout", 0, "per-job deadline (0 = none); a stalled job is reported and abandoned")
 	retries := fs.Int("retries", 0, "re-run a transiently-failed job up to N times with capped backoff")
 	journalPath := fs.String("journal", "", "append completed jobs to this crash-consistent JSONL file")
@@ -223,6 +236,20 @@ func cmdRun(args []string) error {
 		return err
 	}
 	defer detachStore()
+	// Span tracing is a side channel with the same determinism contract
+	// as -events: run results are byte-identical with it on or off. The
+	// trace is written even when the run fails or aborts — that is when
+	// the timing evidence matters most.
+	if *spansPath != "" {
+		col := telemetry.NewCollector(telemetry.TraceID("cisim run", fs.Arg(0)))
+		telemetry.Enable(col)
+		defer func() {
+			telemetry.Disable()
+			if werr := writeSpans(*spansPath, col.Records()); werr != nil {
+				fmt.Fprintf(os.Stderr, "cisim: spans write failed (run results are unaffected): %v\n", werr)
+			}
+		}()
+	}
 	// The flag surface maps 1:1 onto the versioned sweep request, so the
 	// CLI and the HTTP daemon validate and execute identically.
 	req := &api.SweepRequest{V: api.Version, Experiments: []string{fs.Arg(0)},

@@ -1,0 +1,54 @@
+package main
+
+// cisim promcheck: validate a Prometheus text-exposition document — a
+// saved scrape or a live /metrics URL — with the same strict in-repo
+// parser prom_test.go round-trips through. CI's metrics-smoke job uses
+// it to assert the daemon's scrape is well-formed and carries the
+// expected metric families, without any external Prometheus tooling.
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"cisim/internal/metrics"
+)
+
+func cmdPromcheck(args []string) error {
+	fs := flag.NewFlagSet("promcheck", flag.ExitOnError)
+	require := fs.String("require", "", "comma-separated metric family names that must be present")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("promcheck needs one source: a saved scrape file or a /metrics URL")
+	}
+	src, name, err := openEventSource(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	fams, err := metrics.ParseProm(src)
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	present := map[string]bool{}
+	samples := 0
+	for _, f := range fams {
+		present[f.Name] = true
+		samples += len(f.Samples)
+	}
+	var missing []string
+	for _, want := range strings.Split(*require, ",") {
+		want = strings.TrimSpace(want)
+		if want != "" && !present[want] {
+			missing = append(missing, want)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("%s: exposition parses but lacks required metric(s): %s",
+			name, strings.Join(missing, ", "))
+	}
+	fmt.Printf("%s: %d metric families, %d samples, exposition format OK\n", name, len(fams), samples)
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+const sampleExposition = `# HELP cisim_queue_depth Sweeps waiting in the queue.
+# TYPE cisim_queue_depth gauge
+cisim_queue_depth 0
+# TYPE cisim_sweeps_total counter
+cisim_sweeps_total{status="done"} 3
+# TYPE cisim_sweep_duration_seconds histogram
+cisim_sweep_duration_seconds_bucket{le="1"} 2
+cisim_sweep_duration_seconds_bucket{le="+Inf"} 3
+cisim_sweep_duration_seconds_sum 4.5
+cisim_sweep_duration_seconds_count 3
+`
+
+func TestCmdPromcheck(t *testing.T) {
+	f := t.TempDir() + "/metrics.txt"
+	if err := os.WriteFile(f, []byte(sampleExposition), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return cmdPromcheck([]string{"-require", "cisim_queue_depth, cisim_sweeps_total,cisim_sweep_duration_seconds", f})
+	})
+	if err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+	if !strings.Contains(out, "exposition format OK") {
+		t.Errorf("promcheck output: %q", out)
+	}
+
+	_, err = capture(t, func() error {
+		return cmdPromcheck([]string{"-require", "cisim_queue_depth,cisim_no_such_metric", f})
+	})
+	if err == nil || !strings.Contains(err.Error(), "cisim_no_such_metric") {
+		t.Errorf("missing required metric not reported: %v", err)
+	}
+}
+
+func TestCmdPromcheckRejectsMalformed(t *testing.T) {
+	f := t.TempDir() + "/bad.txt"
+	// Sample before its TYPE declaration — the strict parser refuses.
+	if err := os.WriteFile(f, []byte("cisim_queue_depth 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, func() error { return cmdPromcheck([]string{f}) }); err == nil {
+		t.Error("undeclared sample should fail promcheck")
+	}
+}

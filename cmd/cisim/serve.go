@@ -29,6 +29,7 @@ func cmdServe(args []string) error {
 	queue := fs.Int("queue", 0, "bounded sweep queue depth (0 = default 8); full queue answers 429")
 	jobs := fs.Int("jobs", 0, "default runner-pool width for sweeps that do not set jobs (0 = GOMAXPROCS)")
 	journalDir := fs.String("journal-dir", "", "write per-sweep crash-consistent journals into this directory")
+	spansDir := fs.String("spans-dir", "", "write each sweep's span trace (JSONL, also served at /v1/sweeps/{id}/spans) into this directory")
 	drainTimeout := fs.Duration("drain-timeout", time.Minute, "how long a SIGTERM/SIGINT drain may take before giving up")
 	addrFile := fs.String("addr-file", "", "write the bound listen address to this file (for scripts using port 0)")
 	cacheDir := fs.String("cache-dir", "", "persistent artifact store shared with other cisim processes (also CISIM_CACHE_DIR; DESIGN.md §13)")
@@ -40,6 +41,11 @@ func cmdServe(args []string) error {
 	}
 	if *journalDir != "" {
 		if err := os.MkdirAll(*journalDir, 0o755); err != nil {
+			return err
+		}
+	}
+	if *spansDir != "" {
+		if err := os.MkdirAll(*spansDir, 0o755); err != nil {
 			return err
 		}
 	}
@@ -69,7 +75,7 @@ func cmdServe(args []string) error {
 		depth = serve.DefaultQueue
 	}
 	srv := serve.New(serve.Config{Queue: *queue, Jobs: *jobs, JournalDir: *journalDir,
-		Store: runner.Artifacts.Store()})
+		SpansDir: *spansDir, Store: runner.Artifacts.Store()})
 	hs := &http.Server{Handler: srv}
 	fmt.Fprintf(os.Stderr, "cisim: serving on http://%s (api v%d; queue %d; SIGTERM drains)\n",
 		bound, api.Version, depth)

@@ -10,6 +10,11 @@
 //
 // The client retries a 429 (full queue) after the server's Retry-After
 // hint — the polite backpressure loop every caller should implement.
+//
+// The client also joins the daemon's span trace: every submit carries a
+// W3C traceparent header naming this process's client:sweep span, so
+// the server's spans parent under it, and -spans FILE fetches the
+// completed sweep's trace (plus the client span) for `cisim spans`.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"time"
 
 	"cisim/internal/api"
+	"cisim/internal/telemetry"
 )
 
 func main() {
@@ -37,23 +43,41 @@ func main() {
 	metrics := flag.Bool("metrics", false, "request per-workload metrics snapshots")
 	jobs := flag.Int("jobs", 0, "runner-pool width for the sweep (0 = server default)")
 	stream := flag.Bool("stream", false, "follow the live event stream on stderr while waiting")
+	spans := flag.String("spans", "", "fetch the sweep's span trace and write it (with this client's span) to this file")
 	flag.Parse()
 	base := "http://" + *addr
 
+	// The client is the trace root: its span ID rides the submit's
+	// traceparent header, so the daemon's serve:sweep span and everything
+	// below it parent here.
+	col := telemetry.NewCollector(telemetry.TraceID("serveclient", *experiments))
+	clientSpan := col.Start("client:sweep")
+	traceparent := telemetry.FormatTraceparent(col.Trace(), clientSpan.ID())
+
 	req := api.SweepRequest{V: api.Version, Experiments: strings.Split(*experiments, ","),
 		Quick: *quick, Metrics: *metrics, Jobs: *jobs}
-	info := submit(base, &req)
+	info := submit(base, &req, traceparent)
 	log.Printf("sweep %s accepted (queue position %d)", info.ID, info.QueuePos)
+	clientSpan.Key = info.ID
 
 	if *stream {
 		go streamEvents(base, info.ID)
 	}
 
 	final := await(base, info.ID)
+	clientSpan.End()
 	if final.Status != api.StatusDone {
 		log.Fatalf("sweep %s ended %s: %s", final.ID, final.Status, final.Error)
 	}
 	log.Printf("sweep %s done in %.0f ms (%d instructions simulated)", final.ID, final.Ms, final.Instrs)
+
+	if *spans != "" {
+		if err := fetchSpans(base, final.ID, *spans, col.Records()); err != nil {
+			log.Printf("spans: %v (sweep result is unaffected)", err)
+		} else {
+			log.Printf("span trace written to %s (analyze with 'cisim spans %s')", *spans, *spans)
+		}
+	}
 
 	resp, err := http.Get(base + "/v1/sweeps/" + final.ID + "/result")
 	if err != nil {
@@ -70,13 +94,19 @@ func main() {
 
 // submit posts the request, honoring the daemon's backpressure: a 429
 // is retried after the Retry-After hint rather than treated as failure.
-func submit(base string, req *api.SweepRequest) api.JobInfo {
+func submit(base string, req *api.SweepRequest, traceparent string) api.JobInfo {
 	body, err := json.Marshal(req)
 	if err != nil {
 		log.Fatal(err)
 	}
 	for {
-		resp, err := http.Post(base+"/v1/sweeps", "application/json", strings.NewReader(string(body)))
+		hreq, err := http.NewRequest("POST", base+"/v1/sweeps", strings.NewReader(string(body)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		hreq.Header.Set("traceparent", traceparent)
+		resp, err := http.DefaultClient.Do(hreq)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -138,6 +168,32 @@ func streamEvents(base, id string) {
 	for sc.Scan() {
 		fmt.Fprintln(os.Stderr, sc.Text())
 	}
+}
+
+// fetchSpans downloads the completed sweep's span trace, prepends the
+// client's own records (same trace ID), and writes the merged JSONL.
+func fetchSpans(base, id, path string, client []telemetry.Record) error {
+	resp, err := http.Get(base + "/v1/sweeps/" + id + "/spans")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, readError(resp.Body))
+	}
+	server, err := telemetry.ReadJSONL(resp.Body)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteJSONL(f, append(client, server...)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // readError extracts the daemon's JSON error envelope, falling back to

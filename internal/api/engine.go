@@ -16,6 +16,7 @@ import (
 
 	"cisim/internal/exp"
 	"cisim/internal/runner"
+	"cisim/internal/telemetry"
 	"cisim/internal/workloads"
 )
 
@@ -165,9 +166,24 @@ func Run(ctx context.Context, req *SweepRequest, opts RunOptions) (*Output, erro
 			opts.Sink.Emit(runner.Event{Ev: "job_skip", Exp: s.exp, Key: s.key})
 		}
 	}
+	// The sweep span brackets exactly the pool interval the footer's
+	// wall-clock row reports, so `cisim spans` critical-path totals are
+	// comparable to the run summary. It is also the root fallback for
+	// fresh pool-worker goroutines (job spans) for that same window.
+	sweepSp := telemetry.StartSpan("sweep")
+	unroot := func() {}
+	unbind := func() {}
+	if sweepSp != nil {
+		unroot = telemetry.Current().SetRoot(sweepSp)
+		unbind = sweepSp.Bind()
+	}
 	start := time.Now()
 	results := pool.RunContext(ctx, jobList)
 	wall := time.Since(start)
+	if sweepSp != nil && ctx.Err() != nil {
+		sweepSp.Err = ctx.Err().Error()
+	}
+	sweepSp.End()
 
 	aborted := ctx.Err() != nil
 	for k, jr := range results {
@@ -204,7 +220,18 @@ func Run(ctx context.Context, req *SweepRequest, opts RunOptions) (*Output, erro
 			}
 		}
 		if o.Err == nil && !o.Aborted {
+			// Merges run after the pool interval; their spans parent to
+			// the (ended) sweep span, which is fine — parentage is
+			// logical, not lifetime-nested.
+			mergeSp := telemetry.StartSpan("merge")
+			if mergeSp != nil {
+				mergeSp.Exp = e.ID
+			}
 			o.Result, o.Err = e.Merge(opt, parts[i*len(ws):(i+1)*len(ws)])
+			if mergeSp != nil && o.Err != nil {
+				mergeSp.Err = o.Err.Error()
+			}
+			mergeSp.End()
 		}
 		outcomes[i] = o
 	}
@@ -228,5 +255,7 @@ func Run(ctx context.Context, req *SweepRequest, opts RunOptions) (*Output, erro
 	if opts.Sink != nil {
 		opts.Sink.Emit(sum.RunEndEvent())
 	}
+	unbind()
+	unroot()
 	return &Output{Outcomes: outcomes, Summary: sum, Aborted: aborted}, nil
 }

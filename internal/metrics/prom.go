@@ -1,0 +1,336 @@
+package metrics
+
+// Prometheus-style exposition layer, dependency-free. Where the
+// package's Registry is deterministic, single-goroutine, and cycle-
+// keyed (simulation metrics), Prom is the opposite corner of the
+// taxonomy: concurrency-safe, wall-time-observing, process-scoped
+// harness metrics — queue depths, sweep/job duration histograms, store
+// hit counters — served by the daemon's GET /metrics endpoint in the
+// text exposition format (DESIGN.md §14).
+//
+// The package-purity rule still holds here: nothing in this file reads
+// the clock. Durations are observed in seconds by callers (the serve
+// daemon) that own the wall-time measurements; function-backed metrics
+// read counters owned elsewhere at scrape time. Write output is fully
+// sorted, so two scrapes of identical state are byte-identical.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// PromCounter is a concurrency-safe monotonic counter.
+type PromCounter struct {
+	mu sync.Mutex
+	v  float64 // guarded by mu
+}
+
+// Inc adds one.
+func (c *PromCounter) Inc() { c.Add(1) }
+
+// Add adds v, which must be non-negative (counters only go up).
+func (c *PromCounter) Add(v float64) {
+	c.mu.Lock()
+	c.v += v
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *PromCounter) Value() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// PromGauge is a concurrency-safe value that can go up and down.
+type PromGauge struct {
+	mu sync.Mutex
+	v  float64 // guarded by mu
+}
+
+// Set replaces the gauge's value.
+func (g *PromGauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add adjusts the gauge by v (negative to decrease).
+func (g *PromGauge) Add(v float64) {
+	g.mu.Lock()
+	g.v += v
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *PromGauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// PromHistogram is a concurrency-safe cumulative-bucket histogram whose
+// observations are float64 seconds (or any float unit). Bounds are
+// inclusive upper bounds in ascending order; the +Inf bucket is
+// implicit.
+type PromHistogram struct {
+	bounds []float64 // immutable after registration
+	mu     sync.Mutex
+	counts []uint64 // guarded by mu; len(bounds)+1, last is +Inf
+	sum    float64  // guarded by mu
+	count  uint64   // guarded by mu
+}
+
+// Observe records one value.
+func (h *PromHistogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.mu.Lock()
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *PromHistogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// DurationBounds is the default wall-time bucket ladder in seconds,
+// spanning a cache-hit job (sub-millisecond) to a full-fidelity sweep.
+var DurationBounds = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+// series is one exposition line-group: a concrete metric or a
+// function-backed one evaluated at scrape time.
+type series struct {
+	labels  string // rendered {k="v",...} suffix, "" when unlabeled
+	counter *PromCounter
+	gauge   *PromGauge
+	hist    *PromHistogram
+	fn      func() float64
+}
+
+// family groups the series sharing one metric name, TYPE, and HELP.
+type family struct {
+	name, typ, help string
+	series          []*series // guarded by Prom.mu
+}
+
+// Prom is a registry of exposition metrics. All methods are safe for
+// concurrent use. Registration normally happens once at daemon start;
+// re-registering the same (name, labels) returns the existing metric
+// and panics on a type or bounds mismatch (a taxonomy bug, exactly as
+// Registry.Histogram treats bound changes).
+type Prom struct {
+	mu   sync.Mutex
+	fams map[string]*family // guarded by mu
+}
+
+// NewProm returns an empty exposition registry.
+func NewProm() *Prom { return &Prom{fams: map[string]*family{}} }
+
+// renderLabels builds the deterministic {k="v",...} suffix.
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	//lint:ignore detrange sorted just below
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+`="`+escapeLabel(labels[k])+`"`)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// register finds or creates the family and series slot; it returns the
+// existing series when (name, labels) was seen before, with created
+// reporting which.
+func (p *Prom) register(name, typ, help, labels string) (*series, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f := p.fams[name]
+	if f == nil {
+		f = &family{name: name, typ: typ, help: help}
+		p.fams[name] = f
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("metrics: %s re-registered as %s (was %s)", name, typ, f.typ))
+	}
+	for _, s := range f.series {
+		if s.labels == labels {
+			return s, false
+		}
+	}
+	s := &series{labels: labels}
+	f.series = append(f.series, s)
+	return s, true
+}
+
+// Counter returns the named counter, registering it on first use.
+// labels may be nil for an unlabeled series.
+func (p *Prom) Counter(name, help string, labels map[string]string) *PromCounter {
+	s, created := p.register(name, "counter", help, renderLabels(labels))
+	if created {
+		s.counter = &PromCounter{}
+	} else if s.counter == nil {
+		panic(fmt.Sprintf("metrics: %s is not a plain counter", name))
+	}
+	return s.counter
+}
+
+// Gauge returns the named gauge, registering it on first use.
+func (p *Prom) Gauge(name, help string, labels map[string]string) *PromGauge {
+	s, created := p.register(name, "gauge", help, renderLabels(labels))
+	if created {
+		s.gauge = &PromGauge{}
+	} else if s.gauge == nil {
+		panic(fmt.Sprintf("metrics: %s is not a plain gauge", name))
+	}
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape
+// time — for state owned elsewhere, like a queue's depth.
+func (p *Prom) GaugeFunc(name, help string, fn func() float64) {
+	s, created := p.register(name, "gauge", help, "")
+	if !created {
+		panic(fmt.Sprintf("metrics: %s registered twice", name))
+	}
+	s.fn = fn
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — for monotonic counts owned elsewhere, like the persistent
+// store's session counters. fn must be non-decreasing.
+func (p *Prom) CounterFunc(name, help string, labels map[string]string, fn func() float64) {
+	s, created := p.register(name, "counter", help, renderLabels(labels))
+	if !created {
+		panic(fmt.Sprintf("metrics: %s%s registered twice", name, renderLabels(labels)))
+	}
+	s.fn = fn
+}
+
+// Histogram returns the named histogram, registering it with the given
+// ascending bucket bounds on first use. Bounds mismatch on
+// re-registration panics, mirroring Registry.Histogram.
+func (p *Prom) Histogram(name, help string, bounds []float64) *PromHistogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %q bounds not ascending", name))
+		}
+	}
+	s, created := p.register(name, "histogram", help, "")
+	if created {
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		s.hist = &PromHistogram{bounds: b, counts: make([]uint64, len(b)+1)}
+		return s.hist
+	}
+	if s.hist == nil {
+		panic(fmt.Sprintf("metrics: %s is not a histogram", name))
+	}
+	if len(s.hist.bounds) != len(bounds) {
+		panic(fmt.Sprintf("metrics: histogram %q re-registered with different bounds", name))
+	}
+	for i := range bounds {
+		if s.hist.bounds[i] != bounds[i] {
+			panic(fmt.Sprintf("metrics: histogram %q re-registered with different bounds", name))
+		}
+	}
+	return s.hist
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Write renders the registry in the Prometheus text exposition format
+// (version 0.0.4): families sorted by name, series sorted by label
+// string, histograms with cumulative buckets, +Inf, _sum and _count.
+// Function-backed series are evaluated here, so a scrape observes live
+// state. Output for identical state is byte-identical.
+func (p *Prom) Write(w io.Writer) error {
+	p.mu.Lock()
+	names := make([]string, 0, len(p.fams))
+	//lint:ignore detrange sorted just below
+	for name := range p.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Snapshot the family structures under the lock; metric values are
+	// read outside it (each metric has its own mutex, and scrape-time
+	// fns may take locks of their own).
+	type famSnap struct {
+		name, typ, help string
+		series          []*series
+	}
+	snaps := make([]famSnap, 0, len(names))
+	for _, name := range names {
+		f := p.fams[name]
+		sers := make([]*series, len(f.series))
+		copy(sers, f.series)
+		sort.Slice(sers, func(i, j int) bool { return sers[i].labels < sers[j].labels })
+		snaps = append(snaps, famSnap{f.name, f.typ, f.help, sers})
+	}
+	p.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range snaps {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			switch {
+			case s.fn != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatFloat(s.fn()))
+			case s.counter != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatFloat(s.counter.Value()))
+			case s.gauge != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatFloat(s.gauge.Value()))
+			case s.hist != nil:
+				h := s.hist
+				h.mu.Lock()
+				counts := append([]uint64(nil), h.counts...)
+				sum, count := h.sum, h.count
+				h.mu.Unlock()
+				var cum uint64
+				for i, bound := range h.bounds {
+					cum += counts[i]
+					fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", f.name, formatFloat(bound), cum)
+				}
+				cum += counts[len(h.bounds)]
+				fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", f.name, cum)
+				fmt.Fprintf(&b, "%s_sum %s\n", f.name, formatFloat(sum))
+				fmt.Fprintf(&b, "%s_count %d\n", f.name, count)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

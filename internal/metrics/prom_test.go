@@ -1,0 +1,251 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func buildTestProm() *Prom {
+	p := NewProm()
+	p.Counter("cisim_sweeps_total", "Completed sweeps by status.",
+		map[string]string{"status": "succeeded"}).Add(3)
+	p.Counter("cisim_sweeps_total", "Completed sweeps by status.",
+		map[string]string{"status": "failed"}).Inc()
+	p.Gauge("cisim_queue_depth", "Sweeps waiting for dispatch.", nil).Set(2)
+	p.GaugeFunc("cisim_inflight_sweeps", "Sweeps currently running.", func() float64 { return 1 })
+	h := p.Histogram("cisim_job_duration_seconds", "Job wall time.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(5)
+	return p
+}
+
+func TestPromWriteParsesAndRoundTrips(t *testing.T) {
+	p := buildTestProm()
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseProm(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Write output failed own parser: %v\n%s", err, buf.String())
+	}
+	if v, ok := FindSample(fams, "cisim_sweeps_total", map[string]string{"status": "succeeded"}); !ok || v != 3 {
+		t.Errorf("sweeps_total{succeeded} = %v, %v", v, ok)
+	}
+	if v, ok := FindSample(fams, "cisim_queue_depth", nil); !ok || v != 2 {
+		t.Errorf("queue_depth = %v, %v", v, ok)
+	}
+	if v, ok := FindSample(fams, "cisim_inflight_sweeps", nil); !ok || v != 1 {
+		t.Errorf("inflight (GaugeFunc) = %v, %v", v, ok)
+	}
+	if v, ok := FindSample(fams, "cisim_job_duration_seconds_count", nil); !ok || v != 4 {
+		t.Errorf("histogram count = %v, %v", v, ok)
+	}
+	if v, ok := FindSample(fams, "cisim_job_duration_seconds_bucket",
+		map[string]string{"le": "0.1"}); !ok || v != 3 {
+		t.Errorf("cumulative bucket le=0.1 = %v, want 3", v)
+	}
+	if v, ok := FindSample(fams, "cisim_job_duration_seconds_bucket",
+		map[string]string{"le": "+Inf"}); !ok || v != 4 {
+		t.Errorf("+Inf bucket = %v, want 4", v)
+	}
+}
+
+func TestPromWriteDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := buildTestProm().Write(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildTestProm().Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("identical state rendered differently:\n%s\n---\n%s", a.String(), b.String())
+	}
+	// TYPE precedes samples; families appear sorted.
+	lines := strings.Split(strings.TrimRight(a.String(), "\n"), "\n")
+	var famOrder []string
+	for _, line := range lines {
+		if strings.HasPrefix(line, "# TYPE ") {
+			famOrder = append(famOrder, strings.Fields(line)[2])
+		}
+	}
+	for i := 1; i < len(famOrder); i++ {
+		if famOrder[i] < famOrder[i-1] {
+			t.Errorf("families out of order: %s before %s", famOrder[i-1], famOrder[i])
+		}
+	}
+}
+
+func TestPromRegistrationReuseAndMismatch(t *testing.T) {
+	p := NewProm()
+	c1 := p.Counter("x_total", "", map[string]string{"k": "v"})
+	c2 := p.Counter("x_total", "", map[string]string{"k": "v"})
+	if c1 != c2 {
+		t.Error("re-registration did not return the existing counter")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("type mismatch did not panic")
+			}
+		}()
+		p.Gauge("x_total", "", nil)
+	}()
+	p.Histogram("h", "", []float64{1, 2})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bounds mismatch did not panic")
+			}
+		}()
+		p.Histogram("h", "", []float64{1, 3})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("descending bounds did not panic")
+			}
+		}()
+		p.Histogram("h2", "", []float64{2, 1})
+	}()
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	p := NewProm()
+	p.Counter("esc_total", "help with \\ and\nnewline",
+		map[string]string{"path": `a\b"c` + "\nd"}).Inc()
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseProm(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("escaped output failed to parse: %v\n%s", err, buf.String())
+	}
+	if v, ok := FindSample(fams, "esc_total",
+		map[string]string{"path": `a\b"c` + "\nd"}); !ok || v != 1 {
+		t.Errorf("escaped label did not round trip: %v %v", v, ok)
+	}
+}
+
+func TestParsePromRejectsMalformed(t *testing.T) {
+	for name, doc := range map[string]string{
+		"sample before TYPE":     "foo 1\n",
+		"duplicate TYPE":         "# TYPE a counter\n# TYPE a counter\n",
+		"unknown type":           "# TYPE a widget\n",
+		"duplicate sample":       "# TYPE a counter\na 1\na 2\n",
+		"negative counter":       "# TYPE a counter\na -1\n",
+		"name mismatch":          "# TYPE a counter\nab 1\n",
+		"bad value":              "# TYPE a counter\na one\n",
+		"trailing field":         "# TYPE a counter\na 1 2\n",
+		"unterminated labels":    "# TYPE a counter\na{k=\"v\" 1\n",
+		"unquoted label":         "# TYPE a counter\na{k=v} 1\n",
+		"bucket without le":      "# TYPE h histogram\nh_bucket 1\nh_sum 0\nh_count 1\n",
+		"missing +Inf":           "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 0\nh_count 1\n",
+		"non-cumulative buckets": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 0\nh_count 3\n",
+		"count != +Inf":          "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 0\nh_count 4\n",
+		"missing sum":            "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n",
+		"stray histogram sample": "# TYPE h histogram\nh 3\n",
+	} {
+		if _, err := ParseProm(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// HELP before TYPE is fine; free-form comments are ignored.
+	ok := "# HELP a A thing.\n# random comment\n# TYPE a counter\na 1\n"
+	fams, err := ParseProm(strings.NewReader(ok))
+	if err != nil {
+		t.Fatalf("valid doc rejected: %v", err)
+	}
+	if len(fams) != 1 || fams[0].Help != "A thing." {
+		t.Errorf("HELP-before-TYPE lost: %+v", fams)
+	}
+}
+
+func TestHistogramObserveBoundaries(t *testing.T) {
+	p := NewProm()
+	h := p.Histogram("b", "", []float64{1, 2})
+	h.Observe(1) // upper bounds are inclusive
+	h.Observe(1.5)
+	h.Observe(math.Inf(1))
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseProm(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := FindSample(fams, "b_bucket", map[string]string{"le": "1"}); v != 1 {
+		t.Errorf("le=1 bucket = %v, want 1 (inclusive bound)", v)
+	}
+	if v, _ := FindSample(fams, "b_bucket", map[string]string{"le": "2"}); v != 2 {
+		t.Errorf("le=2 bucket = %v, want 2", v)
+	}
+	if v, _ := FindSample(fams, "b_bucket", map[string]string{"le": "+Inf"}); v != 3 {
+		t.Errorf("+Inf bucket = %v, want 3", v)
+	}
+}
+
+// TestPromConcurrentScrape exercises observers racing a scraper, the
+// daemon's real shape: pool callbacks observing histograms and counters
+// while /metrics renders.
+func TestPromConcurrentScrape(t *testing.T) {
+	p := NewProm()
+	var depth struct {
+		mu sync.Mutex
+		n  int // guarded by mu
+	}
+	p.GaugeFunc("depth", "", func() float64 {
+		depth.mu.Lock()
+		defer depth.mu.Unlock()
+		return float64(depth.n)
+	})
+	c := p.Counter("jobs_total", "", nil)
+	h := p.Histogram("dur_seconds", "", DurationBounds)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				depth.mu.Lock()
+				depth.n++
+				depth.mu.Unlock()
+				c.Inc()
+				h.Observe(float64(i) / 1000)
+			}
+		}()
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var buf bytes.Buffer
+				if err := p.Write(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := ParseProm(bytes.NewReader(buf.Bytes())); err != nil {
+					t.Errorf("mid-flight scrape invalid: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 2000 {
+		t.Errorf("jobs_total = %v, want 2000", got)
+	}
+	if got := h.Count(); got != 2000 {
+		t.Errorf("histogram count = %v, want 2000", got)
+	}
+}

@@ -1,0 +1,363 @@
+package metrics
+
+// Strict parser for the Prometheus text exposition format — the
+// validating half of the Prom layer. `cisim promcheck` and the CI
+// metrics-smoke job use it to assert a /metrics scrape is well-formed
+// without any external tooling, and prom_test.go round-trips Write
+// through it. The parser is deliberately stricter than Prometheus
+// itself: a TYPE line must precede its samples, duplicate samples are
+// an error, and histogram bucket invariants (cumulative, +Inf present,
+// count matches) are enforced — so any drift in Write is caught, not
+// tolerated.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromFamily is one metric family: the TYPE/HELP declaration and the
+// samples attributed to it (for histograms, the _bucket/_sum/_count
+// samples), in input order.
+type PromFamily struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []PromSample
+}
+
+// ParseProm parses and validates a text-exposition document, returning
+// families in declaration order. Any malformation is an error.
+func ParseProm(r io.Reader) ([]PromFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var fams []PromFamily
+	idx := map[string]int{} // family name -> fams index
+	seen := map[string]bool{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parsePromComment(line, &fams, idx); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fi, err := familyFor(s.Name, idx)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		key := s.Name + renderLabels(s.Labels)
+		if seen[key] {
+			return nil, fmt.Errorf("line %d: duplicate sample %s", lineNo, key)
+		}
+		seen[key] = true
+		f := &fams[fi]
+		if err := checkSampleShape(f, s); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for i := range fams {
+		if fams[i].Type == "histogram" {
+			if err := checkHistogram(&fams[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+func parsePromComment(line string, fams *[]PromFamily, idx map[string]int) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || (fields[1] != "TYPE" && fields[1] != "HELP") {
+		return nil // free-form comment, ignored
+	}
+	name := fields[2]
+	rest := ""
+	if len(fields) == 4 {
+		rest = fields[3]
+	}
+	switch fields[1] {
+	case "TYPE":
+		switch rest {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown type %q for %s", rest, name)
+		}
+		if fi, ok := idx[name]; ok {
+			if (*fams)[fi].Type != "" {
+				return fmt.Errorf("duplicate TYPE for %s", name)
+			}
+			(*fams)[fi].Type = rest // HELP arrived first
+			return nil
+		}
+		idx[name] = len(*fams)
+		*fams = append(*fams, PromFamily{Name: name, Type: rest})
+	case "HELP":
+		if fi, ok := idx[name]; ok {
+			(*fams)[fi].Help = rest
+		} else {
+			// HELP before TYPE: remember it by pre-creating the family with
+			// no type; the TYPE line must still arrive before samples.
+			idx[name] = len(*fams)
+			*fams = append(*fams, PromFamily{Name: name, Help: rest})
+		}
+	}
+	return nil
+}
+
+// familyFor resolves a sample name to its declared family, accepting
+// histogram suffixes.
+func familyFor(name string, idx map[string]int) (int, error) {
+	if fi, ok := idx[name]; ok {
+		return fi, nil
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if fi, ok := idx[base]; ok {
+				return fi, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("sample %s has no preceding TYPE declaration", name)
+}
+
+func checkSampleShape(f *PromFamily, s PromSample) error {
+	if f.Type == "" {
+		return fmt.Errorf("sample %s before TYPE declaration", s.Name)
+	}
+	switch f.Type {
+	case "histogram":
+		switch s.Name {
+		case f.Name + "_sum", f.Name + "_count":
+		case f.Name + "_bucket":
+			if _, ok := s.Labels["le"]; !ok {
+				return fmt.Errorf("%s without le label", s.Name)
+			}
+		default:
+			return fmt.Errorf("sample %s does not fit histogram %s", s.Name, f.Name)
+		}
+	default:
+		if s.Name != f.Name {
+			return fmt.Errorf("sample %s does not match family %s", s.Name, f.Name)
+		}
+	}
+	if f.Type == "counter" && (s.Value < 0 || math.IsNaN(s.Value)) {
+		return fmt.Errorf("counter %s has negative or NaN value %v", s.Name, s.Value)
+	}
+	return nil
+}
+
+// checkHistogram enforces per-label-set bucket invariants: cumulative
+// non-decreasing counts in le order, an +Inf bucket, and a _count
+// sample equal to the +Inf bucket's value.
+func checkHistogram(f *PromFamily) error {
+	type group struct {
+		les    []float64
+		counts map[float64]float64
+		count  float64
+		hasCnt bool
+		hasSum bool
+	}
+	groups := map[string]*group{}
+	get := func(labels map[string]string) *group {
+		rest := map[string]string{}
+		for k, v := range labels {
+			if k != "le" {
+				rest[k] = v
+			}
+		}
+		key := renderLabels(rest)
+		g := groups[key]
+		if g == nil {
+			g = &group{counts: map[float64]float64{}}
+			groups[key] = g
+		}
+		return g
+	}
+	for _, s := range f.Samples {
+		g := get(s.Labels)
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, err := parseLe(s.Labels["le"])
+			if err != nil {
+				return fmt.Errorf("histogram %s: %w", f.Name, err)
+			}
+			g.les = append(g.les, le)
+			g.counts[le] = s.Value
+		case f.Name + "_count":
+			g.count, g.hasCnt = s.Value, true
+		case f.Name + "_sum":
+			g.hasSum = true
+		}
+	}
+	for key, g := range groups {
+		sort.Float64s(g.les)
+		if len(g.les) == 0 || !math.IsInf(g.les[len(g.les)-1], 1) {
+			return fmt.Errorf("histogram %s%s missing +Inf bucket", f.Name, key)
+		}
+		prev := -1.0
+		for _, le := range g.les {
+			if c := g.counts[le]; c < prev {
+				return fmt.Errorf("histogram %s%s buckets not cumulative at le=%v", f.Name, key, le)
+			} else {
+				prev = c
+			}
+		}
+		if !g.hasCnt || !g.hasSum {
+			return fmt.Errorf("histogram %s%s missing _count or _sum", f.Name, key)
+		}
+		if inf := g.counts[math.Inf(1)]; g.count != inf {
+			return fmt.Errorf("histogram %s%s count %v != +Inf bucket %v", f.Name, key, g.count, inf)
+		}
+	}
+	return nil
+}
+
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le %q", s)
+	}
+	return v, nil
+}
+
+// parsePromSample parses `name{labels} value`.
+func parsePromSample(line string) (PromSample, error) {
+	i := 0
+	for i < len(line) && isMetricNameChar(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return PromSample{}, fmt.Errorf("malformed sample %q", line)
+	}
+	s := PromSample{Name: line[:i]}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return PromSample{}, fmt.Errorf("unterminated labels in %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return PromSample{}, fmt.Errorf("%w in %q", err, line)
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" || strings.ContainsAny(rest, " \t") {
+		return PromSample{}, fmt.Errorf("expected single value in %q", line)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return PromSample{}, fmt.Errorf("bad value %q", rest)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func isMetricNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+// parseLabels parses the k="v",... body between braces, undoing the
+// \\, \n, \" escapes Write applies.
+func parseLabels(body string) (map[string]string, error) {
+	labels := map[string]string{}
+	i := 0
+	for i < len(body) {
+		start := i
+		for i < len(body) && body[i] != '=' {
+			i++
+		}
+		if i >= len(body) || i == start {
+			return nil, fmt.Errorf("malformed label pair")
+		}
+		key := body[start:i]
+		i++ // '='
+		if i >= len(body) || body[i] != '"' {
+			return nil, fmt.Errorf("label %s value not quoted", key)
+		}
+		i++
+		var b strings.Builder
+		for i < len(body) && body[i] != '"' {
+			if body[i] == '\\' && i+1 < len(body) {
+				i++
+				switch body[i] {
+				case 'n':
+					b.WriteByte('\n')
+				case '\\', '"':
+					b.WriteByte(body[i])
+				default:
+					return nil, fmt.Errorf("bad escape \\%c", body[i])
+				}
+			} else {
+				b.WriteByte(body[i])
+			}
+			i++
+		}
+		if i >= len(body) {
+			return nil, fmt.Errorf("unterminated label value for %s", key)
+		}
+		i++ // closing quote
+		if _, dup := labels[key]; dup {
+			return nil, fmt.Errorf("duplicate label %s", key)
+		}
+		labels[key] = b.String()
+		if i < len(body) {
+			if body[i] != ',' {
+				return nil, fmt.Errorf("expected comma after label %s", key)
+			}
+			i++
+		}
+	}
+	return labels, nil
+}
+
+// FindSample returns the value of the sample with the given name and
+// exact label set from parsed families.
+func FindSample(fams []PromFamily, name string, labels map[string]string) (float64, bool) {
+	want := renderLabels(labels)
+	for i := range fams {
+		for _, s := range fams[i].Samples {
+			if s.Name == name && renderLabels(s.Labels) == want {
+				return s.Value, true
+			}
+		}
+	}
+	return 0, false
+}

@@ -12,6 +12,7 @@ import (
 	"cisim/internal/ooo"
 	"cisim/internal/prog"
 	storage "cisim/internal/store"
+	"cisim/internal/telemetry"
 	"cisim/internal/trace"
 	"cisim/internal/workloads"
 )
@@ -34,6 +35,15 @@ const (
 	KindPrep    = "prep"
 	KindResult  = "result"
 )
+
+// stageSpanName maps an artifact kind to its pipeline-stage span name
+// (DESIGN.md §14); the result kind is the detailed simulation itself.
+func stageSpanName(kind string) string {
+	if kind == KindResult {
+		return "stage:sim"
+	}
+	return "stage:" + kind
+}
 
 // Cache is a content-addressed artifact cache for the experiment
 // harness. It memoizes the three expensive, deterministic artifacts the
@@ -289,6 +299,22 @@ func (c *Cache) getDepth(kind, key, address string, compute func() (interface{},
 		close(e.ready)
 	}()
 	func() {
+		// The stage span brackets the whole miss path — store lookup
+		// included — and binds this goroutine so store spans nest under
+		// it. Only the computing goroutine pays it; singleflight waiters
+		// attribute the wait to their own job span.
+		sp := telemetry.StartSpan(stageSpanName(kind))
+		if sp != nil {
+			sp.Kind, sp.Key, sp.Addr = kind, key, address
+		}
+		unbind := sp.Bind()
+		defer func() {
+			unbind()
+			if sp != nil && e.err != nil {
+				sp.Err = e.err.Error()
+			}
+			sp.End()
+		}()
 		// A panicking compute (e.g. an assembler bug) must not leave
 		// waiters blocked forever: record it as the entry's error.
 		defer func() {

@@ -8,6 +8,7 @@ import (
 
 	"cisim/internal/ooo"
 	"cisim/internal/store"
+	"cisim/internal/telemetry"
 )
 
 // Persistent backend (internal/store) integration. With a store
@@ -72,7 +73,16 @@ func (c *Cache) throughDisk(kind, key, address string, compute func() (interface
 	if v, ok := c.diskGet(d, kind, key, address); ok {
 		return v, nil
 	}
-	if unlock, ok := d.LockEntry(address); ok {
+	lockSp := telemetry.StartSpan("store:lock_wait")
+	if lockSp != nil {
+		lockSp.Kind, lockSp.Key, lockSp.Addr = kind, key, address
+	}
+	unlock, ok := d.LockEntry(address)
+	if lockSp != nil && !ok {
+		lockSp.Err = "lock not acquired within patience; computing without dedup"
+	}
+	lockSp.End()
+	if ok {
 		defer unlock()
 		// Re-check under the lock: while we waited, the previous holder
 		// may have computed and stored this very entry. GetLocked, not
@@ -112,11 +122,19 @@ func (c *Cache) diskGetLocked(d *store.Store, kind, key, address string) (interf
 
 func (c *Cache) diskFetch(d *store.Store, kind, key, address string,
 	read func(kind, addr string) ([]byte, uint64, bool, error)) (interface{}, bool) {
+	sp := telemetry.StartSpan("store:get")
+	if sp != nil {
+		sp.Kind, sp.Key, sp.Addr = kind, key, address
+	}
+	defer sp.End()
 	payload, fp, found, err := read(kind, address)
 	if err != nil {
 		var ce *store.CorruptError
 		if errors.As(err, &ce) {
 			c.storeCountQuarantine()
+			if sp != nil {
+				sp.Err = ce.Reason
+			}
 			emit(c.sinkNow(), Event{Ev: "store_quarantine", Kind: kind, Key: key, Addr: address, Err: ce.Reason})
 		}
 		// Read errors (permissions, transient I/O) degrade to a miss: the
@@ -135,10 +153,16 @@ func (c *Cache) diskFetch(d *store.Store, kind, key, address string,
 	if derr != nil {
 		d.Quarantine(kind, address, derr.Error())
 		c.storeCountQuarantine()
+		if sp != nil {
+			sp.Err = derr.Error()
+		}
 		emit(c.sinkNow(), Event{Ev: "store_quarantine", Kind: kind, Key: key, Addr: address, Err: derr.Error()})
 		return nil, false
 	}
 	c.storeCountHit()
+	if sp != nil {
+		sp.Bytes = int64(len(payload))
+	}
 	emit(c.sinkNow(), Event{Ev: "store_hit", Kind: kind, Key: key, Addr: address, Bytes: int64(len(payload))})
 	return v, true
 }
@@ -147,6 +171,11 @@ func (c *Cache) diskFetch(d *store.Store, kind, key, address string,
 // Failures are absorbed: a store that cannot accept writes (full disk,
 // injected faults) costs future misses, not the current run.
 func (c *Cache) diskPut(d *store.Store, kind, key, address string, v interface{}) {
+	sp := telemetry.StartSpan("store:put")
+	if sp != nil {
+		sp.Kind, sp.Key, sp.Addr = kind, key, address
+	}
+	defer sp.End()
 	sum, ok := fingerprint(v)
 	if !ok {
 		return
@@ -157,7 +186,13 @@ func (c *Cache) diskPut(d *store.Store, kind, key, address string, v interface{}
 	}
 	st, err := d.Put(kind, address, payload, sum)
 	if err != nil {
+		if sp != nil {
+			sp.Err = err.Error()
+		}
 		return
+	}
+	if sp != nil {
+		sp.Bytes = st.Bytes
 	}
 	c.storeCountPut()
 	sink := c.sinkNow()

@@ -30,6 +30,7 @@ import (
 
 	"cisim/internal/faults"
 	"cisim/internal/stats"
+	"cisim/internal/telemetry"
 )
 
 // Fault points registered by the pool (see internal/faults for the
@@ -142,6 +143,9 @@ func (p *Pool) RunContext(parent context.Context, jobs []Job) []JobResult {
 	n := p.NumWorkers(len(jobs))
 	results := make([]JobResult, len(jobs))
 	idx := make(chan int)
+	// poolStart anchors each job's queue-wait attribution: the gap from
+	// here to a job's first attempt is pool dispatch latency.
+	poolStart := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < n; w++ {
 		wg.Add(1)
@@ -154,7 +158,7 @@ func (p *Pool) RunContext(parent context.Context, jobs []Job) []JobResult {
 				if faults.Fire(FaultRunAbort) {
 					cancel()
 				}
-				results[i] = p.runOne(ctx, jobs[i], worker)
+				results[i] = p.runOne(ctx, jobs[i], worker, poolStart)
 			}
 		}()
 	}
@@ -187,7 +191,7 @@ dispatch:
 
 // runOne executes one job to its final outcome: attempts separated by
 // backoff while the error stays transient and the budget lasts.
-func (p *Pool) runOne(ctx context.Context, j Job, worker int) JobResult {
+func (p *Pool) runOne(ctx context.Context, j Job, worker int, poolStart time.Time) JobResult {
 	if ctx.Err() != nil {
 		return JobResult{Err: ErrAborted, Skipped: true}
 	}
@@ -197,7 +201,7 @@ func (p *Pool) runOne(ctx context.Context, j Job, worker int) JobResult {
 	}
 	var res JobResult
 	for attempt := 1; ; attempt++ {
-		res = p.attempt(ctx, j, attempt, worker)
+		res = p.attempt(ctx, j, attempt, worker, poolStart)
 		res.Attempts = attempt
 		if res.Err == nil || !IsTransient(res.Err) || attempt >= maxAttempts || ctx.Err() != nil {
 			return res
@@ -232,7 +236,7 @@ func backoffDelay(base time.Duration, attempt int) time.Duration {
 // that reports and abandons a job that outlives it. An abandoned job's
 // goroutine keeps running (a simulation cannot be preempted) but the
 // worker moves on, so one hung job cannot stall the campaign.
-func (p *Pool) attempt(ctx context.Context, j Job, attempt, worker int) JobResult {
+func (p *Pool) attempt(ctx context.Context, j Job, attempt, worker int, poolStart time.Time) JobResult {
 	jctx := ctx
 	cancel := func() {}
 	if p.Timeout > 0 {
@@ -247,8 +251,28 @@ func (p *Pool) attempt(ctx context.Context, j Job, attempt, worker int) JobResul
 	start := time.Now()
 	done := make(chan JobResult, 1)
 	go func() {
+		// The job span lives on this goroutine — the one that runs
+		// j.Run — and binds it, so stage and store spans started inside
+		// the closure nest under the job without any API threading. A
+		// watchdog-abandoned job ends its span late or never; that record
+		// is simply absent from the export, like its job_end event.
+		sp := telemetry.StartSpan("job")
+		if sp != nil {
+			sp.Exp, sp.Key, sp.Worker = j.Exp, j.Key, worker
+			if attempt > 1 {
+				sp.Attempt = attempt
+			} else {
+				sp.QueueUs = telemetry.Us(start.Sub(poolStart))
+			}
+		}
+		unbind := sp.Bind()
 		var r JobResult
 		r.Val, r.Instrs, r.Err = runJob(jctx, j)
+		unbind()
+		if sp != nil && r.Err != nil {
+			sp.Err = r.Err.Error()
+		}
+		sp.End()
 		done <- r
 	}()
 	var res JobResult

@@ -51,6 +51,7 @@ import (
 	"cisim/internal/exp"
 	"cisim/internal/runner"
 	"cisim/internal/store"
+	"cisim/internal/telemetry"
 )
 
 // Config parameterizes a Server.
@@ -70,6 +71,10 @@ type Config struct {
 	// server only reads its counters for /healthz. Nil without
 	// -cache-dir.
 	Store *store.Store
+	// SpansDir, when set, additionally writes every terminal sweep's
+	// span records to <dir>/<job id>.spans.jsonl; the records are always
+	// retrievable over GET /v1/sweeps/{id}/spans regardless.
+	SpansDir string
 }
 
 // DefaultQueue is the queue depth used when Config.Queue is zero.
@@ -93,6 +98,12 @@ type job struct {
 	id  string
 	req *api.SweepRequest
 	log *eventLog
+	// trace and parentSpan come from the submission's traceparent
+	// header ("" when absent); submitted anchors queue-wait attribution.
+	// All three are immutable after handleSubmit publishes the job.
+	trace      string
+	parentSpan string
+	submitted  time.Time
 
 	queuePos  int                // guarded by Server.mu
 	status    api.Status         // guarded by Server.mu
@@ -101,14 +112,16 @@ type job struct {
 	results   []exp.JSONResult   // guarded by Server.mu; set once done
 	elapsedMs float64            // guarded by Server.mu
 	instrs    uint64             // guarded by Server.mu
+	spans     []telemetry.Record // guarded by Server.mu; set once terminal
 	done      chan struct{}      // closed (under mu) on reaching a terminal status; receives need no lock
 }
 
 // Server is the daemon: an http.Handler plus the dispatcher that
 // executes queued sweeps.
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
+	cfg  Config
+	mux  *http.ServeMux
+	prom *promMetrics // set once in New, before any request or sweep
 
 	mu       sync.Mutex
 	jobs     map[string]*job // guarded by mu
@@ -143,9 +156,12 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/sweeps/{id}/spans", s.handleSpans)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /version", s.handleVersion)
 	s.mux = mux
+	s.prom = newPromMetrics(s)
 	go s.dispatch()
 	return s
 }
@@ -215,7 +231,9 @@ func (s *Server) dispatch() {
 // runJob executes one sweep through the shared engine and records its
 // terminal state.
 func (s *Server) runJob(ctx context.Context, j *job) {
-	opts := api.RunOptions{Sink: runner.NewJSONLSink(j.log)}
+	// The metrics tap sits in front of the client-facing event log, so
+	// job durations, retries, and stalls feed /metrics as they happen.
+	opts := api.RunOptions{Sink: &metricsSink{inner: runner.NewJSONLSink(j.log), m: s.prom}}
 	if s.cfg.JournalDir != "" {
 		path := filepath.Join(s.cfg.JournalDir, j.id+".journal")
 		// Job ids are unique per process; a leftover file from a prior
@@ -232,19 +250,44 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 	if req.Jobs == 0 {
 		req.Jobs = s.cfg.Jobs
 	}
+
+	// Tracing is always on for daemon sweeps: one collector per sweep,
+	// rooted at a serve:sweep span that adopts the client's trace and
+	// parent when a traceparent header supplied them. Enabling the
+	// process-global collector is safe because dispatch is serial — the
+	// same discipline that keeps cache-event attribution unambiguous.
+	trace := j.trace
+	if trace == "" {
+		trace = telemetry.TraceID("serve", j.id)
+	}
+	queueWait := time.Since(j.submitted)
+	col := telemetry.NewCollector(trace)
+	root := col.StartWith(j.parentSpan, "serve:sweep")
+	root.Key = j.id
+	root.QueueUs = telemetry.Us(queueWait)
+	unbind := root.Bind()
+	telemetry.Enable(col)
+
 	start := time.Now()
 	out, err := api.Run(ctx, &req, opts)
+	elapsed := time.Since(start)
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j.elapsedMs = float64(time.Since(start).Milliseconds())
+	telemetry.Disable()
+	unbind()
+
+	// Resolve the terminal state before touching any lock, so the span
+	// can carry it and the prom observations can run unlocked after.
+	final := api.StatusDone
+	var msg string
+	var results []exp.JSONResult
+	var instrs uint64
 	switch {
 	case err != nil:
-		s.finishLocked(j, api.StatusFailed, err.Error())
+		final, msg = api.StatusFailed, err.Error()
 	case out.Aborted:
-		s.finishLocked(j, api.StatusCancelled, "sweep cancelled before completion; completed jobs were journaled")
+		final, msg = api.StatusCancelled, "sweep cancelled before completion; completed jobs were journaled"
 	default:
-		j.instrs = out.Summary.Instrs
+		instrs = out.Summary.Instrs
 		var errs []string
 		for _, oc := range out.Outcomes {
 			if oc.Err != nil {
@@ -252,12 +295,49 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 			}
 		}
 		if len(errs) > 0 {
-			s.finishLocked(j, api.StatusFailed, strings.Join(errs, "; "))
-			return
+			final, msg = api.StatusFailed, strings.Join(errs, "; ")
+		} else {
+			results = out.JSONResults()
 		}
-		j.results = out.JSONResults()
-		s.finishLocked(j, api.StatusDone, "")
 	}
+	if final != api.StatusDone {
+		root.Err = msg
+	}
+	root.End()
+	spans := col.Records()
+	s.writeSpansFile(j.id, spans)
+
+	s.mu.Lock()
+	j.elapsedMs = float64(elapsed.Milliseconds())
+	j.instrs = instrs
+	j.results = results
+	j.spans = spans
+	s.finishLocked(j, final, msg)
+	s.mu.Unlock()
+
+	// Exposition observations happen after the server lock is released:
+	// a concurrent /metrics scrape holds Prom.mu while calling gauge
+	// functions that take s.mu, so observing under s.mu would invert
+	// that order.
+	s.prom.sweepDur.Observe(elapsed.Seconds())
+	s.prom.queueWait.Observe(queueWait.Seconds())
+	if c := s.prom.sweepsTotal[final]; c != nil {
+		c.Inc()
+	}
+}
+
+// writeSpansFile persists one sweep's spans under SpansDir; failures
+// cost the artifact, never the sweep.
+func (s *Server) writeSpansFile(id string, spans []telemetry.Record) {
+	if s.cfg.SpansDir == "" {
+		return
+	}
+	f, err := os.Create(filepath.Join(s.cfg.SpansDir, id+".spans.jsonl"))
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	_ = telemetry.WriteJSONL(f, spans)
 }
 
 // infoLocked snapshots a job for clients. Caller holds s.mu.
@@ -305,11 +385,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j := &job{
-		id:     fmt.Sprintf("s%06d", s.nextID+1),
-		req:    &req,
-		status: api.StatusQueued,
-		log:    newEventLog(),
-		done:   make(chan struct{}),
+		id:        fmt.Sprintf("s%06d", s.nextID+1),
+		req:       &req,
+		status:    api.StatusQueued,
+		log:       newEventLog(),
+		done:      make(chan struct{}),
+		submitted: time.Now(),
+	}
+	// A well-formed traceparent header joins the client's trace: the
+	// sweep's spans carry the client's trace ID and hang off its span.
+	// A malformed header is ignored, never a 400 — propagation is an
+	// optional courtesy, not part of the request contract.
+	if trace, span, ok := telemetry.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		j.trace, j.parentSpan = trace, span
 	}
 	select {
 	case s.queue <- j:

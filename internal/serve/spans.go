@@ -1,0 +1,33 @@
+package serve
+
+// Span retrieval: GET /v1/sweeps/{id}/spans returns a terminal sweep's
+// span records as JSONL — the same lines `cisim run -spans` writes, so
+// `cisim spans` analyzes either source. Tracing is always on for daemon
+// sweeps; the records are a side channel and results stay byte-
+// identical (the determinism contract in internal/telemetry).
+
+import (
+	"fmt"
+	"net/http"
+
+	"cisim/internal/telemetry"
+)
+
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	s.mu.Lock()
+	st := j.status
+	spans := j.spans
+	s.mu.Unlock()
+	if !st.Terminal() {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSec))
+		writeErr(w, http.StatusConflict, fmt.Errorf("sweep %s is %s; spans are available once it is terminal", j.id, st))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	_ = telemetry.WriteJSONL(w, spans)
+}

@@ -1,0 +1,258 @@
+package serve
+
+// Tests for the observability surface: GET /metrics (Prometheus text
+// exposition, validated by the in-repo parser and cross-checked against
+// /healthz), GET /v1/sweeps/{id}/spans, and traceparent propagation
+// from a client through the daemon's serve:sweep root span.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cisim/internal/api"
+	"cisim/internal/metrics"
+	"cisim/internal/runner"
+	"cisim/internal/store"
+	"cisim/internal/telemetry"
+)
+
+// openTestStore opens a fresh persistent store in a temp dir and
+// attaches it behind the artifact cache, detaching on cleanup.
+func openTestStore(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.Open(store.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner.Artifacts.SetStore(st)
+	t.Cleanup(func() {
+		runner.Artifacts.SetStore(nil)
+		st.Close()
+	})
+	return st
+}
+
+func scrape(t *testing.T, ts *httptest.Server) []metrics.PromFamily {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := metrics.ParseProm(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics body failed exposition parser: %v\n%s", err, body)
+	}
+	return fams
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// Before any sweep: gauges present and zero, no sweeps counted.
+	fams := scrape(t, ts)
+	if v, ok := metrics.FindSample(fams, "cisim_queue_depth", nil); !ok || v != 0 {
+		t.Errorf("idle queue_depth = %v, %v", v, ok)
+	}
+	if v, ok := metrics.FindSample(fams, "cisim_inflight_sweeps", nil); !ok || v != 0 {
+		t.Errorf("idle inflight = %v, %v", v, ok)
+	}
+
+	var info api.JobInfo
+	if resp := submit(t, ts, quickTable1, &info); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	waitStatus(t, ts, info.ID, api.StatusDone)
+
+	fams = scrape(t, ts)
+	if v, ok := metrics.FindSample(fams, "cisim_sweeps_total",
+		map[string]string{"status": "done"}); !ok || v != 1 {
+		t.Errorf("sweeps_total{done} = %v, %v, want 1", v, ok)
+	}
+	if v, ok := metrics.FindSample(fams, "cisim_sweep_duration_seconds_count", nil); !ok || v != 1 {
+		t.Errorf("sweep duration count = %v, %v, want 1", v, ok)
+	}
+	if v, ok := metrics.FindSample(fams, "cisim_job_duration_seconds_count", nil); !ok || v < 1 {
+		t.Errorf("job duration count = %v, %v, want >= 1", v, ok)
+	}
+	// The queue is drained and nothing is running.
+	if v, _ := metrics.FindSample(fams, "cisim_queue_depth", nil); v != 0 {
+		t.Errorf("post-sweep queue_depth = %v", v)
+	}
+	if v, _ := metrics.FindSample(fams, "cisim_inflight_sweeps", nil); v != 0 {
+		t.Errorf("post-sweep inflight = %v", v)
+	}
+}
+
+func TestMetricsStoreCountersMatchHealthz(t *testing.T) {
+	st := openTestStore(t)
+	_, ts := newTestServer(t, Config{Store: st})
+
+	// fig5 runs detailed simulation, the artifact kind the store
+	// persists (ideal-model experiments like table1 never touch it).
+	const quickFig5 = `{"v":1,"experiments":["fig5"],"quick":true}`
+	var info api.JobInfo
+	submit(t, ts, quickFig5, &info)
+	waitStatus(t, ts, info.ID, api.StatusDone)
+	// A second identical sweep hits the persistent store: the in-memory
+	// cache is process-global, so reset it (the attached store survives
+	// Reset) to force disk traffic.
+	runner.Artifacts.Reset()
+	var info2 api.JobInfo
+	submit(t, ts, quickFig5, &info2)
+	waitStatus(t, ts, info2.ID, api.StatusDone)
+
+	var h api.Health
+	getJSON(t, ts.URL+"/healthz", &h)
+	if h.Store == nil {
+		t.Fatal("healthz has no store section")
+	}
+	fams := scrape(t, ts)
+	for name, want := range map[string]float64{
+		"cisim_store_hits_total":   float64(h.Store.Hits),
+		"cisim_store_misses_total": float64(h.Store.Misses),
+		"cisim_store_puts_total":   float64(h.Store.Puts),
+	} {
+		if v, ok := metrics.FindSample(fams, name, nil); !ok || v != want {
+			t.Errorf("%s = %v (found %v), healthz says %v", name, v, ok, want)
+		}
+	}
+	if v, ok := metrics.FindSample(fams, "cisim_store_hit_ratio", nil); !ok || v <= 0 || v > 1 {
+		t.Errorf("store_hit_ratio = %v, %v, want in (0, 1]", v, ok)
+	}
+	if h.Store.Hits == 0 {
+		t.Error("second sweep produced no store hits; the cross-check checked nothing")
+	}
+}
+
+func TestSpansEndpointAndTraceparent(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{SpansDir: dir})
+
+	// Build the client side of the trace by hand, as serveclient does.
+	clientCol := telemetry.NewCollector(telemetry.TraceID("test client"))
+	clientSpan := clientCol.Start("client:sweep")
+	header := telemetry.FormatTraceparent(clientCol.Trace(), clientSpan.ID())
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/sweeps", strings.NewReader(quickTable1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", header)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var info api.JobInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatalf("decoding %q: %v", body, err)
+	}
+
+	// Spans are 409 until the sweep is terminal.
+	early, err := http.Get(ts.URL + "/v1/sweeps/" + info.ID + "/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, early.Body)
+	early.Body.Close()
+	if early.StatusCode == http.StatusOK {
+		// The sweep may legitimately have finished already; only a
+		// non-terminal 200 would be a bug, so just proceed.
+	} else if early.StatusCode != http.StatusConflict {
+		t.Fatalf("early spans fetch: HTTP %d, want 409 or 200", early.StatusCode)
+	}
+
+	waitStatus(t, ts, info.ID, api.StatusDone)
+	sresp, err := http.Get(ts.URL + "/v1/sweeps/" + info.ID + "/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("spans fetch: HTTP %d", sresp.StatusCode)
+	}
+	if ct := sresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("spans content type %q", ct)
+	}
+	recs, err := telemetry.ReadJSONL(sresp.Body)
+	sresp.Body.Close()
+	if err != nil {
+		t.Fatalf("spans endpoint body: %v", err)
+	}
+	checkServeSpans(t, recs, clientCol.Trace(), clientSpan.ID())
+
+	// The SpansDir artifact holds the same records.
+	data, err := os.ReadFile(filepath.Join(dir, info.ID+".spans.jsonl"))
+	if err != nil {
+		t.Fatalf("spans file: %v", err)
+	}
+	fileRecs, err := telemetry.ReadJSONL(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fileRecs) != len(recs) {
+		t.Errorf("spans file has %d records, endpoint served %d", len(fileRecs), len(recs))
+	}
+}
+
+func checkServeSpans(t *testing.T, recs []telemetry.Record, wantTrace, clientSpan string) {
+	t.Helper()
+	if len(recs) == 0 {
+		t.Fatal("no spans for a completed sweep")
+	}
+	names := map[string]int{}
+	var rootID string
+	for _, r := range recs {
+		names[r.Name]++
+		if r.Trace != wantTrace {
+			t.Fatalf("span %s carries trace %q, want client trace %q", r.Name, r.Trace, wantTrace)
+		}
+		if r.Name == "serve:sweep" {
+			rootID = r.Span
+			if r.Parent != clientSpan {
+				t.Errorf("serve:sweep parent = %q, want client span %q", r.Parent, clientSpan)
+			}
+			if r.QueueUs < 0 {
+				t.Errorf("serve:sweep queue_us = %v", r.QueueUs)
+			}
+		}
+	}
+	for _, want := range []string{"serve:sweep", "sweep", "job", "merge"} {
+		if names[want] == 0 {
+			t.Errorf("no %s span; got %v", want, names)
+		}
+	}
+	if rootID == "" {
+		return
+	}
+	for _, r := range recs {
+		if r.Name == "sweep" && r.Parent != rootID {
+			t.Errorf("sweep parent = %q, want serve:sweep %q", r.Parent, rootID)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Export formats. JSONL is the canonical interchange form — one Record
+// per line, golden-schema pinned, what `cisim run -spans`, the daemon's
+// /v1/sweeps/{id}/spans endpoint, and `cisim spans` all speak. The
+// Chrome trace-event form is a lossy projection for eyeballs: load it
+// in Perfetto or chrome://tracing and the sweep renders as one lane per
+// pool worker.
+
+// WriteJSONL writes the records as JSON lines.
+func WriteJSONL(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reads a span JSONL stream back into records. Blank lines
+// are skipped; a malformed line is an error naming its position, since
+// span files are machine-written (no tolerant mode like `cisim events`
+// needs for mixed journals).
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var recs []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("span line %d: %w", line, err)
+		}
+		if rec.Trace == "" || rec.Span == "" || rec.Name == "" {
+			return nil, fmt.Errorf("span line %d: missing trace/span/name", line)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// chromeEvent is one entry of the trace-event format's traceEvents
+// array: a complete ("ph":"X") duration event, or a metadata event
+// ("ph":"M") naming a thread lane.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat,omitempty"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`
+	Dur  float64                `json:"dur,omitempty"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome writes the records as a Chrome trace-event JSON document
+// (Perfetto-loadable). Spans map to complete events with microsecond
+// ts/dur; the thread lane is the pool worker that ran the span, spans
+// outside any job (sweep, merge, serve:sweep) land on lane 0.
+func WriteChrome(w io.Writer, recs []Record) error {
+	byID := make(map[string]*Record, len(recs))
+	for i := range recs {
+		byID[recs[i].Span] = &recs[i]
+	}
+	tids := map[int]bool{}
+	tidOf := func(r *Record) int {
+		// Inherit the worker lane down the parent chain, so stage and
+		// store spans render under the job that caused them. The chain is
+		// acyclic by construction; the depth bound guards a corrupt file.
+		cur := r
+		for depth := 0; cur != nil && depth < 64; depth++ {
+			if cur.Worker > 0 {
+				return cur.Worker
+			}
+			cur = byID[cur.Parent]
+		}
+		return 0
+	}
+
+	var evs []chromeEvent
+	for i := range recs {
+		r := &recs[i]
+		tid := tidOf(r)
+		tids[tid] = true
+		args := map[string]interface{}{"span": r.Span}
+		if r.Parent != "" {
+			args["parent"] = r.Parent
+		}
+		if r.Exp != "" {
+			args["exp"] = r.Exp
+		}
+		if r.Key != "" {
+			args["key"] = r.Key
+		}
+		if r.Kind != "" {
+			args["kind"] = r.Kind
+		}
+		if r.Addr != "" {
+			args["addr"] = r.Addr
+		}
+		if r.Attempt > 0 {
+			args["attempt"] = r.Attempt
+		}
+		if r.QueueUs > 0 {
+			args["queue_us"] = r.QueueUs
+		}
+		if r.Bytes > 0 {
+			args["bytes"] = r.Bytes
+		}
+		if r.Err != "" {
+			args["err"] = r.Err
+		}
+		evs = append(evs, chromeEvent{Name: r.Name, Cat: "cisim", Ph: "X",
+			Ts: r.TUs, Dur: r.DurUs, Pid: 1, Tid: tid, Args: args})
+	}
+	// Lane names, smallest tid first for a deterministic document.
+	lanes := make([]int, 0, len(tids))
+	//lint:ignore detrange sorted just below
+	for tid := range tids {
+		lanes = append(lanes, tid)
+	}
+	for i := 0; i < len(lanes); i++ {
+		for j := i + 1; j < len(lanes); j++ {
+			if lanes[j] < lanes[i] {
+				lanes[i], lanes[j] = lanes[j], lanes[i]
+			}
+		}
+	}
+	meta := make([]chromeEvent, 0, len(lanes))
+	for _, tid := range lanes {
+		name := "orchestrator"
+		if tid > 0 {
+			name = fmt.Sprintf("worker %d", tid)
+		}
+		meta = append(meta, chromeEvent{Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]interface{}{"name": name}})
+	}
+	doc := chromeTrace{TraceEvents: append(meta, evs...), DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

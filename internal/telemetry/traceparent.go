@@ -1,0 +1,63 @@
+package telemetry
+
+import "strings"
+
+// W3C-style trace-context propagation: the serve HTTP API accepts a
+// `traceparent` request header on sweep submission, so a client's spans
+// and the server's spans share one trace ID and the client's span is
+// the serve:sweep span's parent. Only version 00 of the header is
+// spoken, and only the trace-id and parent-id fields are consumed; the
+// flags byte is carried for shape but ignored (sampling is not a
+// concept here — tracing is either on or off per process).
+
+// FormatTraceparent renders a version-00 traceparent header value for
+// a 32-hex trace ID and 16-hex span ID.
+func FormatTraceparent(trace, span string) string {
+	return "00-" + trace + "-" + span + "-01"
+}
+
+// ParseTraceparent extracts the trace and parent-span IDs from a
+// traceparent header value. ok is false for anything malformed: wrong
+// field count or width, non-hex digits, an unknown version, or the
+// all-zero IDs the spec forbids.
+func ParseTraceparent(h string) (trace, span string, ok bool) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) != 4 {
+		return "", "", false
+	}
+	version, trace, span, flags := parts[0], parts[1], parts[2], parts[3]
+	if version != "00" {
+		return "", "", false
+	}
+	if len(trace) != 32 || len(span) != 16 || len(flags) != 2 {
+		return "", "", false
+	}
+	if !isHex(trace) || !isHex(span) || !isHex(flags) {
+		return "", "", false
+	}
+	if isZero(trace) || isZero(span) {
+		return "", "", false
+	}
+	return trace, span, true
+}
+
+func isHex(s string) bool {
+	for _, ch := range s {
+		switch {
+		case ch >= '0' && ch <= '9':
+		case ch >= 'a' && ch <= 'f':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func isZero(s string) bool {
+	for _, ch := range s {
+		if ch != '0' {
+			return false
+		}
+	}
+	return true
+}

@@ -8,11 +8,13 @@
 #   2. launch TWO cisim processes concurrently against one cold
 #      -cache-dir; both must exit 0 (no deadlock on the shared locks)
 #      and print baseline-identical JSON
-#   3. run a third, warm process over the same directory: JSON still
-#      byte-identical, and the run must finish in under half the
+#   3. run a third, warm process over the same directory with span
+#      tracing on (-spans): JSON still byte-identical — tracing is a
+#      side channel — and the run must finish in under half the
 #      storeless baseline's wall time (the whole point of the store)
 #   4. `cisim cache verify` must find nothing to quarantine, and
-#      `cisim cache stats -json` is left as the CI artifact
+#      `cisim cache stats -json` (one flat object, asserted on below)
+#      is left as the CI artifact with the warm run's span trace
 #
 # Run via `make cache-smoke`. Requires only the go toolchain.
 set -eu
@@ -54,15 +56,21 @@ for f in a.json b.json; do
     fi
 done
 
-echo "cache-smoke: warm run from a fresh process"
+echo "cache-smoke: warm run from a fresh process (span tracing on)"
+mkdir -p artifacts
 t0=$(now_ms)
-"$workdir/cisim" run -quick -json -cache-dir "$cache" all \
+"$workdir/cisim" run -quick -json -cache-dir "$cache" \
+    -spans artifacts/warm_run_spans.jsonl all \
     >"$workdir/warm.json" 2>/dev/null
 warm_ms=$(($(now_ms) - t0))
 echo "cache-smoke: warm run took ${warm_ms}ms (baseline ${base_ms}ms)"
 if ! cmp -s "$workdir/baseline.json" "$workdir/warm.json"; then
-    echo "cache-smoke: warm run differs from the baseline" >&2
+    echo "cache-smoke: warm traced run differs from the baseline" >&2
     diff "$workdir/baseline.json" "$workdir/warm.json" >&2 || true
+    exit 1
+fi
+if ! grep -q '"name":"store:get"' artifacts/warm_run_spans.jsonl; then
+    echo "cache-smoke: warm run's span trace shows no store reads" >&2
     exit 1
 fi
 if [ $((warm_ms * 2)) -ge "$base_ms" ]; then
@@ -73,8 +81,20 @@ fi
 echo "cache-smoke: verifying store integrity"
 "$workdir/cisim" cache verify -cache-dir "$cache"
 
-mkdir -p artifacts
 "$workdir/cisim" cache stats -cache-dir "$cache" -json \
     | tee artifacts/cache_stats.json
 
-echo "cache-smoke: OK (concurrent + warm runs byte-identical; warm ${warm_ms}ms vs baseline ${base_ms}ms)"
+echo "cache-smoke: asserting on the flat stats object"
+for field in entries bytes lifetime_puts session_hits session_misses; do
+    if ! grep -q "\"$field\":" artifacts/cache_stats.json; then
+        echo "cache-smoke: cache stats -json lacks the \"$field\" field" >&2
+        exit 1
+    fi
+done
+entries=$(sed -n 's/^ *"entries": \([0-9][0-9]*\).*/\1/p' artifacts/cache_stats.json)
+if [ -z "$entries" ] || [ "$entries" -eq 0 ]; then
+    echo "cache-smoke: store reports no entries after three runs" >&2
+    exit 1
+fi
+
+echo "cache-smoke: OK (concurrent + warm runs byte-identical; warm ${warm_ms}ms vs baseline ${base_ms}ms; $entries entries)"

@@ -1,0 +1,103 @@
+#!/bin/sh
+# metrics_smoke.sh: end-to-end smoke test of the observability surface
+# across a real process boundary — the contract CI pins (DESIGN.md §14).
+#
+#   1. build cisim and start `cisim serve` with a spans directory and a
+#      persistent store on an ephemeral port
+#   2. submit a quick sweep with examples/serveclient, propagating a
+#      traceparent header and fetching the merged span trace; the HTTP
+#      result must stay byte-identical to `run -quick -json` (tracing
+#      is a side channel)
+#   3. scrape GET /metrics and validate it with the in-repo strict
+#      exposition parser (`cisim promcheck`), requiring the queue,
+#      duration, and store families
+#   4. analyze the span trace offline (`cisim spans`) and export the
+#      Chrome trace; both land in artifacts/ for CI upload
+#   5. SIGTERM the daemon and assert a clean drain
+#
+# Run via `make metrics-smoke`. Requires only the go toolchain.
+set -eu
+
+workdir="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+    if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+        kill -TERM "$daemon_pid" 2>/dev/null || true
+        wait "$daemon_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "metrics-smoke: building cisim"
+go build -o "$workdir/cisim" ./cmd/cisim
+
+echo "metrics-smoke: baseline run -quick -json fig5"
+"$workdir/cisim" run -quick -json fig5 >"$workdir/baseline.json" 2>/dev/null
+
+echo "metrics-smoke: starting daemon (spans dir + persistent store)"
+"$workdir/cisim" serve -addr 127.0.0.1:0 -addr-file "$workdir/addr" \
+    -spans-dir "$workdir/spans" -cache-dir "$workdir/store" \
+    2>"$workdir/serve.log" &
+daemon_pid=$!
+
+i=0
+while [ ! -s "$workdir/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "metrics-smoke: daemon never published its address" >&2
+        cat "$workdir/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr="$(head -n1 "$workdir/addr")"
+echo "metrics-smoke: daemon on $addr"
+
+mkdir -p artifacts
+
+echo "metrics-smoke: submitting traced sweep over HTTP"
+go run ./examples/serveclient -addr "$addr" -experiments fig5 -quick \
+    -spans artifacts/serve_spans.jsonl \
+    >"$workdir/http.json" 2>"$workdir/client.log"
+
+echo "metrics-smoke: comparing traced HTTP result to the CLI baseline"
+if ! cmp -s "$workdir/baseline.json" "$workdir/http.json"; then
+    echo "metrics-smoke: traced HTTP result differs from run -quick -json" >&2
+    diff "$workdir/baseline.json" "$workdir/http.json" >&2 || true
+    exit 1
+fi
+
+echo "metrics-smoke: traceparent propagation reached the span trace"
+if ! grep -q '"name":"client:sweep"' artifacts/serve_spans.jsonl; then
+    echo "metrics-smoke: span trace has no client:sweep span" >&2
+    exit 1
+fi
+if ! grep -q '"name":"serve:sweep"' artifacts/serve_spans.jsonl; then
+    echo "metrics-smoke: span trace has no serve:sweep span" >&2
+    exit 1
+fi
+
+echo "metrics-smoke: validating GET /metrics with the strict exposition parser"
+"$workdir/cisim" promcheck \
+    -require cisim_queue_depth,cisim_inflight_sweeps,cisim_sweeps_total,cisim_sweep_duration_seconds,cisim_job_duration_seconds,cisim_store_hits_total,cisim_store_puts_total,cisim_store_hit_ratio \
+    "http://$addr/metrics" | tee artifacts/metrics_check.txt
+
+echo "metrics-smoke: analyzing the span trace offline"
+"$workdir/cisim" spans -chrome artifacts/serve_trace.chrome.json \
+    artifacts/serve_spans.jsonl | tee artifacts/spans_report.txt
+if ! grep -q "critical-path total" artifacts/spans_report.txt; then
+    echo "metrics-smoke: spans report missing the critical-path total" >&2
+    exit 1
+fi
+
+echo "metrics-smoke: draining daemon with SIGTERM"
+kill -TERM "$daemon_pid"
+if ! wait "$daemon_pid"; then
+    echo "metrics-smoke: daemon exited non-zero on SIGTERM" >&2
+    cat "$workdir/serve.log" >&2
+    exit 1
+fi
+daemon_pid=""
+
+echo "metrics-smoke: OK (metrics parse clean; spans traced end to end; result byte-identical)"
