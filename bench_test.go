@@ -113,6 +113,26 @@ func BenchmarkTraceGeneration(b *testing.B) {
 	b.ReportMetric(float64(n), "instrs/op")
 }
 
+// BenchmarkTraceGenerationBatched pins the block-granular generator on a
+// branchier workload at larger scale than BenchmarkTraceGeneration: the
+// batched decode+execute runs and the chunked entry accumulation are the
+// whole cost here, so a regression in either shows up before it is
+// diluted by the experiment harness.
+func BenchmarkTraceGenerationBatched(b *testing.B) {
+	w, _ := workloads.Get("xgcc")
+	p := w.Program(2000)
+	b.ReportAllocs()
+	var n int
+	for i := 0; i < b.N; i++ {
+		tr, err := trace.Generate(p, trace.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(tr.Entries)
+	}
+	b.ReportMetric(float64(n), "instrs/op")
+}
+
 // BenchmarkIdealScheduler measures the Section 2 window scheduler.
 func BenchmarkIdealScheduler(b *testing.B) {
 	w, _ := workloads.Get("xgo")

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -188,7 +189,9 @@ func median(xs []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
-// compare prints the benchstat-style table and reports whether any
+// compare prints the benchstat-style table — time, bytes, and allocation
+// columns with per-benchmark deltas, then the geomean of the time ratios
+// over every benchmark present on both sides — and reports whether any
 // benchmark regressed (time beyond the threshold, or allocs at all).
 func compare(w io.Writer, base, cur map[string]Benchmark, threshold float64) bool {
 	names := make([]string, 0, len(cur))
@@ -199,18 +202,29 @@ func compare(w io.Writer, base, cur map[string]Benchmark, threshold float64) boo
 	sort.Strings(names)
 
 	failed := false
-	fmt.Fprintf(w, "%-48s %14s %14s %9s %14s %14s %9s\n",
-		"benchmark", "old time/op", "new time/op", "delta", "old allocs/op", "new allocs/op", "delta")
+	fmt.Fprintf(w, "%-48s %12s %12s %9s %11s %11s %9s %9s %9s %9s\n",
+		"benchmark", "old time/op", "new time/op", "delta",
+		"old B/op", "new B/op", "delta",
+		"old allocs", "new allocs", "delta")
+	var logSum float64
+	var ratios int
 	for _, name := range names {
 		c := cur[name]
 		b, ok := base[name]
 		if !ok {
-			fmt.Fprintf(w, "%-48s %14s %14s %9s %14s %14s %9s\n",
-				name, "-", fmtNs(c.NsPerOp), "new", "-", fmtCount(c.AllocsPerOp), "new")
+			fmt.Fprintf(w, "%-48s %12s %12s %9s %11s %11s %9s %9s %9s %9s\n",
+				name, "-", fmtNs(c.NsPerOp), "new",
+				"-", fmtBytes(c.BytesPerOp), "new",
+				"-", fmtCount(c.AllocsPerOp), "new")
 			continue
 		}
 		td := pctDelta(b.NsPerOp, c.NsPerOp)
+		bd := pctDelta(b.BytesPerOp, c.BytesPerOp)
 		ad := pctDelta(b.AllocsPerOp, c.AllocsPerOp)
+		if b.NsPerOp > 0 && c.NsPerOp > 0 {
+			logSum += math.Log(c.NsPerOp / b.NsPerOp)
+			ratios++
+		}
 		mark := ""
 		if td > threshold {
 			mark = "  !! time regression beyond advisory threshold"
@@ -220,8 +234,9 @@ func compare(w io.Writer, base, cur map[string]Benchmark, threshold float64) boo
 			mark += "  !! allocs/op increased"
 			failed = true
 		}
-		fmt.Fprintf(w, "%-48s %14s %14s %+8.1f%% %14s %14s %+8.1f%%%s\n",
+		fmt.Fprintf(w, "%-48s %12s %12s %+8.1f%% %11s %11s %+8.1f%% %9s %9s %+8.1f%%%s\n",
 			name, fmtNs(b.NsPerOp), fmtNs(c.NsPerOp), td,
+			fmtBytes(b.BytesPerOp), fmtBytes(c.BytesPerOp), bd,
 			fmtCount(b.AllocsPerOp), fmtCount(c.AllocsPerOp), ad, mark)
 	}
 	var missing []string
@@ -234,6 +249,11 @@ func compare(w io.Writer, base, cur map[string]Benchmark, threshold float64) boo
 	sort.Strings(missing)
 	for _, name := range missing {
 		fmt.Fprintf(w, "%-48s   (in baseline, not measured)\n", name)
+	}
+	if ratios > 0 {
+		g := math.Exp(logSum / float64(ratios))
+		fmt.Fprintf(w, "\ngeomean time ratio: %.3fx (%+.1f%%) over %d benchmarks\n",
+			g, (g-1)*100, ratios)
 	}
 	return failed
 }
@@ -255,6 +275,19 @@ func fmtNs(ns float64) string {
 		return fmt.Sprintf("%.1fµs", ns/1e3)
 	default:
 		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+func fmtBytes(n float64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.2fGB", n/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.1fMB", n/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.1fkB", n/1e3)
+	default:
+		return fmt.Sprintf("%.0fB", n)
 	}
 }
 

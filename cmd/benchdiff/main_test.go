@@ -85,6 +85,35 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	}
 }
 
+// TestCompareGeomeanAndBytes pins the summary line and the bytes/op
+// columns: two benchmarks at 0.5x and 2.0x must geomean to exactly 1.0x,
+// and the byte columns must show both sides with their delta.
+func TestCompareGeomeanAndBytes(t *testing.T) {
+	base := map[string]Benchmark{
+		"BenchmarkHalf":   {NsPerOp: 100, BytesPerOp: 4096, AllocsPerOp: 10},
+		"BenchmarkDouble": {NsPerOp: 100, BytesPerOp: 2e6, AllocsPerOp: 10},
+	}
+	cur := map[string]Benchmark{
+		"BenchmarkHalf":   {NsPerOp: 50, BytesPerOp: 2048, AllocsPerOp: 10},
+		"BenchmarkDouble": {NsPerOp: 200, BytesPerOp: 2e6, AllocsPerOp: 10},
+	}
+	var sb strings.Builder
+	compare(&sb, base, cur, 1e9) // threshold high: only the summary matters
+	out := sb.String()
+	if !strings.Contains(out, "geomean time ratio: 1.000x") {
+		t.Errorf("missing or wrong geomean line:\n%s", out)
+	}
+	if !strings.Contains(out, "over 2 benchmarks") {
+		t.Errorf("geomean should count both benchmarks:\n%s", out)
+	}
+	if !strings.Contains(out, "4.1kB") || !strings.Contains(out, "2.0kB") {
+		t.Errorf("bytes/op columns missing:\n%s", out)
+	}
+	if !strings.Contains(out, "-50.0%") {
+		t.Errorf("bytes delta missing:\n%s", out)
+	}
+}
+
 func TestTrimProcs(t *testing.T) {
 	for in, want := range map[string]string{
 		"BenchmarkFoo-8":        "BenchmarkFoo",

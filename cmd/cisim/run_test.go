@@ -39,6 +39,62 @@ func TestCmdRunJobsDeterminism(t *testing.T) {
 	}
 }
 
+// TestCmdRunIdentityMatrix pins the perf-rewrite acceptance bar end to
+// end: `run -quick -json all` must be byte-identical across -jobs 1 and
+// -jobs 8, cold and warm in-process caches, and cold and warm persistent
+// stores. The warm in-process legs are the shared-prep fast path — the
+// second sweep replays the memoized ideal.Prep through RunPrepared (the
+// prep-hit assertion below proves that path actually ran) — and the warm
+// store leg replays results from disk after the in-memory cache is
+// dropped, so a serialization or fingerprint bug cannot hide behind the
+// memory cache.
+func TestCmdRunIdentityMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("six full quick sweeps; the non-short run covers this")
+	}
+	sweep := func(args ...string) string {
+		t.Helper()
+		out, err := capture(t, func() error {
+			return cmdRun(append([]string{"-quick", "-json"}, args...))
+		})
+		if err != nil {
+			t.Fatalf("run %v: %v", args, err)
+		}
+		return out
+	}
+	runner.Artifacts.Reset()
+	ref := sweep("-jobs", "1", "all")
+
+	before := runner.Artifacts.Stats()
+	if got := sweep("-jobs", "1", "all"); got != ref {
+		t.Errorf("warm -jobs 1 differs from cold reference (len %d vs %d)", len(got), len(ref))
+	}
+	if d := runner.Artifacts.Stats().Sub(before); d.PrepHits == 0 {
+		t.Errorf("warm sweep recorded no prep hits; RunPrepared reuse not exercised: %+v", d)
+	}
+	if got := sweep("-jobs", "8", "all"); got != ref {
+		t.Errorf("warm -jobs 8 differs from cold reference (len %d vs %d)", len(got), len(ref))
+	}
+
+	runner.Artifacts.Reset()
+	if got := sweep("-jobs", "8", "all"); got != ref {
+		t.Errorf("cold -jobs 8 differs from cold -jobs 1 (len %d vs %d)", len(got), len(ref))
+	}
+
+	dir := t.TempDir()
+	runner.Artifacts.Reset()
+	if got := sweep("-jobs", "4", "-cache-dir", dir, "all"); got != ref {
+		t.Errorf("cold store-backed run differs (len %d vs %d)", len(got), len(ref))
+	}
+	// Drop the in-memory cache but keep the store: the next sweep must
+	// rebuild byte-identical output from persisted results alone.
+	runner.Artifacts.Reset()
+	if got := sweep("-jobs", "4", "-cache-dir", dir, "all"); got != ref {
+		t.Errorf("warm store-backed run differs (len %d vs %d)", len(got), len(ref))
+	}
+	runner.Artifacts.Reset()
+}
+
 // TestRenderOutcomesAggregatesErrors: one failing experiment makes the
 // run error (non-zero exit from main) while the healthy experiments
 // still print, and every failure is named.

@@ -72,6 +72,19 @@ func (s *State) Fork() *State {
 	return &c
 }
 
+// ForkInto is Fork for a hot loop: instead of allocating a state and
+// re-snapshotting the page table per speculative episode, it rewinds view
+// (an overlay of s.Mem, see mem.NewOverlay) and overwrites scratch with a
+// register-level copy of s backed by it. The returned state is scratch.
+// Only one ForkInto fork of s is live at a time; the next call recycles
+// the view.
+func (s *State) ForkInto(scratch *State, view *mem.Memory) *State {
+	view.Reset()
+	*scratch = *s
+	scratch.Mem = view
+	return scratch
+}
+
 // Reg reads an architectural register, honouring the hardwired zero.
 func (s *State) Reg(r isa.Reg) uint64 {
 	if r == isa.RZero {
@@ -90,12 +103,24 @@ func (s *State) SetReg(r isa.Reg, v uint64) {
 // Step executes one instruction and returns its architectural effects.
 // Stepping a halted state returns a Halt step without advancing.
 func (s *State) Step() (Step, error) {
+	var st Step
+	err := s.StepInto(&st)
+	return st, err
+}
+
+// StepInto is Step writing its record into caller-owned storage, so a hot
+// loop reusing one buffer pays a single struct store per instruction
+// instead of a return-value copy plus an append. The record is fully
+// overwritten.
+func (s *State) StepInto(out *Step) error {
 	if s.Halted {
-		return Step{PC: s.PC, Halt: true}, nil
+		*out = Step{PC: s.PC, Halt: true}
+		return nil
 	}
 	in, ok := s.Prog.InstAt(s.PC)
 	if !ok {
-		return Step{}, &Fault{s.PC, "pc outside code image"}
+		*out = Step{}
+		return &Fault{s.PC, "pc outside code image"}
 	}
 	st := Step{PC: s.PC, Inst: in, NextPC: s.PC + 4}
 
@@ -149,12 +174,42 @@ func (s *State) Step() (Step, error) {
 		st.Halt = true
 		st.NextPC = s.PC
 		s.InstCount++
-		return st, nil
+		*out = st
+		return nil
 	}
 
 	s.PC = st.NextPC
 	s.InstCount++
-	return st, nil
+	*out = st
+	return nil
+}
+
+// StepBlock executes up to len(buf) instructions, writing one Step record
+// per instruction into buf, and returns how many were recorded. The block
+// ends early — after recording the terminating instruction — at any
+// control transfer (branch, jump, call, return, halt), so a caller
+// batching straight-line work still observes every control decision at a
+// block boundary, with memory exactly as of that instruction (control
+// instructions write no memory). Reusing one buffer across calls
+// amortizes the per-instruction caller/emulator round trip and the second
+// decode the caller would otherwise pay.
+func (s *State) StepBlock(buf []Step) (int, error) {
+	for n := 0; n < len(buf); n++ {
+		st := &buf[n]
+		if err := s.StepInto(st); err != nil {
+			return n, err
+		}
+		if st.Halt {
+			return n + 1, nil
+		}
+		switch isa.ClassOf(st.Inst.Op) {
+		case isa.ClassALU, isa.ClassMul, isa.ClassDiv, isa.ClassLoad, isa.ClassStore:
+			// Straight-line: keep going.
+		default:
+			return n + 1, nil
+		}
+	}
+	return len(buf), nil
 }
 
 // Run executes until the program halts or max instructions have executed.

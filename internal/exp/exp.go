@@ -229,13 +229,20 @@ func (c *wctx) detailed(cfg ooo.Config) (*ooo.Result, error) {
 	return r, nil
 }
 
-// ideal runs the workload's trace through a Section 2 idealized model.
+// ideal runs the workload's trace through a Section 2 idealized model,
+// over the shared prep (one golden stream and derived arrays per
+// workload/scale, reused across every model and window size). Trace
+// generation is charged once per cache fill, exactly as c.trace does.
 func (c *wctx) ideal(cfg ideal.Config) (ideal.Result, error) {
-	tr, err := c.trace()
+	pre, traceHit, err := runner.Artifacts.IdealPrep(c.w, c.o.iters(c.w),
+		trace.Options{MaxInstrs: c.o.maxTraceInstrs()})
 	if err != nil {
 		return ideal.Result{}, err
 	}
-	r, err := ideal.Run(tr, cfg)
+	if !traceHit {
+		c.part.Instrs += uint64(len(pre.Trace.Entries))
+	}
+	r, err := ideal.RunPrepared(pre, cfg)
 	if err == nil {
 		c.part.Instrs += r.Retired
 	}

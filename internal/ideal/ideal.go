@@ -208,6 +208,7 @@ type engine struct {
 	cfg     Config
 	k       knobs
 	tr      *trace.Trace
+	prep    *Prep
 	width   int
 	winSize int
 
@@ -216,8 +217,9 @@ type engine struct {
 	streams []*stream
 	nextSID int
 
-	// doneCycle[i] is entry i's completion cycle (never if not executed
-	// or squashed). Retired entries keep their completion cycle.
+	// doneCycle[i] is entry i's completion cycle (0 = not executed or
+	// squashed; real completion cycles start at 2). Retired entries keep
+	// their completion cycle.
 	doneCycle []int64
 
 	// mispOf remembers the recovery record of each mispredicted branch
@@ -233,11 +235,13 @@ type engine struct {
 	// Dense: one flag per trace entry.
 	liveReal []bool
 
-	// slotArena batch-allocates window slots: one is created per fetched
-	// slot (junk included) and never reused, so a bump allocator keeps
-	// the zero-value semantics of a &slot{} literal without the per-fetch
-	// heap traffic.
-	slotArena []slot
+	// activeMisp lists the unresolved mispredictions with a usable
+	// reconvergent point whose branch slot is in the window — exactly the
+	// candidates a window scan for false-dependence floors would find.
+	// Maintained at misprediction creation, resolution, and branch-slot
+	// eviction, it turns attachFloors from O(live window) per fetched
+	// entry into O(in-flight mispredictions).
+	activeMisp []*mispRec
 
 	// squashAt holds pending recovery actions: at the recorded cycle the
 	// misprediction's junk is squashed and wrong-path fetch stops, so
@@ -245,14 +249,27 @@ type engine struct {
 	// same timing as deferred-stream activation.
 	squashAt []pendingSquash
 
+	// sc owns the window slot arena (and every buffer above); it returns
+	// to the prep's pool when the run finishes.
+	sc *scratch
+
 	retireNext int32
 	cycle      int64
 
 	res Result
 }
 
-// Run simulates the trace under the configured model.
+// Run simulates the trace under the configured model. It is Prepare +
+// RunPrepared; callers running several configurations over one trace
+// should Prepare once and share it.
 func Run(tr *trace.Trace, cfg Config) (Result, error) {
+	return RunPrepared(Prepare(tr), cfg)
+}
+
+// RunPrepared simulates the prepared trace under the configured model.
+// One Prep is safe for concurrent RunPrepared calls.
+func RunPrepared(p *Prep, cfg Config) (Result, error) {
+	tr := p.Trace
 	if cfg.Width == 0 {
 		cfg.Width = 16
 	}
@@ -262,20 +279,24 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 	if cfg.MaxCycles == 0 {
 		cfg.MaxCycles = int64(len(tr.Entries))*8 + 10_000
 	}
+	sc := p.getScratch()
 	e := &engine{
-		cfg:       cfg,
-		k:         cfg.Model.knobs(),
-		tr:        tr,
-		width:     cfg.Width,
-		winSize:   cfg.WindowSize,
-		doneCycle: make([]int64, len(tr.Entries)),
-		mispOf:    make([]*mispRec, len(tr.Entries)),
-		liveReal:  make([]bool, len(tr.Entries)),
-		window:    make([]*slot, 0, cfg.WindowSize+cfg.Width),
+		cfg:        cfg,
+		k:          cfg.Model.knobs(),
+		tr:         tr,
+		prep:       p,
+		width:      cfg.Width,
+		winSize:    cfg.WindowSize,
+		doneCycle:  sc.doneCycle,
+		mispOf:     sc.mispOf,
+		liveReal:   sc.liveReal,
+		window:     sc.window,
+		streams:    sc.streams,
+		squashAt:   sc.squashAt,
+		activeMisp: sc.activeMisp,
+		sc:         sc,
 	}
-	for i := range e.doneCycle {
-		e.doneCycle[i] = never
-	}
+	defer p.putScratch(sc, e)
 	e.addStream(0, int32(len(tr.Entries)), 0)
 	if cfg.RecordTimes {
 		e.res.IssueCycle = make([]int64, len(tr.Entries))
@@ -304,17 +325,9 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 	return e.res, nil
 }
 
-func (e *engine) allocSlot() *slot {
-	if len(e.slotArena) == 0 {
-		e.slotArena = make([]slot, 256)
-	}
-	s := &e.slotArena[0]
-	e.slotArena = e.slotArena[1:]
-	return s
-}
-
 func (e *engine) addStream(next, end int32, activateAt int64) *stream {
-	s := &stream{id: e.nextSID, next: next, end: end, activateAt: activateAt}
+	s := e.allocStream()
+	*s = stream{id: e.nextSID, next: next, end: end, activateAt: activateAt}
 	e.nextSID++
 	e.streams = append(e.streams, s)
 	return s
@@ -324,6 +337,7 @@ func (e *engine) liveCount() int { return len(e.window) - e.head }
 
 // --- retire stage ---
 
+//cisim:hot
 func (e *engine) retire() {
 	for n := 0; n < e.width; n++ {
 		if e.head >= len(e.window) {
@@ -348,6 +362,7 @@ func (e *engine) retire() {
 
 // --- issue stage ---
 
+//cisim:hot
 func (e *engine) issue() {
 	issued := 0
 	for i := e.head; i < len(e.window) && issued < e.width; i++ {
@@ -374,15 +389,12 @@ func (e *engine) latency(s *slot) int {
 	if s.kind == kindJunk {
 		return 1
 	}
-	en := &e.tr.Entries[s.key.idx]
-	lat := isa.Latency(en.Inst.Op)
-	if isa.ClassOf(en.Inst.Op) == isa.ClassLoad {
-		lat++ // perfect data cache: 1-cycle access after address generation
-	}
-	return lat
+	return int(e.prep.lat[s.key.idx])
 }
 
 // ready reports whether a slot can issue this cycle.
+//
+//cisim:hot
 func (e *engine) ready(s *slot) bool {
 	// Dispatch takes the cycle after fetch; issue the cycle after that.
 	if e.cycle < s.fetchC+2 {
@@ -416,7 +428,7 @@ func (e *engine) producerDone(p int32) bool {
 		return true
 	}
 	d := e.doneCycle[p]
-	return d != never && d <= e.cycle
+	return d != 0 && d <= e.cycle
 }
 
 // resolve handles misprediction resolution. The misprediction is detected
@@ -428,6 +440,7 @@ func (e *engine) producerDone(p int32) bool {
 func (e *engine) resolve(m *mispRec, at int64) {
 	m.resolved = true
 	m.resolveC = at
+	e.dropActiveMisp(m)
 	e.squashAt = append(e.squashAt, pendingSquash{at: at + 1, m: m})
 	for _, st := range e.streams {
 		if st.dead {
@@ -586,9 +599,10 @@ func (e *engine) evictFor(st *stream) bool {
 	}
 	e.res.Evicted++
 	idx := young.key.idx
-	e.doneCycle[idx] = never
+	e.doneCycle[idx] = 0
 	e.liveReal[idx] = false
 	if young.misp != nil && !young.misp.resolved {
+		e.dropActiveMisp(young.misp)
 		// An evicted, still-unresolved mispredicted branch takes its
 		// recovery machinery with it; refetching it rebuilds everything.
 		// (A resolved branch keeps its machinery: its deferred stream
@@ -680,7 +694,8 @@ func (e *engine) fetchOne(st *stream) {
 
 // onMispredict rewires the fetching stream according to the model.
 func (e *engine) onMispredict(st *stream, s *slot, idx int32, en *trace.Entry) {
-	m := &mispRec{branch: idx, reconv: -1, wp: en.Wrong}
+	m := e.allocMisp()
+	*m = mispRec{branch: idx, reconv: -1, wp: en.Wrong}
 	s.misp = m
 	e.mispOf[idx] = m
 
@@ -699,6 +714,7 @@ func (e *engine) onMispredict(st *stream, s *slot, idx int32, en *trace.Entry) {
 
 	if reconv > idx {
 		m.reconv = reconv
+		e.activeMisp = append(e.activeMisp, m)
 		// Deferred correct control-dependent stream [idx+1, reconv),
 		// activated at resolution.
 		if reconv > idx+1 {
@@ -736,17 +752,31 @@ func (e *engine) onMispredict(st *stream, s *slot, idx int32, en *trace.Entry) {
 }
 
 // attachFloors records which unresolved mispredictions create false data
-// dependences for this control independent entry.
+// dependences for this control independent entry. activeMisp holds
+// exactly the mispredictions a scan of the live window would surface
+// (unresolved, usable reconvergent point, branch slot present), so the
+// attached floor set — and therefore issue timing and both floor
+// counters — is identical to the window-scan formulation.
 func (e *engine) attachFloors(s *slot, en *trace.Entry) {
 	idx := s.key.idx
-	for _, other := range e.window[e.head:] {
-		m := other.misp
-		if m == nil || m.resolved || m.reconv < 0 || idx < m.reconv {
+	for _, m := range e.activeMisp {
+		if idx < m.reconv {
 			continue
 		}
-		if e.falseDep(m, en) {
+		if e.falseDep(m, en, idx) {
 			s.floors = append(s.floors, m)
 			e.res.FloorsAttached++
+		}
+	}
+}
+
+// dropActiveMisp removes a misprediction from the floor-candidate list;
+// no-op when it was never listed (no usable reconvergent point).
+func (e *engine) dropActiveMisp(m *mispRec) {
+	for i, x := range e.activeMisp {
+		if x == m {
+			e.activeMisp = append(e.activeMisp[:i], e.activeMisp[i+1:]...)
+			return
 		}
 	}
 }
@@ -754,14 +784,16 @@ func (e *engine) attachFloors(s *slot, en *trace.Entry) {
 // falseDep reports whether entry en (control independent of m) reads a
 // value the wrong path of m overwrote without an intervening control
 // independent producer.
-func (e *engine) falseDep(m *mispRec, en *trace.Entry) bool {
+func (e *engine) falseDep(m *mispRec, en *trace.Entry, idx int32) bool {
 	wp := m.wp
 	if wp == nil {
 		return false
 	}
 	if wp.RegWrites != 0 {
-		for si, r := range en.Inst.SrcRegs() {
-			if si >= 2 || r == isa.RZero {
+		src := &e.prep.src[idx]
+		for si := 0; si < 2; si++ {
+			r := src[si]
+			if r == noSrc || r == uint8(isa.RZero) {
 				continue
 			}
 			if wp.RegWrites&(1<<r) == 0 {
@@ -774,7 +806,7 @@ func (e *engine) falseDep(m *mispRec, en *trace.Entry) bool {
 			}
 		}
 	}
-	if len(wp.Stores) > 0 && isa.ClassOf(en.Inst.Op) == isa.ClassLoad {
+	if len(wp.Stores) > 0 && e.prep.isLoad[idx] {
 		if en.DepMem == trace.NoDep || en.DepMem < m.reconv {
 			ld := trace.AddrRange{Addr: en.EA, Size: en.MemSize()}
 			for _, sr := range wp.Stores {

@@ -1,0 +1,216 @@
+// Shared-prep fast path: the six models of a window sweep all walk the
+// same annotated trace, and everything they derive per entry — issue
+// latency, source-register sets, load classification — is a pure function
+// of the trace. Prepare hoists those derivations into dense read-only
+// arrays computed once per (workload, trace-config); RunPrepared then
+// walks them for every (model, window) point. The Prep also pools the
+// engine's per-run scratch (completion cycles, window storage, slot
+// arenas), so a sweep's second run allocates almost nothing.
+
+package ideal
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"cisim/internal/isa"
+	"cisim/internal/trace"
+)
+
+// noSrc marks an absent source-register operand in Prep.src.
+const noSrc = 0xFF
+
+// Prep is the model-independent preparation of one trace, shared by every
+// RunPrepared call over it. The dense arrays are read-only after Prepare,
+// so one Prep is safe for concurrent RunPrepared calls; the scratch pool
+// is internally synchronized.
+type Prep struct {
+	// Trace is the golden stream the models schedule (with its CFG).
+	Trace *trace.Trace
+
+	// lat[i] is entry i's issue-to-complete latency in cycles, with the
+	// perfect data cache's 1-cycle access folded into loads.
+	lat []uint8
+	// src[i] are entry i's source registers (noSrc = absent). Reads of
+	// r0 are recorded but never create dependences.
+	src [][2]uint8
+	// isLoad[i] marks loads, the only consumers of false memory deps.
+	isLoad []bool
+
+	pool sync.Pool // *scratch
+}
+
+// Prepare derives the shared per-entry arrays from a trace.
+func Prepare(tr *trace.Trace) *Prep {
+	n := len(tr.Entries)
+	p := &Prep{
+		Trace:  tr,
+		lat:    make([]uint8, n),
+		src:    make([][2]uint8, n),
+		isLoad: make([]bool, n),
+	}
+	for i := range tr.Entries {
+		en := &tr.Entries[i]
+		lat := isa.Latency(en.Inst.Op)
+		if isa.ClassOf(en.Inst.Op) == isa.ClassLoad {
+			lat++ // perfect data cache: 1-cycle access after address generation
+			p.isLoad[i] = true
+		}
+		p.lat[i] = uint8(lat)
+		p.src[i] = [2]uint8{noSrc, noSrc}
+		for si, r := range en.Inst.SrcRegs() {
+			if si < 2 {
+				p.src[i][si] = uint8(r)
+			}
+		}
+	}
+	return p
+}
+
+// Fingerprint returns a structural checksum for the runner's artifact
+// cache: the array lengths plus the trace's prediction statistics. Like
+// ooo.Prep's, it is deliberately shallow — it catches a swapped or
+// truncated prep without re-hashing the arrays on every cache hit.
+func (p *Prep) Fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%d/%+v", len(p.lat), len(p.Trace.Entries), p.Trace.Stats)
+	return h.Sum64()
+}
+
+// slotChunk is the slot-arena chunk size; chunks are recycled (re-zeroed)
+// across runs through the scratch pool.
+const slotChunk = 256
+
+// scratch is one engine's worth of reusable run state. Everything here is
+// fully reinitialized by getScratch, so reuse cannot leak one run's
+// schedule into the next.
+type scratch struct {
+	doneCycle  []int64
+	mispOf     []*mispRec
+	liveReal   []bool
+	window     []*slot
+	streams    []*stream
+	squashAt   []pendingSquash
+	activeMisp []*mispRec
+
+	// Slot arena: chunks[ci][off] is the next slot. Pointers into chunks
+	// are held by the window, so chunks are never reallocated — only
+	// re-zeroed on reuse (dirty counts the chunks the last run touched).
+	chunks  [][]slot
+	ci, off int
+	dirty   int
+
+	// Stream and misprediction-record arenas. Unlike slots, these carry
+	// no zero-value guarantee: every allocation site fully initializes
+	// the struct with a literal assignment, so recycled chunks are
+	// reused as-is.
+	streamChunks [][]stream
+	sci, soff    int
+	mispChunks   [][]mispRec
+	mci, moff    int
+}
+
+// getScratch borrows (or builds) a scratch sized for the prep's trace,
+// with every buffer reset to its zero state.
+func (p *Prep) getScratch() *scratch {
+	sc, _ := p.pool.Get().(*scratch)
+	if sc == nil {
+		sc = &scratch{}
+	}
+	n := len(p.Trace.Entries)
+	if cap(sc.doneCycle) < n {
+		sc.doneCycle = make([]int64, n)
+		sc.mispOf = make([]*mispRec, n)
+		sc.liveReal = make([]bool, n)
+	} else {
+		sc.doneCycle = sc.doneCycle[:n]
+		sc.mispOf = sc.mispOf[:n]
+		sc.liveReal = sc.liveReal[:n]
+		clear(sc.doneCycle)
+		clear(sc.mispOf)
+		clear(sc.liveReal)
+	}
+	sc.window = sc.window[:0]
+	sc.streams = sc.streams[:0]
+	sc.squashAt = sc.squashAt[:0]
+	sc.activeMisp = sc.activeMisp[:0]
+	// Re-zero the slot chunks the last run touched, keeping each slot's
+	// floors capacity: attachFloors appends a few records per covered
+	// slot, and wiping the slices would re-grow one per slot per run.
+	for i := 0; i < sc.dirty && i < len(sc.chunks); i++ {
+		ch := sc.chunks[i]
+		for j := range ch {
+			floors := ch[j].floors[:0]
+			ch[j] = slot{floors: floors}
+		}
+	}
+	sc.ci, sc.off = 0, 0
+	sc.sci, sc.soff = 0, 0
+	sc.mci, sc.moff = 0, 0
+	return sc
+}
+
+// putScratch returns the engine's (possibly regrown) buffers to the pool.
+func (p *Prep) putScratch(sc *scratch, e *engine) {
+	sc.window = e.window[:0]
+	sc.streams = e.streams[:0]
+	sc.squashAt = e.squashAt[:0]
+	sc.activeMisp = e.activeMisp[:0]
+	sc.dirty = sc.ci
+	if sc.off > 0 {
+		sc.dirty++
+	}
+	p.pool.Put(sc)
+}
+
+// allocSlot bump-allocates a zeroed window slot from the scratch arena.
+func (e *engine) allocSlot() *slot {
+	sc := e.sc
+	if sc.ci == len(sc.chunks) {
+		sc.chunks = append(sc.chunks, make([]slot, slotChunk))
+	}
+	s := &sc.chunks[sc.ci][sc.off]
+	sc.off++
+	if sc.off == slotChunk {
+		sc.ci++
+		sc.off = 0
+	}
+	return s
+}
+
+// streamChunk is the stream/mispRec arena chunk size; a quick run opens
+// a few hundred streams, so chunks stay small.
+const streamChunk = 64
+
+// allocStream bump-allocates a stream; the caller must fully initialize
+// it (recycled chunks are not cleared).
+func (e *engine) allocStream() *stream {
+	sc := e.sc
+	if sc.sci == len(sc.streamChunks) {
+		sc.streamChunks = append(sc.streamChunks, make([]stream, streamChunk))
+	}
+	s := &sc.streamChunks[sc.sci][sc.soff]
+	sc.soff++
+	if sc.soff == streamChunk {
+		sc.sci++
+		sc.soff = 0
+	}
+	return s
+}
+
+// allocMisp bump-allocates a misprediction record; the caller must fully
+// initialize it (recycled chunks are not cleared).
+func (e *engine) allocMisp() *mispRec {
+	sc := e.sc
+	if sc.mci == len(sc.mispChunks) {
+		sc.mispChunks = append(sc.mispChunks, make([]mispRec, streamChunk))
+	}
+	m := &sc.mispChunks[sc.mci][sc.moff]
+	sc.moff++
+	if sc.moff == streamChunk {
+		sc.mci++
+		sc.moff = 0
+	}
+	return m
+}

@@ -1,0 +1,109 @@
+package ideal
+
+import (
+	"reflect"
+	"testing"
+
+	"cisim/internal/trace"
+	"cisim/internal/workloads"
+)
+
+// TestSharedPrepMatchesRun pins the shared-prep contract: for every
+// workload and every model, RunPrepared over one shared Prep must be
+// result-identical to the cold Run path that derives its own prep, and a
+// second RunPrepared on the same Prep (which reuses pooled scratch from
+// the first) must be identical again. This is the correctness bar for
+// the exp fast path, where one Prep per (workload, trace-config) is
+// shared by all six models and across repeated sweeps.
+func TestSharedPrepMatchesRun(t *testing.T) {
+	for _, w := range workloads.All() {
+		tr, err := trace.Generate(w.Program(60), trace.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		pre := Prepare(tr)
+		for _, m := range Models() {
+			for _, cfg := range []Config{
+				{Model: m, WindowSize: 64},
+				{Model: m, WindowSize: 16, RecordTimes: true},
+			} {
+				cold, err := Run(tr, cfg)
+				if err != nil {
+					t.Fatalf("%s/%v: cold run: %v", w.Name, m, err)
+				}
+				warm, err := RunPrepared(pre, cfg)
+				if err != nil {
+					t.Fatalf("%s/%v: prepared run: %v", w.Name, m, err)
+				}
+				if !reflect.DeepEqual(cold, warm) {
+					t.Errorf("%s/%v: shared-prep result diverges from cold run:\n  cold %+v\n  warm %+v",
+						w.Name, m, cold, warm)
+				}
+				again, err := RunPrepared(pre, cfg)
+				if err != nil {
+					t.Fatalf("%s/%v: repeated prepared run: %v", w.Name, m, err)
+				}
+				if !reflect.DeepEqual(warm, again) {
+					t.Errorf("%s/%v: repeated RunPrepared on one Prep diverges (scratch reuse):\n  first  %+v\n  second %+v",
+						w.Name, m, warm, again)
+				}
+			}
+		}
+	}
+}
+
+// TestPrepFingerprintDistinguishesTraces guards the cache key: two
+// different workloads' preps must not share a fingerprint, and the same
+// trace prepared twice must.
+func TestPrepFingerprintDistinguishesTraces(t *testing.T) {
+	ws := workloads.All()
+	tr1, err := trace.Generate(ws[0].Program(40), trace.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := trace.Generate(ws[1].Program(40), trace.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := Prepare(tr1), Prepare(tr1), Prepare(tr2)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("same trace, different fingerprints")
+	}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("different traces share a fingerprint")
+	}
+}
+
+// TestRunPreparedSteadyAllocs pins the point of the scratch pool: once a
+// Prep's scratch has been built by a priming run, repeated RunPrepared
+// calls reuse it and stay within a small constant allocation budget
+// (the engine struct, the result bookkeeping) instead of re-deriving
+// per-entry arrays proportional to the trace.
+func TestRunPreparedSteadyAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race detector makes sync.Pool drop puts at random, so steady-state alloc counts are not meaningful")
+	}
+	w, _ := workloads.Get("xgo")
+	tr, err := trace.Generate(w.Program(200), trace.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := Prepare(tr)
+	cfg := Config{Model: WRFD, WindowSize: 128}
+	if _, err := RunPrepared(pre, cfg); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		if _, err := RunPrepared(pre, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The budget is intentionally loose: a GC between runs may drop the
+	// pooled scratch and force one rebuild, but the steady state must
+	// not allocate per trace entry (len(tr.Entries) is in the tens of
+	// thousands here).
+	if avg > 100 {
+		t.Errorf("steady-state RunPrepared allocates %.1f objects/run, want <= 100 (trace has %d entries)",
+			avg, len(tr.Entries))
+	}
+}

@@ -16,6 +16,14 @@ import (
 // named init or with a New/new prefix are exempt. Anything else carries a
 // `//lint:ignore hotalloc <why>` justifying that the site is cold (a
 // Check-only validator, a once-per-trace post-pass, a reference shadow).
+// The analyzer also polices append growth in declared hot functions: a
+// function carrying a `//cisim:hot` directive in its doc comment is a
+// per-cycle (or per-entry) walk, and a self-append `x = append(x, ...)`
+// there grows a slice without a visible bound — the growslice copy and
+// the GC pressure land on every simulated cycle. The append is accepted
+// when the same function shows the bound: the slice is sized with make,
+// reset by reslicing itself (x = x[:0] and friends), or the append
+// target is itself a reslice (append(x[:0], ...) compaction).
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
 	Doc:  "model packages must not make(map[...]) outside constructors; hot loops use dense structures",
@@ -48,11 +56,31 @@ func runHotAlloc(pass *Pass) {
 	for _, file := range pass.Files() {
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
-			if ok && fn.Body != nil && !coldFunc(fn.Name.Name) {
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !coldFunc(fn.Name.Name) {
 				checkHotAllocBody(pass, info, fn.Name.Name, fn.Body)
+			}
+			if declaredHot(fn) {
+				checkHotAppendBody(pass, info, fn.Name.Name, fn.Body)
 			}
 		}
 	}
+}
+
+// declaredHot reports whether the function's doc comment carries the
+// //cisim:hot directive.
+func declaredHot(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == "//cisim:hot" {
+			return true
+		}
+	}
+	return false
 }
 
 // checkHotAllocBody reports every map make in a function body. Nested
@@ -72,6 +100,86 @@ func checkHotAllocBody(pass *Pass, info *types.Info, name string, body *ast.Bloc
 		}
 		return true
 	})
+}
+
+// checkHotAppendBody reports self-appends whose target has no visible
+// bound in a //cisim:hot function. Boundedness is collected over the
+// whole body first (a make or self-reslice anywhere in the function
+// counts — resets commonly precede the append loop, but a trailing
+// `s = s[:n]` truncation is the same discipline), then every
+// `x = append(x, ...)` is checked against it.
+func checkHotAppendBody(pass *Pass, info *types.Info, name string, body *ast.BlockStmt) {
+	bounded := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			key := exprKey(lhs)
+			if key == "" {
+				continue
+			}
+			switch rhs := as.Rhs[i].(type) {
+			case *ast.CallExpr:
+				if isBuiltinMake(info, rhs) {
+					bounded[key] = true
+				}
+			case *ast.SliceExpr:
+				if exprKey(rhs.X) == key {
+					bounded[key] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			call, ok := as.Rhs[i].(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(info, call) || len(call.Args) == 0 {
+				continue
+			}
+			// append(x[:0], ...) rebuilds in place over existing capacity.
+			if _, reslice := call.Args[0].(*ast.SliceExpr); reslice {
+				continue
+			}
+			key := exprKey(lhs)
+			if key == "" || key != exprKey(call.Args[0]) || bounded[key] {
+				continue
+			}
+			pass.Reportf(call.Pos(),
+				"append grows %s without a visible bound in hot function %s; size it with make, reset it with a reslice, or move the growth off the hot path", key, name)
+		}
+		return true
+	})
+}
+
+// exprKey renders an ident or selector chain (x, w.liveCache,
+// m.win.slots) as a comparable string, or "" for anything else.
+func exprKey(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if base := exprKey(e.X); base != "" {
+			return base + "." + e.Sel.Name
+		}
+	}
+	return ""
+}
+
+// isBuiltinAppend reports whether the call is the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, builtin := info.Uses[id].(*types.Builtin)
+	return builtin
 }
 
 // isBuiltinMake reports whether the call is the make builtin (not a

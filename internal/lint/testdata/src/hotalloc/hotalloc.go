@@ -54,3 +54,85 @@ func shadowed() {
 	make := func(n int) map[int]int { return nil }
 	_ = make(4)
 }
+
+// --- append growth in declared hot functions ---
+
+type window struct {
+	cache []int
+	flags []uint8
+}
+
+// refresh rebuilds the order cache; the reslice reset bounds the appends.
+//
+//cisim:hot
+func (w *window) refresh(src []int) {
+	w.cache = w.cache[:0]
+	w.flags = w.flags[:0]
+	for _, v := range src {
+		w.cache = append(w.cache, v)
+		w.flags = append(w.flags, uint8(v))
+	}
+}
+
+// drain grows its output without any visible bound.
+//
+//cisim:hot
+func (w *window) drain(src []int) {
+	for _, v := range src {
+		w.cache = append(w.cache, v) // want `append grows w\.cache without a visible bound in hot function drain`
+	}
+}
+
+// sized bounds the slice with make before growing it.
+//
+//cisim:hot
+func sized(src []int) []int {
+	out := make([]int, 0, len(src))
+	for _, v := range src {
+		out = append(out, v)
+	}
+	return out
+}
+
+// compactInPlace rebuilds over existing capacity: append to a reslice of
+// the target never grows past what is already allocated.
+//
+//cisim:hot
+func (w *window) compactInPlace() {
+	w.cache = append(w.cache[:0], w.cache...)
+}
+
+// truncated shows the bound after the growth (a trailing reset is the
+// same per-cycle discipline).
+//
+//cisim:hot
+func (w *window) truncated(v int) {
+	w.cache = append(w.cache, v)
+	w.cache = w.cache[:0]
+}
+
+// coldAppend is not declared hot: unbounded appends are the amortized
+// per-run shapes the analyzer leaves alone.
+func (w *window) coldAppend(v int) {
+	w.cache = append(w.cache, v)
+}
+
+// justifiedGrowth documents why the growth is acceptable.
+//
+//cisim:hot
+func (w *window) justifiedGrowth(v int) {
+	//lint:ignore hotalloc once per retired store, amortized by the pool
+	w.cache = append(w.cache, v)
+}
+
+// appendToOther collects into a different variable than it reads; only
+// self-appends are growth of the hot structure itself.
+//
+//cisim:hot
+func appendToOther(src []int) []int {
+	var out []int
+	for _, v := range src {
+		out = append(out, v) // want `append grows out without a visible bound in hot function appendToOther`
+	}
+	return out
+}

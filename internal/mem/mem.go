@@ -21,8 +21,30 @@ type Memory struct {
 	pages map[uint64]*page
 	// owned marks pages this Memory may mutate in place. Pages absent
 	// from owned are shared with a fork ancestor or descendant and must
-	// be copied before the first write.
+	// be copied before the first write. Overlay views (base != nil) do
+	// not use it: every page in their map is private by construction.
 	owned map[uint64]bool
+
+	// base, when non-nil, makes this Memory a reusable overlay view:
+	// reads of pages absent from the local map fall through to base, and
+	// the first write to a page copies it from base into the local set.
+	// Reset recycles the local pages, so one view serves any number of
+	// speculative episodes without re-copying base's page table and
+	// without base ever losing in-place ownership of its own pages.
+	base *Memory
+	// scratch holds every local page the overlay has ever allocated;
+	// scratch[:used] are the ones currently mapped. Reset just rewinds
+	// used, so page buffers are reused episode to episode.
+	scratch []*page
+	used    int
+
+	// One-entry page caches. The write cache skips the map lookup and
+	// ownership check when consecutive writes hit one page (the common
+	// case: stack traffic); the read cache does the same for reads. Both
+	// hold resolved pointers, so any operation that can remap a page —
+	// copy-on-write, Fork, Reset — must invalidate them.
+	wpn, rpn uint64
+	wpg, rpg *page
 }
 
 // New returns an empty memory. Reads of untouched addresses return zero.
@@ -33,9 +55,40 @@ func New() *Memory {
 	}
 }
 
+// NewOverlay returns a reusable speculative view of base. The view is
+// coherent only while base is quiescent: the caller must not write base
+// between an episode's first overlay access and its Reset. The intended
+// cycle is Reset → speculate through the view → discard, repeated once
+// per misprediction.
+func NewOverlay(base *Memory) *Memory {
+	if base.base != nil {
+		panic("mem: overlay of an overlay view")
+	}
+	return &Memory{
+		pages: make(map[uint64]*page),
+		base:  base,
+	}
+}
+
+// Reset drops every page written through the overlay and recycles the
+// buffers for the next speculative episode. It also clears the page
+// caches, which may hold base pages resolved in a previous episode.
+func (m *Memory) Reset() {
+	if m.base == nil {
+		panic("mem: Reset of a non-overlay Memory")
+	}
+	clear(m.pages)
+	m.used = 0
+	m.wpg, m.rpg = nil, nil
+}
+
 // Fork returns a copy-on-write snapshot. Subsequent writes through either
-// the parent or the child are invisible to the other.
+// the parent or the child are invisible to the other. Overlay views are
+// not forkable; use Reset and replay instead.
 func (m *Memory) Fork() *Memory {
+	if m.base != nil {
+		panic("mem: Fork of an overlay view")
+	}
 	child := &Memory{
 		//lint:ignore hotalloc Fork runs once per misprediction, not per instruction; the page map is what makes the copy O(pages touched)
 		pages: make(map[uint64]*page, len(m.pages)),
@@ -45,32 +98,78 @@ func (m *Memory) Fork() *Memory {
 	for k, v := range m.pages {
 		child.pages[k] = v
 	}
-	// Every page is now shared; neither side may write in place.
+	// Every page is now shared; neither side may write in place, and the
+	// parent's cached writable page is no longer writable.
 	for k := range m.owned {
 		delete(m.owned, k)
 	}
+	m.wpg, m.rpg = nil, nil
 	return child
 }
 
+// grabPage returns a recycled (or fresh) private page for an overlay.
+func (m *Memory) grabPage() *page {
+	if m.used < len(m.scratch) {
+		p := m.scratch[m.used]
+		m.used++
+		return p
+	}
+	p := new(page)
+	m.scratch = append(m.scratch, p)
+	m.used++
+	return p
+}
+
 func (m *Memory) writablePage(pn uint64) *page {
+	if m.wpg != nil && pn == m.wpn {
+		return m.wpg
+	}
 	p := m.pages[pn]
 	switch {
+	case p == nil && m.base != nil:
+		p = m.grabPage()
+		if bp := m.base.pages[pn]; bp != nil {
+			*p = *bp
+		} else {
+			*p = page{}
+		}
+		m.pages[pn] = p
 	case p == nil:
 		p = new(page)
 		m.pages[pn] = p
 		m.owned[pn] = true
-	case !m.owned[pn]:
+	case m.base == nil && !m.owned[pn]:
 		cp := *p
 		p = &cp
 		m.pages[pn] = p
 		m.owned[pn] = true
+	}
+	m.wpn, m.wpg = pn, p
+	if m.rpg != nil && m.rpn == pn {
+		m.rpg = p
+	}
+	return p
+}
+
+// readPage resolves the page holding addr for reading, or nil if the
+// address has never been written (reads as zero).
+func (m *Memory) readPage(pn uint64) *page {
+	if m.rpg != nil && pn == m.rpn {
+		return m.rpg
+	}
+	p := m.pages[pn]
+	if p == nil && m.base != nil {
+		p = m.base.pages[pn]
+	}
+	if p != nil {
+		m.rpn, m.rpg = pn, p
 	}
 	return p
 }
 
 // Read8 returns the byte at addr.
 func (m *Memory) Read8(addr uint64) byte {
-	p := m.pages[addr>>pageShift]
+	p := m.readPage(addr >> pageShift)
 	if p == nil {
 		return 0
 	}
@@ -88,7 +187,7 @@ func (m *Memory) Read64(addr uint64) uint64 {
 	pn := addr >> pageShift
 	off := addr & pageMask
 	if off <= PageSize-8 {
-		p := m.pages[pn]
+		p := m.readPage(pn)
 		if p == nil {
 			return 0
 		}

@@ -38,7 +38,7 @@ type machine struct {
 	cfg    Config
 	p      *prog.Program
 	graph  *cfg.Graph
-	golden []golden
+	golden *goldStream
 
 	// Predictors and front-end state.
 	gsh       *bpred.GShare
@@ -104,9 +104,11 @@ type machine struct {
 	// arena batch-allocates dyns: the simulator creates one per fetched
 	// instruction (wrong paths included), and individual heap
 	// allocations dominated the garbage collector's workload. Slots are
-	// never reused, so the zero-value guarantee of a fresh slab matches
-	// a &dyn{} literal.
+	// never reused within a run, so the zero-value guarantee of a chunk
+	// from rm (fresh or cleared-on-reuse) matches a &dyn{} literal. rm
+	// owns every slab of the run and returns to the pool via release.
 	arena []dyn
+	rm    *runMem
 
 	seq       uint64
 	cycle     int64
@@ -117,7 +119,7 @@ type machine struct {
 
 func (m *machine) allocDyn() *dyn {
 	if len(m.arena) == 0 {
-		m.arena = make([]dyn, 512)
+		m.arena = m.rm.dynChunk()
 	}
 	d := &m.arena[0]
 	m.arena = m.arena[1:]
@@ -142,7 +144,7 @@ var ErrDeadlock = errors.New("ooo: cycle limit exceeded")
 // the same program and MaxInstrs.
 type Prep struct {
 	maxInstrs uint64
-	golden    []golden
+	golden    *goldStream
 	graph     *cfg.Graph
 }
 
@@ -174,16 +176,21 @@ func RunPrepared(p *prog.Program, c Config, pre *Prep) (*Result, error) {
 	} else if pre.maxInstrs != c.MaxInstrs {
 		return nil, fmt.Errorf("ooo: prep built for MaxInstrs=%d, config wants %d", pre.maxInstrs, c.MaxInstrs)
 	}
-	return newMachine(p, c, pre).run()
+	m := newMachine(p, c, pre)
+	r, err := m.run()
+	m.release()
+	return r, err
 }
 
 // newMachine builds a machine for an already-defaulted configuration.
 func newMachine(p *prog.Program, c Config, pre *Prep) *machine {
+	rm := getRunMem()
 	m := &machine{
 		cfg:         c,
 		p:           p,
 		graph:       pre.graph,
 		golden:      pre.golden,
+		rm:          rm,
 		gsh:         bpred.NewGShare(c.GShareBits),
 		bim:         bpred.NewBimodal(c.GShareBits),
 		ctb:         bpred.NewTargetBuffer(c.TargetBits),
@@ -191,7 +198,7 @@ func newMachine(p *prog.Program, c Config, pre *Prep) *machine {
 		ras:         bpred.NewRAS(),
 		fetchPC:     p.Entry,
 		fetchOn:     true,
-		win:         newWindow(c.WindowSize, c.SegmentSize),
+		win:         newWindow(c.WindowSize, c.SegmentSize, rm),
 		fetchBuf:    make([]*dyn, 0, c.Width),
 		mem:         mem.New(),
 		dcache:      cache.New(c.Cache),
@@ -222,7 +229,7 @@ func newMachine(p *prog.Program, c Config, pre *Prep) *machine {
 
 	m.maxCycles = c.MaxCycles
 	if m.maxCycles == 0 {
-		m.maxCycles = int64(len(pre.golden))*12 + 100_000
+		m.maxCycles = int64(pre.golden.n)*12 + 100_000
 	}
 	return m
 }
@@ -253,7 +260,7 @@ func (m *machine) step() error {
 	m.cycle++
 	if m.cycle > m.maxCycles {
 		return fmt.Errorf("%w at cycle %d, retired %d/%d: %s",
-			ErrDeadlock, m.cycle, m.retireCur, len(m.golden), m.stuckReport())
+			ErrDeadlock, m.cycle, m.retireCur, m.golden.n, m.stuckReport())
 	}
 	m.retireStage()
 	if m.done {
@@ -346,7 +353,7 @@ func (m *machine) newDyn(pc uint64, in isa.Inst) *dyn {
 	d := m.allocDyn()
 	d.seq, d.pc, d.inst, d.gold = m.seq, pc, in, -1
 	d.fetchC, d.doneC = m.cycle, -1
-	if m.goldCur >= 0 && m.goldCur < len(m.golden) && m.golden[m.goldCur].pc == pc {
+	if m.goldCur >= 0 && m.goldCur < m.golden.n && m.golden.at(m.goldCur).pc == pc {
 		d.gold = m.goldCur
 	}
 	srcs := in.SrcRegs()
@@ -388,7 +395,7 @@ func (m *machine) predict(d *dyn) {
 		d.isCtl, d.isCond = true, true
 		hist := m.fetchHist
 		if m.cfg.OracleGlobalHistory && d.gold >= 0 {
-			hist = m.golden[d.gold].hist
+			hist = m.golden.at(d.gold).hist
 		}
 		d.predTaken = m.predictDir(d.pc, hist)
 		d.assumedTaken = d.predTaken
@@ -430,7 +437,7 @@ func (m *machine) predict(d *dyn) {
 	// Advance the golden cursor along the predicted path: it stays valid
 	// only while the prediction matches the architectural path.
 	if d.gold >= 0 && m.goldCur == d.gold {
-		if next == m.golden[d.gold].nextPC {
+		if next == m.golden.at(d.gold).nextPC {
 			m.goldCur = d.gold + 1
 		} else {
 			m.goldCur = -1
@@ -545,21 +552,27 @@ func (m *machine) rmapAt(rm *regMap, at *dyn) {
 
 // --- issue stage ---
 
+//cisim:hot
 func (m *machine) issueStage() {
 	issued := 0
-	if cache, ok := m.win.live(); ok {
+	if cache, flags, ok := m.win.live(); ok {
 		m.win.walking++
-		for _, d := range cache {
-			if d.squashed || d.retired {
+		// SoA fast path: a live, still-waiting instruction has flag byte
+		// state stWaiting and no dead bit, so one masked compare on the
+		// dense flag array rejects everything already executing, done, or
+		// squashed without touching the instruction itself.
+		for i, f := range flags {
+			if f&(fDead|fStMask) != uint8(stWaiting)<<fStShift {
 				continue
 			}
 			if issued >= m.cfg.Width {
 				break
 			}
-			if d.st != stWaiting || m.cycle < d.fetchC+2 || !d.ready() {
+			d := cache[i]
+			if m.cycle < d.fetchC+2 || !d.ready() {
 				continue
 			}
-			if d.isLoad && m.cfg.ConservativeLoads && m.olderStorePending(d) {
+			if f&fIsLoad != 0 && m.cfg.ConservativeLoads && m.olderStorePending(d) {
 				continue
 			}
 			m.issue(d)
@@ -619,6 +632,7 @@ func (m *machine) issue(d *dyn) {
 		d.ea = emu.EffAddr(d.inst, sv[0])
 		d.eaValid = true
 	}
+	m.win.noteFlags(d)
 	if d.isLoad {
 		lat += m.dcache.Access(d.ea)
 	}
@@ -666,6 +680,7 @@ func (m *machine) completeStage() {
 			// An input changed while executing: discard and reissue.
 			d.st = stWaiting
 			d.stale = false
+			m.win.noteFlags(d)
 			continue
 		}
 		m.complete(d)
@@ -708,6 +723,7 @@ func (m *machine) complete(d *dyn) {
 	d.st = stDone
 	d.hasVal = true
 	d.doneC = m.cycle
+	m.win.noteFlags(d)
 	if m.trc != nil {
 		m.trc.TraceComplete(d.seq, m.cycle)
 	}
@@ -735,6 +751,8 @@ func (m *machine) complete(d *dyn) {
 // youngest older completed store covering it, or from committed memory.
 // fwdFrom records the youngest contributing store, used to re-read when
 // that store's value changes.
+//
+//cisim:hot
 func (m *machine) loadValue(d *dyn) uint64 {
 	d.fwdFrom = nil
 	n := uint(d.esize)
@@ -745,15 +763,18 @@ func (m *machine) loadValue(d *dyn) uint64 {
 	fast := false
 	if !w.dirty {
 		// One backward scan over the order cache instead of a prevLive
-		// chain that re-finds its position on every step.
+		// chain that re-finds its position on every step. A forwarding
+		// candidate — live, a store, address known, value computed — is a
+		// single masked compare on the SoA flag byte, so the scan derefs
+		// only actual candidates.
+		const candidate = fIsStore | fEAValid | uint8(stDone)<<fStShift
 		if i := w.cacheIndex(w.liveCache, d); i >= 0 {
 			fast = true
 			for j := i - 1; j >= w.lo && have != full; j-- {
-				s := w.liveCache[j]
-				if s.squashed || s.retired || !s.isStore || !s.eaValid || s.st != stDone {
+				if w.liveFlags[j]&(fDead|fIsStore|fEAValid|fStMask) != candidate {
 					continue
 				}
-				mergeStoreBytes(d, s, n, &have, &val)
+				mergeStoreBytes(d, w.liveCache[j], n, &have, &val)
 			}
 		}
 	}
@@ -801,14 +822,18 @@ func covers(a uint64, an uint8, b uint64, bn uint8) bool {
 
 // wakeConsumers reissues instructions whose source is d (selective
 // reissue, §3.2.4: issue buffers reissue autonomously on a new value).
+//
+//cisim:hot
 func (m *machine) wakeConsumers(d *dyn) {
-	if cache, ok := m.win.liveAfter(d); ok {
+	if cache, flags, ok := m.win.liveAfter(d); ok {
 		m.win.walking++
-		for _, c := range cache {
-			if c.squashed || c.retired || (c.src[0] != d && c.src[1] != d) {
+		for i, f := range flags {
+			if f&fDead != 0 {
 				continue
 			}
-			m.forceReissue(c)
+			if c := cache[i]; c.src[0] == d || c.src[1] == d {
+				m.forceReissue(c)
+			}
 		}
 		m.win.walking--
 		return
@@ -827,6 +852,7 @@ func (m *machine) forceReissue(c *dyn) {
 	switch c.st {
 	case stDone:
 		c.st = stWaiting
+		m.win.noteFlags(c)
 	case stExecuting:
 		c.stale = true
 	}
@@ -834,21 +860,28 @@ func (m *machine) forceReissue(c *dyn) {
 
 // storeCompleted runs memory-order violation detection: younger loads that
 // issued with a conflicting value reissue with a one-cycle penalty (§4.1).
+//
+//cisim:hot
 func (m *machine) storeCompleted(s *dyn) {
-	if cache, ok := m.win.liveAfter(s); ok {
+	if cache, flags, ok := m.win.liveAfter(s); ok {
 		m.win.walking++
-		for _, c := range cache {
-			if c.squashed || c.retired {
+		// SoA fast path: the scan only cares about live memory operations
+		// with a resolved address, so the dense flag bytes reject ALU and
+		// control instructions — the bulk of the window — without a deref.
+		const doneStore = fIsStore | fEAValid | uint8(stDone)<<fStShift
+		for i, f := range flags {
+			if f&fDead != 0 || f&(fIsLoad|fIsStore) == 0 || f&fEAValid == 0 {
 				continue
 			}
-			if c.isStore && c.eaValid && c.st == stDone && covers(c.ea, c.esize, s.ea, s.esize) {
+			c := cache[i]
+			if f&(fDead|fIsStore|fEAValid|fStMask) == doneStore && covers(c.ea, c.esize, s.ea, s.esize) {
 				break
 			}
-			if !c.isLoad || c.st == stWaiting || !c.eaValid {
+			if f&fIsLoad == 0 || f&fStMask == uint8(stWaiting)<<fStShift {
 				continue
 			}
 			if c.fwdFrom == s {
-				if c.st == stDone {
+				if f&fStMask == uint8(stDone)<<fStShift {
 					nv := m.loadValue(c)
 					if nv != c.val || c.fwdFrom != s {
 						m.reissueLoad(c)
@@ -898,6 +931,7 @@ func (m *machine) storeCompleted(s *dyn) {
 func (m *machine) reissueLoad(c *dyn) {
 	if c.st == stDone {
 		c.st = stWaiting
+		m.win.noteFlags(c)
 	} else {
 		c.stale = true
 	}
@@ -908,6 +942,8 @@ func (m *machine) reissueLoad(c *dyn) {
 
 // recoveryStage gates branch completion per the configured completion
 // model, detects mispredictions, and services recoveries (recovery.go).
+//
+//cisim:hot
 func (m *machine) recoveryStage() {
 	needStable := m.cfg.Completion == SpecC || m.cfg.Completion == NonSpec ||
 		m.cfg.ConfidenceDelay
@@ -915,13 +951,18 @@ func (m *machine) recoveryStage() {
 		m.computeStability()
 	}
 	oldestUnresolved := true
-	if cache, ok := m.win.live(); ok {
+	if cache, flags, ok := m.win.live(); ok {
 		m.win.walking++
-		for _, d := range cache {
-			if d.squashed || d.retired {
+		// SoA fast path: only live, still-unresolved control instructions
+		// participate — resolveStep returns immediately (and leaves
+		// oldestUnresolved untouched) for everything else — so the scan
+		// filters on the dense pending-control bit and derefs branches
+		// only.
+		for i, f := range flags {
+			if f&(fDead|fPendCtl) != fPendCtl {
 				continue
 			}
-			m.resolveStep(d, &oldestUnresolved)
+			m.resolveStep(cache[i], &oldestUnresolved)
 		}
 		m.win.walking--
 	} else {
@@ -971,6 +1012,7 @@ func (m *machine) resolveStep(d *dyn, oldestUnresolved *bool) {
 	if ok {
 		d.ctlDone = true
 		d.ctlDoneC = m.cycle
+		m.win.noteFlags(d)
 		if d.isCond {
 			m.stats.CondBranches++
 		}
@@ -984,7 +1026,7 @@ func (m *machine) resolveStep(d *dyn, oldestUnresolved *bool) {
 // with its architecturally correct one (possible only with speculative
 // operands).
 func (m *machine) falseOutcome(d *dyn) bool {
-	g := &m.golden[d.gold]
+	g := m.golden.at(d.gold)
 	if d.isCond {
 		return d.compTaken != g.taken
 	}
@@ -1018,15 +1060,17 @@ func (m *machine) checkResolved(d *dyn) {
 // spec-C and non-spec completion models: a value is stable when it was
 // computed from stable inputs and no older memory operation can still
 // change it. The result lives in each dyn's stableFlag.
+//
+//cisim:hot
 func (m *machine) computeStability() {
 	allOlderMemStable := true
-	if cache, ok := m.win.live(); ok {
+	if cache, flags, ok := m.win.live(); ok {
 		m.win.walking++
-		for _, d := range cache {
-			if d.squashed || d.retired {
+		for i, f := range flags {
+			if f&fDead != 0 {
 				continue
 			}
-			m.stabilityStep(d, &allOlderMemStable)
+			m.stabilityStep(cache[i], &allOlderMemStable)
 		}
 		m.win.walking--
 		return
@@ -1117,7 +1161,7 @@ func (m *machine) retireStage() {
 				return
 			}
 		}
-		if m.cfg.Debug != nil && m.retireCur < len(m.golden) && d.pc != m.golden[m.retireCur].pc {
+		if m.cfg.Debug != nil && m.retireCur < m.golden.n && d.pc != m.golden.at(m.retireCur).pc {
 			m.debugf("about to mis-retire %v pos=%d: active=%v suspended=%d redisp=%v pending=%d",
 				d, d.pos, m.active != nil, len(m.suspended), m.redisp != nil, len(m.pendingRecs))
 			if m.active != nil {
@@ -1136,10 +1180,10 @@ func (m *machine) retireStage() {
 
 func (m *machine) commit(d *dyn) {
 	// Golden check: the retired stream must be the architectural stream.
-	if m.retireCur >= len(m.golden) {
+	if m.retireCur >= m.golden.n {
 		panic(fmt.Sprintf("ooo: retired past golden stream at %v", d))
 	}
-	g := &m.golden[m.retireCur]
+	g := m.golden.at(m.retireCur)
 	if d.pc != g.pc {
 		panic(fmt.Sprintf("ooo: retired %v but golden has pc=%#x %v (index %d, cycle %d)",
 			d, g.pc, g.inst, m.retireCur, m.cycle))
@@ -1221,7 +1265,7 @@ func (m *machine) commit(d *dyn) {
 	}
 	m.win.retire(d)
 
-	if d.inst.Op == isa.HALT || m.retireCur >= len(m.golden) {
+	if d.inst.Op == isa.HALT || m.retireCur >= m.golden.n {
 		m.done = true
 	}
 }
@@ -1233,21 +1277,24 @@ func (m *machine) commit(d *dyn) {
 // good instructions in the processor to counterparts in the fully
 // accurate window" of §A.3.1, which the oracle features (HFM, CI-OR,
 // oracle history) consult; like the paper's, it is best-effort.
+//
+//cisim:hot
 func (m *machine) goldSync() {
 	g := m.retireCur
 	limit := 256
-	if cache, ok := m.win.live(); ok {
+	if cache, flags, ok := m.win.live(); ok {
 		m.win.walking++
 		defer func() { m.win.walking-- }()
-		for _, d := range cache {
-			if d.squashed || d.retired {
+		for i, f := range flags {
+			if f&fDead != 0 {
 				continue
 			}
-			if g >= len(m.golden) || limit == 0 {
+			d := cache[i]
+			if g >= m.golden.n || limit == 0 {
 				return
 			}
 			limit--
-			gd := &m.golden[g]
+			gd := m.golden.at(g)
 			if d.pc != gd.pc {
 				return
 			}
@@ -1265,9 +1312,9 @@ func (m *machine) goldSync() {
 		}
 		return
 	}
-	for d := m.win.headLive(); d != nil && g < len(m.golden) && limit > 0; d = m.win.nextLive(d, false) {
+	for d := m.win.headLive(); d != nil && g < m.golden.n && limit > 0; d = m.win.nextLive(d, false) {
 		limit--
-		gd := &m.golden[g]
+		gd := m.golden.at(g)
 		if d.pc != gd.pc {
 			return
 		}

@@ -66,7 +66,11 @@ func TestDifferentialRandomPrograms(t *testing.T) {
 // a pass here means the rewrite is observationally identical to the map
 // semantics cycle by cycle, not merely end to end. The refCheck runs must
 // also report exactly the stats of plain runs: the shadow may not perturb
-// the simulation.
+// the simulation. The checked runs also enable Config.Check, whose
+// window.check pass revalidates the SoA live cache every cycle: the
+// flags array must byte-for-byte equal flagsOf of each live entry, so
+// the struct-of-arrays mirror can never drift from the dyn fields it
+// summarizes.
 func TestDifferentialRefShadow(t *testing.T) {
 	maxInstrs, iters := uint64(20_000), 100
 	if testing.Short() {
@@ -88,6 +92,7 @@ func TestDifferentialRefShadow(t *testing.T) {
 					t.Fatalf("%s: plain run: %v", name, err)
 				}
 				c.refCheck = true
+				c.Check = true
 				func() {
 					defer func() {
 						if r := recover(); r != nil {

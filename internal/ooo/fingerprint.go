@@ -29,6 +29,6 @@ func (p *Prep) Fingerprint() uint64 {
 	if p.graph != nil {
 		nodes = len(p.graph.Blocks)
 	}
-	fmt.Fprintf(h, "%d/%d/%d", p.maxInstrs, len(p.golden), nodes)
+	fmt.Fprintf(h, "%d/%d/%d", p.maxInstrs, p.golden.n, nodes)
 	return h.Sum64()
 }

@@ -25,16 +25,40 @@ type golden struct {
 	hist bpred.History
 }
 
+// goldStream stores the golden stream in fixed-size chunks. The stream
+// is only ever indexed (never sliced or iterated as one array), and its
+// final length is unknown while the emulator produces it, so a flat
+// slice pays repeated growslice copies plus a multi-megabyte clear of
+// the over-sized final array — together ~20% of a detailed run. Chunks
+// are allocated exactly once each and never moved.
+type goldStream struct {
+	chunks [][]golden
+	n      int
+}
+
+const goldShift = 13 // 8192 entries per chunk
+const goldMask = 1<<goldShift - 1
+
+func (g *goldStream) at(i int) *golden { return &g.chunks[i>>goldShift][i&goldMask] }
+
+func (g *goldStream) append(v golden) {
+	if g.n>>goldShift == len(g.chunks) {
+		g.chunks = append(g.chunks, make([]golden, 1<<goldShift))
+	}
+	g.chunks[g.n>>goldShift][g.n&goldMask] = v
+	g.n++
+}
+
 // goldenStream runs the program to completion (or the instruction budget)
 // and records the correct-path stream.
-func goldenStream(p *prog.Program, max uint64) ([]golden, error) {
+func goldenStream(p *prog.Program, max uint64) (*goldStream, error) {
 	if max == 0 {
 		max = 1 << 62
 	}
 	st := emu.New(p)
-	var out []golden
+	out := &goldStream{}
 	var hist bpred.History
-	for !st.Halted && uint64(len(out)) < max {
+	for !st.Halted && uint64(out.n) < max {
 		step, err := st.Step()
 		if err != nil {
 			return nil, err
@@ -46,7 +70,7 @@ func goldenStream(p *prog.Program, max uint64) ([]golden, error) {
 		if step.Inst.IsCondBranch() {
 			hist = hist.Push(step.Taken)
 		}
-		out = append(out, g)
+		out.append(g)
 	}
 	return out, nil
 }

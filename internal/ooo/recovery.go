@@ -35,10 +35,10 @@ type restartSeq struct {
 // re-predicts branches with corrected history, and selectively reissues
 // anything whose mapping changed (§3.2.3, §A.3.2).
 type redispSeq struct {
-	cur  *dyn
-	hist bpred.History
-	ras  *bpred.RAS
-	gold int
+	cur       *dyn
+	hist      bpred.History
+	ras       *bpred.RAS
+	gold      int
 	rmap      regMap // scratch rename array, filled when the walk starts
 	rmapValid bool
 }
@@ -326,7 +326,7 @@ func (m *machine) beginRecoveryInner(pr pendingRec) {
 	ras.Restore(d.rasSnap)
 	m.adjustRASFor(d, ras)
 	goldCur := -1
-	if d.gold >= 0 && pr.target == m.golden[d.gold].nextPC {
+	if d.gold >= 0 && pr.target == m.golden.at(d.gold).nextPC {
 		goldCur = d.gold + 1
 	}
 	m.active = &restartSeq{
@@ -375,7 +375,7 @@ func (m *machine) beginSearchRecovery(d *dyn, pr pendingRec) bool {
 	ras.Restore(d.rasSnap)
 	m.adjustRASFor(d, ras)
 	goldCur := -1
-	if d.gold >= 0 && pr.target == m.golden[d.gold].nextPC {
+	if d.gold >= 0 && pr.target == m.golden.at(d.gold).nextPC {
 		goldCur = d.gold + 1
 	}
 	m.active = &restartSeq{
@@ -424,7 +424,7 @@ func (m *machine) fullSquash(d *dyn) {
 	}
 	m.ras.Restore(d.rasSnap)
 	m.adjustRASFor(d, m.ras)
-	if d.gold >= 0 && d.assumedTarget == m.golden[d.gold].nextPC {
+	if d.gold >= 0 && d.assumedTarget == m.golden.at(d.gold).nextPC {
 		m.goldCur = d.gold + 1
 	} else {
 		m.goldCur = -1
@@ -731,7 +731,7 @@ func (m *machine) newDynAt(pc uint64, in isa.Inst, act *restartSeq) *dyn {
 	d := m.allocDyn()
 	d.seq, d.pc, d.inst, d.gold = m.seq, pc, in, -1
 	d.fetchC, d.doneC = m.cycle, -1
-	if act.goldCur >= 0 && act.goldCur < len(m.golden) && m.golden[act.goldCur].pc == pc {
+	if act.goldCur >= 0 && act.goldCur < m.golden.n && m.golden.at(act.goldCur).pc == pc {
 		d.gold = act.goldCur
 	}
 	srcs := in.SrcRegs()
@@ -763,7 +763,7 @@ func (m *machine) newDynAt(pc uint64, in isa.Inst, act *restartSeq) *dyn {
 		d.isCtl, d.isCond = true, true
 		hist := act.hist
 		if m.cfg.OracleGlobalHistory && d.gold >= 0 {
-			hist = m.golden[d.gold].hist
+			hist = m.golden.at(d.gold).hist
 		}
 		d.predTaken = m.predictDir(pc, hist)
 		d.assumedTaken = d.predTaken
@@ -801,7 +801,7 @@ func (m *machine) newDynAt(pc uint64, in isa.Inst, act *restartSeq) *dyn {
 	}
 	d.assumedTarget = next
 	if d.gold >= 0 && act.goldCur == d.gold {
-		if next == m.golden[d.gold].nextPC {
+		if next == m.golden.at(d.gold).nextPC {
 			act.goldCur = d.gold + 1
 		} else {
 			act.goldCur = -1
@@ -1003,11 +1003,11 @@ func (m *machine) continueWalk() {
 				rd.ras.Push(d.pc + 4)
 			}
 		}
-		if d.gold < 0 && rd.gold >= 0 && rd.gold < len(m.golden) && m.golden[rd.gold].pc == d.pc {
+		if d.gold < 0 && rd.gold >= 0 && rd.gold < m.golden.n && m.golden.at(rd.gold).pc == d.pc {
 			d.gold = rd.gold
 		}
 		if rd.gold >= 0 {
-			if d.gold == rd.gold && d.assumedTarget == m.golden[rd.gold].nextPC {
+			if d.gold == rd.gold && d.assumedTarget == m.golden.at(rd.gold).nextPC {
 				rd.gold++
 			} else {
 				rd.gold = -1
@@ -1032,7 +1032,7 @@ func (m *machine) repredict(d *dyn, rd *redispSeq) bool {
 
 	hist := rd.hist
 	if m.cfg.OracleGlobalHistory && d.gold >= 0 {
-		hist = m.golden[d.gold].hist
+		hist = m.golden.at(d.gold).hist
 	}
 	// Refresh the branch's recovery context: a later recovery at this
 	// branch must rebuild fetch state from the *corrected* history and
@@ -1044,7 +1044,7 @@ func (m *machine) repredict(d *dyn, rd *redispSeq) bool {
 	case m.cfg.Repredict == RepredictNone:
 		// Initial predictions stand (CI-NR).
 	case m.cfg.Repredict == RepredictOracle && d.gold >= 0:
-		g := &m.golden[d.gold]
+		g := m.golden.at(d.gold)
 		newTaken, newTarget = g.taken, g.nextPC
 	case d.ctlDone:
 		// Completed branches force the predictor (§A.3.2) — possibly

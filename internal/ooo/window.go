@@ -143,20 +143,33 @@ type window struct {
 	// being unlinked — stale seg pointers held by retired dyns must keep
 	// pointing at dead-but-intact memory — so a bump allocator is safe:
 	// slots carved from one big backing array, structs from one slab.
+	// Chunks come from rm, which recycles them across runs.
 	segArena  []segment
 	slotArena []*dyn
+	rm        *runMem
 
-	// liveCache is the in-order snapshot of the window that the per-cycle
-	// walks (forEach, forEachAfter, the goldSync and rename chains)
-	// iterate instead of chasing segment links slot by slot — with the
-	// default SegmentSize of 1 a segment walk is a pointer chase per
-	// instruction, and the walks dominated the simulator's CPU profile.
-	// The cache is maintained incrementally: appendTail extends it in
-	// place (tail appends preserve order), and squash/retire leave their
-	// entry behind as a tombstone that every walker skips by flag —
-	// exactly the check the segment walk performed — counted in dead and
-	// compacted away once tombstones dominate. Only insertAfter breaks
-	// cache order; it sets dirty, and refresh rebuilds from the
+	// The live-order cache is the in-order snapshot of the window that
+	// the per-cycle walks (forEach, forEachAfter, the goldSync and rename
+	// chains) iterate instead of chasing segment links slot by slot —
+	// with the default SegmentSize of 1 a segment walk is a pointer chase
+	// per instruction, and the walks dominated the simulator's CPU
+	// profile. It is struct-of-arrays: liveCache holds the *dyn in window
+	// order, and liveFlags mirrors, entry for entry, the byte of state
+	// the hot filters test (dead, pipeline state, pending control,
+	// load/store, address validity) — so the issue, resolve, stability,
+	// wake, store-forward and goldSync scans reject the common case from
+	// a dense byte array without dereferencing the instruction at all.
+	// The flag byte is re-mirrored by noteFlags at every state
+	// transition; all transition sites funnel through a handful of
+	// machine methods (issue, complete, forceReissue, reissueLoad,
+	// resolveStep, squash, retire).
+	//
+	// The cache is maintained incrementally: appendTail extends both
+	// arrays in place (tail appends preserve order), and squash/retire
+	// leave their entry behind as a tombstone that every walker skips by
+	// flag — exactly the check the segment walk performed — counted in
+	// dead and compacted away once tombstones dominate. Only insertAfter
+	// breaks cache order; it sets dirty, and refresh rebuilds from the
 	// authoritative segment chain. lo is a watermark below which every
 	// entry is known dead (liveness flags are never cleared), advanced by
 	// headLive so the retired prefix is skipped in amortized O(1).
@@ -166,18 +179,67 @@ type window struct {
 	// in progress (walking > 0) so the snapshot under the outer iteration
 	// is never rebuilt or compacted in place.
 	liveCache []*dyn
+	liveFlags []uint8
 	dirty     bool
 	dead      int
 	lo        int
 	walking   int
 }
 
+// Flag bits of the live-order cache's SoA filter byte. The pipeline
+// state occupies bits 1-2 so a masked compare tests it without a shift.
+const (
+	fDead    uint8 = 1 << 0 // squashed or retired
+	fStShift       = 1
+	fStMask  uint8 = 3 << fStShift // dynState << fStShift
+	fPendCtl uint8 = 1 << 3        // control, not yet resolved
+	fIsLoad  uint8 = 1 << 4
+	fIsStore uint8 = 1 << 5
+	fEAValid uint8 = 1 << 6
+)
+
+// flagsOf derives a dyn's filter byte from its authoritative fields.
+func flagsOf(d *dyn) uint8 {
+	f := uint8(d.st) << fStShift
+	if d.squashed || d.retired {
+		f |= fDead
+	}
+	if d.isCtl && !d.ctlDone {
+		f |= fPendCtl
+	}
+	if d.isLoad {
+		f |= fIsLoad
+	}
+	if d.isStore {
+		f |= fIsStore
+	}
+	if d.eaValid {
+		f |= fEAValid
+	}
+	return f
+}
+
+// noteFlags re-mirrors d's filter byte into the SoA cache after a state
+// transition. O(1); a no-op when the cache is dirty (the rebuild
+// recomputes every byte) or d is not in the current snapshot.
+func (w *window) noteFlags(d *dyn) {
+	if w.dirty {
+		return
+	}
+	if i := int(d.liveIdx); i >= 0 && i < len(w.liveCache) && w.liveCache[i] == d {
+		w.liveFlags[i] = flagsOf(d)
+	}
+}
+
 const posGap = int64(1) << 20
 
-func newWindow(size, segSize int) *window {
+func newWindow(size, segSize int, rm *runMem) *window {
 	return &window{
-		segSize: segSize,
-		maxSegs: size / segSize,
+		segSize:   segSize,
+		maxSegs:   size / segSize,
+		rm:        rm,
+		liveCache: rm.liveCache[:0],
+		liveFlags: rm.liveFlags[:0],
 	}
 }
 
@@ -187,7 +249,7 @@ func (w *window) segsAvailable() int { return w.maxSegs - w.liveSegs }
 func (w *window) newSegment() *segment {
 	w.liveSegs++
 	if len(w.segArena) == 0 {
-		w.segArena = make([]segment, 64)
+		w.segArena = w.rm.segChunk()
 	}
 	seg := &w.segArena[0]
 	w.segArena = w.segArena[1:]
@@ -196,7 +258,7 @@ func (w *window) newSegment() *segment {
 		if n < 1024 {
 			n = 1024
 		}
-		w.slotArena = make([]*dyn, n)
+		w.slotArena = w.rm.slotChunk(n)
 	}
 	seg.slots = w.slotArena[:0:w.segSize]
 	w.slotArena = w.slotArena[w.segSize:]
@@ -235,6 +297,7 @@ func (w *window) appendTail(d *dyn) bool {
 	if !w.dirty && w.walking == 0 {
 		d.liveIdx = int32(len(w.liveCache))
 		w.liveCache = append(w.liveCache, d)
+		w.liveFlags = append(w.liveFlags, flagsOf(d))
 	} else {
 		w.dirty = true
 	}
@@ -320,17 +383,21 @@ func (w *window) renumber() {
 // compacted when tombstones dominate. ok is false only when the cache is
 // dirty inside an ongoing cached walk and the caller must take the
 // segment path.
+//
+//cisim:hot
 func (w *window) refresh() (cache []*dyn, ok bool) {
 	if w.dirty {
 		if w.walking > 0 {
 			return nil, false
 		}
 		w.liveCache = w.liveCache[:0]
+		w.liveFlags = w.liveFlags[:0]
 		for seg := w.head; seg != nil; seg = seg.next {
 			for _, d := range seg.slots[:seg.used] {
 				if !d.squashed && !d.retired {
 					d.liveIdx = int32(len(w.liveCache))
 					w.liveCache = append(w.liveCache, d)
+					w.liveFlags = append(w.liveFlags, flagsOf(d))
 				}
 			}
 		}
@@ -344,48 +411,53 @@ func (w *window) refresh() (cache []*dyn, ok bool) {
 }
 
 // compact squeezes tombstones out of a clean cache, preserving order.
+//
+//cisim:hot
 func (w *window) compact() {
 	n := 0
-	for _, d := range w.liveCache {
-		if d.squashed || d.retired {
+	for i, d := range w.liveCache {
+		if w.liveFlags[i]&fDead != 0 {
 			continue
 		}
 		d.liveIdx = int32(n)
 		w.liveCache[n] = d
+		w.liveFlags[n] = w.liveFlags[i]
 		n++
 	}
 	w.liveCache = w.liveCache[:n]
+	w.liveFlags = w.liveFlags[:n]
 	w.dead = 0
 	w.lo = 0
 }
 
-// live returns the order cache (tombstones included — callers must skip
-// by flag, exactly as forEach does) for direct, inlinable iteration by
-// the hot per-cycle stages. ok is false only when the cache is dirty
+// live returns the order cache as parallel arrays (tombstones included —
+// callers must skip by the dead flag, exactly as forEach does) for
+// direct, inlinable iteration by the hot per-cycle stages: flags[i] is
+// the filter byte of ptr[i]. ok is false only when the cache is dirty
 // inside an ongoing walk; the caller then takes the forEach path.
 // Callers bracket their loop with walking++/-- and must not append or
 // insert, the same contract forEach imposes on its callbacks.
-func (w *window) live() ([]*dyn, bool) {
+func (w *window) live() (ptr []*dyn, flags []uint8, ok bool) {
 	cache, ok := w.refresh()
 	if !ok {
-		return nil, false
+		return nil, nil, false
 	}
-	return cache[w.lo:], true
+	return cache[w.lo:], w.liveFlags[w.lo:], true
 }
 
 // liveAfter returns the cache suffix strictly after d under the same
 // contract as live. ok is false when the cache is dirty or d has been
 // compacted away (dead anchor); the caller then takes the forEachAfter
 // path.
-func (w *window) liveAfter(d *dyn) ([]*dyn, bool) {
+func (w *window) liveAfter(d *dyn) (ptr []*dyn, flags []uint8, ok bool) {
 	cache, ok := w.refresh()
 	if !ok {
-		return nil, false
+		return nil, nil, false
 	}
 	if i := w.cacheIndex(cache, d); i >= 0 {
-		return cache[i+1:], true
+		return cache[i+1:], w.liveFlags[i+1:], true
 	}
-	return nil, false
+	return nil, nil, false
 }
 
 // cacheIndex returns d's position in a current cache, or -1 when d is not
@@ -406,8 +478,8 @@ func (w *window) prevLive(d *dyn, includeAll bool) *dyn {
 	if !includeAll && !w.dirty {
 		if i := w.cacheIndex(w.liveCache, d); i >= 0 {
 			for j := i - 1; j >= w.lo; j-- {
-				if c := w.liveCache[j]; !c.squashed && !c.retired {
-					return c
+				if w.liveFlags[j]&fDead == 0 {
+					return w.liveCache[j]
 				}
 			}
 			return nil
@@ -433,9 +505,9 @@ func (w *window) prevLive(d *dyn, includeAll bool) *dyn {
 func (w *window) nextLive(d *dyn, includeAll bool) *dyn {
 	if !includeAll && !w.dirty {
 		if i := w.cacheIndex(w.liveCache, d); i >= 0 {
-			for _, c := range w.liveCache[i+1:] {
-				if !c.squashed && !c.retired {
-					return c
+			for j := i + 1; j < len(w.liveCache); j++ {
+				if w.liveFlags[j]&fDead == 0 {
+					return w.liveCache[j]
 				}
 			}
 			return nil
@@ -476,11 +548,12 @@ func (w *window) forEach(f func(d *dyn) bool) {
 		return
 	}
 	w.walking++
-	for _, d := range cache[w.lo:] {
-		if d.squashed || d.retired {
+	flags := w.liveFlags
+	for i := w.lo; i < len(cache); i++ {
+		if flags[i]&fDead != 0 {
 			continue
 		}
-		if !f(d) {
+		if !f(cache[i]) {
 			break
 		}
 	}
@@ -492,11 +565,12 @@ func (w *window) forEachAfter(d *dyn, f func(d *dyn) bool) {
 	if cache, ok := w.refresh(); ok {
 		if i := w.cacheIndex(cache, d); i >= 0 {
 			w.walking++
-			for _, c := range cache[i+1:] {
-				if c.squashed || c.retired {
+			flags := w.liveFlags
+			for j := i + 1; j < len(cache); j++ {
+				if flags[j]&fDead != 0 {
 					continue
 				}
-				if !f(c) {
+				if !f(cache[j]) {
 					break
 				}
 			}
@@ -531,6 +605,7 @@ func (w *window) squash(d *dyn) {
 	w.count--
 	if !w.dirty {
 		w.dead++ // now a tombstone in the cache; walkers skip by flag
+		w.noteFlags(d)
 	}
 	w.maybeFree(d.seg)
 }
@@ -541,6 +616,7 @@ func (w *window) retire(d *dyn) {
 	w.count--
 	if !w.dirty {
 		w.dead++ // now a tombstone in the cache; walkers skip by flag
+		w.noteFlags(d)
 	}
 	w.maybeFree(d.seg)
 }
@@ -592,8 +668,8 @@ func (w *window) sealAndSweep(seg *segment) {
 func (w *window) headLive() *dyn {
 	if !w.dirty {
 		for ; w.lo < len(w.liveCache); w.lo++ {
-			if d := w.liveCache[w.lo]; !d.squashed && !d.retired {
-				return d
+			if w.liveFlags[w.lo]&fDead == 0 {
+				return w.liveCache[w.lo]
 			}
 		}
 		return nil
@@ -612,8 +688,8 @@ func (w *window) headLive() *dyn {
 func (w *window) tailLive() *dyn {
 	if !w.dirty {
 		for i := len(w.liveCache) - 1; i >= w.lo; i-- {
-			if d := w.liveCache[i]; !d.squashed && !d.retired {
-				return d
+			if w.liveFlags[i]&fDead == 0 {
+				return w.liveCache[i]
 			}
 		}
 		return nil
@@ -661,13 +737,24 @@ func (w *window) check() error {
 	if !w.dirty {
 		// A clean cache, with tombstones skipped, must be exactly the live
 		// segment walk in order; tombstone and watermark accounting must
-		// match.
+		// match, and the SoA flag bytes must mirror the dyn fields they
+		// summarize (a stale byte would silently skip or mis-filter an
+		// instruction in the hot scans).
+		if len(w.liveFlags) != len(w.liveCache) {
+			return fmt.Errorf("window: %d flag bytes for %d cache entries", len(w.liveFlags), len(w.liveCache))
+		}
 		dead := 0
 		var liveIn []*dyn
 		for i, d := range w.liveCache {
 			if d.squashed || d.retired {
+				if w.liveFlags[i]&fDead == 0 {
+					return fmt.Errorf("window: dead %v not flagged dead in SoA cache", d)
+				}
 				dead++
 				continue
+			}
+			if w.liveFlags[i] != flagsOf(d) {
+				return fmt.Errorf("window: stale SoA flags %#x for %v (want %#x)", w.liveFlags[i], d, flagsOf(d))
 			}
 			if i < w.lo {
 				return fmt.Errorf("window: live %v below dead-prefix watermark %d", d, w.lo)

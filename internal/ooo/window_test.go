@@ -13,7 +13,7 @@ func mkDyn(seq uint64) *dyn {
 }
 
 func TestWindowAppendAndCapacity(t *testing.T) {
-	w := newWindow(8, 1)
+	w := newWindow(8, 1, getRunMem())
 	var last *dyn
 	for i := 0; i < 8; i++ {
 		d := mkDyn(uint64(i))
@@ -39,7 +39,7 @@ func TestWindowAppendAndCapacity(t *testing.T) {
 }
 
 func TestWindowSegmentGranularity(t *testing.T) {
-	w := newWindow(16, 4)
+	w := newWindow(16, 4, getRunMem())
 	for i := 0; i < 6; i++ {
 		if !w.appendTail(mkDyn(uint64(i))) {
 			t.Fatal("append failed")
@@ -61,7 +61,7 @@ func TestWindowSegmentGranularity(t *testing.T) {
 }
 
 func TestWindowInsertAfterOrder(t *testing.T) {
-	w := newWindow(32, 1)
+	w := newWindow(32, 1, getRunMem())
 	a, b, c := mkDyn(1), mkDyn(2), mkDyn(3)
 	w.appendTail(a)
 	w.appendTail(b)
@@ -100,7 +100,7 @@ func TestWindowInsertAfterOrder(t *testing.T) {
 }
 
 func TestWindowSquashReclaim(t *testing.T) {
-	w := newWindow(8, 2)
+	w := newWindow(8, 2, getRunMem())
 	var ds []*dyn
 	for i := 0; i < 8; i++ {
 		d := mkDyn(uint64(i))
@@ -130,7 +130,7 @@ func TestWindowSquashReclaim(t *testing.T) {
 }
 
 func TestWindowHeadTail(t *testing.T) {
-	w := newWindow(8, 1)
+	w := newWindow(8, 1, getRunMem())
 	if w.headLive() != nil || w.tailLive() != nil {
 		t.Error("empty window has live entries")
 	}
@@ -144,7 +144,7 @@ func TestWindowHeadTail(t *testing.T) {
 }
 
 func TestWindowForEachAfter(t *testing.T) {
-	w := newWindow(16, 4)
+	w := newWindow(16, 4, getRunMem())
 	var ds []*dyn
 	for i := 0; i < 10; i++ {
 		d := mkDyn(uint64(i))
@@ -173,7 +173,7 @@ func TestWindowRandomOpsModel(t *testing.T) {
 	cfgSegs := []int{1, 2, 4}
 	f := func() bool {
 		segSize := cfgSegs[rng.Intn(len(cfgSegs))]
-		w := newWindow(32, segSize)
+		w := newWindow(32, segSize, getRunMem())
 		var model []*dyn // live dyns in order
 		var seq uint64
 		fills := map[*dyn]*segment{} // per-anchor fill segment
@@ -287,7 +287,7 @@ func TestWindowRandomOpsModel(t *testing.T) {
 }
 
 func TestWindowRenumber(t *testing.T) {
-	w := newWindow(64, 1)
+	w := newWindow(64, 1, getRunMem())
 	a := mkDyn(1)
 	w.appendTail(a)
 	w.appendTail(mkDyn(2))

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"cisim/internal/faults"
+	"cisim/internal/ideal"
 	"cisim/internal/ooo"
 	"cisim/internal/prog"
 	storage "cisim/internal/store"
@@ -402,6 +403,29 @@ func (c *Cache) Trace(w *workloads.Workload, iters int, opt trace.Options) (*tra
 		return nil, hit, err
 	}
 	return v.(*trace.Trace), hit, nil
+}
+
+// IdealPrep returns the shared ideal-model preparation of a workload's
+// trace — the golden stream plus the per-entry latency/source arrays the
+// six Section 2 schedulers all derive — addressed by the program's
+// content address plus the trace options. One prep serves every (model,
+// window) point of a sweep. The bool reports whether the underlying
+// trace was a cache hit, which is what the experiments' instruction
+// accounting keys on.
+func (c *Cache) IdealPrep(w *workloads.Workload, iters int, opt trace.Options) (*ideal.Prep, bool, error) {
+	tr, traceHit, err := c.Trace(w, iters, opt)
+	if err != nil {
+		return nil, traceHit, err
+	}
+	src := w.Source(iters)
+	key := fmt.Sprintf("%s iters=%d ideal %+v", w.Name, iters, opt)
+	v, _, err := c.get(KindPrep, key, addr(KindPrep, "ideal", src, fmt.Sprintf("%+v", opt)), func() (interface{}, error) {
+		return ideal.Prepare(tr), nil
+	})
+	if err != nil {
+		return nil, traceHit, err
+	}
+	return v.(*ideal.Prep), traceHit, nil
 }
 
 // prep returns the shared pre-simulation artifacts (golden stream, CFG

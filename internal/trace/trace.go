@@ -18,10 +18,13 @@
 package trace
 
 import (
+	"errors"
+
 	"cisim/internal/bpred"
 	"cisim/internal/cfg"
 	"cisim/internal/emu"
 	"cisim/internal/isa"
+	"cisim/internal/mem"
 	"cisim/internal/prog"
 )
 
@@ -222,7 +225,28 @@ func (o *Options) defaults() {
 	}
 }
 
+// blockCap is the batched-generation record buffer size: one emulator
+// StepBlock call fills at most this many Step records before control
+// returns to the annotation loop. Blocks also end at every control
+// transfer, so the cap only bounds straight-line runs.
+const blockCap = 256
+
+// entryChunk is the accumulation granularity for trace entries; see the
+// assembly comment in Generate.
+const entryChunk = 8192
+
 // Generate runs the program and produces its annotated trace.
+//
+// Execution is batched: the emulator runs block-granular decode+execute
+// bursts (StepBlock) into one record buffer reused for the whole job, and
+// the annotation loop consumes the records. Because a block always ends
+// at a control transfer, every prediction decision is made at a block
+// boundary with architectural state exactly as of that instruction.
+// Forking after the control instruction has executed is equivalent to the
+// pre-step fork the per-instruction loop used: predicted control classes
+// (conditional branch, indirect jump/call) write no memory, and the only
+// register one writes — an indirect call's link register — is re-written
+// with the identical value by expandWrongPath.
 func Generate(p *prog.Program, opt Options) (*Trace, error) {
 	opt.defaults()
 	g := cfg.Build(p)
@@ -238,130 +262,146 @@ func Generate(p *prog.Program, opt Options) (*Trace, error) {
 		lastRegWriter[i] = NoDep
 	}
 	lastStore := newStoreIndex()
-	if opt.MaxInstrs < 1<<22 {
-		tr.Entries = make([]Entry, 0, opt.MaxInstrs)
-	}
+	// Entries assembly: traces routinely halt far below MaxInstrs, and
+	// reserving the full budget up front (200k entries ≈ 24 MB, zeroed)
+	// was the single biggest allocation of a generation job — while
+	// growing a bare slice puts 40k entries through the runtime's 1.25×
+	// regrowth schedule, which zeroes and moves even more. Instead,
+	// entries accumulate in fixed-size chunks and are assembled into one
+	// exact-size allocation at the end.
+	var (
+		chunks [][]Entry
+		cur    = make([]Entry, 0, entryChunk)
+		count  uint64 // entries recorded so far (== final index + 1)
+	)
 
-	for uint64(len(tr.Entries)) < opt.MaxInstrs && !st.Halted {
-		// Snapshot needed for wrong-path forking before the step mutates
-		// state. Forking is cheap (copy-on-write) but not free, so fork
-		// only when a misprediction actually occurs: run the prediction
-		// logic first.
-		pc := st.PC
-		in, ok := p.InstAt(pc)
-		if !ok {
-			return nil, &emu.Fault{PC: pc, Why: "trace: pc outside code image"}
+	// One record buffer and one speculative view serve the whole job: the
+	// overlay is rewound per misprediction instead of re-snapshotting the
+	// emulator's page table.
+	var rec [blockCap]emu.Step
+	specView := mem.NewOverlay(st.Mem)
+	var scratch emu.State
+
+	for count < opt.MaxInstrs && !st.Halted {
+		limit := blockCap
+		if rem := opt.MaxInstrs - count; rem < uint64(limit) {
+			limit = int(rem)
 		}
-
-		e := Entry{PC: pc, Inst: in, DepReg: [2]int32{NoDep, NoDep}, DepMem: NoDep}
-
-		// Record true register dependences before executing.
-		for si, r := range in.SrcRegs() {
-			if r != isa.RZero && si < 2 {
-				e.DepReg[si] = lastRegWriter[r]
-			}
-		}
-
-		// Prediction, before the outcome is known architecturally. The
-		// predicted target is computed from the predictor state; the
-		// actual outcome comes from the emulator step below.
-		var predTaken bool
-		var predTarget uint64
-		var hasPred bool
-		switch isa.ClassOf(in.Op) {
-		case isa.ClassCondBr:
-			hasPred = true
-			predTaken = gsh.Predict(pc, hist)
-			if predTaken {
-				predTarget = in.BranchTarget(pc)
-			} else {
-				predTarget = pc + 4
-			}
-		case isa.ClassIndJump, isa.ClassIndCall:
-			hasPred = true
-			if t, hit := ctb.Predict(pc, hist); hit {
-				predTarget = t
-			} else {
-				predTarget = pc + 4 // a miss predicts *something*; fall through
-			}
-		case isa.ClassReturn:
-			// Perfect return address stack (§2.2): always correct.
-			tr.Stats.Returns++
-		case isa.ClassJump, isa.ClassCall:
-			tr.Stats.DirectJump++
-		}
-
-		// A fork for wrong-path execution must capture pre-step state,
-		// but forking is only needed on actual mispredictions — and the
-		// outcome is computable from pre-step register state.
-		var fork *emu.State
-		if hasPred {
-			misp := false
-			switch isa.ClassOf(in.Op) {
-			case isa.ClassCondBr:
-				misp = predTaken != emu.EvalBranch(in, st.Reg(in.Rs1), st.Reg(in.Rs2))
-			default: // indirect jump/call
-				misp = predTarget != st.Reg(in.Rs1)
-			}
-			if misp {
-				fork = st.Fork()
-			}
-		}
-
-		step, err := st.Step()
+		n, err := st.StepBlock(rec[:limit])
 		if err != nil {
+			var f *emu.Fault
+			if errors.As(err, &f) && f.Why == "pc outside code image" {
+				return nil, &emu.Fault{PC: f.PC, Why: "trace: pc outside code image"}
+			}
 			return nil, err
 		}
-		e.NextPC, e.Taken, e.EA = step.NextPC, step.Taken, step.EA
+		for ri := 0; ri < n; ri++ {
+			step := &rec[ri]
+			in, pc := step.Inst, step.PC
+			e := Entry{PC: pc, Inst: in, DepReg: [2]int32{NoDep, NoDep}, DepMem: NoDep}
+			e.NextPC, e.Taken, e.EA = step.NextPC, step.Taken, step.EA
 
-		if hasPred {
-			e.Predicted = true
-			e.PredTarget = predTarget
+			// True register dependences: producers as of fetch order.
+			for si, r := range in.SrcRegs() {
+				if r != isa.RZero && si < 2 {
+					e.DepReg[si] = lastRegWriter[r]
+				}
+			}
+
+			// Prediction. The predictor state (tables, global history) is
+			// updated in program order, record by record, so the decision
+			// for each control instruction is made from exactly the state
+			// the per-instruction loop would have had.
+			var predTaken bool
+			var predTarget uint64
+			var hasPred bool
 			switch isa.ClassOf(in.Op) {
 			case isa.ClassCondBr:
-				tr.Stats.Cond++
-				e.Mispredicted = predTaken != step.Taken
-				if e.Mispredicted {
-					tr.Stats.CondMisp++
+				hasPred = true
+				predTaken = gsh.Predict(pc, hist)
+				if predTaken {
+					predTarget = in.BranchTarget(pc)
+				} else {
+					predTarget = pc + 4
 				}
-				gsh.Update(pc, hist, step.Taken)
-				hist = hist.Push(step.Taken)
-			default: // indirect jump/call
-				tr.Stats.Indirect++
-				e.Mispredicted = predTarget != step.NextPC
-				if e.Mispredicted {
-					tr.Stats.IndMisp++
+			case isa.ClassIndJump, isa.ClassIndCall:
+				hasPred = true
+				if t, hit := ctb.Predict(pc, hist); hit {
+					predTarget = t
+				} else {
+					predTarget = pc + 4 // a miss predicts *something*; fall through
 				}
-				ctb.Update(pc, hist, step.NextPC)
+			case isa.ClassReturn:
+				// Perfect return address stack (§2.2): always correct.
+				tr.Stats.Returns++
+			case isa.ClassJump, isa.ClassCall:
+				tr.Stats.DirectJump++
 			}
-			if e.Mispredicted {
-				e.Wrong = expandWrongPath(fork, g, in, pc, predTarget, opt.WrongPathCap)
-			}
-		}
 
-		idx := int32(len(tr.Entries))
-		if rd, writes := in.WritesReg(); writes {
-			lastRegWriter[rd] = idx
-		}
-		if isa.ClassOf(in.Op) == isa.ClassLoad {
-			size := uint64(e.MemSize())
-			dep := NoDep
-			for b := uint64(0); b < size; b++ {
-				if s := lastStore.get(e.EA + b); s > dep {
-					dep = s
+			if hasPred {
+				e.Predicted = true
+				e.PredTarget = predTarget
+				switch isa.ClassOf(in.Op) {
+				case isa.ClassCondBr:
+					tr.Stats.Cond++
+					e.Mispredicted = predTaken != step.Taken
+					if e.Mispredicted {
+						tr.Stats.CondMisp++
+					}
+					gsh.Update(pc, hist, step.Taken)
+					hist = hist.Push(step.Taken)
+				default: // indirect jump/call
+					tr.Stats.Indirect++
+					e.Mispredicted = predTarget != step.NextPC
+					if e.Mispredicted {
+						tr.Stats.IndMisp++
+					}
+					ctb.Update(pc, hist, step.NextPC)
+				}
+				if e.Mispredicted {
+					// A control instruction ends its block, so the
+					// emulator has not run past it: memory is as of the
+					// branch, and the overlay fork sees exactly the
+					// state a pre-step snapshot would have.
+					fork := st.ForkInto(&scratch, specView)
+					e.Wrong = expandWrongPath(fork, g, in, pc, predTarget, opt.WrongPathCap)
 				}
 			}
-			e.DepMem = dep
-		}
-		if isa.ClassOf(in.Op) == isa.ClassStore {
-			size := uint64(e.MemSize())
-			for b := uint64(0); b < size; b++ {
-				lastStore.set(e.EA+b, idx)
-			}
-		}
 
-		tr.Entries = append(tr.Entries, e)
+			idx := int32(count)
+			if rd, writes := in.WritesReg(); writes {
+				lastRegWriter[rd] = idx
+			}
+			if isa.ClassOf(in.Op) == isa.ClassLoad {
+				size := uint64(e.MemSize())
+				dep := NoDep
+				for b := uint64(0); b < size; b++ {
+					if s := lastStore.get(e.EA + b); s > dep {
+						dep = s
+					}
+				}
+				e.DepMem = dep
+			}
+			if isa.ClassOf(in.Op) == isa.ClassStore {
+				size := uint64(e.MemSize())
+				for b := uint64(0); b < size; b++ {
+					lastStore.set(e.EA+b, idx)
+				}
+			}
+
+			if len(cur) == entryChunk {
+				chunks = append(chunks, cur)
+				cur = make([]Entry, 0, entryChunk)
+			}
+			cur = append(cur, e)
+			count++
+		}
 	}
+	tr.Entries = make([]Entry, 0, count)
+	for _, c := range chunks {
+		tr.Entries = append(tr.Entries, c...)
+	}
+	tr.Entries = append(tr.Entries, cur...)
 	tr.Halted = st.Halted
 	resolveReconvergence(tr, opt.ReconvSearch)
 	return tr, nil
